@@ -1,0 +1,48 @@
+//! E5c — scaling of the static analysis with program size: analysis time
+//! on HERA (the largest benchmark) across classes A/B/C, plus the cost
+//! of the matching refinement via its toggle.
+//!
+//! `cargo bench -p parcoach-bench --bench analysis_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcoach_bench::compile_baseline;
+use parcoach_core::{analyze_module, AnalysisOptions};
+use parcoach_workloads::{hera, WorkloadClass};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for class in [WorkloadClass::A, WorkloadClass::B, WorkloadClass::C] {
+        let w = hera::generate(class);
+        let (_u, module) = compile_baseline(w.name, &w.source);
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("HERA-{class:?}-{}loc", w.lines())),
+            &module,
+            |b, m| b.iter(|| black_box(analyze_module(m, &AnalysisOptions::default()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze-no-refine", format!("HERA-{class:?}")),
+            &module,
+            |b, m| {
+                b.iter(|| {
+                    black_box(analyze_module(
+                        m,
+                        &AnalysisOptions {
+                            refine_matching: false,
+                            ..AnalysisOptions::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

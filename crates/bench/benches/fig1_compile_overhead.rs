@@ -1,0 +1,41 @@
+//! Criterion version of E1 / Figure 1: compile-time cost of the three
+//! pipelines (baseline / +warnings / +codegen) on the five benchmarks.
+//!
+//! `cargo bench -p parcoach-bench --bench fig1_compile_overhead`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcoach_bench::{compile_baseline, compile_with_codegen, compile_with_warnings};
+use parcoach_workloads::{figure1_suite, WorkloadClass};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Class B, like the paper. Workloads generated once.
+    let suite = figure1_suite(WorkloadClass::B);
+    let mut group = c.benchmark_group("fig1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for w in &suite {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", w.name),
+            &w.source,
+            |b, src| b.iter(|| black_box(compile_baseline(w.name, src))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warnings", w.name),
+            &w.source,
+            |b, src| b.iter(|| black_box(compile_with_warnings(w.name, src))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warnings+codegen", w.name),
+            &w.source,
+            |b, src| b.iter(|| black_box(compile_with_codegen(w.name, src))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

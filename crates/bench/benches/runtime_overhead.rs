@@ -1,0 +1,54 @@
+//! E4 — execution-time overhead of the PARCOACH instrumentation ("low
+//! overhead", paper abstract/§5): instrumented vs. uninstrumented runs
+//! of class-A workloads on the simulated hybrid runtime.
+//!
+//! `cargo bench -p parcoach-bench --bench runtime_overhead`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcoach_bench::{compile_baseline, compile_with_codegen};
+use parcoach_interp::{Executor, RunConfig};
+use parcoach_workloads::{figure1_suite, WorkloadClass};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn run_cfg() -> RunConfig {
+    RunConfig {
+        ranks: 2,
+        default_threads: 2,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let suite = figure1_suite(WorkloadClass::A);
+    let mut group = c.benchmark_group("runtime");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    for w in &suite {
+        // Executors are built once; iterations re-run the program.
+        let (_u, plain_module) = compile_baseline(w.name, &w.source);
+        let (instr_module, _report) = compile_with_codegen(w.name, &w.source);
+        let plain = Executor::new(plain_module, run_cfg());
+        let instr = Executor::new(instr_module, run_cfg());
+        group.bench_with_input(BenchmarkId::new("plain", w.name), &(), |b, ()| {
+            b.iter(|| {
+                let r = plain.run();
+                assert!(r.is_clean(), "{}: {:?}", w.name, r.errors);
+                black_box(r)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("instrumented", w.name), &(), |b, ()| {
+            b.iter(|| {
+                let r = instr.run();
+                assert!(r.is_clean(), "{}: {:?}", w.name, r.errors);
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E3 (extension) — detection capability over the error catalogue:
+//! for every case, the static verdict, the dynamic outcome of an
+//! *instrumented* run, and who intercepted the failure.
+//!
+//! Usage: `cargo run --release -p parcoach-bench --bin detection_table`
+
+use parcoach_interp::{check_and_run, RunConfig};
+use parcoach_workloads::{error_catalogue, ExpectDynamic, ExpectStatic};
+
+fn main() {
+    println!(
+        "{:<28} {:<26} {:<10} {:<14} {:<10} ok?",
+        "case", "static verdict", "expected", "dynamic", "by-check"
+    );
+    let mut all_ok = true;
+    for case in error_catalogue() {
+        let cfg = RunConfig::fast_fail(2, 4);
+        let (report, run) = match check_and_run(case.id, &case.source, cfg, true) {
+            Ok(x) => x,
+            Err(e) => {
+                println!("{:<28} COMPILE ERROR: {e}", case.id);
+                all_ok = false;
+                continue;
+            }
+        };
+        let static_verdict = if report.is_clean() {
+            "clean".to_string()
+        } else {
+            let mut kinds: Vec<&str> = report.warnings.iter().map(|w| w.kind.code()).collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            kinds.join(",")
+        };
+        let dynamic = if run.is_clean() { "clean" } else { "fails" };
+        let by_check = if run.detected_by_check() { "yes" } else { "-" };
+
+        let static_ok = match case.expect_static {
+            ExpectStatic::Clean => report.is_clean(),
+            ExpectStatic::Warns(code) => report.warnings.iter().any(|w| w.kind.code() == code),
+        };
+        let dynamic_ok = match case.expect_dynamic {
+            ExpectDynamic::Clean => run.is_clean(),
+            ExpectDynamic::CaughtByCheck => !run.is_clean() && run.detected_by_check(),
+            ExpectDynamic::CaughtBySubstrate => !run.is_clean(),
+            ExpectDynamic::Fails => !run.is_clean(),
+            ExpectDynamic::MayFail => true,
+        };
+        let ok = static_ok && dynamic_ok;
+        all_ok &= ok;
+        let expected = match case.expect_dynamic {
+            ExpectDynamic::Clean => "clean",
+            ExpectDynamic::CaughtByCheck => "check",
+            ExpectDynamic::CaughtBySubstrate => "substrate",
+            ExpectDynamic::Fails => "fails",
+            ExpectDynamic::MayFail => "may-fail",
+        };
+        println!(
+            "{:<28} {:<26} {:<10} {:<14} {:<10} {}",
+            case.id,
+            truncate(&static_verdict, 26),
+            expected,
+            dynamic,
+            by_check,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    println!();
+    if all_ok {
+        println!("all catalogue cases behave as expected.");
+    } else {
+        println!("SOME CASES DIVERGED FROM EXPECTATION — see rows marked MISMATCH.");
+        std::process::exit(1);
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

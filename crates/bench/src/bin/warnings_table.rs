@@ -1,0 +1,53 @@
+//! E2 (extension) — static warning counts per benchmark, in the style of
+//! the companion IJHPCA PARCOACH evaluation tables: how many potential
+//! errors of each type the compile-time phase reports, and how much
+//! instrumentation that demands.
+//!
+//! Usage: `cargo run --release -p parcoach-bench --bin warnings_table [A|B|C]`
+
+use parcoach_bench::compile_with_warnings;
+use parcoach_core::WarningKind;
+use parcoach_workloads::{figure1_suite, WorkloadClass};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("A") => WorkloadClass::A,
+        Some("C") => WorkloadClass::C,
+        _ => WorkloadClass::B,
+    };
+    let kinds = [
+        (WarningKind::MultithreadedCollective, "mt-coll"),
+        (WarningKind::NestedParallelismCollective, "nested"),
+        (WarningKind::MultithreadedCall, "mt-call"),
+        (WarningKind::ConcurrentCollectives, "conc"),
+        (WarningKind::SelfConcurrentRegion, "self-conc"),
+        (WarningKind::CollectiveMismatch, "mismatch"),
+        (WarningKind::BarrierDivergence, "barrier-div"),
+        (WarningKind::InsufficientThreadLevel, "level"),
+    ];
+    println!("E2 — static warnings per benchmark (class {class:?})");
+    print!("{:<8} {:>7}", "bench", "lines");
+    for (_, label) in &kinds {
+        print!(" {label:>11}");
+    }
+    println!(" {:>9} {:>9} {:>9}", "CC-sites", "mono-chk", "conc-site");
+    for w in figure1_suite(class) {
+        let (_m, report) = compile_with_warnings(w.name, &w.source);
+        print!("{:<8} {:>7}", w.name, w.lines());
+        for (kind, _) in &kinds {
+            print!(" {:>11}", report.count(*kind));
+        }
+        println!(
+            " {:>9} {:>9} {:>9}",
+            report.plan.suspect_collectives.len(),
+            report.plan.monothread_checks.len(),
+            report.plan.concurrency_sites.len()
+        );
+    }
+    println!();
+    println!(
+        "note: `mismatch` counts are conditional-communication sites the static \
+         phase cannot prove uniform — the false-positive class the dynamic CC \
+         validates at run time (paper §3)."
+    );
+}

@@ -1,0 +1,396 @@
+//! Phase 2 — "any two collective executions are ordered sequentially"
+//! (paper §2, property 2).
+//!
+//! Two nodes `n1`, `n2` are in *concurrent monothreaded regions* when
+//! `pw[n1] = w·S_j·u` and `pw[n2] = w·S_k·v` with `j ≠ k`: the regions
+//! share the parallel phase `w` (same barrier count since the fork) but
+//! are distinct single-threaded regions, so two different threads may
+//! execute them simultaneously — the order of their collectives becomes
+//! schedule-dependent. Such region pairs go to the set `S_cc` and get a
+//! dynamic concurrency counter.
+//!
+//! Extension (documented in DESIGN.md): a collective-bearing
+//! monothreaded region lying on a CFG cycle with no barrier on the cycle
+//! is concurrent *with itself* across iterations; we flag it with
+//! [`WarningKind::SelfConcurrentRegion`] and instrument it the same way.
+
+use crate::pw::PwResult;
+use crate::report::{StaticWarning, WarningKind};
+use parcoach_front::span::Span;
+use parcoach_ir::func::FuncIr;
+use parcoach_ir::instr::{BlockKind, Directive, Terminator};
+use parcoach_ir::loops::LoopInfo;
+use parcoach_ir::types::{BlockId, RegionId};
+use std::collections::HashMap;
+
+/// Phase-2 result for one function.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyResult {
+    /// Warnings found.
+    pub warnings: Vec<StaticWarning>,
+    /// Monothreaded regions to instrument with concurrency counters,
+    /// with their cluster site id (regions that may run concurrently with
+    /// each other share a site).
+    pub sites: Vec<(RegionId, u32)>,
+    /// Collective blocks involved (suspects for `CC` instrumentation).
+    pub suspects: Vec<BlockId>,
+}
+
+/// A collective node together with its innermost monothreaded region.
+struct RegionColl {
+    block: BlockId,
+    span: Span,
+    name: &'static str,
+    /// Index in the word of the innermost S token.
+    s_pos: usize,
+    region: RegionId,
+}
+
+/// Run phase 2 on one function.
+pub fn check_concurrency(f: &FuncIr, pw: &PwResult, loops: &LoopInfo) -> ConcurrencyResult {
+    let mut out = ConcurrencyResult::default();
+
+    // Collect collective nodes in monothreaded regions (words ending in S
+    // after stripping; phase 1 already handled the rest).
+    let mut colls: Vec<RegionColl> = Vec::new();
+    for bid in f.collective_blocks() {
+        let Some(w) = pw.word_at(bid) else { continue };
+        // Find the innermost S token (last S in the word).
+        let Some(s_pos) = w.tokens().iter().rposition(|t| t.is_s()) else {
+            continue;
+        };
+        // Only S-terminated (monothreaded) contexts concern this phase;
+        // tokens after the S would be P (nested) — skip those.
+        if w.tokens()[s_pos + 1..].iter().any(|t| t.is_p()) {
+            continue;
+        }
+        let block = f.block(bid);
+        for (instr, span) in block.collectives() {
+            colls.push(RegionColl {
+                block: bid,
+                span,
+                name: instr
+                    .collective_kind()
+                    .expect("collective instr")
+                    .mpi_name(),
+                s_pos,
+                region: w.tokens()[s_pos].region().expect("S token has region"),
+            });
+        }
+    }
+
+    // Pairwise concurrent-region test on the words.
+    // Union-find over regions to build instrumentation clusters.
+    let mut parent: HashMap<RegionId, RegionId> = HashMap::new();
+    fn find(parent: &mut HashMap<RegionId, RegionId>, r: RegionId) -> RegionId {
+        let p = *parent.entry(r).or_insert(r);
+        if p == r {
+            r
+        } else {
+            let root = find(parent, p);
+            parent.insert(r, root);
+            root
+        }
+    }
+    let mut concurrent_regions: Vec<RegionId> = Vec::new();
+
+    for i in 0..colls.len() {
+        for j in (i + 1)..colls.len() {
+            let (a, b) = (&colls[i], &colls[j]);
+            if a.region == b.region {
+                continue; // same region: ordered by its single executor
+            }
+            let wa = pw.word_at(a.block).expect("filtered above");
+            let wb = pw.word_at(b.block).expect("filtered above");
+            let lcp = wa.common_prefix_len(wb);
+            // Concurrent iff the first differing tokens are both S tokens
+            // of different regions — i.e. pw = w·S_j·u vs w·S_k·v.
+            let ta = wa.tokens().get(lcp);
+            let tb = wb.tokens().get(lcp);
+            let concurrent = match (ta, tb) {
+                (Some(x), Some(y)) if x.is_s() && y.is_s() => {
+                    // j ≠ k guaranteed since the tokens differ at lcp.
+                    lcp <= a.s_pos && lcp <= b.s_pos
+                }
+                _ => false,
+            };
+            if concurrent {
+                let ra = find(&mut parent, a.region);
+                let rb = find(&mut parent, b.region);
+                parent.insert(ra, rb);
+                concurrent_regions.push(a.region);
+                concurrent_regions.push(b.region);
+                out.warnings.push(StaticWarning {
+                    kind: WarningKind::ConcurrentCollectives,
+                    func: f.name.clone(),
+                    message: format!(
+                        "{} and {} are in concurrent monothreaded regions \
+                         (words {wa} / {wb}); their order is schedule-dependent",
+                        a.name, b.name
+                    ),
+                    span: a.span,
+                    related: vec![(b.span, format!("concurrent {} here", b.name))],
+                });
+                out.suspects.push(a.block);
+                out.suspects.push(b.block);
+            }
+        }
+    }
+
+    // Self-concurrency: region begin block on a cycle without a barrier
+    // on that cycle. Only meaningful for nowait-style regions (with a
+    // barrier on the cycle, iterations are phase-separated).
+    for c in &colls {
+        let Some(begin) = f.region_begin_block(c.region) else {
+            continue;
+        };
+        for l in loops.loops_containing(begin) {
+            let has_barrier = l.blocks.iter().any(|&b| {
+                matches!(
+                    f.block(b).kind,
+                    BlockKind::Directive(Directive::Barrier { .. })
+                )
+            });
+            if !has_barrier {
+                concurrent_regions.push(c.region);
+                // Union with itself just materializes the cluster.
+                let r = find(&mut parent, c.region);
+                parent.insert(r, r);
+                out.warnings.push(StaticWarning {
+                    kind: WarningKind::SelfConcurrentRegion,
+                    func: f.name.clone(),
+                    message: format!(
+                        "{} is in a monothreaded region inside a loop with no \
+                         barrier on the cycle; iterations of the region may \
+                         overlap",
+                        c.name
+                    ),
+                    span: c.span,
+                    related: vec![(f.block(l.header).span, "loop here".into())],
+                });
+                out.suspects.push(c.block);
+                break; // one warning per collective is enough
+            }
+        }
+    }
+
+    // Materialize instrumentation sites: one per concurrent region, site
+    // id = cluster representative (dense renumbering).
+    concurrent_regions.sort_unstable();
+    concurrent_regions.dedup();
+    let mut site_ids: HashMap<RegionId, u32> = HashMap::new();
+    let mut next_site = 0u32;
+    for &r in &concurrent_regions {
+        let root = find(&mut parent, r);
+        let site = *site_ids.entry(root).or_insert_with(|| {
+            let s = next_site;
+            next_site += 1;
+            s
+        });
+        out.sites.push((r, site));
+    }
+    out.suspects.sort_unstable();
+    out.suspects.dedup();
+    out
+}
+
+/// The body-entry block of a conditional region (then-edge of its begin
+/// directive block). Used by the instrumentation pass.
+pub fn region_body_entry(f: &FuncIr, r: RegionId) -> Option<BlockId> {
+    let begin = f.region_begin_block(r)?;
+    match &f.block(begin).term {
+        Terminator::Branch { then_bb, .. } => Some(*then_bb),
+        // Unconditional regions (parallel/critical/workshare) enter
+        // directly.
+        Terminator::Goto(t) => Some(*t),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pw::{compute_pw, InitialContext};
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::dom::DomTree;
+    use parcoach_ir::lower::lower_program;
+
+    fn run(src: &str) -> ConcurrencyResult {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let dom = DomTree::compute(f);
+        let loops = LoopInfo::compute(f, &dom);
+        check_concurrency(f, &pw, &loops)
+    }
+
+    #[test]
+    fn nowait_singles_are_concurrent() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    single nowait { MPI_Barrier(); }
+                    single { MPI_Allreduce(1, SUM); }
+                }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::ConcurrentCollectives);
+        assert_eq!(r.suspects.len(), 2);
+        // Both regions share one cluster site.
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.sites[0].1, r.sites[1].1);
+    }
+
+    #[test]
+    fn barrier_separated_singles_are_ordered() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    single { MPI_Barrier(); }
+                    single { MPI_Allreduce(1, SUM); }
+                }
+            }",
+        );
+        assert!(
+            r.warnings.is_empty(),
+            "implicit barrier orders the singles: {:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn explicit_barrier_after_nowait_orders() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    single nowait { MPI_Barrier(); }
+                    barrier;
+                    single { MPI_Allreduce(1, SUM); }
+                }
+            }",
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn sections_with_collectives_concurrent() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    sections {
+                        section { MPI_Barrier(); }
+                        section { MPI_Allreduce(1, SUM); }
+                    }
+                }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1);
+        assert_eq!(r.warnings[0].kind, WarningKind::ConcurrentCollectives);
+    }
+
+    #[test]
+    fn single_and_master_concurrent() {
+        // master has no implicit barrier; a nowait single before it can
+        // overlap.
+        let r = run(
+            "fn main() {
+                parallel {
+                    single nowait { MPI_Barrier(); }
+                    master { MPI_Barrier(); }
+                }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn same_region_not_self_pair() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    single { MPI_Barrier(); MPI_Allreduce(1, SUM); }
+                }
+            }",
+        );
+        assert!(
+            r.warnings.is_empty(),
+            "collectives in the same region are ordered: {:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn nowait_single_in_loop_self_concurrent() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    for (i in 0..10) {
+                        single nowait { MPI_Allreduce(1, SUM); }
+                    }
+                }
+            }",
+        );
+        assert!(
+            r.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::SelfConcurrentRegion),
+            "{:?}",
+            r.warnings
+        );
+        assert!(!r.sites.is_empty());
+    }
+
+    #[test]
+    fn single_with_barrier_in_loop_not_self_concurrent() {
+        let r = run(
+            "fn main() {
+                parallel {
+                    for (i in 0..10) {
+                        single { MPI_Allreduce(1, SUM); }
+                    }
+                }
+            }",
+        );
+        assert!(
+            !r.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::SelfConcurrentRegion),
+            "implicit barrier separates iterations: {:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn different_parallel_regions_not_concurrent() {
+        // Two singles in two *successive* parallel regions: the join
+        // between regions orders them.
+        let r = run(
+            "fn main() {
+                parallel { single nowait { MPI_Barrier(); } }
+                parallel { single nowait { MPI_Allreduce(1, SUM); } }
+            }",
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn deep_nesting_concurrent_with_sibling() {
+        // single S1 { parallel { single S3 { coll } } } vs sibling nowait
+        // single S2 { coll }: words P0·S1·P2·S3 vs P0·S2 → concurrent.
+        let r = run(
+            "fn main() {
+                parallel {
+                    single nowait {
+                        parallel {
+                            single { MPI_Barrier(); }
+                        }
+                    }
+                    single { MPI_Allreduce(1, SUM); }
+                }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+    }
+}

@@ -1,0 +1,321 @@
+//! Interprocedural call-context analysis.
+//!
+//! The paper treats the word prefix at function entry as "unknown at
+//! compile-time" and lets the programmer pick an initial level. We go one
+//! step further (the original PARCOACH does the same interprocedurally):
+//! the initial context of each function is derived from the parallelism
+//! words at its call sites, joined over all callers, with `main` fixed at
+//! [`InitialContext::Sequential`]. The fixpoint is a simple ascending
+//! iteration over the (finite, 3-point) context lattice.
+//!
+//! This module also computes which functions may (transitively) execute
+//! MPI collectives — calls to those functions act as *collective events*
+//! in the matching phase, and their call sites from multithreaded
+//! contexts are reported.
+
+use crate::lang::{classify, MonoVerdict};
+use crate::pw::{compute_pw, InitialContext, PwResult};
+use parcoach_front::span::Span;
+use parcoach_ir::func::Module;
+use parcoach_ir::instr::Instr;
+use std::collections::HashMap;
+
+/// Per-module interprocedural facts.
+#[derive(Debug, Clone)]
+pub struct CallContexts {
+    /// Initial context per function name.
+    pub initial: HashMap<String, InitialContext>,
+    /// Functions that may (transitively) execute an MPI collective.
+    pub collective_bearing: HashMap<String, bool>,
+    /// Call sites of collective-bearing functions found in multithreaded
+    /// contexts: (caller, callee, call span).
+    pub multithreaded_calls: Vec<(String, String, Span)>,
+    /// Parallelism words per function, computed under the final contexts
+    /// (reused by the analysis phases — computing pw is the costliest
+    /// part of the pipeline).
+    pub pw: HashMap<String, PwResult>,
+}
+
+impl CallContexts {
+    /// The initial context for `func` (Sequential when unknown).
+    pub fn context_of(&self, func: &str) -> InitialContext {
+        self.initial.get(func).copied().unwrap_or_default()
+    }
+
+    /// The cached parallelism-word result for `func`.
+    pub fn pw_of(&self, func: &str) -> Option<&PwResult> {
+        self.pw.get(func)
+    }
+
+    /// Does `func` (transitively) execute collectives?
+    pub fn bears_collectives(&self, func: &str) -> bool {
+        self.collective_bearing.get(func).copied().unwrap_or(false)
+    }
+}
+
+/// Compute call contexts and collective-bearing facts for a module.
+///
+/// `entry_context` is the context `main` is assumed to start in
+/// (normally [`InitialContext::Sequential`]; the paper's "initial level"
+/// option).
+pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContexts {
+    // --- collective-bearing: own collectives, then propagate up the call
+    // graph to a fixpoint.
+    let mut bearing: HashMap<String, bool> = m
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), !f.collective_blocks().is_empty()))
+        .collect();
+    let callees: HashMap<String, Vec<String>> = m
+        .funcs
+        .iter()
+        .map(|f| {
+            let mut cs = Vec::new();
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    if let Instr::Call { func, .. } = i {
+                        cs.push(func.clone());
+                    }
+                }
+            }
+            (f.name.clone(), cs)
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in &m.funcs {
+            if bearing[&f.name] {
+                continue;
+            }
+            let has = callees[&f.name]
+                .iter()
+                .any(|c| bearing.get(c).copied().unwrap_or(false));
+            if has {
+                bearing.insert(f.name.clone(), true);
+                changed = true;
+            }
+        }
+    }
+
+    // --- initial contexts: ascending fixpoint from main.
+    let mut initial: HashMap<String, InitialContext> = m
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), InitialContext::Sequential))
+        .collect();
+    if initial.contains_key("main") {
+        initial.insert("main".into(), entry_context);
+    }
+    // Iterate: recompute each function's pw under its current context and
+    // push call-site contexts into callees. The lattice has height 3 and
+    // the call graph is finite, so this terminates quickly. The pw result
+    // is cached per (function, context): only functions whose context was
+    // raised since the last round pay for recomputation.
+    let mut multithreaded_calls: Vec<(String, String, Span)> = Vec::new();
+    let mut pw_cache: HashMap<String, (InitialContext, PwResult)> = HashMap::new();
+    for _round in 0..(3 * m.funcs.len().max(1)) {
+        let mut any = false;
+        multithreaded_calls.clear();
+        for f in &m.funcs {
+            let ctx = initial[&f.name];
+            let cached = pw_cache
+                .get(&f.name)
+                .filter(|(c, _)| *c == ctx)
+                .is_some();
+            if !cached {
+                pw_cache.insert(f.name.clone(), (ctx, compute_pw(f, ctx)));
+            }
+            let pw = &pw_cache[&f.name].1;
+            for (bid, b) in f.iter_blocks() {
+                let call_sites: Vec<(&String, Span)> = b
+                    .instrs
+                    .iter()
+                    .filter_map(|i| match i {
+                        Instr::Call { func, span, .. } => Some((func, *span)),
+                        _ => None,
+                    })
+                    .collect();
+                if call_sites.is_empty() {
+                    continue;
+                }
+                let site_ctx = site_context(pw, bid.index());
+                for (callee, span) in call_sites {
+                    if !initial.contains_key(callee) {
+                        continue;
+                    }
+                    let joined = initial[callee].join(site_ctx);
+                    if joined != initial[callee] {
+                        initial.insert(callee.clone(), joined);
+                        any = true;
+                    }
+                    if site_ctx == InitialContext::Parallel
+                        && bearing.get(callee).copied().unwrap_or(false)
+                    {
+                        multithreaded_calls.push((f.name.clone(), callee.clone(), span));
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    // Ensure the cache reflects the *final* contexts.
+    for f in &m.funcs {
+        let ctx = initial[&f.name];
+        let stale = pw_cache
+            .get(&f.name)
+            .map(|(c, _)| *c != ctx)
+            .unwrap_or(true);
+        if stale {
+            pw_cache.insert(f.name.clone(), (ctx, compute_pw(f, ctx)));
+        }
+    }
+
+    CallContexts {
+        initial,
+        collective_bearing: bearing,
+        multithreaded_calls,
+        pw: pw_cache.into_iter().map(|(k, (_c, pw))| (k, pw)).collect(),
+    }
+}
+
+/// Map the pw state at a call-site block to the callee's entry context.
+fn site_context(pw: &PwResult, block_index: usize) -> InitialContext {
+    match pw.entry.get(block_index).and_then(|s| s.as_ref()) {
+        None => InitialContext::Sequential, // unreachable call site
+        Some(state) => match state.word() {
+            None => InitialContext::Parallel, // conflict: be conservative
+            Some(w) => match classify(w).verdict {
+                MonoVerdict::SequentialContext => InitialContext::Sequential,
+                MonoVerdict::MonoThreaded => InitialContext::ParallelSingle,
+                MonoVerdict::MultiThreaded | MonoVerdict::NestedParallelism => {
+                    InitialContext::Parallel
+                }
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+
+    fn lower(src: &str) -> Module {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        lower_program(&unit.program, &unit.signatures)
+    }
+
+    #[test]
+    fn own_collectives_detected() {
+        let m = lower(
+            "fn a() { MPI_Barrier(); }
+             fn b() { }
+             fn main() { a(); b(); }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert!(ctx.bears_collectives("a"));
+        assert!(!ctx.bears_collectives("b"));
+        assert!(ctx.bears_collectives("main")); // transitively via a
+    }
+
+    #[test]
+    fn transitive_collectives() {
+        let m = lower(
+            "fn leaf() { MPI_Barrier(); }
+             fn mid() { leaf(); }
+             fn main() { mid(); }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert!(ctx.bears_collectives("mid"));
+        assert!(ctx.bears_collectives("main"));
+    }
+
+    #[test]
+    fn context_propagates_to_callee_in_parallel() {
+        let m = lower(
+            "fn work() { let x = 1; }
+             fn main() { parallel { work(); } }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert_eq!(ctx.context_of("work"), InitialContext::Parallel);
+        assert_eq!(ctx.context_of("main"), InitialContext::Sequential);
+    }
+
+    #[test]
+    fn context_propagates_single() {
+        let m = lower(
+            "fn work() { let x = 1; }
+             fn main() { parallel { single { work(); } } }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert_eq!(ctx.context_of("work"), InitialContext::ParallelSingle);
+    }
+
+    #[test]
+    fn context_joins_worst_case() {
+        let m = lower(
+            "fn work() { let x = 1; }
+             fn main() {
+                work();
+                parallel { single { work(); } }
+                parallel { work(); }
+             }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert_eq!(ctx.context_of("work"), InitialContext::Parallel);
+    }
+
+    #[test]
+    fn multithreaded_call_to_collective_fn_reported() {
+        let m = lower(
+            "fn exchange() { MPI_Barrier(); }
+             fn main() { parallel { exchange(); } }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert_eq!(ctx.multithreaded_calls.len(), 1);
+        assert_eq!(ctx.multithreaded_calls[0].1, "exchange");
+    }
+
+    #[test]
+    fn call_chain_two_levels_deep_in_parallel() {
+        let m = lower(
+            "fn leaf() { MPI_Barrier(); }
+             fn mid() { leaf(); }
+             fn main() { parallel { mid(); } }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        // mid inherits Parallel; leaf called from mid's Parallel context
+        // (call at mid's top level, i.e. the P prefix) also Parallel.
+        assert_eq!(ctx.context_of("mid"), InitialContext::Parallel);
+        assert_eq!(ctx.context_of("leaf"), InitialContext::Parallel);
+        assert!(
+            ctx.multithreaded_calls.len() >= 2,
+            "both call edges are multithreaded: {:?}",
+            ctx.multithreaded_calls
+        );
+    }
+
+    #[test]
+    fn sequential_call_not_reported() {
+        let m = lower(
+            "fn exchange() { MPI_Barrier(); }
+             fn main() { exchange(); }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert!(ctx.multithreaded_calls.is_empty());
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let m = lower(
+            "fn rec(n: int) { if (n > 0) { rec(n - 1); } }
+             fn main() { parallel { rec(3); } }",
+        );
+        let ctx = compute_contexts(&m, InitialContext::Sequential);
+        assert_eq!(ctx.context_of("rec"), InitialContext::Parallel);
+    }
+}

@@ -1,0 +1,320 @@
+//! Static instrumentation for execution-time verification (paper §3).
+//!
+//! Inserts the dynamic checks the static phase asked for:
+//!
+//! * `CC` (collective check) **before each suspect MPI collective** and
+//!   **before `return` statements** of functions containing suspect
+//!   collectives — the color all-reduce of PARCOACH's Algorithm 3;
+//! * a **monothread assertion** before collectives whose context could
+//!   not be proven (`S_ipw`);
+//! * **concurrency counters** around possibly-concurrent monothreaded
+//!   regions (`S_cc`).
+//!
+//! "The cost of the runtime checks is limited by a selective
+//! instrumentation, avoiding unnecessary checks": functions with no
+//! warnings receive no checks at all in [`InstrumentMode::Selective`].
+//! [`InstrumentMode::Full`] instruments every collective and every
+//! return of every collective-bearing function — the naive baseline the
+//! ablation experiment (E5) compares against.
+
+use crate::report::StaticReport;
+use parcoach_ir::func::{FuncIr, Module};
+use parcoach_ir::instr::{CheckOp, Instr, Terminator};
+use parcoach_ir::types::{BlockId, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// How aggressively to instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InstrumentMode {
+    /// Only what the static analysis demanded (the paper's approach).
+    #[default]
+    Selective,
+    /// Every collective and return in collective-bearing functions (the
+    /// no-static-analysis baseline).
+    Full,
+}
+
+/// Counters describing what was inserted (ablation metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentStats {
+    /// `CC` calls guarding collectives.
+    pub cc_collective: usize,
+    /// `CC` calls at returns.
+    pub cc_return: usize,
+    /// Monothread assertions.
+    pub monothread_asserts: usize,
+    /// Concurrency counter enter/exit pairs.
+    pub concurrency_sites: usize,
+}
+
+impl InstrumentStats {
+    /// Total inserted checks.
+    pub fn total(&self) -> usize {
+        self.cc_collective + self.cc_return + self.monothread_asserts + self.concurrency_sites
+    }
+}
+
+/// Instrument a module according to the static report. Returns the
+/// transformed module and insertion statistics.
+///
+/// The input module is cloned; the original stays pristine (the compile-
+/// time benchmark measures exactly this pass).
+pub fn instrument_module(
+    m: &Module,
+    report: &StaticReport,
+    mode: InstrumentMode,
+) -> (Module, InstrumentStats) {
+    let mut out = m.clone();
+    let mut stats = InstrumentStats::default();
+
+    // Index the plan per function. (`suspect_collectives` is carried in
+    // the plan for reporting; CC coverage is function-granular via
+    // `cc_functions`, which the pipeline derives from the suspects.)
+    let mut mono_checks: HashMap<&str, HashSet<BlockId>> = HashMap::new();
+    for (f, b) in &report.plan.monothread_checks {
+        mono_checks.entry(f).or_default().insert(*b);
+    }
+    let mut conc_sites: HashMap<&str, Vec<(u32, u32)>> = HashMap::new();
+    for (f, region, site) in &report.plan.concurrency_sites {
+        conc_sites.entry(f).or_default().push((*region, *site));
+    }
+    let cc_funcs: HashSet<&str> = report.plan.cc_functions.iter().map(|s| s.as_str()).collect();
+
+    for func in &mut out.funcs {
+        let name = func.name.clone();
+        let full = mode == InstrumentMode::Full && func.has_mpi();
+        let cc_here = full || cc_funcs.contains(name.as_str());
+        let mono_blocks = mono_checks.get(name.as_str()).cloned().unwrap_or_default();
+
+        instrument_collectives(func, cc_here, &mono_blocks, &mut stats);
+
+        if cc_here {
+            instrument_returns(func, &mut stats);
+        }
+
+        if let Some(sites) = conc_sites.get(name.as_str()) {
+            for &(region, site) in sites {
+                if instrument_region_counter(func, RegionId(region), site) {
+                    stats.concurrency_sites += 1;
+                }
+            }
+        }
+    }
+
+    (out, stats)
+}
+
+/// Insert `CC` + monothread asserts before collectives.
+fn instrument_collectives(
+    func: &mut FuncIr,
+    cc_here: bool,
+    mono_blocks: &HashSet<BlockId>,
+    stats: &mut InstrumentStats,
+) {
+    for bidx in 0..func.blocks.len() {
+        let bid = BlockId(bidx as u32);
+        // When a function is CC-instrumented, *every* collective in it
+        // gets a CC — a mismatch can pair any two collectives across
+        // processes, so partial coverage would miss errors. Suspect
+        // blocks additionally get the monothread assert.
+        let needs_cc = cc_here;
+        let block = &mut func.blocks[bidx];
+        let mut i = 0;
+        while i < block.instrs.len() {
+            let (kind, span) = match &block.instrs[i] {
+                Instr::Mpi { op, span, .. } => match op.collective_kind() {
+                    Some(k) => (k, *span),
+                    None => {
+                        i += 1;
+                        continue;
+                    }
+                },
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut inserted = 0;
+            if mono_blocks.contains(&bid) {
+                block.instrs.insert(
+                    i,
+                    Instr::Check(CheckOp::AssertMonothread { kind, span }),
+                );
+                stats.monothread_asserts += 1;
+                inserted += 1;
+            }
+            if needs_cc {
+                block.instrs.insert(
+                    i,
+                    Instr::Check(CheckOp::CollectiveCc {
+                        color: kind.color(),
+                        kind,
+                        span,
+                    }),
+                );
+                stats.cc_collective += 1;
+                inserted += 1;
+            }
+            i += inserted + 1;
+        }
+    }
+}
+
+/// Append a `ReturnCc` check at the end of every returning block.
+fn instrument_returns(func: &mut FuncIr, stats: &mut InstrumentStats) {
+    for block in &mut func.blocks {
+        if let Terminator::Return { span, .. } = block.term {
+            block.instrs.push(Instr::Check(CheckOp::ReturnCc { span }));
+            stats.cc_return += 1;
+        }
+    }
+}
+
+/// Place `ConcEnter` at the region's body entry and `ConcExit` in its end
+/// directive block. Returns false when the region cannot be resolved.
+fn instrument_region_counter(func: &mut FuncIr, region: RegionId, site: u32) -> bool {
+    let Some(body_entry) = crate::concurrency::region_body_entry(func, region) else {
+        return false;
+    };
+    // Locate the end-directive block of the region.
+    let end_block = func.iter_blocks().find_map(|(id, b)| {
+        b.directive()
+            .filter(|d| d.closes_region() && d.region() == Some(region))
+            .map(|_| id)
+    });
+    let Some(end_block) = end_block else {
+        return false;
+    };
+    let span = func.block(body_entry).span;
+    func.block_mut(body_entry)
+        .instrs
+        .insert(0, Instr::Check(CheckOp::ConcEnter { site, span }));
+    func.block_mut(end_block)
+        .instrs
+        .push(Instr::Check(CheckOp::ConcExit { site }));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_module, AnalysisOptions};
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+    use parcoach_ir::verify::verify_module;
+
+    fn pipeline(src: &str, mode: InstrumentMode) -> (Module, InstrumentStats) {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let report = analyze_module(&m, &AnalysisOptions::default());
+        let (instr, stats) = instrument_module(&m, &report, mode);
+        let errs = verify_module(&instr);
+        assert!(errs.is_empty(), "instrumented module must verify: {errs:?}");
+        (instr, stats)
+    }
+
+    #[test]
+    fn clean_program_gets_no_checks() {
+        let (_m, stats) = pipeline(
+            "fn main() { MPI_Init(); MPI_Barrier(); MPI_Finalize(); }",
+            InstrumentMode::Selective,
+        );
+        assert_eq!(stats.total(), 0, "selective instrumentation on a clean program");
+    }
+
+    #[test]
+    fn full_mode_instruments_clean_program() {
+        let (_m, stats) = pipeline(
+            "fn main() { MPI_Init(); MPI_Barrier(); MPI_Finalize(); }",
+            InstrumentMode::Full,
+        );
+        assert_eq!(stats.cc_collective, 1);
+        assert_eq!(stats.cc_return, 1);
+    }
+
+    #[test]
+    fn rank_dependent_barrier_gets_cc_and_return_cc() {
+        let (m, stats) = pipeline(
+            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
+            InstrumentMode::Selective,
+        );
+        assert_eq!(stats.cc_collective, 1);
+        assert_eq!(stats.cc_return, 1);
+        let f = m.main().unwrap();
+        let has_cc = f.blocks.iter().any(|b| {
+            b.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Check(CheckOp::CollectiveCc { .. })))
+        });
+        assert!(has_cc);
+    }
+
+    #[test]
+    fn multithreaded_collective_gets_assert() {
+        let (_m, stats) = pipeline(
+            "fn main() { parallel { MPI_Barrier(); } }",
+            InstrumentMode::Selective,
+        );
+        assert!(stats.monothread_asserts >= 1);
+        assert!(stats.cc_collective >= 1);
+    }
+
+    #[test]
+    fn concurrent_singles_get_counters() {
+        let (m, stats) = pipeline(
+            "fn main() {
+                parallel {
+                    single nowait { MPI_Barrier(); }
+                    single { MPI_Allreduce(1, SUM); }
+                }
+            }",
+            InstrumentMode::Selective,
+        );
+        assert_eq!(stats.concurrency_sites, 2);
+        let f = m.main().unwrap();
+        let enters = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Check(CheckOp::ConcEnter { .. })))
+            .count();
+        let exits = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Check(CheckOp::ConcExit { .. })))
+            .count();
+        assert_eq!(enters, 2);
+        assert_eq!(exits, 2);
+    }
+
+    #[test]
+    fn selective_beats_full_on_mixed_program() {
+        let src = "
+            fn clean() { MPI_Barrier(); }
+            fn dirty() { if (rank() == 0) { MPI_Barrier(); } }
+            fn main() { clean(); dirty(); }
+        ";
+        let (_s, sel) = pipeline(src, InstrumentMode::Selective);
+        let (_f, full) = pipeline(src, InstrumentMode::Full);
+        assert!(
+            sel.total() < full.total(),
+            "selective {sel:?} must insert fewer checks than full {full:?}"
+        );
+    }
+
+    #[test]
+    fn original_module_untouched() {
+        let unit = parse_and_check(
+            "t.mh",
+            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
+        )
+        .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let before = m.total_instrs();
+        let report = analyze_module(&m, &AnalysisOptions::default());
+        let _ = instrument_module(&m, &report, InstrumentMode::Selective);
+        assert_eq!(m.total_instrs(), before);
+    }
+}

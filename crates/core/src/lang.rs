@@ -1,0 +1,256 @@
+//! The accepted language `L = (S | P B* S)*` and the monothread-context
+//! classification (paper §2).
+//!
+//! "Checking that a collective is executed in a monothreaded region boils
+//! down to check the parallelism word of its node": the word must end
+//! with an `S` (ignoring `B`s), and no two `P` may appear without an `S`
+//! in between (nested parallelism: one thread *per team* would execute,
+//! i.e. several threads overall).
+
+use crate::word::{SKind, Token, Word};
+use parcoach_front::ast::ThreadLevel;
+use serde::{Deserialize, Serialize};
+
+/// Verdict of the monothread-context check for one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonoVerdict {
+    /// `pw ∈ L` and the word is empty: the node runs outside any
+    /// parallel construct (the initial thread).
+    SequentialContext,
+    /// `pw ∈ L`, non-empty: monothreaded inside parallel region(s).
+    MonoThreaded,
+    /// `pw ∉ L` because the word does not end in `S`: all threads of the
+    /// innermost team may execute the node.
+    MultiThreaded,
+    /// `pw ∉ L` because of `P…P` with no `S` in between: nested
+    /// parallelism — even an `S` suffix leaves one executor *per team*.
+    NestedParallelism,
+}
+
+impl MonoVerdict {
+    /// Is the node provably executed by at most one thread?
+    pub fn is_monothreaded(self) -> bool {
+        matches!(
+            self,
+            MonoVerdict::SequentialContext | MonoVerdict::MonoThreaded
+        )
+    }
+}
+
+/// Result of classifying one parallelism word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextClass {
+    /// The membership verdict.
+    pub verdict: MonoVerdict,
+    /// The minimum MPI thread level under which an MPI call at this node
+    /// is legal.
+    pub required_level: ThreadLevel,
+}
+
+/// Classify a parallelism word.
+///
+/// Membership in `L = (S|PB*S)*` is checked on the `B`-stripped word: it
+/// holds iff every `P` token is immediately followed by an `S` token.
+/// The required level is derived as:
+///
+/// * empty word → `MPI_THREAD_SINGLE` (no threading at this node);
+/// * ∈ `L`, every `P` guarded by a `master` chain → `MPI_THREAD_FUNNELED`
+///   (the executing thread *is* the initial thread);
+/// * ∈ `L` otherwise → `MPI_THREAD_SERIALIZED` (exactly one thread, but
+///   an arbitrary one);
+/// * ∉ `L` → `MPI_THREAD_MULTIPLE` (several threads may call MPI
+///   concurrently — and the collective itself is a bug the analysis
+///   reports unless exactly one thread can be proven).
+pub fn classify(word: &Word) -> ContextClass {
+    let stripped = word.stripped();
+    if stripped.is_empty() {
+        return ContextClass {
+            verdict: MonoVerdict::SequentialContext,
+            required_level: ThreadLevel::Single,
+        };
+    }
+    // Membership scan: after the scan, `pending_p` means a trailing `P`.
+    let mut nested = false;
+    let mut pending_p = false;
+    for t in &stripped {
+        match t {
+            Token::P(_) => {
+                if pending_p {
+                    nested = true; // P…P without S in between
+                }
+                pending_p = true;
+            }
+            Token::S(..) => {
+                pending_p = false;
+            }
+            Token::B => unreachable!("stripped word has no B"),
+        }
+    }
+    if nested {
+        return ContextClass {
+            verdict: MonoVerdict::NestedParallelism,
+            required_level: ThreadLevel::Multiple,
+        };
+    }
+    if pending_p {
+        return ContextClass {
+            verdict: MonoVerdict::MultiThreaded,
+            required_level: ThreadLevel::Multiple,
+        };
+    }
+    // ∈ L. Funneled iff every P is immediately followed by a Master S —
+    // then the single executor is the master of every team on the chain,
+    // i.e. the initial thread.
+    let mut funneled = true;
+    let mut i = 0;
+    while i < stripped.len() {
+        if let Token::P(_) = stripped[i] {
+            match stripped.get(i + 1) {
+                Some(Token::S(_, SKind::Master)) => {}
+                _ => funneled = false,
+            }
+        }
+        i += 1;
+    }
+    ContextClass {
+        verdict: MonoVerdict::MonoThreaded,
+        required_level: if funneled {
+            ThreadLevel::Funneled
+        } else {
+            ThreadLevel::Serialized
+        },
+    }
+}
+
+/// Reference implementation of `L`-membership by explicit regular-
+/// expression derivative over the full (unstripped) word — used by the
+/// property tests to cross-check [`classify`].
+///
+/// `L = (S | P B* S)*`, with the reading that stray `B`s outside a
+/// `P…S` bracket are ignored (the paper: "Bs are ignored as barriers do
+/// not influence the level of thread parallelism").
+pub fn in_language_reference(word: &Word) -> bool {
+    // State machine: 0 = between groups (accepting), 1 = after P,
+    // awaiting B* then S.
+    let mut state = 0u8;
+    for t in word.tokens() {
+        state = match (state, t) {
+            (0, Token::S(..)) => 0,
+            (0, Token::P(_)) => 1,
+            (0, Token::B) => 0, // ignored outside groups
+            (1, Token::B) => 1,
+            (1, Token::S(..)) => 0,
+            (1, Token::P(_)) => return false, // nested parallelism
+            _ => unreachable!(),
+        };
+    }
+    state == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcoach_ir::types::RegionId;
+
+    fn p(i: u32) -> Token {
+        Token::P(RegionId(i))
+    }
+    fn s(i: u32) -> Token {
+        Token::S(RegionId(i), SKind::Single)
+    }
+    fn m(i: u32) -> Token {
+        Token::S(RegionId(i), SKind::Master)
+    }
+    fn b() -> Token {
+        Token::B
+    }
+
+    #[test]
+    fn empty_word_is_sequential() {
+        let c = classify(&Word::empty());
+        assert_eq!(c.verdict, MonoVerdict::SequentialContext);
+        assert_eq!(c.required_level, ThreadLevel::Single);
+    }
+
+    #[test]
+    fn p_then_s_is_mono_serialized() {
+        let c = classify(&Word(vec![p(0), s(1)]));
+        assert_eq!(c.verdict, MonoVerdict::MonoThreaded);
+        assert_eq!(c.required_level, ThreadLevel::Serialized);
+    }
+
+    #[test]
+    fn p_then_master_is_funneled() {
+        let c = classify(&Word(vec![p(0), m(1)]));
+        assert_eq!(c.verdict, MonoVerdict::MonoThreaded);
+        assert_eq!(c.required_level, ThreadLevel::Funneled);
+    }
+
+    #[test]
+    fn barriers_are_transparent() {
+        let c = classify(&Word(vec![p(0), b(), b(), s(1)]));
+        assert_eq!(c.verdict, MonoVerdict::MonoThreaded);
+        // With a barrier but still single: serialized.
+        assert_eq!(c.required_level, ThreadLevel::Serialized);
+    }
+
+    #[test]
+    fn bare_p_is_multithreaded() {
+        let c = classify(&Word(vec![p(0)]));
+        assert_eq!(c.verdict, MonoVerdict::MultiThreaded);
+        assert_eq!(c.required_level, ThreadLevel::Multiple);
+        let c = classify(&Word(vec![p(0), b()]));
+        assert_eq!(c.verdict, MonoVerdict::MultiThreaded);
+    }
+
+    #[test]
+    fn nested_parallelism_detected() {
+        // P P S: even though it ends with S, one thread per team executes.
+        let c = classify(&Word(vec![p(0), p(1), s(2)]));
+        assert_eq!(c.verdict, MonoVerdict::NestedParallelism);
+        assert_eq!(c.required_level, ThreadLevel::Multiple);
+    }
+
+    #[test]
+    fn properly_nested_p_s_p_s_is_mono() {
+        // parallel { single { parallel { single { X } } } }
+        let c = classify(&Word(vec![p(0), s(1), p(2), s(3)]));
+        assert_eq!(c.verdict, MonoVerdict::MonoThreaded);
+        assert_eq!(c.required_level, ThreadLevel::Serialized);
+    }
+
+    #[test]
+    fn master_chain_funneled_master_of_single_not() {
+        // parallel { master { parallel { master { X } } } } → funneled
+        let c = classify(&Word(vec![p(0), m(1), p(2), m(3)]));
+        assert_eq!(c.required_level, ThreadLevel::Funneled);
+        // parallel { single { parallel { master { X } } } } → the inner
+        // master is the master of a team forked by an arbitrary thread:
+        // serialized, not funneled.
+        let c = classify(&Word(vec![p(0), s(1), p(2), m(3)]));
+        assert_eq!(c.required_level, ThreadLevel::Serialized);
+    }
+
+    #[test]
+    fn reference_agrees_on_samples() {
+        let samples: Vec<Word> = vec![
+            Word::empty(),
+            Word(vec![p(0)]),
+            Word(vec![p(0), s(1)]),
+            Word(vec![p(0), b(), s(1)]),
+            Word(vec![p(0), p(1)]),
+            Word(vec![p(0), p(1), s(2)]),
+            Word(vec![s(1)]),
+            Word(vec![b(), s(1)]),
+            Word(vec![p(0), s(1), b(), s(2)]),
+            Word(vec![p(0), s(1), p(2)]),
+        ];
+        for w in samples {
+            assert_eq!(
+                classify(&w).verdict.is_monothreaded(),
+                in_language_reference(&w),
+                "disagreement on {w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # parcoach-core — static/dynamic validation of MPI collectives in
+//! multi-threaded context
+//!
+//! The paper's contribution, reimplemented over the `parcoach-ir` CFG:
+//!
+//! 1. **Monothread contexts** (`mono`): every collective's parallelism
+//!    word ([`word`], [`pw`]) must lie in `L = (S|PB*S)*` ([`lang`]).
+//! 2. **Sequential order** (`concurrency`): no two collective-bearing
+//!    monothreaded regions may run concurrently (`pw = w·S_j·u` vs
+//!    `w·S_k·v`, `j ≠ k`), nor a region with itself across loop
+//!    iterations.
+//! 3. **Inter-process matching** (`matching`): PARCOACH's Algorithm 1 —
+//!    iterated post-dominance frontiers of collective sites find the
+//!    conditionals that can desynchronize processes.
+//!
+//! The phases produce a [`report::StaticReport`] with typed warnings and
+//! an instrumentation plan; [`instrument`] materializes the plan as
+//! in-IR dynamic checks (`CC` color all-reduce, monothread asserts,
+//! concurrency counters) that `parcoach-interp` executes.
+//!
+//! ```
+//! use parcoach_front::parse_and_check;
+//! use parcoach_ir::lower::lower_program;
+//! use parcoach_core::{analyze_module, AnalysisOptions, instrument_module, InstrumentMode};
+//!
+//! let unit = parse_and_check("demo.mh",
+//!     "fn main() { if (rank() == 0) { MPI_Barrier(); } }").unwrap();
+//! let module = lower_program(&unit.program, &unit.signatures);
+//! let report = analyze_module(&module, &AnalysisOptions::default());
+//! assert_eq!(report.warnings.len(), 1); // collective mismatch
+//! let (instrumented, stats) = instrument_module(&module, &report, InstrumentMode::Selective);
+//! assert!(stats.cc_collective > 0);
+//! assert!(parcoach_ir::verify_module(&instrumented).is_empty());
+//! ```
+
+pub mod concurrency;
+pub mod context;
+pub mod instrument;
+pub mod lang;
+pub mod matching;
+pub mod mono;
+pub mod pipeline;
+pub mod pw;
+pub mod report;
+pub mod word;
+
+pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
+pub use lang::{classify, ContextClass, MonoVerdict};
+pub use pipeline::{analyze_module, AnalysisOptions};
+pub use pw::{compute_pw, InitialContext, PwResult};
+pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
+pub use word::{SKind, Token, Word};

@@ -1,0 +1,448 @@
+//! Phase 3 — "all MPI processes execute the same sequence of
+//! collectives" (paper §2, property 3; PARCOACH Algorithm 1).
+//!
+//! For every *collective event* `e` (an MPI collective kind, or a call
+//! to a function that transitively executes collectives), take the set
+//! `S_e` of blocks issuing `e` and compute its **iterated post-dominance
+//! frontier** `PDF+(S_e)`. Every conditional in the frontier can steer
+//! processes into executing different numbers/sequences of `e` — each is
+//! reported as a potential collective mismatch and triggers `CC`
+//! instrumentation.
+//!
+//! **Refinement** (extension, see DESIGN.md): a conditional whose two
+//! arms provably execute the *same* sequence of collective events before
+//! re-joining (acyclic region, unique event sequence per arm) cannot
+//! cause a mismatch; such candidates are dropped, eliminating the
+//! classic `if/else`-balanced false positive. The ablation experiment E5
+//! measures its effect.
+
+use crate::context::CallContexts;
+use crate::report::{StaticWarning, WarningKind};
+use parcoach_front::ast::CollectiveKind;
+use parcoach_front::span::Span;
+use parcoach_ir::dom::PostDomTree;
+use parcoach_ir::func::FuncIr;
+use parcoach_ir::instr::{Instr, Terminator};
+use parcoach_ir::types::BlockId;
+use std::collections::HashMap;
+
+/// A collective event: an MPI collective or a call into a
+/// collective-bearing function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Event {
+    /// Direct MPI collective.
+    Coll(CollectiveKind),
+    /// Call to a function that may execute collectives.
+    Call(String),
+}
+
+impl Event {
+    /// Display name for warnings.
+    pub fn name(&self) -> String {
+        match self {
+            Event::Coll(k) => k.mpi_name().to_string(),
+            Event::Call(f) => format!("call to `{f}`"),
+        }
+    }
+}
+
+/// Phase-3 result for one function.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingResult {
+    /// Warnings found.
+    pub warnings: Vec<StaticWarning>,
+    /// Blocks with collectives that participate in a potential mismatch
+    /// (all blocks of the affected event kinds).
+    pub suspects: Vec<BlockId>,
+    /// Names of called functions involved in mismatch warnings (their
+    /// bodies need `CC` instrumentation too).
+    pub tainted_callees: Vec<String>,
+    /// Candidate conditionals found by PDF+ *before* the sequence
+    /// refinement (ablation metric).
+    pub candidates_before_refinement: usize,
+    /// Candidates confirmed after refinement.
+    pub candidates_confirmed: usize,
+}
+
+/// Options for the matching phase.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchingOptions {
+    /// Apply the balanced-arms sequence refinement.
+    pub refine: bool,
+}
+
+impl Default for MatchingOptions {
+    fn default() -> Self {
+        MatchingOptions { refine: true }
+    }
+}
+
+/// The events issued by one block, in instruction order.
+fn block_events(f: &FuncIr, b: BlockId, ctxs: &CallContexts) -> Vec<(Event, Span)> {
+    f.block(b)
+        .instrs
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Mpi { op, span, .. } => op
+                .collective_kind()
+                .map(|k| (Event::Coll(k), *span)),
+            Instr::Call { func, span, .. } if ctxs.bears_collectives(func) => {
+                Some((Event::Call(func.clone()), *span))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Run Algorithm 1 on one function.
+pub fn check_matching(
+    f: &FuncIr,
+    ctxs: &CallContexts,
+    pdt: &PostDomTree,
+    opts: MatchingOptions,
+) -> MatchingResult {
+    let mut out = MatchingResult::default();
+
+    // Group blocks by event.
+    let mut by_event: HashMap<Event, Vec<(BlockId, Span)>> = HashMap::new();
+    for b in f.block_ids() {
+        for (e, span) in block_events(f, b, ctxs) {
+            by_event.entry(e).or_default().push((b, span));
+        }
+    }
+    if by_event.is_empty() {
+        return out;
+    }
+
+    let mut events: Vec<&Event> = by_event.keys().collect();
+    events.sort();
+
+    for e in events {
+        let sites = &by_event[e];
+        let blocks: Vec<BlockId> = sites.iter().map(|(b, _)| *b).collect();
+        let mut frontier = pdt.iterated_frontier(f, &blocks);
+        // OpenMP dispatch branches (`single`/`master`/`section` entry)
+        // choose *which thread* runs the body, but the body still runs
+        // exactly once per process per encounter — they are not
+        // inter-process divergence points. Real conditionals live in
+        // normal blocks.
+        frontier.retain(|&b| f.block(b).directive().is_none());
+        if frontier.is_empty() {
+            continue;
+        }
+        out.candidates_before_refinement += frontier.len();
+        // Refinement: drop conditionals whose arms issue identical event
+        // sequences up to the re-join point.
+        let confirmed: Vec<BlockId> = frontier
+            .into_iter()
+            .filter(|&cond| !opts.refine || !balanced_arms(f, ctxs, pdt, cond))
+            .collect();
+        out.candidates_confirmed += confirmed.len();
+        if confirmed.is_empty() {
+            continue;
+        }
+        let mut related: Vec<(Span, String)> = confirmed
+            .iter()
+            .map(|&c| {
+                let span = match &f.block(c).term {
+                    Terminator::Branch { span, .. } => *span,
+                    _ => f.block(c).span,
+                };
+                (span, "execution depends on this conditional".to_string())
+            })
+            .collect();
+        for (_, span) in sites.iter().skip(1) {
+            related.push((*span, format!("{} also called here", e.name())));
+        }
+        out.warnings.push(StaticWarning {
+            kind: WarningKind::CollectiveMismatch,
+            func: f.name.clone(),
+            message: format!(
+                "{} may not be executed by all processes (or not the same \
+                 number of times): control-flow divergence at {} point(s)",
+                e.name(),
+                confirmed.len()
+            ),
+            span: sites[0].1,
+            related,
+        });
+        out.suspects.extend(blocks);
+        if let Event::Call(callee) = e {
+            out.tainted_callees.push(callee.clone());
+        }
+    }
+    out.suspects.sort_unstable();
+    out.suspects.dedup();
+    out.tainted_callees.sort_unstable();
+    out.tainted_callees.dedup();
+    out
+}
+
+/// True when all successors of `cond` provably issue the same sequence
+/// of collective events before reaching `ipdom(cond)`.
+///
+/// The per-arm sequence is computed by a memoized walk that fails (and
+/// keeps the warning) on cycles, on returns before the join, and on any
+/// interior divergence.
+fn balanced_arms(
+    f: &FuncIr,
+    ctxs: &CallContexts,
+    pdt: &PostDomTree,
+    cond: BlockId,
+) -> bool {
+    let Some(join) = pdt.ipdom(cond) else {
+        // No post-dominator inside the function (e.g. a return on one
+        // arm): cannot be balanced.
+        return false;
+    };
+    let succs = f.block(cond).term.successors();
+    if succs.len() < 2 {
+        return false;
+    }
+    let mut memo: HashMap<BlockId, Option<Vec<Event>>> = HashMap::new();
+    let mut visiting: Vec<BlockId> = Vec::new();
+    let first = arm_sequence(f, ctxs, succs[0], join, &mut memo, &mut visiting);
+    let Some(first) = first else { return false };
+    for &s in &succs[1..] {
+        match arm_sequence(f, ctxs, s, join, &mut memo, &mut visiting) {
+            Some(seq) if seq == first => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The unique event sequence from `n` (inclusive) to `stop` (exclusive),
+/// or `None` when no unique sequence exists.
+fn arm_sequence(
+    f: &FuncIr,
+    ctxs: &CallContexts,
+    n: BlockId,
+    stop: BlockId,
+    memo: &mut HashMap<BlockId, Option<Vec<Event>>>,
+    visiting: &mut Vec<BlockId>,
+) -> Option<Vec<Event>> {
+    if n == stop {
+        return Some(Vec::new());
+    }
+    if let Some(cached) = memo.get(&n) {
+        return cached.clone();
+    }
+    if visiting.contains(&n) {
+        return None; // cycle
+    }
+    visiting.push(n);
+    let own: Vec<Event> = block_events(f, n, ctxs).into_iter().map(|(e, _)| e).collect();
+    let succs = f.block(n).term.successors();
+    let result = if succs.is_empty() {
+        None // leaves the function before the join
+    } else {
+        let mut tail: Option<Vec<Event>> = None;
+        let mut ok = true;
+        for &s in &succs {
+            match arm_sequence(f, ctxs, s, stop, memo, visiting) {
+                None => {
+                    ok = false;
+                    break;
+                }
+                Some(seq) => match &tail {
+                    None => tail = Some(seq),
+                    Some(t) if *t == seq => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                },
+            }
+        }
+        if ok {
+            tail.map(|t| {
+                let mut full = own;
+                full.extend(t);
+                full
+            })
+        } else {
+            None
+        }
+    };
+    visiting.pop();
+    memo.insert(n, result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::compute_contexts;
+    use crate::pw::InitialContext;
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+
+    fn run_with(src: &str, refine: bool) -> MatchingResult {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let f = m.main().unwrap();
+        let pdt = PostDomTree::compute(f);
+        check_matching(f, &ctxs, &pdt, MatchingOptions { refine })
+    }
+
+    fn run(src: &str) -> MatchingResult {
+        run_with(src, true)
+    }
+
+    #[test]
+    fn unconditional_collective_clean() {
+        let r = run("fn main() { MPI_Init(); MPI_Barrier(); MPI_Finalize(); }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn rank_dependent_collective_flagged() {
+        let r = run("fn main() { if (rank() == 0) { MPI_Barrier(); } }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::CollectiveMismatch);
+        assert!(!r.suspects.is_empty());
+    }
+
+    #[test]
+    fn balanced_branches_refined_away() {
+        let src = "fn main() {
+            if (rank() == 0) { MPI_Barrier(); } else { MPI_Barrier(); }
+        }";
+        let refined = run(src);
+        assert!(
+            refined.warnings.is_empty(),
+            "balanced arms are not a mismatch: {:?}",
+            refined.warnings
+        );
+        // Without refinement the PDF+ flags it (the ablation measures
+        // exactly this difference).
+        let raw = run_with(src, false);
+        assert_eq!(raw.warnings.len(), 1);
+        assert!(raw.candidates_before_refinement > 0);
+    }
+
+    #[test]
+    fn unbalanced_kinds_not_refined() {
+        // Same count, different kinds → sequences differ → keep warning.
+        let r = run(
+            "fn main() {
+                if (rank() == 0) { MPI_Barrier(); } else { let x = MPI_Allreduce(1, SUM); }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 2, "one per kind: {:?}", r.warnings);
+    }
+
+    #[test]
+    fn collective_in_loop_flagged() {
+        // Iteration count may differ across ranks (bound from rank()).
+        let r = run(
+            "fn main() {
+                let n = rank() + 1;
+                for (i in 0..n) { MPI_Barrier(); }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn uniform_loop_still_flagged_statically() {
+        // The static phase cannot prove bounds are uniform — this is the
+        // classic false positive the dynamic CC resolves (paper §3).
+        let r = run("fn main() { for (i in 0..10) { MPI_Barrier(); } }");
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn early_return_with_collective_after() {
+        let r = run(
+            "fn main() {
+                if (rank() == 0) { return; }
+                MPI_Barrier();
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn call_to_collective_function_is_an_event() {
+        let unit = parse_and_check(
+            "t.mh",
+            "fn exchange() { MPI_Barrier(); }
+             fn main() { if (rank() == 0) { exchange(); } }",
+        )
+        .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let f = m.main().unwrap();
+        let pdt = PostDomTree::compute(f);
+        let r = check_matching(f, &ctxs, &pdt, MatchingOptions::default());
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.tainted_callees, vec!["exchange".to_string()]);
+    }
+
+    #[test]
+    fn balanced_calls_refined_away() {
+        let unit = parse_and_check(
+            "t.mh",
+            "fn exchange() { MPI_Barrier(); }
+             fn main() { if (rank() == 0) { exchange(); } else { exchange(); } }",
+        )
+        .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let f = m.main().unwrap();
+        let pdt = PostDomTree::compute(f);
+        let r = check_matching(f, &ctxs, &pdt, MatchingOptions::default());
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn nested_conditionals_all_reported() {
+        let r = run(
+            "fn main() {
+                if (rank() > 0) {
+                    if (rank() > 1) {
+                        MPI_Barrier();
+                    }
+                }
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1);
+        // Both conditionals appear as related divergence points.
+        let conds = r.warnings[0]
+            .related
+            .iter()
+            .filter(|(_, l)| l.contains("conditional"))
+            .count();
+        assert_eq!(conds, 2, "{:?}", r.warnings[0].related);
+    }
+
+    #[test]
+    fn multiple_kinds_independent() {
+        // Bcast is conditional, Barrier is not.
+        let r = run(
+            "fn main() {
+                if (rank() == 0) { let x = MPI_Bcast(1, 0); }
+                MPI_Barrier();
+            }",
+        );
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].message.contains("MPI_Bcast"));
+    }
+
+    #[test]
+    fn while_loop_with_collective_and_break() {
+        let r = run(
+            "fn main() {
+                let go = true;
+                while (go) {
+                    MPI_Barrier();
+                    if (rank() == 0) { go = false; }
+                }
+            }",
+        );
+        assert!(!r.warnings.is_empty());
+    }
+}

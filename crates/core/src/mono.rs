@@ -1,0 +1,310 @@
+//! Phase 1 — "all MPI collectives are executed in a monothreaded
+//! context" (paper §2, property 1).
+//!
+//! For every collective node, classify its parallelism word against
+//! `L = (S|PB*S)*`. Nodes that fail (or whose word is control-flow
+//! dependent) join the suspect set `S` and get a runtime monothread
+//! check (the paper's `S_ipw` instrumentation); the warning cites the
+//! parallel construct responsible.
+
+use crate::context::CallContexts;
+use crate::lang::{classify, MonoVerdict};
+use crate::pw::{PwResult, SYNTH_BASE};
+use crate::report::{StaticWarning, WarningKind};
+use parcoach_front::ast::ThreadLevel;
+use parcoach_front::span::Span;
+use parcoach_ir::func::FuncIr;
+use parcoach_ir::types::BlockId;
+use crate::word::Token;
+
+/// Phase-1 result for one function.
+#[derive(Debug, Clone, Default)]
+pub struct MonoResult {
+    /// Warnings found.
+    pub warnings: Vec<StaticWarning>,
+    /// Collective blocks in (possibly) multithreaded context — the set
+    /// `S`; these need `CC` + monothread checks.
+    pub suspects: Vec<BlockId>,
+    /// The highest MPI thread level required by any collective of this
+    /// function (None when the function has no collectives).
+    pub required_level: Option<ThreadLevel>,
+}
+
+/// Run phase 1 on one function given its pw result.
+pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoResult {
+    let mut out = MonoResult::default();
+
+    // Structural divergences (barrier in one branch only) are reported
+    // regardless of collectives: they are candidate thread deadlocks.
+    for d in &pw.divergences {
+        out.warnings.push(StaticWarning {
+            kind: WarningKind::BarrierDivergence,
+            func: f.name.clone(),
+            message: format!(
+                "parallel construct / barrier structure differs between paths \
+                 ({} vs {}) — a barrier may be executed by only part of the team",
+                d.left, d.right
+            ),
+            span: d.span,
+            related: Vec::new(),
+        });
+    }
+
+    for bid in f.collective_blocks() {
+        let block = f.block(bid);
+        for (instr, span) in block.collectives() {
+            let kind = instr.collective_kind().expect("collective instr");
+            match pw.entry[bid.index()].as_ref() {
+                None => continue, // unreachable
+                Some(state) => match state.word() {
+                    None => {
+                        // Conflict state: context depends on control flow.
+                        out.warnings.push(StaticWarning {
+                            kind: WarningKind::MultithreadedCollective,
+                            func: f.name.clone(),
+                            message: format!(
+                                "{} is reached with control-flow-dependent thread context; \
+                                 cannot prove monothreaded execution",
+                                kind.mpi_name()
+                            ),
+                            span,
+                            related: Vec::new(),
+                        });
+                        out.suspects.push(bid);
+                        out.bump_level(ThreadLevel::Multiple);
+                    }
+                    Some(w) => {
+                        let class = classify(w);
+                        out.bump_level(class.required_level);
+                        match class.verdict {
+                            MonoVerdict::SequentialContext | MonoVerdict::MonoThreaded => {}
+                            MonoVerdict::MultiThreaded => {
+                                let related = responsible_construct(f, w, ctxs);
+                                out.warnings.push(StaticWarning {
+                                    kind: WarningKind::MultithreadedCollective,
+                                    func: f.name.clone(),
+                                    message: format!(
+                                        "{} may be executed by multiple non-synchronized \
+                                         threads (parallelism word {w}); requires \
+                                         MPI_THREAD_MULTIPLE and a proof that a single \
+                                         thread calls it",
+                                        kind.mpi_name()
+                                    ),
+                                    span,
+                                    related,
+                                });
+                                out.suspects.push(bid);
+                            }
+                            MonoVerdict::NestedParallelism => {
+                                let related = responsible_construct(f, w, ctxs);
+                                out.warnings.push(StaticWarning {
+                                    kind: WarningKind::NestedParallelismCollective,
+                                    func: f.name.clone(),
+                                    message: format!(
+                                        "{} sits under nested parallel regions \
+                                         (parallelism word {w}); one thread per team may \
+                                         execute it",
+                                        kind.mpi_name()
+                                    ),
+                                    span,
+                                    related,
+                                });
+                                out.suspects.push(bid);
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+    out.suspects.dedup();
+    out
+}
+
+impl MonoResult {
+    fn bump_level(&mut self, l: ThreadLevel) {
+        self.required_level = Some(match self.required_level {
+            None => l,
+            Some(cur) => cur.max(l),
+        });
+    }
+}
+
+/// Locate the parallel construct responsible for the multithreaded
+/// context: the innermost `P` token's begin block (or a note that the
+/// context comes from the caller when the token is synthetic).
+fn responsible_construct(
+    f: &FuncIr,
+    w: &crate::word::Word,
+    _ctxs: &CallContexts,
+) -> Vec<(Span, String)> {
+    let mut related = Vec::new();
+    if let Some(Token::P(r)) = w.tokens().iter().rev().find(|t| t.is_p()) {
+        if r.0 >= SYNTH_BASE {
+            related.push((
+                Span::DUMMY,
+                "the multithreaded context comes from a caller of this function".to_string(),
+            ));
+        } else if let Some(begin) = f.region_begin_block(*r) {
+            related.push((
+                f.block(begin).span,
+                "parallel region opened here".to_string(),
+            ));
+        }
+    }
+    related
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::compute_contexts;
+    use crate::pw::{compute_pw, InitialContext};
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+    use parcoach_ir::Module;
+
+    fn run(src: &str) -> (Module, Vec<MonoResult>) {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let results = m
+            .funcs
+            .iter()
+            .map(|f| {
+                let pw = compute_pw(f, ctxs.context_of(&f.name));
+                check_monothread(f, &pw, &ctxs)
+            })
+            .collect();
+        (m, results)
+    }
+
+    fn main_result(src: &str) -> MonoResult {
+        let (m, rs) = run(src);
+        let idx = m.by_name["main"];
+        rs.into_iter().nth(idx).unwrap()
+    }
+
+    #[test]
+    fn sequential_collective_clean() {
+        let r = main_result("fn main() { MPI_Barrier(); }");
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.required_level, Some(ThreadLevel::Single));
+    }
+
+    #[test]
+    fn collective_in_single_clean_serialized() {
+        let r = main_result("fn main() { parallel { single { MPI_Barrier(); } } }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.required_level, Some(ThreadLevel::Serialized));
+    }
+
+    #[test]
+    fn collective_in_master_funneled() {
+        let r = main_result("fn main() { parallel { master { MPI_Barrier(); } } }");
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.required_level, Some(ThreadLevel::Funneled));
+    }
+
+    #[test]
+    fn bare_parallel_collective_flagged() {
+        let r = main_result("fn main() { parallel { MPI_Barrier(); } }");
+        assert_eq!(r.warnings.len(), 1);
+        assert_eq!(r.warnings[0].kind, WarningKind::MultithreadedCollective);
+        assert_eq!(r.suspects.len(), 1);
+        assert_eq!(r.required_level, Some(ThreadLevel::Multiple));
+        // The responsible parallel construct is cited.
+        assert!(!r.warnings[0].related.is_empty());
+    }
+
+    #[test]
+    fn nested_parallelism_flagged_differently() {
+        let r = main_result(
+            "fn main() { parallel { parallel { single { MPI_Barrier(); } } } }",
+        );
+        assert_eq!(r.warnings.len(), 1);
+        assert_eq!(r.warnings[0].kind, WarningKind::NestedParallelismCollective);
+    }
+
+    #[test]
+    fn collective_in_pfor_flagged() {
+        let r = main_result("fn main() { parallel { pfor (i in 0..4) { MPI_Barrier(); } } }");
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::MultithreadedCollective));
+    }
+
+    #[test]
+    fn collective_in_critical_flagged() {
+        // critical serializes but every thread executes: N calls per rank.
+        let r = main_result("fn main() { parallel { critical { MPI_Barrier(); } } }");
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::MultithreadedCollective));
+    }
+
+    #[test]
+    fn divergent_barrier_reported() {
+        let r = main_result(
+            "fn main() { parallel { if (thread_num() == 0) { barrier; } } }",
+        );
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::BarrierDivergence));
+    }
+
+    #[test]
+    fn callee_in_parallel_context_flagged() {
+        let (m, rs) = run(
+            "fn exchange() { MPI_Allreduce(1, SUM); }
+             fn main() { parallel { exchange(); } }",
+        );
+        let idx = m.by_name["exchange"];
+        let r = &rs[idx];
+        assert!(
+            r.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::MultithreadedCollective),
+            "collective in callee called from parallel must be flagged: {:?}",
+            r.warnings
+        );
+        // The related note explains the context comes from the caller.
+        assert!(r.warnings[0]
+            .related
+            .iter()
+            .any(|(_, l)| l.contains("caller")));
+    }
+
+    #[test]
+    fn callee_in_single_context_clean() {
+        let (m, rs) = run(
+            "fn exchange() { MPI_Allreduce(1, SUM); }
+             fn main() { parallel { single { exchange(); } } }",
+        );
+        let idx = m.by_name["exchange"];
+        assert!(rs[idx].warnings.is_empty(), "{:?}", rs[idx].warnings);
+        assert_eq!(rs[idx].required_level, Some(ThreadLevel::Serialized));
+    }
+
+    #[test]
+    fn conflict_context_collective_flagged() {
+        // Barrier divergence upstream makes the collective's context
+        // control-dependent.
+        let r = main_result(
+            "fn main() {
+                parallel {
+                    if (thread_num() == 0) { barrier; }
+                    single { MPI_Barrier(); }
+                }
+            }",
+        );
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::MultithreadedCollective
+                && w.message.contains("control-flow-dependent")));
+    }
+}

@@ -1,0 +1,384 @@
+//! The end-to-end static phase: run all three verification properties
+//! over a module and assemble the warning report + instrumentation plan.
+
+use crate::concurrency::check_concurrency;
+use crate::context::compute_contexts;
+use crate::matching::{check_matching, MatchingOptions};
+use crate::mono::check_monothread;
+use crate::pw::{compute_pw, InitialContext};
+use crate::report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
+use parcoach_front::ast::ThreadLevel;
+use parcoach_ir::dom::{DomTree, PostDomTree};
+use parcoach_ir::func::Module;
+use parcoach_ir::instr::{Instr, MpiIr};
+use parcoach_ir::loops::LoopInfo;
+use std::collections::HashSet;
+
+/// Tuning knobs for the static phase.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Context `main` starts in (the paper's "initial level" option).
+    pub entry_context: InitialContext,
+    /// Apply the balanced-arms refinement in the matching phase.
+    pub refine_matching: bool,
+    /// Emit `InsufficientThreadLevel` warnings.
+    pub check_thread_level: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            entry_context: InitialContext::Sequential,
+            refine_matching: true,
+            check_thread_level: true,
+        }
+    }
+}
+
+/// Run the complete static analysis over a lowered module.
+pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
+    let mut report = StaticReport::default();
+    let ctxs = compute_contexts(m, opts.entry_context);
+
+    // Interprocedural phase-1 findings: collective-bearing functions
+    // called from multithreaded contexts.
+    for (caller, callee, span) in &ctxs.multithreaded_calls {
+        report.warnings.push(StaticWarning {
+            kind: WarningKind::MultithreadedCall,
+            func: caller.clone(),
+            message: format!(
+                "`{callee}` executes MPI collectives but is called from a \
+                 multithreaded context; every thread of the team will run its \
+                 collectives"
+            ),
+            span: *span,
+            related: Vec::new(),
+        });
+    }
+
+    let mut cc_functions: HashSet<String> = HashSet::new();
+    let mut tainted: Vec<String> = Vec::new();
+    let mut required_level = ThreadLevel::Single;
+
+    for f in &m.funcs {
+        let init = ctxs.context_of(&f.name);
+        report.contexts.push((f.name.clone(), init));
+        let pw = match ctxs.pw_of(&f.name) {
+            Some(pw) => pw.clone(),
+            None => compute_pw(f, init),
+        };
+
+        // Phase 1 — monothread contexts.
+        let mono = check_monothread(f, &pw, &ctxs);
+        if let Some(l) = mono.required_level {
+            required_level = required_level.max(l);
+        }
+        for b in &mono.suspects {
+            report.plan.suspect_collectives.push((f.name.clone(), *b));
+            report.plan.monothread_checks.push((f.name.clone(), *b));
+        }
+        if !mono.suspects.is_empty() {
+            cc_functions.insert(f.name.clone());
+        }
+        report.warnings.extend(mono.warnings);
+
+        // Phase 2 — sequential order of collectives.
+        let dom = DomTree::compute(f);
+        let loops = LoopInfo::compute(f, &dom);
+        let conc = check_concurrency(f, &pw, &loops);
+        for b in &conc.suspects {
+            report.plan.suspect_collectives.push((f.name.clone(), *b));
+        }
+        for (region, site) in &conc.sites {
+            report
+                .plan
+                .concurrency_sites
+                .push((f.name.clone(), region.0, *site));
+        }
+        if !conc.suspects.is_empty() {
+            cc_functions.insert(f.name.clone());
+        }
+        report.warnings.extend(conc.warnings);
+
+        // Phase 3 — inter-process matching (Algorithm 1).
+        let pdt = PostDomTree::compute(f);
+        let mat = check_matching(
+            f,
+            &ctxs,
+            &pdt,
+            MatchingOptions {
+                refine: opts.refine_matching,
+            },
+        );
+        for b in &mat.suspects {
+            report.plan.suspect_collectives.push((f.name.clone(), *b));
+        }
+        if !mat.suspects.is_empty() {
+            cc_functions.insert(f.name.clone());
+        }
+        tainted.extend(mat.tainted_callees.iter().cloned());
+        report.pdf_candidates += mat.candidates_before_refinement;
+        report.pdf_confirmed += mat.candidates_confirmed;
+        report.warnings.extend(mat.warnings);
+    }
+
+    // Functions called under divergent conditions need CC inside their
+    // bodies too — a mismatch pairs *their* collectives across processes.
+    // Propagate down the call graph.
+    let mut work = tainted;
+    while let Some(fname) = work.pop() {
+        if !cc_functions.insert(fname.clone()) {
+            continue;
+        }
+        if let Some(f) = m.func(&fname) {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    if let Instr::Call { func: callee, .. } = i {
+                        if ctxs.bears_collectives(callee) && !cc_functions.contains(callee) {
+                            work.push(callee.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.plan.cc_functions = cc_functions.into_iter().collect();
+    report.plan.cc_functions.sort_unstable();
+
+    // Renumber concurrency sites globally (per-function numbering would
+    // collide at run time).
+    renumber_sites(&mut report.plan);
+
+    // Thread-level adequacy.
+    report.required_level = required_level;
+    report.requested_level = requested_level(m);
+    if opts.check_thread_level {
+        if let Some(req) = report.requested_level {
+            if required_level > req {
+                let span = init_span(m).unwrap_or(parcoach_front::span::Span::DUMMY);
+                report.warnings.push(StaticWarning {
+                    kind: WarningKind::InsufficientThreadLevel,
+                    func: "main".into(),
+                    message: format!(
+                        "program requests {} but its MPI calls require at least {}",
+                        req, required_level
+                    ),
+                    span,
+                    related: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Deterministic ordering for stable output.
+    report
+        .plan
+        .suspect_collectives
+        .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    report.plan.suspect_collectives.dedup();
+    report
+        .plan
+        .monothread_checks
+        .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    report.plan.monothread_checks.dedup();
+    report
+}
+
+/// Make concurrency site ids unique across functions.
+fn renumber_sites(plan: &mut InstrumentationPlan) {
+    use std::collections::HashMap;
+    let mut mapping: HashMap<(String, u32), u32> = HashMap::new();
+    let mut next = 0u32;
+    for (f, _region, site) in plan.concurrency_sites.iter_mut() {
+        let key = (f.clone(), *site);
+        let global = *mapping.entry(key).or_insert_with(|| {
+            let g = next;
+            next += 1;
+            g
+        });
+        *site = global;
+    }
+}
+
+/// The thread level the program requests via `MPI_Init`/`MPI_Init_thread`
+/// (plain `MPI_Init` counts as `SINGLE`).
+fn requested_level(m: &Module) -> Option<ThreadLevel> {
+    let mut best: Option<ThreadLevel> = None;
+    for f in &m.funcs {
+        for b in &f.blocks {
+            for i in &b.instrs {
+                if let Instr::Mpi {
+                    op: MpiIr::Init { required },
+                    ..
+                } = i
+                {
+                    let l = required.unwrap_or(ThreadLevel::Single);
+                    best = Some(best.map_or(l, |cur: ThreadLevel| cur.max(l)));
+                }
+            }
+        }
+    }
+    best
+}
+
+fn init_span(m: &Module) -> Option<parcoach_front::span::Span> {
+    for f in &m.funcs {
+        for b in &f.blocks {
+            for i in &b.instrs {
+                if let Instr::Mpi {
+                    op: MpiIr::Init { .. },
+                    span,
+                    ..
+                } = i
+                {
+                    return Some(*span);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+
+    fn analyze(src: &str) -> StaticReport {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        analyze_module(&m, &AnalysisOptions::default())
+    }
+
+    #[test]
+    fn clean_hybrid_program() {
+        let r = analyze(
+            "fn main() {
+                MPI_Init_thread(SERIALIZED);
+                parallel num_threads(4) {
+                    pfor (i in 0..100) { let x = i * 2; }
+                    single { MPI_Barrier(); }
+                }
+                MPI_Finalize();
+            }",
+        );
+        assert!(r.is_clean(), "{:#?}", r.warnings);
+        assert_eq!(r.required_level, ThreadLevel::Serialized);
+        assert_eq!(r.requested_level, Some(ThreadLevel::Serialized));
+        assert!(r.plan.cc_functions.is_empty());
+    }
+
+    #[test]
+    fn insufficient_thread_level() {
+        let r = analyze(
+            "fn main() {
+                MPI_Init();
+                parallel { single { MPI_Barrier(); } }
+                MPI_Finalize();
+            }",
+        );
+        assert_eq!(r.count(WarningKind::InsufficientThreadLevel), 1);
+    }
+
+    #[test]
+    fn funneled_is_enough_for_master() {
+        let r = analyze(
+            "fn main() {
+                MPI_Init_thread(FUNNELED);
+                parallel { master { MPI_Barrier(); } }
+                MPI_Finalize();
+            }",
+        );
+        assert_eq!(r.count(WarningKind::InsufficientThreadLevel), 0);
+    }
+
+    #[test]
+    fn mismatch_plus_multithreaded_together() {
+        let r = analyze(
+            "fn main() {
+                parallel {
+                    if (thread_num() == 0) {
+                        critical { MPI_Barrier(); }
+                    }
+                }
+            }",
+        );
+        assert!(r.count(WarningKind::MultithreadedCollective) >= 1);
+        assert!(r.count(WarningKind::CollectiveMismatch) >= 1);
+        assert!(!r.plan.cc_functions.is_empty());
+    }
+
+    #[test]
+    fn tainted_callee_gets_cc() {
+        let r = analyze(
+            "fn exchange() { MPI_Barrier(); MPI_Allreduce(1, SUM); }
+             fn main() { if (rank() == 0) { exchange(); } }",
+        );
+        assert!(
+            r.plan.cc_functions.contains(&"exchange".to_string()),
+            "divergently-called function must be CC'd: {:?}",
+            r.plan.cc_functions
+        );
+        assert!(r.plan.cc_functions.contains(&"main".to_string()));
+    }
+
+    #[test]
+    fn taint_propagates_transitively() {
+        let r = analyze(
+            "fn leaf() { MPI_Barrier(); }
+             fn mid() { leaf(); }
+             fn main() { if (rank() == 0) { mid(); } }",
+        );
+        assert!(r.plan.cc_functions.contains(&"mid".to_string()));
+        assert!(r.plan.cc_functions.contains(&"leaf".to_string()));
+    }
+
+    #[test]
+    fn site_ids_globally_unique() {
+        let r = analyze(
+            "fn a() {
+                parallel {
+                    single nowait { MPI_Barrier(); }
+                    single { MPI_Barrier(); }
+                }
+             }
+             fn b() {
+                parallel {
+                    single nowait { MPI_Allreduce(1, SUM); }
+                    single { MPI_Allreduce(1, SUM); }
+                }
+             }
+             fn main() { a(); b(); }",
+        );
+        let mut per_pair: Vec<u32> = r.plan.concurrency_sites.iter().map(|s| s.2).collect();
+        per_pair.sort_unstable();
+        per_pair.dedup();
+        // Two clusters (one per function) → two distinct global site ids.
+        assert_eq!(per_pair.len(), 2, "{:?}", r.plan.concurrency_sites);
+    }
+
+    #[test]
+    fn contexts_recorded_for_all_functions() {
+        let r = analyze(
+            "fn w() { let x = 1; }
+             fn main() { parallel { w(); } }",
+        );
+        assert_eq!(r.contexts.len(), 2);
+    }
+
+    #[test]
+    fn report_renders() {
+        let unit = parse_and_check(
+            "demo.mh",
+            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
+        )
+        .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let r = analyze_module(&m, &AnalysisOptions::default());
+        let text = r.render(&unit.source_map);
+        assert!(text.contains("collective mismatch"), "{text}");
+        assert!(text.contains("demo.mh:"), "{text}");
+        assert!(text.contains("warning(s)"), "{text}");
+    }
+}

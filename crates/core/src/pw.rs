@@ -1,0 +1,558 @@
+//! Per-node parallelism-word computation.
+//!
+//! Forward propagation over the lowered CFG. Because lowering produces
+//! perfectly nested regions, "the control flow has no impact on the
+//! parallelism word" (paper §2) — every join should see the same word
+//! from all incoming edges, with two systematic exceptions handled here:
+//!
+//! * **loop heads**: a barrier inside a loop body extends the word by a
+//!   `B` per iteration. The meet collapses barrier-only extensions back
+//!   to the first-visit word and records the block as *phase-merged*
+//!   (barrier counts beyond this point are iteration-dependent);
+//! * **divergent structure**: a barrier or region in only one branch of
+//!   a conditional. This is a real suspect — whether it deadlocks
+//!   depends on whether the condition is thread-uniform, which the
+//!   static analysis cannot know. The meet degrades to
+//!   [`PwState::Conflict`] and the divergence is reported.
+//!
+//! Tokens are pushed edge-sensitively: `single`/`master`/`section`
+//! entries only push their `S_i` on the branch edge taken by the chosen
+//! thread (the region body); the skip edge keeps the incoming word.
+
+use crate::word::{SKind, Token, Word};
+use parcoach_front::span::Span;
+use parcoach_ir::func::FuncIr;
+use parcoach_ir::instr::{Directive, Terminator};
+use parcoach_ir::types::{BlockId, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The word state of a block entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PwState {
+    /// A definite word.
+    Word(Word),
+    /// Incompatible words met — structure depends on control flow.
+    Conflict,
+}
+
+impl PwState {
+    /// The word, if definite.
+    pub fn word(&self) -> Option<&Word> {
+        match self {
+            PwState::Word(w) => Some(w),
+            PwState::Conflict => None,
+        }
+    }
+}
+
+/// A structural divergence discovered during propagation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// The join block where incompatible words met.
+    pub block: BlockId,
+    /// First word.
+    pub left: Word,
+    /// Second word.
+    pub right: Word,
+    /// Representative span (the join block's span).
+    pub span: Span,
+}
+
+/// Result of the propagation over one function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PwResult {
+    /// Entry state per block (`None` = unreachable).
+    pub entry: Vec<Option<PwState>>,
+    /// Blocks where barrier-only loop extensions were collapsed; barrier
+    /// counts at and after these blocks are iteration-dependent.
+    pub phase_merged: Vec<bool>,
+    /// Structural divergences (candidate deadlocks).
+    pub divergences: Vec<Divergence>,
+}
+
+impl PwResult {
+    /// The word at a block's entry, if definite.
+    pub fn word_at(&self, b: BlockId) -> Option<&Word> {
+        self.entry
+            .get(b.index())
+            .and_then(|s| s.as_ref())
+            .and_then(|s| s.word())
+    }
+
+    /// True when the block entry is in conflict state.
+    pub fn is_conflict(&self, b: BlockId) -> bool {
+        matches!(
+            self.entry.get(b.index()).and_then(|s| s.as_ref()),
+            Some(PwState::Conflict)
+        )
+    }
+}
+
+/// The initial calling context of a function, i.e. the unknown word
+/// prefix at function entry (paper: "the programmer can select with an
+/// option given to the analysis the initial level to consider").
+///
+/// Synthetic prefix tokens use region ids starting at `SYNTH_BASE` so
+/// they can never collide with real regions of the function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum InitialContext {
+    /// Called outside any parallel region (e.g. `main`). Empty prefix.
+    #[default]
+    Sequential,
+    /// Called from a monothreaded region inside a parallel region
+    /// (prefix `P·S`).
+    ParallelSingle,
+    /// Called from an (active) multithreaded region (prefix `P`).
+    Parallel,
+}
+
+/// Base id for synthetic prefix regions.
+pub const SYNTH_BASE: u32 = 1_000_000;
+
+impl InitialContext {
+    /// The synthetic word prefix for this context.
+    pub fn prefix(self) -> Word {
+        match self {
+            InitialContext::Sequential => Word::empty(),
+            InitialContext::ParallelSingle => Word(vec![
+                Token::P(RegionId(SYNTH_BASE)),
+                Token::S(RegionId(SYNTH_BASE + 1), SKind::Single),
+            ]),
+            InitialContext::Parallel => Word(vec![Token::P(RegionId(SYNTH_BASE))]),
+        }
+    }
+
+    /// Join two contexts, keeping the most parallel one
+    /// (`Parallel > ParallelSingle > Sequential`).
+    pub fn join(self, other: InitialContext) -> InitialContext {
+        use InitialContext::*;
+        match (self, other) {
+            (Parallel, _) | (_, Parallel) => Parallel,
+            (ParallelSingle, _) | (_, ParallelSingle) => ParallelSingle,
+            _ => Sequential,
+        }
+    }
+}
+
+/// Compute parallelism words for every block of `f`, starting from the
+/// given initial context.
+pub fn compute_pw(f: &FuncIr, init: InitialContext) -> PwResult {
+    let n = f.block_count();
+    let mut entry: Vec<Option<PwState>> = vec![None; n];
+    let mut phase_merged = vec![false; n];
+    let mut divergences: Vec<Divergence> = Vec::new();
+    let mut queue: VecDeque<BlockId> = VecDeque::new();
+
+    // RPO positions distinguish retreating (loop back) edges — where a
+    // barrier-only word extension is the normal per-iteration growth —
+    // from forward joins, where the same mismatch means a control-flow
+    // divergent barrier.
+    let rpo = parcoach_ir::graph::reverse_post_order(f);
+    let mut rpo_pos = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_pos[b.index()] = i;
+    }
+
+    entry[f.entry.index()] = Some(PwState::Word(init.prefix()));
+    queue.push_back(f.entry);
+
+    // Termination: words only shrink at meets, Conflict is absorbing and
+    // each block is re-queued only when its state changes.
+    while let Some(b) = queue.pop_front() {
+        let state = entry[b.index()].clone().expect("queued blocks have state");
+        let blk = f.block(b);
+        // Compute the outgoing state per successor edge.
+        let out_states: Vec<(BlockId, PwState)> = match &state {
+            PwState::Conflict => blk
+                .term
+                .successors()
+                .into_iter()
+                .map(|s| (s, PwState::Conflict))
+                .collect(),
+            PwState::Word(w) => transfer(f, b, blk.directive(), &blk.term, w),
+        };
+        for (succ, new_state) in out_states {
+            match &entry[succ.index()] {
+                None => {
+                    entry[succ.index()] = Some(new_state);
+                    queue.push_back(succ);
+                }
+                Some(existing) => {
+                    let retreating = rpo_pos[succ.index()] <= rpo_pos[b.index()];
+                    let (met, note) = meet(existing, &new_state, retreating);
+                    if let MeetNote::PhaseMerge = note {
+                        phase_merged[succ.index()] = true;
+                    }
+                    if let MeetNote::Diverged(l, r) = note {
+                        // Report once per block.
+                        if !divergences.iter().any(|d| d.block == succ) {
+                            divergences.push(Divergence {
+                                block: succ,
+                                left: l,
+                                right: r,
+                                span: f.block(succ).span,
+                            });
+                        }
+                    }
+                    if &met != existing {
+                        entry[succ.index()] = Some(met);
+                        queue.push_back(succ);
+                    }
+                }
+            }
+        }
+    }
+
+    PwResult {
+        entry,
+        phase_merged,
+        divergences,
+    }
+}
+
+/// Edge-sensitive transfer function of one block.
+fn transfer(
+    f: &FuncIr,
+    b: BlockId,
+    dir: Option<&Directive>,
+    term: &Terminator,
+    w: &Word,
+) -> Vec<(BlockId, PwState)> {
+    let uniform = |w: Word| -> Vec<(BlockId, PwState)> {
+        term.successors()
+            .into_iter()
+            .map(|s| (s, PwState::Word(w.clone())))
+            .collect()
+    };
+    match dir {
+        None => uniform(w.clone()),
+        Some(d) => match d {
+            Directive::ParallelBegin { region, .. } => {
+                uniform(w.extended(Token::P(*region)))
+            }
+            Directive::SingleBegin { region, .. } => {
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Single))
+            }
+            Directive::MasterBegin { region, .. } => {
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Master))
+            }
+            Directive::SectionBegin { region, .. } => {
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Section))
+            }
+            Directive::ParallelEnd { region }
+            | Directive::SingleEnd { region }
+            | Directive::MasterEnd { region }
+            | Directive::SectionEnd { region } => {
+                let mut nw = w.clone();
+                let ok = nw.close_region(*region);
+                debug_assert!(ok, "verifier guarantees balanced regions in {}", f.name);
+                uniform(nw)
+            }
+            Directive::Barrier { .. } => uniform(w.extended(Token::B)),
+            // Critical is mutual exclusion, not single-threaded execution:
+            // all threads run the body. Worksharing begin/end and pfor
+            // chunk setup do not change the thread-parallelism level
+            // either (every thread participates).
+            Directive::CriticalBegin { .. }
+            | Directive::CriticalEnd { .. }
+            | Directive::WorkshareBegin { .. }
+            | Directive::WorkshareEnd { .. }
+            | Directive::PForInit { .. } => uniform(w.clone()),
+        },
+    }
+}
+
+/// `single`/`master`/`section` push their token on the then-edge only.
+fn conditional_entry(
+    f: &FuncIr,
+    b: BlockId,
+    term: &Terminator,
+    w: &Word,
+    token: Token,
+) -> Vec<(BlockId, PwState)> {
+    match term {
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => vec![
+            (*then_bb, PwState::Word(w.extended(token))),
+            (*else_bb, PwState::Word(w.clone())),
+        ],
+        _ => {
+            // Lowering always gives these a branch; degrade gracefully.
+            debug_assert!(false, "conditional opener without branch in {} {b}", f.name);
+            term.successors()
+                .into_iter()
+                .map(|s| (s, PwState::Word(w.extended(token))))
+                .collect()
+        }
+    }
+}
+
+enum MeetNote {
+    None,
+    PhaseMerge,
+    Diverged(Word, Word),
+}
+
+/// Meet of an existing entry state with a new incoming state.
+///
+/// `retreating` marks loop back edges: only there is a barrier-only word
+/// extension collapsed (per-iteration barrier growth). On forward joins
+/// the same mismatch is a genuine divergence — a barrier executed on one
+/// path but not the other.
+fn meet(existing: &PwState, incoming: &PwState, retreating: bool) -> (PwState, MeetNote) {
+    match (existing, incoming) {
+        (PwState::Conflict, _) | (_, PwState::Conflict) => (PwState::Conflict, MeetNote::None),
+        (PwState::Word(a), PwState::Word(b)) => {
+            if a == b {
+                (PwState::Word(a.clone()), MeetNote::None)
+            } else if retreating && b.is_barrier_extension_of(a) {
+                // Loop head: back edge brings extra barriers. Keep the
+                // first-visit word.
+                (PwState::Word(a.clone()), MeetNote::PhaseMerge)
+            } else if retreating && a.is_barrier_extension_of(b) {
+                (PwState::Word(b.clone()), MeetNote::PhaseMerge)
+            } else {
+                (
+                    PwState::Conflict,
+                    MeetNote::Diverged(a.clone(), b.clone()),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{classify, MonoVerdict};
+    use parcoach_ir::lower::lower_program;
+    use parcoach_ir::Module;
+    use parcoach_front::parse_and_check;
+
+    fn lower(src: &str) -> Module {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        assert!(parcoach_ir::verify_module(&m).is_empty());
+        m
+    }
+
+    /// The word at the (unique) block containing a collective.
+    fn word_at_collective(src: &str) -> Word {
+        let m = lower(src);
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        assert_eq!(cb.len(), 1, "expected exactly one collective block");
+        pw.word_at(cb[0]).expect("definite word").clone()
+    }
+
+    #[test]
+    fn toplevel_collective_empty_word() {
+        let w = word_at_collective("fn main() { MPI_Barrier(); }");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn collective_in_parallel_is_p() {
+        let w = word_at_collective("fn main() { parallel { MPI_Barrier(); } }");
+        assert_eq!(w.to_string(), "P0");
+        assert_eq!(classify(&w).verdict, MonoVerdict::MultiThreaded);
+    }
+
+    #[test]
+    fn collective_in_single_is_ps() {
+        let w = word_at_collective("fn main() { parallel { single { MPI_Barrier(); } } }");
+        assert_eq!(w.stripped().len(), 2);
+        assert_eq!(classify(&w).verdict, MonoVerdict::MonoThreaded);
+    }
+
+    #[test]
+    fn barrier_between_singles_shows_in_word() {
+        // Second single's word must contain the B of the first single's
+        // implicit barrier.
+        let m = lower(
+            "fn main() { parallel { single { } single { MPI_Barrier(); } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(w.barrier_count(), 1, "word {w}");
+        assert!(w.tokens().last().unwrap().is_s());
+    }
+
+    #[test]
+    fn nowait_single_has_no_barrier_token() {
+        let m = lower(
+            "fn main() { parallel { single nowait { } single { MPI_Barrier(); } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(w.barrier_count(), 0, "word {w}");
+    }
+
+    #[test]
+    fn nested_parallel_word() {
+        let w = word_at_collective(
+            "fn main() { parallel { parallel { single { MPI_Barrier(); } } } }",
+        );
+        assert_eq!(classify(&w).verdict, MonoVerdict::NestedParallelism);
+    }
+
+    #[test]
+    fn word_after_parallel_is_empty() {
+        let m = lower("fn main() { parallel { let x = 1; } MPI_Barrier(); }");
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        assert!(pw.word_at(cb[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn initial_context_prefixes() {
+        let m = lower("fn main() { MPI_Barrier(); }");
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Parallel);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+        let pw = compute_pw(f, InitialContext::ParallelSingle);
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(classify(w).verdict, MonoVerdict::MonoThreaded);
+    }
+
+    #[test]
+    fn loop_with_barrier_phase_merges_without_divergence() {
+        let m = lower(
+            "fn main() { parallel { for (i in 0..10) { critical { } barrier; } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        assert!(
+            pw.divergences.is_empty(),
+            "uniform loop barrier must not be a divergence: {:?}",
+            pw.divergences
+        );
+        assert!(pw.phase_merged.iter().any(|&x| x), "expected phase merge");
+    }
+
+    #[test]
+    fn barrier_in_one_branch_diverges() {
+        let m = lower(
+            "fn main() { parallel { if (thread_num() == 0) { barrier; } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        assert!(
+            !pw.divergences.is_empty(),
+            "thread-divergent barrier must be reported"
+        );
+    }
+
+    #[test]
+    fn balanced_branches_do_not_diverge() {
+        let m = lower(
+            "fn main() { parallel { if (thread_num() == 0) { critical { } } else { critical { } } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        assert!(pw.divergences.is_empty(), "{:?}", pw.divergences);
+    }
+
+    #[test]
+    fn single_in_one_branch_nowait_ok() {
+        // nowait single in one branch: no barrier divergence (the S is
+        // popped before the join).
+        let m = lower(
+            "fn main() { parallel { if (thread_num() == 0) { single nowait { } } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        assert!(pw.divergences.is_empty(), "{:?}", pw.divergences);
+    }
+
+    #[test]
+    fn single_in_one_branch_with_barrier_diverges() {
+        let m = lower(
+            "fn main() { parallel { if (thread_num() == 0) { single { } } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        assert!(!pw.divergences.is_empty());
+    }
+
+    #[test]
+    fn sections_words() {
+        let m = lower(
+            "fn main() { parallel { sections { section { MPI_Barrier(); } section { } } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert!(classify(w).verdict.is_monothreaded(), "word {w}");
+    }
+
+    #[test]
+    fn pfor_body_is_multithreaded() {
+        let m = lower(
+            "fn main() { parallel { pfor (i in 0..4) { MPI_Barrier(); } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+    }
+
+    #[test]
+    fn critical_is_not_single_threaded() {
+        let m = lower(
+            "fn main() { parallel { critical { MPI_Barrier(); } } }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let cb = f.collective_blocks();
+        let w = pw.word_at(cb[0]).unwrap();
+        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+    }
+
+    #[test]
+    fn all_reachable_blocks_have_state() {
+        let m = lower(
+            "fn main() {
+                let t = 0;
+                parallel num_threads(4) {
+                    single { t = 1; }
+                    pfor (i in 0..8) { let y = i; }
+                    master { t = 2; }
+                }
+                if (t > 0) { MPI_Barrier(); }
+            }",
+        );
+        let f = m.main().unwrap();
+        let pw = compute_pw(f, InitialContext::Sequential);
+        let reach = parcoach_ir::graph::reachable(f);
+        for b in f.block_ids() {
+            if reach[b.index()] {
+                assert!(
+                    pw.entry[b.index()].is_some(),
+                    "reachable block {b} lacks pw state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_join() {
+        use InitialContext::*;
+        assert_eq!(Sequential.join(Parallel), Parallel);
+        assert_eq!(ParallelSingle.join(Sequential), ParallelSingle);
+        assert_eq!(ParallelSingle.join(Parallel), Parallel);
+        assert_eq!(Sequential.join(Sequential), Sequential);
+    }
+}

@@ -1,0 +1,249 @@
+//! Parallelism words (paper §2).
+//!
+//! For a CFG node `n`, the parallelism word `pw[n]` is "the sequence of
+//! the parallel constructs (pragma parallel, single, …) and the barriers
+//! traversed from the beginning of a function to the node". Parallel
+//! regions contribute `P_i` tokens, single-threaded regions (`single`,
+//! `master`, one `section`) contribute `S_i`, barriers contribute `B`.
+//! "A simplification is done when OpenMP regions end": closing a region
+//! removes its token (and everything after it) from the word.
+
+use parcoach_ir::types::RegionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The flavour of a single-threaded (`S`) region. Needed to derive the
+/// *required MPI thread level*: a collective guarded only by `master`
+/// regions can run under `MPI_THREAD_FUNNELED`, while `single`/`section`
+/// need `MPI_THREAD_SERIALIZED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SKind {
+    /// `single` region — an arbitrary thread executes.
+    Single,
+    /// `master` region — the team master executes.
+    Master,
+    /// one `section` of a `sections` construct — an arbitrary thread.
+    Section,
+}
+
+impl fmt::Display for SKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SKind::Single => write!(f, "single"),
+            SKind::Master => write!(f, "master"),
+            SKind::Section => write!(f, "section"),
+        }
+    }
+}
+
+/// One token of a parallelism word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Token {
+    /// `P_i`: a parallel region (team fork).
+    P(RegionId),
+    /// `S_i`: a single-threaded region.
+    S(RegionId, SKind),
+    /// `B`: a thread barrier (explicit or implicit).
+    B,
+}
+
+impl Token {
+    /// Region id for `P`/`S` tokens.
+    pub fn region(self) -> Option<RegionId> {
+        match self {
+            Token::P(r) | Token::S(r, _) => Some(r),
+            Token::B => None,
+        }
+    }
+
+    /// Is this an `S` token?
+    pub fn is_s(self) -> bool {
+        matches!(self, Token::S(..))
+    }
+
+    /// Is this a `P` token?
+    pub fn is_p(self) -> bool {
+        matches!(self, Token::P(_))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::P(r) => write!(f, "P{}", r.0),
+            Token::S(r, _) => write!(f, "S{}", r.0),
+            Token::B => write!(f, "B"),
+        }
+    }
+}
+
+/// A parallelism word: a (short) sequence of tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Word(pub Vec<Token>);
+
+impl Word {
+    /// The empty word (function entry at the default initial level).
+    pub fn empty() -> Word {
+        Word(Vec::new())
+    }
+
+    /// Append a token.
+    pub fn push(&mut self, t: Token) {
+        self.0.push(t);
+    }
+
+    /// Word extended by one token (functional form).
+    pub fn extended(&self, t: Token) -> Word {
+        let mut w = self.clone();
+        w.push(t);
+        w
+    }
+
+    /// Close region `r`: truncate the word at (and including) the last
+    /// occurrence of the region's `P`/`S` token. Returns `false` when the
+    /// token is absent — a structural error the caller reports.
+    pub fn close_region(&mut self, r: RegionId) -> bool {
+        if let Some(pos) = self
+            .0
+            .iter()
+            .rposition(|t| t.region() == Some(r))
+        {
+            self.0.truncate(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty word.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Tokens as a slice.
+    pub fn tokens(&self) -> &[Token] {
+        &self.0
+    }
+
+    /// The word with all `B` tokens removed (monothread-membership only
+    /// looks at the `P`/`S` structure; "Bs are ignored as barriers do not
+    /// influence the level of thread parallelism").
+    pub fn stripped(&self) -> Vec<Token> {
+        self.0.iter().copied().filter(|t| *t != Token::B).collect()
+    }
+
+    /// Length of the longest common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &Word) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// True when `other` equals `self` plus a suffix consisting only of
+    /// `B` tokens (the loop-head phase-merge case).
+    pub fn is_barrier_extension_of(&self, other: &Word) -> bool {
+        self.0.len() >= other.0.len()
+            && self.0[..other.0.len()] == other.0[..]
+            && self.0[other.0.len()..].iter().all(|t| *t == Token::B)
+    }
+
+    /// Number of `B` tokens in the word.
+    pub fn barrier_count(&self) -> usize {
+        self.0.iter().filter(|t| **t == Token::B).count()
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Token>> for Word {
+    fn from(v: Vec<Token>) -> Word {
+        Word(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn close_region_truncates() {
+        // P0 S1 B — closing S1 leaves P0 (B after it goes too).
+        let mut w = Word(vec![Token::P(r(0)), Token::S(r(1), SKind::Single), Token::B]);
+        assert!(w.close_region(r(1)));
+        assert_eq!(w, Word(vec![Token::P(r(0))]));
+        // Closing P0 empties.
+        assert!(w.close_region(r(0)));
+        assert!(w.is_empty());
+        // Closing again fails.
+        assert!(!w.close_region(r(0)));
+    }
+
+    #[test]
+    fn close_region_picks_last_occurrence() {
+        // Degenerate but defensive: same region twice (loop re-entry).
+        let mut w = Word(vec![Token::S(r(1), SKind::Single), Token::B, Token::S(r(1), SKind::Single)]);
+        assert!(w.close_region(r(1)));
+        assert_eq!(w.0.len(), 2);
+    }
+
+    #[test]
+    fn stripped_removes_barriers() {
+        let w = Word(vec![Token::P(r(0)), Token::B, Token::B, Token::S(r(1), SKind::Master)]);
+        assert_eq!(
+            w.stripped(),
+            vec![Token::P(r(0)), Token::S(r(1), SKind::Master)]
+        );
+        assert_eq!(w.barrier_count(), 2);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = Word(vec![Token::P(r(0)), Token::S(r(1), SKind::Single)]);
+        let b = Word(vec![Token::P(r(0)), Token::S(r(2), SKind::Single)]);
+        assert_eq!(a.common_prefix_len(&b), 1);
+        assert_eq!(a.common_prefix_len(&a), 2);
+        assert_eq!(Word::empty().common_prefix_len(&a), 0);
+    }
+
+    #[test]
+    fn barrier_extension() {
+        let base = Word(vec![Token::P(r(0))]);
+        let ext = Word(vec![Token::P(r(0)), Token::B, Token::B]);
+        assert!(ext.is_barrier_extension_of(&base));
+        assert!(base.is_barrier_extension_of(&base));
+        assert!(!base.is_barrier_extension_of(&ext));
+        let other = Word(vec![Token::P(r(0)), Token::S(r(1), SKind::Single)]);
+        assert!(!other.is_barrier_extension_of(&base));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Word::empty().to_string(), "ε");
+        let w = Word(vec![Token::P(r(0)), Token::B, Token::S(r(3), SKind::Single)]);
+        assert_eq!(w.to_string(), "P0·B·S3");
+    }
+}

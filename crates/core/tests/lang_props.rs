@@ -1,0 +1,108 @@
+//! Property tests for the language machinery of the analysis:
+//! `L = (S|PB*S)*` membership (DFA vs. reference), word simplification
+//! algebra, and the concurrency criterion's symmetry.
+
+use parcoach_core::lang::{classify, in_language_reference};
+use parcoach_core::word::{SKind, Token, Word};
+use parcoach_ir::types::RegionId;
+use proptest::prelude::*;
+
+fn token_strategy() -> impl Strategy<Value = Token> {
+    prop_oneof![
+        (0u32..16).prop_map(|i| Token::P(RegionId(i))),
+        (0u32..16).prop_map(|i| Token::S(RegionId(i + 100), SKind::Single)),
+        (0u32..16).prop_map(|i| Token::S(RegionId(i + 200), SKind::Master)),
+        (0u32..16).prop_map(|i| Token::S(RegionId(i + 300), SKind::Section)),
+        Just(Token::B),
+    ]
+}
+
+fn word_strategy() -> impl Strategy<Value = Word> {
+    proptest::collection::vec(token_strategy(), 0..12).prop_map(Word)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The production classifier and the regex-derivative reference must
+    /// agree on arbitrary words.
+    #[test]
+    fn dfa_matches_reference(w in word_strategy()) {
+        prop_assert_eq!(
+            classify(&w).verdict.is_monothreaded(),
+            in_language_reference(&w),
+            "disagreement on {}", w
+        );
+    }
+
+    /// Appending `B` never changes monothreadedness ("Bs are ignored").
+    #[test]
+    fn barriers_neutral_for_membership(w in word_strategy()) {
+        let mut wb = w.clone();
+        wb.push(Token::B);
+        prop_assert_eq!(
+            classify(&w).verdict.is_monothreaded(),
+            classify(&wb).verdict.is_monothreaded()
+        );
+    }
+
+    /// Opening and immediately closing a region is the identity.
+    #[test]
+    fn open_close_roundtrip(w in word_strategy(), i in 500u32..600) {
+        let r = RegionId(i);
+        let mut w2 = w.clone();
+        w2.push(Token::P(r));
+        prop_assert!(w2.close_region(r));
+        prop_assert_eq!(&w2, &w);
+        let mut w3 = w.clone();
+        w3.push(Token::S(r, SKind::Single));
+        prop_assert!(w3.close_region(r));
+        prop_assert_eq!(&w3, &w);
+    }
+
+    /// `close_region` truncates at the region token: everything after it
+    /// disappears, everything before survives.
+    #[test]
+    fn close_truncates_suffix(
+        prefix in word_strategy(),
+        suffix in word_strategy(),
+        i in 700u32..800,
+    ) {
+        let r = RegionId(i);
+        let mut w = prefix.clone();
+        w.push(Token::P(r));
+        for t in suffix.tokens() {
+            w.push(*t);
+        }
+        // The suffix may not contain r (ranges are disjoint by
+        // construction), so close_region finds our P.
+        prop_assert!(w.close_region(r));
+        prop_assert_eq!(&w, &prefix);
+    }
+
+    /// Common-prefix length is symmetric and bounded.
+    #[test]
+    fn common_prefix_symmetric(a in word_strategy(), b in word_strategy()) {
+        let ab = a.common_prefix_len(&b);
+        prop_assert_eq!(ab, b.common_prefix_len(&a));
+        prop_assert!(ab <= a.len() && ab <= b.len());
+        // The prefixes really are equal.
+        prop_assert_eq!(&a.tokens()[..ab], &b.tokens()[..ab]);
+        if ab < a.len() && ab < b.len() {
+            prop_assert_ne!(a.tokens()[ab], b.tokens()[ab]);
+        }
+    }
+
+    /// The required-level classification is monotone in context: a word
+    /// in `L` never demands MPI_THREAD_MULTIPLE.
+    #[test]
+    fn levels_consistent_with_membership(w in word_strategy()) {
+        use parcoach_front::ast::ThreadLevel;
+        let c = classify(&w);
+        if c.verdict.is_monothreaded() {
+            prop_assert!(c.required_level < ThreadLevel::Multiple);
+        } else {
+            prop_assert_eq!(c.required_level, ThreadLevel::Multiple);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! `parcoachc` — command-line driver.
+//!
+//! ```text
+//! parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
+//! parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument]
+//! parcoachc dump-cfg <file.mh> [function]
+//! parcoachc dump-ir  <file.mh> [function]
+//! parcoachc workload <name> <class>      # print a generated benchmark
+//! parcoachc catalogue                    # list the error catalogue
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = static warnings only, 2 = dynamic error
+//! detected, 3 = usage/compile error.
+
+use parcoach_core::{
+    analyze_module, instrument_module, AnalysisOptions, InitialContext, InstrumentMode,
+};
+use parcoach_front::parse_and_check;
+use parcoach_interp::{Executor, RunConfig};
+use parcoach_ir::lower::lower_program;
+use parcoach_workloads::{error_catalogue, figure1_suite, WorkloadClass};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("parcoachc: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "check" => cmd_check(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "dump-cfg" => cmd_dump(&args[1..], true),
+        "dump-ir" => cmd_dump(&args[1..], false),
+        "workload" => cmd_workload(&args[1..]),
+        "catalogue" => cmd_catalogue(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+parcoachc — static/dynamic validation of MPI collectives in multi-threaded programs
+
+USAGE:
+    parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
+    parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument] [--full]
+    parcoachc dump-cfg <file.mh> [function]
+    parcoachc dump-ir  <file.mh> [function]
+    parcoachc workload <BT-MZ|SP-MZ|LU-MZ|EPCC|HERA> <A|B|C>
+    parcoachc catalogue
+";
+
+struct Loaded {
+    unit: parcoach_front::CheckedUnit,
+    module: parcoach_ir::Module,
+}
+
+fn load(path: &str) -> Result<Loaded, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let unit = parse_and_check(path, &src).map_err(|(d, sm)| d.render(&sm))?;
+    let module = lower_program(&unit.program, &unit.signatures);
+    let errs = parcoach_ir::verify_module(&module);
+    if !errs.is_empty() {
+        return Err(format!("internal IR verification failure: {errs:?}"));
+    }
+    Ok(Loaded { unit, module })
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("check: missing file")?;
+    let mut opts = AnalysisOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-refine" => opts.refine_matching = false,
+            "--context" => {
+                i += 1;
+                opts.entry_context = match args.get(i).map(String::as_str) {
+                    Some("seq") => InitialContext::Sequential,
+                    Some("psingle") => InitialContext::ParallelSingle,
+                    Some("parallel") => InitialContext::Parallel,
+                    other => return Err(format!("--context: bad value {other:?}")),
+                };
+            }
+            other => return Err(format!("check: unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let loaded = load(path)?;
+    let report = analyze_module(&loaded.module, &opts);
+    println!("{}", report.render(&loaded.unit.source_map));
+    if report.is_clean() {
+        println!("verified statically: no instrumentation needed");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("run: missing file")?;
+    let mut cfg = RunConfig::default();
+    let mut instrument = true;
+    let mut mode = InstrumentMode::Selective;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ranks" => {
+                i += 1;
+                cfg.ranks = parse_num(args.get(i), "--ranks")?;
+            }
+            "--threads" => {
+                i += 1;
+                cfg.default_threads = parse_num(args.get(i), "--threads")?;
+            }
+            "--no-instrument" => instrument = false,
+            "--full" => mode = InstrumentMode::Full,
+            other => return Err(format!("run: unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let loaded = load(path)?;
+    let report = analyze_module(&loaded.module, &AnalysisOptions::default());
+    if !report.is_clean() {
+        println!("--- static warnings ---");
+        println!("{}", report.render(&loaded.unit.source_map));
+        println!();
+    }
+    let module = if instrument {
+        let (m, stats) = instrument_module(&loaded.module, &report, mode);
+        println!(
+            "instrumentation: {} CC, {} return-CC, {} monothread assert(s), {} concurrency site(s)",
+            stats.cc_collective, stats.cc_return, stats.monothread_asserts, stats.concurrency_sites
+        );
+        m
+    } else {
+        loaded.module
+    };
+    let run = Executor::new(module, cfg).run();
+    for line in &run.output {
+        println!("{line}");
+    }
+    if run.is_clean() {
+        println!("--- run completed cleanly ---");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("--- run failed ---");
+        for e in &run.errors {
+            let line = loaded.unit.source_map.line_of(e.span);
+            println!("{path}:{line}: {e} [{}]", e.kind.code());
+        }
+        if run.detected_by_check() {
+            println!("(intercepted by a PARCOACH dynamic check)");
+        }
+        Ok(ExitCode::from(2))
+    }
+}
+
+fn cmd_dump(args: &[String], dot: bool) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("dump: missing file")?;
+    let which = args.get(1).map(String::as_str);
+    let loaded = load(path)?;
+    for f in &loaded.module.funcs {
+        if let Some(name) = which {
+            if f.name != name {
+                continue;
+            }
+        }
+        if dot {
+            println!("{}", parcoach_ir::dot::func_to_dot(f));
+        } else {
+            println!("{}", f.dump());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_workload(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("workload: missing name")?;
+    let class = match args.get(1).map(String::as_str) {
+        Some("A") | None => WorkloadClass::A,
+        Some("B") => WorkloadClass::B,
+        Some("C") => WorkloadClass::C,
+        other => return Err(format!("workload: bad class {other:?}")),
+    };
+    let suite = figure1_suite(class);
+    let w = suite
+        .iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!("unknown workload `{name}` (try BT-MZ, SP-MZ, LU-MZ, EPCC, HERA)")
+        })?;
+    print!("{}", w.source);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_catalogue() -> Result<ExitCode, String> {
+    println!("{:<28} {:<28} {:<18} description", "id", "static", "dynamic");
+    for c in error_catalogue() {
+        let stat = match c.expect_static {
+            parcoach_workloads::ExpectStatic::Clean => "clean".to_string(),
+            parcoach_workloads::ExpectStatic::Warns(w) => format!("warns({w})"),
+        };
+        println!(
+            "{:<28} {:<28} {:<18} {}",
+            c.id,
+            stat,
+            format!("{:?}", c.expect_dynamic),
+            c.description
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> Result<usize, String> {
+    v.ok_or_else(|| format!("{flag}: missing value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}

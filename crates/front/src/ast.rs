@@ -1,0 +1,971 @@
+//! Abstract syntax tree for MiniHPC.
+//!
+//! MiniHPC is a small imperative language whose only purpose is to express
+//! the programs the paper analyses: C-like control flow, OpenMP-model
+//! parallel constructs as first-class structured statements (semantically
+//! identical to pragmas over structured blocks — they lower to the same
+//! CFG shape), and MPI operations as builtin calls.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ident {
+    /// The name text.
+    pub name: String,
+    /// Where it appears.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+
+    /// Construct with a dummy span (synthesized code).
+    pub fn synth(name: impl Into<String>) -> Self {
+        Ident::new(name, Span::DUMMY)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Scalar and array types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// No value (function returns only).
+    Void,
+    /// Growable array of `int`.
+    ArrayInt,
+    /// Growable array of `float`.
+    ArrayFloat,
+}
+
+impl Type {
+    /// True for `int` / `float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+
+    /// True for the array types.
+    pub fn is_array(self) -> bool {
+        matches!(self, Type::ArrayInt | Type::ArrayFloat)
+    }
+
+    /// Element type of an array type.
+    pub fn elem(self) -> Option<Type> {
+        match self {
+            Type::ArrayInt => Some(Type::Int),
+            Type::ArrayFloat => Some(Type::Float),
+            _ => None,
+        }
+    }
+
+    /// Array type with the given element type.
+    pub fn array_of(elem: Type) -> Option<Type> {
+        match elem {
+            Type::Int => Some(Type::ArrayInt),
+            Type::Float => Some(Type::ArrayFloat),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::Void => write!(f, "void"),
+            Type::ArrayInt => write!(f, "int[]"),
+            Type::ArrayFloat => write!(f, "float[]"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// True for `+ - * / %`.
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    /// True for comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for `&&` / `||`.
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical negation `!`.
+    Not,
+}
+
+/// Builtin intrinsic functions (not user-definable, not MPI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intrinsic {
+    /// `rank()` — MPI rank of the calling process.
+    Rank,
+    /// `size()` — number of MPI processes.
+    Size,
+    /// `thread_num()` — id of the calling thread within its team.
+    ThreadNum,
+    /// `num_threads()` — size of the innermost enclosing team.
+    NumThreads,
+    /// `in_parallel()` — true when inside an active parallel region.
+    InParallel,
+    /// `sqrt(float) -> float`.
+    Sqrt,
+    /// `abs(T) -> T` for numeric T.
+    Abs,
+    /// `min(T, T) -> T` for numeric T.
+    MinOf,
+    /// `max(T, T) -> T` for numeric T.
+    MaxOf,
+    /// `int_of(float) -> int` truncation.
+    IntOf,
+    /// `float_of(int) -> float`.
+    FloatOf,
+    /// `array(len, init) -> T[]` — array filled with `init`.
+    ArrayNew,
+    /// `len(T[]) -> int`.
+    Len,
+}
+
+impl Intrinsic {
+    /// Resolve a call-position identifier to an intrinsic.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "rank" => Intrinsic::Rank,
+            "size" => Intrinsic::Size,
+            "thread_num" => Intrinsic::ThreadNum,
+            "num_threads" => Intrinsic::NumThreads,
+            "in_parallel" => Intrinsic::InParallel,
+            "sqrt" => Intrinsic::Sqrt,
+            "abs" => Intrinsic::Abs,
+            "min" => Intrinsic::MinOf,
+            "max" => Intrinsic::MaxOf,
+            "int_of" => Intrinsic::IntOf,
+            "float_of" => Intrinsic::FloatOf,
+            "array" => Intrinsic::ArrayNew,
+            "len" => Intrinsic::Len,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Rank => "rank",
+            Intrinsic::Size => "size",
+            Intrinsic::ThreadNum => "thread_num",
+            Intrinsic::NumThreads => "num_threads",
+            Intrinsic::InParallel => "in_parallel",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Abs => "abs",
+            Intrinsic::MinOf => "min",
+            Intrinsic::MaxOf => "max",
+            Intrinsic::IntOf => "int_of",
+            Intrinsic::FloatOf => "float_of",
+            Intrinsic::ArrayNew => "array",
+            Intrinsic::Len => "len",
+        }
+    }
+}
+
+/// MPI reduction operators (the subset the paper's benchmarks use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// `MPI_SUM`
+    Sum,
+    /// `MPI_PROD`
+    Prod,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_LAND`
+    Land,
+    /// `MPI_LOR`
+    Lor,
+}
+
+impl ReduceOp {
+    /// Resolve the bare identifier used in source (`SUM`, `PROD`, ...).
+    pub fn from_name(name: &str) -> Option<ReduceOp> {
+        Some(match name {
+            "SUM" => ReduceOp::Sum,
+            "PROD" => ReduceOp::Prod,
+            "MIN" => ReduceOp::Min,
+            "MAX" => ReduceOp::Max,
+            "LAND" => ReduceOp::Land,
+            "LOR" => ReduceOp::Lor,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "SUM",
+            ReduceOp::Prod => "PROD",
+            ReduceOp::Min => "MIN",
+            ReduceOp::Max => "MAX",
+            ReduceOp::Land => "LAND",
+            ReduceOp::Lor => "LOR",
+        }
+    }
+}
+
+/// The kinds of MPI *collective* operations the analysis tracks.
+///
+/// The numeric discriminant doubles as the "color" the dynamic `CC` check
+/// communicates (paper §3 / PARCOACH Algorithm 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// `MPI_Barrier()`
+    Barrier,
+    /// `MPI_Bcast(v, root)`
+    Bcast,
+    /// `MPI_Reduce(v, op, root)`
+    Reduce,
+    /// `MPI_Allreduce(v, op)`
+    Allreduce,
+    /// `MPI_Gather(v, root)`
+    Gather,
+    /// `MPI_Allgather(v)`
+    Allgather,
+    /// `MPI_Scatter(arr, root)`
+    Scatter,
+    /// `MPI_Alltoall(arr)`
+    Alltoall,
+    /// `MPI_Scan(v, op)`
+    Scan,
+    /// `MPI_Reduce_scatter(arr, op)`
+    ReduceScatter,
+}
+
+impl CollectiveKind {
+    /// All collective kinds, in color order.
+    pub const ALL: [CollectiveKind; 10] = [
+        CollectiveKind::Barrier,
+        CollectiveKind::Bcast,
+        CollectiveKind::Reduce,
+        CollectiveKind::Allreduce,
+        CollectiveKind::Gather,
+        CollectiveKind::Allgather,
+        CollectiveKind::Scatter,
+        CollectiveKind::Alltoall,
+        CollectiveKind::Scan,
+        CollectiveKind::ReduceScatter,
+    ];
+
+    /// The MPI-style function name, e.g. `MPI_Allreduce`.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "MPI_Barrier",
+            CollectiveKind::Bcast => "MPI_Bcast",
+            CollectiveKind::Reduce => "MPI_Reduce",
+            CollectiveKind::Allreduce => "MPI_Allreduce",
+            CollectiveKind::Gather => "MPI_Gather",
+            CollectiveKind::Allgather => "MPI_Allgather",
+            CollectiveKind::Scatter => "MPI_Scatter",
+            CollectiveKind::Alltoall => "MPI_Alltoall",
+            CollectiveKind::Scan => "MPI_Scan",
+            CollectiveKind::ReduceScatter => "MPI_Reduce_scatter",
+        }
+    }
+
+    /// Resolve an `MPI_*` identifier to a collective kind.
+    pub fn from_name(name: &str) -> Option<CollectiveKind> {
+        CollectiveKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.mpi_name() == name)
+    }
+
+    /// The dynamic-check color (stable across runs and processes).
+    pub fn color(self) -> u32 {
+        self as u32 + 1 // 0 is reserved for "no collective / return"
+    }
+
+    /// True when the operation needs a root argument.
+    pub fn has_root(self) -> bool {
+        matches!(
+            self,
+            CollectiveKind::Bcast
+                | CollectiveKind::Reduce
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+        )
+    }
+
+    /// True when the operation needs a reduction operator argument.
+    pub fn has_reduce_op(self) -> bool {
+        matches!(
+            self,
+            CollectiveKind::Reduce
+                | CollectiveKind::Allreduce
+                | CollectiveKind::Scan
+                | CollectiveKind::ReduceScatter
+        )
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mpi_name())
+    }
+}
+
+/// A full MPI operation as it appears in source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MpiOp {
+    /// `MPI_Init()`
+    Init,
+    /// `MPI_Init_thread(REQUIRED)` with a requested thread level name
+    /// (`SINGLE` / `FUNNELED` / `SERIALIZED` / `MULTIPLE`).
+    InitThread {
+        /// Requested level.
+        required: ThreadLevel,
+    },
+    /// `MPI_Finalize()`
+    Finalize,
+    /// A collective operation.
+    Collective(CollectiveCall),
+    /// `MPI_Send(v, dest, tag)` — modelled for workload realism; the
+    /// analysis does not check point-to-point.
+    Send {
+        /// Value expression.
+        value: Box<Expr>,
+        /// Destination rank.
+        dest: Box<Expr>,
+        /// Message tag.
+        tag: Box<Expr>,
+    },
+    /// `MPI_Recv(src, tag)` — returns the received value.
+    Recv {
+        /// Source rank.
+        src: Box<Expr>,
+        /// Message tag.
+        tag: Box<Expr>,
+    },
+}
+
+/// A collective call: kind + arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveCall {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Payload value (absent for `MPI_Barrier`).
+    pub value: Option<Box<Expr>>,
+    /// Reduction operator for reducing collectives.
+    pub reduce_op: Option<ReduceOp>,
+    /// Root rank expression for rooted collectives.
+    pub root: Option<Box<Expr>>,
+}
+
+/// MPI threading support levels (MPI-2 §12.4).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum ThreadLevel {
+    /// Only one thread will execute.
+    #[default]
+    Single,
+    /// Only the main thread makes MPI calls.
+    Funneled,
+    /// Any thread may call MPI, but not concurrently.
+    Serialized,
+    /// No restrictions.
+    Multiple,
+}
+
+impl ThreadLevel {
+    /// Resolve the bare identifier used in source.
+    pub fn from_name(name: &str) -> Option<ThreadLevel> {
+        Some(match name {
+            "SINGLE" => ThreadLevel::Single,
+            "FUNNELED" => ThreadLevel::Funneled,
+            "SERIALIZED" => ThreadLevel::Serialized,
+            "MULTIPLE" => ThreadLevel::Multiple,
+            _ => return None,
+        })
+    }
+
+    /// MPI constant name.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            ThreadLevel::Single => "MPI_THREAD_SINGLE",
+            ThreadLevel::Funneled => "MPI_THREAD_FUNNELED",
+            ThreadLevel::Serialized => "MPI_THREAD_SERIALIZED",
+            ThreadLevel::Multiple => "MPI_THREAD_MULTIPLE",
+        }
+    }
+}
+
+impl fmt::Display for ThreadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mpi_name())
+    }
+}
+
+/// Expression node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Bool literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(Ident),
+    /// Array indexing `a[i]`.
+    Index(Ident, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Call to a user-defined function.
+    Call(Ident, Vec<Expr>),
+    /// Call to a builtin intrinsic.
+    Intrinsic(Intrinsic, Vec<Expr>),
+    /// An MPI operation used as an expression.
+    Mpi(MpiOp),
+}
+
+impl Expr {
+    /// Construct an expression.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Integer literal helper.
+    pub fn int(v: i64, span: Span) -> Self {
+        Expr::new(ExprKind::Int(v), span)
+    }
+
+    /// Walk this expression and all sub-expressions, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+            ExprKind::Index(_, idx) => idx.walk(f),
+            ExprKind::Unary(_, e) => e.walk(f),
+            ExprKind::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            ExprKind::Call(_, args) | ExprKind::Intrinsic(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Mpi(op) => match op {
+                MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize => {}
+                MpiOp::Collective(c) => {
+                    if let Some(v) = &c.value {
+                        v.walk(f);
+                    }
+                    if let Some(r) = &c.root {
+                        r.walk(f);
+                    }
+                }
+                MpiOp::Send { value, dest, tag } => {
+                    value.walk(f);
+                    dest.walk(f);
+                    tag.walk(f);
+                }
+                MpiOp::Recv { src, tag } => {
+                    src.walk(f);
+                    tag.walk(f);
+                }
+            },
+        }
+    }
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// Plain variable.
+    Var(Ident),
+    /// Array element.
+    Index(Ident, Box<Expr>),
+}
+
+impl LValue {
+    /// The variable at the base of the lvalue.
+    pub fn base(&self) -> &Ident {
+        match self {
+            LValue::Var(id) | LValue::Index(id, _) => id,
+        }
+    }
+
+    /// Span covering the whole lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var(id) => id.span,
+            LValue::Index(id, idx) => id.span.to(idx.span),
+        }
+    }
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span of the whole block including braces.
+    pub span: Span,
+}
+
+impl Block {
+    /// An empty block with a dummy span.
+    pub fn empty() -> Self {
+        Block {
+            stmts: Vec::new(),
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Statement node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Construct a statement.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// OpenMP-model parallel constructs (structured, perfectly nested — the
+/// model the paper assumes in §1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OmpStmt {
+    /// `parallel [num_threads(e)] { ... }` — fork a team; implicit barrier
+    /// + join at the end.
+    Parallel {
+        /// Optional requested team size.
+        num_threads: Option<Box<Expr>>,
+        /// Region body.
+        body: Block,
+    },
+    /// `single [nowait] { ... }` — exactly one thread of the team executes
+    /// the body; implicit barrier at the end unless `nowait`.
+    Single {
+        /// Suppress the trailing implicit barrier.
+        nowait: bool,
+        /// Region body.
+        body: Block,
+    },
+    /// `master { ... }` — only the master thread executes; **no** implicit
+    /// barrier.
+    Master {
+        /// Region body.
+        body: Block,
+    },
+    /// `critical { ... }` — mutual exclusion; all threads execute, one at
+    /// a time; no barrier.
+    Critical {
+        /// Region body.
+        body: Block,
+    },
+    /// `pfor [nowait] (i in lo..hi) { ... }` — worksharing loop; implicit
+    /// barrier at the end unless `nowait`.
+    PFor {
+        /// Suppress the trailing implicit barrier.
+        nowait: bool,
+        /// Loop variable.
+        var: Ident,
+        /// Inclusive lower bound.
+        lo: Box<Expr>,
+        /// Exclusive upper bound.
+        hi: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `sections [nowait] { section { .. } section { .. } }` — each section
+    /// executed by one thread; implicit barrier unless `nowait`.
+    Sections {
+        /// Suppress the trailing implicit barrier.
+        nowait: bool,
+        /// The section bodies.
+        sections: Vec<Block>,
+    },
+}
+
+impl OmpStmt {
+    /// Short construct name for diagnostics.
+    pub fn construct_name(&self) -> &'static str {
+        match self {
+            OmpStmt::Parallel { .. } => "parallel",
+            OmpStmt::Single { .. } => "single",
+            OmpStmt::Master { .. } => "master",
+            OmpStmt::Critical { .. } => "critical",
+            OmpStmt::PFor { .. } => "pfor",
+            OmpStmt::Sections { .. } => "sections",
+        }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `let x[: ty] = e;`
+    Let {
+        /// Variable name.
+        name: Ident,
+        /// Optional annotation.
+        ty: Option<Type>,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `lv = e;`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (c) { .. } [else { .. }]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for (i in lo..hi) { .. }` — sequential counted loop.
+    For {
+        /// Loop variable.
+        var: Ident,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (exclusive).
+        hi: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `return [e];`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Expression statement `e;`.
+    Expr(Expr),
+    /// `print(e, ...);`
+    Print(Vec<Expr>),
+    /// An OpenMP construct.
+    Omp(OmpStmt),
+    /// `barrier;` — explicit thread barrier.
+    Barrier,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Name.
+    pub name: Ident,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: Ident,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Return type (`Void` if omitted).
+    pub ret: Type,
+    /// Body.
+    pub body: Block,
+    /// Span of the whole definition.
+    pub span: Span,
+}
+
+/// A whole program: a set of functions, `main` being the entry point.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Functions in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name.name == name)
+    }
+
+    /// The entry point, if present.
+    pub fn main(&self) -> Option<&Function> {
+        self.function("main")
+    }
+
+    /// Total number of statements (recursively), a rough size metric used
+    /// by the benchmark tables.
+    pub fn stmt_count(&self) -> usize {
+        fn count_block(b: &Block) -> usize {
+            b.stmts.iter().map(count_stmt).sum()
+        }
+        fn count_stmt(s: &Stmt) -> usize {
+            1 + match &s.kind {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => count_block(then_blk) + else_blk.as_ref().map_or(0, count_block),
+                StmtKind::While { body, .. } | StmtKind::For { body, .. } => count_block(body),
+                StmtKind::Omp(o) => match o {
+                    OmpStmt::Parallel { body, .. }
+                    | OmpStmt::Single { body, .. }
+                    | OmpStmt::Master { body }
+                    | OmpStmt::Critical { body }
+                    | OmpStmt::PFor { body, .. } => count_block(body),
+                    OmpStmt::Sections { sections, .. } => sections.iter().map(count_block).sum(),
+                },
+                _ => 0,
+            }
+        }
+        self.functions.iter().map(|f| count_block(&f.body)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_color_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in CollectiveKind::ALL {
+            assert!(k.color() > 0, "color 0 is reserved");
+            assert!(seen.insert(k.color()), "duplicate color for {k}");
+            assert_eq!(CollectiveKind::from_name(k.mpi_name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn collective_argument_shape() {
+        assert!(CollectiveKind::Bcast.has_root());
+        assert!(!CollectiveKind::Bcast.has_reduce_op());
+        assert!(CollectiveKind::Reduce.has_root());
+        assert!(CollectiveKind::Reduce.has_reduce_op());
+        assert!(!CollectiveKind::Allreduce.has_root());
+        assert!(CollectiveKind::Allreduce.has_reduce_op());
+        assert!(!CollectiveKind::Barrier.has_root());
+        assert!(!CollectiveKind::Barrier.has_reduce_op());
+    }
+
+    #[test]
+    fn thread_levels_ordered() {
+        assert!(ThreadLevel::Single < ThreadLevel::Funneled);
+        assert!(ThreadLevel::Funneled < ThreadLevel::Serialized);
+        assert!(ThreadLevel::Serialized < ThreadLevel::Multiple);
+        assert_eq!(ThreadLevel::from_name("SERIALIZED"), Some(ThreadLevel::Serialized));
+        assert_eq!(ThreadLevel::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn type_helpers() {
+        assert!(Type::Int.is_numeric());
+        assert!(!Type::Bool.is_numeric());
+        assert_eq!(Type::ArrayInt.elem(), Some(Type::Int));
+        assert_eq!(Type::array_of(Type::Float), Some(Type::ArrayFloat));
+        assert_eq!(Type::array_of(Type::Bool), None);
+    }
+
+    #[test]
+    fn expr_walk_visits_all() {
+        // 1 + f(a[i], -2)
+        let e = Expr::new(
+            ExprKind::Binary(
+                BinOp::Add,
+                Box::new(Expr::int(1, Span::DUMMY)),
+                Box::new(Expr::new(
+                    ExprKind::Call(
+                        Ident::synth("f"),
+                        vec![
+                            Expr::new(
+                                ExprKind::Index(
+                                    Ident::synth("a"),
+                                    Box::new(Expr::new(
+                                        ExprKind::Var(Ident::synth("i")),
+                                        Span::DUMMY,
+                                    )),
+                                ),
+                                Span::DUMMY,
+                            ),
+                            Expr::new(
+                                ExprKind::Unary(UnOp::Neg, Box::new(Expr::int(2, Span::DUMMY))),
+                                Span::DUMMY,
+                            ),
+                        ],
+                    ),
+                    Span::DUMMY,
+                )),
+            ),
+            Span::DUMMY,
+        );
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn reduce_ops_roundtrip() {
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Prod,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::Land,
+            ReduceOp::Lor,
+        ] {
+            assert_eq!(ReduceOp::from_name(op.name()), Some(op));
+        }
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        // fn main { if (true) { let x = 1; } }  => if + let = 2
+        let prog = Program {
+            functions: vec![Function {
+                name: Ident::synth("main"),
+                params: vec![],
+                ret: Type::Void,
+                span: Span::DUMMY,
+                body: Block {
+                    stmts: vec![Stmt::new(
+                        StmtKind::If {
+                            cond: Expr::new(ExprKind::Bool(true), Span::DUMMY),
+                            then_blk: Block {
+                                stmts: vec![Stmt::new(
+                                    StmtKind::Let {
+                                        name: Ident::synth("x"),
+                                        ty: None,
+                                        init: Expr::int(1, Span::DUMMY),
+                                    },
+                                    Span::DUMMY,
+                                )],
+                                span: Span::DUMMY,
+                            },
+                            else_blk: None,
+                        },
+                        Span::DUMMY,
+                    )],
+                    span: Span::DUMMY,
+                },
+            }],
+        };
+        assert_eq!(prog.stmt_count(), 2);
+        assert!(prog.main().is_some());
+    }
+}

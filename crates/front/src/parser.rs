@@ -1,0 +1,1086 @@
+//! Recursive-descent parser for MiniHPC.
+//!
+//! The grammar is LL(2); see `DESIGN.md` §4 for the surface syntax. The
+//! parser is resilient: on error it records a diagnostic and synchronizes
+//! to the next statement/function boundary so one typo does not hide the
+//! rest of the program.
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete program from source text.
+///
+/// Returns the (possibly partial) AST plus diagnostics; callers should
+/// check [`Diagnostics::has_errors`] before trusting the AST.
+pub fn parse_program(src: &str) -> (Program, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let tokens = lex(src, &mut diags);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
+    let prog = p.program();
+    (prog, p.diags)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Diagnostics,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            let found = self.peek().describe();
+            self.diags.error(
+                "parse-error",
+                format!("expected {}, found {}", kind.describe(), found),
+                self.span(),
+            );
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Ident {
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let t = self.bump();
+            Ident::new(name, t.span)
+        } else {
+            self.diags.error(
+                "parse-error",
+                format!("expected {what}, found {}", self.peek().describe()),
+                self.span(),
+            );
+            Ident::new("<error>", self.span())
+        }
+    }
+
+    /// Skip tokens until a plausible statement start or block boundary.
+    fn synchronize_stmt(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace | TokenKind::Eof => return,
+                TokenKind::Let
+                | TokenKind::If
+                | TokenKind::While
+                | TokenKind::For
+                | TokenKind::Return
+                | TokenKind::Parallel
+                | TokenKind::Single
+                | TokenKind::Master
+                | TokenKind::Critical
+                | TokenKind::Barrier
+                | TokenKind::PFor
+                | TokenKind::Sections
+                | TokenKind::Fn => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- grammar productions -------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut functions = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            if self.at(&TokenKind::Fn) {
+                functions.push(self.function());
+            } else {
+                self.diags.error(
+                    "parse-error",
+                    format!(
+                        "expected `fn` at top level, found {}",
+                        self.peek().describe()
+                    ),
+                    self.span(),
+                );
+                self.bump();
+                // Skip until the next `fn` or EOF.
+                while !self.at(&TokenKind::Fn) && !self.at(&TokenKind::Eof) {
+                    self.bump();
+                }
+            }
+        }
+        Program { functions }
+    }
+
+    fn function(&mut self) -> Function {
+        let start = self.span();
+        self.expect(&TokenKind::Fn);
+        let name = self.expect_ident("function name");
+        self.expect(&TokenKind::LParen);
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let pname = self.expect_ident("parameter name");
+                self.expect(&TokenKind::Colon);
+                let ty = self.ty();
+                params.push(Param { name: pname, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        let ret = if self.eat(&TokenKind::Arrow) {
+            self.ty()
+        } else {
+            Type::Void
+        };
+        let body = self.block();
+        let span = start.to(body.span);
+        Function {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        }
+    }
+
+    fn ty(&mut self) -> Type {
+        let base = match self.peek() {
+            TokenKind::TyInt => {
+                self.bump();
+                Type::Int
+            }
+            TokenKind::TyFloat => {
+                self.bump();
+                Type::Float
+            }
+            TokenKind::TyBool => {
+                self.bump();
+                Type::Bool
+            }
+            TokenKind::TyVoid => {
+                self.bump();
+                Type::Void
+            }
+            other => {
+                let msg = format!("expected type, found {}", other.describe());
+                self.diags.error("parse-error", msg, self.span());
+                self.bump();
+                Type::Int
+            }
+        };
+        // Array suffix `[]`.
+        if self.at(&TokenKind::LBracket) && self.peek2() == &TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            match Type::array_of(base) {
+                Some(t) => t,
+                None => {
+                    self.diags.error(
+                        "parse-error",
+                        format!("`{base}[]` is not a valid type"),
+                        self.prev_span(),
+                    );
+                    Type::ArrayInt
+                }
+            }
+        } else {
+            base
+        }
+    }
+
+    fn block(&mut self) -> Block {
+        let start = self.span();
+        if !self.expect(&TokenKind::LBrace) {
+            return Block {
+                stmts: Vec::new(),
+                span: start,
+            };
+        }
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            stmts.push(self.stmt());
+            if self.pos == before {
+                // No progress: drop the offending token to avoid looping.
+                self.bump();
+            }
+        }
+        let end = self.span();
+        self.expect(&TokenKind::RBrace);
+        Block {
+            stmts,
+            span: start.to(end),
+        }
+    }
+
+    fn stmt(&mut self) -> Stmt {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Let => self.let_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr())
+                };
+                self.expect(&TokenKind::Semi);
+                Stmt::new(StmtKind::Return(value), start.to(self.prev_span()))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi);
+                Stmt::new(StmtKind::Break, start.to(self.prev_span()))
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi);
+                Stmt::new(StmtKind::Continue, start.to(self.prev_span()))
+            }
+            TokenKind::Print => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let mut args = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr());
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen);
+                self.expect(&TokenKind::Semi);
+                Stmt::new(StmtKind::Print(args), start.to(self.prev_span()))
+            }
+            TokenKind::Barrier => {
+                self.bump();
+                self.expect(&TokenKind::Semi);
+                Stmt::new(StmtKind::Barrier, start.to(self.prev_span()))
+            }
+            TokenKind::Parallel => self.parallel_stmt(),
+            TokenKind::Single => self.single_stmt(),
+            TokenKind::Master => {
+                self.bump();
+                let body = self.block();
+                let span = start.to(body.span);
+                Stmt::new(StmtKind::Omp(OmpStmt::Master { body }), span)
+            }
+            TokenKind::Critical => {
+                self.bump();
+                let body = self.block();
+                let span = start.to(body.span);
+                Stmt::new(StmtKind::Omp(OmpStmt::Critical { body }), span)
+            }
+            TokenKind::PFor => self.pfor_stmt(),
+            TokenKind::Sections => self.sections_stmt(),
+            TokenKind::Ident(_) => self.assign_or_expr_stmt(),
+            _ => {
+                // Expression statement fallback (e.g. a bare MPI call would
+                // be an Ident; anything else here is an error).
+                let before = self.diags.len();
+                let e = self.expr();
+                if self.diags.len() > before {
+                    self.synchronize_stmt();
+                } else {
+                    self.expect(&TokenKind::Semi);
+                }
+                Stmt::new(StmtKind::Expr(e), start.to(self.prev_span()))
+            }
+        }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // let
+        let name = self.expect_ident("variable name");
+        let ty = if self.eat(&TokenKind::Colon) {
+            Some(self.ty())
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Assign);
+        let init = self.expr();
+        self.expect(&TokenKind::Semi);
+        Stmt::new(StmtKind::Let { name, ty, init }, start.to(self.prev_span()))
+    }
+
+    fn if_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // if
+        self.expect(&TokenKind::LParen);
+        let cond = self.expr();
+        self.expect(&TokenKind::RParen);
+        let then_blk = self.block();
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                // `else if` sugar: wrap the nested if in a block.
+                let nested = self.if_stmt();
+                let span = nested.span;
+                Some(Block {
+                    stmts: vec![nested],
+                    span,
+                })
+            } else {
+                Some(self.block())
+            }
+        } else {
+            None
+        };
+        let end = else_blk
+            .as_ref()
+            .map(|b| b.span)
+            .unwrap_or(then_blk.span);
+        Stmt::new(
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            start.to(end),
+        )
+    }
+
+    fn while_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // while
+        self.expect(&TokenKind::LParen);
+        let cond = self.expr();
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        let span = start.to(body.span);
+        Stmt::new(StmtKind::While { cond, body }, span)
+    }
+
+    fn for_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // for
+        self.expect(&TokenKind::LParen);
+        let var = self.expect_ident("loop variable");
+        self.expect(&TokenKind::In);
+        let lo = self.expr();
+        self.expect(&TokenKind::DotDot);
+        let hi = self.expr();
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        let span = start.to(body.span);
+        Stmt::new(StmtKind::For { var, lo, hi, body }, span)
+    }
+
+    fn parallel_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // parallel
+        let num_threads = if self.eat(&TokenKind::NumThreadsClause) {
+            self.expect(&TokenKind::LParen);
+            let e = self.expr();
+            self.expect(&TokenKind::RParen);
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        let body = self.block();
+        let span = start.to(body.span);
+        Stmt::new(StmtKind::Omp(OmpStmt::Parallel { num_threads, body }), span)
+    }
+
+    fn single_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // single
+        let nowait = self.eat(&TokenKind::Nowait);
+        let body = self.block();
+        let span = start.to(body.span);
+        Stmt::new(StmtKind::Omp(OmpStmt::Single { nowait, body }), span)
+    }
+
+    fn pfor_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // pfor
+        let nowait = self.eat(&TokenKind::Nowait);
+        self.expect(&TokenKind::LParen);
+        let var = self.expect_ident("loop variable");
+        self.expect(&TokenKind::In);
+        let lo = self.expr();
+        self.expect(&TokenKind::DotDot);
+        let hi = self.expr();
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        let span = start.to(body.span);
+        Stmt::new(
+            StmtKind::Omp(OmpStmt::PFor {
+                nowait,
+                var,
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                body,
+            }),
+            span,
+        )
+    }
+
+    fn sections_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        self.bump(); // sections
+        let nowait = self.eat(&TokenKind::Nowait);
+        self.expect(&TokenKind::LBrace);
+        let mut sections = Vec::new();
+        while self.at(&TokenKind::Section) {
+            self.bump();
+            sections.push(self.block());
+        }
+        if sections.is_empty() {
+            self.diags.error(
+                "parse-error",
+                "`sections` requires at least one `section` block",
+                self.span(),
+            );
+        }
+        let end = self.span();
+        self.expect(&TokenKind::RBrace);
+        Stmt::new(
+            StmtKind::Omp(OmpStmt::Sections { nowait, sections }),
+            start.to(end),
+        )
+    }
+
+    fn assign_or_expr_stmt(&mut self) -> Stmt {
+        let start = self.span();
+        // Lookahead: IDENT `=` → assign; IDENT `[` expr `]` `=` → indexed
+        // assign. Anything else is an expression statement.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.peek2() == &TokenKind::Assign {
+                let id_tok = self.bump();
+                self.bump(); // =
+                let value = self.expr();
+                self.expect(&TokenKind::Semi);
+                return Stmt::new(
+                    StmtKind::Assign {
+                        target: LValue::Var(Ident::new(name, id_tok.span)),
+                        value,
+                    },
+                    start.to(self.prev_span()),
+                );
+            }
+            if self.peek2() == &TokenKind::LBracket {
+                // Could be `a[i] = e;` or the expression `a[i]` — parse the
+                // index then decide.
+                let save = self.pos;
+                let id_tok = self.bump();
+                self.bump(); // [
+                let idx = self.expr();
+                self.expect(&TokenKind::RBracket);
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr();
+                    self.expect(&TokenKind::Semi);
+                    return Stmt::new(
+                        StmtKind::Assign {
+                            target: LValue::Index(Ident::new(name, id_tok.span), Box::new(idx)),
+                            value,
+                        },
+                        start.to(self.prev_span()),
+                    );
+                }
+                // Not an assignment: rewind and reparse as expression.
+                self.pos = save;
+            }
+        }
+        let e = self.expr();
+        self.expect(&TokenKind::Semi);
+        Stmt::new(StmtKind::Expr(e), start.to(self.prev_span()))
+    }
+
+    // ---- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Expr {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Expr {
+        let mut lhs = self.and_expr();
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.and_expr();
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+        }
+        lhs
+    }
+
+    fn and_expr(&mut self) -> Expr {
+        let mut lhs = self.cmp_expr();
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr();
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span);
+        }
+        lhs
+    }
+
+    fn cmp_expr(&mut self) -> Expr {
+        let lhs = self.add_expr();
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return lhs,
+        };
+        self.bump();
+        let rhs = self.add_expr();
+        let span = lhs.span.to(rhs.span);
+        Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span)
+    }
+
+    fn add_expr(&mut self) -> Expr {
+        let mut lhs = self.mul_expr();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr();
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        lhs
+    }
+
+    fn mul_expr(&mut self) -> Expr {
+        let mut lhs = self.unary_expr();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr();
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        lhs
+    }
+
+    fn unary_expr(&mut self) -> Expr {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr();
+                let span = start.to(e.span);
+                Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), span)
+            }
+            TokenKind::Not => {
+                self.bump();
+                let e = self.unary_expr();
+                let span = start.to(e.span);
+                Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), span)
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Expr {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Expr::new(ExprKind::Int(v), start)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Expr::new(ExprKind::Float(v), start)
+            }
+            TokenKind::Bool(v) => {
+                self.bump();
+                Expr::new(ExprKind::Bool(v), start)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr();
+                self.expect(&TokenKind::RParen);
+                e
+            }
+            TokenKind::Ident(name) => {
+                let id_tok = self.bump();
+                let ident = Ident::new(name.clone(), id_tok.span);
+                if self.at(&TokenKind::LParen) {
+                    self.call_expr(ident)
+                } else if self.at(&TokenKind::LBracket) {
+                    self.bump();
+                    let idx = self.expr();
+                    self.expect(&TokenKind::RBracket);
+                    let span = start.to(self.prev_span());
+                    Expr::new(ExprKind::Index(ident, Box::new(idx)), span)
+                } else {
+                    Expr::new(ExprKind::Var(ident), start)
+                }
+            }
+            other => {
+                self.diags.error(
+                    "parse-error",
+                    format!("expected expression, found {}", other.describe()),
+                    start,
+                );
+                // Produce a placeholder so parsing can continue.
+                Expr::new(ExprKind::Int(0), start)
+            }
+        }
+    }
+
+    /// Parse `name(args…)` where `name` may be an MPI builtin, an
+    /// intrinsic, or a user function.
+    fn call_expr(&mut self, name: Ident) -> Expr {
+        let start = name.span;
+        self.expect(&TokenKind::LParen);
+
+        if name.name.starts_with("MPI_") {
+            return self.mpi_call(name, start);
+        }
+
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr());
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        let span = start.to(self.prev_span());
+
+        if let Some(intr) = Intrinsic::from_name(&name.name) {
+            Expr::new(ExprKind::Intrinsic(intr, args), span)
+        } else {
+            Expr::new(ExprKind::Call(name, args), span)
+        }
+    }
+
+    /// Argument position that must be a bare identifier (reduce op or
+    /// thread level name).
+    fn bare_name_arg(&mut self, what: &str) -> Option<Ident> {
+        if let TokenKind::Ident(n) = self.peek().clone() {
+            let t = self.bump();
+            Some(Ident::new(n, t.span))
+        } else {
+            self.diags.error(
+                "parse-error",
+                format!("expected {what} name, found {}", self.peek().describe()),
+                self.span(),
+            );
+            None
+        }
+    }
+
+    fn mpi_call(&mut self, name: Ident, start: Span) -> Expr {
+        // `(` already consumed.
+        let op: Option<MpiOp> = match name.name.as_str() {
+            "MPI_Init" => Some(MpiOp::Init),
+            "MPI_Finalize" => Some(MpiOp::Finalize),
+            "MPI_Init_thread" => {
+                let level = self.bare_name_arg("thread level").and_then(|id| {
+                    let l = ThreadLevel::from_name(&id.name);
+                    if l.is_none() {
+                        self.diags.error(
+                            "parse-error",
+                            format!(
+                                "unknown thread level `{}` (expected SINGLE, FUNNELED, SERIALIZED or MULTIPLE)",
+                                id.name
+                            ),
+                            id.span,
+                        );
+                    }
+                    l
+                });
+                Some(MpiOp::InitThread {
+                    required: level.unwrap_or(ThreadLevel::Single),
+                })
+            }
+            "MPI_Send" => {
+                let value = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let dest = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let tag = Box::new(self.expr());
+                Some(MpiOp::Send { value, dest, tag })
+            }
+            "MPI_Recv" => {
+                let src = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let tag = Box::new(self.expr());
+                Some(MpiOp::Recv { src, tag })
+            }
+            _ => match CollectiveKind::from_name(&name.name) {
+                Some(kind) => Some(MpiOp::Collective(self.collective_args(kind))),
+                None => {
+                    self.diags.error(
+                        "parse-error",
+                        format!("unknown MPI operation `{}`", name.name),
+                        name.span,
+                    );
+                    None
+                }
+            },
+        };
+        // Consume anything left and the closing paren.
+        while !self.at(&TokenKind::RParen) && !self.at(&TokenKind::Eof) {
+            self.bump();
+        }
+        self.expect(&TokenKind::RParen);
+        let span = start.to(self.prev_span());
+        match op {
+            Some(op) => Expr::new(ExprKind::Mpi(op), span),
+            None => Expr::new(ExprKind::Int(0), span),
+        }
+    }
+
+    fn collective_args(&mut self, kind: CollectiveKind) -> CollectiveCall {
+        let mut call = CollectiveCall {
+            kind,
+            value: None,
+            reduce_op: None,
+            root: None,
+        };
+        if kind == CollectiveKind::Barrier {
+            return call; // no arguments
+        }
+        // value
+        call.value = Some(Box::new(self.expr()));
+        // reduce op
+        if kind.has_reduce_op() && self.expect(&TokenKind::Comma) {
+            {
+                if let Some(id) = self.bare_name_arg("reduction operator") {
+                    match ReduceOp::from_name(&id.name) {
+                        Some(op) => call.reduce_op = Some(op),
+                        None => self.diags.error(
+                            "parse-error",
+                            format!(
+                                "unknown reduction operator `{}` (expected SUM, PROD, MIN, MAX, LAND or LOR)",
+                                id.name
+                            ),
+                            id.span,
+                        ),
+                    }
+                }
+            }
+        }
+        // root
+        if kind.has_root() && self.expect(&TokenKind::Comma) {
+            call.root = Some(Box::new(self.expr()));
+        }
+        call
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        let (prog, diags) = parse_program(src);
+        assert!(
+            !diags.has_errors(),
+            "unexpected parse errors:\n{:#?}",
+            diags.into_vec()
+        );
+        prog
+    }
+
+    fn parse_err(src: &str) -> Diagnostics {
+        let (_prog, diags) = parse_program(src);
+        assert!(diags.has_errors(), "expected parse errors, got none");
+        diags
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = parse_ok("");
+        assert!(p.functions.is_empty());
+    }
+
+    #[test]
+    fn minimal_main() {
+        let p = parse_ok("fn main() {}");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name.name, "main");
+        assert_eq!(p.functions[0].ret, Type::Void);
+        assert!(p.functions[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn function_with_params_and_return() {
+        let p = parse_ok("fn f(a: int, b: float[], c: bool) -> int { return a; }");
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].ty, Type::Int);
+        assert_eq!(f.params[1].ty, Type::ArrayFloat);
+        assert_eq!(f.params[2].ty, Type::Bool);
+        assert_eq!(f.ret, Type::Int);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_ok("fn main() { let x = 1 + 2 * 3; }");
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!("expected let");
+        };
+        // Must parse as 1 + (2 * 3)
+        let ExprKind::Binary(BinOp::Add, l, r) = &init.kind else {
+            panic!("expected add at top: {init:?}");
+        };
+        assert!(matches!(l.kind, ExprKind::Int(1)));
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let p = parse_ok("fn main() { let x = true || false && true; }");
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        // || binds loosest: true || (false && true)
+        assert!(matches!(init.kind, ExprKind::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse_ok(
+            "fn main() { if (rank() == 0) { } else if (rank() == 1) { } else { } }",
+        );
+        let StmtKind::If { else_blk, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn while_for_loops() {
+        let p = parse_ok("fn main() { while (true) { break; } for (i in 0..10) { continue; } }");
+        assert!(matches!(p.functions[0].body.stmts[0].kind, StmtKind::While { .. }));
+        assert!(matches!(p.functions[0].body.stmts[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn omp_constructs() {
+        let p = parse_ok(
+            "fn main() {
+                parallel num_threads(4) {
+                    single nowait { }
+                    master { }
+                    critical { }
+                    barrier;
+                    pfor (i in 0..8) { }
+                    pfor nowait (j in 0..8) { }
+                    sections { section { } section { } }
+                }
+            }",
+        );
+        let StmtKind::Omp(OmpStmt::Parallel { num_threads, body }) =
+            &p.functions[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert!(num_threads.is_some());
+        assert_eq!(body.stmts.len(), 7);
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::Omp(OmpStmt::Single { nowait: true, .. })
+        ));
+        assert!(matches!(body.stmts[4].kind, StmtKind::Omp(OmpStmt::PFor { nowait: false, .. })));
+        assert!(matches!(body.stmts[5].kind, StmtKind::Omp(OmpStmt::PFor { nowait: true, .. })));
+        if let StmtKind::Omp(OmpStmt::Sections { sections, .. }) = &body.stmts[6].kind {
+            assert_eq!(sections.len(), 2);
+        } else {
+            panic!("expected sections");
+        }
+    }
+
+    #[test]
+    fn mpi_collectives() {
+        let p = parse_ok(
+            "fn main() {
+                MPI_Init();
+                MPI_Barrier();
+                let s = MPI_Allreduce(1, SUM);
+                let b = MPI_Bcast(s, 0);
+                let r = MPI_Reduce(b, MAX, 0);
+                MPI_Finalize();
+            }",
+        );
+        let stmts = &p.functions[0].body.stmts;
+        assert!(matches!(
+            &stmts[1].kind,
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Mpi(MpiOp::Collective(CollectiveCall {
+                    kind: CollectiveKind::Barrier,
+                    ..
+                })),
+                ..
+            })
+        ));
+        let StmtKind::Let { init, .. } = &stmts[2].kind else { panic!() };
+        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else { panic!() };
+        assert_eq!(c.kind, CollectiveKind::Allreduce);
+        assert_eq!(c.reduce_op, Some(ReduceOp::Sum));
+        assert!(c.root.is_none());
+        let StmtKind::Let { init, .. } = &stmts[4].kind else { panic!() };
+        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else { panic!() };
+        assert_eq!(c.kind, CollectiveKind::Reduce);
+        assert_eq!(c.reduce_op, Some(ReduceOp::Max));
+        assert!(c.root.is_some());
+    }
+
+    #[test]
+    fn mpi_init_thread() {
+        let p = parse_ok("fn main() { MPI_Init_thread(MULTIPLE); }");
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        assert!(matches!(
+            e.kind,
+            ExprKind::Mpi(MpiOp::InitThread {
+                required: ThreadLevel::Multiple
+            })
+        ));
+    }
+
+    #[test]
+    fn mpi_send_recv() {
+        let p = parse_ok("fn main() { MPI_Send(1, 0, 7); let v = MPI_Recv(1, 7); }");
+        assert_eq!(p.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn intrinsics_resolved() {
+        let p = parse_ok("fn main() { let r = rank(); let a = array(10, 0); let n = len(a); }");
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else { panic!() };
+        assert!(matches!(init.kind, ExprKind::Intrinsic(Intrinsic::Rank, _)));
+    }
+
+    #[test]
+    fn indexed_assignment_vs_expression() {
+        let p = parse_ok("fn main() { let a = array(4, 0); a[1] = 2; let x = a[1]; }");
+        assert!(matches!(
+            p.functions[0].body.stmts[1].kind,
+            StmtKind::Assign {
+                target: LValue::Index(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_mpi_op_is_error() {
+        parse_err("fn main() { MPI_Frobnicate(1); }");
+    }
+
+    #[test]
+    fn unknown_reduce_op_is_error() {
+        parse_err("fn main() { let x = MPI_Allreduce(1, BOGUS); }");
+    }
+
+    #[test]
+    fn missing_semicolon_is_error_but_recovers() {
+        let (prog, diags) = parse_program("fn main() { let x = 1 let y = 2; }");
+        assert!(diags.has_errors());
+        // Recovery should still see both lets.
+        assert_eq!(prog.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_recovery_across_functions() {
+        let (prog, diags) = parse_program("fn broken( { } fn ok() { }");
+        assert!(diags.has_errors());
+        assert!(prog.functions.iter().any(|f| f.name.name == "ok"));
+    }
+
+    #[test]
+    fn sections_requires_section() {
+        parse_err("fn main() { parallel { sections { } } }");
+    }
+
+    #[test]
+    fn nested_parallel_parses() {
+        let p = parse_ok("fn main() { parallel { parallel { single { } } } }");
+        let StmtKind::Omp(OmpStmt::Parallel { body, .. }) = &p.functions[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::Omp(OmpStmt::Parallel { .. })
+        ));
+    }
+
+    #[test]
+    fn spans_cover_statements() {
+        let src = "fn main() { let x = 1; }";
+        let p = parse_ok(src);
+        let s = &p.functions[0].body.stmts[0];
+        assert_eq!(&src[s.span.lo as usize..s.span.hi as usize], "let x = 1;");
+    }
+
+    #[test]
+    fn deeply_nested_expression() {
+        let depth = 100;
+        let src = format!(
+            "fn main() {{ let x = {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        parse_ok(&src);
+    }
+}

@@ -1,0 +1,1130 @@
+//! Semantic analysis: name resolution, type checking and the structural
+//! rules of the paper's execution model.
+//!
+//! The paper (§1) assumes "an explicit fork/join model, with perfectly
+//! nested regions". Sema enforces the structural half of that contract so
+//! that the later parallelism-word computation is well-defined:
+//!
+//! * `return` may not appear inside any OpenMP construct (no branching out
+//!   of a structured region);
+//! * `break`/`continue` may not cross a construct boundary;
+//! * `break` may not leave a worksharing `pfor`;
+//! * an explicit `barrier` may not be nested inside `single`, `master`,
+//!   `critical`, `pfor` or `sections` (illegal in OpenMP and would
+//!   deadlock the team).
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// A function signature as seen by callers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    /// Parameter types in order.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+/// Result of semantic analysis over a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct SemaResult {
+    /// Signatures for every function, by name.
+    pub signatures: HashMap<String, Signature>,
+}
+
+/// Type-check and structurally validate `prog`, reporting into `diags`.
+pub fn check_program(prog: &Program, diags: &mut Diagnostics) -> SemaResult {
+    let mut signatures = HashMap::new();
+    for f in &prog.functions {
+        let sig = Signature {
+            params: f.params.iter().map(|p| p.ty).collect(),
+            ret: f.ret,
+        };
+        if signatures.insert(f.name.name.clone(), sig).is_some() {
+            diags.error(
+                "duplicate-function",
+                format!("function `{}` is defined more than once", f.name.name),
+                f.name.span,
+            );
+        }
+    }
+    if !signatures.contains_key("main") {
+        diags.error(
+            "missing-main",
+            "program has no `main` function",
+            Span::DUMMY,
+        );
+    } else if let Some(main) = prog.function("main") {
+        if !main.params.is_empty() {
+            diags.error(
+                "bad-main",
+                "`main` must take no parameters",
+                main.name.span,
+            );
+        }
+    }
+
+    for f in &prog.functions {
+        let mut ck = Checker {
+            signatures: &signatures,
+            diags,
+            scopes: vec![HashMap::new()],
+            ret_ty: f.ret,
+            omp_depth: 0,
+            loops: Vec::new(),
+            fn_name: &f.name.name,
+            barrier_forbidden: false,
+        };
+        for p in &f.params {
+            if p.ty == Type::Void {
+                ck.diags.error(
+                    "bad-param",
+                    format!("parameter `{}` cannot have type void", p.name.name),
+                    p.name.span,
+                );
+            }
+            ck.declare(&p.name, p.ty);
+        }
+        ck.check_block(&f.body);
+    }
+
+    SemaResult { signatures }
+}
+
+/// What kind of loop a `break`/`continue` may target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LoopKind {
+    Sequential,
+    Workshare,
+}
+
+struct LoopCtx {
+    kind: LoopKind,
+    /// OMP nesting depth at loop entry; `break`/`continue` must occur at
+    /// the same depth.
+    omp_depth: u32,
+}
+
+struct Checker<'a> {
+    signatures: &'a HashMap<String, Signature>,
+    diags: &'a mut Diagnostics,
+    /// Lexical scopes, innermost last.
+    scopes: Vec<HashMap<String, Type>>,
+    ret_ty: Type,
+    omp_depth: u32,
+    loops: Vec<LoopCtx>,
+    fn_name: &'a str,
+    /// True while inside single/master/critical/pfor/sections, where an
+    /// explicit `barrier` is illegal.
+    barrier_forbidden: bool,
+}
+
+impl<'a> Checker<'a> {
+    fn declare(&mut self, name: &Ident, ty: Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.name.clone(), ty);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn check_block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    /// Check a construct body with OMP depth increased by one.
+    fn check_omp_body(&mut self, b: &Block) {
+        self.omp_depth += 1;
+        self.check_block(b);
+        self.omp_depth -= 1;
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Let { name, ty, init } => {
+                let init_ty = self.check_expr(init);
+                let final_ty = match ty {
+                    Some(annot) => {
+                        if *annot == Type::Void {
+                            self.diags.error(
+                                "bad-type",
+                                "variables cannot have type void",
+                                name.span,
+                            );
+                        } else if init_ty != Type::Void && init_ty != *annot {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!(
+                                    "`{}` declared as {annot} but initialized with {init_ty}",
+                                    name.name
+                                ),
+                                init.span,
+                            );
+                        }
+                        *annot
+                    }
+                    None => {
+                        if init_ty == Type::Void {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!(
+                                    "cannot infer a type for `{}` from a void expression",
+                                    name.name
+                                ),
+                                init.span,
+                            );
+                            Type::Int
+                        } else {
+                            init_ty
+                        }
+                    }
+                };
+                self.declare(name, final_ty);
+            }
+            StmtKind::Assign { target, value } => {
+                let value_ty = self.check_expr(value);
+                match target {
+                    LValue::Var(id) => match self.lookup(&id.name) {
+                        Some(t) => {
+                            if value_ty != Type::Void && value_ty != t {
+                                self.diags.error(
+                                    "type-mismatch",
+                                    format!(
+                                        "cannot assign {value_ty} to `{}` of type {t}",
+                                        id.name
+                                    ),
+                                    value.span,
+                                );
+                            }
+                        }
+                        None => self.undeclared(id),
+                    },
+                    LValue::Index(id, idx) => {
+                        let idx_ty = self.check_expr(idx);
+                        if idx_ty != Type::Int {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!("array index must be int, found {idx_ty}"),
+                                idx.span,
+                            );
+                        }
+                        match self.lookup(&id.name) {
+                            Some(t) if t.is_array() => {
+                                let elem = t.elem().expect("array type has elem");
+                                if value_ty != elem {
+                                    self.diags.error(
+                                        "type-mismatch",
+                                        format!(
+                                            "cannot store {value_ty} into `{}` of type {t}",
+                                            id.name
+                                        ),
+                                        value.span,
+                                    );
+                                }
+                            }
+                            Some(t) => self.diags.error(
+                                "type-mismatch",
+                                format!("`{}` of type {t} cannot be indexed", id.name),
+                                id.span,
+                            ),
+                            None => self.undeclared(id),
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expect_ty(cond, Type::Bool, "if condition");
+                self.check_block(then_blk);
+                if let Some(e) = else_blk {
+                    self.check_block(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_ty(cond, Type::Bool, "while condition");
+                self.loops.push(LoopCtx {
+                    kind: LoopKind::Sequential,
+                    omp_depth: self.omp_depth,
+                });
+                self.check_block(body);
+                self.loops.pop();
+            }
+            StmtKind::For { var, lo, hi, body } => {
+                self.expect_ty(lo, Type::Int, "for lower bound");
+                self.expect_ty(hi, Type::Int, "for upper bound");
+                self.loops.push(LoopCtx {
+                    kind: LoopKind::Sequential,
+                    omp_depth: self.omp_depth,
+                });
+                self.scopes.push(HashMap::new());
+                self.declare(var, Type::Int);
+                for st in &body.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+                self.loops.pop();
+            }
+            StmtKind::Return(value) => {
+                if self.omp_depth > 0 {
+                    self.diags.error(
+                        "return-in-omp",
+                        format!(
+                            "`return` inside a parallel construct is not allowed in \
+                             `{}` (the model requires perfectly nested regions)",
+                            self.fn_name
+                        ),
+                        s.span,
+                    );
+                }
+                match (value, self.ret_ty) {
+                    (None, Type::Void) => {}
+                    (None, t) => self.diags.error(
+                        "type-mismatch",
+                        format!("function returns {t} but `return;` has no value"),
+                        s.span,
+                    ),
+                    (Some(v), t) => {
+                        let vt = self.check_expr(v);
+                        if t == Type::Void {
+                            self.diags.error(
+                                "type-mismatch",
+                                "void function cannot return a value",
+                                v.span,
+                            );
+                        } else if vt != t {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!("function returns {t} but value has type {vt}"),
+                                v.span,
+                            );
+                        }
+                    }
+                }
+            }
+            StmtKind::Break => match self.loops.last() {
+                None => self.diags.error(
+                    "break-outside-loop",
+                    "`break` outside of a loop",
+                    s.span,
+                ),
+                Some(l) if l.kind == LoopKind::Workshare => self.diags.error(
+                    "break-in-pfor",
+                    "`break` cannot leave a worksharing `pfor` loop",
+                    s.span,
+                ),
+                Some(l) if l.omp_depth != self.omp_depth => self.diags.error(
+                    "break-across-omp",
+                    "`break` would leave an enclosing parallel construct",
+                    s.span,
+                ),
+                Some(_) => {}
+            },
+            StmtKind::Continue => match self.loops.last() {
+                None => self.diags.error(
+                    "continue-outside-loop",
+                    "`continue` outside of a loop",
+                    s.span,
+                ),
+                Some(l) if l.kind != LoopKind::Workshare && l.omp_depth != self.omp_depth => {
+                    self.diags.error(
+                        "continue-across-omp",
+                        "`continue` would leave an enclosing parallel construct",
+                        s.span,
+                    )
+                }
+                Some(_) => {}
+            },
+            StmtKind::Expr(e) => {
+                self.check_expr(e);
+            }
+            StmtKind::Print(args) => {
+                for a in args {
+                    let t = self.check_expr(a);
+                    if t == Type::Void {
+                        self.diags
+                            .error("type-mismatch", "cannot print a void value", a.span);
+                    }
+                }
+            }
+            StmtKind::Barrier => {
+                // Illegal inside the worksharing/single-threaded constructs.
+                // We track which construct we are under via the loop stack
+                // for pfor and via `forbidden_barrier_depth`.
+                if self.barrier_forbidden {
+                    self.diags.error(
+                        "barrier-bad-nesting",
+                        "`barrier` may not be nested inside single, master, critical, \
+                         pfor or sections",
+                        s.span,
+                    );
+                }
+            }
+            StmtKind::Omp(omp) => self.check_omp(omp, s.span),
+        }
+    }
+
+    fn check_omp(&mut self, omp: &OmpStmt, span: Span) {
+        // OpenMP closely-nested-region rule: worksharing constructs,
+        // `single` and `master` may not be closely nested inside
+        // worksharing, `single`, `master` or `critical` regions (an
+        // intervening `parallel` resets the restriction). Without this
+        // the fork/join region structure — and hence the parallelism
+        // word — would be ill-defined.
+        if self.barrier_forbidden
+            && !matches!(omp, OmpStmt::Parallel { .. } | OmpStmt::Critical { .. })
+        {
+            self.diags.error(
+                "closely-nested",
+                format!(
+                    "`{}` may not be closely nested inside a single, master, critical, \
+                     pfor or sections region",
+                    omp.construct_name()
+                ),
+                span,
+            );
+        }
+        match omp {
+            OmpStmt::Parallel { num_threads, body } => {
+                if let Some(e) = num_threads {
+                    self.expect_ty(e, Type::Int, "num_threads clause");
+                }
+                // A new parallel region resets the barrier restriction:
+                // a barrier directly inside the nested region is legal.
+                let saved = self.barrier_forbidden;
+                self.barrier_forbidden = false;
+                self.check_omp_body(body);
+                self.barrier_forbidden = saved;
+            }
+            OmpStmt::Single { body, .. } | OmpStmt::Master { body } => {
+                let saved = self.barrier_forbidden;
+                self.barrier_forbidden = true;
+                self.check_omp_body(body);
+                self.barrier_forbidden = saved;
+            }
+            OmpStmt::Critical { body } => {
+                let saved = self.barrier_forbidden;
+                self.barrier_forbidden = true;
+                self.check_omp_body(body);
+                self.barrier_forbidden = saved;
+            }
+            OmpStmt::PFor {
+                var, lo, hi, body, ..
+            } => {
+                self.expect_ty(lo, Type::Int, "pfor lower bound");
+                self.expect_ty(hi, Type::Int, "pfor upper bound");
+                let saved = self.barrier_forbidden;
+                self.barrier_forbidden = true;
+                self.loops.push(LoopCtx {
+                    kind: LoopKind::Workshare,
+                    omp_depth: self.omp_depth + 1,
+                });
+                self.omp_depth += 1;
+                self.scopes.push(HashMap::new());
+                self.declare(var, Type::Int);
+                for st in &body.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+                self.omp_depth -= 1;
+                self.loops.pop();
+                self.barrier_forbidden = saved;
+            }
+            OmpStmt::Sections { sections, .. } => {
+                let saved = self.barrier_forbidden;
+                self.barrier_forbidden = true;
+                for sec in sections {
+                    self.check_omp_body(sec);
+                }
+                self.barrier_forbidden = saved;
+            }
+        }
+    }
+
+    fn undeclared(&mut self, id: &Ident) {
+        self.diags.error(
+            "undeclared-variable",
+            format!("use of undeclared variable `{}`", id.name),
+            id.span,
+        );
+    }
+
+    fn expect_ty(&mut self, e: &Expr, want: Type, what: &str) {
+        let got = self.check_expr(e);
+        if got != want {
+            self.diags.error(
+                "type-mismatch",
+                format!("{what} must be {want}, found {got}"),
+                e.span,
+            );
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Type {
+        match &e.kind {
+            ExprKind::Int(_) => Type::Int,
+            ExprKind::Float(_) => Type::Float,
+            ExprKind::Bool(_) => Type::Bool,
+            ExprKind::Var(id) => match self.lookup(&id.name) {
+                Some(t) => t,
+                None => {
+                    self.undeclared(id);
+                    Type::Int
+                }
+            },
+            ExprKind::Index(id, idx) => {
+                self.expect_ty(idx, Type::Int, "array index");
+                match self.lookup(&id.name) {
+                    Some(t) if t.is_array() => t.elem().expect("array elem"),
+                    Some(t) => {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` of type {t} cannot be indexed", id.name),
+                            id.span,
+                        );
+                        Type::Int
+                    }
+                    None => {
+                        self.undeclared(id);
+                        Type::Int
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.check_expr(inner);
+                match op {
+                    UnOp::Neg => {
+                        if !t.is_numeric() {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!("cannot negate {t}"),
+                                inner.span,
+                            );
+                            Type::Int
+                        } else {
+                            t
+                        }
+                    }
+                    UnOp::Not => {
+                        if t != Type::Bool {
+                            self.diags.error(
+                                "type-mismatch",
+                                format!("`!` requires bool, found {t}"),
+                                inner.span,
+                            );
+                        }
+                        Type::Bool
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lt = self.check_expr(l);
+                let rt = self.check_expr(r);
+                if op.is_arith() {
+                    if lt != rt || !lt.is_numeric() {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` requires matching numeric operands, found {lt} and {rt}", op.symbol()),
+                            e.span,
+                        );
+                        return Type::Int;
+                    }
+                    lt
+                } else if op.is_cmp() {
+                    if lt != rt {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` requires matching operands, found {lt} and {rt}", op.symbol()),
+                            e.span,
+                        );
+                    } else if lt.is_array() || lt == Type::Void {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` cannot compare {lt} values", op.symbol()),
+                            e.span,
+                        );
+                    } else if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+                        && lt == Type::Bool
+                    {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` cannot order bool values", op.symbol()),
+                            e.span,
+                        );
+                    }
+                    Type::Bool
+                } else {
+                    // logic
+                    if lt != Type::Bool || rt != Type::Bool {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("`{}` requires bool operands, found {lt} and {rt}", op.symbol()),
+                            e.span,
+                        );
+                    }
+                    Type::Bool
+                }
+            }
+            ExprKind::Call(name, args) => {
+                let arg_tys: Vec<Type> = args.iter().map(|a| self.check_expr(a)).collect();
+                match self.signatures.get(&name.name) {
+                    None => {
+                        self.diags.error(
+                            "unknown-function",
+                            format!("call to undefined function `{}`", name.name),
+                            name.span,
+                        );
+                        Type::Int
+                    }
+                    Some(sig) => {
+                        if sig.params.len() != arg_tys.len() {
+                            self.diags.error(
+                                "arity-mismatch",
+                                format!(
+                                    "`{}` expects {} argument(s), {} given",
+                                    name.name,
+                                    sig.params.len(),
+                                    arg_tys.len()
+                                ),
+                                name.span,
+                            );
+                        } else {
+                            for (i, (want, got)) in
+                                sig.params.iter().zip(arg_tys.iter()).enumerate()
+                            {
+                                if want != got {
+                                    self.diags.error(
+                                        "type-mismatch",
+                                        format!(
+                                            "argument {} of `{}` expects {want}, found {got}",
+                                            i + 1,
+                                            name.name
+                                        ),
+                                        args[i].span,
+                                    );
+                                }
+                            }
+                        }
+                        sig.ret
+                    }
+                }
+            }
+            ExprKind::Intrinsic(intr, args) => self.check_intrinsic(*intr, args, e.span),
+            ExprKind::Mpi(op) => self.check_mpi(op, e.span),
+        }
+    }
+
+    fn check_intrinsic(&mut self, intr: Intrinsic, args: &[Expr], span: Span) -> Type {
+        let arg_tys: Vec<Type> = args.iter().map(|a| self.check_expr(a)).collect();
+        let arity_err = |ck: &mut Self, want: usize| {
+            ck.diags.error(
+                "arity-mismatch",
+                format!("`{}` expects {want} argument(s), {} given", intr.name(), args.len()),
+                span,
+            );
+        };
+        match intr {
+            Intrinsic::Rank | Intrinsic::Size | Intrinsic::ThreadNum | Intrinsic::NumThreads => {
+                if !args.is_empty() {
+                    arity_err(self, 0);
+                }
+                Type::Int
+            }
+            Intrinsic::InParallel => {
+                if !args.is_empty() {
+                    arity_err(self, 0);
+                }
+                Type::Bool
+            }
+            Intrinsic::Sqrt => {
+                if arg_tys.len() != 1 {
+                    arity_err(self, 1);
+                } else if arg_tys[0] != Type::Float {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("`sqrt` requires float, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                }
+                Type::Float
+            }
+            Intrinsic::Abs => {
+                if arg_tys.len() != 1 {
+                    arity_err(self, 1);
+                    return Type::Int;
+                }
+                if !arg_tys[0].is_numeric() {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("`abs` requires a numeric argument, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                    return Type::Int;
+                }
+                arg_tys[0]
+            }
+            Intrinsic::MinOf | Intrinsic::MaxOf => {
+                if arg_tys.len() != 2 {
+                    arity_err(self, 2);
+                    return Type::Int;
+                }
+                if arg_tys[0] != arg_tys[1] || !arg_tys[0].is_numeric() {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!(
+                            "`{}` requires two matching numeric arguments, found {} and {}",
+                            intr.name(),
+                            arg_tys[0],
+                            arg_tys[1]
+                        ),
+                        span,
+                    );
+                    return Type::Int;
+                }
+                arg_tys[0]
+            }
+            Intrinsic::IntOf => {
+                if arg_tys.len() != 1 {
+                    arity_err(self, 1);
+                } else if arg_tys[0] != Type::Float {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("`int_of` requires float, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                }
+                Type::Int
+            }
+            Intrinsic::FloatOf => {
+                if arg_tys.len() != 1 {
+                    arity_err(self, 1);
+                } else if arg_tys[0] != Type::Int {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("`float_of` requires int, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                }
+                Type::Float
+            }
+            Intrinsic::ArrayNew => {
+                if arg_tys.len() != 2 {
+                    arity_err(self, 2);
+                    return Type::ArrayInt;
+                }
+                if arg_tys[0] != Type::Int {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("array length must be int, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                }
+                match Type::array_of(arg_tys[1]) {
+                    Some(t) => t,
+                    None => {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("array elements must be int or float, found {}", arg_tys[1]),
+                            args[1].span,
+                        );
+                        Type::ArrayInt
+                    }
+                }
+            }
+            Intrinsic::Len => {
+                if arg_tys.len() != 1 {
+                    arity_err(self, 1);
+                } else if !arg_tys[0].is_array() {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("`len` requires an array, found {}", arg_tys[0]),
+                        args[0].span,
+                    );
+                }
+                Type::Int
+            }
+        }
+    }
+
+    fn check_mpi(&mut self, op: &MpiOp, span: Span) -> Type {
+        match op {
+            MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize => Type::Void,
+            MpiOp::Send { value, dest, tag } => {
+                let vt = self.check_expr(value);
+                if !vt.is_numeric() {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("MPI_Send value must be numeric, found {vt}"),
+                        value.span,
+                    );
+                }
+                self.expect_ty(dest, Type::Int, "MPI_Send destination");
+                self.expect_ty(tag, Type::Int, "MPI_Send tag");
+                Type::Void
+            }
+            MpiOp::Recv { src, tag } => {
+                self.expect_ty(src, Type::Int, "MPI_Recv source");
+                self.expect_ty(tag, Type::Int, "MPI_Recv tag");
+                // Halo exchanges carry field values: Recv yields float
+                // (integer payloads are coerced at run time).
+                Type::Float
+            }
+            MpiOp::Collective(c) => self.check_collective(c, span),
+        }
+    }
+
+    fn check_collective(&mut self, c: &CollectiveCall, span: Span) -> Type {
+        if let Some(root) = &c.root {
+            self.expect_ty(root, Type::Int, "collective root");
+        }
+        if c.kind.has_reduce_op() && c.reduce_op.is_none() {
+            self.diags.error(
+                "mpi-args",
+                format!("{} requires a reduction operator", c.kind),
+                span,
+            );
+        }
+        let vt = c.value.as_ref().map(|v| self.check_expr(v));
+        match c.kind {
+            CollectiveKind::Barrier => Type::Void,
+            CollectiveKind::Bcast => match vt {
+                Some(t) if t.is_numeric() => t,
+                Some(t) => {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("MPI_Bcast value must be numeric, found {t}"),
+                        span,
+                    );
+                    Type::Int
+                }
+                None => {
+                    self.diags
+                        .error("mpi-args", "MPI_Bcast requires a value", span);
+                    Type::Int
+                }
+            },
+            CollectiveKind::Reduce | CollectiveKind::Allreduce | CollectiveKind::Scan => {
+                match vt {
+                    Some(t) if t.is_numeric() => t,
+                    Some(t) => {
+                        self.diags.error(
+                            "type-mismatch",
+                            format!("{} value must be numeric, found {t}", c.kind),
+                            span,
+                        );
+                        Type::Int
+                    }
+                    None => {
+                        self.diags.error(
+                            "mpi-args",
+                            format!("{} requires a value", c.kind),
+                            span,
+                        );
+                        Type::Int
+                    }
+                }
+            }
+            CollectiveKind::Gather | CollectiveKind::Allgather => match vt {
+                Some(t) if t.is_numeric() => Type::array_of(t).expect("numeric elem"),
+                Some(t) => {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("{} value must be numeric, found {t}", c.kind),
+                        span,
+                    );
+                    Type::ArrayInt
+                }
+                None => {
+                    self.diags.error(
+                        "mpi-args",
+                        format!("{} requires a value", c.kind),
+                        span,
+                    );
+                    Type::ArrayInt
+                }
+            },
+            CollectiveKind::Scatter | CollectiveKind::ReduceScatter => match vt {
+                Some(t) if t.is_array() => t.elem().expect("array elem"),
+                Some(t) => {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("{} requires an array argument, found {t}", c.kind),
+                        span,
+                    );
+                    Type::Int
+                }
+                None => {
+                    self.diags.error(
+                        "mpi-args",
+                        format!("{} requires an array argument", c.kind),
+                        span,
+                    );
+                    Type::Int
+                }
+            },
+            CollectiveKind::Alltoall => match vt {
+                Some(t) if t.is_array() => t,
+                Some(t) => {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("MPI_Alltoall requires an array argument, found {t}"),
+                        span,
+                    );
+                    Type::ArrayInt
+                }
+                None => {
+                    self.diags.error(
+                        "mpi-args",
+                        "MPI_Alltoall requires an array argument",
+                        span,
+                    );
+                    Type::ArrayInt
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sema_ok(src: &str) {
+        let (prog, mut diags) = parse_program(src);
+        assert!(!diags.has_errors(), "parse failed: {diags:?}");
+        check_program(&prog, &mut diags);
+        assert!(
+            !diags.has_errors(),
+            "unexpected sema errors:\n{:#?}",
+            diags.into_vec()
+        );
+    }
+
+    fn sema_err(src: &str, code: &str) {
+        let (prog, mut diags) = parse_program(src);
+        assert!(!diags.has_errors(), "parse failed: {diags:?}");
+        check_program(&prog, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.code == code),
+            "expected error code `{code}`, got {:#?}",
+            diags.into_vec()
+        );
+    }
+
+    #[test]
+    fn minimal_ok() {
+        sema_ok("fn main() { let x = 1; x = x + 1; }");
+    }
+
+    #[test]
+    fn missing_main() {
+        sema_err("fn not_main() { }", "missing-main");
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        sema_err("fn main(x: int) { }", "bad-main");
+    }
+
+    #[test]
+    fn duplicate_function() {
+        sema_err("fn main() { } fn f() { } fn f() { }", "duplicate-function");
+    }
+
+    #[test]
+    fn undeclared_variable() {
+        sema_err("fn main() { x = 1; }", "undeclared-variable");
+        sema_err("fn main() { let y = x + 1; }", "undeclared-variable");
+    }
+
+    #[test]
+    fn block_scoping() {
+        sema_err(
+            "fn main() { if (true) { let x = 1; } x = 2; }",
+            "undeclared-variable",
+        );
+        sema_ok("fn main() { let x = 1; if (true) { let x = 2.0; x = 3.0; } x = 4; }");
+    }
+
+    #[test]
+    fn type_mismatches() {
+        sema_err("fn main() { let x: int = 1.5; }", "type-mismatch");
+        sema_err("fn main() { let x = 1 + 2.0; }", "type-mismatch");
+        sema_err("fn main() { if (1) { } }", "type-mismatch");
+        sema_err("fn main() { let b = true < false; }", "type-mismatch");
+        sema_ok("fn main() { let x = 1.0 + float_of(2); let b = 1 < 2; }");
+    }
+
+    #[test]
+    fn function_calls() {
+        sema_ok("fn f(a: int) -> int { return a * 2; } fn main() { let x = f(21); }");
+        sema_err("fn main() { let x = g(); }", "unknown-function");
+        sema_err(
+            "fn f(a: int) -> int { return a; } fn main() { let x = f(); }",
+            "arity-mismatch",
+        );
+        sema_err(
+            "fn f(a: int) -> int { return a; } fn main() { let x = f(1.0); }",
+            "type-mismatch",
+        );
+    }
+
+    #[test]
+    fn return_type_checks() {
+        sema_err("fn f() -> int { return; } fn main() { f(); }", "type-mismatch");
+        sema_err("fn f() { return 1; } fn main() { f(); }", "type-mismatch");
+        sema_ok("fn f() -> float { return 1.5; } fn main() { let x = f(); }");
+    }
+
+    #[test]
+    fn return_inside_omp_rejected() {
+        sema_err(
+            "fn main() { parallel { return; } }",
+            "return-in-omp",
+        );
+        sema_err(
+            "fn main() { parallel { single { if (true) { return; } } } }",
+            "return-in-omp",
+        );
+    }
+
+    #[test]
+    fn break_rules() {
+        sema_err("fn main() { break; }", "break-outside-loop");
+        sema_err(
+            "fn main() { while (true) { parallel { break; } } }",
+            "break-across-omp",
+        );
+        sema_err(
+            "fn main() { parallel { pfor (i in 0..4) { break; } } }",
+            "break-in-pfor",
+        );
+        sema_ok("fn main() { while (true) { break; } }");
+        sema_ok("fn main() { parallel { single { while (true) { break; } } } }");
+    }
+
+    #[test]
+    fn continue_rules() {
+        sema_err("fn main() { continue; }", "continue-outside-loop");
+        sema_ok("fn main() { parallel { pfor (i in 0..4) { continue; } } }");
+        sema_err(
+            "fn main() { for (i in 0..4) { parallel { continue; } } }",
+            "continue-across-omp",
+        );
+    }
+
+    #[test]
+    fn barrier_nesting_rules() {
+        sema_ok("fn main() { parallel { barrier; } }");
+        sema_ok("fn main() { barrier; }");
+        sema_err(
+            "fn main() { parallel { single { barrier; } } }",
+            "barrier-bad-nesting",
+        );
+        sema_err(
+            "fn main() { parallel { master { barrier; } } }",
+            "barrier-bad-nesting",
+        );
+        sema_err(
+            "fn main() { parallel { pfor (i in 0..4) { barrier; } } }",
+            "barrier-bad-nesting",
+        );
+        // Nested parallel region re-allows barriers.
+        sema_ok("fn main() { parallel { single { parallel { barrier; } } } }");
+    }
+
+    #[test]
+    fn closely_nested_rules() {
+        sema_err(
+            "fn main() { parallel { single { single { } } } }",
+            "closely-nested",
+        );
+        sema_err(
+            "fn main() { parallel { pfor (i in 0..4) { master { } } } }",
+            "closely-nested",
+        );
+        sema_err(
+            "fn main() { parallel { critical { single { } } } }",
+            "closely-nested",
+        );
+        sema_err(
+            "fn main() { parallel { sections { section { pfor (i in 0..2) { } } } } }",
+            "closely-nested",
+        );
+        // An intervening parallel region resets the restriction.
+        sema_ok("fn main() { parallel { single { parallel { single { } } } } }");
+        // critical inside worksharing is allowed.
+        sema_ok("fn main() { parallel { pfor (i in 0..4) { critical { } } } }");
+    }
+
+    #[test]
+    fn mpi_typing() {
+        sema_ok(
+            "fn main() {
+                MPI_Init();
+                let s = MPI_Allreduce(rank(), SUM);
+                let g = MPI_Gather(s, 0);
+                let n = len(g);
+                let e = MPI_Scatter(g, 0);
+                let f = MPI_Allreduce(1.5, MAX);
+                MPI_Finalize();
+            }",
+        );
+        sema_err("fn main() { let x = MPI_Scatter(1, 0); }", "type-mismatch");
+        sema_err("fn main() { let x: float = MPI_Allreduce(1, SUM); }", "type-mismatch");
+    }
+
+    #[test]
+    fn collective_in_context_ok_structures() {
+        sema_ok(
+            "fn main() {
+                parallel num_threads(4) {
+                    single {
+                        MPI_Barrier();
+                    }
+                    pfor (i in 0..16) { let y = i * 2; }
+                }
+            }",
+        );
+    }
+
+    #[test]
+    fn intrinsic_typing() {
+        sema_ok("fn main() { let a = array(8, 1.5); a[0] = sqrt(2.0); let n = len(a); }");
+        sema_err("fn main() { let a = array(8, true); }", "type-mismatch");
+        sema_err("fn main() { let x = sqrt(2); }", "type-mismatch");
+        sema_err("fn main() { let x = min(1, 2.0); }", "type-mismatch");
+        sema_err("fn main() { let x = rank(1); }", "arity-mismatch");
+    }
+
+    #[test]
+    fn void_cannot_be_stored() {
+        sema_err("fn main() { let x = MPI_Init(); }", "type-mismatch");
+    }
+
+    #[test]
+    fn signatures_exposed() {
+        let (prog, mut diags) =
+            parse_program("fn f(a: int) -> float { return 1.0; } fn main() { }");
+        let res = check_program(&prog, &mut diags);
+        assert_eq!(
+            res.signatures.get("f"),
+            Some(&Signature {
+                params: vec![Type::Int],
+                ret: Type::Float
+            })
+        );
+    }
+}

@@ -1,0 +1,1148 @@
+//! The hybrid executor: runs lowered MiniHPC modules over the `ompsim`
+//! fork/join substrate and the `mpisim` MPI world, executing PARCOACH
+//! dynamic checks in-line ("Static Instrumentation for Execution-Time
+//! Verification", paper §3).
+//!
+//! Each MPI rank is an OS thread; `parallel` regions fork real teams.
+//! Scalars follow OpenMP sharing rules (registers defined outside a
+//! parallel region and used inside become shared cells; everything else
+//! is thread-private); arrays are reference types.
+
+use crate::error::{RunError, RunErrorKind, RunReport};
+use crate::value::Value;
+use parcoach_front::ast::{BinOp, CollectiveKind, Intrinsic, ThreadLevel, Type, UnOp};
+use parcoach_front::span::Span;
+use parcoach_ir::func::{FuncIr, Module};
+use parcoach_ir::instr::{BlockKind, CheckOp, Directive, Instr, MpiIr, Terminator};
+use parcoach_ir::types::{BlockId, Const, Reg, RegionId, Value as IrValue};
+use parcoach_mpisim::{MpiConfig, MpiError, Signature, World};
+use parcoach_ompsim::{ForkError, OmpConfig, OmpSim, ThreadCtx};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of MPI ranks.
+    pub ranks: usize,
+    /// Default team size for `parallel` without `num_threads`.
+    pub default_threads: usize,
+    /// Thread-barrier divergence timeout.
+    pub barrier_timeout: Duration,
+    /// MPI blocking-operation timeout.
+    pub mpi_timeout: Duration,
+    /// Global instruction budget (infinite-loop guard).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Highest thread level the simulated MPI grants.
+    pub max_provided: ThreadLevel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            ranks: 2,
+            default_threads: 4,
+            barrier_timeout: Duration::from_secs(2),
+            mpi_timeout: Duration::from_secs(5),
+            max_steps: 200_000_000,
+            max_call_depth: 128,
+            max_provided: ThreadLevel::Multiple,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A configuration with short timeouts, for tests that provoke
+    /// deadlocks.
+    pub fn fast_fail(ranks: usize, threads: usize) -> RunConfig {
+        RunConfig {
+            ranks,
+            default_threads: threads,
+            barrier_timeout: Duration::from_millis(300),
+            mpi_timeout: Duration::from_millis(600),
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// A register slot: private value or team-shared cell.
+#[derive(Debug, Clone)]
+enum Slot {
+    Owned(Value),
+    Shared(Arc<RwLock<Value>>),
+}
+
+type Frame = Vec<Slot>;
+
+/// Precomputed facts about one `parallel` region.
+struct RegionPlan {
+    body_entry: BlockId,
+    end_block: BlockId,
+    /// Registers defined outside the region but used inside: shared.
+    shared_regs: Vec<Reg>,
+}
+
+/// Per-rank runtime environment.
+struct RankEnv {
+    world: Arc<World>,
+    omp: OmpSim,
+    rank: usize,
+    output: Arc<Mutex<Vec<String>>>,
+    steps: Arc<AtomicU64>,
+    max_steps: u64,
+    /// Concurrency counters per static site (paper's `S_cc` check).
+    conc: Mutex<HashMap<u32, i64>>,
+    /// First executing thread per (assert site, team instance): a second
+    /// *distinct* thread reaching the same site in the same team
+    /// encounter proves the context is not monothreaded.
+    mono: Mutex<HashMap<(u32, u64), usize>>,
+}
+
+/// Control flow of a block walk.
+enum Flow {
+    Return(Option<Value>),
+    Stopped,
+}
+
+/// The executor: owns the module and per-region plans.
+pub struct Executor {
+    module: Module,
+    cfg: RunConfig,
+    plans: HashMap<(usize, u32), RegionPlan>,
+}
+
+impl Executor {
+    /// Build an executor (precomputes parallel-region plans).
+    pub fn new(module: Module, cfg: RunConfig) -> Executor {
+        let mut plans = HashMap::new();
+        for (fidx, f) in module.funcs.iter().enumerate() {
+            for (bid, b) in f.iter_blocks() {
+                if let Some(Directive::ParallelBegin { region, .. }) = b.directive() {
+                    plans.insert((fidx, region.0), region_plan(f, bid, *region));
+                }
+            }
+        }
+        Executor { module, cfg, plans }
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Run the program with `cfg.ranks` MPI ranks. Never panics on
+    /// verification errors — they come back classified in the report.
+    pub fn run(&self) -> RunReport {
+        let world = World::new(MpiConfig {
+            world_size: self.cfg.ranks,
+            max_provided: self.cfg.max_provided,
+            op_timeout: self.cfg.mpi_timeout,
+        });
+        let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let steps = Arc::new(AtomicU64::new(0));
+        let mut errors: Vec<Option<RunError>> = (0..self.cfg.ranks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (rank, slot) in errors.iter_mut().enumerate() {
+                let world = world.clone();
+                let output = output.clone();
+                let steps = steps.clone();
+                s.spawn(move || {
+                    let env = RankEnv {
+                        world: world.clone(),
+                        omp: OmpSim::new(OmpConfig {
+                            default_num_threads: self.cfg.default_threads,
+                            barrier_timeout: self.cfg.barrier_timeout,
+                            max_levels: 8,
+                        }),
+                        rank,
+                        output,
+                        steps,
+                        max_steps: self.cfg.max_steps,
+                        conc: Mutex::new(HashMap::new()),
+                        mono: Mutex::new(HashMap::new()),
+                    };
+                    let mut ctx = ThreadCtx::initial();
+                    let res = self.exec_function(&env, &mut ctx, true, "main", Vec::new(), 0);
+                    world.finish_rank(rank);
+                    if let Err(e) = res {
+                        // Make sure peers blocked in MPI wake up.
+                        if world.abort_reason().is_none() {
+                            world.abort(MpiError::Aborted(e.to_string()));
+                        }
+                        *slot = Some(e);
+                    }
+                });
+            }
+        });
+        // Prefer root-cause errors over secondary echoes (aborted MPI
+        // calls, poisoned barriers on sibling ranks).
+        let mut errs: Vec<RunError> = errors.into_iter().flatten().collect();
+        let has_root = errs.iter().any(|e| !is_secondary_error(e));
+        if has_root {
+            errs.retain(|e| !is_secondary_error(e));
+        }
+        RunReport {
+            errors: errs,
+            output: Arc::try_unwrap(output)
+                .map(|m| m.into_inner())
+                .unwrap_or_default(),
+        }
+    }
+
+    // ---- function & block execution ------------------------------------
+
+    fn exec_function(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        name: &str,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, RunError> {
+        if depth > self.cfg.max_call_depth {
+            return Err(RunError::new(
+                RunErrorKind::StackOverflow,
+                Span::DUMMY,
+                env.rank,
+            ));
+        }
+        let (fidx, func) = match self.module.by_name.get(name) {
+            Some(&i) => (i, &self.module.funcs[i]),
+            None => {
+                return Err(RunError::new(
+                    RunErrorKind::MissingReturn { func: name.into() },
+                    Span::DUMMY,
+                    env.rank,
+                ))
+            }
+        };
+        let mut frame: Frame = func
+            .reg_types
+            .iter()
+            .map(|&t| Slot::Owned(Value::default_for(t)))
+            .collect();
+        for (param, arg) in func.params.iter().zip(args) {
+            frame[param.index()] = Slot::Owned(arg);
+        }
+        match self.exec_from(env, omp, is_initial, &mut frame, fidx, func, func.entry, None, depth)? {
+            Flow::Return(v) => {
+                if func.ret != Type::Void && v.is_none() {
+                    return Err(RunError::new(
+                        RunErrorKind::MissingReturn {
+                            func: name.to_string(),
+                        },
+                        func.span,
+                        env.rank,
+                    ));
+                }
+                Ok(v)
+            }
+            Flow::Stopped => unreachable!("stop block only used inside parallel regions"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_from(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        frame: &mut Frame,
+        fidx: usize,
+        func: &FuncIr,
+        start: BlockId,
+        stop: Option<BlockId>,
+        depth: usize,
+    ) -> Result<Flow, RunError> {
+        let mut cur = start;
+        let mut critical_guards: Vec<parking_lot::ReentrantMutexGuard<'_, ()>> = Vec::new();
+        loop {
+            if stop == Some(cur) {
+                return Ok(Flow::Stopped);
+            }
+            self.bump_steps(env, Span::DUMMY)?;
+            let block = func.block(cur);
+
+            // Directive semantics first.
+            if let BlockKind::Directive(d) = &block.kind {
+                match d {
+                    Directive::ParallelBegin {
+                        region,
+                        num_threads,
+                        span,
+                    } => {
+                        // Run pre-directive checks (instrumentation may
+                        // guard directive nodes).
+                        self.exec_checks_only(env, omp, is_initial, frame, block, *span)?;
+                        let nt = match num_threads {
+                            Some(v) => {
+                                let n = self.read(frame, *v).as_int();
+                                if n < 1 {
+                                    Some(1)
+                                } else {
+                                    Some(n as usize)
+                                }
+                            }
+                            None => None,
+                        };
+                        let plan = &self.plans[&(fidx, region.0)];
+                        // Promote shared registers.
+                        for &r in &plan.shared_regs {
+                            if let Slot::Owned(v) = &frame[r.index()] {
+                                frame[r.index()] =
+                                    Slot::Shared(Arc::new(RwLock::new(v.clone())));
+                            }
+                        }
+                        let parent_frame: &Frame = frame;
+                        let span = *span;
+                        // The first *root-cause* error across the team;
+                        // sibling threads that then fail on poisoned
+                        // barriers / aborted MPI must not mask it.
+                        let root_err: Mutex<Option<RunError>> = Mutex::new(None);
+                        let fork_res = env.omp.fork::<RunError, _>(omp, nt, &|child| {
+                            let child_initial = is_initial && child.thread_num() == 0;
+                            let mut child_frame = parent_frame.clone();
+                            let res = self.exec_from(
+                                env,
+                                child,
+                                child_initial,
+                                &mut child_frame,
+                                fidx,
+                                func,
+                                plan.body_entry,
+                                Some(plan.end_block),
+                                depth,
+                            );
+                            match res {
+                                Ok(_) => Ok(()),
+                                Err(e) => {
+                                    if !is_secondary_error(&e) {
+                                        let mut root = root_err.lock();
+                                        if root.is_none() {
+                                            *root = Some(e.clone());
+                                        }
+                                    }
+                                    // Wake siblings + remote ranks.
+                                    if let Some(team) = &child.team {
+                                        OmpSim::poison_team(team);
+                                    }
+                                    if env.world.abort_reason().is_none() {
+                                        env.world.abort(MpiError::Aborted(e.to_string()));
+                                    }
+                                    Err(e)
+                                }
+                            }
+                        });
+                        match fork_res {
+                            Ok(()) => {}
+                            Err(ForkError::Body(e)) => {
+                                return Err(root_err.lock().take().unwrap_or(e))
+                            }
+                            Err(ForkError::Omp(e)) => {
+                                return Err(RunError::new(
+                                    RunErrorKind::Omp(e.to_string()),
+                                    span,
+                                    env.rank,
+                                ))
+                            }
+                        }
+                        cur = plan.end_block;
+                        continue;
+                    }
+                    Directive::SingleBegin {
+                        region, chosen, ..
+                    } => {
+                        self.exec_checks_only(env, omp, is_initial, frame, block, block.span)?;
+                        let mine = omp.enter_single(region.0);
+                        self.write(frame, *chosen, Value::Bool(mine));
+                    }
+                    Directive::MasterBegin { chosen, .. } => {
+                        self.exec_checks_only(env, omp, is_initial, frame, block, block.span)?;
+                        self.write(frame, *chosen, Value::Bool(omp.is_master()));
+                    }
+                    Directive::SectionBegin {
+                        parent,
+                        index,
+                        chosen,
+                        ..
+                    } => {
+                        self.exec_checks_only(env, omp, is_initial, frame, block, block.span)?;
+                        let mine = omp.enter_section(parent.0, *index);
+                        self.write(frame, *chosen, Value::Bool(mine));
+                    }
+                    Directive::CriticalBegin { .. } => {
+                        critical_guards.push(env.omp.critical());
+                    }
+                    Directive::CriticalEnd { .. } => {
+                        critical_guards.pop();
+                    }
+                    Directive::Barrier { span, .. } => {
+                        self.exec_checks_only(env, omp, is_initial, frame, block, *span)?;
+                        omp.barrier(env.omp.barrier_timeout()).map_err(|e| {
+                            RunError::new(
+                                RunErrorKind::ThreadBarrier(e.to_string()),
+                                *span,
+                                env.rank,
+                            )
+                        })?;
+                    }
+                    Directive::PForInit {
+                        var,
+                        chunk_end,
+                        lo,
+                        hi,
+                        ..
+                    } => {
+                        let lo = self.read(frame, *lo).as_int();
+                        let hi = self.read(frame, *hi).as_int();
+                        let (s, e) = omp.static_chunk(lo, hi);
+                        self.write(frame, *var, Value::Int(s));
+                        self.write(frame, *chunk_end, Value::Int(e));
+                    }
+                    // Pure markers at run time (checks may still be
+                    // attached to them).
+                    Directive::ParallelEnd { .. }
+                    | Directive::SingleEnd { .. }
+                    | Directive::MasterEnd { .. }
+                    | Directive::SectionEnd { .. }
+                    | Directive::WorkshareBegin { .. }
+                    | Directive::WorkshareEnd { .. } => {
+                        self.exec_checks_only(env, omp, is_initial, frame, block, block.span)?;
+                    }
+                }
+            } else {
+                // Normal block: run all instructions.
+                let mut pending_mono: Option<u32> = None;
+                for i in &block.instrs {
+                    self.bump_steps(env, i.span().unwrap_or(Span::DUMMY))?;
+                    self.exec_instr(env, omp, is_initial, frame, i, depth, &mut pending_mono)?;
+                }
+            }
+
+            // Terminator.
+            match &block.term {
+                Terminator::Goto(t) => cur = *t,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                    ..
+                } => {
+                    cur = if self.read(frame, *cond).as_bool() {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
+                }
+                Terminator::Return { value, span } => {
+                    // Return-site CC checks were already executed as
+                    // instructions (they sit at the end of the block).
+                    let v = value.map(|v| self.read(frame, v));
+                    let _ = span;
+                    return Ok(Flow::Return(v));
+                }
+                Terminator::Unreachable => {
+                    return Err(RunError::new(
+                        RunErrorKind::MissingReturn {
+                            func: func.name.clone(),
+                        },
+                        block.span,
+                        env.rank,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Run only the `Check` instructions of a directive block.
+    fn exec_checks_only(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        frame: &mut Frame,
+        block: &parcoach_ir::func::BasicBlock,
+        _span: Span,
+    ) -> Result<(), RunError> {
+        let mut pending = None;
+        for i in &block.instrs {
+            if matches!(i, Instr::Check(_)) {
+                self.exec_instr(env, omp, is_initial, frame, i, 0, &mut pending)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_instr(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        frame: &mut Frame,
+        instr: &Instr,
+        depth: usize,
+        pending_mono: &mut Option<u32>,
+    ) -> Result<(), RunError> {
+        match instr {
+            Instr::Copy { dest, src } => {
+                let v = self.read(frame, *src);
+                self.write(frame, *dest, v);
+            }
+            Instr::Unary { dest, op, src } => {
+                let v = self.read(frame, *src);
+                let out = match (op, v) {
+                    (UnOp::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
+                    (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (op, v) => panic!("type-checked unary {op:?} on {v:?}"),
+                };
+                self.write(frame, *dest, out);
+            }
+            Instr::Binary {
+                dest,
+                op,
+                lhs,
+                rhs,
+                span,
+            } => {
+                let l = self.read(frame, *lhs);
+                let r = self.read(frame, *rhs);
+                let out = self.binary(env, *op, l, r, *span)?;
+                self.write(frame, *dest, out);
+            }
+            Instr::ArrayNew {
+                dest,
+                len,
+                init,
+                elem,
+                span,
+            } => {
+                let n = self.read(frame, *len).as_int();
+                if n < 0 {
+                    return Err(RunError::new(
+                        RunErrorKind::BadArrayLength(n),
+                        *span,
+                        env.rank,
+                    ));
+                }
+                let out = match elem {
+                    Type::Int => Value::ArrayInt(Arc::new(RwLock::new(vec![
+                        self.read(frame, *init).as_int();
+                        n as usize
+                    ]))),
+                    Type::Float => Value::ArrayFloat(Arc::new(RwLock::new(vec![
+                        self.read(frame, *init)
+                            .as_float();
+                        n as usize
+                    ]))),
+                    _ => panic!("sema guaranteed numeric array element"),
+                };
+                self.write(frame, *dest, out);
+            }
+            Instr::Load {
+                dest,
+                arr,
+                idx,
+                span,
+            } => {
+                let i = self.read(frame, *idx).as_int();
+                let arr_v = self.read_reg(frame, *arr);
+                let out = match &arr_v {
+                    Value::ArrayInt(a) => {
+                        let a = a.read();
+                        check_bounds(i, a.len(), *span, env.rank)?;
+                        Value::Int(a[i as usize])
+                    }
+                    Value::ArrayFloat(a) => {
+                        let a = a.read();
+                        check_bounds(i, a.len(), *span, env.rank)?;
+                        Value::Float(a[i as usize])
+                    }
+                    other => panic!("type-checked load from {other:?}"),
+                };
+                self.write(frame, *dest, out);
+            }
+            Instr::Store {
+                arr,
+                idx,
+                value,
+                span,
+            } => {
+                let i = self.read(frame, *idx).as_int();
+                let v = self.read(frame, *value);
+                let arr_v = self.read_reg(frame, *arr);
+                match &arr_v {
+                    Value::ArrayInt(a) => {
+                        let mut a = a.write();
+                        check_bounds(i, a.len(), *span, env.rank)?;
+                        a[i as usize] = v.as_int();
+                    }
+                    Value::ArrayFloat(a) => {
+                        let mut a = a.write();
+                        check_bounds(i, a.len(), *span, env.rank)?;
+                        a[i as usize] = v.as_float();
+                    }
+                    other => panic!("type-checked store to {other:?}"),
+                }
+            }
+            Instr::Intrinsic { dest, intr, args } => {
+                let out = self.intrinsic(env, omp, frame, *intr, args);
+                self.write(frame, *dest, out);
+            }
+            Instr::Call {
+                dest,
+                func: callee,
+                args,
+                ..
+            } => {
+                let argv: Vec<Value> = args.iter().map(|a| self.read(frame, *a)).collect();
+                let ret = self.exec_function(env, omp, is_initial, callee, argv, depth + 1)?;
+                if let (Some(d), Some(v)) = (dest, ret) {
+                    self.write(frame, *d, v);
+                }
+            }
+            Instr::Mpi { dest, op, span } => {
+                let out = self.exec_mpi(env, omp, is_initial, frame, op, *span)?;
+                if let (Some(d), Some(v)) = (dest, out) {
+                    self.write(frame, *d, v);
+                }
+            }
+            Instr::Print { args } => {
+                let text = args
+                    .iter()
+                    .map(|a| self.read(frame, *a).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                env.output
+                    .lock()
+                    .push(format!("[rank {}] {}", env.rank, text));
+            }
+            Instr::Check(check) => {
+                self.exec_check(env, omp, is_initial, check, pending_mono)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_check(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        check: &CheckOp,
+        pending_mono: &mut Option<u32>,
+    ) -> Result<(), RunError> {
+        match check {
+            CheckOp::CollectiveCc { color, span, .. } => {
+                self.run_cc(env, omp, is_initial, *color, *span)
+            }
+            CheckOp::ReturnCc { span } => {
+                // Wrapped in `single` semantics when inside a team (paper
+                // §3: "this function is wrapped into a single pragma").
+                if omp.in_parallel() {
+                    let synth_region = 0x8000_0000u32 | (span.lo & 0x7fff_ffff);
+                    if !omp.enter_single(synth_region) {
+                        return Ok(());
+                    }
+                }
+                self.run_cc(env, omp, is_initial, 0, *span)
+            }
+            CheckOp::AssertMonothread { kind, span } => {
+                // Deterministic: within one team encounter, two *distinct*
+                // threads reaching the same collective site prove the
+                // context is multithreaded, regardless of interleaving.
+                let key = (span.lo, omp.team_instance());
+                let me = omp.thread_num();
+                let mut mono = env.mono.lock();
+                let first = *mono.entry(key).or_insert(me);
+                drop(mono);
+                if first != me {
+                    let err = RunError::new(
+                        RunErrorKind::MonothreadViolation { kind: *kind },
+                        *span,
+                        env.rank,
+                    );
+                    self.abort_everyone(env, omp, &err);
+                    return Err(err);
+                }
+                let _ = pending_mono;
+                Ok(())
+            }
+            CheckOp::ConcEnter { site, span } => {
+                let mut conc = env.conc.lock();
+                let c = conc.entry(*site).or_insert(0);
+                *c += 1;
+                if *c >= 2 {
+                    let err = RunError::new(
+                        RunErrorKind::ConcurrentRegions { site: *site },
+                        *span,
+                        env.rank,
+                    );
+                    drop(conc);
+                    self.abort_everyone(env, omp, &err);
+                    return Err(err);
+                }
+                Ok(())
+            }
+            CheckOp::ConcExit { site } => {
+                let mut conc = env.conc.lock();
+                if let Some(c) = conc.get_mut(site) {
+                    *c -= 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Execute the `CC` color all-reduce and translate a disagreement
+    /// into the paper's error report (per-rank collective names).
+    fn run_cc(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        color: u32,
+        span: Span,
+    ) -> Result<(), RunError> {
+        let outcome = env
+            .world
+            .control_cc(env.rank, color, is_initial)
+            .map_err(|e| RunError::new(RunErrorKind::Mpi(e), span, env.rank))?;
+        if outcome.unanimous() {
+            return Ok(());
+        }
+        let per_rank = outcome
+            .colors
+            .iter()
+            .map(|&c| color_name(c))
+            .collect::<Vec<_>>();
+        let err = RunError::new(RunErrorKind::CcMismatch { per_rank }, span, env.rank);
+        self.abort_everyone(env, omp, &err);
+        Err(err)
+    }
+
+    fn abort_everyone(&self, env: &RankEnv, omp: &ThreadCtx, err: &RunError) {
+        if env.world.abort_reason().is_none() {
+            env.world.abort(MpiError::Aborted(err.to_string()));
+        }
+        if let Some(team) = &omp.team {
+            OmpSim::poison_team(team);
+        }
+    }
+
+    fn exec_mpi(
+        &self,
+        env: &RankEnv,
+        omp: &mut ThreadCtx,
+        is_initial: bool,
+        frame: &mut Frame,
+        op: &MpiIr,
+        span: Span,
+    ) -> Result<Option<Value>, RunError> {
+        let mpi_err = |e: MpiError| RunError::new(RunErrorKind::Mpi(e), span, env.rank);
+        match op {
+            MpiIr::Init { required } => {
+                env.world
+                    .init(env.rank, required.unwrap_or(ThreadLevel::Single));
+                Ok(None)
+            }
+            MpiIr::Finalize => {
+                env.world
+                    .finalize(env.rank, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(None)
+            }
+            MpiIr::Send { value, dest, tag } => {
+                let v = self.read(frame, *value).to_mpi();
+                let d = self.read(frame, *dest).as_int();
+                let t = self.read(frame, *tag).as_int();
+                if d < 0 {
+                    return Err(mpi_err(MpiError::ArgError(format!(
+                        "negative destination {d}"
+                    ))));
+                }
+                env.world
+                    .send(env.rank, d as usize, t, v, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(None)
+            }
+            MpiIr::Recv { src, tag } => {
+                let s = self.read(frame, *src).as_int();
+                let t = self.read(frame, *tag).as_int();
+                if s < 0 {
+                    return Err(mpi_err(MpiError::ArgError(format!(
+                        "negative source {s}"
+                    ))));
+                }
+                let v = env
+                    .world
+                    .recv(env.rank, s as usize, t, is_initial)
+                    .map_err(mpi_err)?;
+                // `MPI_Recv` is float-typed in the language; coerce
+                // integer payloads.
+                let out = match Value::from_mpi(v) {
+                    Value::Int(x) => Value::Float(x as f64),
+                    other => other,
+                };
+                Ok(Some(out))
+            }
+            MpiIr::Collective {
+                kind,
+                value,
+                reduce_op,
+                root,
+            } => {
+                let payload = value.map(|v| self.read(frame, v).to_mpi());
+                let root_v = match root {
+                    Some(r) => {
+                        let x = self.read(frame, *r).as_int();
+                        if x < 0 {
+                            return Err(mpi_err(MpiError::ArgError(format!(
+                                "negative root {x}"
+                            ))));
+                        }
+                        Some(x as usize)
+                    }
+                    None => None,
+                };
+                let ty = payload.as_ref().map(|p| p.ty());
+                let sig = Signature::collective((*kind).into(), *reduce_op, root_v, ty);
+                // `omp` is only used for diagnostics here; the collective
+                // blocks in the world.
+                let _ = omp;
+                let out = env
+                    .world
+                    .collective(env.rank, sig, payload, is_initial)
+                    .map_err(mpi_err)?;
+                if *kind == CollectiveKind::Barrier {
+                    Ok(None)
+                } else {
+                    Ok(Some(Value::from_mpi(out)))
+                }
+            }
+        }
+    }
+
+    fn intrinsic(
+        &self,
+        env: &RankEnv,
+        omp: &ThreadCtx,
+        frame: &Frame,
+        intr: Intrinsic,
+        args: &[IrValue],
+    ) -> Value {
+        let arg = |i: usize| self.read(frame, args[i]);
+        match intr {
+            Intrinsic::Rank => Value::Int(env.rank as i64),
+            Intrinsic::Size => Value::Int(env.world.size() as i64),
+            Intrinsic::ThreadNum => Value::Int(omp.thread_num() as i64),
+            Intrinsic::NumThreads => Value::Int(omp.num_threads() as i64),
+            Intrinsic::InParallel => Value::Bool(omp.in_parallel()),
+            Intrinsic::Sqrt => Value::Float(arg(0).as_float().sqrt()),
+            Intrinsic::Abs => match arg(0) {
+                Value::Int(x) => Value::Int(x.abs()),
+                Value::Float(x) => Value::Float(x.abs()),
+                v => panic!("type-checked abs on {v:?}"),
+            },
+            Intrinsic::MinOf => match (arg(0), arg(1)) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.min(b)),
+                (Value::Float(a), Value::Float(b)) => Value::Float(a.min(b)),
+                _ => panic!("type-checked min"),
+            },
+            Intrinsic::MaxOf => match (arg(0), arg(1)) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.max(b)),
+                (Value::Float(a), Value::Float(b)) => Value::Float(a.max(b)),
+                _ => panic!("type-checked max"),
+            },
+            Intrinsic::IntOf => Value::Int(arg(0).as_float() as i64),
+            Intrinsic::FloatOf => Value::Float(arg(0).as_int() as f64),
+            Intrinsic::Len => match arg(0) {
+                Value::ArrayInt(a) => Value::Int(a.read().len() as i64),
+                Value::ArrayFloat(a) => Value::Int(a.read().len() as i64),
+                v => panic!("type-checked len on {v:?}"),
+            },
+            Intrinsic::ArrayNew => unreachable!("lowered to Instr::ArrayNew"),
+        }
+    }
+
+    fn binary(
+        &self,
+        env: &RankEnv,
+        op: BinOp,
+        l: Value,
+        r: Value,
+        span: Span,
+    ) -> Result<Value, RunError> {
+        use BinOp::*;
+        Ok(match (op, &l, &r) {
+            (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            (Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            (Div, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RunError::new(RunErrorKind::DivisionByZero, span, env.rank));
+                }
+                Value::Int(a.wrapping_div(*b))
+            }
+            (Rem, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RunError::new(RunErrorKind::DivisionByZero, span, env.rank));
+                }
+                Value::Int(a.wrapping_rem(*b))
+            }
+            (Add, Value::Float(a), Value::Float(b)) => Value::Float(a + b),
+            (Sub, Value::Float(a), Value::Float(b)) => Value::Float(a - b),
+            (Mul, Value::Float(a), Value::Float(b)) => Value::Float(a * b),
+            (Div, Value::Float(a), Value::Float(b)) => Value::Float(a / b),
+            (Rem, Value::Float(a), Value::Float(b)) => Value::Float(a % b),
+            (Eq, a, b) => Value::Bool(scalar_eq(a, b)),
+            (Ne, a, b) => Value::Bool(!scalar_eq(a, b)),
+            (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
+            (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
+            (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
+            (Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
+            (Lt, Value::Float(a), Value::Float(b)) => Value::Bool(a < b),
+            (Le, Value::Float(a), Value::Float(b)) => Value::Bool(a <= b),
+            (Gt, Value::Float(a), Value::Float(b)) => Value::Bool(a > b),
+            (Ge, Value::Float(a), Value::Float(b)) => Value::Bool(a >= b),
+            (And, Value::Bool(a), Value::Bool(b)) => Value::Bool(*a && *b),
+            (Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(*a || *b),
+            (op, l, r) => panic!("type-checked binary {op:?} on {l:?}/{r:?}"),
+        })
+    }
+
+    // ---- small helpers ---------------------------------------------------
+
+    fn bump_steps(&self, env: &RankEnv, span: Span) -> Result<(), RunError> {
+        let n = env.steps.fetch_add(1, Ordering::Relaxed);
+        if n >= env.max_steps {
+            return Err(RunError::new(RunErrorKind::StepLimit, span, env.rank));
+        }
+        Ok(())
+    }
+
+    fn read(&self, frame: &Frame, v: IrValue) -> Value {
+        match v {
+            IrValue::Const(Const::Int(x)) => Value::Int(x),
+            IrValue::Const(Const::Float(x)) => Value::Float(x),
+            IrValue::Const(Const::Bool(x)) => Value::Bool(x),
+            IrValue::Reg(r) => self.read_reg(frame, r),
+        }
+    }
+
+    fn read_reg(&self, frame: &Frame, r: Reg) -> Value {
+        match &frame[r.index()] {
+            Slot::Owned(v) => v.clone(),
+            Slot::Shared(c) => c.read().clone(),
+        }
+    }
+
+    fn write(&self, frame: &mut Frame, r: Reg, v: Value) {
+        match &mut frame[r.index()] {
+            Slot::Owned(slot) => *slot = v,
+            Slot::Shared(c) => *c.write() = v,
+        }
+    }
+}
+
+/// Errors that are consequences of another thread's failure (poisoned
+/// barrier, aborted MPI) rather than root causes.
+fn is_secondary_error(e: &RunError) -> bool {
+    match &e.kind {
+        RunErrorKind::Mpi(MpiError::Aborted(_)) => true,
+        RunErrorKind::ThreadBarrier(m) => m.contains("poisoned"),
+        _ => false,
+    }
+}
+
+fn scalar_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => panic!("type-checked equality"),
+    }
+}
+
+fn check_bounds(i: i64, len: usize, span: Span, rank: usize) -> Result<(), RunError> {
+    if i < 0 || i as usize >= len {
+        Err(RunError::new(
+            RunErrorKind::IndexOutOfBounds { index: i, len },
+            span,
+            rank,
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Human name for a CC color.
+fn color_name(color: u32) -> String {
+    if color == 0 {
+        return "<return/exit>".to_string();
+    }
+    CollectiveKind::ALL
+        .iter()
+        .find(|k| k.color() == color)
+        .map(|k| k.mpi_name().to_string())
+        .unwrap_or_else(|| format!("<color {color}>"))
+}
+
+/// Precompute the plan of one parallel region.
+fn region_plan(f: &FuncIr, begin: BlockId, region: RegionId) -> RegionPlan {
+    let body_entry = match &f.block(begin).term {
+        Terminator::Goto(t) => *t,
+        _ => panic!("parallel.begin must have a goto terminator"),
+    };
+    let end_block = f
+        .iter_blocks()
+        .find_map(|(id, b)| match b.directive() {
+            Some(Directive::ParallelEnd { region: r }) if *r == region => Some(id),
+            _ => None,
+        })
+        .expect("matching parallel.end exists");
+    // Region membership: blocks reachable from body_entry without
+    // crossing the end block.
+    let mut in_region: HashSet<BlockId> = HashSet::new();
+    let mut queue = VecDeque::from([body_entry]);
+    in_region.insert(body_entry);
+    while let Some(b) = queue.pop_front() {
+        for s in f.successors(b) {
+            if s != end_block && in_region.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    // Registers used inside the region vs. assigned outside it.
+    let mut used: HashSet<Reg> = HashSet::new();
+    let mut assigned_outside: HashSet<Reg> = HashSet::new();
+    for p in &f.params {
+        assigned_outside.insert(*p);
+    }
+    for (id, b) in f.iter_blocks() {
+        let inside = in_region.contains(&id);
+        let (refs, defs) = block_regs(b);
+        if inside {
+            used.extend(refs.iter().copied());
+            used.extend(defs.iter().copied());
+        } else {
+            assigned_outside.extend(defs.iter().copied());
+        }
+    }
+    let mut shared_regs: Vec<Reg> = used
+        .intersection(&assigned_outside)
+        .copied()
+        .collect();
+    shared_regs.sort_unstable();
+    RegionPlan {
+        body_entry,
+        end_block,
+        shared_regs,
+    }
+}
+
+/// All registers a block references (reads) and defines (writes).
+fn block_regs(b: &parcoach_ir::func::BasicBlock) -> (Vec<Reg>, Vec<Reg>) {
+    let mut refs: Vec<Reg> = Vec::new();
+    let mut defs: Vec<Reg> = Vec::new();
+    let val = |v: &IrValue, out: &mut Vec<Reg>| {
+        if let IrValue::Reg(r) = v {
+            out.push(*r);
+        }
+    };
+    for i in &b.instrs {
+        if let Some(d) = i.dest() {
+            defs.push(d);
+        }
+        match i {
+            Instr::Copy { src, .. } | Instr::Unary { src, .. } => val(src, &mut refs),
+            Instr::Binary { lhs, rhs, .. } => {
+                val(lhs, &mut refs);
+                val(rhs, &mut refs);
+            }
+            Instr::ArrayNew { len, init, .. } => {
+                val(len, &mut refs);
+                val(init, &mut refs);
+            }
+            Instr::Load { arr, idx, .. } => {
+                refs.push(*arr);
+                val(idx, &mut refs);
+            }
+            Instr::Store {
+                arr, idx, value, ..
+            } => {
+                refs.push(*arr);
+                val(idx, &mut refs);
+                val(value, &mut refs);
+            }
+            Instr::Intrinsic { args, .. } | Instr::Print { args } => {
+                for a in args {
+                    val(a, &mut refs);
+                }
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    val(a, &mut refs);
+                }
+            }
+            Instr::Mpi { op, .. } => match op {
+                MpiIr::Collective { value, root, .. } => {
+                    if let Some(v) = value {
+                        val(v, &mut refs);
+                    }
+                    if let Some(r) = root {
+                        val(r, &mut refs);
+                    }
+                }
+                MpiIr::Send { value, dest, tag } => {
+                    val(value, &mut refs);
+                    val(dest, &mut refs);
+                    val(tag, &mut refs);
+                }
+                MpiIr::Recv { src, tag } => {
+                    val(src, &mut refs);
+                    val(tag, &mut refs);
+                }
+                _ => {}
+            },
+            Instr::Check(_) => {}
+        }
+    }
+    if let Some(d) = b.directive() {
+        match d {
+            Directive::ParallelBegin {
+                num_threads: Some(v),
+                ..
+            } => val(v, &mut refs),
+            Directive::SingleBegin { chosen, .. }
+            | Directive::MasterBegin { chosen, .. }
+            | Directive::SectionBegin { chosen, .. } => {
+                defs.push(*chosen);
+            }
+            Directive::PForInit {
+                var,
+                chunk_end,
+                lo,
+                hi,
+                ..
+            } => {
+                defs.push(*var);
+                defs.push(*chunk_end);
+                val(lo, &mut refs);
+                val(hi, &mut refs);
+            }
+            _ => {}
+        }
+    }
+    if let Terminator::Branch { cond, .. } = &b.term {
+        val(cond, &mut refs);
+    }
+    (refs, defs)
+}

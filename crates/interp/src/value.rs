@@ -1,0 +1,153 @@
+//! Runtime values.
+//!
+//! Scalars are copied; arrays are reference types (`Arc<RwLock<…>>`) so
+//! element writes are visible across threads, nested parallel regions and
+//! function calls — the shared-memory semantics of the C/Fortran codes
+//! the paper analyses.
+
+use parcoach_front::ast::Type;
+use parcoach_mpisim::MpiValue;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Shared integer array.
+    ArrayInt(Arc<RwLock<Vec<i64>>>),
+    /// Shared float array.
+    ArrayFloat(Arc<RwLock<Vec<f64>>>),
+}
+
+impl Value {
+    /// Zero-ish default for a type (registers before first assignment).
+    pub fn default_for(ty: Type) -> Value {
+        match ty {
+            Type::Int | Type::Void => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Bool => Value::Bool(false),
+            Type::ArrayInt => Value::ArrayInt(Arc::new(RwLock::new(Vec::new()))),
+            Type::ArrayFloat => Value::ArrayFloat(Arc::new(RwLock::new(Vec::new()))),
+        }
+    }
+
+    /// Integer content (sema guarantees the type).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// Float content.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// Bool content.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Convert to an MPI payload (arrays are snapshotted).
+    pub fn to_mpi(&self) -> MpiValue {
+        match self {
+            Value::Int(v) => MpiValue::Int(*v),
+            Value::Float(v) => MpiValue::Float(*v),
+            Value::Bool(v) => MpiValue::Int(*v as i64),
+            Value::ArrayInt(a) => MpiValue::ArrayInt(a.read().clone()),
+            Value::ArrayFloat(a) => MpiValue::ArrayFloat(a.read().clone()),
+        }
+    }
+
+    /// Convert from an MPI result.
+    pub fn from_mpi(v: MpiValue) -> Value {
+        match v {
+            MpiValue::Int(x) => Value::Int(x),
+            MpiValue::Float(x) => Value::Float(x),
+            MpiValue::ArrayInt(a) => Value::ArrayInt(Arc::new(RwLock::new(a))),
+            MpiValue::ArrayFloat(a) => Value::ArrayFloat(Arc::new(RwLock::new(a))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::ArrayInt(a) => {
+                let a = a.read();
+                write!(f, "{a:?}")
+            }
+            Value::ArrayFloat(a) => {
+                let a = a.read();
+                write!(f, "{a:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_types() {
+        assert_eq!(Value::default_for(Type::Int).as_int(), 0);
+        assert_eq!(Value::default_for(Type::Float).as_float(), 0.0);
+        assert!(!Value::default_for(Type::Bool).as_bool());
+    }
+
+    #[test]
+    fn arrays_are_reference_types() {
+        let a = Value::default_for(Type::ArrayInt);
+        let b = a.clone();
+        if let (Value::ArrayInt(x), Value::ArrayInt(y)) = (&a, &b) {
+            x.write().push(7);
+            assert_eq!(*y.read(), vec![7]);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn mpi_roundtrip() {
+        let v = Value::Int(42);
+        assert_eq!(v.to_mpi(), MpiValue::Int(42));
+        let arr = Value::from_mpi(MpiValue::ArrayFloat(vec![1.0, 2.0]));
+        if let Value::ArrayFloat(a) = &arr {
+            assert_eq!(*a.read(), vec![1.0, 2.0]);
+        } else {
+            panic!();
+        }
+        // Snapshot: mutating the Value after to_mpi must not alter the payload.
+        if let Value::ArrayFloat(a) = &arr {
+            let payload = arr.to_mpi();
+            a.write().push(3.0);
+            assert_eq!(payload, MpiValue::ArrayFloat(vec![1.0, 2.0]));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        let a = Value::ArrayInt(Arc::new(RwLock::new(vec![1, 2])));
+        assert_eq!(a.to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,258 @@
+//! Small graph utilities over the CFG: reachability, traversal orders,
+//! and a reverse-graph view used by the post-dominance machinery.
+
+use crate::func::FuncIr;
+use crate::types::BlockId;
+
+/// Blocks reachable from the entry, as a dense bool table.
+pub fn reachable(f: &FuncIr) -> Vec<bool> {
+    let mut seen = vec![false; f.block_count()];
+    let mut stack = vec![f.entry];
+    seen[f.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse post-order of the reachable blocks (classic iterative DFS).
+///
+/// RPO is the canonical iteration order for forward dataflow problems —
+/// the parallelism-word propagation in `parcoach-core` converges in one
+/// pass over structured CFGs when visited in RPO.
+pub fn reverse_post_order(f: &FuncIr) -> Vec<BlockId> {
+    let n = f.block_count();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS keeping an explicit successor cursor per frame.
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    state[f.entry.index()] = 1;
+    stack.push((f.entry, f.successors(f.entry), 0));
+    while let Some((b, succs, cursor)) = stack.last_mut() {
+        if let Some(&s) = succs.get(*cursor) {
+            *cursor += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                let sc = f.successors(s);
+                stack.push((s, sc, 0));
+            }
+        } else {
+            state[b.index()] = 2;
+            post.push(*b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Post-order of reachable blocks (reverse of [`reverse_post_order`]).
+pub fn post_order(f: &FuncIr) -> Vec<BlockId> {
+    let mut rpo = reverse_post_order(f);
+    rpo.reverse();
+    rpo
+}
+
+/// An explicit reverse view of the CFG with a *virtual exit node*.
+///
+/// Post-dominance is dominance on the reverse CFG. Real functions may
+/// have several `Return` blocks, and blocks on infinite loops may not
+/// reach any return at all; the virtual exit is a fresh node that every
+/// return block (and, to keep the analysis total, every reachable
+/// terminal cycle) points to.
+#[derive(Debug)]
+pub struct ReverseCfg {
+    /// Successor lists in the reverse graph (i.e. original predecessors),
+    /// indexed by block, with `virtual_exit` as the last index.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor lists in the reverse graph (original successors).
+    pub preds: Vec<Vec<usize>>,
+    /// Index of the virtual exit node (== original block count).
+    pub virtual_exit: usize,
+}
+
+impl ReverseCfg {
+    /// Build the reverse view of `f`.
+    pub fn build(f: &FuncIr) -> ReverseCfg {
+        let n = f.block_count();
+        let virtual_exit = n;
+        let mut fwd_succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (id, b) in f.iter_blocks() {
+            let ss = b.term.successors();
+            if ss.is_empty() {
+                // Return (or Unreachable) → edge to the virtual exit.
+                fwd_succs[id.index()].push(virtual_exit);
+            } else {
+                for s in ss {
+                    fwd_succs[id.index()].push(s.index());
+                }
+            }
+        }
+        // Terminal cycles (infinite loops) never reach the exit; attach
+        // one representative node of each such SCC to the exit so every
+        // reachable node participates in post-dominance. We use a simple
+        // "cannot reach exit" sweep.
+        let mut reaches_exit = vec![false; n + 1];
+        reaches_exit[virtual_exit] = true;
+        // Fixpoint: propagate backwards.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if !reaches_exit[v] && fwd_succs[v].iter().any(|&s| reaches_exit[s]) {
+                    reaches_exit[v] = true;
+                    changed = true;
+                }
+            }
+        }
+        let reach = reachable(f);
+        for v in 0..n {
+            if reach[v] && !reaches_exit[v] {
+                // Part of (or trapped behind) a terminal cycle: wire it to
+                // the exit and re-propagate lazily.
+                fwd_succs[v].push(virtual_exit);
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for u in 0..n {
+                        if !reaches_exit[u] && fwd_succs[u].iter().any(|&s| reaches_exit[s]) {
+                            reaches_exit[u] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Reverse the edges.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (v, ss) in fwd_succs.iter().enumerate() {
+            for &s in ss {
+                succs[s].push(v); // reverse edge s → v
+                preds[v].push(s);
+            }
+        }
+        ReverseCfg {
+            succs,
+            preds,
+            virtual_exit,
+        }
+    }
+}
+
+/// Test helper: build a function from an adjacency list; blocks with no
+/// successors return, one successor goto, two successors branch. Exposed
+/// crate-wide for the dom/loops unit tests and to downstream dev-tests.
+pub fn func_from_edges(n: usize, edges: &[(u32, u32)]) -> FuncIr {
+    use crate::func::BasicBlock;
+    use crate::instr::Terminator;
+    use crate::types::Value;
+    use parcoach_front::ast::Type;
+    use parcoach_front::span::Span;
+
+    let mut blocks: Vec<BasicBlock> = (0..n).map(|_| BasicBlock::new()).collect();
+    for (i, block) in blocks.iter_mut().enumerate() {
+        let succs: Vec<u32> = edges
+            .iter()
+            .filter(|(a, _)| *a == i as u32)
+            .map(|(_, b)| *b)
+            .collect();
+        block.term = match succs.len() {
+            0 => Terminator::Return {
+                value: None,
+                span: Span::DUMMY,
+            },
+            1 => Terminator::Goto(BlockId(succs[0])),
+            2 => Terminator::Branch {
+                cond: Value::bool(true),
+                then_bb: BlockId(succs[0]),
+                else_bb: BlockId(succs[1]),
+                span: Span::DUMMY,
+            },
+            k => panic!("block {i} has {k} successors; max 2"),
+        };
+    }
+    FuncIr {
+        name: "g".into(),
+        params: vec![],
+        ret: Type::Void,
+        reg_types: vec![],
+        reg_names: vec![],
+        blocks,
+        entry: BlockId(0),
+        region_count: 0,
+        span: Span::DUMMY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability() {
+        // 0 → 1 → 2, 3 unreachable
+        let f = func_from_edges(4, &[(0, 1), (1, 2)]);
+        let r = reachable(&f);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        // Diamond: 0 → {1,2} → 3
+        let f = func_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+        assert_eq!(rpo.len(), 4);
+        // 3 must come after both 1 and 2.
+        let pos = |b: u32| rpo.iter().position(|x| x.0 == b).unwrap();
+        assert!(pos(3) > pos(1) && pos(3) > pos(2));
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let f = func_from_edges(3, &[(0, 1)]);
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo.len(), 2);
+    }
+
+    #[test]
+    fn rpo_handles_loops() {
+        // 0 → 1 → 2 → 1, 2 → 3
+        let f = func_from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+    }
+
+    #[test]
+    fn reverse_cfg_virtual_exit() {
+        // Two exits: 0 → {1,2}; both return.
+        let f = func_from_edges(3, &[(0, 1), (0, 2)]);
+        let r = ReverseCfg::build(&f);
+        assert_eq!(r.virtual_exit, 3);
+        // Virtual exit's reverse-successors are the returns.
+        let mut exits = r.succs[r.virtual_exit].clone();
+        exits.sort_unstable();
+        assert_eq!(exits, vec![1, 2]);
+    }
+
+    #[test]
+    fn reverse_cfg_infinite_loop_connected() {
+        // 0 → 1 → 2 → 1 (no exit from the loop)
+        let f = func_from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        let r = ReverseCfg::build(&f);
+        // Some loop node must be wired to the virtual exit so the whole
+        // graph participates in post-dominance.
+        assert!(
+            !r.succs[r.virtual_exit].is_empty(),
+            "virtual exit must have at least one incoming node"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Natural-loop detection.
+//!
+//! Used by the concurrency analysis: a `single`/`section` region whose
+//! begin block lies on a CFG cycle with no barrier on the cycle can run
+//! concurrently *with itself* across iterations (the paper's set `S_cc`
+//! covers such regions via the dynamic concurrency counter).
+
+use crate::dom::DomTree;
+use crate::func::FuncIr;
+use crate::types::BlockId;
+
+/// One natural loop: the header plus every block of its body.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header. Sorted.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Is `b` inside this loop?
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// Loop forest of a function (loops discovered from back edges; loops
+/// sharing a header are merged, as usual).
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// All loops found.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopInfo {
+    /// Find back edges (`tail → header` where `header` dominates `tail`)
+    /// and collect natural loops.
+    pub fn compute(f: &FuncIr, dom: &DomTree) -> LoopInfo {
+        let preds = f.predecessors();
+        let mut by_header: std::collections::HashMap<BlockId, Vec<BlockId>> =
+            std::collections::HashMap::new();
+        for (id, b) in f.iter_blocks() {
+            for s in b.term.successors() {
+                if dom.dominates(s, id) {
+                    by_header.entry(s).or_default().push(id);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (header, tails) in by_header {
+            // Standard natural-loop body collection: walk predecessors
+            // backwards from each tail until the header.
+            let mut in_loop = std::collections::HashSet::new();
+            in_loop.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &t in &tails {
+                if in_loop.insert(t) {
+                    stack.push(t);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &preds[b.index()] {
+                    if in_loop.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = in_loop.into_iter().collect();
+            blocks.sort_unstable();
+            loops.push(NaturalLoop { header, blocks });
+        }
+        loops.sort_by_key(|l| l.header);
+        LoopInfo { loops }
+    }
+
+    /// All loops containing block `b`, innermost-sized first (smallest
+    /// body first).
+    pub fn loops_containing(&self, b: BlockId) -> Vec<&NaturalLoop> {
+        let mut ls: Vec<&NaturalLoop> = self.loops.iter().filter(|l| l.contains(b)).collect();
+        ls.sort_by_key(|l| l.blocks.len());
+        ls
+    }
+
+    /// True if `b` lies on any cycle.
+    pub fn in_any_loop(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.contains(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::func_from_edges;
+
+    #[test]
+    fn simple_while_loop() {
+        // 0 → 1(head) → {2(body), 3}; 2 → 1
+        let f = func_from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.blocks, vec![BlockId(1), BlockId(2)]);
+        assert!(li.in_any_loop(BlockId(2)));
+        assert!(!li.in_any_loop(BlockId(3)));
+    }
+
+    #[test]
+    fn nested_loops() {
+        // outer: 1..4, inner: 2..3
+        // 0→1, 1→2, 2→3, 3→2 (inner back), 3→4, 4→1 (outer back), 4→5...
+        // max 2 succ per node: 3 → {2,4}, 4 → {1,5}
+        let f = func_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)],
+        );
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.loops.len(), 2);
+        let inner = li
+            .loops
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .expect("inner loop");
+        let outer = li
+            .loops
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .expect("outer loop");
+        assert!(inner.blocks.len() < outer.blocks.len());
+        assert!(outer.contains(BlockId(3)));
+        let containing = li.loops_containing(BlockId(3));
+        assert_eq!(containing.len(), 2);
+        assert_eq!(containing[0].header, BlockId(2)); // innermost first
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let f = func_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert!(li.loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop() {
+        // 1 → 1
+        let f = func_from_edges(3, &[(0, 1), (1, 1), (1, 2)]);
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.loops[0].blocks, vec![BlockId(1)]);
+    }
+}

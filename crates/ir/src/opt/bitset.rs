@@ -1,0 +1,139 @@
+//! Dense fixed-capacity bitset used by the dataflow passes.
+
+/// A fixed-capacity bitset over `usize` indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Insert an element; returns true if newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let w = i / 64;
+        let b = 1u64 << (i % 64);
+        let was = self.words[w] & b != 0;
+        self.words[w] |= b;
+        !was
+    }
+
+    /// Remove an element.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let new = *a | *b;
+            if new != *a {
+                *a = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(64), "second insert reports existing");
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        assert!(!s.contains(100));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        b.insert(1);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        let mut c = BitSet::new(100);
+        c.insert(2);
+        a.subtract(&c);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_order_and_clear() {
+        let mut s = BitSet::new(300);
+        for i in [250, 3, 64, 128] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 128, 250]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

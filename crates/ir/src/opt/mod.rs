@@ -1,0 +1,15 @@
+//! Optimization and back-end passes — the "rest of the compiler" that
+//! gives the Figure-1 baseline its realistic weight (see DESIGN.md §2:
+//! the paper measures analysis overhead relative to a *full* GCC
+//! compilation, so the reproduction needs a non-trivial compilation
+//! pipeline to be overhead-comparable).
+
+pub mod bitset;
+pub mod codegen;
+pub mod liveness;
+pub mod passes;
+pub mod usedef;
+
+pub use codegen::{allocate, Allocation, Location, PHYS_REGS};
+pub use liveness::{liveness, Liveness};
+pub use passes::{optimize_func, optimize_module, OptStats};

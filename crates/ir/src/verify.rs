@@ -1,0 +1,305 @@
+//! IR verifier: structural invariants the analysis and executor rely on.
+//!
+//! Run after lowering (and again after instrumentation) to catch compiler
+//! bugs early instead of as mysterious analysis results.
+
+use crate::func::{FuncIr, Module};
+use crate::graph::reachable;
+use crate::instr::{BlockKind, Directive, Instr, Terminator};
+use crate::types::BlockId;
+
+/// A verifier finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Block where the problem is.
+    pub block: BlockId,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}: {}", self.func, self.block, self.message)
+    }
+}
+
+/// Verify a whole module. Empty result = OK.
+pub fn verify_module(m: &Module) -> Vec<VerifyError> {
+    m.funcs.iter().flat_map(verify_func).collect()
+}
+
+/// Verify a single function.
+pub fn verify_func(f: &FuncIr) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    let mut err = |block: BlockId, message: String| {
+        errs.push(VerifyError {
+            func: f.name.clone(),
+            block,
+            message,
+        });
+    };
+    let n = f.block_count();
+
+    // Pass 0: terminator targets must be in range before any graph
+    // traversal is safe.
+    for (id, b) in f.iter_blocks() {
+        for s in b.term.successors() {
+            if s.index() >= n {
+                err(id, format!("terminator targets out-of-range block {s}"));
+            }
+        }
+    }
+    if !errs.is_empty() {
+        return errs;
+    }
+    let mut err = |block: BlockId, message: String| {
+        errs.push(VerifyError {
+            func: f.name.clone(),
+            block,
+            message,
+        });
+    };
+    let reach = reachable(f);
+
+    for (id, b) in f.iter_blocks() {
+        // Reachable blocks must be terminated.
+        if reach[id.index()] && matches!(b.term, Terminator::Unreachable) {
+            err(id, "reachable block has no terminator".into());
+        }
+        // Register indices in range.
+        let max_reg = f.reg_types.len();
+        let check_val = |v: &crate::types::Value| match v {
+            crate::types::Value::Reg(r) => r.index() < max_reg,
+            crate::types::Value::Const(_) => true,
+        };
+        for i in &b.instrs {
+            let ok = match i {
+                Instr::Copy { dest, src } => dest.index() < max_reg && check_val(src),
+                Instr::Unary { dest, src, .. } => dest.index() < max_reg && check_val(src),
+                Instr::Binary { dest, lhs, rhs, .. } => {
+                    dest.index() < max_reg && check_val(lhs) && check_val(rhs)
+                }
+                Instr::ArrayNew { dest, len, init, .. } => {
+                    dest.index() < max_reg && check_val(len) && check_val(init)
+                }
+                Instr::Load { dest, arr, idx, .. } => {
+                    dest.index() < max_reg && arr.index() < max_reg && check_val(idx)
+                }
+                Instr::Store { arr, idx, value, .. } => {
+                    arr.index() < max_reg && check_val(idx) && check_val(value)
+                }
+                Instr::Intrinsic { dest, args, .. } => {
+                    dest.index() < max_reg && args.iter().all(check_val)
+                }
+                Instr::Call { dest, args, .. } => {
+                    dest.is_none_or(|d| d.index() < max_reg) && args.iter().all(check_val)
+                }
+                Instr::Mpi { dest, .. } => dest.is_none_or(|d| d.index() < max_reg),
+                Instr::Print { args } => args.iter().all(check_val),
+                Instr::Check(_) => true,
+            };
+            if !ok {
+                err(id, format!("instruction references out-of-range register: {i:?}"));
+            }
+        }
+        // Directive blocks carry no user instructions (checks are allowed:
+        // the instrumentation pass may guard directive nodes).
+        if let BlockKind::Directive(_) = &b.kind {
+            if b.instrs.iter().any(|i| !matches!(i, Instr::Check(_))) {
+                err(id, "directive block contains non-check instructions".into());
+            }
+        }
+    }
+
+    // Region begin/end pairing along every path: walk the CFG carrying a
+    // region stack; every reachable path must see perfectly nested
+    // open/close pairs (this is the paper's "perfectly nested regions"
+    // invariant, which lowering must establish).
+    verify_region_nesting(f, &mut errs);
+
+    errs
+}
+
+/// Region-stack state per block for the nesting walk.
+type RegionStack = Vec<u32>;
+
+fn verify_region_nesting(f: &FuncIr, errs: &mut Vec<VerifyError>) {
+    let n = f.block_count();
+    let mut state: Vec<Option<RegionStack>> = vec![None; n];
+    let mut work = vec![f.entry];
+    state[f.entry.index()] = Some(Vec::new());
+    while let Some(b) = work.pop() {
+        let mut stack = state[b.index()].clone().expect("queued with state");
+        let blk = f.block(b);
+        // `single`/`master`/`section` entries are *conditional*: only the
+        // chosen thread enters the region, so their token is pushed on
+        // the then-edge, not in the directive block itself.
+        let mut conditional_open: Option<u32> = None;
+        if let BlockKind::Directive(d) = &blk.kind {
+            if d.opens_region() {
+                let r = d.region().expect("open directive has region").0;
+                match d {
+                    Directive::SingleBegin { .. }
+                    | Directive::MasterBegin { .. }
+                    | Directive::SectionBegin { .. } => conditional_open = Some(r),
+                    _ => stack.push(r),
+                }
+            } else if d.closes_region() {
+                let r = d.region().expect("close directive has region").0;
+                match stack.pop() {
+                    Some(top) if top == r => {}
+                    Some(top) => errs.push(VerifyError {
+                        func: f.name.clone(),
+                        block: b,
+                        message: format!(
+                            "region end r{r} does not match innermost open region r{top}"
+                        ),
+                    }),
+                    None => errs.push(VerifyError {
+                        func: f.name.clone(),
+                        block: b,
+                        message: format!("region end r{r} with no open region"),
+                    }),
+                }
+            }
+        }
+        if matches!(blk.term, Terminator::Return { .. }) && !stack.is_empty() {
+            errs.push(VerifyError {
+                func: f.name.clone(),
+                block: b,
+                message: format!("return with {} region(s) still open", stack.len()),
+            });
+        }
+        let successor_states: Vec<(BlockId, RegionStack)> = match (&blk.term, conditional_open) {
+            (
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                },
+                Some(r),
+            ) => {
+                let mut entered = stack.clone();
+                entered.push(r);
+                vec![(*then_bb, entered), (*else_bb, stack.clone())]
+            }
+            (_, Some(r)) => {
+                // A conditional opener without a branch terminator is a
+                // lowering bug.
+                errs.push(VerifyError {
+                    func: f.name.clone(),
+                    block: b,
+                    message: format!("conditional region opener r{r} must end in a branch"),
+                });
+                blk.term
+                    .successors()
+                    .into_iter()
+                    .map(|s| (s, stack.clone()))
+                    .collect()
+            }
+            _ => blk
+                .term
+                .successors()
+                .into_iter()
+                .map(|s| (s, stack.clone()))
+                .collect(),
+        };
+        for (s, st) in successor_states {
+            match &state[s.index()] {
+                None => {
+                    state[s.index()] = Some(st);
+                    work.push(s);
+                }
+                Some(existing) => {
+                    if existing != &st {
+                        // Two paths reach `s` with different region
+                        // nesting — the structured lowering must never
+                        // produce this.
+                        errs.push(VerifyError {
+                            func: f.name.clone(),
+                            block: s,
+                            message: format!(
+                                "inconsistent region nesting at join: {existing:?} vs {st:?}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use parcoach_front::parse_and_check;
+
+    fn lower_ok(src: &str) -> Module {
+        let unit = parse_and_check("t.mh", src).expect("source must check");
+        lower_program(&unit.program, &unit.signatures)
+    }
+
+    #[test]
+    fn clean_programs_verify() {
+        for src in [
+            "fn main() { let x = 1; }",
+            "fn main() { parallel { single { MPI_Barrier(); } } }",
+            "fn main() { parallel num_threads(4) { pfor (i in 0..10) { let x = i; } } }",
+            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
+            "fn main() { parallel { sections { section { } section { } } } }",
+            "fn f() -> int { return 3; } fn main() { let a = f(); while (a > 0) { a = a - 1; } }",
+            "fn main() { parallel { master { } critical { } barrier; } }",
+        ] {
+            let m = lower_ok(src);
+            let errs = verify_module(&m);
+            assert!(errs.is_empty(), "{src}\n{errs:?}");
+        }
+    }
+
+    #[test]
+    fn detects_unterminated_block() {
+        let mut m = lower_ok("fn main() { let x = 1; }");
+        m.funcs[0].blocks[0].term = Terminator::Unreachable;
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("no terminator")));
+    }
+
+    #[test]
+    fn detects_bad_target() {
+        let mut m = lower_ok("fn main() { let x = 1; }");
+        m.funcs[0].blocks[0].term = Terminator::Goto(BlockId(99));
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("out-of-range block")));
+    }
+
+    #[test]
+    fn detects_unbalanced_regions() {
+        let mut m = lower_ok("fn main() { parallel { let x = 1; } }");
+        // Corrupt: drop the ParallelEnd directive.
+        for b in &mut m.funcs[0].blocks {
+            if matches!(
+                b.kind,
+                BlockKind::Directive(Directive::ParallelEnd { .. })
+            ) {
+                b.kind = BlockKind::Normal;
+            }
+        }
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter().any(|e| e.message.contains("region")),
+            "expected a region-nesting error, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_out_of_range_register() {
+        let mut m = lower_ok("fn main() { let x = 1; }");
+        m.funcs[0].blocks[0].instrs.push(Instr::Copy {
+            dest: crate::types::Reg(999),
+            src: crate::types::Value::int(0),
+        });
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("out-of-range register")));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: dominators / post-dominators on random CFGs against
+//! naive reference implementations, plus structural PDF+ facts.
+
+use parcoach_ir::dom::{DomTree, PostDomTree};
+use parcoach_ir::graph::{func_from_edges, reachable};
+use parcoach_ir::types::BlockId;
+use proptest::prelude::*;
+
+/// Random CFG as an edge list over `n` blocks with ≤2 successors each,
+/// block 0 the entry.
+fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let succs = proptest::collection::vec(
+            proptest::option::of((0..n as u32, proptest::option::of(0..n as u32))),
+            n,
+        );
+        succs.prop_map(move |per_block| {
+            let mut edges = Vec::new();
+            for (i, s) in per_block.iter().enumerate() {
+                if let Some((a, b)) = s {
+                    edges.push((i as u32, *a));
+                    if let Some(b) = b {
+                        if b != a {
+                            edges.push((i as u32, *b));
+                        }
+                    }
+                }
+            }
+            (n, edges)
+        })
+    })
+}
+
+/// Naive O(n³) dominance: a dominates b iff removing a makes b
+/// unreachable from the entry.
+fn naive_dominates(
+    n: usize,
+    edges: &[(u32, u32)],
+    a: BlockId,
+    b: BlockId,
+    reach: &[bool],
+) -> bool {
+    if !reach[b.index()] {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    // BFS from entry avoiding `a`.
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    if a.0 == 0 {
+        return true; // entry dominates everything reachable
+    }
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        for &(s, t) in edges.iter().filter(|(s, _)| *s == x) {
+            let _ = s;
+            if t == a.0 {
+                continue;
+            }
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+    !seen[b.index()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn domtree_matches_naive((n, edges) in cfg_strategy()) {
+        let f = func_from_edges(n, &edges);
+        let dt = DomTree::compute(&f);
+        let reach = reachable(&f);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (a, b) = (BlockId(a), BlockId(b));
+                if !reach[a.index()] || !reach[b.index()] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    naive_dominates(n, &edges, a, b, &reach),
+                    "dominates({}, {}) mismatch on {:?}",
+                    a, b, edges
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_strict_dominator((n, edges) in cfg_strategy()) {
+        let f = func_from_edges(n, &edges);
+        let dt = DomTree::compute(&f);
+        for b in f.block_ids() {
+            if let Some(d) = dt.idom(b) {
+                prop_assert!(d != b);
+                prop_assert!(dt.dominates(d, b));
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_members_are_branch_blocks((n, edges) in cfg_strategy()) {
+        let f = func_from_edges(n, &edges);
+        let pdt = PostDomTree::compute(&f);
+        let reach = reachable(&f);
+        let all: Vec<BlockId> = f.block_ids().filter(|b| reach[b.index()]).collect();
+        for &seed in &all {
+            for d in pdt.iterated_frontier(&f, &[seed]) {
+                prop_assert!(
+                    f.successors(d).len() >= 2,
+                    "PDF+ member {d} of seed {seed} is not a branch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_dominance_antisymmetric((n, edges) in cfg_strategy()) {
+        let f = func_from_edges(n, &edges);
+        let pdt = PostDomTree::compute(&f);
+        let reach = reachable(&f);
+        for a in f.block_ids() {
+            for b in f.block_ids() {
+                if a == b || !reach[a.index()] || !reach[b.index()] {
+                    continue;
+                }
+                prop_assert!(
+                    !(pdt.post_dominates(a, b) && pdt.post_dominates(b, a)),
+                    "{a} and {b} post-dominate each other"
+                );
+            }
+        }
+    }
+}

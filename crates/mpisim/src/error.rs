@@ -1,0 +1,183 @@
+//! MPI substrate errors — the runtime manifestations of the bugs the
+//! paper's checks exist to catch (plus plain argument errors).
+
+use crate::signature::Signature;
+use parcoach_front::ast::ThreadLevel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What each rank was doing when a deadlock was declared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RankActivity {
+    /// Executing user code.
+    Running,
+    /// Blocked in collective number `seq` (0-based per-communicator
+    /// order), described by its signature.
+    InCollective {
+        /// Per-communicator sequence number.
+        seq: u64,
+        /// What it is waiting in.
+        what: String,
+    },
+    /// Blocked in `MPI_Recv`.
+    InRecv {
+        /// Source rank awaited.
+        src: usize,
+        /// Tag awaited.
+        tag: i64,
+    },
+    /// The rank's program has terminated.
+    Finished,
+}
+
+impl fmt::Display for RankActivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankActivity::Running => write!(f, "running"),
+            RankActivity::InCollective { seq, what } => {
+                write!(f, "blocked in collective #{seq} ({what})")
+            }
+            RankActivity::InRecv { src, tag } => {
+                write!(f, "blocked in MPI_Recv(src={src}, tag={tag})")
+            }
+            RankActivity::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+/// Errors surfaced by the MPI substrate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MpiError {
+    /// Two ranks issued different collectives as their n-th operation
+    /// (MUST-style signature mismatch).
+    CollectiveMismatch {
+        /// Per-communicator collective index at which they diverged.
+        seq: u64,
+        /// Signature already registered.
+        expected: Signature,
+        /// Rank that registered it.
+        expected_rank: usize,
+        /// The incompatible signature.
+        got: Signature,
+        /// Rank that brought it.
+        got_rank: usize,
+    },
+    /// A rank finished while others still wait in a collective.
+    RankFinishedEarly {
+        /// The rank that left.
+        finished_rank: usize,
+        /// Activities of all ranks at detection time.
+        states: Vec<RankActivity>,
+    },
+    /// All live ranks are blocked and no collective can complete.
+    Deadlock {
+        /// Activities of all ranks.
+        states: Vec<RankActivity>,
+    },
+    /// A blocking operation exceeded the configured timeout.
+    Timeout {
+        /// Description of the stuck operation.
+        what: String,
+        /// Activities of all ranks at the timeout.
+        states: Vec<RankActivity>,
+    },
+    /// The requested MPI thread level was violated (e.g. concurrent MPI
+    /// calls under `MPI_THREAD_SERIALIZED`).
+    ThreadLevelViolation {
+        /// Level granted at init.
+        provided: ThreadLevel,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Malformed arguments (root out of range, short scatter array, …).
+    ArgError(String),
+    /// The world was aborted (by a failed dynamic check or another
+    /// rank's error); carries the original reason.
+    Aborted(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::CollectiveMismatch {
+                seq,
+                expected,
+                expected_rank,
+                got,
+                got_rank,
+            } => write!(
+                f,
+                "collective mismatch at operation #{seq}: rank {expected_rank} \
+                 entered {expected} but rank {got_rank} entered {got}"
+            ),
+            MpiError::RankFinishedEarly {
+                finished_rank,
+                states,
+            } => {
+                write!(
+                    f,
+                    "rank {finished_rank} finished while collectives are pending:"
+                )?;
+                for (r, s) in states.iter().enumerate() {
+                    write!(f, " [rank {r}: {s}]")?;
+                }
+                Ok(())
+            }
+            MpiError::Deadlock { states } => {
+                write!(f, "deadlock: all ranks blocked:")?;
+                for (r, s) in states.iter().enumerate() {
+                    write!(f, " [rank {r}: {s}]")?;
+                }
+                Ok(())
+            }
+            MpiError::Timeout { what, states } => {
+                write!(f, "timeout in {what}:")?;
+                for (r, s) in states.iter().enumerate() {
+                    write!(f, " [rank {r}: {s}]")?;
+                }
+                Ok(())
+            }
+            MpiError::ThreadLevelViolation { provided, detail } => {
+                write!(f, "thread level violation under {provided}: {detail}")
+            }
+            MpiError::ArgError(m) => write!(f, "invalid MPI argument: {m}"),
+            MpiError::Aborted(reason) => write!(f, "aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::CollectiveOp;
+
+    #[test]
+    fn errors_render() {
+        let e = MpiError::CollectiveMismatch {
+            seq: 3,
+            expected: Signature::collective(CollectiveOp::Barrier, None, None, None),
+            expected_rank: 0,
+            got: Signature::collective(CollectiveOp::Bcast, None, Some(0), Some(crate::value::MpiType::Int)),
+            got_rank: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("MPI_Barrier"), "{s}");
+        assert!(s.contains("MPI_Bcast"), "{s}");
+
+        let d = MpiError::Deadlock {
+            states: vec![
+                RankActivity::InCollective {
+                    seq: 1,
+                    what: "MPI_Barrier".into(),
+                },
+                RankActivity::Finished,
+            ],
+        };
+        let s = d.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("finished"), "{s}");
+    }
+}

@@ -1,0 +1,165 @@
+//! MPI payload values and reduction arithmetic.
+
+use parcoach_front::ast::ReduceOp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value crossing the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MpiValue {
+    /// Scalar integer.
+    Int(i64),
+    /// Scalar float.
+    Float(f64),
+    /// Integer array.
+    ArrayInt(Vec<i64>),
+    /// Float array.
+    ArrayFloat(Vec<f64>),
+}
+
+/// Type tag used for signature matching (MUST-style datatype check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MpiType {
+    /// `Int`
+    Int,
+    /// `Float`
+    Float,
+    /// `ArrayInt`
+    ArrayInt,
+    /// `ArrayFloat`
+    ArrayFloat,
+}
+
+impl fmt::Display for MpiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiType::Int => write!(f, "int"),
+            MpiType::Float => write!(f, "float"),
+            MpiType::ArrayInt => write!(f, "int[]"),
+            MpiType::ArrayFloat => write!(f, "float[]"),
+        }
+    }
+}
+
+impl MpiValue {
+    /// The value's type tag.
+    pub fn ty(&self) -> MpiType {
+        match self {
+            MpiValue::Int(_) => MpiType::Int,
+            MpiValue::Float(_) => MpiType::Float,
+            MpiValue::ArrayInt(_) => MpiType::ArrayInt,
+            MpiValue::ArrayFloat(_) => MpiType::ArrayFloat,
+        }
+    }
+
+    /// Integer content (panics on type confusion — signatures are
+    /// verified before payload math).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            MpiValue::Int(v) => *v,
+            other => panic!("expected int payload, got {:?}", other.ty()),
+        }
+    }
+
+    /// Float content.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            MpiValue::Float(v) => *v,
+            other => panic!("expected float payload, got {:?}", other.ty()),
+        }
+    }
+}
+
+/// Apply a reduction operator to two scalars of the same type.
+pub fn reduce_scalar(op: ReduceOp, a: &MpiValue, b: &MpiValue) -> MpiValue {
+    match (a, b) {
+        (MpiValue::Int(x), MpiValue::Int(y)) => MpiValue::Int(reduce_i64(op, *x, *y)),
+        (MpiValue::Float(x), MpiValue::Float(y)) => MpiValue::Float(reduce_f64(op, *x, *y)),
+        _ => panic!("reduce on mismatched types {:?} / {:?}", a.ty(), b.ty()),
+    }
+}
+
+/// Reduce two i64.
+pub fn reduce_i64(op: ReduceOp, a: i64, b: i64) -> i64 {
+    match op {
+        ReduceOp::Sum => a.wrapping_add(b),
+        ReduceOp::Prod => a.wrapping_mul(b),
+        ReduceOp::Min => a.min(b),
+        ReduceOp::Max => a.max(b),
+        ReduceOp::Land => ((a != 0) && (b != 0)) as i64,
+        ReduceOp::Lor => ((a != 0) || (b != 0)) as i64,
+    }
+}
+
+/// Reduce two f64 (logical ops treat non-zero as true).
+pub fn reduce_f64(op: ReduceOp, a: f64, b: f64) -> f64 {
+    match op {
+        ReduceOp::Sum => a + b,
+        ReduceOp::Prod => a * b,
+        ReduceOp::Min => a.min(b),
+        ReduceOp::Max => a.max(b),
+        ReduceOp::Land => ((a != 0.0) && (b != 0.0)) as i64 as f64,
+        ReduceOp::Lor => ((a != 0.0) || (b != 0.0)) as i64 as f64,
+    }
+}
+
+/// Element-wise reduction of two arrays (for `MPI_Reduce_scatter`).
+pub fn reduce_array(op: ReduceOp, a: &MpiValue, b: &MpiValue) -> MpiValue {
+    match (a, b) {
+        (MpiValue::ArrayInt(x), MpiValue::ArrayInt(y)) => MpiValue::ArrayInt(
+            x.iter()
+                .zip(y.iter())
+                .map(|(p, q)| reduce_i64(op, *p, *q))
+                .collect(),
+        ),
+        (MpiValue::ArrayFloat(x), MpiValue::ArrayFloat(y)) => MpiValue::ArrayFloat(
+            x.iter()
+                .zip(y.iter())
+                .map(|(p, q)| reduce_f64(op, *p, *q))
+                .collect(),
+        ),
+        _ => panic!("array reduce on mismatched types"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reduce_ops() {
+        assert_eq!(reduce_i64(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(reduce_i64(ReduceOp::Prod, 3, 4), 12);
+        assert_eq!(reduce_i64(ReduceOp::Min, 3, 4), 3);
+        assert_eq!(reduce_i64(ReduceOp::Max, 3, 4), 4);
+        assert_eq!(reduce_i64(ReduceOp::Land, 1, 0), 0);
+        assert_eq!(reduce_i64(ReduceOp::Lor, 1, 0), 1);
+        assert_eq!(reduce_f64(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(reduce_f64(ReduceOp::Max, 1.5, 2.5), 2.5);
+    }
+
+    #[test]
+    fn value_reduce_dispatch() {
+        let r = reduce_scalar(ReduceOp::Sum, &MpiValue::Int(1), &MpiValue::Int(2));
+        assert_eq!(r, MpiValue::Int(3));
+        let r = reduce_scalar(ReduceOp::Min, &MpiValue::Float(1.0), &MpiValue::Float(-1.0));
+        assert_eq!(r, MpiValue::Float(-1.0));
+    }
+
+    #[test]
+    fn array_reduce_elementwise() {
+        let a = MpiValue::ArrayInt(vec![1, 5, 3]);
+        let b = MpiValue::ArrayInt(vec![4, 2, 6]);
+        assert_eq!(
+            reduce_array(ReduceOp::Max, &a, &b),
+            MpiValue::ArrayInt(vec![4, 5, 6])
+        );
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(MpiValue::Int(1).ty(), MpiType::Int);
+        assert_eq!(MpiValue::ArrayFloat(vec![]).ty(), MpiType::ArrayFloat);
+        assert_eq!(MpiType::ArrayInt.to_string(), "int[]");
+    }
+}

@@ -1,0 +1,781 @@
+//! The simulated MPI world: ranks, the collective matching engine,
+//! thread-level enforcement, point-to-point messaging, deadlock
+//! detection and the PARCOACH `CC` control collective.
+//!
+//! ## Matching model
+//!
+//! Per communicator (we model `MPI_COMM_WORLD`), collectives match in
+//! per-rank program order: the n-th collective call of every rank forms
+//! instance `n`. The first arriver fixes the instance's
+//! [`Signature`]; any rank arriving with a different signature is a
+//! **collective mismatch** and aborts the world with both signatures and
+//! ranks — this is what MUST's tree-based matcher reports, and what the
+//! PARCOACH `CC` turns into a *pre*-collective error with source lines.
+//!
+//! ## Deadlock detection
+//!
+//! A real MPI run with mismatched collective *counts* hangs. Here every
+//! blocking wait participates in a liveness census: when **all** ranks
+//! are blocked (collective/recv) or finished and nothing can complete,
+//! the world aborts with a per-rank activity dump; a rank finishing
+//! while others wait in a collective aborts immediately.
+
+use crate::error::{MpiError, RankActivity};
+use crate::signature::{CollectiveOp, Signature};
+use crate::value::{reduce_array, reduce_scalar, MpiType, MpiValue};
+use parcoach_front::ast::{ReduceOp, ThreadLevel};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Number of ranks.
+    pub world_size: usize,
+    /// The highest thread level this "implementation" grants.
+    pub max_provided: ThreadLevel,
+    /// Blocking-operation timeout (deadlock fallback).
+    pub op_timeout: Duration,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            world_size: 2,
+            max_provided: ThreadLevel::Multiple,
+            op_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One buffered point-to-point message.
+#[derive(Debug, Clone)]
+struct Message {
+    src: usize,
+    tag: i64,
+    value: MpiValue,
+}
+
+/// One collective instance (the n-th collective of the communicator).
+struct Instance {
+    signature: Option<Signature>,
+    first_rank: usize,
+    payloads: Vec<Option<MpiValue>>,
+    arrived_count: usize,
+    results: Option<Vec<MpiValue>>,
+    collected: Vec<bool>,
+    collected_count: usize,
+}
+
+impl Instance {
+    fn new(size: usize) -> Instance {
+        Instance {
+            signature: None,
+            first_rank: 0,
+            payloads: vec![None; size],
+            arrived_count: 0,
+            results: None,
+            collected: vec![false; size],
+            collected_count: 0,
+        }
+    }
+}
+
+struct WorldState {
+    instances: VecDeque<Instance>,
+    base_seq: u64,
+    per_rank_seq: Vec<u64>,
+    activity: Vec<RankActivity>,
+    mailboxes: Vec<Vec<Message>>,
+    abort: Option<MpiError>,
+    provided: Option<ThreadLevel>,
+    /// Number of MPI calls currently in flight per rank (threads).
+    in_flight: Vec<usize>,
+}
+
+/// The simulated MPI world. Shared by all rank threads via `Arc`.
+pub struct World {
+    cfg: MpiConfig,
+    state: Mutex<WorldState>,
+    cv: Condvar,
+}
+
+/// Result of the `CC` control collective: the per-rank colors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcOutcome {
+    /// Color communicated by each rank.
+    pub colors: Vec<u32>,
+}
+
+impl CcOutcome {
+    /// True when all ranks communicated the same color.
+    pub fn unanimous(&self) -> bool {
+        self.colors.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Minimum and maximum color (the paper's `(min, max)` all-reduce).
+    pub fn min_max(&self) -> (u32, u32) {
+        let min = self.colors.iter().copied().min().unwrap_or(0);
+        let max = self.colors.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+}
+
+impl World {
+    /// Create a world of `cfg.world_size` ranks.
+    pub fn new(cfg: MpiConfig) -> Arc<World> {
+        let size = cfg.world_size.max(1);
+        Arc::new(World {
+            state: Mutex::new(WorldState {
+                instances: VecDeque::new(),
+                base_seq: 0,
+                per_rank_seq: vec![0; size],
+                activity: vec![RankActivity::Running; size],
+                mailboxes: vec![Vec::new(); size],
+                abort: None,
+                provided: None,
+                in_flight: vec![0; size],
+            }),
+            cv: Condvar::new(),
+            cfg: MpiConfig {
+                world_size: size,
+                ..cfg
+            },
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.cfg.world_size
+    }
+
+    /// `MPI_Init(_thread)`: returns the provided level
+    /// (`min(required, max_provided)`).
+    pub fn init(&self, _rank: usize, required: ThreadLevel) -> ThreadLevel {
+        let provided = required.min(self.cfg.max_provided);
+        let mut st = self.state.lock();
+        // First init fixes the level; later inits (other ranks) keep the
+        // weakest requested so enforcement is uniform.
+        st.provided = Some(match st.provided {
+            None => provided,
+            Some(cur) => cur.min(provided),
+        });
+        provided
+    }
+
+    /// The currently provided thread level (`Multiple` before init —
+    /// enforcement only starts once the program declared its level).
+    pub fn provided(&self) -> ThreadLevel {
+        self.state
+            .lock()
+            .provided
+            .unwrap_or(ThreadLevel::Multiple)
+    }
+
+    /// Abort the world: all blocked and future operations fail with
+    /// [`MpiError::Aborted`] carrying `reason`. The first abort wins.
+    pub fn abort(&self, reason: MpiError) {
+        let mut st = self.state.lock();
+        if st.abort.is_none() {
+            st.abort = Some(reason);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The abort reason, if the world aborted.
+    pub fn abort_reason(&self) -> Option<MpiError> {
+        self.state.lock().abort.clone()
+    }
+
+    /// Guard every MPI entry: enforces the provided thread level.
+    ///
+    /// `is_initial_thread` = the calling thread is the process's initial
+    /// thread (master of every enclosing team).
+    fn enter_mpi(&self, rank: usize, is_initial_thread: bool) -> Result<(), MpiError> {
+        let mut st = self.state.lock();
+        if let Some(e) = &st.abort {
+            return Err(MpiError::Aborted(e.to_string()));
+        }
+        let provided = st.provided.unwrap_or(ThreadLevel::Multiple);
+        let concurrent = st.in_flight[rank] > 0;
+        let violation = match provided {
+            ThreadLevel::Multiple => None,
+            ThreadLevel::Serialized => concurrent.then(|| {
+                "two threads of the same process are inside MPI simultaneously".to_string()
+            }),
+            ThreadLevel::Funneled => {
+                if !is_initial_thread {
+                    Some("an MPI call was made by a thread other than the main thread".into())
+                } else if concurrent {
+                    Some("concurrent MPI calls under MPI_THREAD_FUNNELED".into())
+                } else {
+                    None
+                }
+            }
+            ThreadLevel::Single => {
+                if !is_initial_thread {
+                    Some(
+                        "an MPI call was made from a spawned thread under MPI_THREAD_SINGLE"
+                            .into(),
+                    )
+                } else if concurrent {
+                    Some("concurrent MPI calls under MPI_THREAD_SINGLE".into())
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(detail) = violation {
+            let err = MpiError::ThreadLevelViolation { provided, detail };
+            if st.abort.is_none() {
+                st.abort = Some(err.clone());
+            }
+            self.cv.notify_all();
+            return Err(err);
+        }
+        st.in_flight[rank] += 1;
+        Ok(())
+    }
+
+    fn leave_mpi(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.in_flight[rank] = st.in_flight[rank].saturating_sub(1);
+    }
+
+    /// Mark a rank's program as terminated. Detects "finished while
+    /// others wait in a collective".
+    pub fn finish_rank(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.activity[rank] = RankActivity::Finished;
+        if st.abort.is_none() {
+            let pending_collective = st
+                .instances
+                .iter()
+                .any(|i| i.results.is_none() && i.arrived_count > 0);
+            let all_settled = st
+                .activity
+                .iter()
+                .all(|a| !matches!(a, RankActivity::Running));
+            if pending_collective && all_settled {
+                st.abort = Some(MpiError::RankFinishedEarly {
+                    finished_rank: rank,
+                    states: st.activity.clone(),
+                });
+            } else if let Some(dl) = deadlock(&st) {
+                st.abort = Some(dl);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The PARCOACH `CC` control collective: all-reduce the color and
+    /// return every rank's color.
+    pub fn control_cc(
+        &self,
+        rank: usize,
+        color: u32,
+        is_initial_thread: bool,
+    ) -> Result<CcOutcome, MpiError> {
+        let out = self.enter_collective(
+            rank,
+            Signature::control_cc(),
+            Some(MpiValue::Int(color as i64)),
+            is_initial_thread,
+        )?;
+        match out {
+            MpiValue::ArrayInt(colors) => Ok(CcOutcome {
+                colors: colors.into_iter().map(|c| c as u32).collect(),
+            }),
+            other => panic!("CC result must be an int array, got {:?}", other.ty()),
+        }
+    }
+
+    /// `MPI_Finalize` — synchronizing pseudo-collective.
+    pub fn finalize(&self, rank: usize, is_initial_thread: bool) -> Result<(), MpiError> {
+        self.enter_collective(rank, Signature::finalize(), None, is_initial_thread)
+            .map(|_| ())
+    }
+
+    /// Execute a data collective. `sig` must describe the operation
+    /// (kind/op/root/type); `payload` carries this rank's contribution.
+    /// Returns this rank's result value.
+    pub fn collective(
+        &self,
+        rank: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        if let Some(root) = sig.root {
+            if root >= self.cfg.world_size {
+                let err = MpiError::ArgError(format!(
+                    "root {root} out of range for world size {}",
+                    self.cfg.world_size
+                ));
+                self.abort(err.clone());
+                return Err(err);
+            }
+        }
+        self.enter_collective(rank, sig, payload, is_initial_thread)
+    }
+
+    /// Buffered (non-blocking) send.
+    pub fn send(
+        &self,
+        rank: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<(), MpiError> {
+        if dest >= self.cfg.world_size {
+            let err = MpiError::ArgError(format!(
+                "send destination {dest} out of range for world size {}",
+                self.cfg.world_size
+            ));
+            self.abort(err.clone());
+            return Err(err);
+        }
+        self.enter_mpi(rank, is_initial_thread)?;
+        let mut st = self.state.lock();
+        st.mailboxes[dest].push(Message {
+            src: rank,
+            tag,
+            value,
+        });
+        drop(st);
+        self.cv.notify_all();
+        self.leave_mpi(rank);
+        Ok(())
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        if src >= self.cfg.world_size {
+            let err = MpiError::ArgError(format!(
+                "recv source {src} out of range for world size {}",
+                self.cfg.world_size
+            ));
+            self.abort(err.clone());
+            return Err(err);
+        }
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.recv_inner(rank, src, tag);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn recv_inner(&self, rank: usize, src: usize, tag: i64) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            if let Some(pos) = st.mailboxes[rank]
+                .iter()
+                .position(|m| m.src == src && m.tag == tag)
+            {
+                let msg = st.mailboxes[rank].remove(pos);
+                st.activity[rank] = RankActivity::Running;
+                return Ok(msg.value);
+            }
+            st.activity[rank] = RankActivity::InRecv { src, tag };
+            if let Some(dl) = deadlock(&st) {
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!("MPI_Recv(src={src}, tag={tag}) on rank {rank}"),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
+    }
+
+    fn enter_collective(
+        &self,
+        rank: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.enter_collective_inner(rank, sig, payload);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn enter_collective_inner(
+        &self,
+        rank: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+    ) -> Result<MpiValue, MpiError> {
+        let size = self.cfg.world_size;
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        if let Some(e) = &st.abort {
+            return Err(MpiError::Aborted(e.to_string()));
+        }
+        let seq = st.per_rank_seq[rank];
+        st.per_rank_seq[rank] += 1;
+        // Materialize instances up to `seq`.
+        while st.base_seq + (st.instances.len() as u64) <= seq {
+            st.instances.push_back(Instance::new(size));
+        }
+        let base = st.base_seq;
+        let idx = (seq - base) as usize;
+        {
+            let inst = &mut st.instances[idx];
+            match &inst.signature {
+                None => {
+                    inst.signature = Some(sig);
+                    inst.first_rank = rank;
+                }
+                Some(existing) if *existing != sig => {
+                    let err = MpiError::CollectiveMismatch {
+                        seq,
+                        expected: *existing,
+                        expected_rank: inst.first_rank,
+                        got: sig,
+                        got_rank: rank,
+                    };
+                    st.abort = Some(err.clone());
+                    self.cv.notify_all();
+                    return Err(err);
+                }
+                Some(_) => {}
+            }
+            inst.payloads[rank] = payload;
+            inst.arrived_count += 1;
+            if inst.arrived_count == size {
+                match compute_results(inst, size) {
+                    Ok(results) => {
+                        inst.results = Some(results);
+                        self.cv.notify_all();
+                    }
+                    Err(err) => {
+                        st.abort = Some(err.clone());
+                        self.cv.notify_all();
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        st.activity[rank] = RankActivity::InCollective {
+            seq,
+            what: sig.to_string(),
+        };
+        // Wait for results.
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            let base = st.base_seq;
+            let idx = (seq - base) as usize;
+            let done = {
+                let inst = &mut st.instances[idx];
+                if let Some(results) = &inst.results {
+                    let out = results[rank].clone();
+                    inst.collected[rank] = true;
+                    inst.collected_count += 1;
+                    Some(out)
+                } else {
+                    None
+                }
+            };
+            if let Some(out) = done {
+                st.activity[rank] = RankActivity::Running;
+                // Drop fully-collected instances from the front.
+                while let Some(front) = st.instances.front() {
+                    if front.collected_count == size {
+                        st.instances.pop_front();
+                        st.base_seq += 1;
+                    } else {
+                        break;
+                    }
+                }
+                return Ok(out);
+            }
+            if let Some(dl) = deadlock(&st) {
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!("{sig} on rank {rank} (collective #{seq})"),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Global liveness census: `Some(Deadlock)` when nothing can progress.
+///
+/// Soundness note: under `MPI_THREAD_MULTIPLE` a rank blocked in MPI may
+/// still be rescued by *another thread* of the same rank (e.g. a
+/// self-send), which the world cannot observe. The census therefore only
+/// fires when that is impossible — the provided level forbids a second
+/// concurrent MPI call, or some rank has already terminated. Pure
+/// MULTIPLE stalls fall back to the operation timeout.
+fn deadlock(st: &WorldState) -> Option<MpiError> {
+    // Any rank still running may still make progress.
+    if st
+        .activity
+        .iter()
+        .any(|a| matches!(a, RankActivity::Running))
+    {
+        return None;
+    }
+    let provided = st.provided.unwrap_or(ThreadLevel::Multiple);
+    let any_finished = st
+        .activity
+        .iter()
+        .any(|a| matches!(a, RankActivity::Finished));
+    if provided == ThreadLevel::Multiple && !any_finished {
+        return None; // cannot rule out rescue by another thread
+    }
+    // A completed-but-uncollected instance will wake its waiters.
+    if st.instances.iter().any(|i| i.results.is_some()) {
+        return None;
+    }
+    // A recv whose message is already buffered will complete.
+    for (rank, act) in st.activity.iter().enumerate() {
+        if let RankActivity::InRecv { src, tag } = act {
+            if st.mailboxes[rank]
+                .iter()
+                .any(|m| m.src == *src && m.tag == *tag)
+            {
+                return None;
+            }
+        }
+    }
+    // All blocked/finished and nothing completable.
+    if st
+        .activity
+        .iter()
+        .all(|a| matches!(a, RankActivity::Finished))
+    {
+        return None; // clean exit
+    }
+    Some(MpiError::Deadlock {
+        states: st.activity.clone(),
+    })
+}
+
+/// Compute per-rank results once all payloads arrived.
+fn compute_results(inst: &Instance, size: usize) -> Result<Vec<MpiValue>, MpiError> {
+    let sig = inst.signature.expect("signature fixed by first arrival");
+    let payloads: Vec<&MpiValue> = match sig.op {
+        CollectiveOp::Barrier | CollectiveOp::Finalize => Vec::new(),
+        _ => {
+            let mut v = Vec::with_capacity(size);
+            for (r, p) in inst.payloads.iter().enumerate() {
+                match p {
+                    Some(x) => v.push(x),
+                    None => {
+                        return Err(MpiError::ArgError(format!(
+                            "rank {r} entered {sig} without a payload"
+                        )))
+                    }
+                }
+            }
+            v
+        }
+    };
+    let dummy = MpiValue::Int(0);
+    Ok(match sig.op {
+        CollectiveOp::Barrier | CollectiveOp::Finalize => vec![dummy; size],
+        CollectiveOp::ControlCc => {
+            let colors: Vec<i64> = payloads.iter().map(|p| p.as_int()).collect();
+            vec![MpiValue::ArrayInt(colors); size]
+        }
+        CollectiveOp::Bcast => {
+            let root = sig.root.expect("bcast has root");
+            vec![payloads[root].clone(); size]
+        }
+        CollectiveOp::Allreduce => {
+            let op = sig.reduce_op.expect("allreduce has op");
+            let mut acc = payloads[0].clone();
+            for p in &payloads[1..] {
+                acc = reduce_scalar(op, &acc, p);
+            }
+            vec![acc; size]
+        }
+        CollectiveOp::Reduce => {
+            let op = sig.reduce_op.expect("reduce has op");
+            let root = sig.root.expect("reduce has root");
+            let mut acc = payloads[0].clone();
+            for p in &payloads[1..] {
+                acc = reduce_scalar(op, &acc, p);
+            }
+            // Root receives the reduction; other ranks get their own
+            // contribution back (documented simulator semantics).
+            (0..size)
+                .map(|r| {
+                    if r == root {
+                        acc.clone()
+                    } else {
+                        payloads[r].clone()
+                    }
+                })
+                .collect()
+        }
+        CollectiveOp::Scan => {
+            let op = sig.reduce_op.expect("scan has op");
+            let mut acc: Option<MpiValue> = None;
+            payloads
+                .iter()
+                .map(|p| {
+                    acc = Some(match &acc {
+                        None => (*p).clone(),
+                        Some(a) => reduce_scalar(op, a, p),
+                    });
+                    acc.clone().expect("just set")
+                })
+                .collect()
+        }
+        CollectiveOp::Gather => {
+            let root = sig.root.expect("gather has root");
+            let gathered = gather_array(&payloads)?;
+            (0..size)
+                .map(|r| {
+                    if r == root {
+                        gathered.clone()
+                    } else {
+                        empty_like(&gathered)
+                    }
+                })
+                .collect()
+        }
+        CollectiveOp::Allgather => {
+            let gathered = gather_array(&payloads)?;
+            vec![gathered; size]
+        }
+        CollectiveOp::Scatter => {
+            let root = sig.root.expect("scatter has root");
+            scatter_elems(payloads[root], size, &sig)?
+        }
+        CollectiveOp::Alltoall => {
+            // Rank r receives element r of every rank's array.
+            let mut out = Vec::with_capacity(size);
+            for r in 0..size {
+                match payloads[0] {
+                    MpiValue::ArrayInt(_) => {
+                        let mut row = Vec::with_capacity(size);
+                        for p in &payloads {
+                            match p {
+                                MpiValue::ArrayInt(a) if a.len() >= size => row.push(a[r]),
+                                MpiValue::ArrayInt(a) => {
+                                    return Err(short_array(&sig, a.len(), size))
+                                }
+                                _ => unreachable!("type-matched by signature"),
+                            }
+                        }
+                        out.push(MpiValue::ArrayInt(row));
+                    }
+                    MpiValue::ArrayFloat(_) => {
+                        let mut row = Vec::with_capacity(size);
+                        for p in &payloads {
+                            match p {
+                                MpiValue::ArrayFloat(a) if a.len() >= size => row.push(a[r]),
+                                MpiValue::ArrayFloat(a) => {
+                                    return Err(short_array(&sig, a.len(), size))
+                                }
+                                _ => unreachable!("type-matched by signature"),
+                            }
+                        }
+                        out.push(MpiValue::ArrayFloat(row));
+                    }
+                    _ => return Err(MpiError::ArgError("alltoall needs arrays".into())),
+                }
+            }
+            out
+        }
+        CollectiveOp::ReduceScatter => {
+            let op = sig.reduce_op.expect("reduce_scatter has op");
+            let mut acc = payloads[0].clone();
+            for p in &payloads[1..] {
+                acc = reduce_array(op, &acc, p);
+            }
+            scatter_elems(&acc, size, &sig)?
+        }
+    })
+}
+
+fn gather_array(payloads: &[&MpiValue]) -> Result<MpiValue, MpiError> {
+    match payloads[0] {
+        MpiValue::Int(_) => Ok(MpiValue::ArrayInt(
+            payloads.iter().map(|p| p.as_int()).collect(),
+        )),
+        MpiValue::Float(_) => Ok(MpiValue::ArrayFloat(
+            payloads.iter().map(|p| p.as_float()).collect(),
+        )),
+        _ => Err(MpiError::ArgError(
+            "gather/allgather needs scalar contributions".into(),
+        )),
+    }
+}
+
+fn empty_like(v: &MpiValue) -> MpiValue {
+    match v {
+        MpiValue::ArrayInt(_) => MpiValue::ArrayInt(Vec::new()),
+        MpiValue::ArrayFloat(_) => MpiValue::ArrayFloat(Vec::new()),
+        _ => MpiValue::Int(0),
+    }
+}
+
+fn scatter_elems(src: &MpiValue, size: usize, sig: &Signature) -> Result<Vec<MpiValue>, MpiError> {
+    match src {
+        MpiValue::ArrayInt(a) => {
+            if a.len() < size {
+                return Err(short_array(sig, a.len(), size));
+            }
+            Ok(a.iter().take(size).map(|&x| MpiValue::Int(x)).collect())
+        }
+        MpiValue::ArrayFloat(a) => {
+            if a.len() < size {
+                return Err(short_array(sig, a.len(), size));
+            }
+            Ok(a.iter().take(size).map(|&x| MpiValue::Float(x)).collect())
+        }
+        _ => Err(MpiError::ArgError(format!("{sig} needs an array payload"))),
+    }
+}
+
+fn short_array(sig: &Signature, len: usize, size: usize) -> MpiError {
+    MpiError::ArgError(format!(
+        "{sig}: array of length {len} is shorter than the world size {size}"
+    ))
+}
+
+/// Convenience: the signature of a data collective from IR-level facts.
+pub fn data_signature(
+    kind: parcoach_front::ast::CollectiveKind,
+    reduce_op: Option<ReduceOp>,
+    root: Option<usize>,
+    ty: Option<MpiType>,
+) -> Signature {
+    Signature::collective(kind.into(), reduce_op, root, ty)
+}

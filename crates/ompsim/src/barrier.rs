@@ -1,0 +1,208 @@
+//! A reusable, poisonable, deadlock-detecting thread barrier.
+//!
+//! Unlike `std::sync::Barrier`, this barrier
+//!
+//! * reports a **timeout** instead of hanging when part of the team never
+//!   arrives — exactly the failure mode of a control-flow divergent
+//!   `barrier`/`single` the paper detects;
+//! * can be **poisoned** when another thread aborts (a failed dynamic
+//!   check must stop the whole program, not deadlock it).
+
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a barrier wait did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierError {
+    /// Not all team members arrived within the timeout: the team has
+    /// diverged (some threads skipped the barrier or exited the region).
+    Timeout {
+        /// Threads that arrived before the timeout fired.
+        arrived: usize,
+        /// Team size expected.
+        expected: usize,
+    },
+    /// The barrier was poisoned by an abort elsewhere.
+    Poisoned,
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BarrierError::Timeout { arrived, expected } => write!(
+                f,
+                "thread barrier timeout: only {arrived}/{expected} threads arrived \
+                 (control-flow divergent barrier?)"
+            ),
+            BarrierError::Poisoned => write!(f, "barrier poisoned by abort"),
+        }
+    }
+}
+
+struct State {
+    /// Threads waiting in the current generation.
+    arrived: usize,
+    /// Completed-barrier generation counter.
+    generation: u64,
+    /// Set on abort.
+    poisoned: bool,
+}
+
+/// The barrier itself. One instance per team; reusable across phases.
+pub struct SimBarrier {
+    size: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SimBarrier {
+    /// A barrier for `size` threads.
+    pub fn new(size: usize) -> SimBarrier {
+        SimBarrier {
+            size,
+            state: Mutex::new(State {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Team size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Wait for the whole team, giving up after `timeout`.
+    pub fn wait(&self, timeout: Duration) -> Result<(), BarrierError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(BarrierError::Poisoned);
+        }
+        st.arrived += 1;
+        if st.arrived == self.size {
+            // Last arriver releases the generation.
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        loop {
+            let res = self.cv.wait_until(&mut st, deadline);
+            if st.poisoned {
+                return Err(BarrierError::Poisoned);
+            }
+            if st.generation != gen {
+                return Ok(());
+            }
+            if res.timed_out() {
+                let arrived = st.arrived;
+                // Leave the barrier so other waiters see a consistent
+                // count, and poison it: the team is broken.
+                st.poisoned = true;
+                self.cv.notify_all();
+                return Err(BarrierError::Timeout {
+                    arrived,
+                    expected: self.size,
+                });
+            }
+        }
+    }
+
+    /// Poison the barrier: all current and future waiters fail with
+    /// [`BarrierError::Poisoned`].
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Has the barrier been poisoned?
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_arrive_released() {
+        let b = Arc::new(SimBarrier::new(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    assert_eq!(b.wait(Duration::from_secs(5)), Ok(()));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(SimBarrier::new(3));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(b.wait(Duration::from_secs(5)), Ok(()));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn missing_thread_times_out() {
+        let b = SimBarrier::new(2);
+        let res = b.wait(Duration::from_millis(50));
+        assert_eq!(
+            res,
+            Err(BarrierError::Timeout {
+                arrived: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn timeout_poisons_for_late_arrivers() {
+        let b = Arc::new(SimBarrier::new(3));
+        // One thread waits and times out; a later arriver must see the
+        // poison instead of waiting forever for a broken team.
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait(Duration::from_millis(30)));
+        let first = h.join().unwrap();
+        assert!(matches!(first, Err(BarrierError::Timeout { .. })));
+        assert_eq!(
+            b.wait(Duration::from_millis(30)),
+            Err(BarrierError::Poisoned)
+        );
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(SimBarrier::new(2));
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison();
+        assert_eq!(h.join().unwrap(), Err(BarrierError::Poisoned));
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn single_thread_barrier_trivial() {
+        let b = SimBarrier::new(1);
+        for _ in 0..5 {
+            assert_eq!(b.wait(Duration::from_millis(1)), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! A small indentation-aware source builder shared by the workload
+//! generators.
+
+/// Builds MiniHPC source text.
+pub struct SourceBuilder {
+    out: String,
+    indent: usize,
+}
+
+impl SourceBuilder {
+    /// Empty builder.
+    pub fn new() -> SourceBuilder {
+        SourceBuilder {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    /// Append one line at the current indentation.
+    pub fn line(&mut self, text: impl AsRef<str>) -> &mut Self {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text.as_ref());
+        self.out.push('\n');
+        self
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Open a block: `header {`.
+    pub fn open(&mut self, header: impl AsRef<str>) -> &mut Self {
+        self.line(format!("{} {{", header.as_ref()));
+        self.indent += 1;
+        self
+    }
+
+    /// Close the innermost block.
+    pub fn close(&mut self) -> &mut Self {
+        assert!(self.indent > 0, "unbalanced close()");
+        self.indent -= 1;
+        self.line("}")
+    }
+
+    /// Open, fill via the closure, close.
+    pub fn block(
+        &mut self,
+        header: impl AsRef<str>,
+        f: impl FnOnce(&mut SourceBuilder),
+    ) -> &mut Self {
+        self.open(header);
+        f(self);
+        self.close()
+    }
+
+    /// Finish and return the source.
+    pub fn finish(self) -> String {
+        assert_eq!(self.indent, 0, "unbalanced blocks at finish()");
+        self.out
+    }
+
+    /// Current length in bytes (size metric during generation).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Is the buffer still empty?
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+impl Default for SourceBuilder {
+    fn default() -> Self {
+        SourceBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_blocks() {
+        let mut b = SourceBuilder::new();
+        b.open("fn main()");
+        b.line("let x = 1;");
+        b.block("if (x > 0)", |b| {
+            b.line("x = 2;");
+        });
+        b.close();
+        let src = b.finish();
+        assert_eq!(
+            src,
+            "fn main() {\n    let x = 1;\n    if (x > 0) {\n        x = 2;\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_finish_panics() {
+        let mut b = SourceBuilder::new();
+        b.open("fn main()");
+        let _ = b.finish();
+    }
+}

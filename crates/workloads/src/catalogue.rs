@@ -1,0 +1,402 @@
+//! The error catalogue: one small program per error pattern the paper's
+//! analysis covers, plus correct control programs (including the classic
+//! static false positives the dynamic phase must clear).
+//!
+//! Used by the detection-capability experiment (E3) and the end-to-end
+//! integration tests: each case records the *expected* static verdict
+//! and dynamic outcome.
+
+use serde::{Deserialize, Serialize};
+
+/// Expected static outcome for a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectStatic {
+    /// No warnings at all.
+    Clean,
+    /// At least one warning, with the given code expected among them.
+    Warns(&'static str),
+}
+
+/// Expected dynamic outcome (run with instrumentation, 2 ranks / 4
+/// threads unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectDynamic {
+    /// Completes cleanly.
+    Clean,
+    /// Fails, intercepted by a PARCOACH check (CC / monothread assert /
+    /// concurrency counter).
+    CaughtByCheck,
+    /// Fails; the substrate (matcher, deadlock census, thread-level
+    /// enforcement) reports it — with or without instrumentation.
+    CaughtBySubstrate,
+    /// Fails by either path depending on scheduling.
+    Fails,
+    /// Latent error: the static phase warns, but whether a run fails
+    /// depends on the schedule (e.g. identical collectives under nested
+    /// parallelism, or a `single` claimed by the initial thread under
+    /// `MPI_THREAD_SINGLE`). Runs are accepted either way.
+    MayFail,
+}
+
+/// One catalogue entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorCase {
+    /// Stable id.
+    pub id: &'static str,
+    /// What the case exercises.
+    pub description: &'static str,
+    /// The program.
+    pub source: String,
+    /// Expected static verdict.
+    pub expect_static: ExpectStatic,
+    /// Expected dynamic outcome under instrumentation.
+    pub expect_dynamic: ExpectDynamic,
+}
+
+/// Build the complete catalogue.
+pub fn error_catalogue() -> Vec<ErrorCase> {
+    vec![
+        // ---- erroneous programs ----------------------------------------
+        ErrorCase {
+            id: "mismatch-rank-branch",
+            description: "different collectives on rank-dependent branches",
+            source: r#"
+fn main() {
+    if (rank() == 0) { MPI_Barrier(); } else { let x = MPI_Allreduce(1, SUM); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "missing-collective",
+            description: "collective executed by a strict subset of ranks",
+            source: r#"
+fn main() {
+    if (rank() == 0) { MPI_Barrier(); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "count-mismatch-loop",
+            description: "rank-dependent collective count in a loop",
+            source: r#"
+fn main() {
+    let n = 1 + rank();
+    for (i in 0..n) { let x = MPI_Allreduce(i, SUM); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "early-return",
+            description: "a rank returns from main before the collective",
+            source: r#"
+fn main() {
+    if (rank() == size() - 1) { return; }
+    MPI_Barrier();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "multithreaded-collective",
+            description: "collective executed by the whole team",
+            source: r#"
+fn main() {
+    parallel num_threads(4) {
+        MPI_Barrier();
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("multithreaded-collective"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "collective-in-pfor",
+            description: "collective inside a worksharing loop",
+            source: r#"
+fn main() {
+    parallel num_threads(2) {
+        pfor (i in 0..4) { let x = MPI_Allreduce(i, SUM); }
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("multithreaded-collective"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "nested-parallel-collective",
+            description: "collective under nested parallelism (one executor per team)",
+            source: r#"
+fn main() {
+    parallel num_threads(2) {
+        parallel num_threads(2) {
+            single { MPI_Barrier(); }
+        }
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("nested-parallelism-collective"),
+            expect_dynamic: ExpectDynamic::MayFail,
+        },
+        ErrorCase {
+            id: "concurrent-singles-nowait",
+            description: "two collective-bearing nowait singles may overlap",
+            source: r#"
+fn main() {
+    parallel num_threads(4) {
+        single nowait { MPI_Barrier(); }
+        single nowait { let x = MPI_Allreduce(1, SUM); }
+        barrier;
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("concurrent-collectives"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "concurrent-sections",
+            description: "collectives in sibling sections",
+            source: r#"
+fn main() {
+    parallel num_threads(2) {
+        sections {
+            section { MPI_Barrier(); }
+            section { let x = MPI_Allreduce(1, SUM); }
+        }
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("concurrent-collectives"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "self-concurrent-single",
+            description: "nowait single with a collective inside a loop",
+            source: r#"
+fn main() {
+    parallel num_threads(4) {
+        for (i in 0..3) {
+            single nowait { let x = MPI_Allreduce(i, SUM); }
+        }
+        barrier;
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("self-concurrent-region"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "barrier-divergence",
+            description: "thread barrier on one branch only",
+            source: r#"
+fn main() {
+    parallel num_threads(2) {
+        if (thread_num() == 0) { barrier; }
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("barrier-divergence"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "insufficient-thread-level",
+            description: "MPI_Init without thread support but hybrid collectives",
+            source: r#"
+fn main() {
+    MPI_Init();
+    parallel num_threads(2) {
+        single { MPI_Barrier(); }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("insufficient-thread-level"),
+            expect_dynamic: ExpectDynamic::MayFail,
+        },
+        ErrorCase {
+            id: "divergent-call",
+            description: "collective-bearing function called on one branch",
+            source: r#"
+fn exchange() { MPI_Barrier(); }
+fn main() {
+    if (rank() % 2 == 0) { exchange(); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "multithreaded-call",
+            description: "collective-bearing function called by the whole team",
+            source: r#"
+fn exchange() { let x = MPI_Allreduce(1, SUM); }
+fn main() {
+    parallel num_threads(4) {
+        exchange();
+    }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("multithreaded-call"),
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        // ---- correct programs (controls) --------------------------------
+        ErrorCase {
+            id: "ok-sequential",
+            description: "collectives outside any parallel region",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let s = MPI_Allreduce(rank(), SUM);
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-single",
+            description: "collective correctly wrapped in single",
+            source: r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    parallel num_threads(4) {
+        single { MPI_Barrier(); }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-master-funneled",
+            description: "collective in master under FUNNELED",
+            source: r#"
+fn main() {
+    MPI_Init_thread(FUNNELED);
+    parallel num_threads(4) {
+        master { let x = MPI_Allreduce(1, SUM); }
+        barrier;
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-ordered-singles",
+            description: "two singles separated by the implicit barrier",
+            source: r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    parallel num_threads(4) {
+        single { MPI_Barrier(); }
+        single { let x = MPI_Allreduce(1, SUM); }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "fp-uniform-conditional",
+            description: "conditional collective with a rank-uniform condition \
+                          (static false positive, dynamically clean)",
+            source: r#"
+fn main() {
+    let flag = size() > 0;
+    if (flag) { MPI_Barrier(); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "fp-uniform-loop",
+            description: "collective in a loop with uniform bounds \
+                          (static false positive, dynamically clean)",
+            source: r#"
+fn main() {
+    for (i in 0..4) { let x = MPI_Allreduce(i, SUM); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-balanced-branches",
+            description: "same collective on both branches (refinement removes \
+                          the PDF+ candidate)",
+            source: r#"
+fn main() {
+    if (rank() % 2 == 0) { MPI_Barrier(); } else { MPI_Barrier(); }
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_well_formed() {
+        let cases = error_catalogue();
+        assert!(cases.len() >= 20);
+        let mut ids: Vec<_> = cases.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cases.len(), "duplicate ids");
+        for c in &cases {
+            assert!(!c.source.trim().is_empty());
+            assert!(c.source.contains("fn main()"), "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn has_both_polarity_controls() {
+        let cases = error_catalogue();
+        assert!(cases
+            .iter()
+            .any(|c| c.expect_static == ExpectStatic::Clean
+                && c.expect_dynamic == ExpectDynamic::Clean));
+        assert!(cases.iter().any(|c| matches!(
+            c.expect_static,
+            ExpectStatic::Warns(_)
+        ) && c.expect_dynamic == ExpectDynamic::Clean),
+            "must include static-false-positive controls");
+    }
+}

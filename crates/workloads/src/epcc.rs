@@ -1,0 +1,228 @@
+//! Synthetic reproduction of the **EPCC mixed-mode OpenMP/MPI
+//! micro-benchmark suite v1.0** (the fourth bar of Figure 1).
+//!
+//! The real suite measures every MPI operation under the different
+//! hybrid placement disciplines: *masteronly* (MPI outside parallel
+//! regions), *funneled* (inside `master`), *serialized* (inside
+//! `single`) and *multiple* (inside `critical`). That makes it the
+//! stress test for the paper's analysis — MPI call sites appear in every
+//! possible thread context, so both analysis and instrumentation do the
+//! most work per line of code of all five benchmarks.
+//!
+//! The generated kernels follow the real suite's structure: pingpong /
+//! haloexchange / multi-pingpong point-to-point kernels plus one
+//! collective kernel per discipline, each with warm-up and measured
+//! repetition loops.
+
+use crate::builder::SourceBuilder;
+use crate::{Workload, WorkloadClass};
+
+struct EpccParams {
+    /// Outer repetitions of each kernel.
+    reps: usize,
+    /// Message/array extent.
+    extent: usize,
+    /// Collective kernels per discipline (code-size driver).
+    kernels_per_mode: usize,
+}
+
+fn params(class: WorkloadClass) -> EpccParams {
+    match class {
+        WorkloadClass::A => EpccParams {
+            reps: 2,
+            extent: 16,
+            kernels_per_mode: 2,
+        },
+        WorkloadClass::B => EpccParams {
+            reps: 3,
+            extent: 32,
+            kernels_per_mode: 4,
+        },
+        WorkloadClass::C => EpccParams {
+            reps: 4,
+            extent: 64,
+            kernels_per_mode: 6,
+        },
+    }
+}
+
+/// The collective operations cycled through by the kernel generators.
+const COLLS: [(&str, &str); 4] = [
+    ("barrier", "MPI_Barrier();"),
+    ("allreduce", "let red = MPI_Allreduce(x, SUM);"),
+    ("bcast", "let bval = MPI_Bcast(x, 0);"),
+    ("allgather", "let g = MPI_Allgather(x);"),
+];
+
+/// Generate the EPCC-like suite.
+pub fn generate(class: WorkloadClass) -> Workload {
+    let p = params(class);
+    let mut b = SourceBuilder::new();
+
+    // --- point-to-point kernels (masteronly style) -----------------------
+    b.block("fn pingpong(reps: int, extent: int)", |b| {
+        b.block("if (size() < 2)", |b| {
+            b.line("return;");
+        });
+        b.block("for (r in 0..reps)", |b| {
+            b.block("if (rank() == 0)", |b| {
+                b.line("MPI_Send(r, 1, 100);");
+                b.line("let echo = MPI_Recv(1, 101);");
+            });
+            b.block("else", |b| {
+                b.block("if (rank() == 1)", |b| {
+                    b.line("let ping = MPI_Recv(0, 100);");
+                    b.line("MPI_Send(int_of(ping), 0, 101);");
+                });
+            });
+        });
+    });
+
+    b.block("fn haloexchange(reps: int, extent: int)", |b| {
+        b.line("let field = array(extent, 1.0);");
+        b.line("let next = (rank() + 1) % size();");
+        b.line("let prev = (rank() + size() - 1) % size();");
+        b.block("for (r in 0..reps)", |b| {
+            // Parallel compute phase between exchanges.
+            b.block("parallel", |b| {
+                b.block("pfor (i in 1..extent - 1)", |b| {
+                    b.line("field[i] = (field[i - 1] + field[i + 1]) * 0.5;");
+                });
+            });
+            b.line("MPI_Send(field[extent - 2], next, 200);");
+            b.line("let west = MPI_Recv(prev, 200);");
+            b.line("MPI_Send(field[1], prev, 201);");
+            b.line("let east = MPI_Recv(next, 201);");
+            b.line("field[0] = west;");
+            b.line("field[extent - 1] = east;");
+        });
+    });
+
+    b.block("fn multipingpong(reps: int)", |b| {
+        b.block("if (size() < 2)", |b| {
+            b.line("return;");
+        });
+        b.block("for (r in 0..reps)", |b| {
+            b.line("let partner = (rank() + 1) % 2;");
+            b.block("if (rank() < 2)", |b| {
+                b.line("MPI_Send(r * 2, partner, 300 + r % 3);");
+                b.line("let back = MPI_Recv(partner, 300 + r % 3);");
+            });
+        });
+    });
+
+    // --- collective kernels per discipline -------------------------------
+    for k in 0..p.kernels_per_mode {
+        let (cname, call) = COLLS[k % COLLS.len()];
+
+        // masteronly: MPI between parallel regions.
+        b.block(
+            format!("fn masteronly_{cname}_{k}(reps: int, extent: int)"),
+            |b| {
+                b.line("let buf = array(extent, 0.0);");
+                b.block("for (r in 0..reps)", |b| {
+                    b.block("parallel", |b| {
+                        b.block("pfor (i in 0..extent)", |b| {
+                            b.line("buf[i] = buf[i] + float_of(i + r);");
+                        });
+                    });
+                    b.line("let x = r;");
+                    b.line(call);
+                });
+            },
+        );
+
+        // funneled: MPI inside `master` within the parallel region.
+        b.block(
+            format!("fn funneled_{cname}_{k}(reps: int, extent: int)"),
+            |b| {
+                b.line("let buf = array(extent, 0.0);");
+                b.block("for (r in 0..reps)", |b| {
+                    b.block("parallel", |b| {
+                        b.block("pfor (i in 0..extent)", |b| {
+                            b.line("buf[i] = buf[i] * 0.5 + 1.0;");
+                        });
+                        b.block("master", |b| {
+                            b.line("let x = r;");
+                            b.line(call);
+                        });
+                        b.line("barrier;");
+                    });
+                });
+            },
+        );
+
+        // serialized: MPI inside `single`.
+        b.block(
+            format!("fn serialized_{cname}_{k}(reps: int, extent: int)"),
+            |b| {
+                b.line("let buf = array(extent, 0.0);");
+                b.block("for (r in 0..reps)", |b| {
+                    b.block("parallel", |b| {
+                        b.block("pfor (i in 0..extent)", |b| {
+                            b.line("buf[i] = buf[i] + 0.25;");
+                        });
+                        b.block("single", |b| {
+                            b.line("let x = r;");
+                            b.line(call);
+                        });
+                    });
+                });
+            },
+        );
+    }
+
+    // --- main: run every kernel ------------------------------------------
+    b.block("fn main()", |b| {
+        b.line("MPI_Init_thread(SERIALIZED);");
+        b.line(format!("let reps = {};", p.reps));
+        b.line(format!("let extent = {};", p.extent));
+        b.line("pingpong(reps, extent);");
+        b.line("haloexchange(reps, extent);");
+        b.line("multipingpong(reps);");
+        for k in 0..p.kernels_per_mode {
+            let (cname, _) = COLLS[k % COLLS.len()];
+            b.line(format!("masteronly_{cname}_{k}(reps, extent);"));
+            b.line(format!("funneled_{cname}_{k}(reps, extent);"));
+            b.line(format!("serialized_{cname}_{k}(reps, extent);"));
+        }
+        b.line("MPI_Barrier();");
+        b.block("if (rank() == 0)", |b| {
+            b.line("print(0);");
+        });
+        b.block("else", |b| {
+            b.line("print(1);");
+        });
+        b.line("MPI_Finalize();");
+    });
+
+    Workload {
+        name: "EPCC",
+        class,
+        source: b.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_and_scales() {
+        let a = generate(WorkloadClass::A).source.len();
+        let b = generate(WorkloadClass::B).source.len();
+        let c = generate(WorkloadClass::C).source.len();
+        assert!(a > 1000);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn contains_all_disciplines() {
+        let src = generate(WorkloadClass::B).source;
+        assert!(src.contains("masteronly_"));
+        assert!(src.contains("funneled_"));
+        assert!(src.contains("serialized_"));
+        assert!(src.contains("master {"));
+        assert!(src.contains("single {"));
+    }
+}

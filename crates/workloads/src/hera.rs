@@ -1,0 +1,234 @@
+//! Synthetic reproduction of **HERA** — "a large multi-physics 2D/3D AMR
+//! hydrocode platform" (Jourdren 2003), the fifth bar of Figure 1.
+//!
+//! HERA is by far the largest code in the paper's evaluation: a C++
+//! platform with many physics modules sharing an adaptive-mesh-refinement
+//! driver. For the compile-time experiment the relevant characteristics
+//! are: a *deep and wide call tree* (hundreds of functions), *mixed*
+//! MPI/OpenMP placement (per-module parallel loops + a sequential AMR
+//! driver with collectives for time-step control, refinement consensus
+//! and load balancing), and *conditional* communication (I/O dumps,
+//! rebalancing every N steps) — the pattern that triggers PARCOACH's
+//! Algorithm 1 and makes selective instrumentation work hardest.
+//!
+//! The generator emits `modules × kernels` physics kernels plus an AMR
+//! driver; every collective is placed correctly (warnings stem only from
+//! genuinely conditional-but-uniform communication, which the dynamic
+//! phase validates — exactly HERA's profile in the paper).
+
+use crate::builder::SourceBuilder;
+use crate::{Workload, WorkloadClass};
+
+struct HeraParams {
+    /// Number of physics modules (call-tree width).
+    modules: usize,
+    /// Kernels per module (call-tree depth × width).
+    kernels_per_module: usize,
+    /// Statements per kernel.
+    stmts_per_kernel: usize,
+    /// Mesh extent.
+    extent: usize,
+    /// Time steps.
+    steps: usize,
+    /// I/O dump period.
+    dump_every: usize,
+}
+
+fn params(class: WorkloadClass) -> HeraParams {
+    match class {
+        WorkloadClass::A => HeraParams {
+            modules: 6,
+            kernels_per_module: 4,
+            stmts_per_kernel: 8,
+            extent: 32,
+            steps: 3,
+            dump_every: 2,
+        },
+        WorkloadClass::B => HeraParams {
+            modules: 12,
+            kernels_per_module: 6,
+            stmts_per_kernel: 12,
+            extent: 64,
+            steps: 4,
+            dump_every: 2,
+        },
+        WorkloadClass::C => HeraParams {
+            modules: 20,
+            kernels_per_module: 8,
+            stmts_per_kernel: 16,
+            extent: 96,
+            steps: 6,
+            dump_every: 3,
+        },
+    }
+}
+
+/// Generate the HERA-like workload.
+pub fn generate(class: WorkloadClass) -> Workload {
+    let p = params(class);
+    let mut b = SourceBuilder::new();
+
+    // --- physics kernels ---------------------------------------------------
+    for m in 0..p.modules {
+        for k in 0..p.kernels_per_module {
+            kernel_fn(&mut b, m, k, p.stmts_per_kernel);
+        }
+        // Module driver calling its kernels.
+        b.block(
+            format!("fn module_{m}_step(field: float[], n: int) -> float"),
+            |b| {
+                b.line("let local_dt = 1.0;");
+                for k in 0..p.kernels_per_module {
+                    b.line(format!("local_dt = min(local_dt, kernel_{m}_{k}(field, n));"));
+                }
+                b.line("return local_dt;");
+            },
+        );
+    }
+
+    // --- AMR infrastructure -------------------------------------------------
+    b.block("fn compute_dt(local_dt: float) -> float", |b| {
+        b.line("return MPI_Allreduce(local_dt, MIN);");
+    });
+
+    b.block("fn refine_consensus(field: float[], n: int) -> int", |b| {
+        b.line("let local_flag = 0;");
+        b.block("for (i in 0..n)", |b| {
+            b.block("if (abs(field[i]) > 10.0)", |b| {
+                b.line("local_flag = 1;");
+            });
+        });
+        b.line("let global_flag = MPI_Allreduce(local_flag, LOR);");
+        b.line("return global_flag;");
+    });
+
+    b.block("fn remesh(field: float[], n: int)", |b| {
+        // Refinement is data-dependent but — as in the real code — the
+        // consensus makes it uniform across ranks, so the collective
+        // below is conditional-but-matched (classic PARCOACH false
+        // positive resolved dynamically).
+        b.block("parallel", |b| {
+            b.block("pfor (i in 0..n)", |b| {
+                b.line("field[i] = field[i] * 0.5;");
+            });
+        });
+        b.line("let balance = MPI_Allreduce(1, SUM);");
+    });
+
+    b.block("fn load_balance(step: int)", |b| {
+        b.line("let load = float_of(step % 7) + 1.0;");
+        b.line("let heaviest = MPI_Allreduce(load, MAX);");
+        b.line("let lightest = MPI_Allreduce(load, MIN);");
+        b.block("if (heaviest / lightest > 1.5)", |b| {
+            // Migration is collective; the condition is uniform (same
+            // reduction result everywhere).
+            b.line("let moved = MPI_Alltoall(array(size(), step));");
+        });
+    });
+
+    b.block("fn dump_io(field: float[], n: int, step: int)", |b| {
+        b.line("let checksum = 0.0;");
+        b.block("for (i in 0..n)", |b| {
+            b.line("checksum = checksum + field[i];");
+        });
+        b.line("let all = MPI_Gather(checksum, 0);");
+        b.block("if (rank() == 0)", |b| {
+            b.line("print(step, len(all));");
+        });
+    });
+
+    // --- main driver ---------------------------------------------------------
+    b.block("fn main()", |b| {
+        b.line("MPI_Init_thread(SERIALIZED);");
+        b.line(format!("let n = {};", p.extent));
+        b.line(format!("let steps = {};", p.steps));
+        b.line("let field = array(n, 1.0);");
+        b.line("let t = 0.0;");
+        b.block("for (step in 0..steps)", |b| {
+            b.line("let local_dt = 1000.0;");
+            for m in 0..p.modules {
+                b.line(format!(
+                    "local_dt = min(local_dt, module_{m}_step(field, n));"
+                ));
+            }
+            b.line("let dt = compute_dt(local_dt);");
+            b.line("t = t + dt;");
+            b.block("if (refine_consensus(field, n) == 1)", |b| {
+                b.line("remesh(field, n);");
+            });
+            b.block(format!("if (step % {} == 0)", p.dump_every), |b| {
+                b.line("dump_io(field, n, step);");
+            });
+            b.block("else", |b| {
+                b.line("dump_io(field, n, step);");
+            });
+            b.line("load_balance(step);");
+        });
+        b.block("if (rank() == 0)", |b| {
+            b.line("print(t);");
+        });
+        b.line("MPI_Finalize();");
+    });
+
+    Workload {
+        name: "HERA",
+        class,
+        source: b.finish(),
+    }
+}
+
+/// One physics kernel: an OpenMP loop nest over the mesh returning a
+/// local time-step constraint.
+fn kernel_fn(b: &mut SourceBuilder, m: usize, k: usize, stmts: usize) {
+    b.block(
+        format!("fn kernel_{m}_{k}(field: float[], n: int) -> float"),
+        |b| {
+            b.line(format!("let coeff = {}.{};", 1 + m % 3, 1 + k % 9));
+            b.line("let dt = 1.0;");
+            b.block("parallel", |b| {
+                b.block("pfor (i in 1..n - 1)", |b| {
+                    b.line("let left = field[i - 1];");
+                    b.line("let mid = field[i];");
+                    b.line("let right = field[i + 1];");
+                    b.line("let flux = 0.0;");
+                    for s in 0..stmts {
+                        match s % 3 {
+                            0 => b.line(format!("let v{s} = (left + right) * coeff;")),
+                            1 => b.line(format!("let v{s} = mid * v{} + 0.01;", s - 1)),
+                            _ => b.line(format!("flux = flux + v{} * 0.1;", s - 1)),
+                        };
+                    }
+                    b.line("field[i] = mid + flux * 0.001;");
+                });
+                if k.is_multiple_of(2) {
+                    b.block("single", |b| {
+                        b.line("let mark = 1;");
+                    });
+                } else {
+                    b.block("critical", |b| {
+                        b.line("dt = min(dt, 0.9);");
+                    });
+                }
+            });
+            b.line("return dt;");
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_largest_workload() {
+        let hera = generate(WorkloadClass::B).source.len();
+        assert!(hera > 10_000, "HERA must be the big one, got {hera}");
+    }
+
+    #[test]
+    fn scales_with_class() {
+        let a = generate(WorkloadClass::A).source.len();
+        let c = generate(WorkloadClass::C).source.len();
+        assert!(c > 2 * a);
+    }
+}

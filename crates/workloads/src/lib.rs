@@ -1,0 +1,68 @@
+//! # parcoach-workloads — the paper's evaluation programs, synthesized
+//!
+//! Generators for MiniHPC programs with the structure and scale of the
+//! paper's five benchmarks (Figure 1): **BT-MZ / SP-MZ / LU-MZ** (NAS
+//! Multi-Zone), the **EPCC** mixed-mode suite and **HERA** — plus the
+//! error catalogue used by the detection experiments.
+//!
+//! See DESIGN.md §2 for why source generators are a faithful substitute
+//! here: the measured quantity (compile-time overhead of analysis +
+//! instrumentation) depends on CFG size/shape, OpenMP region counts and
+//! MPI call-site placement, all of which the generators reproduce per
+//! class.
+//!
+//! ```
+//! use parcoach_workloads::{figure1_suite, WorkloadClass};
+//! let suite = figure1_suite(WorkloadClass::A);
+//! assert_eq!(suite.len(), 5);
+//! assert_eq!(suite[0].name, "BT-MZ");
+//! ```
+
+pub mod builder;
+pub mod catalogue;
+pub mod epcc;
+pub mod hera;
+pub mod nas_mz;
+
+pub use catalogue::{error_catalogue, ErrorCase, ExpectDynamic, ExpectStatic};
+pub use nas_mz::MzKind;
+
+/// Problem-size class, scaling like the NPB classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Small (quick runs, runtime benches).
+    A,
+    /// Medium — the paper evaluates NPB-MZ "using class B".
+    B,
+    /// Large (stress compile-time scaling).
+    C,
+}
+
+/// A generated benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as in the paper's Figure 1 axis.
+    pub name: &'static str,
+    /// Size class.
+    pub class: WorkloadClass,
+    /// MiniHPC source text.
+    pub source: String,
+}
+
+impl Workload {
+    /// Number of source lines (size metric for reports).
+    pub fn lines(&self) -> usize {
+        self.source.lines().count()
+    }
+}
+
+/// The five benchmarks of Figure 1, in the paper's order.
+pub fn figure1_suite(class: WorkloadClass) -> Vec<Workload> {
+    vec![
+        nas_mz::generate(MzKind::BT, class),
+        nas_mz::generate(MzKind::SP, class),
+        nas_mz::generate(MzKind::LU, class),
+        epcc::generate(class),
+        hera::generate(class),
+    ]
+}

@@ -1,0 +1,282 @@
+//! Synthetic reproductions of the NAS Parallel Benchmarks Multi-Zone
+//! (NPB-MZ v3.2) programs **BT-MZ**, **SP-MZ** and **LU-MZ** — the three
+//! left-most bars of the paper's Figure 1.
+//!
+//! The real codes partition a 3-D mesh into zones, assign zones to MPI
+//! ranks, exchange zone boundary values (`exch_qbc`) between time steps
+//! and solve within zones using OpenMP. What matters for the paper's
+//! *compile-time* experiment is the CFG shape and scale: number of
+//! functions, loop nests, OpenMP regions and MPI call sites. The
+//! generators reproduce those (per class A/B/C), with the same hybrid
+//! skeleton: sequential MPI phase per time step + OpenMP solver phase.
+//!
+//! All three generated programs are *correct* hybrid programs: the MPI
+//! collectives sit in monothreaded contexts and every rank executes the
+//! same collective sequence.
+
+use crate::builder::SourceBuilder;
+use crate::{Workload, WorkloadClass};
+
+/// Which multi-zone benchmark to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MzKind {
+    /// Block-tridiagonal solver.
+    BT,
+    /// Scalar-pentadiagonal solver.
+    SP,
+    /// Lower-upper Gauss-Seidel solver.
+    LU,
+}
+
+impl MzKind {
+    /// Benchmark name (paper's axis label).
+    pub fn name(self) -> &'static str {
+        match self {
+            MzKind::BT => "BT-MZ",
+            MzKind::SP => "SP-MZ",
+            MzKind::LU => "LU-MZ",
+        }
+    }
+}
+
+struct MzParams {
+    /// Zones per rank (outer solver loop trip count).
+    zones: usize,
+    /// Grid points per zone (pfor extents).
+    points: usize,
+    /// Time steps.
+    steps: usize,
+    /// Directional sweep functions per solver (code-size driver).
+    sweeps_per_solver: usize,
+    /// Statements per sweep body (code-size driver).
+    stmts_per_sweep: usize,
+}
+
+fn params(kind: MzKind, class: WorkloadClass) -> MzParams {
+    // Scale roughly like the NPB classes: each class step grows the grid
+    // and the generated code size. BT has the largest solver code, LU
+    // the deepest sweeps, SP sits in between — mirroring the real
+    // relative source sizes.
+    let (zones, points, steps) = match class {
+        WorkloadClass::A => (4, 32, 4),
+        WorkloadClass::B => (8, 64, 6),
+        WorkloadClass::C => (16, 128, 8),
+    };
+    let (sweeps, stmts) = match (kind, class) {
+        (MzKind::BT, WorkloadClass::A) => (6, 12),
+        (MzKind::BT, WorkloadClass::B) => (9, 18),
+        (MzKind::BT, WorkloadClass::C) => (12, 26),
+        (MzKind::SP, WorkloadClass::A) => (5, 10),
+        (MzKind::SP, WorkloadClass::B) => (7, 15),
+        (MzKind::SP, WorkloadClass::C) => (10, 22),
+        (MzKind::LU, WorkloadClass::A) => (4, 14),
+        (MzKind::LU, WorkloadClass::B) => (6, 20),
+        (MzKind::LU, WorkloadClass::C) => (8, 28),
+    };
+    MzParams {
+        zones,
+        points,
+        steps,
+        sweeps_per_solver: sweeps,
+        stmts_per_sweep: stmts,
+    }
+}
+
+/// Generate one NAS-MZ-like workload.
+pub fn generate(kind: MzKind, class: WorkloadClass) -> Workload {
+    let p = params(kind, class);
+    let mut b = SourceBuilder::new();
+
+    // --- per-direction sweep kernels (the bulk of the solver code) -----
+    let directions = ["x", "y", "z"];
+    for dir in directions {
+        for s in 0..p.sweeps_per_solver {
+            sweep_fn(&mut b, kind, dir, s, p.stmts_per_sweep);
+        }
+    }
+
+    // --- rhs computation -------------------------------------------------
+    b.block("fn compute_rhs(u: float[], rhs: float[], nx: int)", |b| {
+        b.block("parallel", |b| {
+            b.block("pfor (i in 0..nx)", |b| {
+                b.line("rhs[i] = u[i] * 0.95 + 0.05;");
+            });
+            b.block("pfor nowait (i in 0..nx)", |b| {
+                b.line("let sq = u[i] * u[i];");
+                b.line("rhs[i] = rhs[i] + sq * 0.001;");
+            });
+            b.line("barrier;");
+        });
+    });
+
+    // --- boundary exchange (the MPI phase, sequential context) ----------
+    b.block("fn exch_qbc(u: float[], nx: int, step: int)", |b| {
+        b.line("let next = (rank() + 1) % size();");
+        b.line("let prev = (rank() + size() - 1) % size();");
+        b.line("MPI_Send(u[nx - 2], next, 10 + step % 4);");
+        b.line("let west = MPI_Recv(prev, 10 + step % 4);");
+        b.line("MPI_Send(u[1], prev, 20 + step % 4);");
+        b.line("let east = MPI_Recv(next, 20 + step % 4);");
+        b.line("u[0] = west;");
+        b.line("u[nx - 1] = east;");
+    });
+
+    // --- residual + verification ----------------------------------------
+    b.block("fn residual(rhs: float[], nx: int) -> float", |b| {
+        b.line("let acc = 0.0;");
+        b.block("for (i in 0..nx)", |b| {
+            b.line("acc = acc + abs(rhs[i]);");
+        });
+        b.line("return MPI_Allreduce(acc, SUM) / float_of(size() * nx);");
+    });
+    b.block("fn verify(res: float, target: float)", |b| {
+        b.line("let worst = MPI_Allreduce(abs(res - target), MAX);");
+        b.line("let ok = MPI_Bcast(worst, 0);");
+        b.block("if (rank() == 0)", |b| {
+            b.line("print(ok);");
+        });
+    });
+
+    // --- solver driver per zone ------------------------------------------
+    b.block(
+        "fn solve_zone(u: float[], rhs: float[], nx: int)",
+        |b| {
+            b.line("compute_rhs(u, rhs, nx);");
+            for dir in directions {
+                for s in 0..p.sweeps_per_solver {
+                    b.line(format!(
+                        "{}_sweep_{dir}_{s}(u, rhs, nx);",
+                        solver_prefix(kind)
+                    ));
+                }
+            }
+            if kind == MzKind::LU {
+                // LU's SSOR: extra forward/backward passes with barriers.
+                b.block("parallel", |b| {
+                    b.block("pfor (i in 1..nx - 1)", |b| {
+                        b.line("u[i] = u[i] + rhs[i] * 0.1;");
+                    });
+                    b.line("barrier;");
+                    b.block("pfor (i in 1..nx - 1)", |b| {
+                        b.line("u[i] = u[i] + rhs[i] * 0.05;");
+                    });
+                });
+            } else {
+                b.block("parallel", |b| {
+                    b.block("pfor (i in 0..nx)", |b| {
+                        b.line("u[i] = u[i] + rhs[i] * 0.2;");
+                    });
+                });
+            }
+        },
+    );
+
+    // --- main -------------------------------------------------------------
+    b.block("fn main()", |b| {
+        b.line("MPI_Init_thread(FUNNELED);");
+        b.line(format!("let nx = {};", p.points));
+        b.line(format!("let zones = {};", p.zones));
+        b.line("let u = array(nx, 1.0);");
+        b.line("let rhs = array(nx, 0.0);");
+        b.line("let res = 0.0;");
+        b.block(format!("for (step in 0..{})", p.steps), |b| {
+            b.line("exch_qbc(u, nx, step);");
+            b.block("for (z in 0..zones)", |b| {
+                b.line("solve_zone(u, rhs, nx);");
+            });
+            b.block("if (step % 2 == 0)", |b| {
+                b.line("res = residual(rhs, nx);");
+            });
+            b.block("else", |b| {
+                b.line("res = residual(rhs, nx);");
+            });
+        });
+        b.line("verify(res, 0.5);");
+        b.line("MPI_Finalize();");
+    });
+
+    Workload {
+        name: kind.name(),
+        class,
+        source: b.finish(),
+    }
+}
+
+fn solver_prefix(kind: MzKind) -> &'static str {
+    match kind {
+        MzKind::BT => "bt",
+        MzKind::SP => "sp",
+        MzKind::LU => "lu",
+    }
+}
+
+/// One directional sweep kernel.
+fn sweep_fn(b: &mut SourceBuilder, kind: MzKind, dir: &str, s: usize, stmts: usize) {
+    b.block(
+        format!(
+            "fn {}_sweep_{dir}_{s}(u: float[], rhs: float[], nx: int)",
+            solver_prefix(kind)
+        ),
+        |b| {
+            b.line("let c1 = 1.4;");
+            b.line("let c2 = 0.4;");
+            b.block("parallel", |b| {
+                b.block("pfor (i in 1..nx - 1)", |b| {
+                    b.line("let um = u[i - 1];");
+                    b.line("let uc = u[i];");
+                    b.line("let up = u[i + 1];");
+                    b.line("let acc = 0.0;");
+                    for k in 0..stmts {
+                        match k % 4 {
+                            0 => b.line(format!("let t{k} = um * c1 + up * c2;")),
+                            1 => b.line(format!("let t{k} = uc * {}.25 + t{};", k % 3, k - 1)),
+                            2 => b.line(format!("let t{k} = t{} * 0.5 + acc;", k - 1)),
+                            _ => b.line(format!("let t{k} = sqrt(abs(t{})) + acc;", k - 1)),
+                        };
+                        if k % 4 == 2 {
+                            b.line(format!("acc = acc + t{k};"));
+                        }
+                    }
+                    b.line("rhs[i] = rhs[i] * 0.9 + acc * 0.1;");
+                });
+                if matches!(kind, MzKind::LU) {
+                    // LU synchronizes between wavefronts.
+                    b.line("barrier;");
+                    b.block("master", |b| {
+                        b.line("let tick = 1;");
+                    });
+                }
+            });
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_generate_nonempty() {
+        for kind in [MzKind::BT, MzKind::SP, MzKind::LU] {
+            for class in [WorkloadClass::A, WorkloadClass::B, WorkloadClass::C] {
+                let w = generate(kind, class);
+                assert!(w.source.len() > 1000, "{} {class:?} too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_grow() {
+        let a = generate(MzKind::BT, WorkloadClass::A).source.len();
+        let b = generate(MzKind::BT, WorkloadClass::B).source.len();
+        let c = generate(MzKind::BT, WorkloadClass::C).source.len();
+        assert!(a < b && b < c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn bt_is_biggest_solver() {
+        let bt = generate(MzKind::BT, WorkloadClass::B).source.len();
+        let sp = generate(MzKind::SP, WorkloadClass::B).source.len();
+        assert!(bt > sp, "BT {bt} vs SP {sp}");
+    }
+}

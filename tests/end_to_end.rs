@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full static → instrument → run
+//! pipeline over the error catalogue and the generated benchmark
+//! workloads.
+
+use parcoach::interp::{check_and_run, RunConfig};
+use parcoach::workloads::{
+    error_catalogue, figure1_suite, ExpectDynamic, ExpectStatic, WorkloadClass,
+};
+
+/// Every catalogue case must match its recorded static and dynamic
+/// expectations — this is experiment E3 as a test.
+#[test]
+fn catalogue_detection_matrix() {
+    for case in error_catalogue() {
+        let (report, run) = check_and_run(case.id, &case.source, RunConfig::fast_fail(2, 4), true)
+            .unwrap_or_else(|e| panic!("{}: compile error {e}", case.id));
+        match case.expect_static {
+            ExpectStatic::Clean => assert!(
+                report.is_clean(),
+                "{}: expected clean static report, got {:#?}",
+                case.id,
+                report.warnings
+            ),
+            ExpectStatic::Warns(code) => assert!(
+                report.warnings.iter().any(|w| w.kind.code() == code),
+                "{}: expected a `{code}` warning, got {:?}",
+                case.id,
+                report
+                    .warnings
+                    .iter()
+                    .map(|w| w.kind.code())
+                    .collect::<Vec<_>>()
+            ),
+        }
+        match case.expect_dynamic {
+            ExpectDynamic::Clean => {
+                assert!(run.is_clean(), "{}: {:?}", case.id, run.errors)
+            }
+            ExpectDynamic::CaughtByCheck => {
+                assert!(!run.is_clean(), "{}: expected failure", case.id);
+                assert!(
+                    run.detected_by_check(),
+                    "{}: expected PARCOACH check, got {:?}",
+                    case.id,
+                    run.errors
+                );
+            }
+            ExpectDynamic::CaughtBySubstrate | ExpectDynamic::Fails => {
+                assert!(!run.is_clean(), "{}: expected failure, ran clean", case.id)
+            }
+            ExpectDynamic::MayFail => {} // either outcome accepted
+        }
+    }
+}
+
+/// The clean benchmark programs must run to completion under full
+/// selective instrumentation — the false-positive warnings they carry
+/// (uniform conditionals) are cleared dynamically.
+#[test]
+fn class_a_workloads_run_clean_instrumented() {
+    for w in figure1_suite(WorkloadClass::A) {
+        let cfg = RunConfig {
+            ranks: 2,
+            default_threads: 2,
+            ..RunConfig::default()
+        };
+        let (report, run) = check_and_run(w.name, &w.source, cfg, true)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            run.is_clean(),
+            "{}: instrumented run failed ({} static warnings):\n{:#?}",
+            w.name,
+            report.warnings.len(),
+            run.errors
+        );
+    }
+}
+
+/// The same workloads uninstrumented (sanity: the simulator itself, not
+/// the instrumentation, keeps them alive).
+#[test]
+fn class_a_workloads_run_clean_plain() {
+    for w in figure1_suite(WorkloadClass::A) {
+        let cfg = RunConfig {
+            ranks: 2,
+            default_threads: 2,
+            ..RunConfig::default()
+        };
+        let (_report, run) = check_and_run(w.name, &w.source, cfg, false)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(run.is_clean(), "{}: {:?}", w.name, run.errors);
+    }
+}
+
+/// Instrumentation must not change the observable output of a correct
+/// program (differential run).
+#[test]
+fn instrumentation_is_output_transparent() {
+    let src = r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    let acc = 0;
+    for (step in 0..3) {
+        parallel num_threads(2) {
+            single { acc = acc + int_of(MPI_Allreduce(1.0, SUM)); }
+        }
+    }
+    print(acc);
+    MPI_Finalize();
+}
+"#;
+    let cfg = || RunConfig {
+        ranks: 2,
+        default_threads: 2,
+        ..RunConfig::default()
+    };
+    let (_r1, plain) = check_and_run("t.mh", src, cfg(), false).unwrap();
+    let (_r2, instr) = check_and_run("t.mh", src, cfg(), true).unwrap();
+    assert!(plain.is_clean() && instr.is_clean());
+    let mut a = plain.output.clone();
+    let mut b = instr.output.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "instrumentation changed program output");
+}
+
+/// Scaling smoke test: more ranks and threads still work.
+#[test]
+fn four_ranks_four_threads() {
+    let src = r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    let v = 0;
+    parallel num_threads(4) {
+        single { v = int_of(MPI_Allreduce(float_of(rank() + 1), SUM)); }
+    }
+    print(v);
+    MPI_Finalize();
+}
+"#;
+    let cfg = RunConfig {
+        ranks: 4,
+        default_threads: 4,
+        ..RunConfig::default()
+    };
+    let (_report, run) = check_and_run("t.mh", src, cfg, true).unwrap();
+    assert!(run.is_clean(), "{:?}", run.errors);
+    assert_eq!(run.output.len(), 4);
+    assert!(run.output.iter().all(|l| l.ends_with("10"))); // 1+2+3+4
+}

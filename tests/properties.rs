@@ -1,0 +1,162 @@
+//! Property-based tests over randomly generated structured programs.
+//!
+//! The generator builds *correct-by-construction* hybrid programs: MPI
+//! collectives appear only in uniform positions (top level, inside
+//! `single`/`master` in parallel regions), bounds are rank-independent,
+//! and barriers are never control-divergent. For such programs the
+//! invariants are:
+//!
+//! 1. they compile and their IR verifies;
+//! 2. phase 1/2 of the static analysis stay silent (no context or
+//!    concurrency warnings) and no barrier divergence is reported;
+//! 3. optimization preserves sequential program output;
+//! 4. instrumented parallel runs complete cleanly.
+
+use parcoach::analysis::{analyze_module, AnalysisOptions, WarningKind};
+use parcoach::front::parse_and_check;
+use parcoach::interp::{check_and_run, Executor, RunConfig};
+use parcoach::ir::lower::lower_program;
+use proptest::prelude::*;
+
+/// One generated statement (recursion bounded by `depth`).
+fn stmt_strategy(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0..5i64).prop_map(|k| format!("acc = acc + {k};")),
+        (1..4i64).prop_map(|k| format!("acc = acc * {k} % 1000;")),
+        Just("x = float_of(acc) * 0.5;".to_string()),
+        Just("let tmp = acc + int_of(x); acc = tmp % 97;".to_string()),
+        Just("acc = acc + int_of(MPI_Allreduce(1.0, SUM));".to_string()),
+        Just("MPI_Barrier();".to_string()),
+        Just("acc = acc + int_of(MPI_Bcast(float_of(acc % 7), 0));".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = stmt_strategy(depth - 1);
+    let inner2 = stmt_strategy(depth - 1);
+    let inner3 = stmt_strategy(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        // Uniform sequential loop.
+        1 => (1..4i64, inner.clone()).prop_map(|(n, b)| format!(
+            "for (i{n} in 0..{n}) {{ {b} }}"
+        )),
+        // Uniform conditional — both arms identical, so even the
+        // matching phase with refinement stays silent.
+        1 => inner2.prop_map(|b| format!(
+            "if (acc % 2 == 0) {{ {b} }} else {{ {b} }}"
+        )),
+        // Parallel region: compute pfor + collective safely in single.
+        1 => inner3.prop_map(|b| format!(
+            "parallel num_threads(2) {{
+                pfor (j in 0..8) {{ let w = j * 2; }}
+                single {{ {b} }}
+            }}"
+        )),
+    ]
+    .boxed()
+}
+
+fn program_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt_strategy(2), 1..6).prop_map(|stmts| {
+        format!(
+            "fn main() {{
+                MPI_Init_thread(SERIALIZED);
+                let acc = 1;
+                let x = 0.0;
+                {}
+                print(acc);
+                MPI_Finalize();
+            }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Correct-by-construction programs compile, verify, and trigger no
+    /// context/concurrency/divergence warnings.
+    #[test]
+    fn generated_programs_are_statically_quiet(src in program_strategy()) {
+        let unit = parse_and_check("gen.mh", &src)
+            .map_err(|(d, sm)| TestCaseError::fail(d.render(&sm)))?;
+        let module = lower_program(&unit.program, &unit.signatures);
+        prop_assert!(parcoach::ir::verify_module(&module).is_empty());
+        let report = analyze_module(&module, &AnalysisOptions::default());
+        for w in &report.warnings {
+            prop_assert!(
+                !matches!(
+                    w.kind,
+                    WarningKind::MultithreadedCollective
+                        | WarningKind::NestedParallelismCollective
+                        | WarningKind::MultithreadedCall
+                        | WarningKind::ConcurrentCollectives
+                        | WarningKind::SelfConcurrentRegion
+                        | WarningKind::BarrierDivergence
+                        | WarningKind::InsufficientThreadLevel
+                ),
+                "unexpected warning {:?}: {} in\n{src}",
+                w.kind,
+                w.message
+            );
+        }
+    }
+
+    /// Optimization must not change the output of (sequential projections
+    /// of) generated programs.
+    #[test]
+    fn optimization_preserves_output(src in program_strategy()) {
+        let unit = parse_and_check("gen.mh", &src)
+            .map_err(|(d, sm)| TestCaseError::fail(d.render(&sm)))?;
+        let plain = lower_program(&unit.program, &unit.signatures);
+        let mut optimized = plain.clone();
+        parcoach::ir::opt::optimize_module(&mut optimized, 4);
+        prop_assert!(parcoach::ir::verify_module(&optimized).is_empty());
+        let cfg = || RunConfig {
+            ranks: 1,
+            default_threads: 2,
+            ..RunConfig::default()
+        };
+        let out_plain = Executor::new(plain, cfg()).run();
+        let out_opt = Executor::new(optimized, cfg()).run();
+        prop_assert!(out_plain.is_clean(), "{:?}", out_plain.errors);
+        prop_assert!(out_opt.is_clean(), "{:?}", out_opt.errors);
+        prop_assert_eq!(out_plain.output, out_opt.output);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // threads+ranks per case: keep the budget sane
+        max_shrink_iters: 50,
+        .. ProptestConfig::default()
+    })]
+
+    /// Instrumented multi-rank runs of generated programs complete
+    /// cleanly and agree with the uninstrumented output.
+    #[test]
+    fn generated_programs_run_clean_instrumented(src in program_strategy()) {
+        let cfg = || RunConfig {
+            ranks: 2,
+            default_threads: 2,
+            ..RunConfig::default()
+        };
+        let (_r, plain) = check_and_run("gen.mh", &src, cfg(), false)
+            .map_err(TestCaseError::fail)?;
+        let (_r, instr) = check_and_run("gen.mh", &src, cfg(), true)
+            .map_err(TestCaseError::fail)?;
+        prop_assert!(plain.is_clean(), "{:?}", plain.errors);
+        prop_assert!(instr.is_clean(), "{:?}", instr.errors);
+        let mut a = plain.output;
+        let mut b = instr.output;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
