@@ -18,16 +18,12 @@ fn bench_fig1(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
     for w in &suite {
-        group.bench_with_input(
-            BenchmarkId::new("baseline", w.name),
-            &w.source,
-            |b, src| b.iter(|| black_box(compile_baseline(w.name, src))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("warnings", w.name),
-            &w.source,
-            |b, src| b.iter(|| black_box(compile_with_warnings(w.name, src))),
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", w.name), &w.source, |b, src| {
+            b.iter(|| black_box(compile_baseline(w.name, src)))
+        });
+        group.bench_with_input(BenchmarkId::new("warnings", w.name), &w.source, |b, src| {
+            b.iter(|| black_box(compile_with_warnings(w.name, src)))
+        });
         group.bench_with_input(
             BenchmarkId::new("warnings+codegen", w.name),
             &w.source,

@@ -10,9 +10,7 @@
 //! Usage: `cargo run --release -p parcoach-bench --bin ablation_selective [A|B|C]`
 
 use parcoach_bench::compile_baseline;
-use parcoach_core::{
-    analyze_module, instrument_module, AnalysisOptions, InstrumentMode,
-};
+use parcoach_core::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
 use parcoach_workloads::{figure1_suite, WorkloadClass};
 
 fn main() {

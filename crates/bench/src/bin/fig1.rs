@@ -15,10 +15,7 @@ fn main() {
         Some("C") => WorkloadClass::C,
         _ => WorkloadClass::B, // the paper uses class B
     };
-    let reps: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15);
+    let reps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
 
     eprintln!("generating workloads (class {class:?})…");
     let suite = figure1_suite(class);

@@ -56,8 +56,7 @@ pub fn compile_with_codegen(name: &str, src: &str) -> (Module, StaticReport) {
     let unit = parse_and_check(name, src).expect("workload compiles");
     let module = lower_program(&unit.program, &unit.signatures);
     let report = analyze_module(&module, &AnalysisOptions::default());
-    let (mut instrumented, _stats) =
-        instrument_module(&module, &report, InstrumentMode::Selective);
+    let (mut instrumented, _stats) = instrument_module(&module, &report, InstrumentMode::Selective);
     parcoach_ir::opt::optimize_module(&mut instrumented, 4);
     for f in &instrumented.funcs {
         let _ = parcoach_ir::opt::allocate(f);
@@ -172,9 +171,7 @@ pub fn figure1_rows(workloads: &[parcoach_workloads::Workload], reps: usize) -> 
 /// Render Figure-1 rows as the text table printed by `bin/fig1`.
 pub fn render_fig1(rows: &[Fig1Row]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Figure 1 — overhead of average compilation time (PPoPP'15, Saillard et al.)\n",
-    );
+    out.push_str("Figure 1 — overhead of average compilation time (PPoPP'15, Saillard et al.)\n");
     out.push_str(&format!(
         "{:<8} {:>7} {:>12} {:>12} {:>12} {:>11} {:>11}\n",
         "bench", "lines", "baseline", "warnings", "warn+code", "warn %", "code %"

@@ -227,14 +227,12 @@ mod tests {
 
     #[test]
     fn nowait_singles_are_concurrent() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single nowait { MPI_Barrier(); }
                     single { MPI_Allreduce(1, SUM); }
                 }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
         assert_eq!(r.warnings[0].kind, WarningKind::ConcurrentCollectives);
         assert_eq!(r.suspects.len(), 2);
@@ -245,14 +243,12 @@ mod tests {
 
     #[test]
     fn barrier_separated_singles_are_ordered() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single { MPI_Barrier(); }
                     single { MPI_Allreduce(1, SUM); }
                 }
-            }",
-        );
+            }");
         assert!(
             r.warnings.is_empty(),
             "implicit barrier orders the singles: {:?}",
@@ -262,30 +258,26 @@ mod tests {
 
     #[test]
     fn explicit_barrier_after_nowait_orders() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single nowait { MPI_Barrier(); }
                     barrier;
                     single { MPI_Allreduce(1, SUM); }
                 }
-            }",
-        );
+            }");
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 
     #[test]
     fn sections_with_collectives_concurrent() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     sections {
                         section { MPI_Barrier(); }
                         section { MPI_Allreduce(1, SUM); }
                     }
                 }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1);
         assert_eq!(r.warnings[0].kind, WarningKind::ConcurrentCollectives);
     }
@@ -294,26 +286,22 @@ mod tests {
     fn single_and_master_concurrent() {
         // master has no implicit barrier; a nowait single before it can
         // overlap.
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single nowait { MPI_Barrier(); }
                     master { MPI_Barrier(); }
                 }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
     }
 
     #[test]
     fn same_region_not_self_pair() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single { MPI_Barrier(); MPI_Allreduce(1, SUM); }
                 }
-            }",
-        );
+            }");
         assert!(
             r.warnings.is_empty(),
             "collectives in the same region are ordered: {:?}",
@@ -323,15 +311,13 @@ mod tests {
 
     #[test]
     fn nowait_single_in_loop_self_concurrent() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     for (i in 0..10) {
                         single nowait { MPI_Allreduce(1, SUM); }
                     }
                 }
-            }",
-        );
+            }");
         assert!(
             r.warnings
                 .iter()
@@ -344,15 +330,13 @@ mod tests {
 
     #[test]
     fn single_with_barrier_in_loop_not_self_concurrent() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     for (i in 0..10) {
                         single { MPI_Allreduce(1, SUM); }
                     }
                 }
-            }",
-        );
+            }");
         assert!(
             !r.warnings
                 .iter()
@@ -366,12 +350,10 @@ mod tests {
     fn different_parallel_regions_not_concurrent() {
         // Two singles in two *successive* parallel regions: the join
         // between regions orders them.
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel { single nowait { MPI_Barrier(); } }
                 parallel { single nowait { MPI_Allreduce(1, SUM); } }
-            }",
-        );
+            }");
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 
@@ -379,8 +361,7 @@ mod tests {
     fn deep_nesting_concurrent_with_sibling() {
         // single S1 { parallel { single S3 { coll } } } vs sibling nowait
         // single S2 { coll }: words P0·S1·P2·S3 vs P0·S2 → concurrent.
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 parallel {
                     single nowait {
                         parallel {
@@ -389,8 +370,7 @@ mod tests {
                     }
                     single { MPI_Allreduce(1, SUM); }
                 }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
     }
 }

@@ -119,10 +119,7 @@ pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContex
         multithreaded_calls.clear();
         for f in &m.funcs {
             let ctx = initial[&f.name];
-            let cached = pw_cache
-                .get(&f.name)
-                .filter(|(c, _)| *c == ctx)
-                .is_some();
+            let cached = pw_cache.get(&f.name).filter(|(c, _)| *c == ctx).is_some();
             if !cached {
                 pw_cache.insert(f.name.clone(), (ctx, compute_pw(f, ctx)));
             }

@@ -21,11 +21,10 @@ use crate::report::StaticReport;
 use parcoach_ir::func::{FuncIr, Module};
 use parcoach_ir::instr::{CheckOp, Instr, Terminator};
 use parcoach_ir::types::{BlockId, RegionId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// How aggressively to instrument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InstrumentMode {
     /// Only what the static analysis demanded (the paper's approach).
     #[default]
@@ -36,7 +35,7 @@ pub enum InstrumentMode {
 }
 
 /// Counters describing what was inserted (ablation metric).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InstrumentStats {
     /// `CC` calls guarding collectives.
     pub cc_collective: usize,
@@ -79,7 +78,12 @@ pub fn instrument_module(
     for (f, region, site) in &report.plan.concurrency_sites {
         conc_sites.entry(f).or_default().push((*region, *site));
     }
-    let cc_funcs: HashSet<&str> = report.plan.cc_functions.iter().map(|s| s.as_str()).collect();
+    let cc_funcs: HashSet<&str> = report
+        .plan
+        .cc_functions
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
 
     for func in &mut out.funcs {
         let name = func.name.clone();
@@ -137,10 +141,9 @@ fn instrument_collectives(
             };
             let mut inserted = 0;
             if mono_blocks.contains(&bid) {
-                block.instrs.insert(
-                    i,
-                    Instr::Check(CheckOp::AssertMonothread { kind, span }),
-                );
+                block
+                    .instrs
+                    .insert(i, Instr::Check(CheckOp::AssertMonothread { kind, span }));
                 stats.monothread_asserts += 1;
                 inserted += 1;
             }
@@ -220,7 +223,11 @@ mod tests {
             "fn main() { MPI_Init(); MPI_Barrier(); MPI_Finalize(); }",
             InstrumentMode::Selective,
         );
-        assert_eq!(stats.total(), 0, "selective instrumentation on a clean program");
+        assert_eq!(
+            stats.total(),
+            0,
+            "selective instrumentation on a clean program"
+        );
     }
 
     #[test]
@@ -306,11 +313,8 @@ mod tests {
 
     #[test]
     fn original_module_untouched() {
-        let unit = parse_and_check(
-            "t.mh",
-            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
-        )
-        .expect("valid");
+        let unit = parse_and_check("t.mh", "fn main() { if (rank() == 0) { MPI_Barrier(); } }")
+            .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let before = m.total_instrs();
         let report = analyze_module(&m, &AnalysisOptions::default());

@@ -9,10 +9,9 @@
 
 use crate::word::{SKind, Token, Word};
 use parcoach_front::ast::ThreadLevel;
-use serde::{Deserialize, Serialize};
 
 /// Verdict of the monothread-context check for one word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonoVerdict {
     /// `pw ∈ L` and the word is empty: the node runs outside any
     /// parallel construct (the initial thread).
@@ -38,7 +37,7 @@ impl MonoVerdict {
 }
 
 /// Result of classifying one parallelism word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContextClass {
     /// The membership verdict.
     pub verdict: MonoVerdict,

@@ -83,9 +83,7 @@ fn block_events(f: &FuncIr, b: BlockId, ctxs: &CallContexts) -> Vec<(Event, Span
         .instrs
         .iter()
         .filter_map(|i| match i {
-            Instr::Mpi { op, span, .. } => op
-                .collective_kind()
-                .map(|k| (Event::Coll(k), *span)),
+            Instr::Mpi { op, span, .. } => op.collective_kind().map(|k| (Event::Coll(k), *span)),
             Instr::Call { func, span, .. } if ctxs.bears_collectives(func) => {
                 Some((Event::Call(func.clone()), *span))
             }
@@ -184,12 +182,7 @@ pub fn check_matching(
 /// The per-arm sequence is computed by a memoized walk that fails (and
 /// keeps the warning) on cycles, on returns before the join, and on any
 /// interior divergence.
-fn balanced_arms(
-    f: &FuncIr,
-    ctxs: &CallContexts,
-    pdt: &PostDomTree,
-    cond: BlockId,
-) -> bool {
+fn balanced_arms(f: &FuncIr, ctxs: &CallContexts, pdt: &PostDomTree, cond: BlockId) -> bool {
     let Some(join) = pdt.ipdom(cond) else {
         // No post-dominator inside the function (e.g. a return on one
         // arm): cannot be balanced.
@@ -232,7 +225,10 @@ fn arm_sequence(
         return None; // cycle
     }
     visiting.push(n);
-    let own: Vec<Event> = block_events(f, n, ctxs).into_iter().map(|(e, _)| e).collect();
+    let own: Vec<Event> = block_events(f, n, ctxs)
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
     let succs = f.block(n).term.successors();
     let result = if succs.is_empty() {
         None // leaves the function before the join
@@ -326,23 +322,19 @@ mod tests {
     #[test]
     fn unbalanced_kinds_not_refined() {
         // Same count, different kinds → sequences differ → keep warning.
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 if (rank() == 0) { MPI_Barrier(); } else { let x = MPI_Allreduce(1, SUM); }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 2, "one per kind: {:?}", r.warnings);
     }
 
     #[test]
     fn collective_in_loop_flagged() {
         // Iteration count may differ across ranks (bound from rank()).
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 let n = rank() + 1;
                 for (i in 0..n) { MPI_Barrier(); }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
     }
 
@@ -356,12 +348,10 @@ mod tests {
 
     #[test]
     fn early_return_with_collective_after() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 if (rank() == 0) { return; }
                 MPI_Barrier();
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
     }
 
@@ -400,15 +390,13 @@ mod tests {
 
     #[test]
     fn nested_conditionals_all_reported() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 if (rank() > 0) {
                     if (rank() > 1) {
                         MPI_Barrier();
                     }
                 }
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1);
         // Both conditionals appear as related divergence points.
         let conds = r.warnings[0]
@@ -422,27 +410,23 @@ mod tests {
     #[test]
     fn multiple_kinds_independent() {
         // Bcast is conditional, Barrier is not.
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 if (rank() == 0) { let x = MPI_Bcast(1, 0); }
                 MPI_Barrier();
-            }",
-        );
+            }");
         assert_eq!(r.warnings.len(), 1);
         assert!(r.warnings[0].message.contains("MPI_Bcast"));
     }
 
     #[test]
     fn while_loop_with_collective_and_break() {
-        let r = run(
-            "fn main() {
+        let r = run("fn main() {
                 let go = true;
                 while (go) {
                     MPI_Barrier();
                     if (rank() == 0) { go = false; }
                 }
-            }",
-        );
+            }");
         assert!(!r.warnings.is_empty());
     }
 }

@@ -11,11 +11,11 @@ use crate::context::CallContexts;
 use crate::lang::{classify, MonoVerdict};
 use crate::pw::{PwResult, SYNTH_BASE};
 use crate::report::{StaticWarning, WarningKind};
+use crate::word::Token;
 use parcoach_front::ast::ThreadLevel;
 use parcoach_front::span::Span;
 use parcoach_ir::func::FuncIr;
 use parcoach_ir::types::BlockId;
-use crate::word::Token;
 
 /// Phase-1 result for one function.
 #[derive(Debug, Clone, Default)]
@@ -219,9 +219,7 @@ mod tests {
 
     #[test]
     fn nested_parallelism_flagged_differently() {
-        let r = main_result(
-            "fn main() { parallel { parallel { single { MPI_Barrier(); } } } }",
-        );
+        let r = main_result("fn main() { parallel { parallel { single { MPI_Barrier(); } } } }");
         assert_eq!(r.warnings.len(), 1);
         assert_eq!(r.warnings[0].kind, WarningKind::NestedParallelismCollective);
     }
@@ -247,9 +245,7 @@ mod tests {
 
     #[test]
     fn divergent_barrier_reported() {
-        let r = main_result(
-            "fn main() { parallel { if (thread_num() == 0) { barrier; } } }",
-        );
+        let r = main_result("fn main() { parallel { if (thread_num() == 0) { barrier; } } }");
         assert!(r
             .warnings
             .iter()
@@ -258,10 +254,8 @@ mod tests {
 
     #[test]
     fn callee_in_parallel_context_flagged() {
-        let (m, rs) = run(
-            "fn exchange() { MPI_Allreduce(1, SUM); }
-             fn main() { parallel { exchange(); } }",
-        );
+        let (m, rs) = run("fn exchange() { MPI_Allreduce(1, SUM); }
+             fn main() { parallel { exchange(); } }");
         let idx = m.by_name["exchange"];
         let r = &rs[idx];
         assert!(
@@ -280,10 +274,8 @@ mod tests {
 
     #[test]
     fn callee_in_single_context_clean() {
-        let (m, rs) = run(
-            "fn exchange() { MPI_Allreduce(1, SUM); }
-             fn main() { parallel { single { exchange(); } } }",
-        );
+        let (m, rs) = run("fn exchange() { MPI_Allreduce(1, SUM); }
+             fn main() { parallel { single { exchange(); } } }");
         let idx = m.by_name["exchange"];
         assert!(rs[idx].warnings.is_empty(), "{:?}", rs[idx].warnings);
         assert_eq!(rs[idx].required_level, Some(ThreadLevel::Serialized));

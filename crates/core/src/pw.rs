@@ -24,11 +24,10 @@ use parcoach_front::span::Span;
 use parcoach_ir::func::FuncIr;
 use parcoach_ir::instr::{Directive, Terminator};
 use parcoach_ir::types::{BlockId, RegionId};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The word state of a block entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PwState {
     /// A definite word.
     Word(Word),
@@ -47,7 +46,7 @@ impl PwState {
 }
 
 /// A structural divergence discovered during propagation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Divergence {
     /// The join block where incompatible words met.
     pub block: BlockId,
@@ -60,7 +59,7 @@ pub struct Divergence {
 }
 
 /// Result of the propagation over one function.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PwResult {
     /// Entry state per block (`None` = unreachable).
     pub entry: Vec<Option<PwState>>,
@@ -95,7 +94,7 @@ impl PwResult {
 ///
 /// Synthetic prefix tokens use region ids starting at `SYNTH_BASE` so
 /// they can never collide with real regions of the function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum InitialContext {
     /// Called outside any parallel region (e.g. `main`). Empty prefix.
     #[default]
@@ -228,9 +227,7 @@ fn transfer(
     match dir {
         None => uniform(w.clone()),
         Some(d) => match d {
-            Directive::ParallelBegin { region, .. } => {
-                uniform(w.extended(Token::P(*region)))
-            }
+            Directive::ParallelBegin { region, .. } => uniform(w.extended(Token::P(*region))),
             Directive::SingleBegin { region, .. } => {
                 conditional_entry(f, b, term, w, Token::S(*region, SKind::Single))
             }
@@ -314,10 +311,7 @@ fn meet(existing: &PwState, incoming: &PwState, retreating: bool) -> (PwState, M
             } else if retreating && a.is_barrier_extension_of(b) {
                 (PwState::Word(b.clone()), MeetNote::PhaseMerge)
             } else {
-                (
-                    PwState::Conflict,
-                    MeetNote::Diverged(a.clone(), b.clone()),
-                )
+                (PwState::Conflict, MeetNote::Diverged(a.clone(), b.clone()))
             }
         }
     }
@@ -327,9 +321,9 @@ fn meet(existing: &PwState, incoming: &PwState, retreating: bool) -> (PwState, M
 mod tests {
     use super::*;
     use crate::lang::{classify, MonoVerdict};
+    use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
     use parcoach_ir::Module;
-    use parcoach_front::parse_and_check;
 
     fn lower(src: &str) -> Module {
         let unit = parse_and_check("t.mh", src).expect("valid");
@@ -372,9 +366,7 @@ mod tests {
     fn barrier_between_singles_shows_in_word() {
         // Second single's word must contain the B of the first single's
         // implicit barrier.
-        let m = lower(
-            "fn main() { parallel { single { } single { MPI_Barrier(); } } }",
-        );
+        let m = lower("fn main() { parallel { single { } single { MPI_Barrier(); } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
@@ -385,9 +377,7 @@ mod tests {
 
     #[test]
     fn nowait_single_has_no_barrier_token() {
-        let m = lower(
-            "fn main() { parallel { single nowait { } single { MPI_Barrier(); } } }",
-        );
+        let m = lower("fn main() { parallel { single nowait { } single { MPI_Barrier(); } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
@@ -397,9 +387,8 @@ mod tests {
 
     #[test]
     fn nested_parallel_word() {
-        let w = word_at_collective(
-            "fn main() { parallel { parallel { single { MPI_Barrier(); } } } }",
-        );
+        let w =
+            word_at_collective("fn main() { parallel { parallel { single { MPI_Barrier(); } } } }");
         assert_eq!(classify(&w).verdict, MonoVerdict::NestedParallelism);
     }
 
@@ -427,9 +416,7 @@ mod tests {
 
     #[test]
     fn loop_with_barrier_phase_merges_without_divergence() {
-        let m = lower(
-            "fn main() { parallel { for (i in 0..10) { critical { } barrier; } } }",
-        );
+        let m = lower("fn main() { parallel { for (i in 0..10) { critical { } barrier; } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         assert!(
@@ -442,9 +429,7 @@ mod tests {
 
     #[test]
     fn barrier_in_one_branch_diverges() {
-        let m = lower(
-            "fn main() { parallel { if (thread_num() == 0) { barrier; } } }",
-        );
+        let m = lower("fn main() { parallel { if (thread_num() == 0) { barrier; } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         assert!(
@@ -467,9 +452,7 @@ mod tests {
     fn single_in_one_branch_nowait_ok() {
         // nowait single in one branch: no barrier divergence (the S is
         // popped before the join).
-        let m = lower(
-            "fn main() { parallel { if (thread_num() == 0) { single nowait { } } } }",
-        );
+        let m = lower("fn main() { parallel { if (thread_num() == 0) { single nowait { } } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         assert!(pw.divergences.is_empty(), "{:?}", pw.divergences);
@@ -477,9 +460,7 @@ mod tests {
 
     #[test]
     fn single_in_one_branch_with_barrier_diverges() {
-        let m = lower(
-            "fn main() { parallel { if (thread_num() == 0) { single { } } } }",
-        );
+        let m = lower("fn main() { parallel { if (thread_num() == 0) { single { } } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         assert!(!pw.divergences.is_empty());
@@ -487,9 +468,8 @@ mod tests {
 
     #[test]
     fn sections_words() {
-        let m = lower(
-            "fn main() { parallel { sections { section { MPI_Barrier(); } section { } } } }",
-        );
+        let m =
+            lower("fn main() { parallel { sections { section { MPI_Barrier(); } section { } } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
@@ -499,9 +479,7 @@ mod tests {
 
     #[test]
     fn pfor_body_is_multithreaded() {
-        let m = lower(
-            "fn main() { parallel { pfor (i in 0..4) { MPI_Barrier(); } } }",
-        );
+        let m = lower("fn main() { parallel { pfor (i in 0..4) { MPI_Barrier(); } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
@@ -511,9 +489,7 @@ mod tests {
 
     #[test]
     fn critical_is_not_single_threaded() {
-        let m = lower(
-            "fn main() { parallel { critical { MPI_Barrier(); } } }",
-        );
+        let m = lower("fn main() { parallel { critical { MPI_Barrier(); } } }");
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();

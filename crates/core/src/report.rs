@@ -11,11 +11,10 @@ use parcoach_front::ast::ThreadLevel;
 use parcoach_front::diag::{Diagnostic, Diagnostics};
 use parcoach_front::span::{SourceMap, Span};
 use parcoach_ir::types::BlockId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of potential error a warning reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WarningKind {
     /// Phase 1: a collective whose parallelism word is not in `L` — it
     /// may be executed by several non-synchronized threads.
@@ -63,9 +62,7 @@ impl WarningKind {
     pub fn describe(self) -> &'static str {
         match self {
             WarningKind::MultithreadedCollective => "collective in multithreaded context",
-            WarningKind::NestedParallelismCollective => {
-                "collective under nested parallelism"
-            }
+            WarningKind::NestedParallelismCollective => "collective under nested parallelism",
             WarningKind::MultithreadedCall => {
                 "call to collective-bearing function from multithreaded context"
             }
@@ -87,7 +84,7 @@ impl fmt::Display for WarningKind {
 }
 
 /// One static warning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticWarning {
     /// Error category.
     pub kind: WarningKind,
@@ -119,7 +116,7 @@ impl StaticWarning {
 
 /// Instrumentation demand produced by the static phase: which blocks
 /// need which dynamic checks (the paper's sets `S`, `S_ipw`, `S_cc`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InstrumentationPlan {
     /// Per function: suspect collective blocks (set `S`) — get a `CC`
     /// call and, when the context is unproven, a monothread assert.
@@ -139,14 +136,12 @@ pub struct InstrumentationPlan {
 impl InstrumentationPlan {
     /// Total number of planned check sites (ablation metric).
     pub fn total_sites(&self) -> usize {
-        self.suspect_collectives.len()
-            + self.monothread_checks.len()
-            + self.concurrency_sites.len()
+        self.suspect_collectives.len() + self.monothread_checks.len() + self.concurrency_sites.len()
     }
 }
 
 /// The complete result of the static phase over a module.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StaticReport {
     /// All warnings, in discovery order.
     pub warnings: Vec<StaticWarning>,

@@ -9,14 +9,13 @@
 //! removes its token (and everything after it) from the word.
 
 use parcoach_ir::types::RegionId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The flavour of a single-threaded (`S`) region. Needed to derive the
 /// *required MPI thread level*: a collective guarded only by `master`
 /// regions can run under `MPI_THREAD_FUNNELED`, while `single`/`section`
 /// need `MPI_THREAD_SERIALIZED`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SKind {
     /// `single` region — an arbitrary thread executes.
     Single,
@@ -37,7 +36,7 @@ impl fmt::Display for SKind {
 }
 
 /// One token of a parallelism word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Token {
     /// `P_i`: a parallel region (team fork).
     P(RegionId),
@@ -78,7 +77,7 @@ impl fmt::Display for Token {
 }
 
 /// A parallelism word: a (short) sequence of tokens.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Word(pub Vec<Token>);
 
 impl Word {
@@ -103,11 +102,7 @@ impl Word {
     /// occurrence of the region's `P`/`S` token. Returns `false` when the
     /// token is absent — a structural error the caller reports.
     pub fn close_region(&mut self, r: RegionId) -> bool {
-        if let Some(pos) = self
-            .0
-            .iter()
-            .rposition(|t| t.region() == Some(r))
-        {
+        if let Some(pos) = self.0.iter().rposition(|t| t.region() == Some(r)) {
             self.0.truncate(pos);
             true
         } else {
@@ -192,7 +187,11 @@ mod tests {
     #[test]
     fn close_region_truncates() {
         // P0 S1 B — closing S1 leaves P0 (B after it goes too).
-        let mut w = Word(vec![Token::P(r(0)), Token::S(r(1), SKind::Single), Token::B]);
+        let mut w = Word(vec![
+            Token::P(r(0)),
+            Token::S(r(1), SKind::Single),
+            Token::B,
+        ]);
         assert!(w.close_region(r(1)));
         assert_eq!(w, Word(vec![Token::P(r(0))]));
         // Closing P0 empties.
@@ -205,14 +204,23 @@ mod tests {
     #[test]
     fn close_region_picks_last_occurrence() {
         // Degenerate but defensive: same region twice (loop re-entry).
-        let mut w = Word(vec![Token::S(r(1), SKind::Single), Token::B, Token::S(r(1), SKind::Single)]);
+        let mut w = Word(vec![
+            Token::S(r(1), SKind::Single),
+            Token::B,
+            Token::S(r(1), SKind::Single),
+        ]);
         assert!(w.close_region(r(1)));
         assert_eq!(w.0.len(), 2);
     }
 
     #[test]
     fn stripped_removes_barriers() {
-        let w = Word(vec![Token::P(r(0)), Token::B, Token::B, Token::S(r(1), SKind::Master)]);
+        let w = Word(vec![
+            Token::P(r(0)),
+            Token::B,
+            Token::B,
+            Token::S(r(1), SKind::Master),
+        ]);
         assert_eq!(
             w.stripped(),
             vec![Token::P(r(0)), Token::S(r(1), SKind::Master)]
@@ -243,7 +251,11 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Word::empty().to_string(), "ε");
-        let w = Word(vec![Token::P(r(0)), Token::B, Token::S(r(3), SKind::Single)]);
+        let w = Word(vec![
+            Token::P(r(0)),
+            Token::B,
+            Token::S(r(3), SKind::Single),
+        ]);
         assert_eq!(w.to_string(), "P0·B·S3");
     }
 }

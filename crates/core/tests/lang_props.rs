@@ -1,74 +1,92 @@
 //! Property tests for the language machinery of the analysis:
 //! `L = (S|PB*S)*` membership (DFA vs. reference), word simplification
 //! algebra, and the concurrency criterion's symmetry.
+//!
+//! Random words come from `parcoach_testutil::Rng` with per-case seeds;
+//! a failing case reports its seed and the offending word.
 
 use parcoach_core::lang::{classify, in_language_reference};
 use parcoach_core::word::{SKind, Token, Word};
 use parcoach_ir::types::RegionId;
-use proptest::prelude::*;
+use parcoach_testutil::Rng;
 
-fn token_strategy() -> impl Strategy<Value = Token> {
-    prop_oneof![
-        (0u32..16).prop_map(|i| Token::P(RegionId(i))),
-        (0u32..16).prop_map(|i| Token::S(RegionId(i + 100), SKind::Single)),
-        (0u32..16).prop_map(|i| Token::S(RegionId(i + 200), SKind::Master)),
-        (0u32..16).prop_map(|i| Token::S(RegionId(i + 300), SKind::Section)),
-        Just(Token::B),
-    ]
+const CASES: u64 = 512;
+
+/// Mirror of the old proptest token strategy: P, the three S kinds (in
+/// disjoint RegionId ranges), or B, uniformly.
+fn random_token(rng: &mut Rng) -> Token {
+    match rng.below(5) {
+        0 => Token::P(RegionId(rng.range_u32(0, 16))),
+        1 => Token::S(RegionId(rng.range_u32(0, 16) + 100), SKind::Single),
+        2 => Token::S(RegionId(rng.range_u32(0, 16) + 200), SKind::Master),
+        3 => Token::S(RegionId(rng.range_u32(0, 16) + 300), SKind::Section),
+        _ => Token::B,
+    }
 }
 
-fn word_strategy() -> impl Strategy<Value = Word> {
-    proptest::collection::vec(token_strategy(), 0..12).prop_map(Word)
+fn random_word(rng: &mut Rng) -> Word {
+    let len = rng.below(12);
+    Word((0..len).map(|_| random_token(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
-
-    /// The production classifier and the regex-derivative reference must
-    /// agree on arbitrary words.
-    #[test]
-    fn dfa_matches_reference(w in word_strategy()) {
-        prop_assert_eq!(
+/// The production classifier and the regex-derivative reference must
+/// agree on arbitrary words.
+#[test]
+fn dfa_matches_reference() {
+    for seed in 0..CASES {
+        let w = random_word(&mut Rng::new(seed));
+        assert_eq!(
             classify(&w).verdict.is_monothreaded(),
             in_language_reference(&w),
-            "disagreement on {}", w
+            "disagreement on {} (seed {seed})",
+            w
         );
     }
+}
 
-    /// Appending `B` never changes monothreadedness ("Bs are ignored").
-    #[test]
-    fn barriers_neutral_for_membership(w in word_strategy()) {
+/// Appending `B` never changes monothreadedness ("Bs are ignored").
+#[test]
+fn barriers_neutral_for_membership() {
+    for seed in 0..CASES {
+        let w = random_word(&mut Rng::new(seed));
         let mut wb = w.clone();
         wb.push(Token::B);
-        prop_assert_eq!(
+        assert_eq!(
             classify(&w).verdict.is_monothreaded(),
-            classify(&wb).verdict.is_monothreaded()
+            classify(&wb).verdict.is_monothreaded(),
+            "B changed membership of {} (seed {seed})",
+            w
         );
     }
+}
 
-    /// Opening and immediately closing a region is the identity.
-    #[test]
-    fn open_close_roundtrip(w in word_strategy(), i in 500u32..600) {
-        let r = RegionId(i);
+/// Opening and immediately closing a region is the identity.
+#[test]
+fn open_close_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let w = random_word(&mut rng);
+        let r = RegionId(rng.range_u32(500, 600));
         let mut w2 = w.clone();
         w2.push(Token::P(r));
-        prop_assert!(w2.close_region(r));
-        prop_assert_eq!(&w2, &w);
+        assert!(w2.close_region(r), "close P failed (seed {seed})");
+        assert_eq!(&w2, &w, "P roundtrip not identity (seed {seed})");
         let mut w3 = w.clone();
         w3.push(Token::S(r, SKind::Single));
-        prop_assert!(w3.close_region(r));
-        prop_assert_eq!(&w3, &w);
+        assert!(w3.close_region(r), "close S failed (seed {seed})");
+        assert_eq!(&w3, &w, "S roundtrip not identity (seed {seed})");
     }
+}
 
-    /// `close_region` truncates at the region token: everything after it
-    /// disappears, everything before survives.
-    #[test]
-    fn close_truncates_suffix(
-        prefix in word_strategy(),
-        suffix in word_strategy(),
-        i in 700u32..800,
-    ) {
-        let r = RegionId(i);
+/// `close_region` truncates at the region token: everything after it
+/// disappears, everything before survives.
+#[test]
+fn close_truncates_suffix() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let prefix = random_word(&mut rng);
+        let suffix = random_word(&mut rng);
+        let r = RegionId(rng.range_u32(700, 800));
         let mut w = prefix.clone();
         w.push(Token::P(r));
         for t in suffix.tokens() {
@@ -76,33 +94,53 @@ proptest! {
         }
         // The suffix may not contain r (ranges are disjoint by
         // construction), so close_region finds our P.
-        prop_assert!(w.close_region(r));
-        prop_assert_eq!(&w, &prefix);
+        assert!(w.close_region(r), "close_region missed (seed {seed})");
+        assert_eq!(&w, &prefix, "truncation wrong (seed {seed})");
     }
+}
 
-    /// Common-prefix length is symmetric and bounded.
-    #[test]
-    fn common_prefix_symmetric(a in word_strategy(), b in word_strategy()) {
+/// Common-prefix length is symmetric and bounded.
+#[test]
+fn common_prefix_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let a = random_word(&mut rng);
+        let b = random_word(&mut rng);
         let ab = a.common_prefix_len(&b);
-        prop_assert_eq!(ab, b.common_prefix_len(&a));
-        prop_assert!(ab <= a.len() && ab <= b.len());
+        assert_eq!(ab, b.common_prefix_len(&a), "asymmetric (seed {seed})");
+        assert!(
+            ab <= a.len() && ab <= b.len(),
+            "out of bounds (seed {seed})"
+        );
         // The prefixes really are equal.
-        prop_assert_eq!(&a.tokens()[..ab], &b.tokens()[..ab]);
+        assert_eq!(&a.tokens()[..ab], &b.tokens()[..ab], "seed {seed}");
         if ab < a.len() && ab < b.len() {
-            prop_assert_ne!(a.tokens()[ab], b.tokens()[ab]);
+            assert_ne!(a.tokens()[ab], b.tokens()[ab], "seed {seed}");
         }
     }
+}
 
-    /// The required-level classification is monotone in context: a word
-    /// in `L` never demands MPI_THREAD_MULTIPLE.
-    #[test]
-    fn levels_consistent_with_membership(w in word_strategy()) {
-        use parcoach_front::ast::ThreadLevel;
+/// The required-level classification is monotone in context: a word
+/// in `L` never demands MPI_THREAD_MULTIPLE.
+#[test]
+fn levels_consistent_with_membership() {
+    use parcoach_front::ast::ThreadLevel;
+    for seed in 0..CASES {
+        let w = random_word(&mut Rng::new(seed));
         let c = classify(&w);
         if c.verdict.is_monothreaded() {
-            prop_assert!(c.required_level < ThreadLevel::Multiple);
+            assert!(
+                c.required_level < ThreadLevel::Multiple,
+                "monothreaded {} demands MULTIPLE (seed {seed})",
+                w
+            );
         } else {
-            prop_assert_eq!(c.required_level, ThreadLevel::Multiple);
+            assert_eq!(
+                c.required_level,
+                ThreadLevel::Multiple,
+                "non-monothreaded {} tolerates < MULTIPLE (seed {seed})",
+                w
+            );
         }
     }
 }

@@ -206,7 +206,10 @@ fn cmd_workload(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_catalogue() -> Result<ExitCode, String> {
-    println!("{:<28} {:<28} {:<18} description", "id", "static", "dynamic");
+    println!(
+        "{:<28} {:<28} {:<18} description",
+        "id", "static", "dynamic"
+    );
     for c in error_catalogue() {
         let stat = match c.expect_static {
             parcoach_workloads::ExpectStatic::Clean => "clean".to_string(),

@@ -1,0 +1,220 @@
+//! Integration tests for the `parcoachc` CLI: drives the real binary
+//! (via `CARGO_BIN_EXE_parcoachc`) over sample `.mh` programs and
+//! asserts the documented exit-code contract:
+//!
+//! * 0 — clean (statically verified, or run completed cleanly)
+//! * 1 — static warnings only
+//! * 2 — dynamic error detected
+//! * 3 — usage or compile error
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn parcoachc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_parcoachc"))
+        .args(args)
+        .output()
+        .expect("spawn parcoachc")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Write a program to a temp `.mh` file unique to this test.
+fn write_mh(name: &str, src: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("parcoachc-cli-{}-{name}.mh", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp .mh");
+    f.write_all(src.as_bytes()).expect("write temp .mh");
+    path
+}
+
+const CLEAN: &str = r#"
+fn main() {
+    MPI_Init();
+    MPI_Barrier();
+    print(rank());
+    MPI_Finalize();
+}
+"#;
+
+const DIVERGENT: &str = r#"
+fn main() {
+    MPI_Init();
+    if (rank() == 0) {
+        MPI_Barrier();
+    }
+    MPI_Finalize();
+}
+"#;
+
+/// The catalogue's `missing-collective` shape: the divergence reaches the
+/// end of `main`, so the instrumented return-CC votes and the PARCOACH
+/// check itself (not the substrate) reports the mismatch.
+const DIVERGENT_AT_RETURN: &str = r#"
+fn main() {
+    if (rank() == 0) { MPI_Barrier(); }
+}
+"#;
+
+/// Statically a false positive, dynamically clean: the condition is
+/// rank-uniform, so every process takes the same branch.
+const UNIFORM_CONDITIONAL: &str = r#"
+fn main() {
+    MPI_Init();
+    if (size() > 0) {
+        MPI_Barrier();
+    }
+    MPI_Finalize();
+}
+"#;
+
+#[test]
+fn check_clean_program_exits_0() {
+    let p = write_mh("check-clean", CLEAN);
+    let out = parcoachc(&["check", p.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("verified statically"));
+}
+
+#[test]
+fn check_divergent_program_exits_1_with_warning() {
+    let p = write_mh("check-div", DIVERGENT);
+    let out = parcoachc(&["check", p.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("collective-mismatch"),
+        "expected a collective-mismatch warning, got: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn run_clean_program_exits_0() {
+    let p = write_mh("run-clean", CLEAN);
+    let out = parcoachc(&["run", p.to_str().unwrap(), "--ranks", "2"]);
+    assert_eq!(exit_code(&out), 0, "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("run completed cleanly"));
+}
+
+#[test]
+fn run_divergent_program_exits_2() {
+    // With MPI_Finalize after the divergence, rank 1 reaches Finalize
+    // while rank 0 sits in the barrier's CC: the simulated MPI substrate
+    // flags the collective mismatch. Exit code 2 either way.
+    let p = write_mh("run-div", DIVERGENT);
+    let out = parcoachc(&["run", p.to_str().unwrap(), "--ranks", "2"]);
+    assert_eq!(exit_code(&out), 2, "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("run failed"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn run_divergence_at_return_is_caught_by_check() {
+    let p = write_mh("run-div-ret", DIVERGENT_AT_RETURN);
+    let out = parcoachc(&["run", p.to_str().unwrap(), "--ranks", "2"]);
+    assert_eq!(exit_code(&out), 2, "stdout: {}", stdout(&out));
+    let s = stdout(&out);
+    assert!(
+        s.contains("intercepted by a PARCOACH dynamic check"),
+        "the return-CC vote should catch the mismatch before the substrate \
+         deadlocks; stdout: {s}"
+    );
+}
+
+#[test]
+fn run_static_false_positive_is_dynamically_clean() {
+    let p = write_mh("run-fp", UNIFORM_CONDITIONAL);
+    let check = parcoachc(&["check", p.to_str().unwrap()]);
+    assert_eq!(
+        exit_code(&check),
+        1,
+        "static pass should warn (conservative)"
+    );
+    let run = parcoachc(&["run", p.to_str().unwrap(), "--ranks", "2"]);
+    assert_eq!(
+        exit_code(&run),
+        0,
+        "uniform conditional must run cleanly: {}",
+        stdout(&run)
+    );
+}
+
+#[test]
+fn run_uninstrumented_still_reports_dynamic_error() {
+    let p = write_mh("run-noinstr", DIVERGENT);
+    let out = parcoachc(&[
+        "run",
+        p.to_str().unwrap(),
+        "--ranks",
+        "2",
+        "--no-instrument",
+    ]);
+    // Without instrumentation the mismatch is caught by the simulated MPI
+    // substrate's deadlock census instead of a PARCOACH check — still
+    // exit code 2, but not "intercepted".
+    assert_eq!(exit_code(&out), 2, "stdout: {}", stdout(&out));
+    assert!(!stdout(&out).contains("intercepted by a PARCOACH dynamic check"));
+}
+
+#[test]
+fn catalogue_lists_the_error_catalogue() {
+    let out = parcoachc(&["catalogue"]);
+    assert_eq!(exit_code(&out), 0);
+    let s = stdout(&out);
+    for id in [
+        "mismatch-rank-branch",
+        "multithreaded-collective",
+        "barrier-divergence",
+        "ok-single",
+        "fp-uniform-conditional",
+    ] {
+        assert!(s.contains(id), "catalogue missing `{id}`:\n{s}");
+    }
+}
+
+#[test]
+fn workload_prints_compilable_source() {
+    let out = parcoachc(&["workload", "EPCC", "A"]);
+    assert_eq!(exit_code(&out), 0);
+    let src = stdout(&out);
+    assert!(src.contains("fn main()"), "not a program:\n{src}");
+    // The printed workload must itself pass `check`-level compilation.
+    let p = write_mh("workload-epcc", &src);
+    let check = parcoachc(&["check", p.to_str().unwrap()]);
+    assert!(
+        exit_code(&check) <= 1,
+        "generated workload failed to compile: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn usage_errors_exit_3() {
+    for args in [
+        &["frobnicate"][..],
+        &["check"][..],
+        &["check", "/nonexistent/path/x.mh"][..],
+        &["workload", "NO-SUCH-WORKLOAD"][..],
+        &["run", "/nonexistent/path/x.mh"][..],
+    ] {
+        let out = parcoachc(args);
+        assert_eq!(exit_code(&out), 3, "args {args:?} should be a usage error");
+    }
+}
+
+#[test]
+fn compile_error_exits_3() {
+    let p = write_mh("syntax-err", "fn main( {");
+    let out = parcoachc(&["check", p.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 3);
+}

@@ -7,11 +7,10 @@
 //! CFG shape), and MPI operations as builtin calls.
 
 use crate::span::Span;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An identifier with its source span.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Ident {
     /// The name text.
     pub name: String,
@@ -41,7 +40,7 @@ impl fmt::Display for Ident {
 }
 
 /// Scalar and array types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 64-bit signed integer.
     Int,
@@ -101,7 +100,7 @@ impl fmt::Display for Type {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -174,7 +173,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation `-`.
     Neg,
@@ -183,7 +182,7 @@ pub enum UnOp {
 }
 
 /// Builtin intrinsic functions (not user-definable, not MPI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Intrinsic {
     /// `rank()` — MPI rank of the calling process.
     Rank,
@@ -255,7 +254,7 @@ impl Intrinsic {
 }
 
 /// MPI reduction operators (the subset the paper's benchmarks use).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// `MPI_SUM`
     Sum,
@@ -302,7 +301,7 @@ impl ReduceOp {
 ///
 /// The numeric discriminant doubles as the "color" the dynamic `CC` check
 /// communicates (paper §3 / PARCOACH Algorithm 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CollectiveKind {
     /// `MPI_Barrier()`
     Barrier,
@@ -400,7 +399,7 @@ impl fmt::Display for CollectiveKind {
 }
 
 /// A full MPI operation as it appears in source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MpiOp {
     /// `MPI_Init()`
     Init,
@@ -434,7 +433,7 @@ pub enum MpiOp {
 }
 
 /// A collective call: kind + arguments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveCall {
     /// Which collective.
     pub kind: CollectiveKind,
@@ -447,9 +446,7 @@ pub struct CollectiveCall {
 }
 
 /// MPI threading support levels (MPI-2 §12.4).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum ThreadLevel {
     /// Only one thread will execute.
     #[default]
@@ -492,7 +489,7 @@ impl fmt::Display for ThreadLevel {
 }
 
 /// Expression node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Expr {
     /// What the expression is.
     pub kind: ExprKind,
@@ -501,7 +498,7 @@ pub struct Expr {
 }
 
 /// Expression kinds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
     /// Integer literal.
     Int(i64),
@@ -577,7 +574,7 @@ impl Expr {
 }
 
 /// Assignment target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LValue {
     /// Plain variable.
     Var(Ident),
@@ -603,7 +600,7 @@ impl LValue {
 }
 
 /// A `{ ... }` block of statements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Statements in order.
     pub stmts: Vec<Stmt>,
@@ -622,7 +619,7 @@ impl Block {
 }
 
 /// Statement node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     /// What the statement is.
     pub kind: StmtKind,
@@ -639,7 +636,7 @@ impl Stmt {
 
 /// OpenMP-model parallel constructs (structured, perfectly nested — the
 /// model the paper assumes in §1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OmpStmt {
     /// `parallel [num_threads(e)] { ... }` — fork a team; implicit barrier
     /// + join at the end.
@@ -708,7 +705,7 @@ impl OmpStmt {
 }
 
 /// Statement kinds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `let x[: ty] = e;`
     Let {
@@ -770,7 +767,7 @@ pub enum StmtKind {
 }
 
 /// A function parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Name.
     pub name: Ident,
@@ -779,7 +776,7 @@ pub struct Param {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
     pub name: Ident,
@@ -794,7 +791,7 @@ pub struct Function {
 }
 
 /// A whole program: a set of functions, `main` being the entry point.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// Functions in definition order.
     pub functions: Vec<Function>,
@@ -869,7 +866,10 @@ mod tests {
         assert!(ThreadLevel::Single < ThreadLevel::Funneled);
         assert!(ThreadLevel::Funneled < ThreadLevel::Serialized);
         assert!(ThreadLevel::Serialized < ThreadLevel::Multiple);
-        assert_eq!(ThreadLevel::from_name("SERIALIZED"), Some(ThreadLevel::Serialized));
+        assert_eq!(
+            ThreadLevel::from_name("SERIALIZED"),
+            Some(ThreadLevel::Serialized)
+        );
         assert_eq!(ThreadLevel::from_name("bogus"), None);
     }
 

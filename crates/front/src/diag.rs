@@ -5,11 +5,10 @@
 //! driver can render them uniformly.
 
 use crate::span::{SourceMap, Span};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How severe a diagnostic is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Informational note attached to another diagnostic.
     Note,
@@ -31,7 +30,7 @@ impl fmt::Display for Severity {
 }
 
 /// A single diagnostic message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
     /// Severity class.
     pub severity: Severity,
@@ -99,7 +98,7 @@ impl Diagnostic {
 }
 
 /// An ordered collection of diagnostics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Diagnostics {
     items: Vec<Diagnostic>,
 }

@@ -61,10 +61,7 @@ pub struct CheckedUnit {
 ///
 /// On failure returns the full diagnostics (errors and warnings) plus the
 /// source map needed to render them.
-pub fn parse_and_check(
-    name: &str,
-    src: &str,
-) -> Result<CheckedUnit, (Diagnostics, SourceMap)> {
+pub fn parse_and_check(name: &str, src: &str) -> Result<CheckedUnit, (Diagnostics, SourceMap)> {
     let source_map = SourceMap::new(name, src);
     let (program, mut diags) = parser::parse_program(src);
     let sema = if diags.has_errors() {

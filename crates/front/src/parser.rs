@@ -375,10 +375,7 @@ impl Parser {
         } else {
             None
         };
-        let end = else_blk
-            .as_ref()
-            .map(|b| b.span)
-            .unwrap_or(then_blk.span);
+        let end = else_blk.as_ref().map(|b| b.span).unwrap_or(then_blk.span);
         Stmt::new(
             StmtKind::If {
                 cond,
@@ -548,7 +545,10 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr();
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         lhs
     }
@@ -559,7 +559,10 @@ impl Parser {
             self.bump();
             let rhs = self.cmp_expr();
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         lhs
     }
@@ -898,9 +901,7 @@ mod tests {
 
     #[test]
     fn if_else_chain() {
-        let p = parse_ok(
-            "fn main() { if (rank() == 0) { } else if (rank() == 1) { } else { } }",
-        );
+        let p = parse_ok("fn main() { if (rank() == 0) { } else if (rank() == 1) { } else { } }");
         let StmtKind::If { else_blk, .. } = &p.functions[0].body.stmts[0].kind else {
             panic!()
         };
@@ -911,8 +912,14 @@ mod tests {
     #[test]
     fn while_for_loops() {
         let p = parse_ok("fn main() { while (true) { break; } for (i in 0..10) { continue; } }");
-        assert!(matches!(p.functions[0].body.stmts[0].kind, StmtKind::While { .. }));
-        assert!(matches!(p.functions[0].body.stmts[1].kind, StmtKind::For { .. }));
+        assert!(matches!(
+            p.functions[0].body.stmts[0].kind,
+            StmtKind::While { .. }
+        ));
+        assert!(matches!(
+            p.functions[0].body.stmts[1].kind,
+            StmtKind::For { .. }
+        ));
     }
 
     #[test]
@@ -941,8 +948,14 @@ mod tests {
             body.stmts[0].kind,
             StmtKind::Omp(OmpStmt::Single { nowait: true, .. })
         ));
-        assert!(matches!(body.stmts[4].kind, StmtKind::Omp(OmpStmt::PFor { nowait: false, .. })));
-        assert!(matches!(body.stmts[5].kind, StmtKind::Omp(OmpStmt::PFor { nowait: true, .. })));
+        assert!(matches!(
+            body.stmts[4].kind,
+            StmtKind::Omp(OmpStmt::PFor { nowait: false, .. })
+        ));
+        assert!(matches!(
+            body.stmts[5].kind,
+            StmtKind::Omp(OmpStmt::PFor { nowait: true, .. })
+        ));
         if let StmtKind::Omp(OmpStmt::Sections { sections, .. }) = &body.stmts[6].kind {
             assert_eq!(sections.len(), 2);
         } else {
@@ -973,13 +986,21 @@ mod tests {
                 ..
             })
         ));
-        let StmtKind::Let { init, .. } = &stmts[2].kind else { panic!() };
-        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else { panic!() };
+        let StmtKind::Let { init, .. } = &stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else {
+            panic!()
+        };
         assert_eq!(c.kind, CollectiveKind::Allreduce);
         assert_eq!(c.reduce_op, Some(ReduceOp::Sum));
         assert!(c.root.is_none());
-        let StmtKind::Let { init, .. } = &stmts[4].kind else { panic!() };
-        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else { panic!() };
+        let StmtKind::Let { init, .. } = &stmts[4].kind else {
+            panic!()
+        };
+        let ExprKind::Mpi(MpiOp::Collective(c)) = &init.kind else {
+            panic!()
+        };
         assert_eq!(c.kind, CollectiveKind::Reduce);
         assert_eq!(c.reduce_op, Some(ReduceOp::Max));
         assert!(c.root.is_some());
@@ -988,7 +1009,9 @@ mod tests {
     #[test]
     fn mpi_init_thread() {
         let p = parse_ok("fn main() { MPI_Init_thread(MULTIPLE); }");
-        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(
             e.kind,
             ExprKind::Mpi(MpiOp::InitThread {
@@ -1006,7 +1029,9 @@ mod tests {
     #[test]
     fn intrinsics_resolved() {
         let p = parse_ok("fn main() { let r = rank(); let a = array(10, 0); let n = len(a); }");
-        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(init.kind, ExprKind::Intrinsic(Intrinsic::Rank, _)));
     }
 

@@ -58,11 +58,7 @@ pub fn check_program(prog: &Program, diags: &mut Diagnostics) -> SemaResult {
         );
     } else if let Some(main) = prog.function("main") {
         if !main.params.is_empty() {
-            diags.error(
-                "bad-main",
-                "`main` must take no parameters",
-                main.name.span,
-            );
+            diags.error("bad-main", "`main` must take no parameters", main.name.span);
         }
     }
 
@@ -314,11 +310,9 @@ impl<'a> Checker<'a> {
                 }
             }
             StmtKind::Break => match self.loops.last() {
-                None => self.diags.error(
-                    "break-outside-loop",
-                    "`break` outside of a loop",
-                    s.span,
-                ),
+                None => self
+                    .diags
+                    .error("break-outside-loop", "`break` outside of a loop", s.span),
                 Some(l) if l.kind == LoopKind::Workshare => self.diags.error(
                     "break-in-pfor",
                     "`break` cannot leave a worksharing `pfor` loop",
@@ -535,7 +529,10 @@ impl<'a> Checker<'a> {
                     if lt != rt || !lt.is_numeric() {
                         self.diags.error(
                             "type-mismatch",
-                            format!("`{}` requires matching numeric operands, found {lt} and {rt}", op.symbol()),
+                            format!(
+                                "`{}` requires matching numeric operands, found {lt} and {rt}",
+                                op.symbol()
+                            ),
                             e.span,
                         );
                         return Type::Int;
@@ -545,7 +542,10 @@ impl<'a> Checker<'a> {
                     if lt != rt {
                         self.diags.error(
                             "type-mismatch",
-                            format!("`{}` requires matching operands, found {lt} and {rt}", op.symbol()),
+                            format!(
+                                "`{}` requires matching operands, found {lt} and {rt}",
+                                op.symbol()
+                            ),
                             e.span,
                         );
                     } else if lt.is_array() || lt == Type::Void {
@@ -569,7 +569,10 @@ impl<'a> Checker<'a> {
                     if lt != Type::Bool || rt != Type::Bool {
                         self.diags.error(
                             "type-mismatch",
-                            format!("`{}` requires bool operands, found {lt} and {rt}", op.symbol()),
+                            format!(
+                                "`{}` requires bool operands, found {lt} and {rt}",
+                                op.symbol()
+                            ),
                             e.span,
                         );
                     }
@@ -630,7 +633,11 @@ impl<'a> Checker<'a> {
         let arity_err = |ck: &mut Self, want: usize| {
             ck.diags.error(
                 "arity-mismatch",
-                format!("`{}` expects {want} argument(s), {} given", intr.name(), args.len()),
+                format!(
+                    "`{}` expects {want} argument(s), {} given",
+                    intr.name(),
+                    args.len()
+                ),
                 span,
             );
         };
@@ -814,27 +821,22 @@ impl<'a> Checker<'a> {
                     Type::Int
                 }
             },
-            CollectiveKind::Reduce | CollectiveKind::Allreduce | CollectiveKind::Scan => {
-                match vt {
-                    Some(t) if t.is_numeric() => t,
-                    Some(t) => {
-                        self.diags.error(
-                            "type-mismatch",
-                            format!("{} value must be numeric, found {t}", c.kind),
-                            span,
-                        );
-                        Type::Int
-                    }
-                    None => {
-                        self.diags.error(
-                            "mpi-args",
-                            format!("{} requires a value", c.kind),
-                            span,
-                        );
-                        Type::Int
-                    }
+            CollectiveKind::Reduce | CollectiveKind::Allreduce | CollectiveKind::Scan => match vt {
+                Some(t) if t.is_numeric() => t,
+                Some(t) => {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("{} value must be numeric, found {t}", c.kind),
+                        span,
+                    );
+                    Type::Int
                 }
-            }
+                None => {
+                    self.diags
+                        .error("mpi-args", format!("{} requires a value", c.kind), span);
+                    Type::Int
+                }
+            },
             CollectiveKind::Gather | CollectiveKind::Allgather => match vt {
                 Some(t) if t.is_numeric() => Type::array_of(t).expect("numeric elem"),
                 Some(t) => {
@@ -846,11 +848,8 @@ impl<'a> Checker<'a> {
                     Type::ArrayInt
                 }
                 None => {
-                    self.diags.error(
-                        "mpi-args",
-                        format!("{} requires a value", c.kind),
-                        span,
-                    );
+                    self.diags
+                        .error("mpi-args", format!("{} requires a value", c.kind), span);
                     Type::ArrayInt
                 }
             },
@@ -884,11 +883,8 @@ impl<'a> Checker<'a> {
                     Type::ArrayInt
                 }
                 None => {
-                    self.diags.error(
-                        "mpi-args",
-                        "MPI_Alltoall requires an array argument",
-                        span,
-                    );
+                    self.diags
+                        .error("mpi-args", "MPI_Alltoall requires an array argument", span);
                     Type::ArrayInt
                 }
             },
@@ -983,17 +979,17 @@ mod tests {
 
     #[test]
     fn return_type_checks() {
-        sema_err("fn f() -> int { return; } fn main() { f(); }", "type-mismatch");
+        sema_err(
+            "fn f() -> int { return; } fn main() { f(); }",
+            "type-mismatch",
+        );
         sema_err("fn f() { return 1; } fn main() { f(); }", "type-mismatch");
         sema_ok("fn f() -> float { return 1.5; } fn main() { let x = f(); }");
     }
 
     #[test]
     fn return_inside_omp_rejected() {
-        sema_err(
-            "fn main() { parallel { return; } }",
-            "return-in-omp",
-        );
+        sema_err("fn main() { parallel { return; } }", "return-in-omp");
         sema_err(
             "fn main() { parallel { single { if (true) { return; } } } }",
             "return-in-omp",
@@ -1083,7 +1079,10 @@ mod tests {
             }",
         );
         sema_err("fn main() { let x = MPI_Scatter(1, 0); }", "type-mismatch");
-        sema_err("fn main() { let x: float = MPI_Allreduce(1, SUM); }", "type-mismatch");
+        sema_err(
+            "fn main() { let x: float = MPI_Allreduce(1, SUM); }",
+            "type-mismatch",
+        );
     }
 
     #[test]

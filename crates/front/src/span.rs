@@ -6,11 +6,10 @@
 //! for diagnostics, mirroring how the original PARCOACH GCC plugin reports
 //! "names and lines in the source code of MPI collective calls involved".
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range `[lo, hi)` into a single source file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Span {
     /// Byte offset of the first character.
     pub lo: u32,
@@ -65,7 +64,7 @@ impl fmt::Display for Span {
 }
 
 /// A resolved 1-based line/column position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LineCol {
     /// 1-based line number.
     pub line: u32,

@@ -1,76 +1,96 @@
 //! Property test: pretty-printing is a parser fixpoint for arbitrary
 //! generated programs (parse ∘ pretty = id up to spans).
+//!
+//! Programs are generated from a per-case `parcoach_testutil::Rng` seed;
+//! failures print the seed and the generated source.
 
 use parcoach_front::pretty::pretty_program;
 use parcoach_front::{parse_and_check, parser::parse_program};
-use proptest::prelude::*;
+use parcoach_testutil::Rng;
+
+const CASES: u64 = 128;
 
 /// Integer-typed expressions only, so the generated programs type-check.
-fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| v.to_string()),
-        Just("x".to_string()),
-        Just("rank()".to_string()),
-        Just("size()".to_string()),
-    ];
+fn random_expr(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(4) {
+        0 => rng.range_i64(0, 1000).to_string(),
+        1 => "x".to_string(),
+        2 => "rank()".to_string(),
+        _ => "size()".to_string(),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = expr_strategy(depth - 1);
-    let sub2 = expr_strategy(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        1 => (sub.clone(), sub2.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-        1 => (sub.clone(), sub2.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
-        1 => sub.prop_map(|a| format!("-({a})")),
-        1 => (sub2, proptest::bool::ANY).prop_map(|(a, lt)| {
-            if lt { format!("min({a}, 7)") } else { format!("max({a}, 7)") }
-        }),
-    ]
-    .boxed()
+    // Same 3:1:1:1:1 weighting as the old prop_oneof.
+    match rng.pick_weighted(&[3, 1, 1, 1, 1]) {
+        0 => leaf(rng),
+        1 => {
+            let a = random_expr(rng, depth - 1);
+            let b = random_expr(rng, depth - 1);
+            format!("({a} + {b})")
+        }
+        2 => {
+            let a = random_expr(rng, depth - 1);
+            let b = random_expr(rng, depth - 1);
+            format!("({a} * {b})")
+        }
+        3 => {
+            let a = random_expr(rng, depth - 1);
+            format!("-({a})")
+        }
+        _ => {
+            let a = random_expr(rng, depth - 1);
+            if rng.bool() {
+                format!("min({a}, 7)")
+            } else {
+                format!("max({a}, 7)")
+            }
+        }
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = String> {
-    // Statements over an `int` variable x (type-correct subset so
-    // parse_and_check accepts them).
-    let int_expr = expr_strategy(2);
-    prop_oneof![
-        int_expr.clone().prop_map(|e| format!("x = {e};")),
-        int_expr
-            .clone()
-            .prop_map(|e| format!("if (x < {e}) {{ x = x + 1; }} else {{ x = x - 1; }}")),
-        int_expr
-            .clone()
-            .prop_map(|e| format!("for (i in 0..3) {{ x = x + {e} % 5; }}")),
-        Just("parallel num_threads(2) { single { x = x + 1; } }".to_string()),
-        Just("parallel { master { x = x * 2; } barrier; }".to_string()),
-        Just("MPI_Barrier();".to_string()),
-        Just("let g = MPI_Allgather(x); x = len(g);".to_string()),
-    ]
+/// Statements over an `int` variable x (type-correct subset so
+/// parse_and_check accepts them).
+fn random_stmt(rng: &mut Rng) -> String {
+    match rng.below(7) {
+        0 => format!("x = {};", random_expr(rng, 2)),
+        1 => format!(
+            "if (x < {}) {{ x = x + 1; }} else {{ x = x - 1; }}",
+            random_expr(rng, 2)
+        ),
+        2 => format!("for (i in 0..3) {{ x = x + {} % 5; }}", random_expr(rng, 2)),
+        3 => "parallel num_threads(2) { single { x = x + 1; } }".to_string(),
+        4 => "parallel { master { x = x * 2; } barrier; }".to_string(),
+        5 => "MPI_Barrier();".to_string(),
+        _ => "let g = MPI_Allgather(x); x = len(g);".to_string(),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(stmt_strategy(), 0..8).prop_map(|stmts| {
-        format!("fn main() {{ let x = 1; {} print(x); }}", stmts.join(" "))
-    })
+fn random_program(rng: &mut Rng) -> String {
+    let n = rng.below(8);
+    let stmts: Vec<String> = (0..n).map(|_| random_stmt(rng)).collect();
+    format!("fn main() {{ let x = 1; {} print(x); }}", stmts.join(" "))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pretty_is_parser_fixpoint(src in program_strategy()) {
+#[test]
+fn pretty_is_parser_fixpoint() {
+    for seed in 0..CASES {
+        let src = random_program(&mut Rng::new(seed));
         // 1. The generated program must check.
         let unit = parse_and_check("gen.mh", &src)
-            .map_err(|(d, sm)| TestCaseError::fail(d.render(&sm)))?;
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
         // 2. pretty → parse → pretty must be stable.
         let p1 = pretty_program(&unit.program);
         let (prog2, diags) = parse_program(&p1);
-        prop_assert!(!diags.has_errors(), "re-parse failed:\n{p1}");
+        assert!(!diags.has_errors(), "seed {seed}: re-parse failed:\n{p1}");
         let p2 = pretty_program(&prog2);
-        prop_assert_eq!(&p1, &p2, "pretty-print not a fixpoint");
+        assert_eq!(&p1, &p2, "seed {seed}: pretty-print not a fixpoint");
         // 3. Structure is preserved.
-        prop_assert_eq!(unit.program.stmt_count(), prog2.stmt_count());
-        prop_assert_eq!(unit.program.functions.len(), prog2.functions.len());
+        assert_eq!(unit.program.stmt_count(), prog2.stmt_count(), "seed {seed}");
+        assert_eq!(
+            unit.program.functions.len(),
+            prog2.functions.len(),
+            "seed {seed}"
+        );
     }
 }

@@ -9,11 +9,10 @@
 use parcoach_front::ast::CollectiveKind;
 use parcoach_front::span::Span;
 use parcoach_mpisim::MpiError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classified run-time error.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunErrorKind {
     /// PARCOACH `CC` detected a collective mismatch *before* it happened:
     /// ranks disagree on the next collective.
@@ -116,7 +115,7 @@ impl RunErrorKind {
 }
 
 /// A run-time error with its source location.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunError {
     /// What happened.
     pub kind: RunErrorKind,
@@ -177,7 +176,7 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// Aggregate outcome of one program run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// First error per failing rank (empty = clean run).
     pub errors: Vec<RunError>,
@@ -214,8 +213,7 @@ mod tests {
         }
         .is_check_detection());
         assert!(!RunErrorKind::DivisionByZero.is_check_detection());
-        assert!(RunErrorKind::Mpi(MpiError::Deadlock { states: vec![] })
-            .is_verification_error());
+        assert!(RunErrorKind::Mpi(MpiError::Deadlock { states: vec![] }).is_verification_error());
         assert!(!RunErrorKind::StepLimit.is_verification_error());
     }
 

@@ -230,7 +230,9 @@ impl Executor {
         for (param, arg) in func.params.iter().zip(args) {
             frame[param.index()] = Slot::Owned(arg);
         }
-        match self.exec_from(env, omp, is_initial, &mut frame, fidx, func, func.entry, None, depth)? {
+        match self.exec_from(
+            env, omp, is_initial, &mut frame, fidx, func, func.entry, None, depth,
+        )? {
             Flow::Return(v) => {
                 if func.ret != Type::Void && v.is_none() {
                     return Err(RunError::new(
@@ -295,8 +297,7 @@ impl Executor {
                         // Promote shared registers.
                         for &r in &plan.shared_regs {
                             if let Slot::Owned(v) = &frame[r.index()] {
-                                frame[r.index()] =
-                                    Slot::Shared(Arc::new(RwLock::new(v.clone())));
+                                frame[r.index()] = Slot::Shared(Arc::new(RwLock::new(v.clone())));
                             }
                         }
                         let parent_frame: &Frame = frame;
@@ -355,9 +356,7 @@ impl Executor {
                         cur = plan.end_block;
                         continue;
                     }
-                    Directive::SingleBegin {
-                        region, chosen, ..
-                    } => {
+                    Directive::SingleBegin { region, chosen, .. } => {
                         self.exec_checks_only(env, omp, is_initial, frame, block, block.span)?;
                         let mine = omp.enter_single(region.0);
                         self.write(frame, *chosen, Value::Bool(mine));
@@ -533,15 +532,19 @@ impl Executor {
                     ));
                 }
                 let out = match elem {
-                    Type::Int => Value::ArrayInt(Arc::new(RwLock::new(vec![
-                        self.read(frame, *init).as_int();
-                        n as usize
-                    ]))),
-                    Type::Float => Value::ArrayFloat(Arc::new(RwLock::new(vec![
-                        self.read(frame, *init)
-                            .as_float();
-                        n as usize
-                    ]))),
+                    Type::Int => {
+                        Value::ArrayInt(Arc::new(RwLock::new(vec![
+                            self.read(frame, *init).as_int();
+                            n as usize
+                        ])))
+                    }
+                    Type::Float => {
+                        Value::ArrayFloat(Arc::new(RwLock::new(vec![
+                            self.read(frame, *init)
+                                .as_float();
+                            n as usize
+                        ])))
+                    }
                     _ => panic!("sema guaranteed numeric array element"),
                 };
                 self.write(frame, *dest, out);
@@ -754,9 +757,7 @@ impl Executor {
                 Ok(None)
             }
             MpiIr::Finalize => {
-                env.world
-                    .finalize(env.rank, is_initial)
-                    .map_err(mpi_err)?;
+                env.world.finalize(env.rank, is_initial).map_err(mpi_err)?;
                 Ok(None)
             }
             MpiIr::Send { value, dest, tag } => {
@@ -777,9 +778,7 @@ impl Executor {
                 let s = self.read(frame, *src).as_int();
                 let t = self.read(frame, *tag).as_int();
                 if s < 0 {
-                    return Err(mpi_err(MpiError::ArgError(format!(
-                        "negative source {s}"
-                    ))));
+                    return Err(mpi_err(MpiError::ArgError(format!("negative source {s}"))));
                 }
                 let v = env
                     .world
@@ -804,9 +803,7 @@ impl Executor {
                     Some(r) => {
                         let x = self.read(frame, *r).as_int();
                         if x < 0 {
-                            return Err(mpi_err(MpiError::ArgError(format!(
-                                "negative root {x}"
-                            ))));
+                            return Err(mpi_err(MpiError::ArgError(format!("negative root {x}"))));
                         }
                         Some(x as usize)
                     }
@@ -1036,10 +1033,7 @@ fn region_plan(f: &FuncIr, begin: BlockId, region: RegionId) -> RegionPlan {
             assigned_outside.extend(defs.iter().copied());
         }
     }
-    let mut shared_regs: Vec<Reg> = used
-        .intersection(&assigned_outside)
-        .copied()
-        .collect();
+    let mut shared_regs: Vec<Reg> = used.intersection(&assigned_outside).copied().collect();
     shared_regs.sort_unstable();
     RegionPlan {
         body_entry,

@@ -37,10 +37,7 @@ pub fn func_to_dot(f: &FuncIr) -> String {
                             String::new()
                         }
                     }
-                    _ => d
-                        .region()
-                        .map(|r| format!(" {r}"))
-                        .unwrap_or_default(),
+                    _ => d.region().map(|r| format!(" {r}")).unwrap_or_default(),
                 };
                 ("octagon", format!("{id}\\n{}{extra}", d.mnemonic()))
             }
@@ -51,7 +48,11 @@ pub fn func_to_dot(f: &FuncIr) -> String {
             | BlockKind::Directive(Directive::ParallelEnd { .. }) => ", peripheries=2",
             _ => "",
         };
-        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"{style}];", id.0);
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape}, label=\"{label}\"{style}];",
+            id.0
+        );
     }
     for (id, b) in f.iter_blocks() {
         let succs = b.term.successors();
@@ -75,12 +76,16 @@ fn summarize_instr(i: &Instr) -> String {
     match i {
         Instr::Copy { dest, src } => format!("{dest} = {src}"),
         Instr::Unary { dest, op, src } => format!("{dest} = {op:?} {src}"),
-        Instr::Binary { dest, op, lhs, rhs, .. } => {
+        Instr::Binary {
+            dest, op, lhs, rhs, ..
+        } => {
             format!("{dest} = {lhs} {} {rhs}", op.symbol())
         }
         Instr::ArrayNew { dest, len, .. } => format!("{dest} = array[{len}]"),
         Instr::Load { dest, arr, idx, .. } => format!("{dest} = {arr}[{idx}]"),
-        Instr::Store { arr, idx, value, .. } => format!("{arr}[{idx}] = {value}"),
+        Instr::Store {
+            arr, idx, value, ..
+        } => format!("{arr}[{idx}] = {value}"),
         Instr::Intrinsic { dest, intr, .. } => format!("{dest} = {}()", intr.name()),
         Instr::Call { dest, func, .. } => match dest {
             Some(d) => format!("{d} = call {func}"),
@@ -126,11 +131,8 @@ mod tests {
 
     #[test]
     fn branch_edges_labelled() {
-        let unit = parse_and_check(
-            "t.mh",
-            "fn main() { if (rank() == 0) { MPI_Barrier(); } }",
-        )
-        .unwrap();
+        let unit =
+            parse_and_check("t.mh", "fn main() { if (rank() == 0) { MPI_Barrier(); } }").unwrap();
         let m = lower_program(&unit.program, &unit.signatures);
         let dot = func_to_dot(m.main().unwrap());
         assert!(dot.contains("label=\"T\""));

@@ -4,13 +4,12 @@ use crate::instr::{BlockKind, Directive, Instr, Terminator};
 use crate::types::{BlockId, Reg, RegionId, Value};
 use parcoach_front::ast::Type;
 use parcoach_front::span::Span;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A basic block: a kind (normal or directive), straight-line
 /// instructions, and one terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     /// Normal code or an OpenMP directive node.
     pub kind: BlockKind,
@@ -54,7 +53,7 @@ impl Default for BasicBlock {
 }
 
 /// A function lowered to CFG form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncIr {
     /// Function name.
     pub name: String,
@@ -178,7 +177,13 @@ impl FuncIr {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         use fmt::Write;
-        let _ = writeln!(out, "fn {}({} params) -> {:?}", self.name, self.params.len(), self.ret);
+        let _ = writeln!(
+            out,
+            "fn {}({} params) -> {:?}",
+            self.name,
+            self.params.len(),
+            self.ret
+        );
         for (id, b) in self.iter_blocks() {
             let kind = match &b.kind {
                 BlockKind::Normal => String::new(),
@@ -195,7 +200,7 @@ impl FuncIr {
 }
 
 /// A lowered module: all functions of a program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Functions in definition order.
     pub funcs: Vec<FuncIr>,

@@ -9,11 +9,10 @@
 use crate::types::{Reg, RegionId, Value};
 use parcoach_front::ast::{BinOp, CollectiveKind, Intrinsic, ReduceOp, ThreadLevel, Type, UnOp};
 use parcoach_front::span::Span;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// MPI operation in IR form (operands are [`Value`]s).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MpiIr {
     /// `MPI_Init` / `MPI_Init_thread`.
     Init {
@@ -64,7 +63,7 @@ impl MpiIr {
 /// Dynamic checks inserted by the PARCOACH instrumentation pass (§3 of the
 /// paper). They are ordinary instructions so the executor runs them
 /// in-line; an un-instrumented program contains none of them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CheckOp {
     /// The `CC` collective-verification call placed *before* an MPI
     /// collective: control all-reduce of `color`; mismatch aborts.
@@ -109,7 +108,7 @@ pub enum CheckOp {
 }
 
 /// A straight-line instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dest = src` (src may be a constant).
     Copy {
@@ -260,7 +259,7 @@ impl Instr {
 }
 
 /// The OpenMP-model work-sharing flavours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkshareKind {
     /// `pfor` — iterations divided among the team.
     PFor,
@@ -270,7 +269,7 @@ pub enum WorkshareKind {
 
 /// OpenMP directives. Each directive occupies its own basic block
 /// ([`BlockKind::Directive`]), exactly as the paper's modified CFG does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Directive {
     /// Fork a team. Runtime: threads of the new team each execute the
     /// successor subgraph; the matching [`Directive::ParallelEnd`] joins.
@@ -429,7 +428,9 @@ impl Directive {
             Directive::SectionBegin { .. } => "section.begin",
             Directive::SectionEnd { .. } => "section.end",
             Directive::Barrier { implicit: true, .. } => "barrier.implicit",
-            Directive::Barrier { implicit: false, .. } => "barrier",
+            Directive::Barrier {
+                implicit: false, ..
+            } => "barrier",
         }
     }
 
@@ -461,7 +462,7 @@ impl Directive {
 }
 
 /// What a basic block *is*: ordinary code or a directive node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BlockKind {
     /// Ordinary straight-line code.
     Normal,
@@ -481,7 +482,7 @@ impl BlockKind {
 }
 
 /// Block terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     /// Unconditional jump.
     Goto(crate::types::BlockId),
@@ -570,7 +571,9 @@ mod tests {
         };
         assert!(d.opens_region());
         assert!(!d.closes_region());
-        let e = Directive::ParallelEnd { region: RegionId(0) };
+        let e = Directive::ParallelEnd {
+            region: RegionId(0),
+        };
         assert!(e.closes_region());
         assert_eq!(e.region(), Some(RegionId(0)));
         let b = Directive::Barrier {

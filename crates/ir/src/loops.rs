@@ -112,10 +112,7 @@ mod tests {
         // outer: 1..4, inner: 2..3
         // 0→1, 1→2, 2→3, 3→2 (inner back), 3→4, 4→1 (outer back), 4→5...
         // max 2 succ per node: 3 → {2,4}, 4 → {1,5}
-        let f = func_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)],
-        );
+        let f = func_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)]);
         let dom = DomTree::compute(&f);
         let li = LoopInfo::compute(&f, &dom);
         assert_eq!(li.loops.len(), 2);

@@ -281,7 +281,10 @@ impl<'a> Lowerer<'a> {
                     src: hi_v,
                 });
                 let iv = self.fresh_named(Type::Int, &var.name);
-                self.emit(Instr::Copy { dest: iv, src: lo_v });
+                self.emit(Instr::Copy {
+                    dest: iv,
+                    src: lo_v,
+                });
                 let head = self.new_block();
                 self.goto(head);
                 let c = self.fresh(Type::Bool);
@@ -705,7 +708,11 @@ impl<'a> Lowerer<'a> {
                     UnOp::Not => Type::Bool,
                 };
                 let dest = self.fresh(ty);
-                self.emit(Instr::Unary { dest, op: *op, src: v });
+                self.emit(Instr::Unary {
+                    dest,
+                    op: *op,
+                    src: v,
+                });
                 dest.into()
             }
             ExprKind::Binary(op @ (BinOp::And | BinOp::Or), l, r) => {
@@ -801,9 +808,7 @@ impl<'a> Lowerer<'a> {
                     | Intrinsic::Len => Type::Int,
                     Intrinsic::InParallel => Type::Bool,
                     Intrinsic::Sqrt | Intrinsic::FloatOf => Type::Float,
-                    Intrinsic::Abs | Intrinsic::MinOf | Intrinsic::MaxOf => {
-                        self.value_ty(vals[0])
-                    }
+                    Intrinsic::Abs | Intrinsic::MinOf | Intrinsic::MaxOf => self.value_ty(vals[0]),
                     Intrinsic::ArrayNew => unreachable!("handled above"),
                 };
                 let dest = self.fresh(ty);
@@ -1070,9 +1075,7 @@ mod tests {
 
     #[test]
     fn sections_shape() {
-        let m = lower(
-            "fn main() { parallel { sections nowait { section { } section { } } } }",
-        );
+        let m = lower("fn main() { parallel { sections nowait { section { } section { } } } }");
         let f = m.main().unwrap();
         let d = directives(f);
         assert_eq!(
@@ -1118,9 +1121,8 @@ mod tests {
 
     #[test]
     fn collectives_recorded() {
-        let m = lower(
-            "fn main() { MPI_Init(); let x = MPI_Allreduce(rank(), SUM); MPI_Finalize(); }",
-        );
+        let m =
+            lower("fn main() { MPI_Init(); let x = MPI_Allreduce(rank(), SUM); MPI_Finalize(); }");
         let f = m.main().unwrap();
         assert_eq!(f.collective_blocks().len(), 1);
         assert!(f.has_mpi());
@@ -1130,7 +1132,12 @@ mod tests {
     fn short_circuit_creates_blocks() {
         let m = lower("fn main() { let a = true; let b = a && !a; let c = a || b; }");
         let f = m.main().unwrap();
-        assert!(f.block_count() >= 7, "got {}:\n{}", f.block_count(), f.dump());
+        assert!(
+            f.block_count() >= 7,
+            "got {}:\n{}",
+            f.block_count(),
+            f.dump()
+        );
     }
 
     #[test]

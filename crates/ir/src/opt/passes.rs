@@ -312,10 +312,7 @@ fn dce(f: &mut FuncIr, stats: &mut OptStats) {
         }
         let mut keep: Vec<bool> = vec![true; b.instrs.len()];
         for (ii, i) in b.instrs.iter().enumerate().rev() {
-            let dead_dest = i
-                .dest()
-                .map(|d| !live.contains(d.index()))
-                .unwrap_or(false);
+            let dead_dest = i.dest().map(|d| !live.contains(d.index())).unwrap_or(false);
             if dead_dest && is_pure(i) {
                 keep[ii] = false;
                 stats.dce_removed += 1;
@@ -368,9 +365,7 @@ mod tests {
 
     #[test]
     fn removes_dead_code() {
-        let mut m = lower(
-            "fn main() { let dead = 1 + 2; let dead2 = dead * 3; print(7); }",
-        );
+        let mut m = lower("fn main() { let dead = 1 + 2; let dead2 = dead * 3; print(7); }");
         let before = count_instrs(&m);
         let stats = optimize_module(&mut m, 4);
         assert!(stats.dce_removed >= 2, "{stats:?}");
@@ -426,7 +421,11 @@ mod tests {
             .iter()
             .flat_map(|b| &b.instrs)
             .any(|i| matches!(i, Instr::Binary { op: BinOp::Div, .. }));
-        assert!(has_div, "possibly-trapping division must stay:\n{}", f.dump());
+        assert!(
+            has_div,
+            "possibly-trapping division must stay:\n{}",
+            f.dump()
+        );
     }
 
     #[test]
@@ -457,9 +456,8 @@ mod tests {
         // Regression: the loop condition is defined in the loop-head
         // block and consumed only by that block's *terminator* — it must
         // not be considered dead (found by the property tests).
-        let mut m = lower(
-            "fn main() { let acc = 1; for (i in 0..1) { acc = acc + 1; } print(acc); }",
-        );
+        let mut m =
+            lower("fn main() { let acc = 1; for (i in 0..1) { acc = acc + 1; } print(acc); }");
         optimize_module(&mut m, 4);
         assert!(verify_module(&m).is_empty());
         let f = m.main().unwrap();

@@ -27,7 +27,9 @@ pub fn instr_uses(i: &Instr) -> Vec<Reg> {
             out.push(*arr);
             push_val(idx, &mut out);
         }
-        Instr::Store { arr, idx, value, .. } => {
+        Instr::Store {
+            arr, idx, value, ..
+        } => {
             out.push(*arr);
             push_val(idx, &mut out);
             push_val(value, &mut out);

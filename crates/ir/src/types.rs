@@ -1,11 +1,10 @@
 //! Core identifier and operand types for the IR.
 
 use parcoach_front::ast::Type;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual register (three-address temporary or named local).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u32);
 
 impl Reg {
@@ -22,7 +21,7 @@ impl fmt::Display for Reg {
 }
 
 /// A basic-block id, dense per function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -43,7 +42,7 @@ impl fmt::Display for BlockId {
 /// This is the `i` of the paper's `P_i` / `S_i` tokens: "parallel regions
 /// are denoted by `P i`, with `i` the id of the node with the OpenMP
 /// construct".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub u32);
 
 impl fmt::Display for RegionId {
@@ -53,7 +52,7 @@ impl fmt::Display for RegionId {
 }
 
 /// A compile-time constant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Const {
     /// Integer constant.
     Int(i64),
@@ -85,7 +84,7 @@ impl fmt::Display for Const {
 }
 
 /// An instruction operand: a register or an immediate constant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// Read a register.
     Reg(Reg),

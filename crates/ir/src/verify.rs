@@ -81,15 +81,15 @@ pub fn verify_func(f: &FuncIr) -> Vec<VerifyError> {
                 Instr::Binary { dest, lhs, rhs, .. } => {
                     dest.index() < max_reg && check_val(lhs) && check_val(rhs)
                 }
-                Instr::ArrayNew { dest, len, init, .. } => {
-                    dest.index() < max_reg && check_val(len) && check_val(init)
-                }
+                Instr::ArrayNew {
+                    dest, len, init, ..
+                } => dest.index() < max_reg && check_val(len) && check_val(init),
                 Instr::Load { dest, arr, idx, .. } => {
                     dest.index() < max_reg && arr.index() < max_reg && check_val(idx)
                 }
-                Instr::Store { arr, idx, value, .. } => {
-                    arr.index() < max_reg && check_val(idx) && check_val(value)
-                }
+                Instr::Store {
+                    arr, idx, value, ..
+                } => arr.index() < max_reg && check_val(idx) && check_val(value),
                 Instr::Intrinsic { dest, args, .. } => {
                     dest.index() < max_reg && args.iter().all(check_val)
                 }
@@ -101,7 +101,10 @@ pub fn verify_func(f: &FuncIr) -> Vec<VerifyError> {
                 Instr::Check(_) => true,
             };
             if !ok {
-                err(id, format!("instruction references out-of-range register: {i:?}"));
+                err(
+                    id,
+                    format!("instruction references out-of-range register: {i:?}"),
+                );
             }
         }
         // Directive blocks carry no user instructions (checks are allowed:
@@ -270,7 +273,9 @@ mod tests {
         let mut m = lower_ok("fn main() { let x = 1; }");
         m.funcs[0].blocks[0].term = Terminator::Goto(BlockId(99));
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("out-of-range block")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("out-of-range block")));
     }
 
     #[test]
@@ -278,10 +283,7 @@ mod tests {
         let mut m = lower_ok("fn main() { parallel { let x = 1; } }");
         // Corrupt: drop the ParallelEnd directive.
         for b in &mut m.funcs[0].blocks {
-            if matches!(
-                b.kind,
-                BlockKind::Directive(Directive::ParallelEnd { .. })
-            ) {
+            if matches!(b.kind, BlockKind::Directive(Directive::ParallelEnd { .. })) {
                 b.kind = BlockKind::Normal;
             }
         }
@@ -300,6 +302,8 @@ mod tests {
             src: crate::types::Value::int(0),
         });
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("out-of-range register")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("out-of-range register")));
     }
 }

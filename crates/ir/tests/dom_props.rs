@@ -1,45 +1,42 @@
 //! Property tests: dominators / post-dominators on random CFGs against
 //! naive reference implementations, plus structural PDF+ facts.
+//!
+//! Randomness comes from `parcoach_testutil::Rng` with per-case seeds:
+//! a failure message carries the seed, and re-running the test
+//! regenerates the identical CFG.
 
 use parcoach_ir::dom::{DomTree, PostDomTree};
 use parcoach_ir::graph::{func_from_edges, reachable};
 use parcoach_ir::types::BlockId;
-use proptest::prelude::*;
+use parcoach_testutil::Rng;
+
+const CASES: u64 = 64;
 
 /// Random CFG as an edge list over `n` blocks with ≤2 successors each,
-/// block 0 the entry.
-fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (3usize..12).prop_flat_map(|n| {
-        let succs = proptest::collection::vec(
-            proptest::option::of((0..n as u32, proptest::option::of(0..n as u32))),
-            n,
-        );
-        succs.prop_map(move |per_block| {
-            let mut edges = Vec::new();
-            for (i, s) in per_block.iter().enumerate() {
-                if let Some((a, b)) = s {
-                    edges.push((i as u32, *a));
-                    if let Some(b) = b {
-                        if b != a {
-                            edges.push((i as u32, *b));
-                        }
-                    }
-                }
+/// block 0 the entry. Mirrors the old proptest strategy: each block
+/// independently gets 0, 1, or 2 distinct successors.
+fn random_cfg(rng: &mut Rng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.range_usize(3, 12);
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        if rng.bool() {
+            continue; // no successors
+        }
+        let a = rng.range_u32(0, n as u32);
+        edges.push((i, a));
+        if rng.bool() {
+            let b = rng.range_u32(0, n as u32);
+            if b != a {
+                edges.push((i, b));
             }
-            (n, edges)
-        })
-    })
+        }
+    }
+    (n, edges)
 }
 
 /// Naive O(n³) dominance: a dominates b iff removing a makes b
 /// unreachable from the entry.
-fn naive_dominates(
-    n: usize,
-    edges: &[(u32, u32)],
-    a: BlockId,
-    b: BlockId,
-    reach: &[bool],
-) -> bool {
+fn naive_dominates(n: usize, edges: &[(u32, u32)], a: BlockId, b: BlockId, reach: &[bool]) -> bool {
     if !reach[b.index()] {
         return false;
     }
@@ -54,8 +51,7 @@ fn naive_dominates(
     }
     seen[0] = true;
     while let Some(x) = stack.pop() {
-        for &(s, t) in edges.iter().filter(|(s, _)| *s == x) {
-            let _ = s;
+        for &(_, t) in edges.iter().filter(|(s, _)| *s == x) {
             if t == a.0 {
                 continue;
             }
@@ -68,11 +64,10 @@ fn naive_dominates(
     !seen[b.index()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn domtree_matches_naive((n, edges) in cfg_strategy()) {
+#[test]
+fn domtree_matches_naive() {
+    for seed in 0..CASES {
+        let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let dt = DomTree::compute(&f);
         let reach = reachable(&f);
@@ -82,46 +77,61 @@ proptest! {
                 if !reach[a.index()] || !reach[b.index()] {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dt.dominates(a, b),
                     naive_dominates(n, &edges, a, b, &reach),
-                    "dominates({}, {}) mismatch on {:?}",
-                    a, b, edges
+                    "dominates({}, {}) mismatch on {:?} (seed {seed})",
+                    a,
+                    b,
+                    edges
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn idom_is_strict_dominator((n, edges) in cfg_strategy()) {
+#[test]
+fn idom_is_strict_dominator() {
+    for seed in 0..CASES {
+        let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let dt = DomTree::compute(&f);
         for b in f.block_ids() {
             if let Some(d) = dt.idom(b) {
-                prop_assert!(d != b);
-                prop_assert!(dt.dominates(d, b));
-            }
-        }
-    }
-
-    #[test]
-    fn pdf_members_are_branch_blocks((n, edges) in cfg_strategy()) {
-        let f = func_from_edges(n, &edges);
-        let pdt = PostDomTree::compute(&f);
-        let reach = reachable(&f);
-        let all: Vec<BlockId> = f.block_ids().filter(|b| reach[b.index()]).collect();
-        for &seed in &all {
-            for d in pdt.iterated_frontier(&f, &[seed]) {
-                prop_assert!(
-                    f.successors(d).len() >= 2,
-                    "PDF+ member {d} of seed {seed} is not a branch"
+                assert!(d != b, "idom({b}) = {b} (seed {seed})");
+                assert!(
+                    dt.dominates(d, b),
+                    "idom({b}) = {d} not a dominator (seed {seed})"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn post_dominance_antisymmetric((n, edges) in cfg_strategy()) {
+#[test]
+fn pdf_members_are_branch_blocks() {
+    for seed in 0..CASES {
+        let (n, edges) = random_cfg(&mut Rng::new(seed));
+        let f = func_from_edges(n, &edges);
+        let pdt = PostDomTree::compute(&f);
+        let reach = reachable(&f);
+        let all: Vec<BlockId> = f.block_ids().filter(|b| reach[b.index()]).collect();
+        for &seed_block in &all {
+            for d in pdt.iterated_frontier(&f, &[seed_block]) {
+                assert!(
+                    f.successors(d).len() >= 2,
+                    "PDF+ member {d} of seed block {seed_block} is not a branch \
+                     (rng seed {seed}, edges {edges:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn post_dominance_antisymmetric() {
+    for seed in 0..CASES {
+        let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let pdt = PostDomTree::compute(&f);
         let reach = reachable(&f);
@@ -130,9 +140,9 @@ proptest! {
                 if a == b || !reach[a.index()] || !reach[b.index()] {
                     continue;
                 }
-                prop_assert!(
+                assert!(
                     !(pdt.post_dominates(a, b) && pdt.post_dominates(b, a)),
-                    "{a} and {b} post-dominate each other"
+                    "{a} and {b} post-dominate each other (seed {seed})"
                 );
             }
         }

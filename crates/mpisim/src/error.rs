@@ -3,11 +3,10 @@
 
 use crate::signature::Signature;
 use parcoach_front::ast::ThreadLevel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What each rank was doing when a deadlock was declared.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RankActivity {
     /// Executing user code.
     Running,
@@ -46,7 +45,7 @@ impl fmt::Display for RankActivity {
 }
 
 /// Errors surfaced by the MPI substrate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MpiError {
     /// Two ranks issued different collectives as their n-th operation
     /// (MUST-style signature mismatch).
@@ -159,7 +158,12 @@ mod tests {
             seq: 3,
             expected: Signature::collective(CollectiveOp::Barrier, None, None, None),
             expected_rank: 0,
-            got: Signature::collective(CollectiveOp::Bcast, None, Some(0), Some(crate::value::MpiType::Int)),
+            got: Signature::collective(
+                CollectiveOp::Bcast,
+                None,
+                Some(0),
+                Some(crate::value::MpiType::Int),
+            ),
             got_rank: 2,
         };
         let s = e.to_string();

@@ -162,8 +162,12 @@ mod tests {
     #[test]
     fn scatter_distributes_roots_array() {
         let w = world(3);
-        let sig =
-            Signature::collective(CollectiveOp::Scatter, None, Some(0), Some(MpiType::ArrayInt));
+        let sig = Signature::collective(
+            CollectiveOp::Scatter,
+            None,
+            Some(0),
+            Some(MpiType::ArrayInt),
+        );
         let res = run_ranks(&w, 3, |r| {
             let payload = if r == 0 {
                 MpiValue::ArrayInt(vec![7, 8, 9])
@@ -478,15 +482,18 @@ mod tests {
     #[test]
     fn short_scatter_array_rejected() {
         let w = fast_world(2);
-        let sig =
-            Signature::collective(CollectiveOp::Scatter, None, Some(0), Some(MpiType::ArrayInt));
+        let sig = Signature::collective(
+            CollectiveOp::Scatter,
+            None,
+            Some(0),
+            Some(MpiType::ArrayInt),
+        );
         let res = run_ranks(&w, 2, |r| {
             w.collective(r, sig, Some(MpiValue::ArrayInt(vec![1])), true)
         });
-        assert!(res.iter().any(|r| matches!(
-            r,
-            Err(MpiError::ArgError(_)) | Err(MpiError::Aborted(_))
-        )));
+        assert!(res
+            .iter()
+            .any(|r| matches!(r, Err(MpiError::ArgError(_)) | Err(MpiError::Aborted(_)))));
     }
 
     #[test]

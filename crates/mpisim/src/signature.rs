@@ -8,11 +8,10 @@
 
 use crate::value::MpiType;
 use parcoach_front::ast::{CollectiveKind, ReduceOp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The operation field of a signature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveOp {
     /// `MPI_Barrier`
     Barrier,
@@ -78,7 +77,7 @@ impl fmt::Display for CollectiveOp {
 }
 
 /// The full matched signature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// Operation.
     pub op: CollectiveOp,

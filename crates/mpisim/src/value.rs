@@ -1,11 +1,10 @@
 //! MPI payload values and reduction arithmetic.
 
 use parcoach_front::ast::ReduceOp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value crossing the simulated network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MpiValue {
     /// Scalar integer.
     Int(i64),
@@ -18,7 +17,7 @@ pub enum MpiValue {
 }
 
 /// Type tag used for signature matching (MUST-style datatype check).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MpiType {
     /// `Int`
     Int,

@@ -168,10 +168,7 @@ impl World {
     /// The currently provided thread level (`Multiple` before init —
     /// enforcement only starts once the program declared its level).
     pub fn provided(&self) -> ThreadLevel {
-        self.state
-            .lock()
-            .provided
-            .unwrap_or(ThreadLevel::Multiple)
+        self.state.lock().provided.unwrap_or(ThreadLevel::Multiple)
     }
 
     /// Abort the world: all blocked and future operations fail with
@@ -217,8 +214,7 @@ impl World {
             ThreadLevel::Single => {
                 if !is_initial_thread {
                     Some(
-                        "an MPI call was made from a spawned thread under MPI_THREAD_SINGLE"
-                            .into(),
+                        "an MPI call was made from a spawned thread under MPI_THREAD_SINGLE".into(),
                     )
                 } else if concurrent {
                     Some("concurrent MPI calls under MPI_THREAD_SINGLE".into())

@@ -239,7 +239,10 @@ mod tests {
                 _ => Ok(()),
             }
         });
-        assert!(matches!(res, Err(ForkError::Body(OmpError::ForkRefused(_)))));
+        assert!(matches!(
+            res,
+            Err(ForkError::Body(OmpError::ForkRefused(_)))
+        ));
     }
 
     #[test]
@@ -327,7 +330,11 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(hits.load(Ordering::SeqCst), 10, "one execution per encounter");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            10,
+            "one execution per encounter"
+        );
     }
 
     #[test]

@@ -227,16 +227,10 @@ mod tests {
     fn single_in_team_exactly_one() {
         let team = new_team(4, 1);
         let mut ctxs: Vec<ThreadCtx> = (0..4).map(|t| member_ctx(team.clone(), t)).collect();
-        let chosen: usize = ctxs
-            .iter_mut()
-            .map(|c| c.enter_single(3) as usize)
-            .sum();
+        let chosen: usize = ctxs.iter_mut().map(|c| c.enter_single(3) as usize).sum();
         assert_eq!(chosen, 1);
         // Next encounter: again exactly one.
-        let chosen: usize = ctxs
-            .iter_mut()
-            .map(|c| c.enter_single(3) as usize)
-            .sum();
+        let chosen: usize = ctxs.iter_mut().map(|c| c.enter_single(3) as usize).sum();
         assert_eq!(chosen, 1);
     }
 

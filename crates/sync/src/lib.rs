@@ -1,0 +1,341 @@
+//! # parcoach-sync — parking_lot-compatible shim over `std::sync`
+//!
+//! The simulators (`parcoach-mpisim`, `parcoach-ompsim`) and the
+//! interpreter were written against the `parking_lot` API: `lock()`
+//! returns a guard directly (no poisoning `Result`), and `Condvar::wait*`
+//! takes the guard by `&mut` instead of by value. This crate provides the
+//! small subset of that API they use, implemented purely on `std::sync`,
+//! so the workspace builds with zero external dependencies. Consumers
+//! depend on it under the rename `parking_lot` (see their `Cargo.toml`),
+//! which keeps the simulator sources byte-compatible with the real crate.
+//!
+//! Poisoning is deliberately swallowed (`PoisonError::into_inner`): a
+//! panicking simulator thread is itself the error condition under test,
+//! and the deadlock census must keep running to report it.
+//!
+//! Provided: [`Mutex`], [`RwLock`], [`Condvar`] (`wait`, `wait_until`,
+//! `notify_one`, `notify_all`), [`ReentrantMutex`] (used for `critical`
+//! sections, which OpenMP defines as reentrant per-name locks).
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self as ss};
+use std::thread::{self, ThreadId};
+use std::time::Instant;
+
+/// A mutex whose `lock` never returns a poison error.
+pub struct Mutex<T: ?Sized>(ss::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. Holds the inner std guard in an `Option` so
+/// [`Condvar::wait`] can temporarily take ownership through `&mut`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<ss::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(ss::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(
+            self.0.lock().unwrap_or_else(ss::PoisonError::into_inner),
+        ))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Mutex").field(&self.0).finish()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during condvar wait")
+    }
+}
+
+/// Outcome of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable whose waits take the guard by `&mut`
+/// (parking_lot style) instead of by value (std style).
+#[derive(Default)]
+pub struct Condvar(ss::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(ss::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already taken");
+        guard.0 = Some(
+            self.0
+                .wait(inner)
+                .unwrap_or_else(ss::PoisonError::into_inner),
+        );
+    }
+
+    /// Wait until `deadline`; returns whether the wait timed out. A
+    /// deadline already in the past degenerates to a zero-length wait,
+    /// which reports a timeout unless the condvar is already signalled.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let inner = guard.0.take().expect("guard already taken");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+}
+
+/// Reader-writer lock without poisoning.
+pub struct RwLock<T: ?Sized>(ss::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(ss::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> ss::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(ss::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> ss::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_read() {
+            Ok(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// A mutex the owning thread may lock any number of times, as OpenMP
+/// requires of `critical` sections guarding recursive code.
+pub struct ReentrantMutex<T: ?Sized> {
+    state: ss::Mutex<ReentrantState>,
+    cv: ss::Condvar,
+    data: T,
+}
+
+struct ReentrantState {
+    owner: Option<ThreadId>,
+    depth: usize,
+}
+
+/// RAII guard for [`ReentrantMutex`]. `!Send`: the lock must be released
+/// on the thread that acquired it.
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    lock: &'a ReentrantMutex<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for ReentrantMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ReentrantMutex<T> {}
+
+impl<T> ReentrantMutex<T> {
+    pub fn new(data: T) -> Self {
+        ReentrantMutex {
+            state: ss::Mutex::new(ReentrantState {
+                owner: None,
+                depth: 0,
+            }),
+            cv: ss::Condvar::new(),
+            data,
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = thread::current().id();
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(ss::PoisonError::into_inner);
+        loop {
+            match st.owner {
+                None => {
+                    st.owner = Some(me);
+                    st.depth = 1;
+                    break;
+                }
+                Some(owner) if owner == me => {
+                    st.depth += 1;
+                    break;
+                }
+                Some(_) => {
+                    st = self.cv.wait(st).unwrap_or_else(ss::PoisonError::into_inner);
+                }
+            }
+        }
+        ReentrantMutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.lock.data
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self
+            .lock
+            .state
+            .lock()
+            .unwrap_or_else(ss::PoisonError::into_inner);
+        st.depth -= 1;
+        if st.depth == 0 {
+            st.owner = None;
+            self.lock.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        assert!(*done);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn reentrant_lock_is_reentrant() {
+        let m = ReentrantMutex::new(());
+        let _a = m.lock();
+        let _b = m.lock(); // must not deadlock
+    }
+
+    #[test]
+    fn reentrant_lock_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(()));
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    let _g = m.lock();
+                    let mut c = counter.lock();
+                    let old = *c;
+                    thread::yield_now();
+                    *c = old + 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+    }
+}

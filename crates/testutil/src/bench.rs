@@ -1,0 +1,211 @@
+//! Criterion-compatible micro-benchmark harness.
+//!
+//! Implements exactly the API surface `crates/bench/benches/*.rs` uses,
+//! so those files compile unchanged against either this shim (offline
+//! CI) or real criterion (a developer laptop with crates.io access):
+//! `Criterion::benchmark_group`, builder-style `sample_size` /
+//! `warm_up_time` / `measurement_time`, `bench_with_input` with a
+//! [`BenchmarkId`], `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are mean/min/max over the
+//! configured sample count — no bootstrapping, no HTML reports.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Entry point; one per bench binary, created by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: run the closure until the warm-up budget is spent, so
+        // caches/allocators reach steady state before we time anything.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b, input);
+        }
+
+        // Measurement: `sample_size` samples, each one timed batch of the
+        // user closure, bounded overall by `measurement_time`.
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b, input);
+            samples.push(b.per_iter());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+
+        let n = samples.len().max(1) as u32;
+        let mean = samples.iter().sum::<Duration>() / n;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &()),
+    {
+        self.bench_with_input(id, &(), f)
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`. Runs it in a small batch so sub-microsecond
+    /// routines still get a measurable sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const BATCH: u64 = 4;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = BATCH;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            return Duration::ZERO;
+        }
+        self.elapsed / self.iters as u32
+    }
+}
+
+/// Declares `fn $name()` running each benchmark function against a fresh
+/// [`Criterion`]. Source-compatible with criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` invoking each group. Source-compatible with
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", "p"), &5u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # parcoach-testutil — dependency-free test & bench support
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! property tests and benchmarks that a typical workspace would write
+//! against `proptest`/`criterion` are written against this crate
+//! instead:
+//!
+//! * [`rng`] — a deterministic splitmix64/xoshiro-style PRNG plus the
+//!   tiny combinators the ported property tests need (ranges, choices,
+//!   weighted picks). Each test owns its seed, so failures reproduce by
+//!   re-running the test — no shrinking, but the generators are kept
+//!   small enough that raw counterexamples are readable.
+//! * [`bench`] — a micro-harness exposing the subset of the criterion
+//!   API the `parcoach-bench` benches use (`Criterion`,
+//!   `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//!   `criterion_group!`, `criterion_main!`). `parcoach-bench` depends on
+//!   this crate under the rename `criterion`, keeping the bench sources
+//!   source-compatible with the real crate. Reports mean/min/max per
+//!   benchmark id on stdout.
+
+pub mod bench;
+pub mod rng;
+
+pub use bench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use rng::Rng;

@@ -6,10 +6,8 @@
 //! integration tests: each case records the *expected* static verdict
 //! and dynamic outcome.
 
-use serde::{Deserialize, Serialize};
-
 /// Expected static outcome for a case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExpectStatic {
     /// No warnings at all.
     Clean,
@@ -19,7 +17,7 @@ pub enum ExpectStatic {
 
 /// Expected dynamic outcome (run with instrumentation, 2 ranks / 4
 /// threads unless noted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExpectDynamic {
     /// Completes cleanly.
     Clean,
@@ -39,7 +37,7 @@ pub enum ExpectDynamic {
 }
 
 /// One catalogue entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorCase {
     /// Stable id.
     pub id: &'static str,
@@ -393,10 +391,12 @@ mod tests {
             .iter()
             .any(|c| c.expect_static == ExpectStatic::Clean
                 && c.expect_dynamic == ExpectDynamic::Clean));
-        assert!(cases.iter().any(|c| matches!(
-            c.expect_static,
-            ExpectStatic::Warns(_)
-        ) && c.expect_dynamic == ExpectDynamic::Clean),
-            "must include static-false-positive controls");
+        assert!(
+            cases
+                .iter()
+                .any(|c| matches!(c.expect_static, ExpectStatic::Warns(_))
+                    && c.expect_dynamic == ExpectDynamic::Clean),
+            "must include static-false-positive controls"
+        );
     }
 }

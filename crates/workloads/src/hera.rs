@@ -79,7 +79,9 @@ pub fn generate(class: WorkloadClass) -> Workload {
             |b| {
                 b.line("let local_dt = 1.0;");
                 for k in 0..p.kernels_per_module {
-                    b.line(format!("local_dt = min(local_dt, kernel_{m}_{k}(field, n));"));
+                    b.line(format!(
+                        "local_dt = min(local_dt, kernel_{m}_{k}(field, n));"
+                    ));
                 }
                 b.line("return local_dt;");
             },

@@ -138,38 +138,35 @@ pub fn generate(kind: MzKind, class: WorkloadClass) -> Workload {
     });
 
     // --- solver driver per zone ------------------------------------------
-    b.block(
-        "fn solve_zone(u: float[], rhs: float[], nx: int)",
-        |b| {
-            b.line("compute_rhs(u, rhs, nx);");
-            for dir in directions {
-                for s in 0..p.sweeps_per_solver {
-                    b.line(format!(
-                        "{}_sweep_{dir}_{s}(u, rhs, nx);",
-                        solver_prefix(kind)
-                    ));
-                }
+    b.block("fn solve_zone(u: float[], rhs: float[], nx: int)", |b| {
+        b.line("compute_rhs(u, rhs, nx);");
+        for dir in directions {
+            for s in 0..p.sweeps_per_solver {
+                b.line(format!(
+                    "{}_sweep_{dir}_{s}(u, rhs, nx);",
+                    solver_prefix(kind)
+                ));
             }
-            if kind == MzKind::LU {
-                // LU's SSOR: extra forward/backward passes with barriers.
-                b.block("parallel", |b| {
-                    b.block("pfor (i in 1..nx - 1)", |b| {
-                        b.line("u[i] = u[i] + rhs[i] * 0.1;");
-                    });
-                    b.line("barrier;");
-                    b.block("pfor (i in 1..nx - 1)", |b| {
-                        b.line("u[i] = u[i] + rhs[i] * 0.05;");
-                    });
+        }
+        if kind == MzKind::LU {
+            // LU's SSOR: extra forward/backward passes with barriers.
+            b.block("parallel", |b| {
+                b.block("pfor (i in 1..nx - 1)", |b| {
+                    b.line("u[i] = u[i] + rhs[i] * 0.1;");
                 });
-            } else {
-                b.block("parallel", |b| {
-                    b.block("pfor (i in 0..nx)", |b| {
-                        b.line("u[i] = u[i] + rhs[i] * 0.2;");
-                    });
+                b.line("barrier;");
+                b.block("pfor (i in 1..nx - 1)", |b| {
+                    b.line("u[i] = u[i] + rhs[i] * 0.05;");
                 });
-            }
-        },
-    );
+            });
+        } else {
+            b.block("parallel", |b| {
+                b.block("pfor (i in 0..nx)", |b| {
+                    b.line("u[i] = u[i] + rhs[i] * 0.2;");
+                });
+            });
+        }
+    });
 
     // --- main -------------------------------------------------------------
     b.block("fn main()", |b| {

@@ -11,7 +11,12 @@ fn figure1_suite_compiles_all_classes() {
     for class in [WorkloadClass::A, WorkloadClass::B, WorkloadClass::C] {
         for w in figure1_suite(class) {
             let unit = parse_and_check(w.name, &w.source).unwrap_or_else(|(d, sm)| {
-                panic!("{} {:?} does not compile:\n{}", w.name, class, d.render(&sm))
+                panic!(
+                    "{} {:?} does not compile:\n{}",
+                    w.name,
+                    class,
+                    d.render(&sm)
+                )
             });
             let module = lower_program(&unit.program, &unit.signatures);
             let errs = parcoach_ir::verify_module(&module);

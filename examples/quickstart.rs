@@ -43,7 +43,10 @@ fn main() {
     // 3. Instrumentation (paper §3) — selective: a clean program gets no
     // checks at all.
     let (instrumented, stats) = instrument_module(&module, &report, InstrumentMode::Selective);
-    println!("\n--- instrumentation ---\ninserted checks: {}", stats.total());
+    println!(
+        "\n--- instrumentation ---\ninserted checks: {}",
+        stats.total()
+    );
 
     // 4. Run on the simulated hybrid runtime: 3 MPI ranks × 4 threads.
     let run = Executor::new(

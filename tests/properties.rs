@@ -11,86 +11,90 @@
 //!    concurrency warnings) and no barrier divergence is reported;
 //! 3. optimization preserves sequential program output;
 //! 4. instrumented parallel runs complete cleanly.
+//!
+//! Programs come from a per-case `parcoach_testutil::Rng` seed; failing
+//! cases print the seed and the full generated source.
 
 use parcoach::analysis::{analyze_module, AnalysisOptions, WarningKind};
 use parcoach::front::parse_and_check;
 use parcoach::interp::{check_and_run, Executor, RunConfig};
 use parcoach::ir::lower::lower_program;
-use proptest::prelude::*;
+use parcoach_testutil::Rng;
 
 /// One generated statement (recursion bounded by `depth`).
-fn stmt_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0..5i64).prop_map(|k| format!("acc = acc + {k};")),
-        (1..4i64).prop_map(|k| format!("acc = acc * {k} % 1000;")),
-        Just("x = float_of(acc) * 0.5;".to_string()),
-        Just("let tmp = acc + int_of(x); acc = tmp % 97;".to_string()),
-        Just("acc = acc + int_of(MPI_Allreduce(1.0, SUM));".to_string()),
-        Just("MPI_Barrier();".to_string()),
-        Just("acc = acc + int_of(MPI_Bcast(float_of(acc % 7), 0));".to_string()),
-    ];
+fn random_stmt(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(7) {
+        0 => format!("acc = acc + {};", rng.range_i64(0, 5)),
+        1 => format!("acc = acc * {} % 1000;", rng.range_i64(1, 4)),
+        2 => "x = float_of(acc) * 0.5;".to_string(),
+        3 => "let tmp = acc + int_of(x); acc = tmp % 97;".to_string(),
+        4 => "acc = acc + int_of(MPI_Allreduce(1.0, SUM));".to_string(),
+        5 => "MPI_Barrier();".to_string(),
+        _ => "acc = acc + int_of(MPI_Bcast(float_of(acc % 7), 0));".to_string(),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let inner = stmt_strategy(depth - 1);
-    let inner2 = stmt_strategy(depth - 1);
-    let inner3 = stmt_strategy(depth - 1);
-    prop_oneof![
-        4 => leaf,
+    // Same 4:1:1:1 weighting as the old prop_oneof.
+    match rng.pick_weighted(&[4, 1, 1, 1]) {
+        0 => leaf(rng),
         // Uniform sequential loop.
-        1 => (1..4i64, inner.clone()).prop_map(|(n, b)| format!(
-            "for (i{n} in 0..{n}) {{ {b} }}"
-        )),
+        1 => {
+            let n = rng.range_i64(1, 4);
+            let b = random_stmt(rng, depth - 1);
+            format!("for (i{n} in 0..{n}) {{ {b} }}")
+        }
         // Uniform conditional — both arms identical, so even the
         // matching phase with refinement stays silent.
-        1 => inner2.prop_map(|b| format!(
-            "if (acc % 2 == 0) {{ {b} }} else {{ {b} }}"
-        )),
+        2 => {
+            let b = random_stmt(rng, depth - 1);
+            format!("if (acc % 2 == 0) {{ {b} }} else {{ {b} }}")
+        }
         // Parallel region: compute pfor + collective safely in single.
-        1 => inner3.prop_map(|b| format!(
-            "parallel num_threads(2) {{
-                pfor (j in 0..8) {{ let w = j * 2; }}
-                single {{ {b} }}
-            }}"
-        )),
-    ]
-    .boxed()
+        _ => {
+            let b = random_stmt(rng, depth - 1);
+            format!(
+                "parallel num_threads(2) {{
+                    pfor (j in 0..8) {{ let w = j * 2; }}
+                    single {{ {b} }}
+                }}"
+            )
+        }
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(stmt_strategy(2), 1..6).prop_map(|stmts| {
-        format!(
-            "fn main() {{
-                MPI_Init_thread(SERIALIZED);
-                let acc = 1;
-                let x = 0.0;
-                {}
-                print(acc);
-                MPI_Finalize();
-            }}",
-            stmts.join("\n")
-        )
-    })
+fn random_program(rng: &mut Rng) -> String {
+    let n = rng.range_usize(1, 6);
+    let stmts: Vec<String> = (0..n).map(|_| random_stmt(rng, 2)).collect();
+    format!(
+        "fn main() {{
+            MPI_Init_thread(SERIALIZED);
+            let acc = 1;
+            let x = 0.0;
+            {}
+            print(acc);
+            MPI_Finalize();
+        }}",
+        stmts.join("\n")
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    /// Correct-by-construction programs compile, verify, and trigger no
-    /// context/concurrency/divergence warnings.
-    #[test]
-    fn generated_programs_are_statically_quiet(src in program_strategy()) {
+/// Correct-by-construction programs compile, verify, and trigger no
+/// context/concurrency/divergence warnings.
+#[test]
+fn generated_programs_are_statically_quiet() {
+    for seed in 0..24 {
+        let src = random_program(&mut Rng::new(seed));
         let unit = parse_and_check("gen.mh", &src)
-            .map_err(|(d, sm)| TestCaseError::fail(d.render(&sm)))?;
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
         let module = lower_program(&unit.program, &unit.signatures);
-        prop_assert!(parcoach::ir::verify_module(&module).is_empty());
+        assert!(
+            parcoach::ir::verify_module(&module).is_empty(),
+            "seed {seed}"
+        );
         let report = analyze_module(&module, &AnalysisOptions::default());
         for w in &report.warnings {
-            prop_assert!(
+            assert!(
                 !matches!(
                     w.kind,
                     WarningKind::MultithreadedCollective
@@ -101,23 +105,29 @@ proptest! {
                         | WarningKind::BarrierDivergence
                         | WarningKind::InsufficientThreadLevel
                 ),
-                "unexpected warning {:?}: {} in\n{src}",
+                "unexpected warning {:?}: {} (seed {seed}) in\n{src}",
                 w.kind,
                 w.message
             );
         }
     }
+}
 
-    /// Optimization must not change the output of (sequential projections
-    /// of) generated programs.
-    #[test]
-    fn optimization_preserves_output(src in program_strategy()) {
+/// Optimization must not change the output of (sequential projections
+/// of) generated programs.
+#[test]
+fn optimization_preserves_output() {
+    for seed in 100..124 {
+        let src = random_program(&mut Rng::new(seed));
         let unit = parse_and_check("gen.mh", &src)
-            .map_err(|(d, sm)| TestCaseError::fail(d.render(&sm)))?;
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
         let plain = lower_program(&unit.program, &unit.signatures);
         let mut optimized = plain.clone();
         parcoach::ir::opt::optimize_module(&mut optimized, 4);
-        prop_assert!(parcoach::ir::verify_module(&optimized).is_empty());
+        assert!(
+            parcoach::ir::verify_module(&optimized).is_empty(),
+            "seed {seed}"
+        );
         let cfg = || RunConfig {
             ranks: 1,
             default_threads: 2,
@@ -125,38 +135,34 @@ proptest! {
         };
         let out_plain = Executor::new(plain, cfg()).run();
         let out_opt = Executor::new(optimized, cfg()).run();
-        prop_assert!(out_plain.is_clean(), "{:?}", out_plain.errors);
-        prop_assert!(out_opt.is_clean(), "{:?}", out_opt.errors);
-        prop_assert_eq!(out_plain.output, out_opt.output);
+        assert!(out_plain.is_clean(), "seed {seed}: {:?}", out_plain.errors);
+        assert!(out_opt.is_clean(), "seed {seed}: {:?}", out_opt.errors);
+        assert_eq!(out_plain.output, out_opt.output, "seed {seed} in\n{src}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 10, // threads+ranks per case: keep the budget sane
-        max_shrink_iters: 50,
-        .. ProptestConfig::default()
-    })]
-
-    /// Instrumented multi-rank runs of generated programs complete
-    /// cleanly and agree with the uninstrumented output.
-    #[test]
-    fn generated_programs_run_clean_instrumented(src in program_strategy()) {
+/// Instrumented multi-rank runs of generated programs complete
+/// cleanly and agree with the uninstrumented output.
+#[test]
+fn generated_programs_run_clean_instrumented() {
+    // Threads × ranks per case: keep the budget sane with 10 cases.
+    for seed in 200..210 {
+        let src = random_program(&mut Rng::new(seed));
         let cfg = || RunConfig {
             ranks: 2,
             default_threads: 2,
             ..RunConfig::default()
         };
         let (_r, plain) = check_and_run("gen.mh", &src, cfg(), false)
-            .map_err(TestCaseError::fail)?;
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let (_r, instr) = check_and_run("gen.mh", &src, cfg(), true)
-            .map_err(TestCaseError::fail)?;
-        prop_assert!(plain.is_clean(), "{:?}", plain.errors);
-        prop_assert!(instr.is_clean(), "{:?}", instr.errors);
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(plain.is_clean(), "seed {seed}: {:?}", plain.errors);
+        assert!(instr.is_clean(), "seed {seed}: {:?}", instr.errors);
         let mut a = plain.output;
         let mut b = instr.output;
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed} in\n{src}");
     }
 }
