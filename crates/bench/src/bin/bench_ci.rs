@@ -1,0 +1,397 @@
+//! CI perf-regression gate.
+//!
+//! Measures the fig1 micro-bench (full `compile_with_codegen` per
+//! class-A workload), one end-to-end detection pass over the error
+//! catalogue, and the HERA class-B static-analysis speedup at
+//! `jobs = 4` vs `jobs = 1`; writes everything to a flat JSON file and
+//! compares against a checked-in baseline.
+//!
+//! Robustness, in layers:
+//! * **Cross-machine**: gated numbers are normalized by an arithmetic
+//!   *calibration* spin timed in the same run, so a uniformly slower CI
+//!   runner does not trip the gate — only a change in the *shape* of
+//!   the cost does.
+//! * **Cross-run noise**: the gate compares two *aggregates* (total
+//!   fig1 compile time, detection-table wall clock) rather than
+//!   individual sub-millisecond compiles whose minima still jitter by
+//!   tens of percent on busy runners; per-workload times are recorded
+//!   as `info/` for humans. A gated aggregate that lands over tolerance
+//!   is re-measured up to two times and the fastest attempt kept — a
+//!   real regression fails every attempt, a descheduling spike does
+//!   not.
+//!
+//! ```text
+//! bench_ci [--out FILE] [--baseline FILE] [--tolerance PCT] [--write-baseline FILE]
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = regression (> tolerance) or detection
+//! failure, 3 = usage error.
+
+use parcoach_bench::{compile_suite_concurrent, compile_with_codegen, measure};
+use parcoach_core::{analyze_module_with, AnalysisOptions};
+use parcoach_front::parse_and_check;
+use parcoach_interp::{check_and_run, RunConfig};
+use parcoach_ir::lower::lower_program;
+use parcoach_pool::{Pool, PoolConfig};
+use parcoach_workloads::{
+    error_catalogue, figure1_suite, ExpectDynamic, ExpectStatic, Workload, WorkloadClass,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Repetitions per workload for the compile benches. The per-workload
+/// minimum is the least noise-contaminated estimate of a CPU-bound
+/// compile; the gate sums those minima.
+const COMPILE_REPS: usize = 15;
+/// Repetitions for the informational analyze speedup probe.
+const ANALYZE_REPS: usize = 21;
+/// Extra measurement attempts for a gated aggregate that lands over
+/// tolerance (the fastest attempt is kept).
+const GATE_RETRIES: usize = 2;
+/// Default regression tolerance on normalized ratios, percent.
+const DEFAULT_TOLERANCE: f64 = 25.0;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("bench_ci: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut out_path = "BENCH_ci.json".to_string();
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut write_baseline: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{}: missing value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--out" => out_path = take(&mut i)?,
+            "--baseline" => baseline_path = take(&mut i)?,
+            "--write-baseline" => write_baseline = Some(take(&mut i)?),
+            "--tolerance" => {
+                tolerance = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let baseline =
+        match &write_baseline {
+            Some(_) => None,
+            None => {
+                let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+                    format!("read baseline {baseline_path}: {e} (create one with --write-baseline)")
+                })?;
+                Some(parse_flat_json(&text).ok_or_else(|| {
+                    format!("{baseline_path}: not a flat JSON object of integers")
+                })?)
+            }
+        };
+
+    let mut results: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gate_ok = true;
+
+    // --- calibration -----------------------------------------------------
+    let calibration_ns = calibrate();
+    results.insert("calibration_ns".into(), calibration_ns);
+    println!("calibration: {:.3} ms", calibration_ns as f64 / 1e6);
+
+    // Warm every compile path (and the pool) before the first timed
+    // sample: the first workload otherwise pays one-off cold costs —
+    // lazy relocations, branch-predictor and allocator warm-up — that
+    // the baseline run did not, which reads as a phantom regression.
+    let suite = figure1_suite(WorkloadClass::A);
+    let _ = compile_suite_concurrent(&suite);
+
+    // --- fig1 micro-bench (gated on the suite total) ----------------------
+    let (mut fig1_total, per_workload) = measure_fig1(&suite);
+    gate_ok &= gate(
+        "bench/fig1_total",
+        &mut fig1_total,
+        calibration_ns,
+        baseline.as_ref(),
+        tolerance,
+        || measure_fig1(&suite).0,
+    );
+    for (name, ns) in &per_workload {
+        println!(
+            "  fig1/{name:<8} min {:>9.3} ms  (x{:.3} cal)",
+            *ns as f64 / 1e6,
+            *ns as f64 / calibration_ns as f64
+        );
+    }
+    results.insert("bench/fig1_total".into(), fig1_total);
+    for (name, ns) in per_workload {
+        results.insert(format!("info/fig1/{name}"), ns);
+    }
+
+    // --- detection table (gated wall-clock + correctness) ----------------
+    let mut detection_ok = true;
+    let mut run_detection = || {
+        let t0 = Instant::now();
+        let ok = detection_pass();
+        detection_ok &= ok;
+        t0.elapsed().as_nanos() as u64
+    };
+    let mut detection_ns = run_detection();
+    gate_ok &= gate(
+        "bench/detection_table",
+        &mut detection_ns,
+        calibration_ns,
+        baseline.as_ref(),
+        tolerance,
+        &mut run_detection,
+    );
+    println!(
+        "detection_table: {:.3} ms, {}",
+        detection_ns as f64 / 1e6,
+        if detection_ok {
+            "all cases ok"
+        } else {
+            "CASE FAILURES"
+        }
+    );
+    results.insert("bench/detection_table".into(), detection_ns);
+
+    // --- HERA-B analyze speedup (informational) --------------------------
+    let (jobs1_ns, jobs4_ns, identical) = analyze_speedup();
+    results.insert("info/analyze_hera_b_jobs1_ns".into(), jobs1_ns);
+    results.insert("info/analyze_hera_b_jobs4_ns".into(), jobs4_ns);
+    let speedup = jobs1_ns as f64 / jobs4_ns.max(1) as f64;
+    results.insert(
+        "info/analyze_hera_b_speedup_x1000".into(),
+        (speedup * 1000.0) as u64,
+    );
+    println!(
+        "analyze HERA/B: jobs=1 {:.3} ms, jobs=4 {:.3} ms  → {speedup:.2}x speedup, reports {}",
+        jobs1_ns as f64 / 1e6,
+        jobs4_ns as f64 / 1e6,
+        if identical {
+            "byte-identical"
+        } else {
+            "DIFFER"
+        }
+    );
+
+    // --- write ------------------------------------------------------------
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    if let Some(p) = write_baseline {
+        std::fs::write(&p, &json).map_err(|e| format!("write {p}: {e}"))?;
+        println!("wrote baseline {p}");
+        return Ok(detection_ok && identical);
+    }
+    Ok(gate_ok && detection_ok && identical)
+}
+
+/// Minimum compile time per workload; returns the suite total and the
+/// per-workload breakdown.
+fn measure_fig1(suite: &[Workload]) -> (u64, BTreeMap<String, u64>) {
+    let mut per_workload = BTreeMap::new();
+    let mut total = 0u64;
+    for w in suite {
+        let t = measure(COMPILE_REPS, || {
+            let _ = compile_with_codegen(w.name, &w.source);
+        });
+        let ns = t.min.as_nanos() as u64;
+        total += ns;
+        per_workload.insert(w.name.to_string(), ns);
+    }
+    (total, per_workload)
+}
+
+/// Check one gated aggregate against the baseline, re-measuring (and
+/// keeping the fastest attempt) while it reads over tolerance. Returns
+/// whether the metric passes; `current` is updated to the kept attempt.
+fn gate(
+    key: &str,
+    current: &mut u64,
+    calibration_ns: u64,
+    baseline: Option<&BTreeMap<String, u64>>,
+    tolerance: f64,
+    mut remeasure: impl FnMut() -> u64,
+) -> bool {
+    let Some(base) = baseline else {
+        return true; // --write-baseline mode
+    };
+    let (Some(&base_ns), Some(&base_cal)) = (base.get(key), base.get("calibration_ns")) else {
+        eprintln!("{key}: missing from baseline — regenerate it with --write-baseline");
+        return false;
+    };
+    let base_ratio = base_ns as f64 / base_cal as f64;
+    let limit = base_ratio * (1.0 + tolerance / 100.0);
+    let mut attempts = 0;
+    loop {
+        let ratio = *current as f64 / calibration_ns as f64;
+        let delta = (ratio / base_ratio - 1.0) * 100.0;
+        if ratio <= limit {
+            println!("{key:<24} base x{base_ratio:>7.3}  now x{ratio:>7.3}  ({delta:>+6.1}%)  ok");
+            // A ratio far *below* baseline means the baseline was
+            // recorded on differently-shaped hardware (e.g. a 1-CPU
+            // box where pooled work serialized) and the gate is running
+            // with that much slack — it cannot catch a regression
+            // smaller than the gap. Tell the operator to tighten it.
+            if ratio < base_ratio * 0.6 {
+                println!(
+                    "{key:<24} NOTE: {:.0}% below baseline — baseline looks recorded on \
+                     slower/differently-shaped hardware; refresh it on this machine with \
+                     --write-baseline to restore the gate's sensitivity",
+                    -delta
+                );
+            }
+            return true;
+        }
+        if attempts >= GATE_RETRIES {
+            println!(
+                "{key:<24} base x{base_ratio:>7.3}  now x{ratio:>7.3}  ({delta:>+6.1}%)  REGRESSION"
+            );
+            return false;
+        }
+        attempts += 1;
+        println!(
+            "{key:<24} over tolerance ({delta:>+6.1}%) — remeasuring (attempt {attempts}/{GATE_RETRIES})"
+        );
+        *current = (*current).min(remeasure());
+    }
+}
+
+/// Single-threaded arithmetic spin: the machine-speed yardstick. Many
+/// ~2 ms spins (the compiles' timescale) with the minimum taken, so
+/// both sides of the `bench / calibration` ratio dodge scheduler and
+/// cgroup throttling windows the same way.
+fn calibrate() -> u64 {
+    let spin = || {
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..1_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x)
+    };
+    let t = measure(31, || {
+        spin();
+    });
+    t.min.as_nanos() as u64
+}
+
+/// One instrumented run per catalogue case; true when every case behaves
+/// as the paper predicts (same checks as the `detection_table` bin).
+fn detection_pass() -> bool {
+    let mut all_ok = true;
+    for case in error_catalogue() {
+        let cfg = RunConfig::fast_fail(2, 4);
+        let Ok((report, run)) = check_and_run(case.id, &case.source, cfg, true) else {
+            eprintln!("{}: compile error", case.id);
+            all_ok = false;
+            continue;
+        };
+        let static_ok = match case.expect_static {
+            ExpectStatic::Clean => report.is_clean(),
+            ExpectStatic::Warns(code) => report.warnings.iter().any(|w| w.kind.code() == code),
+        };
+        let dynamic_ok = match case.expect_dynamic {
+            ExpectDynamic::Clean => run.is_clean(),
+            ExpectDynamic::CaughtByCheck => !run.is_clean() && run.detected_by_check(),
+            ExpectDynamic::CaughtBySubstrate | ExpectDynamic::Fails => !run.is_clean(),
+            ExpectDynamic::MayFail => true,
+        };
+        if !(static_ok && dynamic_ok) {
+            eprintln!(
+                "{}: unexpected behavior (static_ok={static_ok}, dynamic_ok={dynamic_ok})",
+                case.id
+            );
+            all_ok = false;
+        }
+    }
+    all_ok
+}
+
+/// Median analyze time of HERA class B under a 1-lane and a 4-lane
+/// deterministic pool, plus whether the two reports are byte-identical.
+fn analyze_speedup() -> (u64, u64, bool) {
+    let w: Workload = parcoach_workloads::hera::generate(WorkloadClass::B);
+    let unit = parse_and_check(w.name, &w.source).expect("workload compiles");
+    let module = lower_program(&unit.program, &unit.signatures);
+    let opts = AnalysisOptions::default();
+    let pool1 = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 42,
+    });
+    let pool4 = Pool::new(PoolConfig {
+        jobs: 4,
+        deterministic: true,
+        seed: 42,
+    });
+    let r1 = analyze_module_with(&module, &opts, &pool1);
+    let r4 = analyze_module_with(&module, &opts, &pool4);
+    let identical = format!("{r1:?}") == format!("{r4:?}");
+    let t1 = measure(ANALYZE_REPS, || {
+        let _ = analyze_module_with(&module, &opts, &pool1);
+    });
+    let t4 = measure(ANALYZE_REPS, || {
+        let _ = analyze_module_with(&module, &opts, &pool4);
+    });
+    (
+        t1.median.as_nanos() as u64,
+        t4.median.as_nanos() as u64,
+        identical,
+    )
+}
+
+// --- flat JSON (no external deps) ----------------------------------------
+
+/// Serialize string→integer pairs as a stable, human-diffable object.
+fn to_json(map: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parse the subset emitted by [`to_json`]: one flat object of
+/// string-keyed integers (whitespace-insensitive).
+fn parse_flat_json(text: &str) -> Option<BTreeMap<String, u64>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value: u64 = value.trim().parse().ok()?;
+        map.insert(key.to_string(), value);
+    }
+    Some(map)
+}

@@ -53,12 +53,30 @@ impl CallContexts {
     }
 }
 
+/// Compute call contexts and collective-bearing facts for a module on
+/// the process-wide pool.
+pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContexts {
+    compute_contexts_with(m, entry_context, parcoach_pool::global())
+}
+
 /// Compute call contexts and collective-bearing facts for a module.
 ///
 /// `entry_context` is the context `main` is assumed to start in
 /// (normally [`InitialContext::Sequential`]; the paper's "initial level"
 /// option).
-pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContexts {
+///
+/// The fixpoint alternates two passes per round: the parallelism words
+/// of every function whose context changed are recomputed *in parallel*
+/// on `pool` (word propagation is the costliest part of the pipeline and
+/// is pure per function), then a sequential pass joins call-site
+/// contexts into callees. Chaotic ascending iteration over a finite
+/// lattice reaches the same least fixpoint in either schedule, so the
+/// result is identical to the old interleaved loop.
+pub fn compute_contexts_with(
+    m: &Module,
+    entry_context: InitialContext,
+    pool: &parcoach_pool::Pool,
+) -> CallContexts {
     // --- collective-bearing: own collectives, then propagate up the call
     // graph to a fixpoint.
     let mut bearing: HashMap<String, bool> = m
@@ -114,15 +132,29 @@ pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContex
     // raised since the last round pay for recomputation.
     let mut multithreaded_calls: Vec<(String, String, Span)> = Vec::new();
     let mut pw_cache: HashMap<String, (InitialContext, PwResult)> = HashMap::new();
+    // Refresh the pw cache for every function whose context moved since
+    // its last computation — in parallel, words are per-function pure.
+    let refresh_stale = |pw_cache: &mut HashMap<String, (InitialContext, PwResult)>,
+                         initial: &HashMap<String, InitialContext>| {
+        let stale: Vec<&parcoach_ir::func::FuncIr> = m
+            .funcs
+            .iter()
+            .filter(|f| {
+                let ctx = initial[&f.name];
+                pw_cache.get(&f.name).map(|(c, _)| *c) != Some(ctx)
+            })
+            .collect();
+        let fresh = pool.par_map(&stale, |f| {
+            let ctx = initial[&f.name];
+            (f.name.clone(), (ctx, compute_pw(f, ctx)))
+        });
+        pw_cache.extend(fresh);
+    };
     for _round in 0..(3 * m.funcs.len().max(1)) {
         let mut any = false;
         multithreaded_calls.clear();
+        refresh_stale(&mut pw_cache, &initial);
         for f in &m.funcs {
-            let ctx = initial[&f.name];
-            let cached = pw_cache.get(&f.name).filter(|(c, _)| *c == ctx).is_some();
-            if !cached {
-                pw_cache.insert(f.name.clone(), (ctx, compute_pw(f, ctx)));
-            }
             let pw = &pw_cache[&f.name].1;
             for (bid, b) in f.iter_blocks() {
                 let call_sites: Vec<(&String, Span)> = b
@@ -158,17 +190,9 @@ pub fn compute_contexts(m: &Module, entry_context: InitialContext) -> CallContex
             break;
         }
     }
-    // Ensure the cache reflects the *final* contexts.
-    for f in &m.funcs {
-        let ctx = initial[&f.name];
-        let stale = pw_cache
-            .get(&f.name)
-            .map(|(c, _)| *c != ctx)
-            .unwrap_or(true);
-        if stale {
-            pw_cache.insert(f.name.clone(), (ctx, compute_pw(f, ctx)));
-        }
-    }
+    // Ensure the cache reflects the *final* contexts (only needed when
+    // the round bound was hit with changes still in flight).
+    refresh_stale(&mut pw_cache, &initial);
 
     CallContexts {
         initial,

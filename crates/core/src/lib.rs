@@ -46,7 +46,7 @@ pub mod word;
 
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
 pub use lang::{classify, ContextClass, MonoVerdict};
-pub use pipeline::{analyze_module, AnalysisOptions};
+pub use pipeline::{analyze_module, analyze_module_with, AnalysisOptions};
 pub use pw::{compute_pw, InitialContext, PwResult};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
 pub use word::{SKind, Token, Word};

@@ -2,7 +2,6 @@
 //! over a module and assemble the warning report + instrumentation plan.
 
 use crate::concurrency::check_concurrency;
-use crate::context::compute_contexts;
 use crate::matching::{check_matching, MatchingOptions};
 use crate::mono::check_monothread;
 use crate::pw::{compute_pw, InitialContext};
@@ -35,10 +34,107 @@ impl Default for AnalysisOptions {
     }
 }
 
-/// Run the complete static analysis over a lowered module.
+/// Run the complete static analysis over a lowered module on the
+/// process-wide pool (see [`analyze_module_with`]).
 pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
+    analyze_module_with(m, opts, parcoach_pool::global())
+}
+
+/// The three per-function phases' output for one function, produced on a
+/// pool worker and merged into the report in function order.
+struct FuncAnalysis {
+    warnings: Vec<StaticWarning>,
+    /// Collective blocks needing `CC` instrumentation (phases 1–3, in
+    /// phase order).
+    suspects: Vec<parcoach_ir::types::BlockId>,
+    /// Phase-1 suspects also need monothread asserts.
+    monothread_checks: Vec<parcoach_ir::types::BlockId>,
+    /// Phase-2 `(region, site)` pairs, in discovery order (site ids are
+    /// renumbered globally after the merge).
+    concurrency_sites: Vec<(u32, u32)>,
+    needs_cc: bool,
+    tainted: Vec<String>,
+    required_level: Option<ThreadLevel>,
+    pdf_candidates: usize,
+    pdf_confirmed: usize,
+}
+
+/// Phases 1–3 for one function. Pure: reads only the function and the
+/// (already fixed) interprocedural contexts, so every function can run
+/// on a different worker.
+fn analyze_function(
+    f: &parcoach_ir::func::FuncIr,
+    ctxs: &crate::context::CallContexts,
+    opts: &AnalysisOptions,
+) -> FuncAnalysis {
+    let init = ctxs.context_of(&f.name);
+    let pw = match ctxs.pw_of(&f.name) {
+        Some(pw) => pw.clone(),
+        None => compute_pw(f, init),
+    };
+    let mut out = FuncAnalysis {
+        warnings: Vec::new(),
+        suspects: Vec::new(),
+        monothread_checks: Vec::new(),
+        concurrency_sites: Vec::new(),
+        needs_cc: false,
+        tainted: Vec::new(),
+        required_level: None,
+        pdf_candidates: 0,
+        pdf_confirmed: 0,
+    };
+
+    // Phase 1 — monothread contexts.
+    let mono = check_monothread(f, &pw, ctxs);
+    out.required_level = mono.required_level;
+    out.suspects.extend(mono.suspects.iter().copied());
+    out.monothread_checks.extend(mono.suspects.iter().copied());
+    out.needs_cc |= !mono.suspects.is_empty();
+    out.warnings.extend(mono.warnings);
+
+    // Phase 2 — sequential order of collectives.
+    let dom = DomTree::compute(f);
+    let loops = LoopInfo::compute(f, &dom);
+    let conc = check_concurrency(f, &pw, &loops);
+    out.suspects.extend(conc.suspects.iter().copied());
+    out.concurrency_sites
+        .extend(conc.sites.iter().map(|(region, site)| (region.0, *site)));
+    out.needs_cc |= !conc.suspects.is_empty();
+    out.warnings.extend(conc.warnings);
+
+    // Phase 3 — inter-process matching (Algorithm 1).
+    let pdt = PostDomTree::compute(f);
+    let mat = check_matching(
+        f,
+        ctxs,
+        &pdt,
+        MatchingOptions {
+            refine: opts.refine_matching,
+        },
+    );
+    out.suspects.extend(mat.suspects.iter().copied());
+    out.needs_cc |= !mat.suspects.is_empty();
+    out.tainted = mat.tainted_callees;
+    out.pdf_candidates = mat.candidates_before_refinement;
+    out.pdf_confirmed = mat.candidates_confirmed;
+    out.warnings.extend(mat.warnings);
+    out
+}
+
+/// Run the complete static analysis over a lowered module, fanning the
+/// per-function phases out over `pool`.
+///
+/// The report is **byte-identical for any pool width**: workers fill one
+/// slot per function and the merge walks the slots in function order, so
+/// warning order, plan order and the global site renumbering all match
+/// the sequential (`jobs = 1`) walk exactly.
+pub fn analyze_module_with(
+    m: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+) -> StaticReport {
     let mut report = StaticReport::default();
-    let ctxs = compute_contexts(m, opts.entry_context);
+    let ctxs = crate::context::compute_contexts_with(m, opts.entry_context, pool);
 
     // Interprocedural phase-1 findings: collective-bearing functions
     // called from multithreaded contexts.
@@ -56,70 +152,41 @@ pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
         });
     }
 
+    // Per-function fan-out: the phases only read `f` and the fixed
+    // interprocedural facts.
+    let per_func = pool.par_map(&m.funcs, |f| analyze_function(f, &ctxs, opts));
+
     let mut cc_functions: HashSet<String> = HashSet::new();
     let mut tainted: Vec<String> = Vec::new();
     let mut required_level = ThreadLevel::Single;
 
-    for f in &m.funcs {
-        let init = ctxs.context_of(&f.name);
-        report.contexts.push((f.name.clone(), init));
-        let pw = match ctxs.pw_of(&f.name) {
-            Some(pw) => pw.clone(),
-            None => compute_pw(f, init),
-        };
-
-        // Phase 1 — monothread contexts.
-        let mono = check_monothread(f, &pw, &ctxs);
-        if let Some(l) = mono.required_level {
+    // Merge in function order — the same order the sequential loop used.
+    for (f, fa) in m.funcs.iter().zip(per_func) {
+        report
+            .contexts
+            .push((f.name.clone(), ctxs.context_of(&f.name)));
+        if let Some(l) = fa.required_level {
             required_level = required_level.max(l);
         }
-        for b in &mono.suspects {
+        for b in &fa.suspects {
             report.plan.suspect_collectives.push((f.name.clone(), *b));
+        }
+        for b in &fa.monothread_checks {
             report.plan.monothread_checks.push((f.name.clone(), *b));
         }
-        if !mono.suspects.is_empty() {
-            cc_functions.insert(f.name.clone());
-        }
-        report.warnings.extend(mono.warnings);
-
-        // Phase 2 — sequential order of collectives.
-        let dom = DomTree::compute(f);
-        let loops = LoopInfo::compute(f, &dom);
-        let conc = check_concurrency(f, &pw, &loops);
-        for b in &conc.suspects {
-            report.plan.suspect_collectives.push((f.name.clone(), *b));
-        }
-        for (region, site) in &conc.sites {
+        for (region, site) in &fa.concurrency_sites {
             report
                 .plan
                 .concurrency_sites
-                .push((f.name.clone(), region.0, *site));
+                .push((f.name.clone(), *region, *site));
         }
-        if !conc.suspects.is_empty() {
+        if fa.needs_cc {
             cc_functions.insert(f.name.clone());
         }
-        report.warnings.extend(conc.warnings);
-
-        // Phase 3 — inter-process matching (Algorithm 1).
-        let pdt = PostDomTree::compute(f);
-        let mat = check_matching(
-            f,
-            &ctxs,
-            &pdt,
-            MatchingOptions {
-                refine: opts.refine_matching,
-            },
-        );
-        for b in &mat.suspects {
-            report.plan.suspect_collectives.push((f.name.clone(), *b));
-        }
-        if !mat.suspects.is_empty() {
-            cc_functions.insert(f.name.clone());
-        }
-        tainted.extend(mat.tainted_callees.iter().cloned());
-        report.pdf_candidates += mat.candidates_before_refinement;
-        report.pdf_confirmed += mat.candidates_confirmed;
-        report.warnings.extend(mat.warnings);
+        tainted.extend(fa.tainted);
+        report.pdf_candidates += fa.pdf_candidates;
+        report.pdf_confirmed += fa.pdf_confirmed;
+        report.warnings.extend(fa.warnings);
     }
 
     // Functions called under divergent conditions need CC inside their

@@ -10,7 +10,12 @@ use parcoach_core::word::{SKind, Token, Word};
 use parcoach_ir::types::RegionId;
 use parcoach_testutil::Rng;
 
-const CASES: u64 = 512;
+/// Base budget 512; `PARCOACH_PROP_BUDGET=4` (CI's extended matrix)
+/// raises it to 2048 — affordable now that the simulators reuse
+/// pooled threads.
+fn cases() -> u64 {
+    parcoach_testutil::case_budget(512)
+}
 
 /// Mirror of the old proptest token strategy: P, the three S kinds (in
 /// disjoint RegionId ranges), or B, uniformly.
@@ -33,7 +38,7 @@ fn random_word(rng: &mut Rng) -> Word {
 /// agree on arbitrary words.
 #[test]
 fn dfa_matches_reference() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let w = random_word(&mut Rng::new(seed));
         assert_eq!(
             classify(&w).verdict.is_monothreaded(),
@@ -47,7 +52,7 @@ fn dfa_matches_reference() {
 /// Appending `B` never changes monothreadedness ("Bs are ignored").
 #[test]
 fn barriers_neutral_for_membership() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let w = random_word(&mut Rng::new(seed));
         let mut wb = w.clone();
         wb.push(Token::B);
@@ -63,7 +68,7 @@ fn barriers_neutral_for_membership() {
 /// Opening and immediately closing a region is the identity.
 #[test]
 fn open_close_roundtrip() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let mut rng = Rng::new(seed);
         let w = random_word(&mut rng);
         let r = RegionId(rng.range_u32(500, 600));
@@ -82,7 +87,7 @@ fn open_close_roundtrip() {
 /// disappears, everything before survives.
 #[test]
 fn close_truncates_suffix() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let mut rng = Rng::new(seed);
         let prefix = random_word(&mut rng);
         let suffix = random_word(&mut rng);
@@ -102,7 +107,7 @@ fn close_truncates_suffix() {
 /// Common-prefix length is symmetric and bounded.
 #[test]
 fn common_prefix_symmetric() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let mut rng = Rng::new(seed);
         let a = random_word(&mut rng);
         let b = random_word(&mut rng);
@@ -125,7 +130,7 @@ fn common_prefix_symmetric() {
 #[test]
 fn levels_consistent_with_membership() {
     use parcoach_front::ast::ThreadLevel;
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let w = random_word(&mut Rng::new(seed));
         let c = classify(&w);
         if c.verdict.is_monothreaded() {

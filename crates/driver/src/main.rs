@@ -2,15 +2,24 @@
 //!
 //! ```text
 //! parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
+//!                            [--jobs N] [--deterministic]
 //! parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument]
+//!                            [--jobs N] [--deterministic]
 //! parcoachc dump-cfg <file.mh> [function]
 //! parcoachc dump-ir  <file.mh> [function]
 //! parcoachc workload <name> <class>      # print a generated benchmark
 //! parcoachc catalogue                    # list the error catalogue
 //! ```
 //!
+//! `--jobs N` sizes the analysis thread pool (default: the machine's
+//! parallelism, or `PARCOACH_JOBS`); `--deterministic` makes pool
+//! scheduling reproducible. Reports are byte-identical for any `--jobs`
+//! either way.
+//!
 //! Exit codes: 0 = clean, 1 = static warnings only, 2 = dynamic error
-//! detected, 3 = usage/compile error.
+//! detected, 3 = usage/compile error. Bad flag values (`--jobs 0`,
+//! `--ranks x`) are usage errors: a diagnostic plus the usage text on
+//! stderr, exit 3.
 
 use parcoach_core::{
     analyze_module, instrument_module, AnalysisOptions, InitialContext, InstrumentMode,
@@ -54,11 +63,16 @@ parcoachc — static/dynamic validation of MPI collectives in multi-threaded pro
 
 USAGE:
     parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
+                               [--jobs N] [--deterministic]
     parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument] [--full]
+                               [--jobs N] [--deterministic]
     parcoachc dump-cfg <file.mh> [function]
     parcoachc dump-ir  <file.mh> [function]
     parcoachc workload <BT-MZ|SP-MZ|LU-MZ|EPCC|HERA> <A|B|C>
     parcoachc catalogue
+
+    --jobs N          analysis pool width (>= 1; default: machine parallelism)
+    --deterministic   reproducible pool scheduling (fixed victim-selection seed)
 ";
 
 struct Loaded {
@@ -80,6 +94,7 @@ fn load(path: &str) -> Result<Loaded, String> {
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("check: missing file")?;
     let mut opts = AnalysisOptions::default();
+    let mut pool = PoolFlags::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,10 +108,16 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("--context: bad value {other:?}")),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                pool.jobs = Some(parse_num(args.get(i), "--jobs")?);
+            }
+            "--deterministic" => pool.deterministic = true,
             other => return Err(format!("check: unknown flag `{other}`")),
         }
         i += 1;
     }
+    pool.apply();
     let loaded = load(path)?;
     let report = analyze_module(&loaded.module, &opts);
     println!("{}", report.render(&loaded.unit.source_map));
@@ -113,6 +134,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut cfg = RunConfig::default();
     let mut instrument = true;
     let mut mode = InstrumentMode::Selective;
+    let mut pool = PoolFlags::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -126,10 +148,16 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--no-instrument" => instrument = false,
             "--full" => mode = InstrumentMode::Full,
+            "--jobs" => {
+                i += 1;
+                pool.jobs = Some(parse_num(args.get(i), "--jobs")?);
+            }
+            "--deterministic" => pool.deterministic = true,
             other => return Err(format!("run: unknown flag `{other}`")),
         }
         i += 1;
     }
+    pool.apply();
     let loaded = load(path)?;
     let report = analyze_module(&loaded.module, &AnalysisOptions::default());
     if !report.is_clean() {
@@ -226,8 +254,46 @@ fn cmd_catalogue() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `--jobs`/`--deterministic` accumulated per subcommand, applied to the
+/// process-wide pool before any analysis runs.
+#[derive(Default)]
+struct PoolFlags {
+    jobs: Option<usize>,
+    deterministic: bool,
+}
+
+impl PoolFlags {
+    fn apply(&self) {
+        if self.jobs.is_none() && !self.deterministic {
+            return; // leave env/default configuration untouched
+        }
+        let mut cfg = parcoach_pool::PoolConfig::from_env();
+        if let Some(j) = self.jobs {
+            cfg.jobs = j;
+        }
+        if self.deterministic {
+            cfg.deterministic = true;
+        }
+        // The CLI configures before the first analysis, so this cannot
+        // race first-use; ignore the (unreachable) late-config error.
+        let _ = parcoach_pool::configure(cfg);
+    }
+}
+
+/// Parse a numeric flag value that must be at least 1. Anything else —
+/// missing, non-numeric, or zero — is a usage error: the message plus
+/// the usage text goes to stderr and the process exits 3.
 fn parse_num(v: Option<&String>, flag: &str) -> Result<usize, String> {
-    v.ok_or_else(|| format!("{flag}: missing value"))?
-        .parse()
-        .map_err(|e| format!("{flag}: {e}"))
+    let raw = v.ok_or_else(|| usage_error(format!("{flag}: missing value")))?;
+    match raw.parse::<usize>() {
+        Ok(0) => Err(usage_error(format!(
+            "{flag}: value must be at least 1, got `{raw}`"
+        ))),
+        Ok(n) => Ok(n),
+        Err(e) => Err(usage_error(format!("{flag}: invalid value `{raw}`: {e}"))),
+    }
+}
+
+fn usage_error(msg: String) -> String {
+    format!("{msg}\n{USAGE}")
 }

@@ -167,6 +167,68 @@ fn run_uninstrumented_still_reports_dynamic_error() {
 }
 
 #[test]
+fn bad_numeric_flag_values_are_usage_errors() {
+    // `--jobs 0`-style values used to be silently accepted or silently
+    // ignored; they must exit 3 with a diagnostic on stderr.
+    let p = write_mh("bad-numeric", CLEAN);
+    let file = p.to_str().unwrap();
+    for args in [
+        ["check", file, "--jobs", "0"],
+        ["check", file, "--jobs", "zero"],
+        ["run", file, "--jobs", "0"],
+        ["run", file, "--ranks", "0"],
+        ["run", file, "--threads", "0"],
+        ["run", file, "--ranks", "-1"],
+    ] {
+        let out = parcoachc(&args);
+        assert_eq!(exit_code(&out), 3, "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains(args[2]),
+            "diagnostic should name the flag for {args:?}: {err}"
+        );
+        assert!(
+            err.contains("USAGE"),
+            "bad values route through the usage path for {args:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn missing_numeric_flag_value_is_usage_error() {
+    let p = write_mh("missing-numeric", CLEAN);
+    let out = parcoachc(&["run", p.to_str().unwrap(), "--ranks"]);
+    assert_eq!(exit_code(&out), 3);
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("--ranks") && err.contains("missing value"),
+        "{err}"
+    );
+}
+
+#[test]
+fn jobs_and_deterministic_flags_accepted() {
+    let p = write_mh("jobs-flags", CLEAN);
+    let file = p.to_str().unwrap();
+    let out = parcoachc(&["check", file, "--jobs", "2", "--deterministic"]);
+    assert_eq!(exit_code(&out), 0, "stdout: {}", stdout(&out));
+    let out = parcoachc(&["run", file, "--ranks", "2", "--jobs", "1"]);
+    assert_eq!(exit_code(&out), 0, "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn check_reports_identical_across_jobs() {
+    // The analysis fans out over the pool; the rendered report must be
+    // byte-identical whatever the width.
+    let p = write_mh("jobs-identical", DIVERGENT);
+    let file = p.to_str().unwrap();
+    let seq = parcoachc(&["check", file, "--jobs", "1"]);
+    let par = parcoachc(&["check", file, "--jobs", "4", "--deterministic"]);
+    assert_eq!(exit_code(&seq), exit_code(&par));
+    assert_eq!(stdout(&seq), stdout(&par));
+}
+
+#[test]
 fn catalogue_lists_the_error_catalogue() {
     let out = parcoachc(&["catalogue"]);
     assert_eq!(exit_code(&out), 0);

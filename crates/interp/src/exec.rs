@@ -40,6 +40,11 @@ pub struct RunConfig {
     pub max_call_depth: usize,
     /// Highest thread level the simulated MPI grants.
     pub max_provided: ThreadLevel,
+    /// Run rank threads and team members on the shared simulator thread
+    /// cache (reused across runs/regions). `false` falls back to
+    /// spawning fresh OS threads everywhere, as before the pool existed
+    /// — the determinism tests compare the two.
+    pub pooled: bool,
 }
 
 impl Default for RunConfig {
@@ -52,6 +57,7 @@ impl Default for RunConfig {
             max_steps: 200_000_000,
             max_call_depth: 128,
             max_provided: ThreadLevel::Multiple,
+            pooled: true,
         }
     }
 }
@@ -95,8 +101,19 @@ struct RankEnv {
     output: Arc<Mutex<Vec<String>>>,
     steps: Arc<AtomicU64>,
     max_steps: u64,
-    /// Concurrency counters per static site (paper's `S_cc` check).
+    /// Concurrency counters per static site (paper's `S_cc` check):
+    /// live occupancy, catching regions that truly overlap in time.
     conc: Mutex<HashMap<u32, i64>>,
+    /// Executions per (site, team instance, barrier epoch). The paper
+    /// resets `S_cc` at synchronization points: a suspect region running
+    /// *twice between barriers* of one team is an ordering error even
+    /// when the schedule happens to serialize the two executions — this
+    /// keeps detection deterministic on any scheduler. Keying by each
+    /// member's own barrier count (equal across the team after every
+    /// barrier) makes the epoch roll-over race-free: nothing is ever
+    /// reset, a new epoch simply uses fresh keys. Stale epochs are
+    /// pruned lazily at barriers.
+    conc_seen: Mutex<HashMap<(u32, u64, u64), u32>>,
     /// First executing thread per (assert site, team instance): a second
     /// *distinct* thread reaching the same site in the same team
     /// encounter proves the context is not monothreaded.
@@ -145,43 +162,49 @@ impl Executor {
         });
         let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let steps = Arc::new(AtomicU64::new(0));
-        let mut errors: Vec<Option<RunError>> = (0..self.cfg.ranks).map(|_| None).collect();
-        std::thread::scope(|s| {
-            for (rank, slot) in errors.iter_mut().enumerate() {
-                let world = world.clone();
-                let output = output.clone();
-                let steps = steps.clone();
-                s.spawn(move || {
-                    let env = RankEnv {
-                        world: world.clone(),
-                        omp: OmpSim::new(OmpConfig {
-                            default_num_threads: self.cfg.default_threads,
-                            barrier_timeout: self.cfg.barrier_timeout,
-                            max_levels: 8,
-                        }),
-                        rank,
-                        output,
-                        steps,
-                        max_steps: self.cfg.max_steps,
-                        conc: Mutex::new(HashMap::new()),
-                        mono: Mutex::new(HashMap::new()),
-                    };
-                    let mut ctx = ThreadCtx::initial();
-                    let res = self.exec_function(&env, &mut ctx, true, "main", Vec::new(), 0);
-                    world.finish_rank(rank);
-                    if let Err(e) = res {
-                        // Make sure peers blocked in MPI wake up.
-                        if world.abort_reason().is_none() {
-                            world.abort(MpiError::Aborted(e.to_string()));
-                        }
-                        *slot = Some(e);
-                    }
-                });
+        let errors: Vec<Mutex<Option<RunError>>> =
+            (0..self.cfg.ranks).map(|_| Mutex::new(None)).collect();
+        let run_rank = |rank: usize| {
+            let env = RankEnv {
+                world: world.clone(),
+                omp: OmpSim::new(OmpConfig {
+                    default_num_threads: self.cfg.default_threads,
+                    barrier_timeout: self.cfg.barrier_timeout,
+                    max_levels: 8,
+                    pooled: self.cfg.pooled,
+                }),
+                rank,
+                output: output.clone(),
+                steps: steps.clone(),
+                max_steps: self.cfg.max_steps,
+                conc: Mutex::new(HashMap::new()),
+                conc_seen: Mutex::new(HashMap::new()),
+                mono: Mutex::new(HashMap::new()),
+            };
+            let mut ctx = ThreadCtx::initial();
+            let res = self.exec_function(&env, &mut ctx, true, "main", Vec::new(), 0);
+            world.finish_rank(rank);
+            if let Err(e) = res {
+                // Make sure peers blocked in MPI wake up.
+                if world.abort_reason().is_none() {
+                    world.abort(MpiError::Aborted(e.to_string()));
+                }
+                *errors[rank].lock() = Some(e);
             }
-        });
+        };
+        if self.cfg.pooled {
+            parcoach_pool::thread_cache().run_set(self.cfg.ranks, run_rank);
+        } else {
+            std::thread::scope(|s| {
+                for rank in 0..self.cfg.ranks {
+                    let run_rank = &run_rank;
+                    s.spawn(move || run_rank(rank));
+                }
+            });
+        }
         // Prefer root-cause errors over secondary echoes (aborted MPI
         // calls, poisoned barriers on sibling ranks).
-        let mut errs: Vec<RunError> = errors.into_iter().flatten().collect();
+        let mut errs: Vec<RunError> = errors.into_iter().filter_map(|m| m.into_inner()).collect();
         let has_root = errs.iter().any(|e| !is_secondary_error(e));
         if has_root {
             errs.retain(|e| !is_secondary_error(e));
@@ -306,7 +329,11 @@ impl Executor {
                         // sibling threads that then fail on poisoned
                         // barriers / aborted MPI must not mask it.
                         let root_err: Mutex<Option<RunError>> = Mutex::new(None);
+                        // Team instance id, exported by the members so
+                        // the parent can retire its counters after join.
+                        let team_id = AtomicU64::new(0);
                         let fork_res = env.omp.fork::<RunError, _>(omp, nt, &|child| {
+                            team_id.store(child.team_instance(), Ordering::Relaxed);
                             let child_initial = is_initial && child.thread_num() == 0;
                             let mut child_frame = parent_frame.clone();
                             let res = self.exec_from(
@@ -340,6 +367,19 @@ impl Executor {
                                 }
                             }
                         });
+                        // The team is retired: drop its concurrency-site
+                        // epoch counts and monothread first-executor
+                        // records (both are keyed by the globally-unique
+                        // team instance and would otherwise grow by one
+                        // entry per site per region executed over the
+                        // rank's lifetime).
+                        let retired = team_id.load(Ordering::Relaxed);
+                        if retired != 0 {
+                            env.conc_seen
+                                .lock()
+                                .retain(|(_, team, _), _| *team != retired);
+                            env.mono.lock().retain(|(_, team), _| *team != retired);
+                        }
                         match fork_res {
                             Ok(()) => {}
                             Err(ForkError::Body(e)) => {
@@ -390,6 +430,17 @@ impl Executor {
                                 env.rank,
                             )
                         })?;
+                        // Prune concurrency-site counts of epochs this
+                        // team has left behind. Every member has passed
+                        // the barrier, so entries of older epochs can
+                        // never be incremented again — removing them
+                        // cannot race with a fast member already
+                        // counting in the *new* epoch (fresh keys).
+                        let instance = omp.team_instance();
+                        let epoch = omp.barriers_passed();
+                        env.conc_seen
+                            .lock()
+                            .retain(|(_, team, e), _| *team != instance || *e >= epoch);
                     }
                     Directive::PForInit {
                         var,
@@ -679,16 +730,32 @@ impl Executor {
                 Ok(())
             }
             CheckOp::ConcEnter { site, span } => {
-                let mut conc = env.conc.lock();
-                let c = conc.entry(*site).or_insert(0);
-                *c += 1;
-                if *c >= 2 {
+                let overlapping = {
+                    let mut conc = env.conc.lock();
+                    let c = conc.entry(*site).or_insert(0);
+                    *c += 1;
+                    *c >= 2
+                };
+                // Second execution of a suspect site within one barrier
+                // epoch of a team: an ordering error even if the two
+                // executions happen not to overlap on this particular
+                // schedule. Outside any team, executions are fully
+                // ordered by program order and must not count — a
+                // suspect function re-called sequentially would
+                // otherwise accumulate counts for the rank's lifetime.
+                let reexecuted = omp.team.is_some() && {
+                    let key = (*site, omp.team_instance(), omp.barriers_passed());
+                    let mut seen = env.conc_seen.lock();
+                    let s = seen.entry(key).or_insert(0);
+                    *s += 1;
+                    *s >= 2
+                };
+                if overlapping || reexecuted {
                     let err = RunError::new(
                         RunErrorKind::ConcurrentRegions { site: *site },
                         *span,
                         env.rank,
                     );
-                    drop(conc);
                     self.abort_everyone(env, omp, &err);
                     return Err(err);
                 }

@@ -531,6 +531,77 @@ fn concurrent_singles_fail() {
 }
 
 #[test]
+fn serialized_self_concurrency_still_detected() {
+    // A team of one: every nowait-single instance is claimed by the
+    // same thread, so the executions can never overlap in *time*. The
+    // ordering violation — a suspect site executing twice with no
+    // barrier in between — must be flagged anyway (the paper's S_cc
+    // counters reset at synchronization points, not at region exits),
+    // making detection schedule-independent.
+    let r = run_instr(
+        "fn main() {
+            parallel num_threads(1) {
+                for (i in 0..3) {
+                    single nowait { let x = MPI_Allreduce(i, SUM); }
+                }
+                barrier;
+            }
+        }",
+        2,
+        1,
+    );
+    assert!(!r.is_clean(), "{:?}", r.errors);
+    assert!(
+        r.errors
+            .iter()
+            .any(|e| matches!(e.kind, RunErrorKind::ConcurrentRegions { .. })),
+        "expected a concurrency-counter hit, got {:?}",
+        r.errors
+    );
+}
+
+#[test]
+fn sequential_reexecution_of_suspect_site_is_clean() {
+    // The single-in-a-loop is statically self-concurrent (its site gets
+    // a counter), but here it only ever executes *outside* any team —
+    // once per loop iteration, twice per call, fully ordered by program
+    // order. Epoch counting applies to team execution only; the
+    // sequential executions must never accumulate into a false
+    // ConcurrentRegions abort, no matter how often the function is
+    // re-called over the rank's lifetime.
+    let r = run_instr(
+        "fn f() {
+            for (i in 0..2) { single nowait { MPI_Barrier(); } }
+            barrier;
+        }
+        fn main() { MPI_Init(); f(); f(); MPI_Finalize(); }",
+        2,
+        2,
+    );
+    assert!(r.is_clean(), "{:?}", r.errors);
+}
+
+#[test]
+fn barrier_resets_concurrency_epoch() {
+    // The same suspect single re-executing across loop iterations is
+    // fine when a barrier separates the iterations: the epoch count
+    // resets at the synchronization point.
+    let r = run_instr(
+        "fn main() {
+            parallel num_threads(4) {
+                for (i in 0..3) {
+                    single nowait { let x = MPI_Allreduce(i, SUM); }
+                    barrier;
+                }
+            }
+        }",
+        2,
+        4,
+    );
+    assert!(r.is_clean(), "{:?}", r.errors);
+}
+
+#[test]
 fn rank_dependent_loop_count_detected() {
     let r = run_instr(
         "fn main() {

@@ -10,7 +10,12 @@ use parcoach_ir::graph::{func_from_edges, reachable};
 use parcoach_ir::types::BlockId;
 use parcoach_testutil::Rng;
 
-const CASES: u64 = 64;
+/// Base budget 64; `PARCOACH_PROP_BUDGET=4` (CI's extended matrix)
+/// raises it to 256 — affordable now that the simulators reuse
+/// pooled threads.
+fn cases() -> u64 {
+    parcoach_testutil::case_budget(64)
+}
 
 /// Random CFG as an edge list over `n` blocks with ≤2 successors each,
 /// block 0 the entry. Mirrors the old proptest strategy: each block
@@ -66,7 +71,7 @@ fn naive_dominates(n: usize, edges: &[(u32, u32)], a: BlockId, b: BlockId, reach
 
 #[test]
 fn domtree_matches_naive() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let dt = DomTree::compute(&f);
@@ -92,7 +97,7 @@ fn domtree_matches_naive() {
 
 #[test]
 fn idom_is_strict_dominator() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let dt = DomTree::compute(&f);
@@ -110,7 +115,7 @@ fn idom_is_strict_dominator() {
 
 #[test]
 fn pdf_members_are_branch_blocks() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let pdt = PostDomTree::compute(&f);
@@ -130,7 +135,7 @@ fn pdf_members_are_branch_blocks() {
 
 #[test]
 fn post_dominance_antisymmetric() {
-    for seed in 0..CASES {
+    for seed in 0..cases() {
         let (n, edges) = random_cfg(&mut Rng::new(seed));
         let f = func_from_edges(n, &edges);
         let pdt = PostDomTree::compute(&f);

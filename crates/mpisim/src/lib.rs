@@ -42,7 +42,7 @@ pub mod world;
 pub use error::{MpiError, RankActivity};
 pub use signature::{CollectiveOp, Signature};
 pub use value::{MpiType, MpiValue};
-pub use world::{data_signature, CcOutcome, MpiConfig, World};
+pub use world::{data_signature, run_ranks, CcOutcome, MpiConfig, World};
 
 #[cfg(test)]
 mod tests {
@@ -67,19 +67,10 @@ mod tests {
         })
     }
 
-    /// Run `f(rank)` on `n` rank threads and collect results.
+    /// Run `f(rank)` on `n` pooled rank threads and collect results.
     fn run_ranks<R: Send>(w: &Arc<World>, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            for (rank, slot) in out.iter_mut().enumerate() {
-                let f = &f;
-                let _w = w.clone();
-                s.spawn(move || {
-                    *slot = Some(f(rank));
-                });
-            }
-        });
-        out.into_iter().map(|o| o.expect("thread ran")).collect()
+        assert_eq!(w.size(), n, "test worlds are sized to their rank count");
+        world::run_ranks(w, f)
     }
 
     #[test]

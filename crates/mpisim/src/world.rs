@@ -766,6 +766,22 @@ fn short_array(sig: &Signature, len: usize, size: usize) -> MpiError {
     ))
 }
 
+/// Run `f(rank)` for every rank of `world` concurrently — one dedicated
+/// thread per rank from the shared simulator thread cache (reused across
+/// worlds instead of respawned) — and collect the per-rank results in
+/// rank order.
+///
+/// Ranks may block in collectives/recv; the cache guarantees all of
+/// them run simultaneously, which the matching engine's liveness census
+/// assumes.
+pub fn run_ranks<R, F>(world: &Arc<World>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    parcoach_pool::thread_cache().run_map(world.size(), f)
+}
+
 /// Convenience: the signature of a data collective from IR-level facts.
 pub fn data_signature(
     kind: parcoach_front::ast::CollectiveKind,

@@ -50,6 +50,12 @@ pub struct OmpConfig {
     pub barrier_timeout: Duration,
     /// Maximum nesting depth of parallel regions (defensive bound).
     pub max_levels: usize,
+    /// Run team members on the shared [`parcoach_pool::ThreadCache`]
+    /// (reusing parked OS threads across `parallel` regions) instead of
+    /// spawning a fresh thread per member per region. Semantics are
+    /// identical — every member still gets a dedicated concurrent
+    /// thread; only the spawn cost disappears.
+    pub pooled: bool,
 }
 
 impl Default for OmpConfig {
@@ -58,6 +64,7 @@ impl Default for OmpConfig {
             default_num_threads: 4,
             barrier_timeout: Duration::from_secs(5),
             max_levels: 8,
+            pooled: true,
         }
     }
 }
@@ -112,22 +119,28 @@ impl OmpSim {
             ))));
         }
         let team = team::new_team(size, level);
-        let mut results: Vec<Option<Result<(), E>>> = (0..size).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size);
-            for (tid, slot) in results.iter_mut().enumerate() {
-                let team = team.clone();
-                handles.push(scope.spawn(move || {
-                    let mut ctx = team::member_ctx(team, tid);
-                    *slot = Some(body(&mut ctx));
-                }));
-            }
-            for h in handles {
-                let _ = h.join();
-            }
-        });
+        let results: Vec<parking_lot::Mutex<Option<Result<(), E>>>> =
+            (0..size).map(|_| parking_lot::Mutex::new(None)).collect();
+        if self.cfg.pooled {
+            // Cached simulator threads: the spawn cost is paid once per
+            // process, not once per member per region.
+            parcoach_pool::thread_cache().run_set(size, |tid| {
+                let mut ctx = team::member_ctx(team.clone(), tid);
+                *results[tid].lock() = Some(body(&mut ctx));
+            });
+        } else {
+            std::thread::scope(|scope| {
+                for (tid, slot) in results.iter().enumerate() {
+                    let team = team.clone();
+                    scope.spawn(move || {
+                        let mut ctx = team::member_ctx(team, tid);
+                        *slot.lock() = Some(body(&mut ctx));
+                    });
+                }
+            });
+        }
         let mut first_err = None;
-        for r in results.into_iter().flatten() {
+        for r in results.into_iter().filter_map(|m| m.into_inner()) {
             if let Err(e) = r {
                 if first_err.is_none() {
                     first_err = Some(e);

@@ -85,6 +85,12 @@ pub struct ThreadCtx {
     /// How many times this thread has encountered each `single`/
     /// `sections` region (instances must match across the team).
     encounters: HashMap<u32, u64>,
+    /// Team barriers this member has passed. Barriers synchronize the
+    /// whole team, so after any barrier every member agrees on the
+    /// count — it identifies the current *barrier epoch* without any
+    /// cross-thread bookkeeping (the executor keys its concurrency-site
+    /// counters by it).
+    barriers_passed: u64,
 }
 
 impl ThreadCtx {
@@ -94,6 +100,7 @@ impl ThreadCtx {
             team: None,
             thread_num: 0,
             encounters: HashMap::new(),
+            barriers_passed: 0,
         }
     }
 
@@ -168,12 +175,23 @@ impl ThreadCtx {
         (start, start + len)
     }
 
-    /// Wait at the team barrier (no-op outside a team).
-    pub fn barrier(&self, timeout: Duration) -> Result<(), OmpError> {
+    /// Wait at the team barrier (no-op outside a team). A successful
+    /// wait advances this member's barrier epoch.
+    pub fn barrier(&mut self, timeout: Duration) -> Result<(), OmpError> {
         match &self.team {
             None => Ok(()),
-            Some(t) => t.barrier.wait(timeout).map_err(OmpError::from),
+            Some(t) => {
+                t.barrier.wait(timeout).map_err(OmpError::from)?;
+                self.barriers_passed += 1;
+                Ok(())
+            }
         }
+    }
+
+    /// Team barriers this member has passed (the current barrier
+    /// epoch; equal across the team after every barrier).
+    pub fn barriers_passed(&self) -> u64 {
+        self.barriers_passed
     }
 
     fn bump_encounter(&mut self, region: u32) -> u64 {
@@ -199,6 +217,7 @@ pub(crate) fn member_ctx(team: Arc<TeamShared>, tid: usize) -> ThreadCtx {
         team: Some(team),
         thread_num: tid,
         encounters: HashMap::new(),
+        barriers_passed: 0,
     }
 }
 

@@ -31,7 +31,7 @@ pub struct Mutex<T: ?Sized>(ss::Mutex<T>);
 pub struct MutexGuard<'a, T: ?Sized>(Option<ss::MutexGuard<'a, T>>);
 
 impl<T> Mutex<T> {
-    pub fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         Mutex(ss::Mutex::new(value))
     }
 
@@ -97,7 +97,7 @@ impl WaitTimeoutResult {
 pub struct Condvar(ss::Condvar);
 
 impl Condvar {
-    pub fn new() -> Self {
+    pub const fn new() -> Self {
         Condvar(ss::Condvar::new())
     }
 
@@ -116,6 +116,18 @@ impl Condvar {
                 .wait(inner)
                 .unwrap_or_else(ss::PoisonError::into_inner),
         );
+    }
+
+    /// Block until `condition` returns false (parking_lot's
+    /// `wait_while`): re-checks after every wakeup, so spurious wakeups
+    /// and notify-storms are absorbed here instead of at every caller.
+    pub fn wait_while<T, F>(&self, guard: &mut MutexGuard<'_, T>, mut condition: F)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut *guard) {
+            self.wait(guard);
+        }
     }
 
     /// Wait until `deadline`; returns whether the wait timed out. A
@@ -143,7 +155,7 @@ impl Condvar {
 pub struct RwLock<T: ?Sized>(ss::RwLock<T>);
 
 impl<T> RwLock<T> {
-    pub fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         RwLock(ss::RwLock::new(value))
     }
 
@@ -288,6 +300,25 @@ mod tests {
             cv.wait(&mut done);
         }
         assert!(*done);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_while_blocks_until_condition_clears() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            for _ in 0..3 {
+                *m.lock() += 1;
+                cv.notify_all();
+            }
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        cv.wait_while(&mut g, |v| *v < 3);
+        assert_eq!(*g, 3);
+        drop(g);
         h.join().unwrap();
     }
 

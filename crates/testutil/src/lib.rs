@@ -10,7 +10,7 @@
 //!   weighted picks). Each test owns its seed, so failures reproduce by
 //!   re-running the test — no shrinking, but the generators are kept
 //!   small enough that raw counterexamples are readable.
-//! * [`bench`] — a micro-harness exposing the subset of the criterion
+//! * [`mod@bench`] — a micro-harness exposing the subset of the criterion
 //!   API the `parcoach-bench` benches use (`Criterion`,
 //!   `benchmark_group`, `bench_with_input`, `BenchmarkId`,
 //!   `criterion_group!`, `criterion_main!`). `parcoach-bench` depends on
@@ -22,4 +22,4 @@ pub mod bench;
 pub mod rng;
 
 pub use bench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
-pub use rng::Rng;
+pub use rng::{case_budget, Rng};

@@ -86,9 +86,31 @@ impl Rng {
     }
 }
 
+/// Property-test case budget: `default` scaled by the
+/// `PARCOACH_PROP_BUDGET` environment multiplier (a positive integer;
+/// unset, `1`, or unparsable means the default). The pooled simulators
+/// make larger budgets affordable: `PARCOACH_PROP_BUDGET=4` raises the
+/// dom/lang suites from 64/512 to 256/2048 cases, as CI's extended
+/// matrix does.
+pub fn case_budget(default: u64) -> u64 {
+    let mult = std::env::var("PARCOACH_PROP_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1);
+    default.saturating_mul(mult)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_defaults_without_env() {
+        // The suite does not set the variable; the default passes
+        // through. (Multiplication is covered by the arithmetic.)
+        assert_eq!(case_budget(64), 64 * case_budget(1));
+    }
 
     #[test]
     fn deterministic_across_instances() {

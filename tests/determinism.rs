@@ -1,0 +1,195 @@
+//! Determinism properties of the pooled pipeline.
+//!
+//! 1. **Static**: for seeded random multi-function modules,
+//!    `analyze_module_with` under a 1-lane pool and under an N-lane
+//!    deterministic pool produce *byte-identical* `StaticReport`s (both
+//!    the `Debug` form and the rendered text). The generator leans into
+//!    what the fan-out must keep ordered: many functions, divergent
+//!    collectives (mismatch warnings), multithreaded collectives
+//!    (phase-1 warnings), concurrency sites (global renumbering) and
+//!    cross-function calls (taint propagation).
+//! 2. **Dynamic**: every error-catalogue case classifies identically
+//!    under pooled and unpooled (fresh-thread) execution — cleanliness,
+//!    check-interception and error-kind sets all match the catalogue's
+//!    expectation either way.
+
+use parcoach::analysis::{analyze_module_with, AnalysisOptions};
+use parcoach::front::parse_and_check;
+use parcoach::interp::{check_and_run, RunConfig};
+use parcoach::ir::lower::lower_program;
+use parcoach::pool::{Pool, PoolConfig};
+use parcoach::workloads::{error_catalogue, ExpectDynamic};
+use parcoach_testutil::Rng;
+
+/// One random statement for a function body (uses locals `acc`/`x`).
+fn random_stmt(rng: &mut Rng, fresh: &mut u32, callees: &[String]) -> String {
+    let mut choices: Vec<u32> = (0..9).collect();
+    if callees.is_empty() {
+        choices.pop(); // no call statement without callees
+    }
+    match *rng.pick(&choices) {
+        0 => format!("acc = acc + {};", rng.range_i64(1, 7)),
+        1 => "x = float_of(acc) * 0.5;".to_string(),
+        2 => "MPI_Barrier();".to_string(),
+        3 => "acc = acc + int_of(MPI_Allreduce(1.0, SUM));".to_string(),
+        // Divergent collective: phase-3 mismatch candidates.
+        4 => "if (rank() == 0) { MPI_Barrier(); }".to_string(),
+        // Multithreaded collective: phase-1 warnings.
+        5 => "parallel num_threads(2) { let y = MPI_Allreduce(1.0, SUM); }".to_string(),
+        // Clean parallel region with a single'd collective.
+        6 => "parallel num_threads(2) { single { MPI_Barrier(); } }".to_string(),
+        7 => {
+            *fresh += 1;
+            let v = format!("i{fresh}");
+            format!(
+                "for ({v} in 0..{}) {{ acc = acc + {v}; }}",
+                rng.range_i64(1, 4)
+            )
+        }
+        _ => format!("{}();", rng.pick(callees)),
+    }
+}
+
+/// A module of several functions; later functions may call earlier ones
+/// (so taint propagates through a DAG), and `main` calls a few from
+/// mixed contexts.
+fn random_module(rng: &mut Rng) -> String {
+    let nfuncs = rng.range_usize(3, 8);
+    let mut fresh = 0u32;
+    let mut names: Vec<String> = Vec::new();
+    let mut out = String::new();
+    for f in 0..nfuncs {
+        let name = format!("work_{f}");
+        let nstmts = rng.range_usize(1, 5);
+        let body: Vec<String> = (0..nstmts)
+            .map(|_| random_stmt(rng, &mut fresh, &names))
+            .collect();
+        out.push_str(&format!(
+            "fn {name}() {{\n    let acc = 1;\n    let x = 0.0;\n    {}\n    print(acc + int_of(x));\n}}\n",
+            body.join("\n    ")
+        ));
+        names.push(name);
+    }
+    let mut main_body = String::new();
+    for name in &names {
+        match rng.below(4) {
+            0 => main_body.push_str(&format!("    {name}();\n")),
+            1 => main_body.push_str(&format!("    if (rank() == 0) {{ {name}(); }}\n")),
+            2 => main_body.push_str(&format!(
+                "    parallel num_threads(2) {{ single {{ {name}(); }} }}\n"
+            )),
+            _ => {} // not called at all
+        }
+    }
+    out.push_str(&format!(
+        "fn main() {{\n    MPI_Init_thread(SERIALIZED);\n{main_body}    MPI_Finalize();\n}}\n"
+    ));
+    out
+}
+
+/// 50 seeded random modules: the report is byte-identical between the
+/// sequential reference schedule and a 4-lane deterministic pool.
+#[test]
+fn analyze_reports_identical_across_pool_widths() {
+    let pool1 = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 0xD5,
+    });
+    let pool4 = Pool::new(PoolConfig {
+        jobs: 4,
+        deterministic: true,
+        seed: 0xD5,
+    });
+    let opts = AnalysisOptions::default();
+    for seed in 0..50 {
+        let src = random_module(&mut Rng::new(seed));
+        let unit = parse_and_check("det.mh", &src)
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}\n{src}", d.render(&sm)));
+        let module = lower_program(&unit.program, &unit.signatures);
+        let seq = analyze_module_with(&module, &opts, &pool1);
+        let par = analyze_module_with(&module, &opts, &pool4);
+        assert_eq!(
+            format!("{seq:?}"),
+            format!("{par:?}"),
+            "seed {seed}: reports diverge\n{src}"
+        );
+        assert_eq!(
+            seq.render(&unit.source_map),
+            par.render(&unit.source_map),
+            "seed {seed}: rendered reports diverge\n{src}"
+        );
+    }
+}
+
+/// Re-analyzing the *same* module on the same pool is also stable (no
+/// hidden iteration-order leaks through HashMaps).
+#[test]
+fn analyze_is_stable_across_repeats() {
+    let pool4 = Pool::new(PoolConfig {
+        jobs: 4,
+        deterministic: true,
+        seed: 9,
+    });
+    let opts = AnalysisOptions::default();
+    let src = random_module(&mut Rng::new(1234));
+    let unit = parse_and_check("det.mh", &src).expect("valid");
+    let module = lower_program(&unit.program, &unit.signatures);
+    let first = format!("{:?}", analyze_module_with(&module, &opts, &pool4));
+    for _ in 0..5 {
+        let again = format!("{:?}", analyze_module_with(&module, &opts, &pool4));
+        assert_eq!(first, again, "\n{src}");
+    }
+}
+
+/// Classification of one run, for comparing pooled vs. unpooled.
+fn classify(run: &parcoach::interp::RunReport) -> (bool, bool, Vec<&'static str>) {
+    let mut kinds: Vec<&'static str> = run.errors.iter().map(|e| e.kind.code()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    (run.is_clean(), run.detected_by_check(), kinds)
+}
+
+/// Every catalogue case behaves the same whether rank/team threads come
+/// from the pool or are spawned fresh.
+#[test]
+fn catalogue_classifies_identically_pooled_and_unpooled() {
+    for case in error_catalogue() {
+        let run_with = |pooled: bool| {
+            let cfg = RunConfig {
+                pooled,
+                ..RunConfig::fast_fail(2, 4)
+            };
+            let (_report, run) =
+                check_and_run(case.id, &case.source, cfg, true).expect("catalogue case compiles");
+            run
+        };
+        let pooled = run_with(true);
+        let unpooled = run_with(false);
+        // Error *interleavings* may differ run to run for MayFail cases;
+        // the verdict classes must not.
+        if case.expect_dynamic != ExpectDynamic::MayFail {
+            let a = classify(&pooled);
+            let b = classify(&unpooled);
+            assert_eq!(
+                a.0, b.0,
+                "{}: cleanliness differs (pooled {a:?} vs unpooled {b:?})",
+                case.id
+            );
+        }
+        for (label, run) in [("pooled", &pooled), ("unpooled", &unpooled)] {
+            let ok = match case.expect_dynamic {
+                ExpectDynamic::Clean => run.is_clean(),
+                ExpectDynamic::CaughtByCheck => !run.is_clean() && run.detected_by_check(),
+                ExpectDynamic::CaughtBySubstrate | ExpectDynamic::Fails => !run.is_clean(),
+                ExpectDynamic::MayFail => true,
+            };
+            assert!(
+                ok,
+                "{} ({label}): unexpected dynamic outcome {:?}",
+                case.id,
+                classify(run)
+            );
+        }
+    }
+}

@@ -145,8 +145,10 @@ fn optimization_preserves_output() {
 /// cleanly and agree with the uninstrumented output.
 #[test]
 fn generated_programs_run_clean_instrumented() {
-    // Threads × ranks per case: keep the budget sane with 10 cases.
-    for seed in 200..210 {
+    // Threads × ranks per case: 10 cases by default; the
+    // `PARCOACH_PROP_BUDGET` multiplier scales the count now that rank
+    // and team threads come from the reusable pool.
+    for seed in 200..(200 + 10 * parcoach_testutil::case_budget(1)) {
         let src = random_program(&mut Rng::new(seed));
         let cfg = || RunConfig {
             ranks: 2,
@@ -164,5 +166,35 @@ fn generated_programs_run_clean_instrumented() {
         a.sort();
         b.sort();
         assert_eq!(a, b, "seed {seed} in\n{src}");
+    }
+}
+
+/// Wider worlds are affordable now that rank threads are pooled: a
+/// collective program over 8 ranks (16 under the extended budget), with
+/// the result checked exactly.
+#[test]
+fn wide_world_allreduce_is_exact() {
+    let ranks = if parcoach_testutil::case_budget(1) >= 4 {
+        16
+    } else {
+        8
+    };
+    let src = "fn main() {
+        MPI_Init();
+        let sum = MPI_Allreduce(rank() + 1, SUM);
+        print(sum);
+        MPI_Finalize();
+    }";
+    let cfg = RunConfig {
+        ranks,
+        default_threads: 2,
+        ..RunConfig::default()
+    };
+    let (_report, run) = check_and_run("wide.mh", src, cfg, true).expect("compiles");
+    assert!(run.is_clean(), "{:?}", run.errors);
+    let expected = (ranks * (ranks + 1) / 2).to_string();
+    assert_eq!(run.output.len(), ranks);
+    for line in &run.output {
+        assert!(line.contains(&expected), "{line}");
     }
 }
