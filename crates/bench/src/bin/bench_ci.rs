@@ -123,6 +123,10 @@ fn run(args: &[String]) -> Result<bool, String> {
     let suite = figure1_suite(WorkloadClass::A);
     let _ = compile_suite_concurrent(&suite);
 
+    // The single-CPU-baseline NOTE is printed at most once per run (it
+    // repeats identically per gated key otherwise and drowns CI logs).
+    let mut slack_note_printed = false;
+
     // --- fig1 micro-bench (gated on the suite total) ----------------------
     let (mut fig1_total, per_workload) = measure_fig1(&suite);
     gate_ok &= gate(
@@ -131,6 +135,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         calibration_ns,
         baseline.as_ref(),
         tolerance,
+        &mut slack_note_printed,
         || measure_fig1(&suite).0,
     );
     for (name, ns) in &per_workload {
@@ -160,6 +165,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         calibration_ns,
         baseline.as_ref(),
         tolerance,
+        &mut slack_note_printed,
         &mut run_detection,
     );
     println!(
@@ -224,12 +230,16 @@ fn measure_fig1(suite: &[Workload]) -> (u64, BTreeMap<String, u64>) {
 /// Check one gated aggregate against the baseline, re-measuring (and
 /// keeping the fastest attempt) while it reads over tolerance. Returns
 /// whether the metric passes; `current` is updated to the kept attempt.
+/// `slack_note_printed` suppresses repeats of the baseline-slack NOTE
+/// across gated keys within one run.
+#[allow(clippy::too_many_arguments)]
 fn gate(
     key: &str,
     current: &mut u64,
     calibration_ns: u64,
     baseline: Option<&BTreeMap<String, u64>>,
     tolerance: f64,
+    slack_note_printed: &mut bool,
     mut remeasure: impl FnMut() -> u64,
 ) -> bool {
     let Some(base) = baseline else {
@@ -251,12 +261,17 @@ fn gate(
             // recorded on differently-shaped hardware (e.g. a 1-CPU
             // box where pooled work serialized) and the gate is running
             // with that much slack — it cannot catch a regression
-            // smaller than the gap. Tell the operator to tighten it.
-            if ratio < base_ratio * 0.6 {
+            // smaller than the gap. Tell the operator to tighten it —
+            // once per run, with the actual calibration ratios so the
+            // log shows how much slack there is.
+            if ratio < base_ratio * 0.6 && !*slack_note_printed {
+                *slack_note_printed = true;
                 println!(
-                    "{key:<24} NOTE: {:.0}% below baseline — baseline looks recorded on \
+                    "NOTE: {key} runs {:.0}% below baseline (x{ratio:.3} cal now vs \
+                     x{base_ratio:.3} cal recorded) — baseline looks recorded on \
                      slower/differently-shaped hardware; refresh it on this machine with \
-                     --write-baseline to restore the gate's sensitivity",
+                     --write-baseline to restore the gate's sensitivity \
+                     (further per-key notes suppressed this run)",
                     -delta
                 );
             }

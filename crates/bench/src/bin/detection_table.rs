@@ -2,18 +2,31 @@
 //! for every case, the static verdict, the dynamic outcome of an
 //! *instrumented* run, and who intercepted the failure.
 //!
-//! Usage: `cargo run --release -p parcoach-bench --bin detection_table`
+//! Usage: `cargo run --release -p parcoach-bench --bin detection_table
+//! [filter[,filter…]]` — optional comma-separated id substrings select
+//! a catalogue slice (e.g. `p2p,subcomm,multiple` for the E6 p2p /
+//! sub-communicator slice).
 
 use parcoach_interp::{check_and_run, RunConfig};
 use parcoach_workloads::{error_catalogue, ExpectDynamic, ExpectStatic};
 
 fn main() {
+    let filters: Vec<String> = std::env::args()
+        .nth(1)
+        .map(|arg| arg.split(',').map(|s| s.to_string()).collect())
+        .unwrap_or_default();
+    let selected = |id: &str| filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()));
     println!(
         "{:<28} {:<26} {:<10} {:<14} {:<10} ok?",
         "case", "static verdict", "expected", "dynamic", "by-check"
     );
     let mut all_ok = true;
+    let mut any = false;
     for case in error_catalogue() {
+        if !selected(case.id) {
+            continue;
+        }
+        any = true;
         let cfg = RunConfig::fast_fail(2, 4);
         let (report, run) = match check_and_run(case.id, &case.source, cfg, true) {
             Ok(x) => x,
@@ -65,6 +78,10 @@ fn main() {
         );
     }
     println!();
+    if !any {
+        println!("no catalogue case matches the filter(s).");
+        std::process::exit(1);
+    }
     if all_ok {
         println!("all catalogue cases behave as expected.");
     } else {

@@ -13,12 +13,23 @@
 //! monothreaded region lying on a CFG cycle with no barrier on the cycle
 //! is concurrent *with itself* across iterations; we flag it with
 //! [`WarningKind::SelfConcurrentRegion`] and instrument it the same way.
+//!
+//! **Per-communicator generalization**: the order of two collectives
+//! only matters when they can meet in the *same* matching space — the
+//! same communicator class. Concurrent monothreaded regions issuing
+//! collectives on communicators that cannot alias (or mixing
+//! point-to-point with collectives) are *legal* under
+//! `MPI_THREAD_MULTIPLE`; they produce no warning, but the phase
+//! records that `MPI_THREAD_MULTIPLE` is required, which feeds the
+//! thread-level adequacy check.
 
+use crate::comm::{CommId, CommTable, FuncComms};
 use crate::pw::PwResult;
 use crate::report::{StaticWarning, WarningKind};
+use parcoach_front::ast::ThreadLevel;
 use parcoach_front::span::Span;
 use parcoach_ir::func::FuncIr;
-use parcoach_ir::instr::{BlockKind, Directive, Terminator};
+use parcoach_ir::instr::{BlockKind, Directive, Instr, MpiIr, Terminator};
 use parcoach_ir::loops::LoopInfo;
 use parcoach_ir::types::{BlockId, RegionId};
 use std::collections::HashMap;
@@ -34,26 +45,62 @@ pub struct ConcurrencyResult {
     pub sites: Vec<(RegionId, u32)>,
     /// Collective blocks involved (suspects for `CC` instrumentation).
     pub suspects: Vec<BlockId>,
+    /// The phase proved two threads may be inside MPI simultaneously on
+    /// unrelated communicators (legal, but only under
+    /// `MPI_THREAD_MULTIPLE`).
+    pub required_level: Option<ThreadLevel>,
 }
 
-/// A collective node together with its innermost monothreaded region.
+/// What kind of MPI operation a region node performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    /// A collective on a communicator class.
+    Coll(CommId),
+    /// A point-to-point operation (send/recv).
+    P2p,
+}
+
+/// An MPI node together with its innermost monothreaded region.
 struct RegionColl {
     block: BlockId,
     span: Span,
     name: &'static str,
+    class: OpClass,
     /// Index in the word of the innermost S token.
     s_pos: usize,
     region: RegionId,
 }
 
 /// Run phase 2 on one function.
-pub fn check_concurrency(f: &FuncIr, pw: &PwResult, loops: &LoopInfo) -> ConcurrencyResult {
+pub fn check_concurrency(
+    f: &FuncIr,
+    pw: &PwResult,
+    loops: &LoopInfo,
+    comms: &FuncComms,
+    table: &CommTable,
+) -> ConcurrencyResult {
     let mut out = ConcurrencyResult::default();
 
-    // Collect collective nodes in monothreaded regions (words ending in S
+    // Collect MPI nodes in monothreaded regions (words ending in S
     // after stripping; phase 1 already handled the rest).
     let mut colls: Vec<RegionColl> = Vec::new();
-    for bid in f.collective_blocks() {
+    let mut mpi_blocks = f.collective_blocks();
+    for b in f.p2p_blocks() {
+        if !mpi_blocks.contains(&b) {
+            mpi_blocks.push(b);
+        }
+    }
+    for (bid, b) in f.iter_blocks() {
+        let has_mgmt = b.instrs.iter().any(|i| match i {
+            Instr::Mpi { op, .. } => op.comm_mgmt().is_some(),
+            _ => false,
+        });
+        if has_mgmt && !mpi_blocks.contains(&bid) {
+            mpi_blocks.push(bid);
+        }
+    }
+    mpi_blocks.sort_unstable();
+    for bid in mpi_blocks {
         let Some(w) = pw.word_at(bid) else { continue };
         // Find the innermost S token (last S in the word).
         let Some(s_pos) = w.tokens().iter().rposition(|t| t.is_s()) else {
@@ -64,17 +111,30 @@ pub fn check_concurrency(f: &FuncIr, pw: &PwResult, loops: &LoopInfo) -> Concurr
         if w.tokens()[s_pos + 1..].iter().any(|t| t.is_p()) {
             continue;
         }
-        let block = f.block(bid);
-        for (instr, span) in block.collectives() {
+        let region = w.tokens()[s_pos].region().expect("S token has region");
+        for i in &f.block(bid).instrs {
+            let Instr::Mpi { op, span, .. } = i else {
+                continue;
+            };
+            let (name, class) = match op {
+                MpiIr::Collective { kind, comm, .. } => {
+                    (kind.mpi_name(), OpClass::Coll(comms.of_operand(*comm)))
+                }
+                MpiIr::Send { .. } => ("MPI_Send", OpClass::P2p),
+                MpiIr::Recv { .. } => ("MPI_Recv", OpClass::P2p),
+                // Comm management synchronizes the *parent* communicator.
+                _ => match op.comm_mgmt() {
+                    Some((name, parent)) => (name, OpClass::Coll(comms.of_operand(Some(parent)))),
+                    None => continue,
+                },
+            };
             colls.push(RegionColl {
                 block: bid,
-                span,
-                name: instr
-                    .collective_kind()
-                    .expect("collective instr")
-                    .mpi_name(),
+                span: *span,
+                name,
+                class,
                 s_pos,
-                region: w.tokens()[s_pos].region().expect("S token has region"),
+                region,
             });
         }
     }
@@ -115,24 +175,38 @@ pub fn check_concurrency(f: &FuncIr, pw: &PwResult, loops: &LoopInfo) -> Concurr
                 _ => false,
             };
             if concurrent {
-                let ra = find(&mut parent, a.region);
-                let rb = find(&mut parent, b.region);
-                parent.insert(ra, rb);
-                concurrent_regions.push(a.region);
-                concurrent_regions.push(b.region);
-                out.warnings.push(StaticWarning {
-                    kind: WarningKind::ConcurrentCollectives,
-                    func: f.name.clone(),
-                    message: format!(
-                        "{} and {} are in concurrent monothreaded regions \
-                         (words {wa} / {wb}); their order is schedule-dependent",
-                        a.name, b.name
-                    ),
-                    span: a.span,
-                    related: vec![(b.span, format!("concurrent {} here", b.name))],
-                });
-                out.suspects.push(a.block);
-                out.suspects.push(b.block);
+                match (a.class, b.class) {
+                    (OpClass::Coll(ca), OpClass::Coll(cb)) if ca.may_alias(cb) => {
+                        let ra = find(&mut parent, a.region);
+                        let rb = find(&mut parent, b.region);
+                        parent.insert(ra, rb);
+                        concurrent_regions.push(a.region);
+                        concurrent_regions.push(b.region);
+                        let comm_note = if ca.is_world() && cb.is_world() {
+                            String::new()
+                        } else {
+                            format!(" on {}", table.label(ca))
+                        };
+                        out.warnings.push(StaticWarning {
+                            kind: WarningKind::ConcurrentCollectives,
+                            func: f.name.clone(),
+                            message: format!(
+                                "{} and {} are in concurrent monothreaded regions{comm_note} \
+                                 (words {wa} / {wb}); their order is schedule-dependent",
+                                a.name, b.name
+                            ),
+                            span: a.span,
+                            related: vec![(b.span, format!("concurrent {} here", b.name))],
+                        });
+                        out.suspects.push(a.block);
+                        out.suspects.push(b.block);
+                    }
+                    // Unrelated matching spaces (different communicator
+                    // classes, or point-to-point involved): a legal
+                    // MPI_THREAD_MULTIPLE pattern. No warning, but two
+                    // threads may now be inside MPI simultaneously.
+                    _ => out.required_level = Some(ThreadLevel::Multiple),
+                }
             }
         }
     }
@@ -152,6 +226,13 @@ pub fn check_concurrency(f: &FuncIr, pw: &PwResult, loops: &LoopInfo) -> Concurr
                 )
             });
             if !has_barrier {
+                if c.class == OpClass::P2p {
+                    // Overlapping iterations of a p2p region are legal
+                    // under MPI_THREAD_MULTIPLE (matching is by tag, not
+                    // by order across threads).
+                    out.required_level = Some(ThreadLevel::Multiple);
+                    break;
+                }
                 concurrent_regions.push(c.region);
                 // Union with itself just materializes the cluster.
                 let r = find(&mut parent, c.region);
@@ -218,11 +299,12 @@ mod tests {
     fn run(src: &str) -> ConcurrencyResult {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
+        let comms = crate::comm::compute_comms(&m);
         let f = m.main().unwrap();
         let pw = compute_pw(f, InitialContext::Sequential);
         let dom = DomTree::compute(f);
         let loops = LoopInfo::compute(f, &dom);
-        check_concurrency(f, &pw, &loops)
+        check_concurrency(f, &pw, &loops, &comms.of_func("main"), &comms.table)
     }
 
     #[test]
@@ -355,6 +437,54 @@ mod tests {
                 parallel { single nowait { MPI_Allreduce(1, SUM); } }
             }");
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn concurrent_regions_on_different_comms_legal_under_multiple() {
+        // The MPIxThreads pattern: one section drives COMM_WORLD, the
+        // other a duplicated communicator — unrelated matching spaces,
+        // so no ordering warning, but MPI_THREAD_MULTIPLE is required.
+        let r = run("fn main() {
+                let c = MPI_Comm_dup(MPI_COMM_WORLD);
+                parallel {
+                    sections {
+                        section { MPI_Barrier(); }
+                        section { MPI_Barrier(c); }
+                    }
+                }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert!(r.sites.is_empty());
+        assert_eq!(r.required_level, Some(ThreadLevel::Multiple));
+    }
+
+    #[test]
+    fn concurrent_regions_same_comm_class_still_flagged() {
+        let r = run("fn main() {
+                let c = MPI_Comm_dup(MPI_COMM_WORLD);
+                parallel {
+                    sections {
+                        section { MPI_Barrier(c); }
+                        section { let x = MPI_Allreduce(1, SUM, c); }
+                    }
+                }
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::ConcurrentCollectives);
+    }
+
+    #[test]
+    fn concurrent_p2p_sections_require_multiple_only() {
+        let r = run("fn main() {
+                parallel {
+                    sections {
+                        section { MPI_Send(1.0, 0, 10); }
+                        section { let v = MPI_Recv(0, 10); }
+                    }
+                }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.required_level, Some(ThreadLevel::Multiple));
     }
 
     #[test]

@@ -77,12 +77,20 @@ pub fn compute_contexts_with(
     entry_context: InitialContext,
     pool: &parcoach_pool::Pool,
 ) -> CallContexts {
-    // --- collective-bearing: own collectives, then propagate up the call
-    // graph to a fixpoint.
+    // --- collective-bearing: own collectives (including the
+    // communicator-management collectives, which synchronize their
+    // parent's members), then propagate up the call graph to a fixpoint.
     let mut bearing: HashMap<String, bool> = m
         .funcs
         .iter()
-        .map(|f| (f.name.clone(), !f.collective_blocks().is_empty()))
+        .map(|f| {
+            let own = !f.collective_blocks().is_empty()
+                || f.blocks.iter().flat_map(|b| &b.instrs).any(|i| match i {
+                    Instr::Mpi { op, .. } => op.comm_mgmt().is_some(),
+                    _ => false,
+                });
+            (f.name.clone(), own)
+        })
         .collect();
     let callees: HashMap<String, Vec<String>> = m
         .funcs

@@ -19,7 +19,7 @@
 
 use crate::report::StaticReport;
 use parcoach_ir::func::{FuncIr, Module};
-use parcoach_ir::instr::{CheckOp, Instr, Terminator};
+use parcoach_ir::instr::{CheckOp, Instr, MpiIr, Terminator};
 use parcoach_ir::types::{BlockId, RegionId};
 use std::collections::{HashMap, HashSet};
 
@@ -45,12 +45,18 @@ pub struct InstrumentStats {
     pub monothread_asserts: usize,
     /// Concurrency counter enter/exit pairs.
     pub concurrency_sites: usize,
+    /// Point-to-point epoch census checks (before `MPI_Finalize`).
+    pub p2p_epochs: usize,
 }
 
 impl InstrumentStats {
     /// Total inserted checks.
     pub fn total(&self) -> usize {
-        self.cc_collective + self.cc_return + self.monothread_asserts + self.concurrency_sites
+        self.cc_collective
+            + self.cc_return
+            + self.monothread_asserts
+            + self.concurrency_sites
+            + self.p2p_epochs
     }
 }
 
@@ -85,6 +91,17 @@ pub fn instrument_module(
         .map(|s| s.as_str())
         .collect();
 
+    let p2p_funcs: HashSet<&str> = report
+        .plan
+        .p2p_epoch_functions
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    // Full mode guards every finalize when the module has p2p traffic
+    // anywhere (the counters are world-global; the suspect send may
+    // live in a different function than the finalize).
+    let module_has_p2p = m.funcs.iter().any(|f| f.has_p2p());
+
     for func in &mut out.funcs {
         let name = func.name.clone();
         let full = mode == InstrumentMode::Full && func.has_mpi();
@@ -103,6 +120,10 @@ pub fn instrument_module(
                     stats.concurrency_sites += 1;
                 }
             }
+        }
+
+        if (full && module_has_p2p) || p2p_funcs.contains(name.as_str()) {
+            instrument_p2p_epochs(func, &mut stats);
         }
     }
 
@@ -126,9 +147,24 @@ fn instrument_collectives(
         let block = &mut func.blocks[bidx];
         let mut i = 0;
         while i < block.instrs.len() {
-            let (kind, span) = match &block.instrs[i] {
-                Instr::Mpi { op, span, .. } => match op.collective_kind() {
-                    Some(k) => (k, *span),
+            // Data collectives and the communicator-management
+            // collectives (split/dup, which synchronize their parent)
+            // are guarded alike.
+            let (what, color, comm, span) = match &block.instrs[i] {
+                Instr::Mpi {
+                    op: MpiIr::Collective { kind, comm, .. },
+                    span,
+                    ..
+                } => (kind.mpi_name(), kind.color(), *comm, *span),
+                Instr::Mpi { op, span, .. } => match op.comm_mgmt() {
+                    Some((name, parent)) => {
+                        let color = if name == "MPI_Comm_split" {
+                            parcoach_ir::instr::COLOR_COMM_SPLIT
+                        } else {
+                            parcoach_ir::instr::COLOR_COMM_DUP
+                        };
+                        (name, color, Some(parent), *span)
+                    }
                     None => {
                         i += 1;
                         continue;
@@ -143,19 +179,16 @@ fn instrument_collectives(
             if mono_blocks.contains(&bid) {
                 block
                     .instrs
-                    .insert(i, Instr::Check(CheckOp::AssertMonothread { kind, span }));
+                    .insert(i, Instr::Check(CheckOp::AssertMonothread { what, span }));
                 stats.monothread_asserts += 1;
                 inserted += 1;
             }
             if needs_cc {
-                block.instrs.insert(
-                    i,
-                    Instr::Check(CheckOp::CollectiveCc {
-                        color: kind.color(),
-                        kind,
-                        span,
-                    }),
-                );
+                // The CC runs on the guarded collective's communicator
+                // (see CheckOp::CollectiveCc).
+                block
+                    .instrs
+                    .insert(i, Instr::Check(CheckOp::CollectiveCc { color, comm, span }));
                 stats.cc_collective += 1;
                 inserted += 1;
             }
@@ -170,6 +203,32 @@ fn instrument_returns(func: &mut FuncIr, stats: &mut InstrumentStats) {
         if let Terminator::Return { span, .. } = block.term {
             block.instrs.push(Instr::Check(CheckOp::ReturnCc { span }));
             stats.cc_return += 1;
+        }
+    }
+}
+
+/// Insert a `P2pEpoch` census immediately before every `MPI_Finalize`:
+/// the communicators' final synchronization point, where every buffered
+/// message must have been received (MPI semantics) — so unbalanced
+/// per-communicator send/receive totals are a definite error.
+fn instrument_p2p_epochs(func: &mut FuncIr, stats: &mut InstrumentStats) {
+    for block in &mut func.blocks {
+        let mut i = 0;
+        while i < block.instrs.len() {
+            if let Instr::Mpi {
+                op: MpiIr::Finalize,
+                span,
+                ..
+            } = &block.instrs[i]
+            {
+                let span = *span;
+                block
+                    .instrs
+                    .insert(i, Instr::Check(CheckOp::P2pEpoch { span }));
+                stats.p2p_epochs += 1;
+                i += 1;
+            }
+            i += 1;
         }
     }
 }

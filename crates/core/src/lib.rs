@@ -33,17 +33,20 @@
 //! assert!(parcoach_ir::verify_module(&instrumented).is_empty());
 //! ```
 
+pub mod comm;
 pub mod concurrency;
 pub mod context;
 pub mod instrument;
 pub mod lang;
 pub mod matching;
 pub mod mono;
+pub mod p2p;
 pub mod pipeline;
 pub mod pw;
 pub mod report;
 pub mod word;
 
+pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
 pub use lang::{classify, ContextClass, MonoVerdict};
 pub use pipeline::{analyze_module, analyze_module_with, AnalysisOptions};

@@ -16,31 +16,46 @@
 //! classic `if/else`-balanced false positive. The ablation experiment E5
 //! measures its effect.
 
+use crate::comm::{CommId, CommTable, FuncComms};
 use crate::context::CallContexts;
 use crate::report::{StaticWarning, WarningKind};
 use parcoach_front::ast::CollectiveKind;
 use parcoach_front::span::Span;
 use parcoach_ir::dom::PostDomTree;
 use parcoach_ir::func::FuncIr;
-use parcoach_ir::instr::{Instr, Terminator};
+use parcoach_ir::instr::{Instr, MpiIr, Terminator};
 use parcoach_ir::types::BlockId;
 use std::collections::HashMap;
 
-/// A collective event: an MPI collective or a call into a
-/// collective-bearing function.
+/// A collective event: an MPI collective on a specific (static)
+/// communicator class, or a call into a collective-bearing function.
+///
+/// The communicator is part of the event identity: the "same sequence
+/// of collectives" property holds *per communicator* — ranks may
+/// legally interleave collectives on unrelated communicators
+/// differently, so `MPI_Barrier(a)` and `MPI_Barrier(b)` are distinct
+/// events when `a` and `b` cannot alias.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Event {
-    /// Direct MPI collective.
-    Coll(CollectiveKind),
+    /// Direct MPI collective on a communicator class.
+    Coll(CommId, CollectiveKind),
+    /// A communicator-management collective (`MPI_Comm_split`/`dup`) on
+    /// its *parent* communicator class — these synchronize all members
+    /// of the parent exactly like a data collective, so divergent
+    /// communicator creation is a mismatch like any other.
+    CommMgmt(CommId, &'static str),
     /// Call to a function that may execute collectives.
     Call(String),
 }
 
 impl Event {
     /// Display name for warnings.
-    pub fn name(&self) -> String {
+    pub fn name(&self, table: &CommTable) -> String {
         match self {
-            Event::Coll(k) => k.mpi_name().to_string(),
+            Event::Coll(c, k) if c.is_world() => k.mpi_name().to_string(),
+            Event::Coll(c, k) => format!("{} on {}", k.mpi_name(), table.label(*c)),
+            Event::CommMgmt(c, name) if c.is_world() => (*name).to_string(),
+            Event::CommMgmt(c, name) => format!("{} of {}", name, table.label(*c)),
             Event::Call(f) => format!("call to `{f}`"),
         }
     }
@@ -78,12 +93,24 @@ impl Default for MatchingOptions {
 }
 
 /// The events issued by one block, in instruction order.
-fn block_events(f: &FuncIr, b: BlockId, ctxs: &CallContexts) -> Vec<(Event, Span)> {
+fn block_events(
+    f: &FuncIr,
+    b: BlockId,
+    ctxs: &CallContexts,
+    comms: &FuncComms,
+) -> Vec<(Event, Span)> {
     f.block(b)
         .instrs
         .iter()
         .filter_map(|i| match i {
-            Instr::Mpi { op, span, .. } => op.collective_kind().map(|k| (Event::Coll(k), *span)),
+            Instr::Mpi { op, span, .. } => match op {
+                MpiIr::Collective { kind, comm, .. } => {
+                    Some((Event::Coll(comms.of_operand(*comm), *kind), *span))
+                }
+                _ => op.comm_mgmt().map(|(name, parent)| {
+                    (Event::CommMgmt(comms.of_operand(Some(parent)), name), *span)
+                }),
+            },
             Instr::Call { func, span, .. } if ctxs.bears_collectives(func) => {
                 Some((Event::Call(func.clone()), *span))
             }
@@ -92,11 +119,14 @@ fn block_events(f: &FuncIr, b: BlockId, ctxs: &CallContexts) -> Vec<(Event, Span
         .collect()
 }
 
-/// Run Algorithm 1 on one function.
+/// Run Algorithm 1 on one function, with one PDF+ pass per
+/// (communicator, event) group.
 pub fn check_matching(
     f: &FuncIr,
     ctxs: &CallContexts,
     pdt: &PostDomTree,
+    comms: &FuncComms,
+    table: &CommTable,
     opts: MatchingOptions,
 ) -> MatchingResult {
     let mut out = MatchingResult::default();
@@ -104,7 +134,7 @@ pub fn check_matching(
     // Group blocks by event.
     let mut by_event: HashMap<Event, Vec<(BlockId, Span)>> = HashMap::new();
     for b in f.block_ids() {
-        for (e, span) in block_events(f, b, ctxs) {
+        for (e, span) in block_events(f, b, ctxs, comms) {
             by_event.entry(e).or_default().push((b, span));
         }
     }
@@ -114,6 +144,40 @@ pub fn check_matching(
 
     let mut events: Vec<&Event> = by_event.keys().collect();
     events.sort();
+
+    // A collective whose communicator operand could not be resolved to
+    // one creation site merged handles from different sites across
+    // control flow (MiniHPC cannot pass communicators through calls, so
+    // unresolved = merged): ranks taking different paths call the same
+    // collective on *different* communicators, which no per-class PDF+
+    // group can see. Report the site itself.
+    for e in &events {
+        let unknown_comm = match e {
+            Event::Coll(c, _) | Event::CommMgmt(c, _) => c.is_unknown(),
+            Event::Call(_) => false,
+        };
+        if !unknown_comm {
+            continue;
+        }
+        let sites = &by_event[*e];
+        out.warnings.push(StaticWarning {
+            kind: WarningKind::CollectiveMismatch,
+            func: f.name.clone(),
+            message: format!(
+                "{} is called on a control-flow-dependent communicator \
+                 (the handle merges several creation sites); ranks may \
+                 enter the collective on different communicators",
+                e.name(table)
+            ),
+            span: sites[0].1,
+            related: sites
+                .iter()
+                .skip(1)
+                .map(|(_, s)| (*s, "also called here".to_string()))
+                .collect(),
+        });
+        out.suspects.extend(sites.iter().map(|(b, _)| *b));
+    }
 
     for e in events {
         let sites = &by_event[e];
@@ -133,7 +197,7 @@ pub fn check_matching(
         // sequences up to the re-join point.
         let confirmed: Vec<BlockId> = frontier
             .into_iter()
-            .filter(|&cond| !opts.refine || !balanced_arms(f, ctxs, pdt, cond))
+            .filter(|&cond| !opts.refine || !balanced_arms(f, ctxs, comms, pdt, cond))
             .collect();
         out.candidates_confirmed += confirmed.len();
         if confirmed.is_empty() {
@@ -150,7 +214,7 @@ pub fn check_matching(
             })
             .collect();
         for (_, span) in sites.iter().skip(1) {
-            related.push((*span, format!("{} also called here", e.name())));
+            related.push((*span, format!("{} also called here", e.name(table))));
         }
         out.warnings.push(StaticWarning {
             kind: WarningKind::CollectiveMismatch,
@@ -158,7 +222,7 @@ pub fn check_matching(
             message: format!(
                 "{} may not be executed by all processes (or not the same \
                  number of times): control-flow divergence at {} point(s)",
-                e.name(),
+                e.name(table),
                 confirmed.len()
             ),
             span: sites[0].1,
@@ -182,7 +246,13 @@ pub fn check_matching(
 /// The per-arm sequence is computed by a memoized walk that fails (and
 /// keeps the warning) on cycles, on returns before the join, and on any
 /// interior divergence.
-fn balanced_arms(f: &FuncIr, ctxs: &CallContexts, pdt: &PostDomTree, cond: BlockId) -> bool {
+fn balanced_arms(
+    f: &FuncIr,
+    ctxs: &CallContexts,
+    comms: &FuncComms,
+    pdt: &PostDomTree,
+    cond: BlockId,
+) -> bool {
     let Some(join) = pdt.ipdom(cond) else {
         // No post-dominator inside the function (e.g. a return on one
         // arm): cannot be balanced.
@@ -194,10 +264,10 @@ fn balanced_arms(f: &FuncIr, ctxs: &CallContexts, pdt: &PostDomTree, cond: Block
     }
     let mut memo: HashMap<BlockId, Option<Vec<Event>>> = HashMap::new();
     let mut visiting: Vec<BlockId> = Vec::new();
-    let first = arm_sequence(f, ctxs, succs[0], join, &mut memo, &mut visiting);
+    let first = arm_sequence(f, ctxs, comms, succs[0], join, &mut memo, &mut visiting);
     let Some(first) = first else { return false };
     for &s in &succs[1..] {
-        match arm_sequence(f, ctxs, s, join, &mut memo, &mut visiting) {
+        match arm_sequence(f, ctxs, comms, s, join, &mut memo, &mut visiting) {
             Some(seq) if seq == first => {}
             _ => return false,
         }
@@ -210,6 +280,7 @@ fn balanced_arms(f: &FuncIr, ctxs: &CallContexts, pdt: &PostDomTree, cond: Block
 fn arm_sequence(
     f: &FuncIr,
     ctxs: &CallContexts,
+    comms: &FuncComms,
     n: BlockId,
     stop: BlockId,
     memo: &mut HashMap<BlockId, Option<Vec<Event>>>,
@@ -225,7 +296,7 @@ fn arm_sequence(
         return None; // cycle
     }
     visiting.push(n);
-    let own: Vec<Event> = block_events(f, n, ctxs)
+    let own: Vec<Event> = block_events(f, n, ctxs, comms)
         .into_iter()
         .map(|(e, _)| e)
         .collect();
@@ -236,7 +307,7 @@ fn arm_sequence(
         let mut tail: Option<Vec<Event>> = None;
         let mut ok = true;
         for &s in &succs {
-            match arm_sequence(f, ctxs, s, stop, memo, visiting) {
+            match arm_sequence(f, ctxs, comms, s, stop, memo, visiting) {
                 None => {
                     ok = false;
                     break;
@@ -278,9 +349,17 @@ mod tests {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let comms = crate::comm::compute_comms(&m);
         let f = m.main().unwrap();
         let pdt = PostDomTree::compute(f);
-        check_matching(f, &ctxs, &pdt, MatchingOptions { refine })
+        check_matching(
+            f,
+            &ctxs,
+            &pdt,
+            &comms.of_func("main"),
+            &comms.table,
+            MatchingOptions { refine },
+        )
     }
 
     fn run(src: &str) -> MatchingResult {
@@ -365,9 +444,17 @@ mod tests {
         .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let comms = crate::comm::compute_comms(&m);
         let f = m.main().unwrap();
         let pdt = PostDomTree::compute(f);
-        let r = check_matching(f, &ctxs, &pdt, MatchingOptions::default());
+        let r = check_matching(
+            f,
+            &ctxs,
+            &pdt,
+            &comms.of_func("main"),
+            &comms.table,
+            MatchingOptions::default(),
+        );
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
         assert_eq!(r.tainted_callees, vec!["exchange".to_string()]);
     }
@@ -382,9 +469,17 @@ mod tests {
         .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let ctxs = compute_contexts(&m, InitialContext::Sequential);
+        let comms = crate::comm::compute_comms(&m);
         let f = m.main().unwrap();
         let pdt = PostDomTree::compute(f);
-        let r = check_matching(f, &ctxs, &pdt, MatchingOptions::default());
+        let r = check_matching(
+            f,
+            &ctxs,
+            &pdt,
+            &comms.of_func("main"),
+            &comms.table,
+            MatchingOptions::default(),
+        );
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 
@@ -416,6 +511,70 @@ mod tests {
             }");
         assert_eq!(r.warnings.len(), 1);
         assert!(r.warnings[0].message.contains("MPI_Bcast"));
+    }
+
+    #[test]
+    fn different_comms_are_distinct_events() {
+        // Same kind, unrelated communicators: two distinct events, both
+        // rank-divergent, and the refinement must NOT treat the arms as
+        // balanced (the sequences differ per communicator).
+        let r = run("fn main() {
+                let a = MPI_Comm_dup(MPI_COMM_WORLD);
+                if (rank() == 0) { MPI_Barrier(a); } else { MPI_Barrier(); }
+            }");
+        assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
+        assert!(r.warnings.iter().any(|w| w.message.contains("duplicated")));
+    }
+
+    #[test]
+    fn balanced_arms_same_comm_refined_away() {
+        let r = run("fn main() {
+                let a = MPI_Comm_dup(MPI_COMM_WORLD);
+                if (rank() == 0) { MPI_Barrier(a); } else { MPI_Barrier(a); }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn divergent_comm_creation_flagged() {
+        // MPI_Comm_dup is a collective over its parent: creating it on
+        // one branch only desynchronizes exactly like a lone barrier.
+        let r = run("fn main() {
+                if (rank() == 0) { let c = MPI_Comm_dup(MPI_COMM_WORLD); }
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert!(r.warnings[0].message.contains("MPI_Comm_dup"));
+    }
+
+    #[test]
+    fn merged_comm_handle_at_collective_flagged() {
+        // The handle merges two creation sites across a rank branch:
+        // ranks may enter the barrier on different communicators even
+        // though the barrier site itself is unconditional.
+        let r = run("fn main() {
+                let a = MPI_Comm_dup(MPI_COMM_WORLD);
+                let b = MPI_Comm_dup(MPI_COMM_WORLD);
+                let c = a;
+                if (rank() == 0) { c = b; }
+                MPI_Barrier(c);
+            }");
+        assert!(
+            r.warnings
+                .iter()
+                .any(|w| w.message.contains("control-flow-dependent communicator")),
+            "{:?}",
+            r.warnings
+        );
+        assert!(!r.suspects.is_empty());
+    }
+
+    #[test]
+    fn unconditional_subcomm_collective_clean() {
+        let r = run("fn main() {
+                let c = MPI_Comm_split(MPI_COMM_WORLD, rank() % 2, rank());
+                let s = MPI_Allreduce(rank() + 1, SUM, c);
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 
     #[test]

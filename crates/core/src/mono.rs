@@ -50,10 +50,24 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
         });
     }
 
-    for bid in f.collective_blocks() {
-        let block = f.block(bid);
-        for (instr, span) in block.collectives() {
-            let kind = instr.collective_kind().expect("collective instr");
+    // One classification loop for everything that synchronizes like a
+    // collective: the data collectives and the communicator-management
+    // collectives (`MPI_Comm_split`/`dup`, which synchronize their
+    // parent's members — a whole team creating a communicator is the
+    // same error as a whole team entering a barrier).
+    for (bid, block) in f.iter_blocks() {
+        for i in &block.instrs {
+            let parcoach_ir::instr::Instr::Mpi { op, span, .. } = i else {
+                continue;
+            };
+            let name = match op.collective_kind() {
+                Some(k) => k.mpi_name(),
+                None => match op.comm_mgmt() {
+                    Some((n, _)) => n,
+                    None => continue,
+                },
+            };
+            let span = *span;
             match pw.entry[bid.index()].as_ref() {
                 None => continue, // unreachable
                 Some(state) => match state.word() {
@@ -63,9 +77,8 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
                             kind: WarningKind::MultithreadedCollective,
                             func: f.name.clone(),
                             message: format!(
-                                "{} is reached with control-flow-dependent thread context; \
-                                 cannot prove monothreaded execution",
-                                kind.mpi_name()
+                                "{name} is reached with control-flow-dependent thread \
+                                 context; cannot prove monothreaded execution"
                             ),
                             span,
                             related: Vec::new(),
@@ -84,11 +97,10 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
                                     kind: WarningKind::MultithreadedCollective,
                                     func: f.name.clone(),
                                     message: format!(
-                                        "{} may be executed by multiple non-synchronized \
+                                        "{name} may be executed by multiple non-synchronized \
                                          threads (parallelism word {w}); requires \
                                          MPI_THREAD_MULTIPLE and a proof that a single \
-                                         thread calls it",
-                                        kind.mpi_name()
+                                         thread calls it"
                                     ),
                                     span,
                                     related,
@@ -101,10 +113,9 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
                                     kind: WarningKind::NestedParallelismCollective,
                                     func: f.name.clone(),
                                     message: format!(
-                                        "{} sits under nested parallel regions \
+                                        "{name} sits under nested parallel regions \
                                          (parallelism word {w}); one thread per team may \
-                                         execute it",
-                                        kind.mpi_name()
+                                         execute it"
                                     ),
                                     span,
                                     related,
@@ -117,6 +128,23 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
             }
         }
     }
+
+    // Point-to-point thread-level demand. Unlike collectives, p2p in a
+    // multithreaded context is *not* an error (matching is by tag, and
+    // MPIxThreads-style designs rely on it) — but it is only legal when
+    // the program holds the thread level its context demands: any
+    // thread of a team calling MPI needs MPI_THREAD_MULTIPLE, a
+    // monothreaded region SERIALIZED (FUNNELED for master chains).
+    for bid in f.p2p_blocks() {
+        match pw.entry[bid.index()].as_ref() {
+            None => continue, // unreachable
+            Some(state) => match state.word() {
+                None => out.bump_level(ThreadLevel::Multiple),
+                Some(w) => out.bump_level(classify(w).required_level),
+            },
+        }
+    }
+
     out.suspects.dedup();
     out
 }
@@ -183,6 +211,41 @@ mod tests {
         let (m, rs) = run(src);
         let idx = m.by_name["main"];
         rs.into_iter().nth(idx).unwrap()
+    }
+
+    #[test]
+    fn whole_team_comm_creation_flagged() {
+        // Every thread of the team enters the comm_dup collective —
+        // the same error as a whole-team barrier.
+        let r = main_result("fn main() { parallel { let c = MPI_Comm_dup(MPI_COMM_WORLD); } }");
+        assert!(
+            r.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::MultithreadedCollective
+                    && w.message.contains("MPI_Comm_dup")),
+            "{:?}",
+            r.warnings
+        );
+        assert_eq!(r.required_level, Some(ThreadLevel::Multiple));
+        // Sequential comm creation is fine.
+        let r = main_result("fn main() { let c = MPI_Comm_split(MPI_COMM_WORLD, 0, rank()); }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn p2p_levels_no_warning() {
+        // Sequential p2p: SINGLE is enough.
+        let r = main_result("fn main() { MPI_Send(1, 0, 1); let v = MPI_Recv(0, 1); }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.required_level, Some(ThreadLevel::Single));
+        // Whole-team p2p: requires MULTIPLE but is not an error.
+        let r = main_result("fn main() { parallel { MPI_Send(1, 0, 1); } }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.required_level, Some(ThreadLevel::Multiple));
+        // Funneled p2p.
+        let r = main_result("fn main() { parallel { master { MPI_Send(1, 0, 1); } } }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.required_level, Some(ThreadLevel::Funneled));
     }
 
     #[test]

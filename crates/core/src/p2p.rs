@@ -1,0 +1,383 @@
+//! Static point-to-point matching (extension; cf. Liao et al., *Static
+//! Deadlock Detection in MPI Synchronization Communication*).
+//!
+//! Blocking sends and receives are paired per **(communicator class,
+//! tag)** — the static key under which the simulator's matcher pairs
+//! them at run time (the SPMD abstraction cannot align peer ranks
+//! statically, so `dest`/`src` do not enter the key). Two diagnostics:
+//!
+//! * **unmatched-p2p** — a send whose key no receive in the module can
+//!   ever match (or vice versa): a tag/communicator mismatch. An
+//!   unmatched *receive* blocks forever (the substrate's deadlock
+//!   census reports it); an unmatched *send* is silent in a buffered
+//!   model — it is discharged dynamically by the p2p epoch census the
+//!   instrumentation places before `MPI_Finalize`.
+//! * **mismatched-order** — a receive that *dominates* every send that
+//!   could match it: along every path, on every rank, the receive
+//!   blocks before any matching message can have been produced — the
+//!   head-to-head `recv; send` deadlock. Receives whose matching sends
+//!   sit on sibling branches, in other functions, or in concurrent
+//!   OpenMP regions (a second thread can still produce the message
+//!   under `MPI_THREAD_MULTIPLE`) are *not* flagged: dominance fails
+//!   there, which is exactly the MPIxThreads-style correct pattern.
+//!
+//! Sites with an unresolvable tag or communicator conservatively match
+//! everything and produce no diagnostics.
+
+use crate::comm::{CommId, ModuleComms};
+use crate::report::{StaticWarning, WarningKind};
+use parcoach_front::span::Span;
+use parcoach_ir::dom::DomTree;
+use parcoach_ir::func::Module;
+use parcoach_ir::instr::{Instr, MpiIr};
+use parcoach_ir::types::{BlockId, Const, Value};
+
+/// Direction of a p2p site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Send,
+    Recv,
+}
+
+/// One static send/recv site.
+#[derive(Debug, Clone)]
+struct Site {
+    func: usize,
+    block: BlockId,
+    instr: usize,
+    span: Span,
+    dir: Dir,
+    comm: CommId,
+    /// Constant tag, if resolvable.
+    tag: Option<i64>,
+}
+
+impl Site {
+    /// Could a message of `self` be consumed/produced by `other`
+    /// (opposite directions assumed by the caller)?
+    fn key_matches(&self, other: &Site) -> bool {
+        if !self.comm.may_alias(other.comm) {
+            return false;
+        }
+        match (self.tag, other.tag) {
+            (Some(a), Some(b)) => a == b,
+            _ => true, // unknown tag matches everything
+        }
+    }
+
+    /// Fully resolved key (eligible for diagnostics)?
+    fn resolved(&self) -> bool {
+        self.tag.is_some() && !self.comm.is_unknown()
+    }
+}
+
+/// Result of the module-wide p2p matching pass.
+#[derive(Debug, Clone, Default)]
+pub struct P2pResult {
+    /// Warnings found.
+    pub warnings: Vec<StaticWarning>,
+    /// Functions whose `MPI_Finalize` needs the p2p epoch census.
+    pub epoch_functions: Vec<String>,
+}
+
+/// Run the pass over a whole module.
+pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
+    let mut out = P2pResult::default();
+
+    // Collect every site, module-wide, in deterministic order.
+    let mut sites: Vec<Site> = Vec::new();
+    for (fidx, f) in m.funcs.iter().enumerate() {
+        let fc = comms.of_func(&f.name);
+        for (bid, b) in f.iter_blocks() {
+            for (iidx, i) in b.instrs.iter().enumerate() {
+                let Instr::Mpi { op, span, .. } = i else {
+                    continue;
+                };
+                let (dir, tag, comm) = match op {
+                    MpiIr::Send { tag, comm, .. } => (Dir::Send, tag, comm),
+                    MpiIr::Recv { tag, comm, .. } => (Dir::Recv, tag, comm),
+                    _ => continue,
+                };
+                sites.push(Site {
+                    func: fidx,
+                    block: bid,
+                    instr: iidx,
+                    span: *span,
+                    dir,
+                    comm: fc.of_operand(*comm),
+                    tag: const_int(*tag),
+                });
+            }
+        }
+    }
+    if sites.is_empty() {
+        return out;
+    }
+
+    // --- unmatched keys --------------------------------------------------
+    for s in &sites {
+        if !s.resolved() {
+            continue;
+        }
+        let has_counterpart = sites.iter().any(|o| o.dir != s.dir && s.key_matches(o));
+        if !has_counterpart {
+            let (what, consequence) = match s.dir {
+                Dir::Send => (
+                    "MPI_Send",
+                    "no receive in the program can match it; the message is \
+                     never consumed",
+                ),
+                Dir::Recv => (
+                    "MPI_Recv",
+                    "no send in the program can match it; the receive blocks \
+                     forever",
+                ),
+            };
+            out.warnings.push(StaticWarning {
+                kind: WarningKind::UnmatchedP2p,
+                func: m.funcs[s.func].name.clone(),
+                message: format!(
+                    "{what} with tag {} on {} is unmatched: {consequence}",
+                    s.tag.expect("resolved site"),
+                    comms.table.label(s.comm),
+                ),
+                span: s.span,
+                related: Vec::new(),
+            });
+        }
+    }
+
+    // --- receive-before-send ordering ------------------------------------
+    // Dominator trees are computed lazily, once per function that has a
+    // resolvable receive.
+    let mut doms: Vec<Option<DomTree>> = (0..m.funcs.len()).map(|_| None).collect();
+    for r in sites.iter().filter(|s| s.dir == Dir::Recv) {
+        if !r.resolved() {
+            continue;
+        }
+        let matching: Vec<&Site> = sites
+            .iter()
+            .filter(|s| s.dir == Dir::Send && r.key_matches(s))
+            .collect();
+        if matching.is_empty() {
+            continue; // already reported as unmatched
+        }
+        // Cross-function producers: no ordering information.
+        if matching.iter().any(|s| s.func != r.func) {
+            continue;
+        }
+        let f = &m.funcs[r.func];
+        let dom = doms[r.func].get_or_insert_with(|| DomTree::compute(f));
+        let all_dominated = matching.iter().all(|s| {
+            if s.block == r.block {
+                r.instr < s.instr
+            } else {
+                dom.dominates(r.block, s.block)
+            }
+        });
+        if all_dominated {
+            let related: Vec<(Span, String)> = matching
+                .iter()
+                .map(|s| {
+                    (
+                        s.span,
+                        "matching send only happens after the receive".into(),
+                    )
+                })
+                .collect();
+            out.warnings.push(StaticWarning {
+                kind: WarningKind::P2pOrder,
+                func: f.name.clone(),
+                message: format!(
+                    "MPI_Recv with tag {} on {} precedes every matching send on \
+                     every path: all ranks block in the receive before any rank \
+                     can have sent",
+                    r.tag.expect("resolved site"),
+                    comms.table.label(r.comm),
+                ),
+                span: r.span,
+                related,
+            });
+        }
+    }
+
+    // The census must sit where `MPI_Finalize` is, not where the
+    // suspect send/recv is — the suspect p2p may live in a helper while
+    // finalize is in `main`. The counters are world-global, so any
+    // pre-finalize census observes all traffic; place one in every
+    // function containing a finalize whenever the module has suspect
+    // p2p traffic.
+    if !out.warnings.is_empty() {
+        out.epoch_functions = m
+            .funcs
+            .iter()
+            .filter(|f| {
+                f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+                    matches!(
+                        i,
+                        Instr::Mpi {
+                            op: MpiIr::Finalize,
+                            ..
+                        }
+                    )
+                })
+            })
+            .map(|f| f.name.clone())
+            .collect();
+    }
+    out
+}
+
+fn const_int(v: Value) -> Option<i64> {
+    match v {
+        Value::Const(Const::Int(x)) => Some(x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::compute_comms;
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+
+    fn run(src: &str) -> P2pResult {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let comms = compute_comms(&m);
+        check_p2p(&m, &comms)
+    }
+
+    #[test]
+    fn matched_pingpong_is_quiet() {
+        let r = run("fn main() {
+                let peer = size() - 1 - rank();
+                if (rank() == 0) {
+                    MPI_Send(1.0, peer, 4);
+                    let v = MPI_Recv(peer, 4);
+                } else {
+                    let v = MPI_Recv(peer, 4);
+                    MPI_Send(2.0, peer, 4);
+                }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert!(r.epoch_functions.is_empty());
+    }
+
+    #[test]
+    fn recv_before_send_flagged() {
+        let r = run("fn main() {
+                MPI_Init();
+                let peer = size() - 1 - rank();
+                let v = MPI_Recv(peer, 7);
+                MPI_Send(1, peer, 7);
+                MPI_Finalize();
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::P2pOrder);
+        assert_eq!(r.epoch_functions, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn epoch_census_placed_at_finalize_not_at_suspect_site() {
+        // The suspect send lives in a helper; the census must land in
+        // the function that owns MPI_Finalize.
+        let r = run("fn leak() { MPI_Send(1, 0, 5); }
+             fn main() {
+                MPI_Init();
+                leak();
+                MPI_Finalize();
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::UnmatchedP2p);
+        assert_eq!(
+            r.epoch_functions,
+            vec!["main".to_string()],
+            "census goes where finalize is"
+        );
+    }
+
+    #[test]
+    fn unmatched_tags_flagged_both_ways() {
+        let r = run("fn main() {
+                let peer = size() - 1 - rank();
+                MPI_Send(1, peer, 1);
+                let v = MPI_Recv(peer, 2);
+            }");
+        assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
+        assert!(r
+            .warnings
+            .iter()
+            .all(|w| w.kind == WarningKind::UnmatchedP2p));
+    }
+
+    #[test]
+    fn unknown_tag_suppresses() {
+        let r = run("fn main() {
+                let t = rank() + 1;
+                MPI_Send(1, 0, t);
+                let v = MPI_Recv(0, 99);
+            }");
+        // The unknown-tag send may match tag 99; the recv has a
+        // potential producer, and the send key is unresolved.
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn split_comm_does_not_match_world() {
+        let r = run("fn main() {
+                let c = MPI_Comm_split(MPI_COMM_WORLD, 0, rank());
+                MPI_Send(1, 0, 5, c);
+                let v = MPI_Recv(0, 5);
+            }");
+        assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
+        assert!(r
+            .warnings
+            .iter()
+            .all(|w| w.kind == WarningKind::UnmatchedP2p));
+    }
+
+    #[test]
+    fn same_comm_class_matches_across_split() {
+        let r = run("fn main() {
+                let c = MPI_Comm_split(MPI_COMM_WORLD, rank() % 2, rank());
+                if (rank() == 0) {
+                    MPI_Send(1, 0, 5, c);
+                } else {
+                    let v = MPI_Recv(0, 5, c);
+                }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn sends_in_sibling_sections_not_ordered() {
+        // The MPIxThreads-correct pattern: another thread produces the
+        // message; the receive does not dominate the send.
+        let r = run("fn main() {
+                let peer = size() - 1 - rank();
+                parallel num_threads(2) {
+                    sections {
+                        section { MPI_Send(3.5, peer, 10); }
+                        section { let v = MPI_Recv(peer, 10); }
+                    }
+                }
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn cross_function_producers_not_ordered() {
+        let r = run("fn produce() { MPI_Send(1, 0, 3); }
+             fn main() {
+                let v = MPI_Recv(0, 3);
+                produce();
+            }");
+        assert!(
+            r.warnings.is_empty(),
+            "cross-function ordering is unknown: {:?}",
+            r.warnings
+        );
+    }
+}

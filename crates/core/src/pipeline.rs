@@ -59,12 +59,13 @@ struct FuncAnalysis {
     pdf_confirmed: usize,
 }
 
-/// Phases 1–3 for one function. Pure: reads only the function and the
-/// (already fixed) interprocedural contexts, so every function can run
-/// on a different worker.
+/// Phases 1–3 for one function. Pure: reads only the function, the
+/// (already fixed) interprocedural contexts and the communicator
+/// resolution, so every function can run on a different worker.
 fn analyze_function(
     f: &parcoach_ir::func::FuncIr,
     ctxs: &crate::context::CallContexts,
+    comms: &crate::comm::ModuleComms,
     opts: &AnalysisOptions,
 ) -> FuncAnalysis {
     let init = ctxs.context_of(&f.name);
@@ -84,6 +85,8 @@ fn analyze_function(
         pdf_confirmed: 0,
     };
 
+    let fc = comms.of_func(&f.name);
+
     // Phase 1 — monothread contexts.
     let mono = check_monothread(f, &pw, ctxs);
     out.required_level = mono.required_level;
@@ -92,22 +95,27 @@ fn analyze_function(
     out.needs_cc |= !mono.suspects.is_empty();
     out.warnings.extend(mono.warnings);
 
-    // Phase 2 — sequential order of collectives.
+    // Phase 2 — sequential order of collectives (per communicator).
     let dom = DomTree::compute(f);
     let loops = LoopInfo::compute(f, &dom);
-    let conc = check_concurrency(f, &pw, &loops);
+    let conc = check_concurrency(f, &pw, &loops, &fc, &comms.table);
     out.suspects.extend(conc.suspects.iter().copied());
     out.concurrency_sites
         .extend(conc.sites.iter().map(|(region, site)| (region.0, *site)));
     out.needs_cc |= !conc.suspects.is_empty();
     out.warnings.extend(conc.warnings);
+    if let Some(l) = conc.required_level {
+        out.required_level = Some(out.required_level.map_or(l, |cur| cur.max(l)));
+    }
 
-    // Phase 3 — inter-process matching (Algorithm 1).
+    // Phase 3 — inter-process matching (Algorithm 1, per communicator).
     let pdt = PostDomTree::compute(f);
     let mat = check_matching(
         f,
         ctxs,
         &pdt,
+        &fc,
+        &comms.table,
         MatchingOptions {
             refine: opts.refine_matching,
         },
@@ -135,6 +143,7 @@ pub fn analyze_module_with(
 ) -> StaticReport {
     let mut report = StaticReport::default();
     let ctxs = crate::context::compute_contexts_with(m, opts.entry_context, pool);
+    let comms = crate::comm::compute_comms(m);
 
     // Interprocedural phase-1 findings: collective-bearing functions
     // called from multithreaded contexts.
@@ -154,7 +163,7 @@ pub fn analyze_module_with(
 
     // Per-function fan-out: the phases only read `f` and the fixed
     // interprocedural facts.
-    let per_func = pool.par_map(&m.funcs, |f| analyze_function(f, &ctxs, opts));
+    let per_func = pool.par_map(&m.funcs, |f| analyze_function(f, &ctxs, &comms, opts));
 
     let mut cc_functions: HashSet<String> = HashSet::new();
     let mut tainted: Vec<String> = Vec::new();
@@ -211,6 +220,13 @@ pub fn analyze_module_with(
     }
     report.plan.cc_functions = cc_functions.into_iter().collect();
     report.plan.cc_functions.sort_unstable();
+
+    // Point-to-point matching (module-wide: sends in one function may
+    // feed receives in another). Sequential and after the merge, so its
+    // warning order is identical at any pool width.
+    let p2p = crate::p2p::check_p2p(m, &comms);
+    report.warnings.extend(p2p.warnings);
+    report.plan.p2p_epoch_functions = p2p.epoch_functions;
 
     // Renumber concurrency sites globally (per-function numbering would
     // collide at run time).

@@ -41,6 +41,12 @@ pub enum WarningKind {
     /// A collective requires a higher MPI thread level than the program
     /// requested via `MPI_Init_thread`.
     InsufficientThreadLevel,
+    /// Point-to-point matching: a send or receive whose (communicator,
+    /// tag) key no operation of the opposite direction can ever match.
+    UnmatchedP2p,
+    /// Point-to-point matching: a receive that precedes every matching
+    /// send on every path — the head-to-head `recv; send` deadlock.
+    P2pOrder,
 }
 
 impl WarningKind {
@@ -55,6 +61,8 @@ impl WarningKind {
             WarningKind::CollectiveMismatch => "collective-mismatch",
             WarningKind::BarrierDivergence => "barrier-divergence",
             WarningKind::InsufficientThreadLevel => "insufficient-thread-level",
+            WarningKind::UnmatchedP2p => "unmatched-p2p",
+            WarningKind::P2pOrder => "mismatched-order",
         }
     }
 
@@ -73,6 +81,8 @@ impl WarningKind {
             WarningKind::CollectiveMismatch => "collective mismatch",
             WarningKind::BarrierDivergence => "control-flow divergent barrier",
             WarningKind::InsufficientThreadLevel => "insufficient MPI thread level",
+            WarningKind::UnmatchedP2p => "unmatched point-to-point operation",
+            WarningKind::P2pOrder => "point-to-point receive/send order mismatch",
         }
     }
 }
@@ -131,6 +141,9 @@ pub struct InstrumentationPlan {
     /// Functions whose returns need a `CC` (they contain suspect
     /// collectives or mismatch candidates).
     pub cc_functions: Vec<String>,
+    /// Functions whose `MPI_Finalize` gets the point-to-point epoch
+    /// census (they contain suspect p2p traffic).
+    pub p2p_epoch_functions: Vec<String>,
 }
 
 impl InstrumentationPlan {
@@ -184,11 +197,12 @@ impl StaticReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{} warning(s); instrumentation: {} collective site(s), {} monothread check(s), {} concurrency site(s)",
+            "{} warning(s); instrumentation: {} collective site(s), {} monothread check(s), {} concurrency site(s), {} p2p epoch function(s)",
             self.warnings.len(),
             self.plan.suspect_collectives.len(),
             self.plan.monothread_checks.len(),
             self.plan.concurrency_sites.len(),
+            self.plan.p2p_epoch_functions.len(),
         ));
         out
     }
@@ -209,6 +223,8 @@ mod tests {
             WarningKind::CollectiveMismatch,
             WarningKind::BarrierDivergence,
             WarningKind::InsufficientThreadLevel,
+            WarningKind::UnmatchedP2p,
+            WarningKind::P2pOrder,
         ];
         let mut codes: Vec<_> = all.iter().map(|k| k.code()).collect();
         codes.sort_unstable();

@@ -168,8 +168,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let module = if instrument {
         let (m, stats) = instrument_module(&loaded.module, &report, mode);
         println!(
-            "instrumentation: {} CC, {} return-CC, {} monothread assert(s), {} concurrency site(s)",
-            stats.cc_collective, stats.cc_return, stats.monothread_asserts, stats.concurrency_sites
+            "instrumentation: {} CC, {} return-CC, {} monothread assert(s), {} concurrency site(s), {} p2p epoch(s)",
+            stats.cc_collective,
+            stats.cc_return,
+            stats.monothread_asserts,
+            stats.concurrency_sites,
+            stats.p2p_epochs
         );
         m
     } else {

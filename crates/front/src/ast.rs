@@ -54,6 +54,9 @@ pub enum Type {
     ArrayInt,
     /// Growable array of `float`.
     ArrayFloat,
+    /// An MPI communicator handle (`MPI_COMM_WORLD`, `MPI_Comm_split`,
+    /// `MPI_Comm_dup` results). Opaque: no arithmetic, no comparison.
+    Comm,
 }
 
 impl Type {
@@ -95,6 +98,7 @@ impl fmt::Display for Type {
             Type::Void => write!(f, "void"),
             Type::ArrayInt => write!(f, "int[]"),
             Type::ArrayFloat => write!(f, "float[]"),
+            Type::Comm => write!(f, "comm"),
         }
     }
 }
@@ -413,22 +417,45 @@ pub enum MpiOp {
     Finalize,
     /// A collective operation.
     Collective(CollectiveCall),
-    /// `MPI_Send(v, dest, tag)` — modelled for workload realism; the
-    /// analysis does not check point-to-point.
+    /// `MPI_Send(v, dest, tag[, comm])` — blocking (buffered) send,
+    /// checked by the static point-to-point matching pass.
     Send {
         /// Value expression.
         value: Box<Expr>,
-        /// Destination rank.
+        /// Destination rank (within `comm`).
         dest: Box<Expr>,
         /// Message tag.
         tag: Box<Expr>,
+        /// Communicator (None = `MPI_COMM_WORLD`).
+        comm: Option<Box<Expr>>,
     },
-    /// `MPI_Recv(src, tag)` — returns the received value.
+    /// `MPI_Recv(src, tag[, comm])` — returns the received value.
     Recv {
-        /// Source rank.
+        /// Source rank (within `comm`).
         src: Box<Expr>,
         /// Message tag.
         tag: Box<Expr>,
+        /// Communicator (None = `MPI_COMM_WORLD`).
+        comm: Option<Box<Expr>>,
+    },
+    /// The `MPI_COMM_WORLD` handle as an expression.
+    CommWorld,
+    /// `MPI_Comm_split(parent, color, key)` — collective over `parent`;
+    /// ranks with equal `color` form a new communicator, ordered by
+    /// (`key`, parent rank).
+    CommSplit {
+        /// Parent communicator.
+        parent: Box<Expr>,
+        /// Partition color (non-negative).
+        color: Box<Expr>,
+        /// Ordering key within the new communicator.
+        key: Box<Expr>,
+    },
+    /// `MPI_Comm_dup(comm)` — collective over `comm`; returns a new
+    /// communicator with the same members but a separate matching space.
+    CommDup {
+        /// Communicator to duplicate.
+        comm: Box<Expr>,
     },
 }
 
@@ -443,6 +470,9 @@ pub struct CollectiveCall {
     pub reduce_op: Option<ReduceOp>,
     /// Root rank expression for rooted collectives.
     pub root: Option<Box<Expr>>,
+    /// Communicator the collective runs on (None = `MPI_COMM_WORLD`),
+    /// always the last argument when present.
+    pub comm: Option<Box<Expr>>,
 }
 
 /// MPI threading support levels (MPI-2 §12.4).
@@ -550,7 +580,7 @@ impl Expr {
                 }
             }
             ExprKind::Mpi(op) => match op {
-                MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize => {}
+                MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize | MpiOp::CommWorld => {}
                 MpiOp::Collective(c) => {
                     if let Some(v) = &c.value {
                         v.walk(f);
@@ -558,16 +588,36 @@ impl Expr {
                     if let Some(r) = &c.root {
                         r.walk(f);
                     }
+                    if let Some(cm) = &c.comm {
+                        cm.walk(f);
+                    }
                 }
-                MpiOp::Send { value, dest, tag } => {
+                MpiOp::Send {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                } => {
                     value.walk(f);
                     dest.walk(f);
                     tag.walk(f);
+                    if let Some(cm) = comm {
+                        cm.walk(f);
+                    }
                 }
-                MpiOp::Recv { src, tag } => {
+                MpiOp::Recv { src, tag, comm } => {
                     src.walk(f);
                     tag.walk(f);
+                    if let Some(cm) = comm {
+                        cm.walk(f);
+                    }
                 }
+                MpiOp::CommSplit { parent, color, key } => {
+                    parent.walk(f);
+                    color.walk(f);
+                    key.walk(f);
+                }
+                MpiOp::CommDup { comm } => comm.walk(f),
             },
         }
     }

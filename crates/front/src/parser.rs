@@ -660,7 +660,9 @@ impl Parser {
             TokenKind::Ident(name) => {
                 let id_tok = self.bump();
                 let ident = Ident::new(name.clone(), id_tok.span);
-                if self.at(&TokenKind::LParen) {
+                if ident.name == "MPI_COMM_WORLD" && !self.at(&TokenKind::LParen) {
+                    Expr::new(ExprKind::Mpi(MpiOp::CommWorld), id_tok.span)
+                } else if self.at(&TokenKind::LParen) {
                     self.call_expr(ident)
                 } else if self.at(&TokenKind::LBracket) {
                     self.bump();
@@ -759,13 +761,32 @@ impl Parser {
                 let dest = Box::new(self.expr());
                 self.expect(&TokenKind::Comma);
                 let tag = Box::new(self.expr());
-                Some(MpiOp::Send { value, dest, tag })
+                let comm = self.trailing_comm_arg();
+                Some(MpiOp::Send {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                })
             }
             "MPI_Recv" => {
                 let src = Box::new(self.expr());
                 self.expect(&TokenKind::Comma);
                 let tag = Box::new(self.expr());
-                Some(MpiOp::Recv { src, tag })
+                let comm = self.trailing_comm_arg();
+                Some(MpiOp::Recv { src, tag, comm })
+            }
+            "MPI_Comm_split" => {
+                let parent = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let color = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let key = Box::new(self.expr());
+                Some(MpiOp::CommSplit { parent, color, key })
+            }
+            "MPI_Comm_dup" => {
+                let comm = Box::new(self.expr());
+                Some(MpiOp::CommDup { comm })
             }
             _ => match CollectiveKind::from_name(&name.name) {
                 Some(kind) => Some(MpiOp::Collective(self.collective_args(kind))),
@@ -791,15 +812,29 @@ impl Parser {
         }
     }
 
+    /// Optional trailing `, comm` argument of MPI operations.
+    fn trailing_comm_arg(&mut self) -> Option<Box<Expr>> {
+        if self.eat(&TokenKind::Comma) {
+            Some(Box::new(self.expr()))
+        } else {
+            None
+        }
+    }
+
     fn collective_args(&mut self, kind: CollectiveKind) -> CollectiveCall {
         let mut call = CollectiveCall {
             kind,
             value: None,
             reduce_op: None,
             root: None,
+            comm: None,
         };
         if kind == CollectiveKind::Barrier {
-            return call; // no arguments
+            // Only argument (if any) is the communicator.
+            if !self.at(&TokenKind::RParen) {
+                call.comm = Some(Box::new(self.expr()));
+            }
+            return call;
         }
         // value
         call.value = Some(Box::new(self.expr()));
@@ -825,6 +860,8 @@ impl Parser {
         if kind.has_root() && self.expect(&TokenKind::Comma) {
             call.root = Some(Box::new(self.expr()));
         }
+        // optional trailing communicator
+        call.comm = self.trailing_comm_arg();
         call
     }
 }
@@ -1024,6 +1061,61 @@ mod tests {
     fn mpi_send_recv() {
         let p = parse_ok("fn main() { MPI_Send(1, 0, 7); let v = MPI_Recv(1, 7); }");
         assert_eq!(p.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn communicator_builtins() {
+        let p = parse_ok(
+            "fn main() {
+                let w = MPI_COMM_WORLD;
+                let c = MPI_Comm_split(MPI_COMM_WORLD, 0, 1);
+                let d = MPI_Comm_dup(c);
+            }",
+        );
+        assert_eq!(p.functions[0].body.stmts.len(), 3);
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(init.kind, ExprKind::Mpi(MpiOp::CommWorld)));
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[1].kind else {
+            panic!()
+        };
+        assert!(matches!(init.kind, ExprKind::Mpi(MpiOp::CommSplit { .. })));
+    }
+
+    #[test]
+    fn trailing_comm_arguments() {
+        let p = parse_ok(
+            "fn main() {
+                let c = MPI_Comm_dup(MPI_COMM_WORLD);
+                MPI_Barrier(c);
+                MPI_Barrier();
+                let x = MPI_Allreduce(1, SUM, c);
+                let b = MPI_Bcast(1, 0, c);
+                MPI_Send(1, 0, 7, c);
+                let v = MPI_Recv(1, 7, c);
+            }",
+        );
+        let barrier_comms: Vec<bool> = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Expr(Expr {
+                    kind: ExprKind::Mpi(MpiOp::Collective(call)),
+                    ..
+                }) => Some(call.comm.is_some()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barrier_comms, vec![true, false]);
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[3].kind else {
+            panic!()
+        };
+        let ExprKind::Mpi(MpiOp::Collective(call)) = &init.kind else {
+            panic!("{init:?}")
+        };
+        assert!(call.comm.is_some() && call.reduce_op.is_some());
     }
 
     #[test]

@@ -275,20 +275,48 @@ impl Printer {
                 let _ = write!(self.out, "MPI_Init_thread({name})");
             }
             MpiOp::Finalize => self.out.push_str("MPI_Finalize()"),
-            MpiOp::Send { value, dest, tag } => {
+            MpiOp::Send {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
                 self.out.push_str("MPI_Send(");
                 self.expr(value);
                 self.out.push_str(", ");
                 self.expr(dest);
                 self.out.push_str(", ");
                 self.expr(tag);
+                if let Some(cm) = comm {
+                    self.out.push_str(", ");
+                    self.expr(cm);
+                }
                 self.out.push(')');
             }
-            MpiOp::Recv { src, tag } => {
+            MpiOp::Recv { src, tag, comm } => {
                 self.out.push_str("MPI_Recv(");
                 self.expr(src);
                 self.out.push_str(", ");
                 self.expr(tag);
+                if let Some(cm) = comm {
+                    self.out.push_str(", ");
+                    self.expr(cm);
+                }
+                self.out.push(')');
+            }
+            MpiOp::CommWorld => self.out.push_str("MPI_COMM_WORLD"),
+            MpiOp::CommSplit { parent, color, key } => {
+                self.out.push_str("MPI_Comm_split(");
+                self.expr(parent);
+                self.out.push_str(", ");
+                self.expr(color);
+                self.out.push_str(", ");
+                self.expr(key);
+                self.out.push(')');
+            }
+            MpiOp::CommDup { comm } => {
+                self.out.push_str("MPI_Comm_dup(");
+                self.expr(comm);
                 self.out.push(')');
             }
             MpiOp::Collective(c) => {
@@ -310,6 +338,13 @@ impl Printer {
                         self.out.push_str(", ");
                     }
                     self.expr(root);
+                    first = false;
+                }
+                if let Some(cm) = &c.comm {
+                    if !first {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(cm);
                 }
                 self.out.push(')');
             }

@@ -548,7 +548,7 @@ impl<'a> Checker<'a> {
                             ),
                             e.span,
                         );
-                    } else if lt.is_array() || lt == Type::Void {
+                    } else if lt.is_array() || lt == Type::Void || lt == Type::Comm {
                         self.diags.error(
                             "type-mismatch",
                             format!("`{}` cannot compare {lt} values", op.symbol()),
@@ -767,7 +767,12 @@ impl<'a> Checker<'a> {
     fn check_mpi(&mut self, op: &MpiOp, span: Span) -> Type {
         match op {
             MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize => Type::Void,
-            MpiOp::Send { value, dest, tag } => {
+            MpiOp::Send {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
                 let vt = self.check_expr(value);
                 if !vt.is_numeric() {
                     self.diags.error(
@@ -778,14 +783,31 @@ impl<'a> Checker<'a> {
                 }
                 self.expect_ty(dest, Type::Int, "MPI_Send destination");
                 self.expect_ty(tag, Type::Int, "MPI_Send tag");
+                if let Some(cm) = comm {
+                    self.expect_ty(cm, Type::Comm, "MPI_Send communicator");
+                }
                 Type::Void
             }
-            MpiOp::Recv { src, tag } => {
+            MpiOp::Recv { src, tag, comm } => {
                 self.expect_ty(src, Type::Int, "MPI_Recv source");
                 self.expect_ty(tag, Type::Int, "MPI_Recv tag");
+                if let Some(cm) = comm {
+                    self.expect_ty(cm, Type::Comm, "MPI_Recv communicator");
+                }
                 // Halo exchanges carry field values: Recv yields float
                 // (integer payloads are coerced at run time).
                 Type::Float
+            }
+            MpiOp::CommWorld => Type::Comm,
+            MpiOp::CommSplit { parent, color, key } => {
+                self.expect_ty(parent, Type::Comm, "MPI_Comm_split parent");
+                self.expect_ty(color, Type::Int, "MPI_Comm_split color");
+                self.expect_ty(key, Type::Int, "MPI_Comm_split key");
+                Type::Comm
+            }
+            MpiOp::CommDup { comm } => {
+                self.expect_ty(comm, Type::Comm, "MPI_Comm_dup communicator");
+                Type::Comm
             }
             MpiOp::Collective(c) => self.check_collective(c, span),
         }
@@ -801,6 +823,9 @@ impl<'a> Checker<'a> {
                 format!("{} requires a reduction operator", c.kind),
                 span,
             );
+        }
+        if let Some(cm) = &c.comm {
+            self.expect_ty(cm, Type::Comm, "collective communicator");
         }
         let vt = c.value.as_ref().map(|v| self.check_expr(v));
         match c.kind {
@@ -922,6 +947,46 @@ mod tests {
     #[test]
     fn minimal_ok() {
         sema_ok("fn main() { let x = 1; x = x + 1; }");
+    }
+
+    #[test]
+    fn communicators_type_check() {
+        sema_ok(
+            "fn main() {
+                let c = MPI_Comm_split(MPI_COMM_WORLD, rank() % 2, rank());
+                let d = MPI_Comm_dup(c);
+                MPI_Barrier(d);
+                let x = MPI_Allreduce(1, SUM, c);
+                MPI_Send(1.5, 0, 3, c);
+                let v = MPI_Recv(0, 3, c);
+            }",
+        );
+    }
+
+    #[test]
+    fn comm_argument_must_be_comm_typed() {
+        sema_err("fn main() { MPI_Barrier(3); }", "type-mismatch");
+        sema_err(
+            "fn main() { let c = MPI_Comm_split(1, 0, 0); }",
+            "type-mismatch",
+        );
+        sema_err("fn main() { MPI_Send(1, 0, 3, 7); }", "type-mismatch");
+    }
+
+    #[test]
+    fn comm_values_are_opaque() {
+        sema_err(
+            "fn main() { let c = MPI_COMM_WORLD; let x = c + 1; }",
+            "type-mismatch",
+        );
+        sema_err(
+            "fn main() {
+                let a = MPI_COMM_WORLD;
+                let b = MPI_COMM_WORLD;
+                if (a == b) { }
+            }",
+            "type-mismatch",
+        );
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! substrate's last-line-of-defence (matcher mismatch, deadlock census,
 //! timeout — what an uninstrumented run degenerates to).
 
-use parcoach_front::ast::CollectiveKind;
 use parcoach_front::span::Span;
 use parcoach_mpisim::MpiError;
 use std::fmt;
@@ -21,16 +20,24 @@ pub enum RunErrorKind {
         per_rank: Vec<String>,
     },
     /// PARCOACH monothread assert fired: several threads reached a
-    /// collective that must be monothreaded.
+    /// collective (or communicator-management operation) that must be
+    /// monothreaded.
     MonothreadViolation {
-        /// The collective guarded.
-        kind: CollectiveKind,
+        /// MPI name of the guarded operation.
+        what: &'static str,
     },
     /// PARCOACH concurrency counter fired: two collective-bearing
     /// monothreaded regions (or two iterations of one) overlapped.
     ConcurrentRegions {
         /// The static site id.
         site: u32,
+    },
+    /// PARCOACH p2p epoch census fired: a communicator's total sends
+    /// and receives differ at the epoch's final synchronization point
+    /// (unmatched point-to-point traffic).
+    P2pImbalance {
+        /// Per unbalanced communicator: (handle, sent, received).
+        comms: Vec<(usize, u64, u64)>,
     },
     /// The MPI substrate reported an error (mismatch at the matcher,
     /// deadlock census, thread-level violation, …).
@@ -68,6 +75,7 @@ impl RunErrorKind {
             RunErrorKind::CcMismatch { .. } => "cc-mismatch",
             RunErrorKind::MonothreadViolation { .. } => "monothread-violation",
             RunErrorKind::ConcurrentRegions { .. } => "concurrent-regions",
+            RunErrorKind::P2pImbalance { .. } => "p2p-imbalance",
             RunErrorKind::Mpi(MpiError::CollectiveMismatch { .. }) => "mpi-mismatch",
             RunErrorKind::Mpi(MpiError::Deadlock { .. }) => "mpi-deadlock",
             RunErrorKind::Mpi(MpiError::RankFinishedEarly { .. }) => "mpi-early-exit",
@@ -94,6 +102,7 @@ impl RunErrorKind {
             RunErrorKind::CcMismatch { .. }
                 | RunErrorKind::MonothreadViolation { .. }
                 | RunErrorKind::ConcurrentRegions { .. }
+                | RunErrorKind::P2pImbalance { .. }
         )
     }
 
@@ -146,16 +155,26 @@ impl fmt::Display for RunError {
                 }
                 Ok(())
             }
-            RunErrorKind::MonothreadViolation { kind } => write!(
+            RunErrorKind::MonothreadViolation { what } => write!(
                 f,
-                "PARCOACH: {} executed by multiple concurrent threads",
-                kind.mpi_name()
+                "PARCOACH: {what} executed by multiple concurrent threads"
             ),
             RunErrorKind::ConcurrentRegions { site } => write!(
                 f,
                 "PARCOACH: two collective-bearing monothreaded regions ran \
                  concurrently (site {site})"
             ),
+            RunErrorKind::P2pImbalance { comms } => {
+                write!(
+                    f,
+                    "PARCOACH P2P census: unmatched point-to-point traffic at \
+                     finalize:"
+                )?;
+                for (h, sent, recvd) in comms {
+                    write!(f, " [comm #{h}: {sent} sent, {recvd} received]")?;
+                }
+                Ok(())
+            }
             RunErrorKind::Mpi(e) => write!(f, "{e}"),
             RunErrorKind::ThreadBarrier(m) => write!(f, "thread barrier: {m}"),
             RunErrorKind::Omp(m) => write!(f, "OpenMP runtime: {m}"),
@@ -209,7 +228,7 @@ mod tests {
     fn classification() {
         assert!(RunErrorKind::CcMismatch { per_rank: vec![] }.is_check_detection());
         assert!(RunErrorKind::MonothreadViolation {
-            kind: CollectiveKind::Barrier
+            what: "MPI_Barrier"
         }
         .is_check_detection());
         assert!(!RunErrorKind::DivisionByZero.is_check_detection());
@@ -222,7 +241,7 @@ mod tests {
         let kinds = [
             RunErrorKind::CcMismatch { per_rank: vec![] },
             RunErrorKind::MonothreadViolation {
-                kind: CollectiveKind::Barrier,
+                what: "MPI_Barrier",
             },
             RunErrorKind::ConcurrentRegions { site: 0 },
             RunErrorKind::DivisionByZero,

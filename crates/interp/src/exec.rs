@@ -679,23 +679,29 @@ impl Executor {
                     .push(format!("[rank {}] {}", env.rank, text));
             }
             Instr::Check(check) => {
-                self.exec_check(env, omp, is_initial, check, pending_mono)?;
+                self.exec_check(env, omp, is_initial, frame, check, pending_mono)?;
             }
         }
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_check(
         &self,
         env: &RankEnv,
         omp: &mut ThreadCtx,
         is_initial: bool,
+        frame: &mut Frame,
         check: &CheckOp,
         pending_mono: &mut Option<u32>,
     ) -> Result<(), RunError> {
         match check {
-            CheckOp::CollectiveCc { color, span, .. } => {
-                self.run_cc(env, omp, is_initial, *color, *span)
+            CheckOp::CollectiveCc {
+                color, comm, span, ..
+            } => {
+                // The CC runs on the guarded collective's communicator.
+                let handle = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
+                self.run_cc(env, omp, is_initial, handle, *color, *span)
             }
             CheckOp::ReturnCc { span } => {
                 // Wrapped in `single` semantics when inside a team (paper
@@ -706,9 +712,9 @@ impl Executor {
                         return Ok(());
                     }
                 }
-                self.run_cc(env, omp, is_initial, 0, *span)
+                self.run_cc(env, omp, is_initial, 0, 0, *span)
             }
-            CheckOp::AssertMonothread { kind, span } => {
+            CheckOp::AssertMonothread { what, span } => {
                 // Deterministic: within one team encounter, two *distinct*
                 // threads reaching the same collective site prove the
                 // context is multithreaded, regardless of interleaving.
@@ -718,11 +724,8 @@ impl Executor {
                 let first = *mono.entry(key).or_insert(me);
                 drop(mono);
                 if first != me {
-                    let err = RunError::new(
-                        RunErrorKind::MonothreadViolation { kind: *kind },
-                        *span,
-                        env.rank,
-                    );
+                    let err =
+                        RunError::new(RunErrorKind::MonothreadViolation { what }, *span, env.rank);
                     self.abort_everyone(env, omp, &err);
                     return Err(err);
                 }
@@ -768,22 +771,45 @@ impl Executor {
                 }
                 Ok(())
             }
+            CheckOp::P2pEpoch { span } => {
+                let rows = env
+                    .world
+                    .p2p_census(env.rank, is_initial)
+                    .map_err(|e| RunError::new(RunErrorKind::Mpi(e), *span, env.rank))?;
+                let unbalanced: Vec<(usize, u64, u64)> = rows
+                    .into_iter()
+                    .filter(|(_, sent, recvd)| sent != recvd)
+                    .collect();
+                if unbalanced.is_empty() {
+                    return Ok(());
+                }
+                let err = RunError::new(
+                    RunErrorKind::P2pImbalance { comms: unbalanced },
+                    *span,
+                    env.rank,
+                );
+                self.abort_everyone(env, omp, &err);
+                Err(err)
+            }
         }
     }
 
-    /// Execute the `CC` color all-reduce and translate a disagreement
-    /// into the paper's error report (per-rank collective names).
+    /// Execute the `CC` color all-reduce (on the guarded collective's
+    /// communicator) and translate a disagreement into the paper's
+    /// error report (per-rank collective names).
+    #[allow(clippy::too_many_arguments)]
     fn run_cc(
         &self,
         env: &RankEnv,
         omp: &mut ThreadCtx,
         is_initial: bool,
+        comm: usize,
         color: u32,
         span: Span,
     ) -> Result<(), RunError> {
         let outcome = env
             .world
-            .control_cc(env.rank, color, is_initial)
+            .control_cc_on(env.rank, comm, color, is_initial)
             .map_err(|e| RunError::new(RunErrorKind::Mpi(e), span, env.rank))?;
         if outcome.unanimous() {
             return Ok(());
@@ -827,29 +853,36 @@ impl Executor {
                 env.world.finalize(env.rank, is_initial).map_err(mpi_err)?;
                 Ok(None)
             }
-            MpiIr::Send { value, dest, tag } => {
+            MpiIr::Send {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
                 let v = self.read(frame, *value).to_mpi();
                 let d = self.read(frame, *dest).as_int();
                 let t = self.read(frame, *tag).as_int();
+                let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
                 if d < 0 {
                     return Err(mpi_err(MpiError::ArgError(format!(
                         "negative destination {d}"
                     ))));
                 }
                 env.world
-                    .send(env.rank, d as usize, t, v, is_initial)
+                    .send_on(env.rank, c, d as usize, t, v, is_initial)
                     .map_err(mpi_err)?;
                 Ok(None)
             }
-            MpiIr::Recv { src, tag } => {
+            MpiIr::Recv { src, tag, comm } => {
                 let s = self.read(frame, *src).as_int();
                 let t = self.read(frame, *tag).as_int();
+                let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
                 if s < 0 {
                     return Err(mpi_err(MpiError::ArgError(format!("negative source {s}"))));
                 }
                 let v = env
                     .world
-                    .recv(env.rank, s as usize, t, is_initial)
+                    .recv_on(env.rank, c, s as usize, t, is_initial)
                     .map_err(mpi_err)?;
                 // `MPI_Recv` is float-typed in the language; coerce
                 // integer payloads.
@@ -859,11 +892,31 @@ impl Executor {
                 };
                 Ok(Some(out))
             }
+            MpiIr::CommWorld => Ok(Some(Value::Comm(0))),
+            MpiIr::CommSplit { parent, color, key } => {
+                let p = self.read(frame, *parent).as_comm();
+                let c = self.read(frame, *color).as_int();
+                let k = self.read(frame, *key).as_int();
+                let handle = env
+                    .world
+                    .comm_split(env.rank, p, c, k, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(Some(Value::Comm(handle)))
+            }
+            MpiIr::CommDup { comm } => {
+                let p = self.read(frame, *comm).as_comm();
+                let handle = env
+                    .world
+                    .comm_dup(env.rank, p, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(Some(Value::Comm(handle)))
+            }
             MpiIr::Collective {
                 kind,
                 value,
                 reduce_op,
                 root,
+                comm,
             } => {
                 let payload = value.map(|v| self.read(frame, v).to_mpi());
                 let root_v = match root {
@@ -876,6 +929,7 @@ impl Executor {
                     }
                     None => None,
                 };
+                let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
                 let ty = payload.as_ref().map(|p| p.ty());
                 let sig = Signature::collective((*kind).into(), *reduce_op, root_v, ty);
                 // `omp` is only used for diagnostics here; the collective
@@ -883,7 +937,7 @@ impl Executor {
                 let _ = omp;
                 let out = env
                     .world
-                    .collective(env.rank, sig, payload, is_initial)
+                    .collective_on(env.rank, c, sig, payload, is_initial)
                     .map_err(mpi_err)?;
                 if *kind == CollectiveKind::Barrier {
                     Ok(None)
@@ -1052,6 +1106,12 @@ fn color_name(color: u32) -> String {
     if color == 0 {
         return "<return/exit>".to_string();
     }
+    if color == parcoach_ir::instr::COLOR_COMM_SPLIT {
+        return "MPI_Comm_split".to_string();
+    }
+    if color == parcoach_ir::instr::COLOR_COMM_DUP {
+        return "MPI_Comm_dup".to_string();
+    }
     CollectiveKind::ALL
         .iter()
         .find(|k| k.color() == color)
@@ -1154,25 +1214,48 @@ fn block_regs(b: &parcoach_ir::func::BasicBlock) -> (Vec<Reg>, Vec<Reg>) {
                 }
             }
             Instr::Mpi { op, .. } => match op {
-                MpiIr::Collective { value, root, .. } => {
+                MpiIr::Collective {
+                    value, root, comm, ..
+                } => {
                     if let Some(v) = value {
                         val(v, &mut refs);
                     }
                     if let Some(r) = root {
                         val(r, &mut refs);
                     }
+                    if let Some(c) = comm {
+                        val(c, &mut refs);
+                    }
                 }
-                MpiIr::Send { value, dest, tag } => {
+                MpiIr::Send {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                } => {
                     val(value, &mut refs);
                     val(dest, &mut refs);
                     val(tag, &mut refs);
+                    if let Some(c) = comm {
+                        val(c, &mut refs);
+                    }
                 }
-                MpiIr::Recv { src, tag } => {
+                MpiIr::Recv { src, tag, comm } => {
                     val(src, &mut refs);
                     val(tag, &mut refs);
+                    if let Some(c) = comm {
+                        val(c, &mut refs);
+                    }
                 }
+                MpiIr::CommSplit { parent, color, key } => {
+                    val(parent, &mut refs);
+                    val(color, &mut refs);
+                    val(key, &mut refs);
+                }
+                MpiIr::CommDup { comm } => val(comm, &mut refs),
                 _ => {}
             },
+            Instr::Check(CheckOp::CollectiveCc { comm: Some(c), .. }) => val(c, &mut refs),
             Instr::Check(_) => {}
         }
     }

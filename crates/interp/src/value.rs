@@ -24,6 +24,8 @@ pub enum Value {
     ArrayInt(Arc<RwLock<Vec<i64>>>),
     /// Shared float array.
     ArrayFloat(Arc<RwLock<Vec<f64>>>),
+    /// An MPI communicator handle (0 = `MPI_COMM_WORLD`).
+    Comm(usize),
 }
 
 impl Value {
@@ -35,6 +37,7 @@ impl Value {
             Type::Bool => Value::Bool(false),
             Type::ArrayInt => Value::ArrayInt(Arc::new(RwLock::new(Vec::new()))),
             Type::ArrayFloat => Value::ArrayFloat(Arc::new(RwLock::new(Vec::new()))),
+            Type::Comm => Value::Comm(0),
         }
     }
 
@@ -62,6 +65,14 @@ impl Value {
         }
     }
 
+    /// Communicator handle content.
+    pub fn as_comm(&self) -> usize {
+        match self {
+            Value::Comm(v) => *v,
+            other => panic!("expected comm, got {other:?}"),
+        }
+    }
+
     /// Convert to an MPI payload (arrays are snapshotted).
     pub fn to_mpi(&self) -> MpiValue {
         match self {
@@ -70,6 +81,7 @@ impl Value {
             Value::Bool(v) => MpiValue::Int(*v as i64),
             Value::ArrayInt(a) => MpiValue::ArrayInt(a.read().clone()),
             Value::ArrayFloat(a) => MpiValue::ArrayFloat(a.read().clone()),
+            Value::Comm(_) => panic!("communicator handles are not MPI payloads"),
         }
     }
 
@@ -98,6 +110,7 @@ impl fmt::Display for Value {
                 let a = a.read();
                 write!(f, "{a:?}")
             }
+            Value::Comm(h) => write!(f, "comm#{h}"),
         }
     }
 }

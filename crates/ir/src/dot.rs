@@ -97,6 +97,9 @@ fn summarize_instr(i: &Instr) -> String {
             crate::instr::MpiIr::Finalize => "MPI_Finalize".into(),
             crate::instr::MpiIr::Send { .. } => "MPI_Send".into(),
             crate::instr::MpiIr::Recv { .. } => "MPI_Recv".into(),
+            crate::instr::MpiIr::CommWorld => "MPI_COMM_WORLD".into(),
+            crate::instr::MpiIr::CommSplit { .. } => "MPI_Comm_split".into(),
+            crate::instr::MpiIr::CommDup { .. } => "MPI_Comm_dup".into(),
         },
         Instr::Print { .. } => "print".into(),
         Instr::Check(c) => format!("CHECK {c:?}"),

@@ -149,6 +149,23 @@ impl FuncIr {
             .collect()
     }
 
+    /// All blocks containing at least one point-to-point operation.
+    pub fn p2p_blocks(&self) -> Vec<BlockId> {
+        self.iter_blocks()
+            .filter(|(_, b)| {
+                b.instrs
+                    .iter()
+                    .any(|i| matches!(i, crate::instr::Instr::Mpi { op, .. } if op.is_p2p()))
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// True if the function contains any point-to-point operation.
+    pub fn has_p2p(&self) -> bool {
+        !self.p2p_blocks().is_empty()
+    }
+
     /// True if the function contains any OpenMP directive block.
     pub fn has_omp(&self) -> bool {
         self.blocks

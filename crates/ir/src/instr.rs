@@ -31,22 +31,45 @@ pub enum MpiIr {
         reduce_op: Option<ReduceOp>,
         /// Root operand for rooted collectives.
         root: Option<Value>,
+        /// Communicator operand (None = `MPI_COMM_WORLD`).
+        comm: Option<Value>,
     },
-    /// Point-to-point send (not analysed; workload realism).
+    /// Blocking (buffered) point-to-point send, checked by the static
+    /// p2p matching pass.
     Send {
         /// Payload.
         value: Value,
-        /// Destination rank.
+        /// Destination rank within `comm`.
         dest: Value,
         /// Tag.
         tag: Value,
+        /// Communicator operand (None = `MPI_COMM_WORLD`).
+        comm: Option<Value>,
     },
-    /// Point-to-point receive.
+    /// Blocking point-to-point receive.
     Recv {
-        /// Source rank.
+        /// Source rank within `comm`.
         src: Value,
         /// Tag.
         tag: Value,
+        /// Communicator operand (None = `MPI_COMM_WORLD`).
+        comm: Option<Value>,
+    },
+    /// The `MPI_COMM_WORLD` handle (written to `dest`).
+    CommWorld,
+    /// `MPI_Comm_split(parent, color, key)` — collective over `parent`.
+    CommSplit {
+        /// Parent communicator operand.
+        parent: Value,
+        /// Partition color.
+        color: Value,
+        /// Ordering key.
+        key: Value,
+    },
+    /// `MPI_Comm_dup(comm)` — collective over `comm`.
+    CommDup {
+        /// Duplicated communicator operand.
+        comm: Value,
     },
 }
 
@@ -58,7 +81,31 @@ impl MpiIr {
             _ => None,
         }
     }
+
+    /// True for blocking point-to-point operations (send/recv).
+    pub fn is_p2p(&self) -> bool {
+        matches!(self, MpiIr::Send { .. } | MpiIr::Recv { .. })
+    }
+
+    /// Communicator-management collectives (`MPI_Comm_split`,
+    /// `MPI_Comm_dup`): dynamically these synchronize like collectives
+    /// over their *parent* communicator, so the static phases must
+    /// treat them as collective events. Returns the MPI name and the
+    /// parent communicator operand.
+    pub fn comm_mgmt(&self) -> Option<(&'static str, Value)> {
+        match self {
+            MpiIr::CommSplit { parent, .. } => Some(("MPI_Comm_split", *parent)),
+            MpiIr::CommDup { comm } => Some(("MPI_Comm_dup", *comm)),
+            _ => None,
+        }
+    }
 }
+
+/// `CC` color of `MPI_Comm_split` (data-collective colors are
+/// 1..=10; 0 is the return/exit color).
+pub const COLOR_COMM_SPLIT: u32 = 11;
+/// `CC` color of `MPI_Comm_dup`.
+pub const COLOR_COMM_DUP: u32 = 12;
 
 /// Dynamic checks inserted by the PARCOACH instrumentation pass (§3 of the
 /// paper). They are ordinary instructions so the executor runs them
@@ -66,12 +113,17 @@ impl MpiIr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum CheckOp {
     /// The `CC` collective-verification call placed *before* an MPI
-    /// collective: control all-reduce of `color`; mismatch aborts.
+    /// collective (including the communicator-management collectives):
+    /// control all-reduce of `color` over the guarded collective's
+    /// communicator; mismatch aborts.
     CollectiveCc {
-        /// Color communicated (collective kind color).
+        /// Color communicated (collective kind color, or
+        /// [`COLOR_COMM_SPLIT`]/[`COLOR_COMM_DUP`]).
         color: u32,
-        /// The collective being guarded (for error messages).
-        kind: CollectiveKind,
+        /// Communicator of the guarded collective (None = world). The CC
+        /// runs on the *same* communicator so collectives on unrelated
+        /// communicators can never be compared against each other.
+        comm: Option<Value>,
         /// Source location of the guarded collective.
         span: Span,
     },
@@ -83,11 +135,11 @@ pub enum CheckOp {
         span: Span,
     },
     /// Verify the executing context is monothreaded (inserted at `S_ipw`
-    /// nodes — collectives whose parallelism word could not be proven in
-    /// `L` statically).
+    /// nodes — collectives, including communicator management, whose
+    /// parallelism word could not be proven in `L` statically).
     AssertMonothread {
-        /// Collective guarded.
-        kind: CollectiveKind,
+        /// MPI name of the guarded operation (for error messages).
+        what: &'static str,
         /// Source location.
         span: Span,
     },
@@ -104,6 +156,17 @@ pub enum CheckOp {
     ConcExit {
         /// Static site id.
         site: u32,
+    },
+    /// Point-to-point epoch census, placed before `MPI_Finalize` in
+    /// functions with suspect p2p traffic: a control collective
+    /// exchanging the per-communicator send/receive counters (the
+    /// paper's `CC` protocol extended to point-to-point; the epoch ends
+    /// at the communicator's final synchronization point, where all
+    /// buffered traffic must have been received). Unbalanced totals
+    /// abort with the per-communicator counts.
+    P2pEpoch {
+        /// Source location of the guarded finalize.
+        span: Span,
     },
 }
 
@@ -250,7 +313,8 @@ impl Instr {
                 CheckOp::CollectiveCc { span, .. }
                 | CheckOp::ReturnCc { span }
                 | CheckOp::AssertMonothread { span, .. }
-                | CheckOp::ConcEnter { span, .. } => Some(*span),
+                | CheckOp::ConcEnter { span, .. }
+                | CheckOp::P2pEpoch { span } => Some(*span),
                 CheckOp::ConcExit { .. } => None,
             },
             _ => None,
@@ -605,6 +669,7 @@ mod tests {
                 value: None,
                 reduce_op: None,
                 root: None,
+                comm: None,
             },
             span: Span::DUMMY,
         };

@@ -852,28 +852,75 @@ impl<'a> Lowerer<'a> {
                 });
                 Value::int(0)
             }
-            MpiOp::Send { value, dest, tag } => {
+            MpiOp::Send {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
                 let v = self.lower_expr(value);
                 let d = self.lower_expr(dest);
                 let t = self.lower_expr(tag);
+                let c = comm.as_ref().map(|e| self.lower_expr(e));
                 self.emit(Instr::Mpi {
                     dest: None,
                     op: MpiIr::Send {
                         value: v,
                         dest: d,
                         tag: t,
+                        comm: c,
                     },
                     span,
                 });
                 Value::int(0)
             }
-            MpiOp::Recv { src, tag } => {
+            MpiOp::Recv { src, tag, comm } => {
                 let s = self.lower_expr(src);
                 let t = self.lower_expr(tag);
+                let c = comm.as_ref().map(|e| self.lower_expr(e));
                 let dest = self.fresh(Type::Float);
                 self.emit(Instr::Mpi {
                     dest: Some(dest),
-                    op: MpiIr::Recv { src: s, tag: t },
+                    op: MpiIr::Recv {
+                        src: s,
+                        tag: t,
+                        comm: c,
+                    },
+                    span,
+                });
+                dest.into()
+            }
+            MpiOp::CommWorld => {
+                let dest = self.fresh(Type::Comm);
+                self.emit(Instr::Mpi {
+                    dest: Some(dest),
+                    op: MpiIr::CommWorld,
+                    span,
+                });
+                dest.into()
+            }
+            MpiOp::CommSplit { parent, color, key } => {
+                let p = self.lower_expr(parent);
+                let c = self.lower_expr(color);
+                let k = self.lower_expr(key);
+                let dest = self.fresh(Type::Comm);
+                self.emit(Instr::Mpi {
+                    dest: Some(dest),
+                    op: MpiIr::CommSplit {
+                        parent: p,
+                        color: c,
+                        key: k,
+                    },
+                    span,
+                });
+                dest.into()
+            }
+            MpiOp::CommDup { comm } => {
+                let c = self.lower_expr(comm);
+                let dest = self.fresh(Type::Comm);
+                self.emit(Instr::Mpi {
+                    dest: Some(dest),
+                    op: MpiIr::CommDup { comm: c },
                     span,
                 });
                 dest.into()
@@ -881,6 +928,7 @@ impl<'a> Lowerer<'a> {
             MpiOp::Collective(c) => {
                 let value = c.value.as_ref().map(|v| self.lower_expr(v));
                 let root = c.root.as_ref().map(|r| self.lower_expr(r));
+                let comm = c.comm.as_ref().map(|e| self.lower_expr(e));
                 // Result type mirrors sema's typing rules.
                 let ret = match c.kind {
                     CK::Barrier => None,
@@ -906,6 +954,7 @@ impl<'a> Lowerer<'a> {
                         value,
                         reduce_op: c.reduce_op,
                         root,
+                        comm,
                     },
                     span,
                 });

@@ -127,6 +127,8 @@ fn local_fold_and_propagate(f: &mut FuncIr, stats: &mut OptStats) {
                     }
                 }
                 Instr::Mpi { op, .. } => match op {
+                    // Communicator operands stay registers: they are
+                    // opaque handles with no constant form.
                     crate::instr::MpiIr::Collective { value, root, .. } => {
                         if let Some(v) = value {
                             *v = resolve(*v, &known, stats);
@@ -135,14 +137,20 @@ fn local_fold_and_propagate(f: &mut FuncIr, stats: &mut OptStats) {
                             *r = resolve(*r, &known, stats);
                         }
                     }
-                    crate::instr::MpiIr::Send { value, dest, tag } => {
+                    crate::instr::MpiIr::Send {
+                        value, dest, tag, ..
+                    } => {
                         *value = resolve(*value, &known, stats);
                         *dest = resolve(*dest, &known, stats);
                         *tag = resolve(*tag, &known, stats);
                     }
-                    crate::instr::MpiIr::Recv { src, tag } => {
+                    crate::instr::MpiIr::Recv { src, tag, .. } => {
                         *src = resolve(*src, &known, stats);
                         *tag = resolve(*tag, &known, stats);
+                    }
+                    crate::instr::MpiIr::CommSplit { color, key, .. } => {
+                        *color = resolve(*color, &known, stats);
+                        *key = resolve(*key, &known, stats);
                     }
                     _ => {}
                 },

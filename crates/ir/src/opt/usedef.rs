@@ -45,24 +45,46 @@ pub fn instr_uses(i: &Instr) -> Vec<Reg> {
             }
         }
         Instr::Mpi { op, .. } => match op {
-            MpiIr::Collective { value, root, .. } => {
+            MpiIr::Collective {
+                value, root, comm, ..
+            } => {
                 if let Some(v) = value {
                     push_val(v, &mut out);
                 }
                 if let Some(r) = root {
                     push_val(r, &mut out);
                 }
+                if let Some(c) = comm {
+                    push_val(c, &mut out);
+                }
             }
-            MpiIr::Send { value, dest, tag } => {
+            MpiIr::Send {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
                 push_val(value, &mut out);
                 push_val(dest, &mut out);
                 push_val(tag, &mut out);
+                if let Some(c) = comm {
+                    push_val(c, &mut out);
+                }
             }
-            MpiIr::Recv { src, tag } => {
+            MpiIr::Recv { src, tag, comm } => {
                 push_val(src, &mut out);
                 push_val(tag, &mut out);
+                if let Some(c) = comm {
+                    push_val(c, &mut out);
+                }
             }
-            MpiIr::Init { .. } | MpiIr::Finalize => {}
+            MpiIr::CommSplit { parent, color, key } => {
+                push_val(parent, &mut out);
+                push_val(color, &mut out);
+                push_val(key, &mut out);
+            }
+            MpiIr::CommDup { comm } => push_val(comm, &mut out),
+            MpiIr::Init { .. } | MpiIr::Finalize | MpiIr::CommWorld => {}
         },
         Instr::Check(_) => {}
     }

@@ -20,7 +20,9 @@ pub enum RankActivity {
     },
     /// Blocked in `MPI_Recv`.
     InRecv {
-        /// Source rank awaited.
+        /// Communicator handle the receive is posted on (0 = world).
+        comm: usize,
+        /// Source rank awaited (local to `comm`).
         src: usize,
         /// Tag awaited.
         tag: i64,
@@ -36,8 +38,12 @@ impl fmt::Display for RankActivity {
             RankActivity::InCollective { seq, what } => {
                 write!(f, "blocked in collective #{seq} ({what})")
             }
-            RankActivity::InRecv { src, tag } => {
-                write!(f, "blocked in MPI_Recv(src={src}, tag={tag})")
+            RankActivity::InRecv { comm, src, tag } => {
+                write!(f, "blocked in MPI_Recv(src={src}, tag={tag})")?;
+                if *comm != 0 {
+                    write!(f, " on comm #{comm}")?;
+                }
+                Ok(())
             }
             RankActivity::Finished => write!(f, "finished"),
         }
@@ -48,8 +54,10 @@ impl fmt::Display for RankActivity {
 #[derive(Debug, Clone, PartialEq)]
 pub enum MpiError {
     /// Two ranks issued different collectives as their n-th operation
-    /// (MUST-style signature mismatch).
+    /// on one communicator (MUST-style signature mismatch).
     CollectiveMismatch {
+        /// Communicator handle the mismatch happened on (0 = world).
+        comm: usize,
         /// Per-communicator collective index at which they diverged.
         seq: u64,
         /// Signature already registered.
@@ -99,16 +107,23 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::CollectiveMismatch {
+                comm,
                 seq,
                 expected,
                 expected_rank,
                 got,
                 got_rank,
-            } => write!(
-                f,
-                "collective mismatch at operation #{seq}: rank {expected_rank} \
-                 entered {expected} but rank {got_rank} entered {got}"
-            ),
+            } => {
+                write!(
+                    f,
+                    "collective mismatch at operation #{seq}: rank {expected_rank} \
+                     entered {expected} but rank {got_rank} entered {got}"
+                )?;
+                if *comm != 0 {
+                    write!(f, " (communicator #{comm})")?;
+                }
+                Ok(())
+            }
             MpiError::RankFinishedEarly {
                 finished_rank,
                 states,
@@ -155,6 +170,7 @@ mod tests {
     #[test]
     fn errors_render() {
         let e = MpiError::CollectiveMismatch {
+            comm: 0,
             seq: 3,
             expected: Signature::collective(CollectiveOp::Barrier, None, None, None),
             expected_rank: 0,

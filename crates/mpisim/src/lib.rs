@@ -540,4 +540,151 @@ mod tests {
         let res = run_ranks(&w, 3, |r| w.finalize(r, true));
         assert!(res.iter().all(|r| r.is_ok()));
     }
+
+    #[test]
+    fn comm_split_partitions_by_color() {
+        let w = world(4);
+        let sig = Signature::collective(
+            CollectiveOp::Allreduce,
+            Some(ReduceOp::Sum),
+            None,
+            Some(MpiType::Int),
+        );
+        let res = run_ranks(&w, 4, |r| {
+            let c = w.comm_split(r, world::COMM_WORLD, (r % 2) as i64, r as i64, true)?;
+            assert_eq!(w.comm_size(c), Some(2));
+            assert_eq!(w.comm_rank(r, c), Some(r / 2));
+            // Sum of global ranks within the parity class.
+            w.collective_on(r, c, sig, Some(MpiValue::Int(r as i64)), true)
+        });
+        assert_eq!(res[0].clone().unwrap(), MpiValue::Int(2)); // 0 + 2
+        assert_eq!(res[1].clone().unwrap(), MpiValue::Int(4)); // 1 + 3
+        assert_eq!(res[2].clone().unwrap(), MpiValue::Int(2));
+        assert_eq!(res[3].clone().unwrap(), MpiValue::Int(4));
+    }
+
+    #[test]
+    fn comm_split_key_orders_local_ranks() {
+        let w = world(2);
+        let res = run_ranks(&w, 2, |r| {
+            // Reversed keys: rank 1 gets local rank 0.
+            let c = w
+                .comm_split(r, world::COMM_WORLD, 0, -(r as i64), true)
+                .unwrap();
+            w.comm_rank(r, c).unwrap()
+        });
+        assert_eq!(res, vec![1, 0]);
+    }
+
+    #[test]
+    fn comm_dup_has_separate_matching_space() {
+        let w = fast_world(2);
+        let bar = Signature::collective(CollectiveOp::Barrier, None, None, None);
+        let red = Signature::collective(
+            CollectiveOp::Allreduce,
+            Some(ReduceOp::Sum),
+            None,
+            Some(MpiType::Int),
+        );
+        // Barrier on the dup and allreduce on the world interleave per
+        // communicator without a mismatch.
+        let res = run_ranks(&w, 2, |r| {
+            let c = w.comm_dup(r, world::COMM_WORLD, true)?;
+            w.collective_on(r, c, bar, None, true)?;
+            w.collective_on(r, world::COMM_WORLD, red, Some(MpiValue::Int(1)), true)
+        });
+        for r in res {
+            assert_eq!(r.unwrap(), MpiValue::Int(2));
+        }
+    }
+
+    #[test]
+    fn subcomm_send_recv_uses_local_ranks() {
+        let w = world(4);
+        let res = run_ranks(&w, 4, |r| {
+            let c = w
+                .comm_split(r, world::COMM_WORLD, (r % 2) as i64, r as i64, true)
+                .unwrap();
+            let me = w.comm_rank(r, c).unwrap();
+            let peer = 1 - me;
+            w.send_on(r, c, peer, 7, MpiValue::Int(r as i64), true)
+                .unwrap();
+            w.recv_on(r, c, peer, 7, true).unwrap()
+        });
+        // Parity classes {0,2} and {1,3}: each receives its peer's rank.
+        assert_eq!(
+            res,
+            vec![
+                MpiValue::Int(2),
+                MpiValue::Int(3),
+                MpiValue::Int(0),
+                MpiValue::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn p2p_census_reports_per_comm_totals() {
+        let w = world(2);
+        let res = run_ranks(&w, 2, |r| {
+            if r == 0 {
+                w.send(0, 1, 5, MpiValue::Int(9), true).unwrap();
+            }
+            // Only the sent message exists; nothing was received.
+            w.p2p_census(r, true).unwrap()
+        });
+        for rows in &res {
+            let world_row = rows.iter().find(|(h, _, _)| *h == 0).unwrap();
+            assert_eq!((world_row.1, world_row.2), (1, 0));
+        }
+        // Counters reset at the census: a second census reads zero.
+        let res = run_ranks(&w, 2, |r| w.p2p_census(r, true).unwrap());
+        for rows in &res {
+            let world_row = rows.iter().find(|(h, _, _)| *h == 0).unwrap();
+            assert_eq!((world_row.1, world_row.2), (0, 0));
+        }
+    }
+
+    #[test]
+    fn collective_on_bad_comm_rejected() {
+        let w = fast_world(2);
+        let bar = Signature::collective(CollectiveOp::Barrier, None, None, None);
+        let err = w.collective_on(0, 42, bar, None, true).unwrap_err();
+        assert!(matches!(err, MpiError::ArgError(_)), "{err:?}");
+    }
+
+    #[test]
+    fn split_negative_color_rejected() {
+        let w = fast_world(2);
+        let err = w.comm_split(0, world::COMM_WORLD, -1, 0, true).unwrap_err();
+        assert!(matches!(err, MpiError::ArgError(_)), "{err:?}");
+    }
+
+    #[test]
+    fn subcomm_mismatch_mentions_comm() {
+        let w = fast_world(2);
+        let bar = Signature::collective(CollectiveOp::Barrier, None, None, None);
+        let red = Signature::collective(
+            CollectiveOp::Allreduce,
+            Some(ReduceOp::Sum),
+            None,
+            Some(MpiType::Int),
+        );
+        let res = run_ranks(&w, 2, |r| {
+            let c = w.comm_dup(r, world::COMM_WORLD, true)?;
+            if r == 0 {
+                w.collective_on(0, c, bar, None, true)
+            } else {
+                w.collective_on(1, c, red, Some(MpiValue::Int(1)), true)
+            }
+        });
+        let msg = res
+            .iter()
+            .find_map(|r| match r {
+                Err(MpiError::CollectiveMismatch { comm, .. }) => Some(*comm),
+                _ => None,
+            })
+            .expect("mismatch detected");
+        assert!(msg > 0, "mismatch happened on the dup, not the world");
+    }
 }

@@ -37,6 +37,13 @@ pub enum CollectiveOp {
     ControlCc,
     /// `MPI_Finalize` acts as a final synchronizing collective.
     Finalize,
+    /// `MPI_Comm_split` — communicator-management collective.
+    CommSplit,
+    /// `MPI_Comm_dup` — communicator-management collective.
+    CommDup,
+    /// PARCOACH point-to-point epoch census (world-synchronizing
+    /// control collective exchanging per-communicator traffic totals).
+    P2pCensus,
 }
 
 impl From<CollectiveKind> for CollectiveOp {
@@ -71,6 +78,9 @@ impl fmt::Display for CollectiveOp {
             CollectiveOp::ReduceScatter => "MPI_Reduce_scatter",
             CollectiveOp::ControlCc => "CC (PARCOACH check)",
             CollectiveOp::Finalize => "MPI_Finalize",
+            CollectiveOp::CommSplit => "MPI_Comm_split",
+            CollectiveOp::CommDup => "MPI_Comm_dup",
+            CollectiveOp::P2pCensus => "P2P census (PARCOACH check)",
         };
         write!(f, "{name}")
     }
@@ -119,6 +129,37 @@ impl Signature {
     pub fn finalize() -> Signature {
         Signature {
             op: CollectiveOp::Finalize,
+            reduce_op: None,
+            root: None,
+            ty: None,
+        }
+    }
+
+    /// The `MPI_Comm_split` management collective (colors/keys are
+    /// payload, not signature).
+    pub fn comm_split() -> Signature {
+        Signature {
+            op: CollectiveOp::CommSplit,
+            reduce_op: None,
+            root: None,
+            ty: None,
+        }
+    }
+
+    /// The `MPI_Comm_dup` management collective.
+    pub fn comm_dup() -> Signature {
+        Signature {
+            op: CollectiveOp::CommDup,
+            reduce_op: None,
+            root: None,
+            ty: None,
+        }
+    }
+
+    /// The point-to-point epoch census control collective.
+    pub fn p2p_census() -> Signature {
+        Signature {
+            op: CollectiveOp::P2pCensus,
             reduce_op: None,
             root: None,
             ty: None,

@@ -1,24 +1,34 @@
-//! The simulated MPI world: ranks, the collective matching engine,
-//! thread-level enforcement, point-to-point messaging, deadlock
-//! detection and the PARCOACH `CC` control collective.
+//! The simulated MPI world: ranks, communicators, the collective
+//! matching engine, thread-level enforcement, point-to-point messaging,
+//! deadlock detection and the PARCOACH `CC` control collective.
 //!
 //! ## Matching model
 //!
-//! Per communicator (we model `MPI_COMM_WORLD`), collectives match in
-//! per-rank program order: the n-th collective call of every rank forms
-//! instance `n`. The first arriver fixes the instance's
-//! [`Signature`]; any rank arriving with a different signature is a
-//! **collective mismatch** and aborts the world with both signatures and
-//! ranks — this is what MUST's tree-based matcher reports, and what the
-//! PARCOACH `CC` turns into a *pre*-collective error with source lines.
+//! **Per communicator**, collectives match in per-rank program order:
+//! the n-th collective call of every member of a communicator forms
+//! instance `n` of that communicator. The first arriver fixes the
+//! instance's [`Signature`]; any member arriving with a different
+//! signature is a **collective mismatch** and aborts the world with both
+//! signatures and ranks — this is what MUST's tree-based matcher
+//! reports, and what the PARCOACH `CC` turns into a *pre*-collective
+//! error with source lines. Collectives on different communicators have
+//! disjoint matching spaces and never see each other.
+//!
+//! Communicators are created collectively: handle `0` is
+//! `MPI_COMM_WORLD`; [`World::comm_split`] and [`World::comm_dup`]
+//! allocate new handles shared by all members. Point-to-point messages
+//! also carry their communicator; ranks and roots passed to
+//! communicator-scoped operations are *local* ranks within that
+//! communicator.
 //!
 //! ## Deadlock detection
 //!
 //! A real MPI run with mismatched collective *counts* hangs. Here every
 //! blocking wait participates in a liveness census: when **all** ranks
-//! are blocked (collective/recv) or finished and nothing can complete,
-//! the world aborts with a per-rank activity dump; a rank finishing
-//! while others wait in a collective aborts immediately.
+//! are blocked (collective/recv) or finished and nothing can complete
+//! on any communicator, the world aborts with a per-rank activity dump;
+//! a rank finishing while others wait in a collective aborts
+//! immediately.
 
 use crate::error::{MpiError, RankActivity};
 use crate::signature::{CollectiveOp, Signature};
@@ -28,6 +38,9 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The handle of `MPI_COMM_WORLD`.
+pub const COMM_WORLD: usize = 0;
 
 /// World configuration.
 #[derive(Debug, Clone)]
@@ -53,12 +66,15 @@ impl Default for MpiConfig {
 /// One buffered point-to-point message.
 #[derive(Debug, Clone)]
 struct Message {
+    /// Communicator the message travels on.
+    comm: usize,
+    /// Sender's local rank within `comm`.
     src: usize,
     tag: i64,
     value: MpiValue,
 }
 
-/// One collective instance (the n-th collective of the communicator).
+/// One collective instance (the n-th collective of a communicator).
 struct Instance {
     signature: Option<Signature>,
     first_rank: usize,
@@ -83,10 +99,39 @@ impl Instance {
     }
 }
 
-struct WorldState {
+/// Per-communicator matching state.
+struct CommState {
+    /// Global ranks, ordered; the position is the comm-local rank.
+    members: Vec<usize>,
     instances: VecDeque<Instance>,
     base_seq: u64,
     per_rank_seq: Vec<u64>,
+    /// Messages sent on this communicator, per local sender.
+    p2p_sent: Vec<u64>,
+    /// Messages received on this communicator, per local receiver.
+    p2p_recvd: Vec<u64>,
+}
+
+impl CommState {
+    fn new(members: Vec<usize>) -> CommState {
+        let n = members.len();
+        CommState {
+            members,
+            instances: VecDeque::new(),
+            base_seq: 0,
+            per_rank_seq: vec![0; n],
+            p2p_sent: vec![0; n],
+            p2p_recvd: vec![0; n],
+        }
+    }
+
+    fn local_rank(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&g| g == global)
+    }
+}
+
+struct WorldState {
+    comms: Vec<CommState>,
     activity: Vec<RankActivity>,
     mailboxes: Vec<Vec<Message>>,
     abort: Option<MpiError>,
@@ -102,15 +147,15 @@ pub struct World {
     cv: Condvar,
 }
 
-/// Result of the `CC` control collective: the per-rank colors.
+/// Result of the `CC` control collective: the per-(local-)rank colors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CcOutcome {
-    /// Color communicated by each rank.
+    /// Color communicated by each member, in local rank order.
     pub colors: Vec<u32>,
 }
 
 impl CcOutcome {
-    /// True when all ranks communicated the same color.
+    /// True when all members communicated the same color.
     pub fn unanimous(&self) -> bool {
         self.colors.windows(2).all(|w| w[0] == w[1])
     }
@@ -123,15 +168,17 @@ impl CcOutcome {
     }
 }
 
+/// One communicator's p2p census row: (handle, total sent, total
+/// received).
+pub type P2pCensusRow = (usize, u64, u64);
+
 impl World {
     /// Create a world of `cfg.world_size` ranks.
     pub fn new(cfg: MpiConfig) -> Arc<World> {
         let size = cfg.world_size.max(1);
         Arc::new(World {
             state: Mutex::new(WorldState {
-                instances: VecDeque::new(),
-                base_seq: 0,
-                per_rank_seq: vec![0; size],
+                comms: vec![CommState::new((0..size).collect())],
                 activity: vec![RankActivity::Running; size],
                 mailboxes: vec![Vec::new(); size],
                 abort: None,
@@ -146,9 +193,24 @@ impl World {
         })
     }
 
-    /// Number of ranks.
+    /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.cfg.world_size
+    }
+
+    /// Number of members of a communicator (None for a bad handle).
+    pub fn comm_size(&self, comm: usize) -> Option<usize> {
+        self.state.lock().comms.get(comm).map(|c| c.members.len())
+    }
+
+    /// The local rank of `global` within `comm` (None when not a
+    /// member or the handle is bad).
+    pub fn comm_rank(&self, global: usize, comm: usize) -> Option<usize> {
+        self.state
+            .lock()
+            .comms
+            .get(comm)
+            .and_then(|c| c.local_rank(global))
     }
 
     /// `MPI_Init(_thread)`: returns the provided level
@@ -247,8 +309,9 @@ impl World {
         st.activity[rank] = RankActivity::Finished;
         if st.abort.is_none() {
             let pending_collective = st
-                .instances
+                .comms
                 .iter()
+                .flat_map(|c| c.instances.iter())
                 .any(|i| i.results.is_none() && i.arrived_count > 0);
             let all_settled = st
                 .activity
@@ -266,16 +329,30 @@ impl World {
         self.cv.notify_all();
     }
 
-    /// The PARCOACH `CC` control collective: all-reduce the color and
-    /// return every rank's color.
+    /// The PARCOACH `CC` control collective on `MPI_COMM_WORLD`.
     pub fn control_cc(
         &self,
         rank: usize,
         color: u32,
         is_initial_thread: bool,
     ) -> Result<CcOutcome, MpiError> {
+        self.control_cc_on(rank, COMM_WORLD, color, is_initial_thread)
+    }
+
+    /// The PARCOACH `CC` control collective on a communicator:
+    /// all-reduce the color among its members and return every member's
+    /// color. Running the CC on the *guarded collective's* communicator
+    /// keeps unrelated communicators out of each other's checks.
+    pub fn control_cc_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        color: u32,
+        is_initial_thread: bool,
+    ) -> Result<CcOutcome, MpiError> {
         let out = self.enter_collective(
             rank,
+            comm,
             Signature::control_cc(),
             Some(MpiValue::Int(color as i64)),
             is_initial_thread,
@@ -288,15 +365,19 @@ impl World {
         }
     }
 
-    /// `MPI_Finalize` — synchronizing pseudo-collective.
+    /// `MPI_Finalize` — synchronizing pseudo-collective on the world.
     pub fn finalize(&self, rank: usize, is_initial_thread: bool) -> Result<(), MpiError> {
-        self.enter_collective(rank, Signature::finalize(), None, is_initial_thread)
-            .map(|_| ())
+        self.enter_collective(
+            rank,
+            COMM_WORLD,
+            Signature::finalize(),
+            None,
+            is_initial_thread,
+        )
+        .map(|_| ())
     }
 
-    /// Execute a data collective. `sig` must describe the operation
-    /// (kind/op/root/type); `payload` carries this rank's contribution.
-    /// Returns this rank's result value.
+    /// Execute a data collective on `MPI_COMM_WORLD`.
     pub fn collective(
         &self,
         rank: usize,
@@ -304,20 +385,147 @@ impl World {
         payload: Option<MpiValue>,
         is_initial_thread: bool,
     ) -> Result<MpiValue, MpiError> {
+        self.collective_on(rank, COMM_WORLD, sig, payload, is_initial_thread)
+    }
+
+    /// Execute a data collective on a communicator. `sig` must describe
+    /// the operation (kind/op/root/type) with the root as a *local*
+    /// rank; `payload` carries this rank's contribution. Returns this
+    /// rank's result value.
+    pub fn collective_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
         if let Some(root) = sig.root {
-            if root >= self.cfg.world_size {
+            let size = self.comm_size(comm).unwrap_or(0);
+            if root >= size {
                 let err = MpiError::ArgError(format!(
-                    "root {root} out of range for world size {}",
-                    self.cfg.world_size
+                    "root {root} out of range for communicator size {size}"
                 ));
                 self.abort(err.clone());
                 return Err(err);
             }
         }
-        self.enter_collective(rank, sig, payload, is_initial_thread)
+        self.enter_collective(rank, comm, sig, payload, is_initial_thread)
     }
 
-    /// Buffered (non-blocking) send.
+    /// `MPI_Comm_split(parent, color, key)` — collective over the
+    /// parent communicator. Members with equal `color` form a new
+    /// communicator, ordered by (`key`, parent-global rank); the new
+    /// handle is returned to each member. Colors must be non-negative.
+    pub fn comm_split(
+        &self,
+        rank: usize,
+        parent: usize,
+        color: i64,
+        key: i64,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        if color < 0 {
+            let err = MpiError::ArgError(format!("MPI_Comm_split color must be >= 0, got {color}"));
+            self.abort(err.clone());
+            return Err(err);
+        }
+        let out = self.enter_collective(
+            rank,
+            parent,
+            Signature::comm_split(),
+            Some(MpiValue::ArrayInt(vec![color, key])),
+            is_initial_thread,
+        )?;
+        Ok(out.as_int() as usize)
+    }
+
+    /// `MPI_Comm_dup(comm)` — collective over `comm`; returns a new
+    /// handle with the same members but a fresh matching space.
+    pub fn comm_dup(
+        &self,
+        rank: usize,
+        comm: usize,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        let out =
+            self.enter_collective(rank, comm, Signature::comm_dup(), None, is_initial_thread)?;
+        Ok(out.as_int() as usize)
+    }
+
+    /// Point-to-point epoch census (the PARCOACH `CC` protocol extended
+    /// to p2p): a world-synchronizing control collective returning, for
+    /// every communicator, the total messages sent and received on it.
+    /// Placed by the instrumentation immediately before `MPI_Finalize`,
+    /// where all buffered traffic must have been consumed — the epoch's
+    /// final synchronization point. The per-communicator counters reset
+    /// after the census (the epoch ends).
+    pub fn p2p_census(
+        &self,
+        rank: usize,
+        is_initial_thread: bool,
+    ) -> Result<Vec<P2pCensusRow>, MpiError> {
+        let out = self.enter_collective(
+            rank,
+            COMM_WORLD,
+            Signature::p2p_census(),
+            None,
+            is_initial_thread,
+        )?;
+        let MpiValue::ArrayInt(flat) = out else {
+            panic!("census result must be an int array, got {:?}", out.ty());
+        };
+        Ok(flat
+            .chunks(3)
+            .map(|c| (c[0] as usize, c[1] as u64, c[2] as u64))
+            .collect())
+    }
+
+    /// Buffered (non-blocking) send on a communicator; `dest` is the
+    /// destination's local rank within `comm`.
+    pub fn send_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<(), MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = (|| {
+            let mut st = self.state.lock();
+            let Some(c) = st.comms.get(comm) else {
+                return Err(bad_comm(comm));
+            };
+            let Some(src_local) = c.local_rank(rank) else {
+                return Err(not_member(rank, comm));
+            };
+            if dest >= c.members.len() {
+                return Err(MpiError::ArgError(format!(
+                    "send destination {dest} out of range for communicator size {}",
+                    c.members.len()
+                )));
+            }
+            let global_dest = c.members[dest];
+            st.comms[comm].p2p_sent[src_local] += 1;
+            st.mailboxes[global_dest].push(Message {
+                comm,
+                src: src_local,
+                tag,
+                value,
+            });
+            Ok(())
+        })();
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.cv.notify_all();
+        self.leave_mpi(rank);
+        result
+    }
+
+    /// Buffered send on `MPI_COMM_WORLD`.
     pub fn send(
         &self,
         rank: usize,
@@ -326,28 +534,26 @@ impl World {
         value: MpiValue,
         is_initial_thread: bool,
     ) -> Result<(), MpiError> {
-        if dest >= self.cfg.world_size {
-            let err = MpiError::ArgError(format!(
-                "send destination {dest} out of range for world size {}",
-                self.cfg.world_size
-            ));
-            self.abort(err.clone());
-            return Err(err);
-        }
-        self.enter_mpi(rank, is_initial_thread)?;
-        let mut st = self.state.lock();
-        st.mailboxes[dest].push(Message {
-            src: rank,
-            tag,
-            value,
-        });
-        drop(st);
-        self.cv.notify_all();
-        self.leave_mpi(rank);
-        Ok(())
+        self.send_on(rank, COMM_WORLD, dest, tag, value, is_initial_thread)
     }
 
-    /// Blocking receive of a message from `src` with `tag`.
+    /// Blocking receive of a message from local rank `src` with `tag`
+    /// on a communicator.
+    pub fn recv_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: usize,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.recv_inner(rank, comm, src, tag);
+        self.leave_mpi(rank);
+        result
+    }
+
+    /// Blocking receive on `MPI_COMM_WORLD`.
     pub fn recv(
         &self,
         rank: usize,
@@ -355,36 +561,50 @@ impl World {
         tag: i64,
         is_initial_thread: bool,
     ) -> Result<MpiValue, MpiError> {
-        if src >= self.cfg.world_size {
-            let err = MpiError::ArgError(format!(
-                "recv source {src} out of range for world size {}",
-                self.cfg.world_size
-            ));
-            self.abort(err.clone());
-            return Err(err);
-        }
-        self.enter_mpi(rank, is_initial_thread)?;
-        let result = self.recv_inner(rank, src, tag);
-        self.leave_mpi(rank);
-        result
+        self.recv_on(rank, COMM_WORLD, src, tag, is_initial_thread)
     }
 
-    fn recv_inner(&self, rank: usize, src: usize, tag: i64) -> Result<MpiValue, MpiError> {
+    fn recv_inner(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: usize,
+        tag: i64,
+    ) -> Result<MpiValue, MpiError> {
         let deadline = Instant::now() + self.cfg.op_timeout;
         let mut st = self.state.lock();
+        let Some(c) = st.comms.get(comm) else {
+            let err = bad_comm(comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let Some(my_local) = c.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        if src >= c.members.len() {
+            let err = MpiError::ArgError(format!(
+                "recv source {src} out of range for communicator size {}",
+                c.members.len()
+            ));
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        }
         loop {
             if let Some(e) = &st.abort {
                 return Err(MpiError::Aborted(e.to_string()));
             }
             if let Some(pos) = st.mailboxes[rank]
                 .iter()
-                .position(|m| m.src == src && m.tag == tag)
+                .position(|m| m.comm == comm && m.src == src && m.tag == tag)
             {
                 let msg = st.mailboxes[rank].remove(pos);
+                st.comms[comm].p2p_recvd[my_local] += 1;
                 st.activity[rank] = RankActivity::Running;
                 return Ok(msg.value);
             }
-            st.activity[rank] = RankActivity::InRecv { src, tag };
+            st.activity[rank] = RankActivity::InRecv { comm, src, tag };
             if let Some(dl) = deadlock(&st) {
                 st.abort = Some(dl.clone());
                 self.cv.notify_all();
@@ -393,7 +613,10 @@ impl World {
             let res = self.cv.wait_until(&mut st, deadline);
             if res.timed_out() {
                 let err = MpiError::Timeout {
-                    what: format!("MPI_Recv(src={src}, tag={tag}) on rank {rank}"),
+                    what: format!(
+                        "MPI_Recv(src={src}, tag={tag}{}) on rank {rank}",
+                        comm_suffix(comm)
+                    ),
                     states: st.activity.clone(),
                 };
                 st.abort = Some(err.clone());
@@ -403,15 +626,23 @@ impl World {
         }
     }
 
+    fn abort_locked(&self, st: &mut WorldState, err: MpiError) {
+        if st.abort.is_none() {
+            st.abort = Some(err);
+        }
+        self.cv.notify_all();
+    }
+
     fn enter_collective(
         &self,
         rank: usize,
+        comm: usize,
         sig: Signature,
         payload: Option<MpiValue>,
         is_initial_thread: bool,
     ) -> Result<MpiValue, MpiError> {
         self.enter_mpi(rank, is_initial_thread)?;
-        let result = self.enter_collective_inner(rank, sig, payload);
+        let result = self.enter_collective_inner(rank, comm, sig, payload);
         self.leave_mpi(rank);
         result
     }
@@ -419,25 +650,35 @@ impl World {
     fn enter_collective_inner(
         &self,
         rank: usize,
+        comm: usize,
         sig: Signature,
         payload: Option<MpiValue>,
     ) -> Result<MpiValue, MpiError> {
-        let size = self.cfg.world_size;
         let deadline = Instant::now() + self.cfg.op_timeout;
         let mut st = self.state.lock();
         if let Some(e) = &st.abort {
             return Err(MpiError::Aborted(e.to_string()));
         }
-        let seq = st.per_rank_seq[rank];
-        st.per_rank_seq[rank] += 1;
+        let Some(c) = st.comms.get(comm) else {
+            let err = bad_comm(comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let Some(local) = c.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let size = c.members.len();
+        let seq = st.comms[comm].per_rank_seq[local];
+        st.comms[comm].per_rank_seq[local] += 1;
         // Materialize instances up to `seq`.
-        while st.base_seq + (st.instances.len() as u64) <= seq {
-            st.instances.push_back(Instance::new(size));
+        while st.comms[comm].base_seq + (st.comms[comm].instances.len() as u64) <= seq {
+            st.comms[comm].instances.push_back(Instance::new(size));
         }
-        let base = st.base_seq;
-        let idx = (seq - base) as usize;
-        {
-            let inst = &mut st.instances[idx];
+        let idx = (seq - st.comms[comm].base_seq) as usize;
+        let complete = {
+            let inst = &mut st.comms[comm].instances[idx];
             match &inst.signature {
                 None => {
                     inst.signature = Some(sig);
@@ -445,6 +686,7 @@ impl World {
                 }
                 Some(existing) if *existing != sig => {
                     let err = MpiError::CollectiveMismatch {
+                        comm,
                         seq,
                         expected: *existing,
                         expected_rank: inst.first_rank,
@@ -457,38 +699,47 @@ impl World {
                 }
                 Some(_) => {}
             }
-            inst.payloads[rank] = payload;
+            inst.payloads[local] = payload;
             inst.arrived_count += 1;
-            if inst.arrived_count == size {
-                match compute_results(inst, size) {
-                    Ok(results) => {
-                        inst.results = Some(results);
-                        self.cv.notify_all();
-                    }
-                    Err(err) => {
-                        st.abort = Some(err.clone());
-                        self.cv.notify_all();
-                        return Err(err);
-                    }
+            inst.arrived_count == size
+        };
+        if complete {
+            // Compute results outside the instance borrow: communicator
+            // management collectives allocate new communicators.
+            let payloads = st.comms[comm].instances[idx].payloads.clone();
+            let results = match sig.op {
+                CollectiveOp::CommSplit => split_results(&mut st, comm, &payloads),
+                CollectiveOp::CommDup => Ok(dup_results(&mut st, comm)),
+                CollectiveOp::P2pCensus => Ok(census_results(&mut st, size)),
+                _ => compute_results(sig, &payloads, size),
+            };
+            match results {
+                Ok(results) => {
+                    st.comms[comm].instances[idx].results = Some(results);
+                    self.cv.notify_all();
+                }
+                Err(err) => {
+                    st.abort = Some(err.clone());
+                    self.cv.notify_all();
+                    return Err(err);
                 }
             }
         }
         st.activity[rank] = RankActivity::InCollective {
             seq,
-            what: sig.to_string(),
+            what: format!("{sig}{}", comm_suffix(comm)),
         };
         // Wait for results.
         loop {
             if let Some(e) = &st.abort {
                 return Err(MpiError::Aborted(e.to_string()));
             }
-            let base = st.base_seq;
-            let idx = (seq - base) as usize;
+            let idx = (seq - st.comms[comm].base_seq) as usize;
             let done = {
-                let inst = &mut st.instances[idx];
+                let inst = &mut st.comms[comm].instances[idx];
                 if let Some(results) = &inst.results {
-                    let out = results[rank].clone();
-                    inst.collected[rank] = true;
+                    let out = results[local].clone();
+                    inst.collected[local] = true;
                     inst.collected_count += 1;
                     Some(out)
                 } else {
@@ -498,10 +749,11 @@ impl World {
             if let Some(out) = done {
                 st.activity[rank] = RankActivity::Running;
                 // Drop fully-collected instances from the front.
-                while let Some(front) = st.instances.front() {
-                    if front.collected_count == size {
-                        st.instances.pop_front();
-                        st.base_seq += 1;
+                let cs = &mut st.comms[comm];
+                while let Some(front) = cs.instances.front() {
+                    if front.collected_count == cs.members.len() {
+                        cs.instances.pop_front();
+                        cs.base_seq += 1;
                     } else {
                         break;
                     }
@@ -516,7 +768,10 @@ impl World {
             let res = self.cv.wait_until(&mut st, deadline);
             if res.timed_out() {
                 let err = MpiError::Timeout {
-                    what: format!("{sig} on rank {rank} (collective #{seq})"),
+                    what: format!(
+                        "{sig}{} on rank {rank} (collective #{seq})",
+                        comm_suffix(comm)
+                    ),
                     states: st.activity.clone(),
                 };
                 st.abort = Some(err.clone());
@@ -525,6 +780,104 @@ impl World {
             }
         }
     }
+}
+
+fn bad_comm(comm: usize) -> MpiError {
+    MpiError::ArgError(format!("invalid communicator handle #{comm}"))
+}
+
+fn not_member(rank: usize, comm: usize) -> MpiError {
+    MpiError::ArgError(format!(
+        "rank {rank} is not a member of communicator #{comm}"
+    ))
+}
+
+/// Suffix for activity/error strings; empty for the world.
+fn comm_suffix(comm: usize) -> String {
+    if comm == COMM_WORLD {
+        String::new()
+    } else {
+        format!(" on comm #{comm}")
+    }
+}
+
+/// `MPI_Comm_split` results: group the parent's members by color,
+/// order each group by (key, global rank), allocate one new
+/// communicator per color (ascending), and hand every member its
+/// group's handle.
+fn split_results(
+    st: &mut WorldState,
+    parent: usize,
+    payloads: &[Option<MpiValue>],
+) -> Result<Vec<MpiValue>, MpiError> {
+    let members = st.comms[parent].members.clone();
+    let mut entries: Vec<(i64, i64, usize)> = Vec::with_capacity(members.len()); // (color, key, global)
+    for (local, p) in payloads.iter().enumerate() {
+        match p {
+            Some(MpiValue::ArrayInt(ck)) if ck.len() == 2 => {
+                entries.push((ck[0], ck[1], members[local]));
+            }
+            _ => {
+                return Err(MpiError::ArgError(
+                    "MPI_Comm_split payload must be [color, key]".into(),
+                ))
+            }
+        }
+    }
+    let mut colors: Vec<i64> = entries.iter().map(|e| e.0).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    let mut handle_of_global: Vec<(usize, usize)> = Vec::new(); // (global, handle)
+    for color in colors {
+        let mut group: Vec<(i64, usize)> = entries
+            .iter()
+            .filter(|e| e.0 == color)
+            .map(|e| (e.1, e.2))
+            .collect();
+        group.sort_unstable();
+        let handle = st.comms.len();
+        let group_members: Vec<usize> = group.iter().map(|&(_, g)| g).collect();
+        for &g in &group_members {
+            handle_of_global.push((g, handle));
+        }
+        st.comms.push(CommState::new(group_members));
+    }
+    Ok(members
+        .iter()
+        .map(|g| {
+            let h = handle_of_global
+                .iter()
+                .find(|(gg, _)| gg == g)
+                .expect("every member is in a group")
+                .1;
+            MpiValue::Int(h as i64)
+        })
+        .collect())
+}
+
+/// `MPI_Comm_dup` results: one new communicator with the same members.
+fn dup_results(st: &mut WorldState, parent: usize) -> Vec<MpiValue> {
+    let members = st.comms[parent].members.clone();
+    let size = members.len();
+    let handle = st.comms.len();
+    st.comms.push(CommState::new(members));
+    vec![MpiValue::Int(handle as i64); size]
+}
+
+/// P2p census results: snapshot the per-communicator send/receive
+/// totals, then reset the counters (the epoch ends at the census).
+fn census_results(st: &mut WorldState, size: usize) -> Vec<MpiValue> {
+    let mut flat: Vec<i64> = Vec::with_capacity(st.comms.len() * 3);
+    for (h, c) in st.comms.iter().enumerate() {
+        flat.push(h as i64);
+        flat.push(c.p2p_sent.iter().sum::<u64>() as i64);
+        flat.push(c.p2p_recvd.iter().sum::<u64>() as i64);
+    }
+    for c in st.comms.iter_mut() {
+        c.p2p_sent.iter_mut().for_each(|x| *x = 0);
+        c.p2p_recvd.iter_mut().for_each(|x| *x = 0);
+    }
+    vec![MpiValue::ArrayInt(flat); size]
 }
 
 /// Global liveness census: `Some(Deadlock)` when nothing can progress.
@@ -552,16 +905,22 @@ fn deadlock(st: &WorldState) -> Option<MpiError> {
     if provided == ThreadLevel::Multiple && !any_finished {
         return None; // cannot rule out rescue by another thread
     }
-    // A completed-but-uncollected instance will wake its waiters.
-    if st.instances.iter().any(|i| i.results.is_some()) {
+    // A completed-but-uncollected instance (on any communicator) will
+    // wake its waiters.
+    if st
+        .comms
+        .iter()
+        .flat_map(|c| c.instances.iter())
+        .any(|i| i.results.is_some())
+    {
         return None;
     }
     // A recv whose message is already buffered will complete.
     for (rank, act) in st.activity.iter().enumerate() {
-        if let RankActivity::InRecv { src, tag } = act {
+        if let RankActivity::InRecv { comm, src, tag } = act {
             if st.mailboxes[rank]
                 .iter()
-                .any(|m| m.src == *src && m.tag == *tag)
+                .any(|m| m.comm == *comm && m.src == *src && m.tag == *tag)
             {
                 return None;
             }
@@ -580,14 +939,17 @@ fn deadlock(st: &WorldState) -> Option<MpiError> {
     })
 }
 
-/// Compute per-rank results once all payloads arrived.
-fn compute_results(inst: &Instance, size: usize) -> Result<Vec<MpiValue>, MpiError> {
-    let sig = inst.signature.expect("signature fixed by first arrival");
+/// Compute per-(local-)rank results once all payloads arrived.
+fn compute_results(
+    sig: Signature,
+    payloads: &[Option<MpiValue>],
+    size: usize,
+) -> Result<Vec<MpiValue>, MpiError> {
     let payloads: Vec<&MpiValue> = match sig.op {
         CollectiveOp::Barrier | CollectiveOp::Finalize => Vec::new(),
         _ => {
             let mut v = Vec::with_capacity(size);
-            for (r, p) in inst.payloads.iter().enumerate() {
+            for (r, p) in payloads.iter().enumerate() {
                 match p {
                     Some(x) => v.push(x),
                     None => {
@@ -603,6 +965,9 @@ fn compute_results(inst: &Instance, size: usize) -> Result<Vec<MpiValue>, MpiErr
     let dummy = MpiValue::Int(0);
     Ok(match sig.op {
         CollectiveOp::Barrier | CollectiveOp::Finalize => vec![dummy; size],
+        CollectiveOp::CommSplit | CollectiveOp::CommDup | CollectiveOp::P2pCensus => {
+            unreachable!("handled by the caller with world access")
+        }
         CollectiveOp::ControlCc => {
             let colors: Vec<i64> = payloads.iter().map(|p| p.as_int()).collect();
             vec![MpiValue::ArrayInt(colors); size]
@@ -762,7 +1127,7 @@ fn scatter_elems(src: &MpiValue, size: usize, sig: &Signature) -> Result<Vec<Mpi
 
 fn short_array(sig: &Signature, len: usize, size: usize) -> MpiError {
     MpiError::ArgError(format!(
-        "{sig}: array of length {len} is shorter than the world size {size}"
+        "{sig}: array of length {len} is shorter than the communicator size {size}"
     ))
 }
 

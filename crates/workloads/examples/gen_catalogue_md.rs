@@ -1,0 +1,13 @@
+//! Prints the generated table block of `CATALOGUE.md`:
+//!
+//! ```console
+//! cargo run -p parcoach-workloads --example gen_catalogue_md
+//! ```
+//!
+//! Paste the output between the BEGIN/END markers in `CATALOGUE.md`
+//! whenever the catalogue changes (the `catalogue_md` drift test tells
+//! you when).
+
+fn main() {
+    print!("{}", parcoach_workloads::catalogue_markdown());
+}

@@ -257,6 +257,92 @@ fn main() {
             expect_static: ExpectStatic::Warns("multithreaded-call"),
             expect_dynamic: ExpectDynamic::Fails,
         },
+        // ---- point-to-point and sub-communicator errors ------------------
+        ErrorCase {
+            id: "p2p-recv-before-send",
+            description: "head-to-head recv-then-send deadlock on every rank",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let v = MPI_Recv(peer, 7);
+    MPI_Send(rank(), peer, 7);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("mismatched-order"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "p2p-tag-mismatch-subcomm",
+            description: "send tag 1 vs recv tag 2 on a duplicated communicator",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_dup(MPI_COMM_WORLD);
+    let peer = size() - 1 - rank();
+    MPI_Send(1.5, peer, 1, c);
+    let v = MPI_Recv(peer, 2, c);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("unmatched-p2p"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "p2p-unreceived-send",
+            description: "a send no receive ever consumes (latent in a buffered \
+                          model; the pre-finalize p2p census catches it)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    MPI_Send(42, peer, 5);
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("unmatched-p2p"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "subcomm-collective-divergence",
+            description: "collective on a split communicator executed by a \
+                          subset of its members",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_split(MPI_COMM_WORLD, 0, rank());
+    if (rank() == 0) { MPI_Barrier(c); }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "p2p-insufficient-thread-level",
+            description: "whole-team sends under SERIALIZED (needs MULTIPLE)",
+            source: r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    let peer = size() - 1 - rank();
+    parallel num_threads(2) {
+        MPI_Send(thread_num(), peer, 3);
+    }
+    let a = MPI_Recv(peer, 3);
+    let b = MPI_Recv(peer, 3);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("insufficient-thread-level"),
+            expect_dynamic: ExpectDynamic::MayFail,
+        },
         // ---- correct programs (controls) --------------------------------
         ErrorCase {
             id: "ok-sequential",
@@ -351,6 +437,86 @@ fn main() {
             expect_dynamic: ExpectDynamic::Clean,
         },
         ErrorCase {
+            id: "ok-p2p-pingpong",
+            description: "correctly ordered blocking ping-pong",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    if (rank() == 0) {
+        MPI_Send(1.0, peer, 4);
+        let v = MPI_Recv(peer, 4);
+    } else {
+        let v = MPI_Recv(peer, 4);
+        MPI_Send(2.0, peer, 4);
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-multiple-threaded-pingpong",
+            description: "MPI_THREAD_MULTIPLE-correct: one thread sends while a \
+                          sibling thread receives (MPIxThreads pattern)",
+            source: r#"
+fn main() {
+    MPI_Init_thread(MULTIPLE);
+    let peer = size() - 1 - rank();
+    parallel num_threads(2) {
+        sections {
+            section { MPI_Send(3.5, peer, 10); }
+            section { let v = MPI_Recv(peer, 10); }
+        }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-multiple-concurrent-subcomm-collectives",
+            description: "MPI_THREAD_MULTIPLE-correct: concurrent collectives on \
+                          unrelated communicators from sibling threads",
+            source: r#"
+fn main() {
+    MPI_Init_thread(MULTIPLE);
+    let c = MPI_Comm_dup(MPI_COMM_WORLD);
+    parallel num_threads(2) {
+        sections {
+            section { MPI_Barrier(); }
+            section { MPI_Barrier(c); }
+        }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-subcomm-allreduce",
+            description: "unconditional collective on a parity-split communicator",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_split(MPI_COMM_WORLD, rank() % 2, rank());
+    let s = MPI_Allreduce(rank() + 1, SUM, c);
+    print(s);
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
             id: "ok-balanced-branches",
             description: "same collective on both branches (refinement removes \
                           the PDF+ candidate)",
@@ -366,6 +532,87 @@ fn main() {
     ]
 }
 
+/// The paper/related-work anchor of a catalogue case. Kept as a match
+/// (not a struct field) so the mapping is exhaustively tested against
+/// the case list without widening every literal.
+pub fn paper_ref(id: &str) -> &'static str {
+    match id {
+        "mismatch-rank-branch"
+        | "missing-collective"
+        | "count-mismatch-loop"
+        | "early-return"
+        | "divergent-call" => "§2 property 3 / Algorithm 1",
+        "multithreaded-collective"
+        | "collective-in-pfor"
+        | "nested-parallel-collective"
+        | "multithreaded-call" => "§2 property 1 (monothread contexts)",
+        "concurrent-singles-nowait" | "concurrent-sections" | "self-concurrent-single" => {
+            "§2 property 2 (sequential order)"
+        }
+        "barrier-divergence" => "§2 (parallelism-word divergence)",
+        "insufficient-thread-level" => "§1 / MPI-2 §12.4 (thread levels)",
+        "p2p-recv-before-send" | "p2p-tag-mismatch-subcomm" | "p2p-unreceived-send" => {
+            "extension: p2p matching (Liao et al.)"
+        }
+        "subcomm-collective-divergence" => "extension: per-communicator Algorithm 1",
+        "p2p-insufficient-thread-level" => "extension: p2p thread levels (MPIxThreads)",
+        "ok-sequential" | "ok-single" | "ok-master-funneled" | "ok-ordered-singles" => {
+            "§2 (accepted language L)"
+        }
+        "fp-uniform-conditional" | "fp-uniform-loop" => "§3 (dynamic check clears static FP)",
+        "ok-p2p-pingpong" => "extension: p2p matching (correct control)",
+        "ok-multiple-threaded-pingpong" | "ok-multiple-concurrent-subcomm-collectives" => {
+            "extension: MPI_THREAD_MULTIPLE-correct (MPIxThreads)"
+        }
+        "ok-subcomm-allreduce" => "extension: per-communicator matching (correct control)",
+        "ok-balanced-branches" => "extension: balanced-arms refinement",
+        _ => "unmapped",
+    }
+}
+
+/// The case's category, derived from its expectations.
+fn case_kind(c: &ErrorCase) -> &'static str {
+    match (c.expect_static, c.expect_dynamic) {
+        (ExpectStatic::Clean, ExpectDynamic::Clean) => "correct (control)",
+        (ExpectStatic::Warns(_), ExpectDynamic::Clean) => "static false positive",
+        _ => "error",
+    }
+}
+
+fn dynamic_text(e: ExpectDynamic) -> &'static str {
+    match e {
+        ExpectDynamic::Clean => "runs clean",
+        ExpectDynamic::CaughtByCheck => "caught by a PARCOACH check",
+        ExpectDynamic::CaughtBySubstrate => "caught by the substrate",
+        ExpectDynamic::Fails => "fails (check or substrate)",
+        ExpectDynamic::MayFail => "schedule-dependent (may fail)",
+    }
+}
+
+/// Render the canonical catalogue reference table (the generated block
+/// of `CATALOGUE.md`). A test compares the checked-in file against this
+/// output, so the document cannot drift from `error_catalogue()`.
+pub fn catalogue_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("| id | kind | paper anchor | expected static | expected dynamic |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for c in error_catalogue() {
+        let stat = match c.expect_static {
+            ExpectStatic::Clean => "clean".to_string(),
+            ExpectStatic::Warns(code) => format!("warns `{code}`"),
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            c.id,
+            case_kind(&c),
+            paper_ref(c.id),
+            stat,
+            dynamic_text(c.expect_dynamic),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,7 +620,7 @@ mod tests {
     #[test]
     fn catalogue_is_well_formed() {
         let cases = error_catalogue();
-        assert!(cases.len() >= 20);
+        assert!(cases.len() >= 29);
         let mut ids: Vec<_> = cases.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -381,6 +628,26 @@ mod tests {
         for c in &cases {
             assert!(!c.source.trim().is_empty());
             assert!(c.source.contains("fn main()"), "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn every_case_has_a_paper_anchor() {
+        for c in error_catalogue() {
+            assert_ne!(
+                paper_ref(c.id),
+                "unmapped",
+                "case `{}` lacks an anchor",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn markdown_covers_every_case() {
+        let md = catalogue_markdown();
+        for c in error_catalogue() {
+            assert!(md.contains(&format!("`{}`", c.id)), "{} missing", c.id);
         }
     }
 

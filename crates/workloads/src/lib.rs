@@ -24,7 +24,9 @@ pub mod epcc;
 pub mod hera;
 pub mod nas_mz;
 
-pub use catalogue::{error_catalogue, ErrorCase, ExpectDynamic, ExpectStatic};
+pub use catalogue::{
+    catalogue_markdown, error_catalogue, paper_ref, ErrorCase, ExpectDynamic, ExpectStatic,
+};
 pub use nas_mz::MzKind;
 
 /// Problem-size class, scaling like the NPB classes.

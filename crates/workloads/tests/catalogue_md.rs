@@ -1,0 +1,30 @@
+//! Drift check: the generated table in `CATALOGUE.md` must match
+//! `catalogue_markdown()` exactly. Run by the `offline-and-docs` CI job
+//! (and `cargo test`), so the reference document cannot fall out of
+//! sync with `detection_table`'s ground truth.
+
+use parcoach_workloads::catalogue_markdown;
+
+const BEGIN: &str = "<!-- BEGIN GENERATED CATALOGUE TABLE \
+                     (do not edit; regenerate from catalogue.rs) -->";
+const END: &str = "<!-- END GENERATED CATALOGUE TABLE -->";
+
+#[test]
+fn catalogue_md_matches_detection_table() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../CATALOGUE.md");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("CATALOGUE.md must exist at the repo root: {e}"));
+    let start = text
+        .find(BEGIN)
+        .expect("CATALOGUE.md lacks the BEGIN marker")
+        + BEGIN.len();
+    let end = text.find(END).expect("CATALOGUE.md lacks the END marker");
+    let embedded = text[start..end].trim();
+    let expected = catalogue_markdown();
+    assert_eq!(
+        embedded,
+        expected.trim(),
+        "CATALOGUE.md drifted from the catalogue — replace the generated \
+         block with the following:\n\n{expected}"
+    );
+}

@@ -124,6 +124,102 @@ fn main() {
     assert_eq!(a, b, "instrumentation changed program output");
 }
 
+/// Whole-team communicator creation is flagged statically AND the
+/// instrumented run fails dynamically (comm-management collectives are
+/// guarded like data collectives: the monothread assert or the matcher
+/// intercepts, whichever the schedule reaches first — same semantics
+/// as the whole-team data-collective case).
+#[test]
+fn whole_team_comm_dup_fails_instrumented() {
+    let src = r#"
+fn main() {
+    MPI_Init_thread(MULTIPLE);
+    parallel num_threads(2) {
+        let c = MPI_Comm_dup(MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+}
+"#;
+    let (report, run) = check_and_run("dup.mh", src, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "multithreaded-collective"),
+        "{:?}",
+        report.warnings
+    );
+    assert!(
+        !run.is_clean(),
+        "instrumented whole-team comm creation must fail"
+    );
+    assert!(
+        run.errors.iter().any(|e| e.kind.is_verification_error()),
+        "{:?}",
+        run.errors
+    );
+}
+
+/// The p2p epoch census must fire even when the leaking send lives in
+/// a helper function and `MPI_Finalize` in `main` (the census is placed
+/// at the finalize, and the world counters are global).
+#[test]
+fn p2p_census_catches_leak_in_helper() {
+    let src = r#"
+fn leak() {
+    let peer = size() - 1 - rank();
+    MPI_Send(1, peer, 5);
+}
+fn main() {
+    MPI_Init();
+    leak();
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#;
+    let (report, run) = check_and_run("leak.mh", src, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "unmatched-p2p"),
+        "{:?}",
+        report.warnings
+    );
+    assert!(
+        !run.is_clean(),
+        "latent leak must be caught when instrumented"
+    );
+    assert!(run.detected_by_check(), "{:?}", run.errors);
+    // Uninstrumented, the same program is silently clean — the latent
+    // error the census exists for.
+    let (_r, plain) = check_and_run("leak.mh", src, RunConfig::fast_fail(2, 2), false).unwrap();
+    assert!(plain.is_clean(), "{:?}", plain.errors);
+}
+
+/// Divergent communicator creation is statically visible: comm_split /
+/// comm_dup are collectives over their parent.
+#[test]
+fn divergent_comm_creation_reported_statically() {
+    let src = r#"
+fn main() {
+    MPI_Init();
+    if (rank() == 0) { let c = MPI_Comm_dup(MPI_COMM_WORLD); }
+    MPI_Finalize();
+}
+"#;
+    let (report, run) = check_and_run("dup.mh", src, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "collective-mismatch"),
+        "{:?}",
+        report.warnings
+    );
+    assert!(!run.is_clean(), "{:?}", run.errors);
+}
+
 /// Scaling smoke test: more ranks and threads still work.
 #[test]
 fn four_ranks_four_threads() {

@@ -169,6 +169,107 @@ fn generated_programs_run_clean_instrumented() {
     }
 }
 
+/// Generator for the communicator-equivalence property: world-only
+/// hybrid programs whose every MPI operation names `MPI_COMM_WORLD`
+/// *explicitly*, including matched point-to-point traffic.
+fn random_world_comm_program(rng: &mut Rng) -> String {
+    let stmt = |rng: &mut Rng| match rng.below(6) {
+        0 => "MPI_Barrier(MPI_COMM_WORLD);".to_string(),
+        1 => "acc = acc + int_of(MPI_Allreduce(1.0, SUM, MPI_COMM_WORLD));".to_string(),
+        2 => "acc = acc + int_of(MPI_Bcast(float_of(acc % 7), 0, MPI_COMM_WORLD));".to_string(),
+        // Matched self-send/recv pair on an explicit world handle.
+        3 => "MPI_Send(acc, rank(), 11, MPI_COMM_WORLD); \
+              let rv = MPI_Recv(rank(), 11, MPI_COMM_WORLD); \
+              acc = acc + int_of(rv) % 3;"
+            .to_string(),
+        4 => {
+            let n = rng.range_i64(1, 4);
+            format!("for (i{n} in 0..{n}) {{ MPI_Barrier(MPI_COMM_WORLD); }}")
+        }
+        _ => "parallel num_threads(2) {
+                single { let x = MPI_Allreduce(1, SUM, MPI_COMM_WORLD); }
+            }"
+        .to_string(),
+    };
+    let n = rng.range_usize(1, 6);
+    let stmts: Vec<String> = (0..n).map(|_| stmt(rng)).collect();
+    format!(
+        "fn main() {{
+            MPI_Init_thread(SERIALIZED);
+            let acc = 1;
+            {}
+            print(acc);
+            MPI_Finalize();
+        }}",
+        stmts.join("\n")
+    )
+}
+
+/// Strip every communicator operand from a module — exactly the
+/// pre-refactor "single implicit communicator" IR shape, with spans and
+/// registers untouched.
+fn strip_comm_operands(m: &mut parcoach::ir::Module) {
+    use parcoach::ir::instr::{Instr, MpiIr};
+    for f in &mut m.funcs {
+        for b in &mut f.blocks {
+            for i in &mut b.instrs {
+                if let Instr::Mpi {
+                    op:
+                        MpiIr::Collective { comm, .. }
+                        | MpiIr::Send { comm, .. }
+                        | MpiIr::Recv { comm, .. },
+                    ..
+                } = i
+                {
+                    *comm = None;
+                }
+            }
+        }
+    }
+}
+
+/// The per-communicator generalization must be invisible on modules
+/// that only use `MPI_COMM_WORLD`: analysing the module as written
+/// (explicit world handles flowing through registers) and analysing the
+/// comm-stripped twin (the pre-refactor single-comm path) must produce
+/// **byte-identical** reports — at `jobs = 1` and `jobs = 4` alike.
+#[test]
+fn world_only_analysis_matches_single_comm_path() {
+    use parcoach::analysis::analyze_module_with;
+    use parcoach::pool::{Pool, PoolConfig};
+    let pool1 = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 7,
+    });
+    let pool4 = Pool::new(PoolConfig {
+        jobs: 4,
+        deterministic: true,
+        seed: 7,
+    });
+    for seed in 300..(300 + 12 * parcoach_testutil::case_budget(1)) {
+        let src = random_world_comm_program(&mut Rng::new(seed));
+        let unit = parse_and_check("gen.mh", &src)
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
+        let with_comms = lower_program(&unit.program, &unit.signatures);
+        let mut stripped = with_comms.clone();
+        strip_comm_operands(&mut stripped);
+        let opts = AnalysisOptions::default();
+        let baseline = format!("{:?}", analyze_module_with(&stripped, &opts, &pool1));
+        for (label, module, pool) in [
+            ("with-comms jobs=1", &with_comms, &pool1),
+            ("with-comms jobs=4", &with_comms, &pool4),
+            ("stripped jobs=4", &stripped, &pool4),
+        ] {
+            let report = format!("{:?}", analyze_module_with(module, &opts, pool));
+            assert_eq!(
+                report, baseline,
+                "seed {seed}: {label} report differs from the single-comm path in\n{src}"
+            );
+        }
+    }
+}
+
 /// Wider worlds are affordable now that rank threads are pooled: a
 /// collective program over 8 ranks (16 under the extended budget), with
 /// the result checked exactly.
