@@ -38,7 +38,7 @@ use parcoach_workloads::{
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Repetitions per workload for the compile benches. The per-workload
 /// minimum is the least noise-contaminated estimate of a CPU-bound
@@ -51,6 +51,13 @@ const ANALYZE_REPS: usize = 21;
 const GATE_RETRIES: usize = 2;
 /// Default regression tolerance on normalized ratios, percent.
 const DEFAULT_TOLERANCE: f64 = 25.0;
+/// Wall-clock watchdog per catalogue case in the detection pass. Every
+/// case resolves in well under a second (the deadlocking ones via the
+/// liveness census / wait-for graph, not timeouts); a case still
+/// running after this long has regressed into a real hang — fail the
+/// gate in seconds instead of stalling the job until the runner
+/// timeout.
+const CASE_WATCHDOG: Duration = Duration::from_secs(20);
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -311,16 +318,52 @@ fn calibrate() -> u64 {
     t.min.as_nanos() as u64
 }
 
+/// Run one catalogue case on a watchdog thread: `None` when the
+/// simulator run exceeded [`CASE_WATCHDOG`] (the hung worker is left
+/// detached — the gate reports and exits; the process does not wait on
+/// it). A worker that *panics* is reported as an error, not a hang.
+#[allow(clippy::type_complexity)]
+fn run_case_with_watchdog(
+    id: &'static str,
+    source: String,
+) -> Option<Result<(parcoach_core::StaticReport, parcoach_interp::RunReport), String>> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(check_and_run(id, &source, RunConfig::fast_fail(2, 4), true));
+    });
+    match rx.recv_timeout(CASE_WATCHDOG) {
+        Ok(outcome) => Some(outcome),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Some(Err(
+            "case worker panicked before producing a result (see stderr backtrace)".into(),
+        )),
+    }
+}
+
 /// One instrumented run per catalogue case; true when every case behaves
 /// as the paper predicts (same checks as the `detection_table` bin).
+/// Each case runs under a wall-clock watchdog so a regression that
+/// introduces a genuine deadlock fails the gate instead of hanging it.
 fn detection_pass() -> bool {
     let mut all_ok = true;
     for case in error_catalogue() {
-        let cfg = RunConfig::fast_fail(2, 4);
-        let Ok((report, run)) = check_and_run(case.id, &case.source, cfg, true) else {
-            eprintln!("{}: compile error", case.id);
+        let Some(outcome) = run_case_with_watchdog(case.id, case.source.clone()) else {
+            eprintln!(
+                "{}: WATCHDOG — still running after {}s; the simulator hung \
+                 (deadlock-detection regression?)",
+                case.id,
+                CASE_WATCHDOG.as_secs()
+            );
             all_ok = false;
             continue;
+        };
+        let (report, run) = match outcome {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{}: {e}", case.id);
+                all_ok = false;
+                continue;
+            }
         };
         let static_ok = match case.expect_static {
             ExpectStatic::Clean => report.is_clean(),

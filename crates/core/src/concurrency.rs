@@ -122,6 +122,16 @@ pub fn check_concurrency(
                 }
                 MpiIr::Send { .. } => ("MPI_Send", OpClass::P2p),
                 MpiIr::Recv { .. } => ("MPI_Recv", OpClass::P2p),
+                // Non-blocking posts and completions live in the p2p
+                // matching space: concurrent regions driving them (or a
+                // request posted in one region and waited in a
+                // concurrent sibling) are legal under
+                // MPI_THREAD_MULTIPLE — no ordering warning, but the
+                // level demand is recorded below.
+                MpiIr::Isend { .. } => ("MPI_Isend", OpClass::P2p),
+                MpiIr::Irecv { .. } => ("MPI_Irecv", OpClass::P2p),
+                MpiIr::Wait { .. } => ("MPI_Wait", OpClass::P2p),
+                MpiIr::Waitall { .. } => ("MPI_Waitall", OpClass::P2p),
                 // Comm management synchronizes the *parent* communicator.
                 _ => match op.comm_mgmt() {
                     Some((name, parent)) => (name, OpClass::Coll(comms.of_operand(Some(parent)))),

@@ -44,6 +44,7 @@ pub mod p2p;
 pub mod pipeline;
 pub mod pw;
 pub mod report;
+pub mod request;
 pub mod word;
 
 pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
@@ -52,4 +53,5 @@ pub use lang::{classify, ContextClass, MonoVerdict};
 pub use pipeline::{analyze_module, analyze_module_with, AnalysisOptions};
 pub use pw::{compute_pw, InitialContext, PwResult};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
+pub use request::{compute_requests, ModuleRequests, ReqDef, ReqId, ReqTable};
 pub use word::{SKind, Token, Word};

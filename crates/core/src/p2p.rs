@@ -1,10 +1,12 @@
 //! Static point-to-point matching (extension; cf. Liao et al., *Static
 //! Deadlock Detection in MPI Synchronization Communication*).
 //!
-//! Blocking sends and receives are paired per **(communicator class,
-//! tag)** — the static key under which the simulator's matcher pairs
-//! them at run time (the SPMD abstraction cannot align peer ranks
-//! statically, so `dest`/`src` do not enter the key). Two diagnostics:
+//! Sends and receives — blocking **and non-blocking** — are paired per
+//! **(communicator class, tag)**, the static key under which the
+//! simulator's matcher pairs them at run time (the SPMD abstraction
+//! cannot align peer ranks statically, so `dest`/`src` do not enter the
+//! key; an `MPI_ANY_TAG` receive matches every tag on its
+//! communicator). Two diagnostics:
 //!
 //! * **unmatched-p2p** — a send whose key no receive in the module can
 //!   ever match (or vice versa): a tag/communicator mismatch. An
@@ -12,20 +14,27 @@
 //!   census reports it); an unmatched *send* is silent in a buffered
 //!   model — it is discharged dynamically by the p2p epoch census the
 //!   instrumentation places before `MPI_Finalize`.
-//! * **mismatched-order** — a receive that *dominates* every send that
-//!   could match it: along every path, on every rank, the receive
-//!   blocks before any matching message can have been produced — the
-//!   head-to-head `recv; send` deadlock. Receives whose matching sends
-//!   sit on sibling branches, in other functions, or in concurrent
-//!   OpenMP regions (a second thread can still produce the message
-//!   under `MPI_THREAD_MULTIPLE`) are *not* flagged: dominance fails
-//!   there, which is exactly the MPIxThreads-style correct pattern.
+//! * **mismatched-order** — a receive whose *blocking point* dominates
+//!   every send that could match it: along every path, on every rank,
+//!   the rank blocks before any matching message can have been
+//!   produced — the head-to-head `recv; send` deadlock. For a blocking
+//!   `MPI_Recv` the blocking point is the receive itself; for an
+//!   `MPI_Irecv` it is **deferred** to the `MPI_Wait`/`MPI_Waitall`
+//!   that completes its request class (from [`crate::request`]), which
+//!   is exactly what keeps the classic correct pattern — post the
+//!   irecv, send, then wait — quiet. Receives whose matching sends sit
+//!   on sibling branches, in other functions, or in concurrent OpenMP
+//!   regions (a second thread can still produce the message under
+//!   `MPI_THREAD_MULTIPLE`) are *not* flagged: dominance fails there,
+//!   which is exactly the MPIxThreads-style correct pattern.
 //!
 //! Sites with an unresolvable tag or communicator conservatively match
 //! everything and produce no diagnostics.
 
 use crate::comm::{CommId, ModuleComms};
 use crate::report::{StaticWarning, WarningKind};
+use crate::request::{ModuleRequests, ReqId, ReqResolution};
+use parcoach_front::ast::ANY_TAG;
 use parcoach_front::span::Span;
 use parcoach_ir::dom::DomTree;
 use parcoach_ir::func::Module;
@@ -39,6 +48,36 @@ enum Dir {
     Recv,
 }
 
+/// Static tag key of a p2p site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKey {
+    /// A constant tag.
+    Known(i64),
+    /// The `MPI_ANY_TAG` wildcard: matches every tag.
+    Any,
+    /// Not resolvable statically: conservatively matches everything.
+    Unresolved,
+}
+
+impl TagKey {
+    fn compatible(self, other: TagKey) -> bool {
+        match (self, other) {
+            (TagKey::Known(a), TagKey::Known(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for TagKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagKey::Known(t) => write!(f, "{t}"),
+            TagKey::Any => write!(f, "MPI_ANY_TAG"),
+            TagKey::Unresolved => write!(f, "<unresolved>"),
+        }
+    }
+}
+
 /// One static send/recv site.
 #[derive(Debug, Clone)]
 struct Site {
@@ -48,27 +87,34 @@ struct Site {
     span: Span,
     dir: Dir,
     comm: CommId,
-    /// Constant tag, if resolvable.
-    tag: Option<i64>,
+    tag: TagKey,
+    /// MPI name for diagnostics.
+    name: &'static str,
+    /// Request class for non-blocking posts (None = blocking).
+    req: Option<ReqId>,
 }
 
 impl Site {
     /// Could a message of `self` be consumed/produced by `other`
     /// (opposite directions assumed by the caller)?
     fn key_matches(&self, other: &Site) -> bool {
-        if !self.comm.may_alias(other.comm) {
-            return false;
-        }
-        match (self.tag, other.tag) {
-            (Some(a), Some(b)) => a == b,
-            _ => true, // unknown tag matches everything
-        }
+        self.comm.may_alias(other.comm) && self.tag.compatible(other.tag)
     }
 
     /// Fully resolved key (eligible for diagnostics)?
     fn resolved(&self) -> bool {
-        self.tag.is_some() && !self.comm.is_unknown()
+        self.tag != TagKey::Unresolved && !self.comm.is_unknown()
     }
+}
+
+/// One wait site (an `MPI_Wait` or one operand of an `MPI_Waitall`).
+struct WaitSite {
+    func: usize,
+    block: BlockId,
+    instr: usize,
+    span: Span,
+    /// Resolved class of the waited request (None = may complete any).
+    class: Option<ReqId>,
 }
 
 /// Result of the module-wide p2p matching pass.
@@ -81,21 +127,58 @@ pub struct P2pResult {
 }
 
 /// Run the pass over a whole module.
-pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
+pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pResult {
     let mut out = P2pResult::default();
 
     // Collect every site, module-wide, in deterministic order.
     let mut sites: Vec<Site> = Vec::new();
+    let mut waits: Vec<WaitSite> = Vec::new();
     for (fidx, f) in m.funcs.iter().enumerate() {
         let fc = comms.of_func(&f.name);
+        let fr = reqs.of_func(&f.name);
         for (bid, b) in f.iter_blocks() {
             for (iidx, i) in b.instrs.iter().enumerate() {
-                let Instr::Mpi { op, span, .. } = i else {
+                let Instr::Mpi { op, span, dest } = i else {
                     continue;
                 };
-                let (dir, tag, comm) = match op {
-                    MpiIr::Send { tag, comm, .. } => (Dir::Send, tag, comm),
-                    MpiIr::Recv { tag, comm, .. } => (Dir::Recv, tag, comm),
+                let req_class = || {
+                    dest.map(|d| match fr.of_operand(Value::Reg(d)) {
+                        ReqResolution::One(c) => c,
+                        _ => ReqId::UNKNOWN,
+                    })
+                    .unwrap_or(ReqId::UNKNOWN)
+                };
+                let (dir, tag, comm, name, req) = match op {
+                    MpiIr::Send { tag, comm, .. } => (Dir::Send, tag, comm, "MPI_Send", None),
+                    MpiIr::Recv { tag, comm, .. } => (Dir::Recv, tag, comm, "MPI_Recv", None),
+                    MpiIr::Isend { tag, comm, .. } => {
+                        (Dir::Send, tag, comm, "MPI_Isend", Some(req_class()))
+                    }
+                    MpiIr::Irecv { tag, comm, .. } => {
+                        (Dir::Recv, tag, comm, "MPI_Irecv", Some(req_class()))
+                    }
+                    MpiIr::Wait { request } => {
+                        waits.push(WaitSite {
+                            func: fidx,
+                            block: bid,
+                            instr: iidx,
+                            span: *span,
+                            class: wait_class(&fr, *request),
+                        });
+                        continue;
+                    }
+                    MpiIr::Waitall { requests } => {
+                        for r in requests {
+                            waits.push(WaitSite {
+                                func: fidx,
+                                block: bid,
+                                instr: iidx,
+                                span: *span,
+                                class: wait_class(&fr, *r),
+                            });
+                        }
+                        continue;
+                    }
                     _ => continue,
                 };
                 sites.push(Site {
@@ -105,7 +188,9 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
                     span: *span,
                     dir,
                     comm: fc.of_operand(*comm),
-                    tag: const_int(*tag),
+                    tag: tag_key(*tag),
+                    name,
+                    req,
                 });
             }
         }
@@ -121,24 +206,23 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
         }
         let has_counterpart = sites.iter().any(|o| o.dir != s.dir && s.key_matches(o));
         if !has_counterpart {
-            let (what, consequence) = match s.dir {
-                Dir::Send => (
-                    "MPI_Send",
+            let consequence = match s.dir {
+                Dir::Send => {
                     "no receive in the program can match it; the message is \
-                     never consumed",
-                ),
-                Dir::Recv => (
-                    "MPI_Recv",
+                     never consumed"
+                }
+                Dir::Recv => {
                     "no send in the program can match it; the receive blocks \
-                     forever",
-                ),
+                     forever"
+                }
             };
             out.warnings.push(StaticWarning {
                 kind: WarningKind::UnmatchedP2p,
                 func: m.funcs[s.func].name.clone(),
                 message: format!(
-                    "{what} with tag {} on {} is unmatched: {consequence}",
-                    s.tag.expect("resolved site"),
+                    "{} with tag {} on {} is unmatched: {consequence}",
+                    s.name,
+                    s.tag,
                     comms.table.label(s.comm),
                 ),
                 span: s.span,
@@ -148,8 +232,10 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
     }
 
     // --- receive-before-send ordering ------------------------------------
-    // Dominator trees are computed lazily, once per function that has a
-    // resolvable receive.
+    // The blocking point of an `MPI_Recv` is the receive itself; the
+    // blocking point of an `MPI_Irecv` is every wait that completes its
+    // request class (deferred completion). Dominator trees are computed
+    // lazily, once per function that has a resolvable receive.
     let mut doms: Vec<Option<DomTree>> = (0..m.funcs.len()).map(|_| None).collect();
     for r in sites.iter().filter(|s| s.dir == Dir::Recv) {
         if !r.resolved() {
@@ -166,33 +252,68 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
         if matching.iter().any(|s| s.func != r.func) {
             continue;
         }
+        // The program points where this receive blocks.
+        let block_points: Vec<(BlockId, usize, Span)> = match r.req {
+            None => vec![(r.block, r.instr, r.span)],
+            Some(class) => {
+                if class.is_unknown() {
+                    continue; // cannot attribute a wait to this post
+                }
+                let for_class: Vec<&WaitSite> = waits
+                    .iter()
+                    .filter(|w| w.func == r.func && w.class.is_none_or(|c| c == class))
+                    .collect();
+                if for_class.is_empty() {
+                    continue; // leaked request: the request pass reports it
+                }
+                for_class
+                    .iter()
+                    .map(|w| (w.block, w.instr, w.span))
+                    .collect()
+            }
+        };
         let f = &m.funcs[r.func];
         let dom = doms[r.func].get_or_insert_with(|| DomTree::compute(f));
-        let all_dominated = matching.iter().all(|s| {
-            if s.block == r.block {
-                r.instr < s.instr
-            } else {
-                dom.dominates(r.block, s.block)
-            }
+        // Every blocking point must precede every matching send: if one
+        // wait site can run after a send, the message can exist.
+        let all_dominated = block_points.iter().all(|&(wb, wi, _)| {
+            matching.iter().all(|s| {
+                if s.block == wb {
+                    wi < s.instr
+                } else {
+                    dom.dominates(wb, s.block)
+                }
+            })
         });
         if all_dominated {
-            let related: Vec<(Span, String)> = matching
-                .iter()
-                .map(|s| {
-                    (
-                        s.span,
-                        "matching send only happens after the receive".into(),
-                    )
-                })
-                .collect();
+            let mut related: Vec<(Span, String)> = Vec::new();
+            if r.req.is_some() {
+                for &(_, _, wspan) in &block_points {
+                    if wspan != r.span {
+                        related.push((wspan, "the receive blocks at this wait".into()));
+                    }
+                }
+            }
+            related.extend(matching.iter().map(|s| {
+                (
+                    s.span,
+                    "matching send only happens after the receive".into(),
+                )
+            }));
+            let blocking_point = if r.req.is_some() {
+                "its completing wait"
+            } else {
+                "the receive"
+            };
             out.warnings.push(StaticWarning {
                 kind: WarningKind::P2pOrder,
                 func: f.name.clone(),
                 message: format!(
-                    "MPI_Recv with tag {} on {} precedes every matching send on \
-                     every path: all ranks block in the receive before any rank \
-                     can have sent",
-                    r.tag.expect("resolved site"),
+                    "{} with tag {} on {} precedes every matching send on \
+                     every path: all ranks block in {blocking_point} before \
+                     any rank can have sent",
+                    r.name,
+                    r.tag,
                     comms.table.label(r.comm),
                 ),
                 span: r.span,
@@ -208,29 +329,46 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms) -> P2pResult {
     // function containing a finalize whenever the module has suspect
     // p2p traffic.
     if !out.warnings.is_empty() {
-        out.epoch_functions = m
-            .funcs
-            .iter()
-            .filter(|f| {
-                f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-                    matches!(
-                        i,
-                        Instr::Mpi {
-                            op: MpiIr::Finalize,
-                            ..
-                        }
-                    )
-                })
-            })
-            .map(|f| f.name.clone())
-            .collect();
+        out.epoch_functions = finalize_functions(m);
     }
     out
 }
 
-fn const_int(v: Value) -> Option<i64> {
+/// Names of the functions containing an `MPI_Finalize` — where the p2p
+/// epoch census belongs (world-global counters observe all traffic).
+pub fn finalize_functions(m: &Module) -> Vec<String> {
+    m.funcs
+        .iter()
+        .filter(|f| {
+            f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+                matches!(
+                    i,
+                    Instr::Mpi {
+                        op: MpiIr::Finalize,
+                        ..
+                    }
+                )
+            })
+        })
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+/// Static key of a tag operand: constant, wildcard, or unresolved.
+fn tag_key(v: Value) -> TagKey {
     match v {
-        Value::Const(Const::Int(x)) => Some(x),
+        Value::Const(Const::Int(ANY_TAG)) => TagKey::Any,
+        Value::Const(Const::Int(x)) => TagKey::Known(x),
+        _ => TagKey::Unresolved,
+    }
+}
+
+/// The request class a wait operand resolves to (None = any class).
+fn wait_class(fr: &crate::request::FuncRequests, v: Value) -> Option<ReqId> {
+    match fr.of_operand(v) {
+        ReqResolution::One(c) => Some(c),
+        // Unknown or never-posted: may complete any request (the
+        // request pass reports never-posted operands).
         _ => None,
     }
 }
@@ -239,6 +377,7 @@ fn const_int(v: Value) -> Option<i64> {
 mod tests {
     use super::*;
     use crate::comm::compute_comms;
+    use crate::request::compute_requests;
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
 
@@ -246,7 +385,8 @@ mod tests {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let comms = compute_comms(&m);
-        check_p2p(&m, &comms)
+        let reqs = compute_requests(&m);
+        check_p2p(&m, &comms, &reqs)
     }
 
     #[test]
@@ -365,6 +505,79 @@ mod tests {
                 }
             }");
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn irecv_then_send_then_wait_is_quiet() {
+        // Deferred completion: the wait comes after the send, so the
+        // message can exist when the rank blocks — the correct
+        // non-blocking pattern.
+        let r = run("fn main() {
+                let peer = size() - 1 - rank();
+                let rr = MPI_Irecv(peer, 4);
+                MPI_Send(1.0, peer, 4);
+                let v = MPI_Wait(rr);
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn wait_before_send_flagged() {
+        // The wait dominates the only matching send: every rank blocks
+        // before any rank can have produced the message.
+        let r = run("fn main() {
+                MPI_Init();
+                let peer = size() - 1 - rank();
+                let rr = MPI_Irecv(peer, 7);
+                let v = MPI_Wait(rr);
+                MPI_Send(1.0, peer, 7);
+                MPI_Finalize();
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::P2pOrder);
+        assert!(r.warnings[0].message.contains("MPI_Irecv"));
+        assert_eq!(r.epoch_functions, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn waitall_before_sends_flagged_per_comm() {
+        let r = run("fn main() {
+                MPI_Init();
+                let c = MPI_Comm_dup(MPI_COMM_WORLD);
+                let peer = size() - 1 - rank();
+                let r1 = MPI_Irecv(peer, 1);
+                let r2 = MPI_Irecv(peer, 2, c);
+                MPI_Waitall(r1, r2);
+                MPI_Send(1.0, peer, 1);
+                MPI_Send(2.0, peer, 2, c);
+                MPI_Finalize();
+            }");
+        assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
+        assert!(r.warnings.iter().all(|w| w.kind == WarningKind::P2pOrder));
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any_tag() {
+        let r = run("fn main() {
+                let peer = size() - 1 - rank();
+                let rr = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
+                MPI_Send(1.0, peer, 9);
+                let v = MPI_Wait(rr);
+            }");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn isend_without_recv_unmatched() {
+        let r = run("fn main() {
+                MPI_Init();
+                let s = MPI_Isend(1, 0, 5);
+                MPI_Waitall(s);
+                MPI_Finalize();
+            }");
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::UnmatchedP2p);
+        assert!(r.warnings[0].message.contains("MPI_Isend"));
     }
 
     #[test]

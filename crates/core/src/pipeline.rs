@@ -22,6 +22,10 @@ pub struct AnalysisOptions {
     pub refine_matching: bool,
     /// Emit `InsufficientThreadLevel` warnings.
     pub check_thread_level: bool,
+    /// Run the non-blocking request life-cycle pass (`request`). On
+    /// request-free modules disabling it is report-invisible — pinned by
+    /// the `no_request_modules_match_blocking_path` property test.
+    pub check_requests: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -30,6 +34,7 @@ impl Default for AnalysisOptions {
             entry_context: InitialContext::Sequential,
             refine_matching: true,
             check_thread_level: true,
+            check_requests: true,
         }
     }
 }
@@ -223,10 +228,24 @@ pub fn analyze_module_with(
 
     // Point-to-point matching (module-wide: sends in one function may
     // feed receives in another). Sequential and after the merge, so its
-    // warning order is identical at any pool width.
-    let p2p = crate::p2p::check_p2p(m, &comms);
+    // warning order is identical at any pool width. The request
+    // resolution feeds the matcher (deferred completion of non-blocking
+    // receives) and the life-cycle pass.
+    let reqs = crate::request::compute_requests(m);
+    let p2p = crate::p2p::check_p2p(m, &comms, &reqs);
     report.warnings.extend(p2p.warnings);
     report.plan.p2p_epoch_functions = p2p.epoch_functions;
+
+    // Request life-cycle (leaked request / wait-without-post). A leaked
+    // request leaves traffic permanently unconsumed, so the p2p epoch
+    // census must also be placed when only this pass warns.
+    if opts.check_requests {
+        let req = crate::request::check_requests(m, &reqs);
+        if !req.warnings.is_empty() && report.plan.p2p_epoch_functions.is_empty() {
+            report.plan.p2p_epoch_functions = crate::p2p::finalize_functions(m);
+        }
+        report.warnings.extend(req.warnings);
+    }
 
     // Renumber concurrency sites globally (per-function numbering would
     // collide at run time).
@@ -390,6 +409,63 @@ mod tests {
         assert!(r.count(WarningKind::MultithreadedCollective) >= 1);
         assert!(r.count(WarningKind::CollectiveMismatch) >= 1);
         assert!(!r.plan.cc_functions.is_empty());
+    }
+
+    #[test]
+    fn leaked_request_places_epoch_census() {
+        // The only warning is the request-pass leak: the census must
+        // still be placed at the finalize so the run catches it.
+        let r = analyze(
+            "fn main() {
+                MPI_Init();
+                let peer = size() - 1 - rank();
+                let rr = MPI_Irecv(peer, 5);
+                MPI_Send(1.0, peer, 5);
+                MPI_Finalize();
+            }",
+        );
+        assert_eq!(
+            r.count(WarningKind::UnwaitedRequest),
+            1,
+            "{:#?}",
+            r.warnings
+        );
+        assert_eq!(r.plan.p2p_epoch_functions, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn whole_team_nonblocking_requires_multiple() {
+        let r = analyze(
+            "fn main() {
+                MPI_Init_thread(SERIALIZED);
+                let peer = size() - 1 - rank();
+                parallel num_threads(2) {
+                    let s = MPI_Isend(thread_num(), peer, 3);
+                    let v = MPI_Wait(s);
+                }
+                MPI_Finalize();
+            }",
+        );
+        assert_eq!(r.required_level, ThreadLevel::Multiple);
+        assert_eq!(r.count(WarningKind::InsufficientThreadLevel), 1);
+        // Non-blocking p2p in a team is not itself an error.
+        assert_eq!(r.count(WarningKind::MultithreadedCollective), 0);
+    }
+
+    #[test]
+    fn correct_nonblocking_exchange_is_clean() {
+        let r = analyze(
+            "fn main() {
+                MPI_Init();
+                let peer = size() - 1 - rank();
+                let rr = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
+                let ss = MPI_Isend(rank() + 1, peer, 5);
+                MPI_Waitall(rr, ss);
+                MPI_Finalize();
+            }",
+        );
+        assert!(r.is_clean(), "{:#?}", r.warnings);
+        assert!(r.plan.p2p_epoch_functions.is_empty());
     }
 
     #[test]

@@ -46,7 +46,15 @@ pub enum WarningKind {
     UnmatchedP2p,
     /// Point-to-point matching: a receive that precedes every matching
     /// send on every path — the head-to-head `recv; send` deadlock.
+    /// For non-blocking receives the blocking point is the wait, so the
+    /// warning anchors there.
     P2pOrder,
+    /// Request life-cycle: an `MPI_Isend`/`MPI_Irecv` whose request no
+    /// wait in the function can ever complete — the request leaks.
+    UnwaitedRequest,
+    /// Request life-cycle: a wait whose operand is never produced by a
+    /// post on any path (IR-level invariant violation).
+    WaitWithoutPost,
 }
 
 impl WarningKind {
@@ -63,6 +71,8 @@ impl WarningKind {
             WarningKind::InsufficientThreadLevel => "insufficient-thread-level",
             WarningKind::UnmatchedP2p => "unmatched-p2p",
             WarningKind::P2pOrder => "mismatched-order",
+            WarningKind::UnwaitedRequest => "unwaited-request",
+            WarningKind::WaitWithoutPost => "wait-without-post",
         }
     }
 
@@ -83,6 +93,8 @@ impl WarningKind {
             WarningKind::InsufficientThreadLevel => "insufficient MPI thread level",
             WarningKind::UnmatchedP2p => "unmatched point-to-point operation",
             WarningKind::P2pOrder => "point-to-point receive/send order mismatch",
+            WarningKind::UnwaitedRequest => "non-blocking request never completed",
+            WarningKind::WaitWithoutPost => "wait on a never-posted request",
         }
     }
 }
@@ -225,6 +237,8 @@ mod tests {
             WarningKind::InsufficientThreadLevel,
             WarningKind::UnmatchedP2p,
             WarningKind::P2pOrder,
+            WarningKind::UnwaitedRequest,
+            WarningKind::WaitWithoutPost,
         ];
         let mut codes: Vec<_> = all.iter().map(|k| k.code()).collect();
         codes.sort_unstable();

@@ -57,7 +57,18 @@ pub enum Type {
     /// An MPI communicator handle (`MPI_COMM_WORLD`, `MPI_Comm_split`,
     /// `MPI_Comm_dup` results). Opaque: no arithmetic, no comparison.
     Comm,
+    /// A non-blocking MPI request handle (`MPI_Isend`/`MPI_Irecv`
+    /// results, consumed by `MPI_Wait`/`MPI_Waitall`). Opaque like
+    /// [`Type::Comm`].
+    Request,
 }
+
+/// The `MPI_ANY_SOURCE` wildcard sentinel in lowered (integer) form.
+/// Receive sources are otherwise non-negative local ranks.
+pub const ANY_SOURCE: i64 = -1;
+/// The `MPI_ANY_TAG` wildcard sentinel in lowered (integer) form.
+/// Message tags are otherwise non-negative.
+pub const ANY_TAG: i64 = -2;
 
 impl Type {
     /// True for `int` / `float`.
@@ -99,6 +110,7 @@ impl fmt::Display for Type {
             Type::ArrayInt => write!(f, "int[]"),
             Type::ArrayFloat => write!(f, "float[]"),
             Type::Comm => write!(f, "comm"),
+            Type::Request => write!(f, "request"),
         }
     }
 }
@@ -457,6 +469,44 @@ pub enum MpiOp {
         /// Communicator to duplicate.
         comm: Box<Expr>,
     },
+    /// `MPI_Isend(v, dest, tag[, comm])` — non-blocking (buffered) send;
+    /// returns a request that must be completed by `MPI_Wait[all]`.
+    Isend {
+        /// Value expression.
+        value: Box<Expr>,
+        /// Destination rank (within `comm`).
+        dest: Box<Expr>,
+        /// Message tag.
+        tag: Box<Expr>,
+        /// Communicator (None = `MPI_COMM_WORLD`).
+        comm: Option<Box<Expr>>,
+    },
+    /// `MPI_Irecv(src, tag[, comm])` — non-blocking receive post; `src`
+    /// may be `MPI_ANY_SOURCE` and `tag` may be `MPI_ANY_TAG`. Returns a
+    /// request; the received value is produced by `MPI_Wait`.
+    Irecv {
+        /// Source rank (within `comm`) or `MPI_ANY_SOURCE`.
+        src: Box<Expr>,
+        /// Message tag or `MPI_ANY_TAG`.
+        tag: Box<Expr>,
+        /// Communicator (None = `MPI_COMM_WORLD`).
+        comm: Option<Box<Expr>>,
+    },
+    /// `MPI_Wait(req)` — block until the request completes; returns the
+    /// received value for receive requests (0.0 for send requests).
+    Wait {
+        /// The request to complete.
+        request: Box<Expr>,
+    },
+    /// `MPI_Waitall(r1, r2, …)` — complete every request, in order.
+    Waitall {
+        /// The requests to complete.
+        requests: Vec<Expr>,
+    },
+    /// The `MPI_ANY_SOURCE` receive wildcard as an (int) expression.
+    AnySource,
+    /// The `MPI_ANY_TAG` receive wildcard as an (int) expression.
+    AnyTag,
 }
 
 /// A collective call: kind + arguments.
@@ -580,7 +630,12 @@ impl Expr {
                 }
             }
             ExprKind::Mpi(op) => match op {
-                MpiOp::Init | MpiOp::InitThread { .. } | MpiOp::Finalize | MpiOp::CommWorld => {}
+                MpiOp::Init
+                | MpiOp::InitThread { .. }
+                | MpiOp::Finalize
+                | MpiOp::CommWorld
+                | MpiOp::AnySource
+                | MpiOp::AnyTag => {}
                 MpiOp::Collective(c) => {
                     if let Some(v) = &c.value {
                         v.walk(f);
@@ -618,6 +673,32 @@ impl Expr {
                     key.walk(f);
                 }
                 MpiOp::CommDup { comm } => comm.walk(f),
+                MpiOp::Isend {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                } => {
+                    value.walk(f);
+                    dest.walk(f);
+                    tag.walk(f);
+                    if let Some(cm) = comm {
+                        cm.walk(f);
+                    }
+                }
+                MpiOp::Irecv { src, tag, comm } => {
+                    src.walk(f);
+                    tag.walk(f);
+                    if let Some(cm) = comm {
+                        cm.walk(f);
+                    }
+                }
+                MpiOp::Wait { request } => request.walk(f),
+                MpiOp::Waitall { requests } => {
+                    for r in requests {
+                        r.walk(f);
+                    }
+                }
             },
         }
     }

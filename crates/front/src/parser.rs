@@ -662,6 +662,10 @@ impl Parser {
                 let ident = Ident::new(name.clone(), id_tok.span);
                 if ident.name == "MPI_COMM_WORLD" && !self.at(&TokenKind::LParen) {
                     Expr::new(ExprKind::Mpi(MpiOp::CommWorld), id_tok.span)
+                } else if ident.name == "MPI_ANY_SOURCE" && !self.at(&TokenKind::LParen) {
+                    Expr::new(ExprKind::Mpi(MpiOp::AnySource), id_tok.span)
+                } else if ident.name == "MPI_ANY_TAG" && !self.at(&TokenKind::LParen) {
+                    Expr::new(ExprKind::Mpi(MpiOp::AnyTag), id_tok.span)
                 } else if self.at(&TokenKind::LParen) {
                     self.call_expr(ident)
                 } else if self.at(&TokenKind::LBracket) {
@@ -787,6 +791,50 @@ impl Parser {
             "MPI_Comm_dup" => {
                 let comm = Box::new(self.expr());
                 Some(MpiOp::CommDup { comm })
+            }
+            "MPI_Isend" => {
+                let value = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let dest = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let tag = Box::new(self.expr());
+                let comm = self.trailing_comm_arg();
+                Some(MpiOp::Isend {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                })
+            }
+            "MPI_Irecv" => {
+                let src = Box::new(self.expr());
+                self.expect(&TokenKind::Comma);
+                let tag = Box::new(self.expr());
+                let comm = self.trailing_comm_arg();
+                Some(MpiOp::Irecv { src, tag, comm })
+            }
+            "MPI_Wait" => {
+                let request = Box::new(self.expr());
+                Some(MpiOp::Wait { request })
+            }
+            "MPI_Waitall" => {
+                let mut requests = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        requests.push(self.expr());
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                if requests.is_empty() {
+                    self.diags.error(
+                        "parse-error",
+                        "MPI_Waitall requires at least one request",
+                        name.span,
+                    );
+                }
+                Some(MpiOp::Waitall { requests })
             }
             _ => match CollectiveKind::from_name(&name.name) {
                 Some(kind) => Some(MpiOp::Collective(self.collective_args(kind))),

@@ -319,6 +319,47 @@ impl Printer {
                 self.expr(comm);
                 self.out.push(')');
             }
+            MpiOp::Isend {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
+                self.out.push_str("MPI_Isend(");
+                self.expr(value);
+                self.out.push_str(", ");
+                self.expr(dest);
+                self.out.push_str(", ");
+                self.expr(tag);
+                if let Some(cm) = comm {
+                    self.out.push_str(", ");
+                    self.expr(cm);
+                }
+                self.out.push(')');
+            }
+            MpiOp::Irecv { src, tag, comm } => {
+                self.out.push_str("MPI_Irecv(");
+                self.expr(src);
+                self.out.push_str(", ");
+                self.expr(tag);
+                if let Some(cm) = comm {
+                    self.out.push_str(", ");
+                    self.expr(cm);
+                }
+                self.out.push(')');
+            }
+            MpiOp::Wait { request } => {
+                self.out.push_str("MPI_Wait(");
+                self.expr(request);
+                self.out.push(')');
+            }
+            MpiOp::Waitall { requests } => {
+                self.out.push_str("MPI_Waitall(");
+                self.args(requests);
+                self.out.push(')');
+            }
+            MpiOp::AnySource => self.out.push_str("MPI_ANY_SOURCE"),
+            MpiOp::AnyTag => self.out.push_str("MPI_ANY_TAG"),
             MpiOp::Collective(c) => {
                 let _ = write!(self.out, "{}(", c.kind.mpi_name());
                 let mut first = true;
@@ -420,6 +461,23 @@ mod tests {
     fn float_literals_relex_as_floats() {
         let e = Expr::new(ExprKind::Float(2.0), crate::span::Span::DUMMY);
         assert_eq!(pretty_expr(&e), "2.0");
+    }
+
+    #[test]
+    fn roundtrip_nonblocking_and_wildcards() {
+        roundtrip(
+            "fn main() {
+                MPI_Init();
+                let peer = size() - 1 - rank();
+                let r = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
+                let s = MPI_Isend(1.5, peer, 4);
+                let c = MPI_Comm_dup(MPI_COMM_WORLD);
+                let t = MPI_Irecv(peer, 7, c);
+                let v = MPI_Wait(r);
+                MPI_Waitall(s, t);
+                MPI_Finalize();
+            }",
+        );
     }
 
     #[test]

@@ -548,7 +548,11 @@ impl<'a> Checker<'a> {
                             ),
                             e.span,
                         );
-                    } else if lt.is_array() || lt == Type::Void || lt == Type::Comm {
+                    } else if lt.is_array()
+                        || lt == Type::Void
+                        || lt == Type::Comm
+                        || lt == Type::Request
+                    {
                         self.diags.error(
                             "type-mismatch",
                             format!("`{}` cannot compare {lt} values", op.symbol()),
@@ -809,6 +813,48 @@ impl<'a> Checker<'a> {
                 self.expect_ty(comm, Type::Comm, "MPI_Comm_dup communicator");
                 Type::Comm
             }
+            MpiOp::Isend {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
+                let vt = self.check_expr(value);
+                if !vt.is_numeric() {
+                    self.diags.error(
+                        "type-mismatch",
+                        format!("MPI_Isend value must be numeric, found {vt}"),
+                        value.span,
+                    );
+                }
+                self.expect_ty(dest, Type::Int, "MPI_Isend destination");
+                self.expect_ty(tag, Type::Int, "MPI_Isend tag");
+                if let Some(cm) = comm {
+                    self.expect_ty(cm, Type::Comm, "MPI_Isend communicator");
+                }
+                Type::Request
+            }
+            MpiOp::Irecv { src, tag, comm } => {
+                self.expect_ty(src, Type::Int, "MPI_Irecv source");
+                self.expect_ty(tag, Type::Int, "MPI_Irecv tag");
+                if let Some(cm) = comm {
+                    self.expect_ty(cm, Type::Comm, "MPI_Irecv communicator");
+                }
+                Type::Request
+            }
+            MpiOp::Wait { request } => {
+                self.expect_ty(request, Type::Request, "MPI_Wait request");
+                // Like MPI_Recv: receive completions carry field values
+                // (float); send completions yield 0.0.
+                Type::Float
+            }
+            MpiOp::Waitall { requests } => {
+                for r in requests {
+                    self.expect_ty(r, Type::Request, "MPI_Waitall request");
+                }
+                Type::Void
+            }
+            MpiOp::AnySource | MpiOp::AnyTag => Type::Int,
             MpiOp::Collective(c) => self.check_collective(c, span),
         }
     }
@@ -985,6 +1031,48 @@ mod tests {
                 let b = MPI_COMM_WORLD;
                 if (a == b) { }
             }",
+            "type-mismatch",
+        );
+    }
+
+    #[test]
+    fn nonblocking_type_checks() {
+        sema_ok(
+            "fn main() {
+                let peer = size() - 1 - rank();
+                let r = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
+                let s = MPI_Isend(1.5, peer, 4);
+                let v = MPI_Wait(r);
+                MPI_Waitall(s);
+            }",
+        );
+        // Wildcards are plain ints and type-check anywhere an int does.
+        sema_ok("fn main() { let x = MPI_ANY_SOURCE + MPI_ANY_TAG; }");
+    }
+
+    #[test]
+    fn request_arguments_must_be_requests() {
+        sema_err("fn main() { let v = MPI_Wait(3); }", "type-mismatch");
+        sema_err("fn main() { MPI_Waitall(1, 2); }", "type-mismatch");
+        sema_err(
+            "fn main() { let r = MPI_Isend(true, 0, 1); }",
+            "type-mismatch",
+        );
+        sema_err("fn main() { let r = MPI_Irecv(0.5, 1); }", "type-mismatch");
+    }
+
+    #[test]
+    fn request_values_are_opaque() {
+        sema_err(
+            "fn main() {
+                let a = MPI_Irecv(0, 1);
+                let b = MPI_Irecv(0, 1);
+                if (a == b) { }
+            }",
+            "type-mismatch",
+        );
+        sema_err(
+            "fn main() { let a = MPI_Irecv(0, 1); let x = a + 1; }",
             "type-mismatch",
         );
     }

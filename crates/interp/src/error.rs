@@ -39,6 +39,16 @@ pub enum RunErrorKind {
         /// Per unbalanced communicator: (handle, sent, received).
         comms: Vec<(usize, u64, u64)>,
     },
+    /// The wait-for-graph detector fired at a blocked `MPI_Wait`/
+    /// `MPI_Recv`: the graph of "who awaits a message from whom" is
+    /// cyclic, so the deadlock is genuine (and reported with the ranks
+    /// on the cycle instead of hanging until the operation timeout).
+    /// Classified as a check detection: like the `CC`, it names the
+    /// exact error before the run degenerates into a silent hang.
+    WaitForCycle {
+        /// Global ranks on the cycle, in wait-for order.
+        cycle: Vec<usize>,
+    },
     /// The MPI substrate reported an error (mismatch at the matcher,
     /// deadlock census, thread-level violation, …).
     Mpi(MpiError),
@@ -76,8 +86,12 @@ impl RunErrorKind {
             RunErrorKind::MonothreadViolation { .. } => "monothread-violation",
             RunErrorKind::ConcurrentRegions { .. } => "concurrent-regions",
             RunErrorKind::P2pImbalance { .. } => "p2p-imbalance",
+            RunErrorKind::WaitForCycle { .. } => "wait-cycle",
             RunErrorKind::Mpi(MpiError::CollectiveMismatch { .. }) => "mpi-mismatch",
             RunErrorKind::Mpi(MpiError::Deadlock { .. }) => "mpi-deadlock",
+            // Normally re-classified to WaitForCycle by the executor;
+            // kept addressable for raw substrate errors.
+            RunErrorKind::Mpi(MpiError::WaitCycle { .. }) => "mpi-wait-cycle",
             RunErrorKind::Mpi(MpiError::RankFinishedEarly { .. }) => "mpi-early-exit",
             RunErrorKind::Mpi(MpiError::Timeout { .. }) => "mpi-timeout",
             RunErrorKind::Mpi(MpiError::ThreadLevelViolation { .. }) => "thread-level",
@@ -103,6 +117,7 @@ impl RunErrorKind {
                 | RunErrorKind::MonothreadViolation { .. }
                 | RunErrorKind::ConcurrentRegions { .. }
                 | RunErrorKind::P2pImbalance { .. }
+                | RunErrorKind::WaitForCycle { .. }
         )
     }
 
@@ -115,6 +130,7 @@ impl RunErrorKind {
                 RunErrorKind::Mpi(
                     MpiError::CollectiveMismatch { .. }
                         | MpiError::Deadlock { .. }
+                        | MpiError::WaitCycle { .. }
                         | MpiError::RankFinishedEarly { .. }
                         | MpiError::Timeout { .. }
                         | MpiError::ThreadLevelViolation { .. }
@@ -172,6 +188,14 @@ impl fmt::Display for RunError {
                 )?;
                 for (h, sent, recvd) in comms {
                     write!(f, " [comm #{h}: {sent} sent, {recvd} received]")?;
+                }
+                Ok(())
+            }
+            RunErrorKind::WaitForCycle { cycle } => {
+                write!(f, "PARCOACH wait-for graph: cyclic deadlock:")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    let next = cycle[(i + 1) % cycle.len()];
+                    write!(f, " rank {r} waits on rank {next};")?;
                 }
                 Ok(())
             }

@@ -775,7 +775,7 @@ impl Executor {
                 let rows = env
                     .world
                     .p2p_census(env.rank, is_initial)
-                    .map_err(|e| RunError::new(RunErrorKind::Mpi(e), *span, env.rank))?;
+                    .map_err(|e| RunError::new(classify_mpi_error(e), *span, env.rank))?;
                 let unbalanced: Vec<(usize, u64, u64)> = rows
                     .into_iter()
                     .filter(|(_, sent, recvd)| sent != recvd)
@@ -810,7 +810,7 @@ impl Executor {
         let outcome = env
             .world
             .control_cc_on(env.rank, comm, color, is_initial)
-            .map_err(|e| RunError::new(RunErrorKind::Mpi(e), span, env.rank))?;
+            .map_err(|e| RunError::new(classify_mpi_error(e), span, env.rank))?;
         if outcome.unanimous() {
             return Ok(());
         }
@@ -842,7 +842,7 @@ impl Executor {
         op: &MpiIr,
         span: Span,
     ) -> Result<Option<Value>, RunError> {
-        let mpi_err = |e: MpiError| RunError::new(RunErrorKind::Mpi(e), span, env.rank);
+        let mpi_err = |e: MpiError| RunError::new(classify_mpi_error(e), span, env.rank);
         match op {
             MpiIr::Init { required } => {
                 env.world
@@ -877,12 +877,11 @@ impl Executor {
                 let s = self.read(frame, *src).as_int();
                 let t = self.read(frame, *tag).as_int();
                 let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
-                if s < 0 {
-                    return Err(mpi_err(MpiError::ArgError(format!("negative source {s}"))));
-                }
+                // Wildcard sentinels pass through; the world rejects
+                // other negative sources/tags.
                 let v = env
                     .world
-                    .recv_on(env.rank, c, s as usize, t, is_initial)
+                    .recv_on(env.rank, c, s, t, is_initial)
                     .map_err(mpi_err)?;
                 // `MPI_Recv` is float-typed in the language; coerce
                 // integer payloads.
@@ -891,6 +890,54 @@ impl Executor {
                     other => other,
                 };
                 Ok(Some(out))
+            }
+            MpiIr::Isend {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
+                let v = self.read(frame, *value).to_mpi();
+                let d = self.read(frame, *dest).as_int();
+                let t = self.read(frame, *tag).as_int();
+                let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
+                if d < 0 {
+                    return Err(mpi_err(MpiError::ArgError(format!(
+                        "negative destination {d}"
+                    ))));
+                }
+                let handle = env
+                    .world
+                    .isend(env.rank, c, d as usize, t, v, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(Some(Value::Request(handle)))
+            }
+            MpiIr::Irecv { src, tag, comm } => {
+                let s = self.read(frame, *src).as_int();
+                let t = self.read(frame, *tag).as_int();
+                let c = comm.map(|v| self.read(frame, v).as_comm()).unwrap_or(0);
+                let handle = env
+                    .world
+                    .irecv(env.rank, c, s, t, is_initial)
+                    .map_err(mpi_err)?;
+                Ok(Some(Value::Request(handle)))
+            }
+            MpiIr::Wait { request } => {
+                let h = self.read(frame, *request).as_request();
+                let v = env.world.wait(env.rank, h, is_initial).map_err(mpi_err)?;
+                // Like MPI_Recv: the completion value is float-typed.
+                let out = match Value::from_mpi(v) {
+                    Value::Int(x) => Value::Float(x as f64),
+                    other => other,
+                };
+                Ok(Some(out))
+            }
+            MpiIr::Waitall { requests } => {
+                for r in requests {
+                    let h = self.read(frame, *r).as_request();
+                    env.world.wait(env.rank, h, is_initial).map_err(mpi_err)?;
+                }
+                Ok(None)
             }
             MpiIr::CommWorld => Ok(Some(Value::Comm(0))),
             MpiIr::CommSplit { parent, color, key } => {
@@ -1067,6 +1114,17 @@ impl Executor {
             Slot::Owned(slot) => *slot = v,
             Slot::Shared(c) => *c.write() = v,
         }
+    }
+}
+
+/// Classify an error returned by the MPI substrate: the wait-for-graph
+/// detector is a PARCOACH-side runtime verifier (it names the exact
+/// cyclic deadlock before the run hangs), so its findings surface as a
+/// check detection rather than a plain substrate error.
+fn classify_mpi_error(e: MpiError) -> RunErrorKind {
+    match e {
+        MpiError::WaitCycle { cycle, .. } => RunErrorKind::WaitForCycle { cycle },
+        other => RunErrorKind::Mpi(other),
     }
 }
 
@@ -1253,6 +1311,32 @@ fn block_regs(b: &parcoach_ir::func::BasicBlock) -> (Vec<Reg>, Vec<Reg>) {
                     val(key, &mut refs);
                 }
                 MpiIr::CommDup { comm } => val(comm, &mut refs),
+                MpiIr::Isend {
+                    value,
+                    dest,
+                    tag,
+                    comm,
+                } => {
+                    val(value, &mut refs);
+                    val(dest, &mut refs);
+                    val(tag, &mut refs);
+                    if let Some(c) = comm {
+                        val(c, &mut refs);
+                    }
+                }
+                MpiIr::Irecv { src, tag, comm } => {
+                    val(src, &mut refs);
+                    val(tag, &mut refs);
+                    if let Some(c) = comm {
+                        val(c, &mut refs);
+                    }
+                }
+                MpiIr::Wait { request } => val(request, &mut refs),
+                MpiIr::Waitall { requests } => {
+                    for r in requests {
+                        val(r, &mut refs);
+                    }
+                }
                 _ => {}
             },
             Instr::Check(CheckOp::CollectiveCc { comm: Some(c), .. }) => val(c, &mut refs),

@@ -26,9 +26,18 @@ pub enum Value {
     ArrayFloat(Arc<RwLock<Vec<f64>>>),
     /// An MPI communicator handle (0 = `MPI_COMM_WORLD`).
     Comm(usize),
+    /// A non-blocking MPI request handle ([`Value::NULL_REQUEST`] before
+    /// the register is first assigned — waiting on it is a run-time
+    /// argument error).
+    Request(usize),
 }
 
 impl Value {
+    /// The request-register default: an invalid handle the simulator
+    /// rejects, so waiting on a never-posted request cannot silently
+    /// alias request #0.
+    pub const NULL_REQUEST: usize = usize::MAX;
+
     /// Zero-ish default for a type (registers before first assignment).
     pub fn default_for(ty: Type) -> Value {
         match ty {
@@ -38,6 +47,7 @@ impl Value {
             Type::ArrayInt => Value::ArrayInt(Arc::new(RwLock::new(Vec::new()))),
             Type::ArrayFloat => Value::ArrayFloat(Arc::new(RwLock::new(Vec::new()))),
             Type::Comm => Value::Comm(0),
+            Type::Request => Value::Request(Value::NULL_REQUEST),
         }
     }
 
@@ -73,6 +83,14 @@ impl Value {
         }
     }
 
+    /// Request handle content.
+    pub fn as_request(&self) -> usize {
+        match self {
+            Value::Request(v) => *v,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
     /// Convert to an MPI payload (arrays are snapshotted).
     pub fn to_mpi(&self) -> MpiValue {
         match self {
@@ -82,6 +100,7 @@ impl Value {
             Value::ArrayInt(a) => MpiValue::ArrayInt(a.read().clone()),
             Value::ArrayFloat(a) => MpiValue::ArrayFloat(a.read().clone()),
             Value::Comm(_) => panic!("communicator handles are not MPI payloads"),
+            Value::Request(_) => panic!("request handles are not MPI payloads"),
         }
     }
 
@@ -111,6 +130,8 @@ impl fmt::Display for Value {
                 write!(f, "{a:?}")
             }
             Value::Comm(h) => write!(f, "comm#{h}"),
+            Value::Request(h) if *h == Value::NULL_REQUEST => write!(f, "request#<null>"),
+            Value::Request(h) => write!(f, "request#{h}"),
         }
     }
 }

@@ -100,6 +100,10 @@ fn summarize_instr(i: &Instr) -> String {
             crate::instr::MpiIr::CommWorld => "MPI_COMM_WORLD".into(),
             crate::instr::MpiIr::CommSplit { .. } => "MPI_Comm_split".into(),
             crate::instr::MpiIr::CommDup { .. } => "MPI_Comm_dup".into(),
+            crate::instr::MpiIr::Isend { .. } => "MPI_Isend".into(),
+            crate::instr::MpiIr::Irecv { .. } => "MPI_Irecv".into(),
+            crate::instr::MpiIr::Wait { .. } => "MPI_Wait".into(),
+            crate::instr::MpiIr::Waitall { .. } => "MPI_Waitall".into(),
         },
         Instr::Print { .. } => "print".into(),
         Instr::Check(c) => format!("CHECK {c:?}"),

@@ -71,6 +71,40 @@ pub enum MpiIr {
         /// Duplicated communicator operand.
         comm: Value,
     },
+    /// Non-blocking (buffered) send; the destination register receives
+    /// a request handle that must be completed by `Wait`/`Waitall`.
+    Isend {
+        /// Payload.
+        value: Value,
+        /// Destination rank within `comm`.
+        dest: Value,
+        /// Tag.
+        tag: Value,
+        /// Communicator operand (None = `MPI_COMM_WORLD`).
+        comm: Option<Value>,
+    },
+    /// Non-blocking receive post. `src` may be the `MPI_ANY_SOURCE`
+    /// sentinel and `tag` the `MPI_ANY_TAG` sentinel
+    /// (`parcoach_front::ast::{ANY_SOURCE, ANY_TAG}`).
+    Irecv {
+        /// Source rank within `comm` (or `ANY_SOURCE`).
+        src: Value,
+        /// Tag (or `ANY_TAG`).
+        tag: Value,
+        /// Communicator operand (None = `MPI_COMM_WORLD`).
+        comm: Option<Value>,
+    },
+    /// `MPI_Wait(req)` — block until the request completes; the
+    /// destination register (if any) receives the received value.
+    Wait {
+        /// Request operand.
+        request: Value,
+    },
+    /// `MPI_Waitall(r1, …)` — complete every request, in operand order.
+    Waitall {
+        /// Request operands.
+        requests: Vec<Value>,
+    },
 }
 
 impl MpiIr {
@@ -82,9 +116,28 @@ impl MpiIr {
         }
     }
 
-    /// True for blocking point-to-point operations (send/recv).
+    /// True for point-to-point operations: blocking send/recv, the
+    /// non-blocking posts and their completions. All of them demand the
+    /// MPI thread level of their context (any thread of a team calling
+    /// them needs `MPI_THREAD_MULTIPLE`) without being errors there.
     pub fn is_p2p(&self) -> bool {
-        matches!(self, MpiIr::Send { .. } | MpiIr::Recv { .. })
+        matches!(
+            self,
+            MpiIr::Send { .. }
+                | MpiIr::Recv { .. }
+                | MpiIr::Isend { .. }
+                | MpiIr::Irecv { .. }
+                | MpiIr::Wait { .. }
+                | MpiIr::Waitall { .. }
+        )
+    }
+
+    /// True for the non-blocking request operations (posts and waits).
+    pub fn is_request_op(&self) -> bool {
+        matches!(
+            self,
+            MpiIr::Isend { .. } | MpiIr::Irecv { .. } | MpiIr::Wait { .. } | MpiIr::Waitall { .. }
+        )
     }
 
     /// Communicator-management collectives (`MPI_Comm_split`,

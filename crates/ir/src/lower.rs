@@ -925,6 +925,66 @@ impl<'a> Lowerer<'a> {
                 });
                 dest.into()
             }
+            MpiOp::Isend {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
+                let v = self.lower_expr(value);
+                let d = self.lower_expr(dest);
+                let t = self.lower_expr(tag);
+                let c = comm.as_ref().map(|e| self.lower_expr(e));
+                let req = self.fresh(Type::Request);
+                self.emit(Instr::Mpi {
+                    dest: Some(req),
+                    op: MpiIr::Isend {
+                        value: v,
+                        dest: d,
+                        tag: t,
+                        comm: c,
+                    },
+                    span,
+                });
+                req.into()
+            }
+            MpiOp::Irecv { src, tag, comm } => {
+                let s = self.lower_expr(src);
+                let t = self.lower_expr(tag);
+                let c = comm.as_ref().map(|e| self.lower_expr(e));
+                let req = self.fresh(Type::Request);
+                self.emit(Instr::Mpi {
+                    dest: Some(req),
+                    op: MpiIr::Irecv {
+                        src: s,
+                        tag: t,
+                        comm: c,
+                    },
+                    span,
+                });
+                req.into()
+            }
+            MpiOp::Wait { request } => {
+                let r = self.lower_expr(request);
+                let dest = self.fresh(Type::Float);
+                self.emit(Instr::Mpi {
+                    dest: Some(dest),
+                    op: MpiIr::Wait { request: r },
+                    span,
+                });
+                dest.into()
+            }
+            MpiOp::Waitall { requests } => {
+                let rs: Vec<Value> = requests.iter().map(|r| self.lower_expr(r)).collect();
+                self.emit(Instr::Mpi {
+                    dest: None,
+                    op: MpiIr::Waitall { requests: rs },
+                    span,
+                });
+                Value::int(0)
+            }
+            MpiOp::AnySource => Value::int(parcoach_front::ast::ANY_SOURCE),
+            MpiOp::AnyTag => Value::int(parcoach_front::ast::ANY_TAG),
             MpiOp::Collective(c) => {
                 let value = c.value.as_ref().map(|v| self.lower_expr(v));
                 let root = c.root.as_ref().map(|r| self.lower_expr(r));
@@ -1175,6 +1235,59 @@ mod tests {
         let f = m.main().unwrap();
         assert_eq!(f.collective_blocks().len(), 1);
         assert!(f.has_mpi());
+    }
+
+    #[test]
+    fn nonblocking_ops_lowered_with_request_registers() {
+        let m = lower(
+            "fn main() {
+                let r = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
+                let s = MPI_Isend(1.5, 0, 4);
+                let v = MPI_Wait(r);
+                MPI_Waitall(s);
+            }",
+        );
+        let f = m.main().unwrap();
+        let instrs: Vec<&Instr> = f.blocks.iter().flat_map(|b| &b.instrs).collect();
+        let irecv = instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::Mpi {
+                    dest: Some(d),
+                    op: MpiIr::Irecv { src, tag, comm },
+                    ..
+                } => Some((*d, *src, *tag, *comm)),
+                _ => None,
+            })
+            .expect("irecv lowered");
+        assert_eq!(f.reg_types[irecv.0.index()], Type::Request);
+        assert_eq!(
+            irecv.1,
+            Value::int(parcoach_front::ast::ANY_SOURCE),
+            "wildcard source lowers to the sentinel"
+        );
+        assert_eq!(irecv.2, Value::int(parcoach_front::ast::ANY_TAG));
+        assert_eq!(irecv.3, None);
+        assert!(instrs.iter().any(|i| matches!(
+            i,
+            Instr::Mpi {
+                dest: Some(_),
+                op: MpiIr::Isend { .. },
+                ..
+            }
+        )));
+        assert!(instrs.iter().any(|i| matches!(
+            i,
+            Instr::Mpi {
+                dest: Some(_),
+                op: MpiIr::Wait { .. },
+                ..
+            }
+        )));
+        assert!(instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Mpi { dest: None, op: MpiIr::Waitall { requests }, .. } if requests.len() == 1)));
+        assert!(f.has_p2p(), "request ops count as p2p blocks");
     }
 
     #[test]

@@ -152,6 +152,20 @@ fn local_fold_and_propagate(f: &mut FuncIr, stats: &mut OptStats) {
                         *color = resolve(*color, &known, stats);
                         *key = resolve(*key, &known, stats);
                     }
+                    // Request operands stay registers (opaque handles);
+                    // the scalar operands of the posts fold like their
+                    // blocking counterparts.
+                    crate::instr::MpiIr::Isend {
+                        value, dest, tag, ..
+                    } => {
+                        *value = resolve(*value, &known, stats);
+                        *dest = resolve(*dest, &known, stats);
+                        *tag = resolve(*tag, &known, stats);
+                    }
+                    crate::instr::MpiIr::Irecv { src, tag, .. } => {
+                        *src = resolve(*src, &known, stats);
+                        *tag = resolve(*tag, &known, stats);
+                    }
                     _ => {}
                 },
                 Instr::Check(_) => {}

@@ -84,6 +84,32 @@ pub fn instr_uses(i: &Instr) -> Vec<Reg> {
                 push_val(key, &mut out);
             }
             MpiIr::CommDup { comm } => push_val(comm, &mut out),
+            MpiIr::Isend {
+                value,
+                dest,
+                tag,
+                comm,
+            } => {
+                push_val(value, &mut out);
+                push_val(dest, &mut out);
+                push_val(tag, &mut out);
+                if let Some(c) = comm {
+                    push_val(c, &mut out);
+                }
+            }
+            MpiIr::Irecv { src, tag, comm } => {
+                push_val(src, &mut out);
+                push_val(tag, &mut out);
+                if let Some(c) = comm {
+                    push_val(c, &mut out);
+                }
+            }
+            MpiIr::Wait { request } => push_val(request, &mut out),
+            MpiIr::Waitall { requests } => {
+                for r in requests {
+                    push_val(r, &mut out);
+                }
+            }
             MpiIr::Init { .. } | MpiIr::Finalize | MpiIr::CommWorld => {}
         },
         Instr::Check(_) => {}

@@ -22,13 +22,32 @@ pub enum RankActivity {
     InRecv {
         /// Communicator handle the receive is posted on (0 = world).
         comm: usize,
-        /// Source rank awaited (local to `comm`).
-        src: usize,
-        /// Tag awaited.
-        tag: i64,
+        /// Source rank awaited (local to `comm`; None = `MPI_ANY_SOURCE`).
+        src: Option<usize>,
+        /// Tag awaited (None = `MPI_ANY_TAG`).
+        tag: Option<i64>,
+    },
+    /// Blocked in `MPI_Wait`/`MPI_Waitall` on a receive request.
+    InWait {
+        /// Request handle being waited on.
+        request: usize,
+        /// Communicator handle the receive was posted on (0 = world).
+        comm: usize,
+        /// Source rank awaited (local to `comm`; None = `MPI_ANY_SOURCE`).
+        src: Option<usize>,
+        /// Tag awaited (None = `MPI_ANY_TAG`).
+        tag: Option<i64>,
     },
     /// The rank's program has terminated.
     Finished,
+}
+
+/// Render an optional source/tag as its value or the wildcard name.
+fn opt_field(f: &mut fmt::Formatter<'_>, name: &str, v: Option<impl fmt::Display>) -> fmt::Result {
+    match v {
+        Some(x) => write!(f, "{name}={x}"),
+        None => write!(f, "{name}=ANY"),
+    }
 }
 
 impl fmt::Display for RankActivity {
@@ -39,7 +58,27 @@ impl fmt::Display for RankActivity {
                 write!(f, "blocked in collective #{seq} ({what})")
             }
             RankActivity::InRecv { comm, src, tag } => {
-                write!(f, "blocked in MPI_Recv(src={src}, tag={tag})")?;
+                write!(f, "blocked in MPI_Recv(")?;
+                opt_field(f, "src", *src)?;
+                write!(f, ", ")?;
+                opt_field(f, "tag", *tag)?;
+                write!(f, ")")?;
+                if *comm != 0 {
+                    write!(f, " on comm #{comm}")?;
+                }
+                Ok(())
+            }
+            RankActivity::InWait {
+                request,
+                comm,
+                src,
+                tag,
+            } => {
+                write!(f, "blocked in MPI_Wait(req #{request}: ")?;
+                opt_field(f, "src", *src)?;
+                write!(f, ", ")?;
+                opt_field(f, "tag", *tag)?;
+                write!(f, ")")?;
                 if *comm != 0 {
                     write!(f, " on comm #{comm}")?;
                 }
@@ -78,6 +117,17 @@ pub enum MpiError {
     },
     /// All live ranks are blocked and no collective can complete.
     Deadlock {
+        /// Activities of all ranks.
+        states: Vec<RankActivity>,
+    },
+    /// The wait-for graph (built over blocked receives and waits when
+    /// the liveness census fires) contains a genuine cycle: every rank
+    /// on it waits for a message only the next rank on the cycle could
+    /// send, and that rank is itself blocked.
+    WaitCycle {
+        /// Global ranks on the cycle, in wait-for order (the last
+        /// waits for the first).
+        cycle: Vec<usize>,
         /// Activities of all ranks.
         states: Vec<RankActivity>,
     },
@@ -139,6 +189,17 @@ impl fmt::Display for MpiError {
             }
             MpiError::Deadlock { states } => {
                 write!(f, "deadlock: all ranks blocked:")?;
+                for (r, s) in states.iter().enumerate() {
+                    write!(f, " [rank {r}: {s}]")?;
+                }
+                Ok(())
+            }
+            MpiError::WaitCycle { cycle, states } => {
+                write!(f, "wait-for cycle:")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    let next = cycle[(i + 1) % cycle.len()];
+                    write!(f, " rank {r} waits on rank {next};")?;
+                }
                 for (r, s) in states.iter().enumerate() {
                     write!(f, " [rank {r}: {s}]")?;
                 }

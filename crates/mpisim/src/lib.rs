@@ -609,7 +609,7 @@ mod tests {
             let peer = 1 - me;
             w.send_on(r, c, peer, 7, MpiValue::Int(r as i64), true)
                 .unwrap();
-            w.recv_on(r, c, peer, 7, true).unwrap()
+            w.recv_on(r, c, peer as i64, 7, true).unwrap()
         });
         // Parity classes {0,2} and {1,3}: each receives its peer's rank.
         assert_eq!(
@@ -643,6 +643,203 @@ mod tests {
             let world_row = rows.iter().find(|(h, _, _)| *h == 0).unwrap();
             assert_eq!((world_row.1, world_row.2), (0, 0));
         }
+    }
+
+    #[test]
+    fn isend_irecv_wait_roundtrip() {
+        let w = world(2);
+        let res = run_ranks(&w, 2, |r| {
+            let peer = 1 - r;
+            let rr = w.irecv(r, world::COMM_WORLD, peer as i64, 4, true).unwrap();
+            let sr = w
+                .isend(
+                    r,
+                    world::COMM_WORLD,
+                    peer,
+                    4,
+                    MpiValue::Int(10 + r as i64),
+                    true,
+                )
+                .unwrap();
+            let got = w.wait(r, rr, true).unwrap();
+            assert_eq!(w.wait(r, sr, true).unwrap(), MpiValue::Int(0));
+            got
+        });
+        assert_eq!(res, vec![MpiValue::Int(11), MpiValue::Int(10)]);
+    }
+
+    #[test]
+    fn wildcard_wait_takes_lowest_sender_first() {
+        use parcoach_front::ast::{ANY_SOURCE, ANY_TAG};
+        let w = world(3);
+        let res = run_ranks(&w, 3, |r| {
+            if r == 2 {
+                // Both peers have delivered before rank 2 posts: drain
+                // with wildcards and observe the deterministic order.
+                let bar = Signature::collective(CollectiveOp::Barrier, None, None, None);
+                w.collective(2, bar, None, true).unwrap();
+                let r1 = w
+                    .irecv(2, world::COMM_WORLD, ANY_SOURCE, ANY_TAG, true)
+                    .unwrap();
+                let r2 = w
+                    .irecv(2, world::COMM_WORLD, ANY_SOURCE, ANY_TAG, true)
+                    .unwrap();
+                let a = w.wait(2, r1, true).unwrap();
+                let b = w.wait(2, r2, true).unwrap();
+                vec![a, b]
+            } else {
+                w.send(r, 2, 7, MpiValue::Int(r as i64), true).unwrap();
+                let bar = Signature::collective(CollectiveOp::Barrier, None, None, None);
+                w.collective(r, bar, None, true).unwrap();
+                vec![]
+            }
+        });
+        // Lowest sender rank first, regardless of arrival interleaving.
+        assert_eq!(res[2], vec![MpiValue::Int(0), MpiValue::Int(1)]);
+    }
+
+    #[test]
+    fn blocking_recv_accepts_wildcards() {
+        use parcoach_front::ast::{ANY_SOURCE, ANY_TAG};
+        let w = world(2);
+        let res = run_ranks(&w, 2, |r| {
+            if r == 0 {
+                w.send(0, 1, 3, MpiValue::Float(2.5), true).unwrap();
+                MpiValue::Int(0)
+            } else {
+                w.recv(1, ANY_SOURCE, ANY_TAG, true).unwrap()
+            }
+        });
+        assert_eq!(res[1], MpiValue::Float(2.5));
+    }
+
+    #[test]
+    fn double_wait_is_an_error() {
+        let w = fast_world(1);
+        let h = w
+            .isend(0, world::COMM_WORLD, 0, 1, MpiValue::Int(1), true)
+            .unwrap();
+        assert_eq!(w.wait(0, h, true).unwrap(), MpiValue::Int(0));
+        let err = w.wait(0, h, true).unwrap_err();
+        assert!(matches!(err, MpiError::ArgError(_)), "{err:?}");
+    }
+
+    #[test]
+    fn concurrent_double_wait_is_an_error_not_a_steal() {
+        // Two threads of one rank wait on the same receive request
+        // under MPI_THREAD_MULTIPLE: exactly one completes it, the
+        // other must observe the retirement and error — not steal the
+        // next matching message.
+        let w = world(1);
+        w.init(0, ThreadLevel::Multiple);
+        let h = w.irecv(0, world::COMM_WORLD, 0, 1, true).unwrap();
+        let (a, b) = std::thread::scope(|s| {
+            let w1 = w.clone();
+            let ha = s.spawn(move || w1.wait(0, h, true));
+            let w2 = w.clone();
+            let hb = s.spawn(move || w2.wait(0, h, false));
+            std::thread::sleep(Duration::from_millis(50));
+            w.send(0, 0, 1, MpiValue::Int(7), true).unwrap();
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let results = [a, b];
+        assert_eq!(
+            results.iter().filter(|r| r.is_ok()).count(),
+            1,
+            "exactly one waiter completes: {results:?}"
+        );
+        assert!(
+            results
+                .iter()
+                .any(|r| matches!(r, Err(MpiError::ArgError(_)) | Err(MpiError::Aborted(_)))),
+            "the loser reports the double wait: {results:?}"
+        );
+    }
+
+    #[test]
+    fn wait_on_foreign_request_rejected() {
+        let w = fast_world(2);
+        let res = run_ranks(&w, 2, |r| {
+            if r == 0 {
+                let h = w
+                    .isend(0, world::COMM_WORLD, 1, 1, MpiValue::Int(1), true)
+                    .unwrap();
+                Ok(h)
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+                // Handle 0 was posted by rank 0.
+                w.wait(1, 0, true).map(|_| 0)
+            }
+        });
+        assert!(
+            matches!(
+                res[1],
+                Err(MpiError::ArgError(_)) | Err(MpiError::Aborted(_))
+            ),
+            "{:?}",
+            res[1]
+        );
+    }
+
+    #[test]
+    fn wait_cycle_detected_not_hung() {
+        // Both ranks post pinned irecvs and wait before sending: the
+        // wait-for graph 0 → 1 → 0 must be reported (and quickly — via
+        // the census, not the timeout).
+        let w = World::new(MpiConfig {
+            world_size: 2,
+            max_provided: ThreadLevel::Single,
+            op_timeout: Duration::from_secs(30),
+        });
+        let t0 = std::time::Instant::now();
+        let res = run_ranks(&w, 2, |r| {
+            w.init(r, ThreadLevel::Single);
+            let peer = 1 - r;
+            let h = w.irecv(r, world::COMM_WORLD, peer as i64, 7, true).unwrap();
+            let out = w.wait(r, h, true);
+            w.finish_rank(r);
+            out
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "cycle must be detected by the census, not the 30s timeout"
+        );
+        let cycle = res
+            .iter()
+            .find_map(|r| match r {
+                Err(MpiError::WaitCycle { cycle, .. }) => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("wait-for cycle reported");
+        let mut sorted = cycle;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn leaked_irecv_shows_in_census() {
+        // Rank 1's message is never consumed (the irecv is posted but
+        // never waited): the pre-finalize census reads 1 sent / 0
+        // received.
+        let w = world(2);
+        let res = run_ranks(&w, 2, |r| {
+            if r == 0 {
+                let _leaked = w.irecv(0, world::COMM_WORLD, 1, 5, true).unwrap();
+            } else {
+                w.send(1, 0, 5, MpiValue::Int(9), true).unwrap();
+            }
+            w.p2p_census(r, true).unwrap()
+        });
+        let world_row = res[0].iter().find(|(h, _, _)| *h == 0).unwrap();
+        assert_eq!((world_row.1, world_row.2), (1, 0));
+    }
+
+    #[test]
+    fn send_rejects_wildcard_tags() {
+        use parcoach_front::ast::ANY_TAG;
+        let w = fast_world(1);
+        let err = w.send(0, 0, ANY_TAG, MpiValue::Int(1), true).unwrap_err();
+        assert!(matches!(err, MpiError::ArgError(_)), "{err:?}");
     }
 
     #[test]

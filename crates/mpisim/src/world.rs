@@ -21,19 +21,34 @@
 //! communicator-scoped operations are *local* ranks within that
 //! communicator.
 //!
+//! ## Non-blocking point-to-point
+//!
+//! [`World::isend`] buffers its message immediately (eager protocol,
+//! like the blocking [`World::send_on`]) and returns a **request**
+//! handle that completes trivially at [`World::wait`]. [`World::irecv`]
+//! registers a receive post — optionally wildcarded with
+//! `MPI_ANY_SOURCE` / `MPI_ANY_TAG` — without blocking; the matching
+//! message is consumed at the `wait`. Wildcard matching is
+//! **deterministic**: among all buffered candidates the lowest sender
+//! rank wins, then the earliest arrival.
+//!
 //! ## Deadlock detection
 //!
 //! A real MPI run with mismatched collective *counts* hangs. Here every
 //! blocking wait participates in a liveness census: when **all** ranks
-//! are blocked (collective/recv) or finished and nothing can complete
-//! on any communicator, the world aborts with a per-rank activity dump;
-//! a rank finishing while others wait in a collective aborts
+//! are blocked (collective/recv/wait) or finished and nothing can
+//! complete on any communicator, the world aborts with a per-rank
+//! activity dump. Before declaring a generic deadlock the census builds
+//! a **wait-for graph** over the blocked receives and waits (an edge
+//! rank → r when rank awaits a message only r could send); a genuine
+//! cycle is reported as [`MpiError::WaitCycle`] naming the ranks on it.
+//! A rank finishing while others wait in a collective aborts
 //! immediately.
 
 use crate::error::{MpiError, RankActivity};
 use crate::signature::{CollectiveOp, Signature};
 use crate::value::{reduce_array, reduce_scalar, MpiType, MpiValue};
-use parcoach_front::ast::{ReduceOp, ThreadLevel};
+use parcoach_front::ast::{ReduceOp, ThreadLevel, ANY_SOURCE, ANY_TAG};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -130,14 +145,94 @@ impl CommState {
     }
 }
 
+/// State of one non-blocking request.
+#[derive(Debug, Clone)]
+enum RequestState {
+    /// A buffered isend: complete at post time, `wait` just retires it.
+    SendDone,
+    /// An irecv post awaiting a matching message.
+    RecvPending {
+        /// Communicator the post is on.
+        comm: usize,
+        /// Pinned local source (None = `MPI_ANY_SOURCE`).
+        src: Option<usize>,
+        /// Pinned tag (None = `MPI_ANY_TAG`).
+        tag: Option<i64>,
+    },
+    /// Completed and retired by a wait; further waits are errors.
+    Retired,
+}
+
+/// One non-blocking request, owned by the rank that posted it.
+#[derive(Debug, Clone)]
+struct Request {
+    owner: usize,
+    state: RequestState,
+}
+
 struct WorldState {
     comms: Vec<CommState>,
     activity: Vec<RankActivity>,
     mailboxes: Vec<Vec<Message>>,
+    /// All non-blocking requests ever posted; handles index this table.
+    requests: Vec<Request>,
     abort: Option<MpiError>,
     provided: Option<ThreadLevel>,
     /// Number of MPI calls currently in flight per rank (threads).
     in_flight: Vec<usize>,
+}
+
+/// Index of the buffered message a (possibly wildcarded) receive should
+/// take: lowest sender rank first, then earliest arrival — the
+/// deterministic wildcard tie-break.
+fn matching_message(
+    mailbox: &[Message],
+    comm: usize,
+    src: Option<usize>,
+    tag: Option<i64>,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, m) in mailbox.iter().enumerate() {
+        if m.comm != comm {
+            continue;
+        }
+        if src.is_some_and(|s| m.src != s) {
+            continue;
+        }
+        if tag.is_some_and(|t| m.tag != t) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if m.src < mailbox[b].src => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Decode a sentinel-encoded (source, tag) receive key: `ANY_SOURCE` /
+/// `ANY_TAG` become wildcards, other negative values are errors.
+fn decode_recv_key(src: i64, tag: i64) -> Result<(Option<usize>, Option<i64>), MpiError> {
+    let s = match src {
+        ANY_SOURCE => None,
+        s if s < 0 => {
+            return Err(MpiError::ArgError(format!(
+                "receive source {s} is neither a rank nor MPI_ANY_SOURCE"
+            )))
+        }
+        s => Some(s as usize),
+    };
+    let t = match tag {
+        ANY_TAG => None,
+        t if t < 0 => {
+            return Err(MpiError::ArgError(format!(
+                "receive tag {t} is neither a tag nor MPI_ANY_TAG"
+            )))
+        }
+        t => Some(t),
+    };
+    Ok((s, t))
 }
 
 /// The simulated MPI world. Shared by all rank threads via `Arc`.
@@ -181,6 +276,7 @@ impl World {
                 comms: vec![CommState::new((0..size).collect())],
                 activity: vec![RankActivity::Running; size],
                 mailboxes: vec![Vec::new(); size],
+                requests: Vec::new(),
                 abort: None,
                 provided: None,
                 in_flight: vec![0; size],
@@ -493,29 +589,40 @@ impl World {
         is_initial_thread: bool,
     ) -> Result<(), MpiError> {
         self.enter_mpi(rank, is_initial_thread)?;
-        let result = (|| {
+        let result = {
             let mut st = self.state.lock();
-            let Some(c) = st.comms.get(comm) else {
-                return Err(bad_comm(comm));
-            };
-            let Some(src_local) = c.local_rank(rank) else {
-                return Err(not_member(rank, comm));
-            };
-            if dest >= c.members.len() {
-                return Err(MpiError::ArgError(format!(
-                    "send destination {dest} out of range for communicator size {}",
-                    c.members.len()
-                )));
-            }
-            let global_dest = c.members[dest];
-            st.comms[comm].p2p_sent[src_local] += 1;
-            st.mailboxes[global_dest].push(Message {
-                comm,
-                src: src_local,
-                tag,
-                value,
+            deliver(&mut st, rank, comm, dest, tag, value)
+        };
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.cv.notify_all();
+        self.leave_mpi(rank);
+        result
+    }
+
+    /// `MPI_Isend`: buffered send on a communicator (the message is
+    /// delivered immediately, exactly like [`World::send_on`] — eager
+    /// protocol); returns a request handle that completes trivially at
+    /// [`World::wait`].
+    pub fn isend(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result: Result<usize, MpiError> = (|| {
+            let mut st = self.state.lock();
+            deliver(&mut st, rank, comm, dest, tag, value)?;
+            st.requests.push(Request {
+                owner: rank,
+                state: RequestState::SendDone,
             });
-            Ok(())
+            Ok(st.requests.len() - 1)
         })();
         if let Err(e) = &result {
             self.abort(e.clone());
@@ -523,6 +630,157 @@ impl World {
         self.cv.notify_all();
         self.leave_mpi(rank);
         result
+    }
+
+    /// `MPI_Irecv`: non-blocking receive post on a communicator. `src`
+    /// may be [`parcoach_front::ast::ANY_SOURCE`] and `tag` may be
+    /// [`parcoach_front::ast::ANY_TAG`]; otherwise both must be
+    /// non-negative (and `src` a member of `comm`). Never blocks — the
+    /// matching message is consumed by [`World::wait`].
+    pub fn irecv(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = (|| {
+            let (s, t) = decode_recv_key(src, tag)?;
+            let mut st = self.state.lock();
+            let Some(c) = st.comms.get(comm) else {
+                return Err(bad_comm(comm));
+            };
+            if c.local_rank(rank).is_none() {
+                return Err(not_member(rank, comm));
+            }
+            if let Some(s) = s {
+                if s >= c.members.len() {
+                    return Err(MpiError::ArgError(format!(
+                        "irecv source {s} out of range for communicator size {}",
+                        c.members.len()
+                    )));
+                }
+            }
+            st.requests.push(Request {
+                owner: rank,
+                state: RequestState::RecvPending {
+                    comm,
+                    src: s,
+                    tag: t,
+                },
+            });
+            Ok(st.requests.len() - 1)
+        })();
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.leave_mpi(rank);
+        result
+    }
+
+    /// `MPI_Wait`: block until `request` completes. Send requests
+    /// retire immediately (returning `Int(0)`); receive requests block
+    /// until a matching message is buffered, consume it (deterministic
+    /// wildcard tie-break: lowest sender rank first, then earliest
+    /// arrival) and return its value. Waiting twice on one request, or
+    /// on another rank's request, is an argument error.
+    pub fn wait(
+        &self,
+        rank: usize,
+        request: usize,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.wait_inner(rank, request);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn wait_inner(&self, rank: usize, request: usize) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        let req = match st.requests.get(request).cloned() {
+            Some(r) => r,
+            None => {
+                let err = MpiError::ArgError(format!("invalid request handle #{request}"));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+        };
+        if req.owner != rank {
+            let err = MpiError::ArgError(format!(
+                "rank {rank} cannot wait on request #{request} posted by rank {}",
+                req.owner
+            ));
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        }
+        let (comm, src, tag) = match req.state {
+            RequestState::SendDone => {
+                st.requests[request].state = RequestState::Retired;
+                return Ok(MpiValue::Int(0));
+            }
+            RequestState::Retired => {
+                let err = MpiError::ArgError(format!(
+                    "request #{request} was already completed by a previous wait"
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+            RequestState::RecvPending { comm, src, tag } => (comm, src, tag),
+        };
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            // Re-read the state every round: under MPI_THREAD_MULTIPLE a
+            // sibling thread waiting on the same request may have
+            // completed it while we slept — that is a double wait and
+            // must error, not steal the next matching message.
+            if matches!(st.requests[request].state, RequestState::Retired) {
+                let err = MpiError::ArgError(format!(
+                    "request #{request} was already completed by a previous wait"
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+            if let Some(pos) = matching_message(&st.mailboxes[rank], comm, src, tag) {
+                let msg = st.mailboxes[rank].remove(pos);
+                let my_local = st.comms[comm]
+                    .local_rank(rank)
+                    .expect("membership checked at post time");
+                st.comms[comm].p2p_recvd[my_local] += 1;
+                st.requests[request].state = RequestState::Retired;
+                st.activity[rank] = RankActivity::Running;
+                return Ok(msg.value);
+            }
+            st.activity[rank] = RankActivity::InWait {
+                request,
+                comm,
+                src,
+                tag,
+            };
+            if let Some(dl) = deadlock(&st) {
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!(
+                        "MPI_Wait(req #{request}){} on rank {rank}",
+                        comm_suffix(comm)
+                    ),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
     }
 
     /// Buffered send on `MPI_COMM_WORLD`.
@@ -538,12 +796,14 @@ impl World {
     }
 
     /// Blocking receive of a message from local rank `src` with `tag`
-    /// on a communicator.
+    /// on a communicator. `src` accepts [`parcoach_front::ast::ANY_SOURCE`]
+    /// and `tag` accepts [`parcoach_front::ast::ANY_TAG`] — the same
+    /// wildcards (and deterministic tie-break) as [`World::irecv`].
     pub fn recv_on(
         &self,
         rank: usize,
         comm: usize,
-        src: usize,
+        src: i64,
         tag: i64,
         is_initial_thread: bool,
     ) -> Result<MpiValue, MpiError> {
@@ -557,7 +817,7 @@ impl World {
     pub fn recv(
         &self,
         rank: usize,
-        src: usize,
+        src: i64,
         tag: i64,
         is_initial_thread: bool,
     ) -> Result<MpiValue, MpiError> {
@@ -568,11 +828,18 @@ impl World {
         &self,
         rank: usize,
         comm: usize,
-        src: usize,
+        src: i64,
         tag: i64,
     ) -> Result<MpiValue, MpiError> {
         let deadline = Instant::now() + self.cfg.op_timeout;
         let mut st = self.state.lock();
+        let (src, tag) = match decode_recv_key(src, tag) {
+            Ok(k) => k,
+            Err(err) => {
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+        };
         let Some(c) = st.comms.get(comm) else {
             let err = bad_comm(comm);
             self.abort_locked(&mut st, err.clone());
@@ -583,22 +850,21 @@ impl World {
             self.abort_locked(&mut st, err.clone());
             return Err(err);
         };
-        if src >= c.members.len() {
-            let err = MpiError::ArgError(format!(
-                "recv source {src} out of range for communicator size {}",
-                c.members.len()
-            ));
-            self.abort_locked(&mut st, err.clone());
-            return Err(err);
+        if let Some(s) = src {
+            if s >= c.members.len() {
+                let err = MpiError::ArgError(format!(
+                    "recv source {s} out of range for communicator size {}",
+                    c.members.len()
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
         }
         loop {
             if let Some(e) = &st.abort {
                 return Err(MpiError::Aborted(e.to_string()));
             }
-            if let Some(pos) = st.mailboxes[rank]
-                .iter()
-                .position(|m| m.comm == comm && m.src == src && m.tag == tag)
-            {
+            if let Some(pos) = matching_message(&st.mailboxes[rank], comm, src, tag) {
                 let msg = st.mailboxes[rank].remove(pos);
                 st.comms[comm].p2p_recvd[my_local] += 1;
                 st.activity[rank] = RankActivity::Running;
@@ -614,7 +880,9 @@ impl World {
             if res.timed_out() {
                 let err = MpiError::Timeout {
                     what: format!(
-                        "MPI_Recv(src={src}, tag={tag}{}) on rank {rank}",
+                        "MPI_Recv(src={}, tag={}{}) on rank {rank}",
+                        value_or_any(src),
+                        value_or_any(tag),
                         comm_suffix(comm)
                     ),
                     states: st.activity.clone(),
@@ -782,6 +1050,46 @@ impl World {
     }
 }
 
+/// Deliver one buffered message — the shared core of the blocking and
+/// non-blocking sends: validates the destination and tag, bumps the
+/// sender's per-communicator counter and appends to the destination's
+/// mailbox.
+fn deliver(
+    st: &mut WorldState,
+    rank: usize,
+    comm: usize,
+    dest: usize,
+    tag: i64,
+    value: MpiValue,
+) -> Result<(), MpiError> {
+    if tag < 0 {
+        return Err(MpiError::ArgError(format!(
+            "send tag {tag} must be non-negative (wildcards are receive-only)"
+        )));
+    }
+    let Some(c) = st.comms.get(comm) else {
+        return Err(bad_comm(comm));
+    };
+    let Some(src_local) = c.local_rank(rank) else {
+        return Err(not_member(rank, comm));
+    };
+    if dest >= c.members.len() {
+        return Err(MpiError::ArgError(format!(
+            "send destination {dest} out of range for communicator size {}",
+            c.members.len()
+        )));
+    }
+    let global_dest = c.members[dest];
+    st.comms[comm].p2p_sent[src_local] += 1;
+    st.mailboxes[global_dest].push(Message {
+        comm,
+        src: src_local,
+        tag,
+        value,
+    });
+    Ok(())
+}
+
 fn bad_comm(comm: usize) -> MpiError {
     MpiError::ArgError(format!("invalid communicator handle #{comm}"))
 }
@@ -790,6 +1098,11 @@ fn not_member(rank: usize, comm: usize) -> MpiError {
     MpiError::ArgError(format!(
         "rank {rank} is not a member of communicator #{comm}"
     ))
+}
+
+/// Render an optional receive-key field as its value or `ANY`.
+fn value_or_any(v: Option<impl std::fmt::Display>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "ANY".into())
 }
 
 /// Suffix for activity/error strings; empty for the world.
@@ -915,15 +1228,15 @@ fn deadlock(st: &WorldState) -> Option<MpiError> {
     {
         return None;
     }
-    // A recv whose message is already buffered will complete.
+    // A recv/wait whose message is already buffered will complete.
     for (rank, act) in st.activity.iter().enumerate() {
-        if let RankActivity::InRecv { comm, src, tag } = act {
-            if st.mailboxes[rank]
-                .iter()
-                .any(|m| m.comm == *comm && m.src == *src && m.tag == *tag)
-            {
-                return None;
-            }
+        let (comm, src, tag) = match act {
+            RankActivity::InRecv { comm, src, tag }
+            | RankActivity::InWait { comm, src, tag, .. } => (*comm, *src, *tag),
+            _ => continue,
+        };
+        if matching_message(&st.mailboxes[rank], comm, src, tag).is_some() {
+            return None;
         }
     }
     // All blocked/finished and nothing completable.
@@ -934,9 +1247,63 @@ fn deadlock(st: &WorldState) -> Option<MpiError> {
     {
         return None; // clean exit
     }
+    // Genuine deadlock. Before reporting the generic form, build the
+    // wait-for graph over the blocked receives/waits: an edge
+    // rank → r exists when rank awaits a message only r could send
+    // (pinned source; nothing matching buffered — checked above). A
+    // cycle names the ranks that starve each other, the precise report
+    // a hung `MPI_Wait` chain deserves.
+    if let Some(cycle) = wait_for_cycle(st) {
+        return Some(MpiError::WaitCycle {
+            cycle,
+            states: st.activity.clone(),
+        });
+    }
     Some(MpiError::Deadlock {
         states: st.activity.clone(),
     })
+}
+
+/// Find a cycle in the wait-for graph of blocked pinned-source
+/// receives/waits, as global ranks in wait-for order.
+fn wait_for_cycle(st: &WorldState) -> Option<Vec<usize>> {
+    let n = st.activity.len();
+    let mut edge: Vec<Option<usize>> = vec![None; n];
+    for (rank, act) in st.activity.iter().enumerate() {
+        let (comm, src) = match act {
+            RankActivity::InRecv {
+                comm, src: Some(s), ..
+            }
+            | RankActivity::InWait {
+                comm, src: Some(s), ..
+            } => (*comm, *s),
+            _ => continue,
+        };
+        let Some(c) = st.comms.get(comm) else {
+            continue;
+        };
+        let Some(&awaited_global) = c.members.get(src) else {
+            continue;
+        };
+        edge[rank] = Some(awaited_global);
+    }
+    for start in 0..n {
+        let mut cur = start;
+        let mut path = Vec::new();
+        let mut on_path = vec![false; n];
+        while let Some(next) = edge[cur] {
+            if on_path[cur] {
+                break; // cycle not through `start`; a later start finds it
+            }
+            on_path[cur] = true;
+            path.push(cur);
+            cur = next;
+            if cur == start {
+                return Some(path);
+            }
+        }
+    }
+    None
 }
 
 /// Compute per-(local-)rank results once all payloads arrived.

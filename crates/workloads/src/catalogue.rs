@@ -260,7 +260,8 @@ fn main() {
         // ---- point-to-point and sub-communicator errors ------------------
         ErrorCase {
             id: "p2p-recv-before-send",
-            description: "head-to-head recv-then-send deadlock on every rank",
+            description: "head-to-head recv-then-send deadlock on every rank \
+                          (the wait-for-graph detector names the cycle)",
             source: r#"
 fn main() {
     MPI_Init();
@@ -272,7 +273,7 @@ fn main() {
 "#
             .into(),
             expect_static: ExpectStatic::Warns("mismatched-order"),
-            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
         },
         ErrorCase {
             id: "p2p-tag-mismatch-subcomm",
@@ -333,6 +334,126 @@ fn main() {
     let peer = size() - 1 - rank();
     parallel num_threads(2) {
         MPI_Send(thread_num(), peer, 3);
+    }
+    let a = MPI_Recv(peer, 3);
+    let b = MPI_Recv(peer, 3);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("insufficient-thread-level"),
+            expect_dynamic: ExpectDynamic::MayFail,
+        },
+        // ---- non-blocking / wildcard / request errors --------------------
+        ErrorCase {
+            id: "request-leak-isend",
+            description: "MPI_Isend whose request is never waited and whose \
+                          message no receive consumes (latent; the request \
+                          pass and the p2p census both catch it)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let s = MPI_Isend(42, peer, 5);
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("unwaited-request"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "request-wait-never-posted-send",
+            description: "wait on an irecv whose matching send is never \
+                          posted by any rank",
+            source: r#"
+fn main() {
+    MPI_Init();
+    if (rank() == 0) {
+        let r = MPI_Irecv(1, 9);
+        let v = MPI_Wait(r);
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("unmatched-p2p"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "nonblocking-wait-cycle",
+            description: "head-to-head wait cycle: every rank waits on its \
+                          irecv before sending (the wait-for-graph detector \
+                          terminates the run instead of hanging)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let r = MPI_Irecv(peer, 7);
+    let v = MPI_Wait(r);
+    MPI_Send(rank(), peer, 7);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("mismatched-order"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "nonblocking-waitall-cycle-two-comms",
+            description: "waitall cycle across two communicators: both \
+                          pending receives precede every matching send",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_dup(MPI_COMM_WORLD);
+    let peer = size() - 1 - rank();
+    let r1 = MPI_Irecv(peer, 1);
+    let r2 = MPI_Irecv(peer, 2, c);
+    MPI_Waitall(r1, r2);
+    MPI_Send(1.0, peer, 1);
+    MPI_Send(2.0, peer, 2, c);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("mismatched-order"),
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "wildcard-pinned-deadlock",
+            description: "receive pinned to the wrong source (classic \
+                          off-by-one): correct under MPI_ANY_SOURCE (see \
+                          ok-wildcard-anysource), a wait-for self-loop when \
+                          pinned",
+            source: r#"
+fn main() {
+    MPI_Init();
+    if (rank() == 0) {
+        let r = MPI_Irecv(0, 6);
+        let v = MPI_Wait(r);
+    } else {
+        MPI_Send(1.5, 0, 6);
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::CaughtByCheck,
+        },
+        ErrorCase {
+            id: "nonblocking-insufficient-thread-level",
+            description: "whole-team isend/wait under SERIALIZED (needs \
+                          MULTIPLE)",
+            source: r#"
+fn main() {
+    MPI_Init_thread(SERIALIZED);
+    let peer = size() - 1 - rank();
+    parallel num_threads(2) {
+        let s = MPI_Isend(thread_num(), peer, 3);
+        let v = MPI_Wait(s);
     }
     let a = MPI_Recv(peer, 3);
     let b = MPI_Recv(peer, 3);
@@ -517,6 +638,89 @@ fn main() {
             expect_dynamic: ExpectDynamic::Clean,
         },
         ErrorCase {
+            id: "ok-nonblocking-pingpong",
+            description: "post the irecv, send, then wait — the correct \
+                          non-blocking exchange (deferred completion keeps \
+                          the order pass quiet)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let r = MPI_Irecv(peer, 4);
+    MPI_Send(rank() + 1, peer, 4);
+    let v = MPI_Wait(r);
+    print(v);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-wildcard-anysource",
+            description: "wildcard receive: the collector accepts the token \
+                          from any source (the correct version of \
+                          wildcard-pinned-deadlock)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    if (rank() == 0) {
+        let r = MPI_Irecv(MPI_ANY_SOURCE, 6);
+        let v = MPI_Wait(r);
+        print(v);
+    } else {
+        MPI_Send(1.5, 0, 6);
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-nonblocking-waitall-exchange",
+            description: "two-tag exchange completed by one waitall over all \
+                          four requests",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let r1 = MPI_Irecv(peer, 1);
+    let r2 = MPI_Irecv(peer, 2);
+    let s1 = MPI_Isend(10 + rank(), peer, 1);
+    let s2 = MPI_Isend(20 + rank(), peer, 2);
+    MPI_Waitall(r1, r2, s1, s2);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "ok-wildcard-subcomm",
+            description: "fully wildcarded receive on a duplicated \
+                          communicator: its matching space is separate, so \
+                          world traffic cannot be stolen",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_dup(MPI_COMM_WORLD);
+    let peer = size() - 1 - rank();
+    let r = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG, c);
+    let s = MPI_Isend(rank() + 1, peer, 5, c);
+    MPI_Barrier();
+    MPI_Waitall(r, s);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
             id: "ok-balanced-branches",
             description: "same collective on both branches (refinement removes \
                           the PDF+ candidate)",
@@ -566,6 +770,22 @@ pub fn paper_ref(id: &str) -> &'static str {
         }
         "ok-subcomm-allreduce" => "extension: per-communicator matching (correct control)",
         "ok-balanced-branches" => "extension: balanced-arms refinement",
+        "request-leak-isend" | "request-wait-never-posted-send" => {
+            "extension: request life-cycle (leaked request / never-produced message)"
+        }
+        "nonblocking-wait-cycle" | "nonblocking-waitall-cycle-two-comms" => {
+            "extension: deferred completion + wait-for graph"
+        }
+        "wildcard-pinned-deadlock" | "ok-wildcard-anysource" => {
+            "extension: wildcard receives (arXiv:2508.18667 §asynchronous matching)"
+        }
+        "nonblocking-insufficient-thread-level" => {
+            "extension: non-blocking thread levels (MPIxThreads)"
+        }
+        "ok-nonblocking-pingpong" | "ok-nonblocking-waitall-exchange" => {
+            "extension: non-blocking p2p (correct controls)"
+        }
+        "ok-wildcard-subcomm" => "extension: wildcard matching per communicator",
         _ => "unmapped",
     }
 }
@@ -620,7 +840,7 @@ mod tests {
     #[test]
     fn catalogue_is_well_formed() {
         let cases = error_catalogue();
-        assert!(cases.len() >= 29);
+        assert!(cases.len() >= 38);
         let mut ids: Vec<_> = cases.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();

@@ -220,6 +220,77 @@ fn main() {
     assert!(!run.is_clean(), "{:?}", run.errors);
 }
 
+/// A genuine wait cycle must terminate via the wait-for-graph detector
+/// — quickly (the liveness census, not the operation timeout) and as a
+/// check detection naming the cycle.
+#[test]
+fn wait_cycle_terminates_via_wait_for_graph() {
+    let case = error_catalogue()
+        .into_iter()
+        .find(|c| c.id == "nonblocking-wait-cycle")
+        .expect("catalogue case exists");
+    // Generous op timeout: if the detector regressed, the census would
+    // not fire and this test would sit in the blocking wait instead of
+    // finishing in milliseconds.
+    let cfg = RunConfig {
+        ranks: 2,
+        default_threads: 2,
+        mpi_timeout: std::time::Duration::from_secs(30),
+        ..RunConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (report, run) = check_and_run(case.id, &case.source, cfg, true).unwrap();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(10),
+        "wait cycle must be detected by the census, not the 30s timeout"
+    );
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "mismatched-order"),
+        "{:?}",
+        report.warnings
+    );
+    assert!(!run.is_clean());
+    assert!(run.detected_by_check(), "{:?}", run.errors);
+    assert!(
+        run.errors.iter().any(|e| e.kind.code() == "wait-cycle"),
+        "{:?}",
+        run.errors
+    );
+}
+
+/// A leaked request (isend never waited, message never received) is
+/// silent uninstrumented but caught by the pre-finalize census when
+/// instrumented — the non-blocking sibling of `p2p_census_catches_leak_in_helper`.
+#[test]
+fn leaked_request_caught_by_census() {
+    let case = error_catalogue()
+        .into_iter()
+        .find(|c| c.id == "request-leak-isend")
+        .expect("catalogue case exists");
+    let (report, run) =
+        check_and_run(case.id, &case.source, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "unwaited-request"),
+        "{:?}",
+        report.warnings
+    );
+    assert!(!run.is_clean());
+    assert!(run.detected_by_check(), "{:?}", run.errors);
+    let (_r, plain) =
+        check_and_run(case.id, &case.source, RunConfig::fast_fail(2, 2), false).unwrap();
+    assert!(
+        plain.is_clean(),
+        "latent without the census: {:?}",
+        plain.errors
+    );
+}
+
 /// Scaling smoke test: more ranks and threads still work.
 #[test]
 fn four_ranks_four_threads() {

@@ -270,6 +270,87 @@ fn world_only_analysis_matches_single_comm_path() {
     }
 }
 
+/// Generator for the request-equivalence property: hybrid programs that
+/// mix collectives and *blocking* point-to-point but never touch a
+/// non-blocking request — the pre-refactor language surface.
+fn random_blocking_only_program(rng: &mut Rng) -> String {
+    let stmt = |rng: &mut Rng| match rng.below(6) {
+        0 => "MPI_Barrier();".to_string(),
+        1 => "acc = acc + int_of(MPI_Allreduce(1.0, SUM));".to_string(),
+        // Matched self-send/recv pair (blocking path only).
+        2 => "MPI_Send(acc, rank(), 11); \
+              let rv = MPI_Recv(rank(), 11); \
+              acc = acc + int_of(rv) % 3;"
+            .to_string(),
+        3 => "if (rank() == 0) { MPI_Barrier(); }".to_string(),
+        4 => {
+            let n = rng.range_i64(1, 4);
+            format!("for (i{n} in 0..{n}) {{ acc = acc + i{n}; }}")
+        }
+        _ => "parallel num_threads(2) {
+                single { let x = MPI_Allreduce(1, SUM); }
+            }"
+        .to_string(),
+    };
+    let n = rng.range_usize(1, 6);
+    let stmts: Vec<String> = (0..n).map(|_| stmt(rng)).collect();
+    format!(
+        "fn main() {{
+            MPI_Init_thread(SERIALIZED);
+            let acc = 1;
+            {}
+            print(acc);
+            MPI_Finalize();
+        }}",
+        stmts.join("\n")
+    )
+}
+
+/// The non-blocking/request generalization must be invisible on modules
+/// that never use requests: analysing with the request life-cycle pass
+/// enabled (the default) and with it disabled (the pre-refactor
+/// blocking path) must produce **byte-identical** reports — at
+/// `jobs = 1` and `jobs = 4` alike. The mirror of PR 3's
+/// `world_only_analysis_matches_single_comm_path`.
+#[test]
+fn no_request_modules_match_blocking_path() {
+    use parcoach::analysis::analyze_module_with;
+    use parcoach::pool::{Pool, PoolConfig};
+    let pool1 = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 11,
+    });
+    let pool4 = Pool::new(PoolConfig {
+        jobs: 4,
+        deterministic: true,
+        seed: 11,
+    });
+    let with_requests = AnalysisOptions::default();
+    let blocking_path = AnalysisOptions {
+        check_requests: false,
+        ..AnalysisOptions::default()
+    };
+    for seed in 400..(400 + 12 * parcoach_testutil::case_budget(1)) {
+        let src = random_blocking_only_program(&mut Rng::new(seed));
+        let unit = parse_and_check("gen.mh", &src)
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
+        let module = lower_program(&unit.program, &unit.signatures);
+        let baseline = format!("{:?}", analyze_module_with(&module, &blocking_path, &pool1));
+        for (label, opts, pool) in [
+            ("with-requests jobs=1", &with_requests, &pool1),
+            ("with-requests jobs=4", &with_requests, &pool4),
+            ("blocking-path jobs=4", &blocking_path, &pool4),
+        ] {
+            let report = format!("{:?}", analyze_module_with(&module, opts, pool));
+            assert_eq!(
+                report, baseline,
+                "seed {seed}: {label} report differs from the blocking path in\n{src}"
+            );
+        }
+    }
+}
+
 /// Wider worlds are affordable now that rank threads are pooled: a
 /// collective program over 8 ranks (16 under the extended budget), with
 /// the result checked exactly.
