@@ -1,0 +1,64 @@
+//! E10 (extension) — PDF+ memoization ablation.
+//!
+//! The fact store computes each function's per-block post-dominance
+//! frontiers **once** and serves every event set's `PDF+` from a
+//! memoizing engine; before the refactor the matching phase recomputed
+//! the full frontier per event set. This ablation runs the static
+//! analysis with the memo on (`pdf_memo: true`, the default) and off
+//! (the legacy recompute path, kept report-identical — pinned by the
+//! `fact_store_matches_legacy_reports` property test) and reports the
+//! per-workload analysis and matching-phase minima.
+//!
+//! Usage: `cargo run --release -p parcoach-bench --bin ablation_pdf_memo [A|B|C] [reps]`
+
+use parcoach_bench::{lower_workload, static_phase_breakdown};
+use parcoach_core::AnalysisOptions;
+use parcoach_pool::{Pool, PoolConfig};
+use parcoach_workloads::{figure1_suite, WorkloadClass};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("A") => WorkloadClass::A,
+        Some("C") => WorkloadClass::C,
+        _ => WorkloadClass::B,
+    };
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+
+    // jobs = 1 so the per-function phase sums equal wall time and the
+    // two configurations are compared on identical schedules.
+    let pool = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 42,
+    });
+    let cached_opts = AnalysisOptions::default();
+    let uncached_opts = AnalysisOptions {
+        pdf_memo: false,
+        ..AnalysisOptions::default()
+    };
+
+    println!("E10 — PDF+ memoization ablation (class {class:?}, {reps} reps, min)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "bench", "analyze", "analyze-uncached", "matching", "matching-unc", "match x"
+    );
+    for w in figure1_suite(class) {
+        let module = lower_workload(&w);
+        let cached = static_phase_breakdown(&module, &cached_opts, &pool, reps);
+        let uncached = static_phase_breakdown(&module, &uncached_opts, &pool, reps);
+        let ms = |d: std::time::Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
+        let ratio = uncached.matching.as_secs_f64() / cached.matching.as_secs_f64().max(1e-9);
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14} {:>8.2}x",
+            w.name,
+            ms(cached.total),
+            ms(uncached.total),
+            ms(cached.matching),
+            ms(uncached.matching),
+            ratio,
+        );
+    }
+}

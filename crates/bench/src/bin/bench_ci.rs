@@ -21,13 +21,16 @@
 //!   not.
 //!
 //! ```text
-//! bench_ci [--out FILE] [--baseline FILE] [--tolerance PCT] [--write-baseline FILE]
+//! bench_ci [--out FILE] [--baseline FILE] [--phases-out FILE]
+//!          [--tolerance PCT] [--write-baseline FILE]
 //! ```
 //!
 //! Exit codes: 0 = ok, 1 = regression (> tolerance) or detection
 //! failure, 3 = usage error.
 
-use parcoach_bench::{compile_suite_concurrent, compile_with_codegen, measure};
+use parcoach_bench::{
+    compile_suite_concurrent, compile_with_codegen, lower_workload, measure, static_phase_breakdown,
+};
 use parcoach_core::{analyze_module_with, AnalysisOptions};
 use parcoach_front::parse_and_check;
 use parcoach_interp::{check_and_run, RunConfig};
@@ -46,6 +49,8 @@ use std::time::{Duration, Instant};
 const COMPILE_REPS: usize = 15;
 /// Repetitions for the informational analyze speedup probe.
 const ANALYZE_REPS: usize = 21;
+/// Repetitions for the per-phase breakdown probes (min per phase).
+const PHASE_REPS: usize = 15;
 /// Extra measurement attempts for a gated aggregate that lands over
 /// tolerance (the fastest attempt is kept).
 const GATE_RETRIES: usize = 2;
@@ -78,6 +83,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut out_path = "BENCH_ci.json".to_string();
     let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut phases_path = "BENCH_phases.json".to_string();
     let mut write_baseline: Option<String> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut i = 0;
@@ -91,6 +97,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         match args[i].as_str() {
             "--out" => out_path = take(&mut i)?,
             "--baseline" => baseline_path = take(&mut i)?,
+            "--phases-out" => phases_path = take(&mut i)?,
             "--write-baseline" => write_baseline = Some(take(&mut i)?),
             "--tolerance" => {
                 tolerance = take(&mut i)?
@@ -206,10 +213,27 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
     );
 
+    // --- per-phase static-analysis breakdown (informational) -------------
+    // The fact-store refactor's target metric: `matching` no longer
+    // recomputes per-block frontiers per event set. Recorded per phase
+    // into the main JSON (trend spelunking) and mirrored into a compact
+    // phases-only file uploaded as its own CI artifact; the cached vs
+    // uncached totals are the E10 memoization ablation.
+    let phase_records = phase_breakdown();
+    let mut phases_only: BTreeMap<String, u64> = BTreeMap::new();
+    phases_only.insert("calibration_ns".into(), calibration_ns);
+    for (key, ns) in &phase_records {
+        results.insert(format!("info/{key}"), *ns);
+        phases_only.insert(key.clone(), *ns);
+    }
+
     // --- write ------------------------------------------------------------
     let json = to_json(&results);
     std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+    let phases_json = to_json(&phases_only);
+    std::fs::write(&phases_path, &phases_json).map_err(|e| format!("write {phases_path}: {e}"))?;
+    println!("wrote {phases_path}");
     if let Some(p) = write_baseline {
         std::fs::write(&p, &json).map_err(|e| format!("write {p}: {e}"))?;
         println!("wrote baseline {p}");
@@ -384,6 +408,60 @@ fn detection_pass() -> bool {
         }
     }
     all_ok
+}
+
+/// Per-phase static-analysis minima for the EPCC and HERA class-B
+/// workloads on a 1-lane deterministic pool (at `jobs = 1` the
+/// per-function phase sums equal wall time, so the breakdown is
+/// directly comparable run to run), plus the E10 memoization ablation:
+/// the same analysis with the PDF+ memo disabled (`pdf_memo: false`,
+/// the recompute-per-event-set engine the fact store replaced).
+fn phase_breakdown() -> Vec<(String, u64)> {
+    let pool = Pool::new(PoolConfig {
+        jobs: 1,
+        deterministic: true,
+        seed: 42,
+    });
+    let cached_opts = AnalysisOptions::default();
+    let uncached_opts = AnalysisOptions {
+        pdf_memo: false,
+        ..AnalysisOptions::default()
+    };
+    let mut out = Vec::new();
+    for (label, w) in [
+        (
+            "epcc_b",
+            parcoach_workloads::epcc::generate(WorkloadClass::B),
+        ),
+        (
+            "hera_b",
+            parcoach_workloads::hera::generate(WorkloadClass::B),
+        ),
+    ] {
+        let module = lower_workload(&w);
+        let cached = static_phase_breakdown(&module, &cached_opts, &pool, PHASE_REPS);
+        let uncached = static_phase_breakdown(&module, &uncached_opts, &pool, PHASE_REPS);
+        for (phase, dur) in cached.lines() {
+            out.push((format!("phase/{label}/{phase}_ns"), dur.as_nanos() as u64));
+        }
+        out.push((
+            format!("phase/{label}/matching_uncached_ns"),
+            uncached.matching.as_nanos() as u64,
+        ));
+        out.push((
+            format!("phase/{label}/total_uncached_ns"),
+            uncached.total.as_nanos() as u64,
+        ));
+        let ratio = uncached.matching.as_secs_f64() / cached.matching.as_secs_f64().max(1e-9);
+        println!(
+            "phases {label}: total {:.3} ms, matching {:.3} ms \
+             (uncached PDF+ matching {:.3} ms → {ratio:.2}x)",
+            cached.total.as_secs_f64() * 1e3,
+            cached.matching.as_secs_f64() * 1e3,
+            uncached.matching.as_secs_f64() * 1e3,
+        );
+    }
+    out
 }
 
 /// Median analyze time of HERA class B under a 1-lane and a 4-lane

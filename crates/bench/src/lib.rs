@@ -11,7 +11,8 @@
 //! confidence intervals for the same quantities.
 
 use parcoach_core::{
-    analyze_module, instrument_module, AnalysisOptions, InstrumentMode, StaticReport,
+    analyze_module, analyze_module_timed, instrument_module, AnalysisOptions, InstrumentMode,
+    PhaseTimings, StaticReport,
 };
 use parcoach_front::parse_and_check;
 use parcoach_front::CheckedUnit;
@@ -62,6 +63,45 @@ pub fn compile_with_codegen(name: &str, src: &str) -> (Module, StaticReport) {
         let _ = parcoach_ir::opt::allocate(f);
     }
     (instrumented, report)
+}
+
+/// Lower a workload to its analysis-input IR (parse + sema + lower,
+/// no optimizer) — the module shape `analyze_module` sees inside the
+/// compile pipelines. Used by the static-phase micro-benches.
+pub fn lower_workload(w: &parcoach_workloads::Workload) -> Module {
+    let unit = parse_and_check(w.name, &w.source).expect("workload compiles");
+    lower_program(&unit.program, &unit.signatures)
+}
+
+/// Per-phase static-analysis breakdown over `reps` repetitions (plus
+/// one warm-up): element-wise **minimum** per phase — the least
+/// noise-contaminated estimate of each phase's cost — with `total`
+/// likewise the fastest end-to-end run.
+pub fn static_phase_breakdown(
+    module: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+    reps: usize,
+) -> PhaseTimings {
+    let _ = analyze_module_timed(module, opts, pool); // warm-up
+    let mut best: Option<PhaseTimings> = None;
+    for _ in 0..reps.max(1) {
+        let (_r, t) = analyze_module_timed(module, opts, pool);
+        best = Some(match best {
+            None => t,
+            Some(b) => PhaseTimings {
+                contexts: b.contexts.min(t.contexts),
+                facts: b.facts.min(t.facts),
+                mono: b.mono.min(t.mono),
+                concurrency: b.concurrency.min(t.concurrency),
+                matching: b.matching.min(t.matching),
+                p2p: b.p2p.min(t.p2p),
+                requests: b.requests.min(t.requests),
+                total: b.total.min(t.total),
+            },
+        });
+    }
+    best.unwrap_or_default()
 }
 
 /// Timing statistics over repeated runs.
@@ -224,6 +264,19 @@ mod tests {
             let (_instr, report2) = compile_with_codegen(w.name, &w.source);
             assert_eq!(report.warnings.len(), report2.warnings.len());
         }
+    }
+
+    #[test]
+    fn phase_breakdown_covers_the_pipeline() {
+        let suite = figure1_suite(WorkloadClass::A);
+        let w = suite.iter().find(|w| w.name == "EPCC").unwrap();
+        let m = lower_workload(w);
+        let t = static_phase_breakdown(&m, &AnalysisOptions::default(), parcoach_pool::global(), 3);
+        assert!(t.total > Duration::ZERO);
+        // The per-function phases all ran on a collective-rich workload.
+        assert!(t.matching > Duration::ZERO);
+        assert!(t.mono > Duration::ZERO);
+        assert!(t.contexts > Duration::ZERO);
     }
 
     #[test]

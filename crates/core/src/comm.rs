@@ -182,10 +182,17 @@ pub struct ModuleComms {
     pub per_func: HashMap<String, FuncComms>,
 }
 
+/// Shared empty resolution for functions absent from the map.
+static EMPTY_FUNC_COMMS: FuncComms = FuncComms {
+    per_reg: Vec::new(),
+};
+
 impl ModuleComms {
-    /// Resolution for one function (empty resolution when absent).
-    pub fn of_func(&self, name: &str) -> FuncComms {
-        self.per_func.get(name).cloned().unwrap_or_default()
+    /// Borrowed resolution for one function (a shared empty resolution
+    /// when absent) — the analysis phases read this through
+    /// [`crate::facts::AnalysisCx`].
+    pub fn func(&self, name: &str) -> &FuncComms {
+        self.per_func.get(name).unwrap_or(&EMPTY_FUNC_COMMS)
     }
 
     /// Resolve a comm operand of an instruction in `func`.
@@ -338,7 +345,7 @@ mod tests {
     fn collective_comms(src: &str) -> Vec<CommId> {
         let (m, mc) = comms(src);
         let f = m.main().unwrap();
-        let fc = mc.of_func("main");
+        let fc = mc.func("main");
         let mut out = Vec::new();
         for b in &f.blocks {
             for i in &b.instrs {

@@ -23,14 +23,14 @@
 //! records that `MPI_THREAD_MULTIPLE` is required, which feeds the
 //! thread-level adequacy check.
 
-use crate::comm::{CommId, CommTable, FuncComms};
-use crate::pw::PwResult;
+use crate::comm::CommId;
+use crate::facts::AnalysisCx;
+use crate::intern::WordId;
 use crate::report::{StaticWarning, WarningKind};
 use parcoach_front::ast::ThreadLevel;
 use parcoach_front::span::Span;
 use parcoach_ir::func::FuncIr;
 use parcoach_ir::instr::{BlockKind, Directive, Instr, MpiIr, Terminator};
-use parcoach_ir::loops::LoopInfo;
 use parcoach_ir::types::{BlockId, RegionId};
 use std::collections::HashMap;
 
@@ -66,19 +66,20 @@ struct RegionColl {
     span: Span,
     name: &'static str,
     class: OpClass,
+    /// Interned entry word of the block (resolved via the module arena).
+    word: WordId,
     /// Index in the word of the innermost S token.
     s_pos: usize,
     region: RegionId,
 }
 
-/// Run phase 2 on one function.
-pub fn check_concurrency(
-    f: &FuncIr,
-    pw: &PwResult,
-    loops: &LoopInfo,
-    comms: &FuncComms,
-    table: &CommTable,
-) -> ConcurrencyResult {
+/// Run phase 2 on one function, reading words, loops and communicator
+/// resolutions from the fact store.
+pub fn check_concurrency(cx: &AnalysisCx, fidx: usize) -> ConcurrencyResult {
+    let f = &cx.module.funcs[fidx];
+    let facts = &cx.funcs[fidx];
+    let comms = cx.comms_of(fidx);
+    let table = &cx.comms.table;
     let mut out = ConcurrencyResult::default();
 
     // Collect MPI nodes in monothreaded regions (words ending in S
@@ -101,7 +102,12 @@ pub fn check_concurrency(
     }
     mpi_blocks.sort_unstable();
     for bid in mpi_blocks {
-        let Some(w) = pw.word_at(bid) else { continue };
+        // None covers unreachable blocks and conflict states alike —
+        // exactly the blocks the old `word_at` lookup skipped.
+        let Some(wid) = facts.words[bid.index()] else {
+            continue;
+        };
+        let w = cx.words.get(wid);
         // Find the innermost S token (last S in the word).
         let Some(s_pos) = w.tokens().iter().rposition(|t| t.is_s()) else {
             continue;
@@ -143,6 +149,7 @@ pub fn check_concurrency(
                 span: *span,
                 name,
                 class,
+                word: wid,
                 s_pos,
                 region,
             });
@@ -170,8 +177,8 @@ pub fn check_concurrency(
             if a.region == b.region {
                 continue; // same region: ordered by its single executor
             }
-            let wa = pw.word_at(a.block).expect("filtered above");
-            let wb = pw.word_at(b.block).expect("filtered above");
+            let wa = cx.words.get(a.word);
+            let wb = cx.words.get(b.word);
             let lcp = wa.common_prefix_len(wb);
             // Concurrent iff the first differing tokens are both S tokens
             // of different regions — i.e. pw = w·S_j·u vs w·S_k·v.
@@ -223,12 +230,14 @@ pub fn check_concurrency(
 
     // Self-concurrency: region begin block on a cycle without a barrier
     // on that cycle. Only meaningful for nowait-style regions (with a
-    // barrier on the cycle, iterations are phase-separated).
+    // barrier on the cycle, iterations are phase-separated). A non-empty
+    // `colls` implies the function has MPI nodes, so its CFG facts
+    // (loops included) exist.
     for c in &colls {
         let Some(begin) = f.region_begin_block(c.region) else {
             continue;
         };
-        for l in loops.loops_containing(begin) {
+        for l in facts.cfg().loops.loops_containing(begin) {
             let has_barrier = l.blocks.iter().any(|&b| {
                 matches!(
                     f.block(b).kind,
@@ -301,20 +310,15 @@ pub fn region_body_entry(f: &FuncIr, r: RegionId) -> Option<BlockId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pw::{compute_pw, InitialContext};
+    use crate::pw::InitialContext;
     use parcoach_front::parse_and_check;
-    use parcoach_ir::dom::DomTree;
     use parcoach_ir::lower::lower_program;
 
     fn run(src: &str) -> ConcurrencyResult {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let comms = crate::comm::compute_comms(&m);
-        let f = m.main().unwrap();
-        let pw = compute_pw(f, InitialContext::Sequential);
-        let dom = DomTree::compute(f);
-        let loops = LoopInfo::compute(f, &dom);
-        check_concurrency(f, &pw, &loops, &comms.of_func("main"), &comms.table)
+        let cx = AnalysisCx::build(&m, InitialContext::Sequential, parcoach_pool::global());
+        check_concurrency(&cx, m.by_name["main"])
     }
 
     #[test]

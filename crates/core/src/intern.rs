@@ -1,0 +1,206 @@
+//! Module-level interning arenas for the fact store.
+//!
+//! The static phases used to clone `String` function names and
+//! `Vec`-backed parallelism words through every per-function result;
+//! the arenas replace those with copy-cheap, hash-fast ids:
+//!
+//! * [`Sym`] / [`SymTable`] — interned function names. `Event::Call`,
+//!   `tainted_callees` and the taint worklist all carry `Sym`s; strings
+//!   materialize only at the report boundary.
+//! * [`EventId`] / [`EventArena`] — interned collective events (see
+//!   [`crate::matching::Event`]). Block→event maps and the balanced-arms
+//!   sequences compare `u32`s instead of re-hashing enum payloads.
+//! * [`WordId`] / [`WordArena`] — interned parallelism words. Straight-
+//!   line blocks overwhelmingly share their entry word, so the arena
+//!   stores each distinct word once per module.
+//!
+//! All three are thin typed wrappers over one generic [`Interner`]. The
+//! arenas are built **sequentially in module order** by
+//! [`crate::facts::AnalysisCx::from_contexts`], so ids are deterministic
+//! at every pool width.
+
+use crate::matching::Event;
+use crate::word::Word;
+use std::collections::HashMap;
+
+/// The shared intern-arena core: values stored once in insertion order,
+/// with a reverse map for O(1) re-interning. Ids are dense `u32`s.
+#[derive(Debug, Clone)]
+struct Interner<T> {
+    items: Vec<T>,
+    by_item: HashMap<T, u32>,
+}
+
+// Manual impl: the derive would (needlessly) require `T: Default`.
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            items: Vec::new(),
+            by_item: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + std::hash::Hash> Interner<T> {
+    /// Intern a value (cloned only on first sight), returning its id.
+    fn intern(&mut self, item: &T) -> u32 {
+        if let Some(&id) = self.by_item.get(item) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(item.clone());
+        self.by_item.insert(item.clone(), id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    fn lookup(&self, item: &T) -> Option<u32> {
+        self.by_item.get(item).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// An interned function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// The module symbol table: function names ↔ [`Sym`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SymTable(Interner<String>);
+
+impl SymTable {
+    /// A table pre-seeded with every function of `m`, in module order.
+    pub fn for_module(m: &parcoach_ir::func::Module) -> SymTable {
+        let mut t = SymTable::default();
+        for f in &m.funcs {
+            t.intern(&f.name);
+        }
+        t
+    }
+
+    /// Intern a name, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        Sym(self.0.intern(&name.to_string()))
+    }
+
+    /// The id of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.0.lookup(&name.to_string()).map(Sym)
+    }
+
+    /// The name of an interned id.
+    pub fn name(&self, s: Sym) -> &str {
+        self.0.get(s.0)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.len() == 0
+    }
+}
+
+/// An interned collective event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// The module event arena: [`Event`]s ↔ [`EventId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct EventArena(Interner<Event>);
+
+impl EventArena {
+    /// Intern an event, returning its stable id.
+    pub fn intern(&mut self, e: Event) -> EventId {
+        EventId(self.0.intern(&e))
+    }
+
+    /// The event behind an id (`Event` is `Copy`).
+    pub fn get(&self, id: EventId) -> Event {
+        *self.0.get(id.0)
+    }
+
+    /// Number of distinct events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.len() == 0
+    }
+}
+
+/// An interned parallelism word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+/// The module word arena: [`Word`]s ↔ [`WordId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct WordArena(Interner<Word>);
+
+impl WordArena {
+    /// Intern a word (cloned only on first sight), returning its id.
+    pub fn intern(&mut self, w: &Word) -> WordId {
+        WordId(self.0.intern(w))
+    }
+
+    /// The word behind an id.
+    pub fn get(&self, id: WordId) -> &Word {
+        self.0.get(id.0)
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Token;
+    use parcoach_ir::types::RegionId;
+
+    #[test]
+    fn sym_table_round_trips() {
+        let mut t = SymTable::default();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a, "re-interning is stable");
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.lookup("beta"), Some(b));
+        assert_eq!(t.lookup("gamma"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn word_arena_dedups() {
+        let mut a = WordArena::default();
+        let w1 = Word(vec![Token::P(RegionId(0)), Token::B]);
+        let w2 = Word(vec![Token::P(RegionId(0)), Token::B]);
+        let w3 = Word(vec![Token::P(RegionId(1))]);
+        let i1 = a.intern(&w1);
+        let i2 = a.intern(&w2);
+        let i3 = a.intern(&w3);
+        assert_eq!(i1, i2, "equal words share an id");
+        assert_ne!(i1, i3);
+        assert_eq!(a.get(i1), &w1);
+        assert_eq!(a.len(), 2);
+    }
+}

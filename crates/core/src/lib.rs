@@ -36,7 +36,9 @@
 pub mod comm;
 pub mod concurrency;
 pub mod context;
+pub mod facts;
 pub mod instrument;
+pub mod intern;
 pub mod lang;
 pub mod matching;
 pub mod mono;
@@ -48,9 +50,13 @@ pub mod request;
 pub mod word;
 
 pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
+pub use facts::{AnalysisCx, FuncFacts};
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
+pub use intern::{EventArena, EventId, Sym, SymTable, WordArena, WordId};
 pub use lang::{classify, ContextClass, MonoVerdict};
-pub use pipeline::{analyze_module, analyze_module_with, AnalysisOptions};
+pub use pipeline::{
+    analyze_module, analyze_module_timed, analyze_module_with, AnalysisOptions, PhaseTimings,
+};
 pub use pw::{compute_pw, InitialContext, PwResult};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
 pub use request::{compute_requests, ModuleRequests, ReqDef, ReqId, ReqTable};

@@ -9,6 +9,13 @@
 //! reported as a potential collective mismatch and triggers `CC`
 //! instrumentation.
 //!
+//! The phase reads the per-function [`crate::facts::FuncFacts`]: the
+//! block→event map is precomputed (interned [`EventId`]s), the per-block
+//! post-dominance frontiers are computed once, and `PDF+(S_e)` queries
+//! go through a memoizing [`IpdfEngine`] so events issued from the same
+//! block set share one fixpoint ([`MatchingOptions::memoize`] disables
+//! the cache for the E10 ablation — results are identical either way).
+//!
 //! **Refinement** (extension, see DESIGN.md): a conditional whose two
 //! arms provably execute the *same* sequence of collective events before
 //! re-joining (acyclic region, unique event sequence per arm) cannot
@@ -18,13 +25,16 @@
 
 use crate::comm::{CommId, CommTable, FuncComms};
 use crate::context::CallContexts;
+use crate::facts::AnalysisCx;
+use crate::intern::{EventId, Sym, SymTable};
 use crate::report::{StaticWarning, WarningKind};
 use parcoach_front::ast::CollectiveKind;
 use parcoach_front::span::Span;
-use parcoach_ir::dom::PostDomTree;
+use parcoach_ir::dom::IpdfEngine;
 use parcoach_ir::func::FuncIr;
 use parcoach_ir::instr::{Instr, MpiIr, Terminator};
 use parcoach_ir::types::BlockId;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A collective event: an MPI collective on a specific (static)
@@ -35,7 +45,10 @@ use std::collections::HashMap;
 /// legally interleave collectives on unrelated communicators
 /// differently, so `MPI_Barrier(a)` and `MPI_Barrier(b)` are distinct
 /// events when `a` and `b` cannot alias.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Callee names are interned [`Sym`]s, which makes the whole enum `Copy`
+/// — event sequences and phase results carry ids, not `String`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Event {
     /// Direct MPI collective on a communicator class.
     Coll(CommId, CollectiveKind),
@@ -45,59 +58,50 @@ pub enum Event {
     /// communicator creation is a mismatch like any other.
     CommMgmt(CommId, &'static str),
     /// Call to a function that may execute collectives.
-    Call(String),
+    Call(Sym),
 }
 
 impl Event {
     /// Display name for warnings.
-    pub fn name(&self, table: &CommTable) -> String {
+    pub fn name(&self, table: &CommTable, syms: &SymTable) -> String {
         match self {
             Event::Coll(c, k) if c.is_world() => k.mpi_name().to_string(),
             Event::Coll(c, k) => format!("{} on {}", k.mpi_name(), table.label(*c)),
             Event::CommMgmt(c, name) if c.is_world() => (*name).to_string(),
             Event::CommMgmt(c, name) => format!("{} of {}", name, table.label(*c)),
-            Event::Call(f) => format!("call to `{f}`"),
+            Event::Call(f) => format!("call to `{}`", syms.name(*f)),
+        }
+    }
+
+    /// Report order: collectives, then comm management, then calls —
+    /// calls compared by *name* (not by `Sym` id), so the warning order
+    /// matches the pre-interning `Ord`-on-`Event` sort exactly.
+    pub fn cmp_for_report(&self, other: &Event, syms: &SymTable) -> Ordering {
+        fn rank(e: &Event) -> u8 {
+            match e {
+                Event::Coll(..) => 0,
+                Event::CommMgmt(..) => 1,
+                Event::Call(..) => 2,
+            }
+        }
+        match (self, other) {
+            (Event::Coll(c1, k1), Event::Coll(c2, k2)) => c1.cmp(c2).then(k1.cmp(k2)),
+            (Event::CommMgmt(c1, n1), Event::CommMgmt(c2, n2)) => c1.cmp(c2).then(n1.cmp(n2)),
+            (Event::Call(s1), Event::Call(s2)) => syms.name(*s1).cmp(syms.name(*s2)),
+            _ => rank(self).cmp(&rank(other)),
         }
     }
 }
 
-/// Phase-3 result for one function.
-#[derive(Debug, Clone, Default)]
-pub struct MatchingResult {
-    /// Warnings found.
-    pub warnings: Vec<StaticWarning>,
-    /// Blocks with collectives that participate in a potential mismatch
-    /// (all blocks of the affected event kinds).
-    pub suspects: Vec<BlockId>,
-    /// Names of called functions involved in mismatch warnings (their
-    /// bodies need `CC` instrumentation too).
-    pub tainted_callees: Vec<String>,
-    /// Candidate conditionals found by PDF+ *before* the sequence
-    /// refinement (ablation metric).
-    pub candidates_before_refinement: usize,
-    /// Candidates confirmed after refinement.
-    pub candidates_confirmed: usize,
-}
-
-/// Options for the matching phase.
-#[derive(Debug, Clone, Copy)]
-pub struct MatchingOptions {
-    /// Apply the balanced-arms sequence refinement.
-    pub refine: bool,
-}
-
-impl Default for MatchingOptions {
-    fn default() -> Self {
-        MatchingOptions { refine: true }
-    }
-}
-
-/// The events issued by one block, in instruction order.
-fn block_events(
+/// The events issued by one block, in instruction order. Called once per
+/// block by the fact-store construction ([`crate::facts`]); the phases
+/// read the precomputed (interned) map.
+pub(crate) fn block_events(
     f: &FuncIr,
     b: BlockId,
     ctxs: &CallContexts,
     comms: &FuncComms,
+    syms: &SymTable,
 ) -> Vec<(Event, Span)> {
     f.block(b)
         .instrs
@@ -112,29 +116,62 @@ fn block_events(
                 }),
             },
             Instr::Call { func, span, .. } if ctxs.bears_collectives(func) => {
-                Some((Event::Call(func.clone()), *span))
+                syms.lookup(func).map(|sym| (Event::Call(sym), *span))
             }
             _ => None,
         })
         .collect()
 }
 
-/// Run Algorithm 1 on one function, with one PDF+ pass per
+/// Phase-3 result for one function.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingResult {
+    /// Warnings found.
+    pub warnings: Vec<StaticWarning>,
+    /// Blocks with collectives that participate in a potential mismatch
+    /// (all blocks of the affected event kinds).
+    pub suspects: Vec<BlockId>,
+    /// Interned names of called functions involved in mismatch warnings
+    /// (their bodies need `CC` instrumentation too).
+    pub tainted_callees: Vec<Sym>,
+    /// Candidate conditionals found by PDF+ *before* the sequence
+    /// refinement (ablation metric).
+    pub candidates_before_refinement: usize,
+    /// Candidates confirmed after refinement.
+    pub candidates_confirmed: usize,
+}
+
+/// Options for the matching phase.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchingOptions {
+    /// Apply the balanced-arms sequence refinement.
+    pub refine: bool,
+    /// Serve `PDF+` queries from the per-function memo (identical
+    /// results; `false` recomputes per event set — the E10 ablation).
+    pub memoize: bool,
+}
+
+impl Default for MatchingOptions {
+    fn default() -> Self {
+        MatchingOptions {
+            refine: true,
+            memoize: true,
+        }
+    }
+}
+
+/// Run Algorithm 1 on one function, with one PDF+ query per
 /// (communicator, event) group.
-pub fn check_matching(
-    f: &FuncIr,
-    ctxs: &CallContexts,
-    pdt: &PostDomTree,
-    comms: &FuncComms,
-    table: &CommTable,
-    opts: MatchingOptions,
-) -> MatchingResult {
+pub fn check_matching(cx: &AnalysisCx, fidx: usize, opts: MatchingOptions) -> MatchingResult {
+    let f = &cx.module.funcs[fidx];
+    let facts = &cx.funcs[fidx];
+    let table = &cx.comms.table;
     let mut out = MatchingResult::default();
 
-    // Group blocks by event.
-    let mut by_event: HashMap<Event, Vec<(BlockId, Span)>> = HashMap::new();
+    // Group blocks by (interned) event.
+    let mut by_event: HashMap<EventId, Vec<(BlockId, Span)>> = HashMap::new();
     for b in f.block_ids() {
-        for (e, span) in block_events(f, b, ctxs, comms) {
+        for &(e, span) in &facts.block_events[b.index()] {
             by_event.entry(e).or_default().push((b, span));
         }
     }
@@ -142,8 +179,12 @@ pub fn check_matching(
         return out;
     }
 
-    let mut events: Vec<&Event> = by_event.keys().collect();
-    events.sort();
+    let mut events: Vec<EventId> = by_event.keys().copied().collect();
+    events.sort_unstable_by(|a, b| {
+        cx.events
+            .get(*a)
+            .cmp_for_report(&cx.events.get(*b), &cx.syms)
+    });
 
     // A collective whose communicator operand could not be resolved to
     // one creation site merged handles from different sites across
@@ -151,7 +192,8 @@ pub fn check_matching(
     // unresolved = merged): ranks taking different paths call the same
     // collective on *different* communicators, which no per-class PDF+
     // group can see. Report the site itself.
-    for e in &events {
+    for &id in &events {
+        let e = cx.events.get(id);
         let unknown_comm = match e {
             Event::Coll(c, _) | Event::CommMgmt(c, _) => c.is_unknown(),
             Event::Call(_) => false,
@@ -159,7 +201,7 @@ pub fn check_matching(
         if !unknown_comm {
             continue;
         }
-        let sites = &by_event[*e];
+        let sites = &by_event[&id];
         out.warnings.push(StaticWarning {
             kind: WarningKind::CollectiveMismatch,
             func: f.name.clone(),
@@ -167,7 +209,7 @@ pub fn check_matching(
                 "{} is called on a control-flow-dependent communicator \
                  (the handle merges several creation sites); ranks may \
                  enter the collective on different communicators",
-                e.name(table)
+                e.name(table, &cx.syms)
             ),
             span: sites[0].1,
             related: sites
@@ -179,10 +221,19 @@ pub fn check_matching(
         out.suspects.extend(sites.iter().map(|(b, _)| *b));
     }
 
-    for e in events {
-        let sites = &by_event[e];
+    // The per-function memo over the precomputed per-block frontiers:
+    // event sets sharing the same blocks share one PDF+ fixpoint.
+    let mut engine = IpdfEngine::new(&facts.cfg().pdf);
+
+    for id in events {
+        let e = cx.events.get(id);
+        let sites = &by_event[&id];
         let blocks: Vec<BlockId> = sites.iter().map(|(b, _)| *b).collect();
-        let mut frontier = pdt.iterated_frontier(f, &blocks);
+        let mut frontier = if opts.memoize {
+            engine.iterated(&blocks)
+        } else {
+            facts.cfg().pdt.iterated_frontier(f, &blocks)
+        };
         // OpenMP dispatch branches (`single`/`master`/`section` entry)
         // choose *which thread* runs the body, but the body still runs
         // exactly once per process per encounter — they are not
@@ -197,7 +248,7 @@ pub fn check_matching(
         // sequences up to the re-join point.
         let confirmed: Vec<BlockId> = frontier
             .into_iter()
-            .filter(|&cond| !opts.refine || !balanced_arms(f, ctxs, comms, pdt, cond))
+            .filter(|&cond| !opts.refine || !balanced_arms(f, facts, cond))
             .collect();
         out.candidates_confirmed += confirmed.len();
         if confirmed.is_empty() {
@@ -214,7 +265,10 @@ pub fn check_matching(
             })
             .collect();
         for (_, span) in sites.iter().skip(1) {
-            related.push((*span, format!("{} also called here", e.name(table))));
+            related.push((
+                *span,
+                format!("{} also called here", e.name(table, &cx.syms)),
+            ));
         }
         out.warnings.push(StaticWarning {
             kind: WarningKind::CollectiveMismatch,
@@ -222,7 +276,7 @@ pub fn check_matching(
             message: format!(
                 "{} may not be executed by all processes (or not the same \
                  number of times): control-flow divergence at {} point(s)",
-                e.name(table),
+                e.name(table, &cx.syms),
                 confirmed.len()
             ),
             span: sites[0].1,
@@ -230,12 +284,13 @@ pub fn check_matching(
         });
         out.suspects.extend(blocks);
         if let Event::Call(callee) = e {
-            out.tainted_callees.push(callee.clone());
+            out.tainted_callees.push(callee);
         }
     }
     out.suspects.sort_unstable();
     out.suspects.dedup();
-    out.tainted_callees.sort_unstable();
+    out.tainted_callees
+        .sort_unstable_by(|a, b| cx.syms.name(*a).cmp(cx.syms.name(*b)));
     out.tainted_callees.dedup();
     out
 }
@@ -243,17 +298,12 @@ pub fn check_matching(
 /// True when all successors of `cond` provably issue the same sequence
 /// of collective events before reaching `ipdom(cond)`.
 ///
-/// The per-arm sequence is computed by a memoized walk that fails (and
-/// keeps the warning) on cycles, on returns before the join, and on any
+/// The per-arm sequence is a `Vec<EventId>` read off the precomputed
+/// block→event map, computed by a memoized walk that fails (and keeps
+/// the warning) on cycles, on returns before the join, and on any
 /// interior divergence.
-fn balanced_arms(
-    f: &FuncIr,
-    ctxs: &CallContexts,
-    comms: &FuncComms,
-    pdt: &PostDomTree,
-    cond: BlockId,
-) -> bool {
-    let Some(join) = pdt.ipdom(cond) else {
+fn balanced_arms(f: &FuncIr, facts: &crate::facts::FuncFacts, cond: BlockId) -> bool {
+    let Some(join) = facts.cfg().pdt.ipdom(cond) else {
         // No post-dominator inside the function (e.g. a return on one
         // arm): cannot be balanced.
         return false;
@@ -262,12 +312,12 @@ fn balanced_arms(
     if succs.len() < 2 {
         return false;
     }
-    let mut memo: HashMap<BlockId, Option<Vec<Event>>> = HashMap::new();
+    let mut memo: HashMap<BlockId, Option<Vec<EventId>>> = HashMap::new();
     let mut visiting: Vec<BlockId> = Vec::new();
-    let first = arm_sequence(f, ctxs, comms, succs[0], join, &mut memo, &mut visiting);
+    let first = arm_sequence(f, facts, succs[0], join, &mut memo, &mut visiting);
     let Some(first) = first else { return false };
     for &s in &succs[1..] {
-        match arm_sequence(f, ctxs, comms, s, join, &mut memo, &mut visiting) {
+        match arm_sequence(f, facts, s, join, &mut memo, &mut visiting) {
             Some(seq) if seq == first => {}
             _ => return false,
         }
@@ -279,13 +329,12 @@ fn balanced_arms(
 /// or `None` when no unique sequence exists.
 fn arm_sequence(
     f: &FuncIr,
-    ctxs: &CallContexts,
-    comms: &FuncComms,
+    facts: &crate::facts::FuncFacts,
     n: BlockId,
     stop: BlockId,
-    memo: &mut HashMap<BlockId, Option<Vec<Event>>>,
+    memo: &mut HashMap<BlockId, Option<Vec<EventId>>>,
     visiting: &mut Vec<BlockId>,
-) -> Option<Vec<Event>> {
+) -> Option<Vec<EventId>> {
     if n == stop {
         return Some(Vec::new());
     }
@@ -296,18 +345,18 @@ fn arm_sequence(
         return None; // cycle
     }
     visiting.push(n);
-    let own: Vec<Event> = block_events(f, n, ctxs, comms)
-        .into_iter()
-        .map(|(e, _)| e)
+    let own: Vec<EventId> = facts.block_events[n.index()]
+        .iter()
+        .map(|&(e, _)| e)
         .collect();
     let succs = f.block(n).term.successors();
     let result = if succs.is_empty() {
         None // leaves the function before the join
     } else {
-        let mut tail: Option<Vec<Event>> = None;
+        let mut tail: Option<Vec<EventId>> = None;
         let mut ok = true;
         for &s in &succs {
-            match arm_sequence(f, ctxs, comms, s, stop, memo, visiting) {
+            match arm_sequence(f, facts, s, stop, memo, visiting) {
                 None => {
                     ok = false;
                     break;
@@ -340,25 +389,30 @@ fn arm_sequence(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::compute_contexts;
+    use crate::facts::AnalysisCx;
     use crate::pw::InitialContext;
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
+    use parcoach_ir::Module;
+
+    fn lower(src: &str) -> Module {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        lower_program(&unit.program, &unit.signatures)
+    }
+
+    fn run_on(m: &Module, opts: MatchingOptions) -> MatchingResult {
+        let cx = AnalysisCx::build(m, InitialContext::Sequential, parcoach_pool::global());
+        check_matching(&cx, m.by_name["main"], opts)
+    }
 
     fn run_with(src: &str, refine: bool) -> MatchingResult {
-        let unit = parse_and_check("t.mh", src).expect("valid");
-        let m = lower_program(&unit.program, &unit.signatures);
-        let ctxs = compute_contexts(&m, InitialContext::Sequential);
-        let comms = crate::comm::compute_comms(&m);
-        let f = m.main().unwrap();
-        let pdt = PostDomTree::compute(f);
-        check_matching(
-            f,
-            &ctxs,
-            &pdt,
-            &comms.of_func("main"),
-            &comms.table,
-            MatchingOptions { refine },
+        let m = lower(src);
+        run_on(
+            &m,
+            MatchingOptions {
+                refine,
+                ..MatchingOptions::default()
+            },
         )
     }
 
@@ -378,6 +432,28 @@ mod tests {
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
         assert_eq!(r.warnings[0].kind, WarningKind::CollectiveMismatch);
         assert!(!r.suspects.is_empty());
+    }
+
+    #[test]
+    fn memoized_and_uncached_agree() {
+        // Several distinct events under shared conditionals: the memo
+        // path and the recompute-per-set path must produce identical
+        // results (the E10 ablation's correctness premise).
+        let src = "fn main() {
+                if (rank() == 0) { MPI_Barrier(); } else { let x = MPI_Allreduce(1, SUM); }
+                if (rank() > 1) { let y = MPI_Bcast(1.0, 0); }
+                for (i in 0..3) { MPI_Barrier(); }
+            }";
+        let m = lower(src);
+        let cached = run_on(&m, MatchingOptions::default());
+        let uncached = run_on(
+            &m,
+            MatchingOptions {
+                memoize: false,
+                ..MatchingOptions::default()
+            },
+        );
+        assert_eq!(format!("{cached:?}"), format!("{uncached:?}"));
     }
 
     #[test]
@@ -436,50 +512,24 @@ mod tests {
 
     #[test]
     fn call_to_collective_function_is_an_event() {
-        let unit = parse_and_check(
-            "t.mh",
+        let m = lower(
             "fn exchange() { MPI_Barrier(); }
              fn main() { if (rank() == 0) { exchange(); } }",
-        )
-        .expect("valid");
-        let m = lower_program(&unit.program, &unit.signatures);
-        let ctxs = compute_contexts(&m, InitialContext::Sequential);
-        let comms = crate::comm::compute_comms(&m);
-        let f = m.main().unwrap();
-        let pdt = PostDomTree::compute(f);
-        let r = check_matching(
-            f,
-            &ctxs,
-            &pdt,
-            &comms.of_func("main"),
-            &comms.table,
-            MatchingOptions::default(),
         );
+        let cx = AnalysisCx::build(&m, InitialContext::Sequential, parcoach_pool::global());
+        let r = check_matching(&cx, m.by_name["main"], MatchingOptions::default());
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
-        assert_eq!(r.tainted_callees, vec!["exchange".to_string()]);
+        assert_eq!(r.tainted_callees.len(), 1);
+        assert_eq!(cx.syms.name(r.tainted_callees[0]), "exchange");
     }
 
     #[test]
     fn balanced_calls_refined_away() {
-        let unit = parse_and_check(
-            "t.mh",
+        let m = lower(
             "fn exchange() { MPI_Barrier(); }
              fn main() { if (rank() == 0) { exchange(); } else { exchange(); } }",
-        )
-        .expect("valid");
-        let m = lower_program(&unit.program, &unit.signatures);
-        let ctxs = compute_contexts(&m, InitialContext::Sequential);
-        let comms = crate::comm::compute_comms(&m);
-        let f = m.main().unwrap();
-        let pdt = PostDomTree::compute(f);
-        let r = check_matching(
-            f,
-            &ctxs,
-            &pdt,
-            &comms.of_func("main"),
-            &comms.table,
-            MatchingOptions::default(),
         );
+        let r = run_on(&m, MatchingOptions::default());
         assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 

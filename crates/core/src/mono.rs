@@ -7,9 +7,9 @@
 //! check (the paper's `S_ipw` instrumentation); the warning cites the
 //! parallel construct responsible.
 
-use crate::context::CallContexts;
+use crate::facts::AnalysisCx;
 use crate::lang::{classify, MonoVerdict};
-use crate::pw::{PwResult, SYNTH_BASE};
+use crate::pw::SYNTH_BASE;
 use crate::report::{StaticWarning, WarningKind};
 use crate::word::Token;
 use parcoach_front::ast::ThreadLevel;
@@ -30,8 +30,11 @@ pub struct MonoResult {
     pub required_level: Option<ThreadLevel>,
 }
 
-/// Run phase 1 on one function given its pw result.
-pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoResult {
+/// Run phase 1 on one function, reading its parallelism words from the
+/// fact store.
+pub fn check_monothread(cx: &AnalysisCx, fidx: usize) -> MonoResult {
+    let f = &cx.module.funcs[fidx];
+    let pw = &cx.funcs[fidx].pw;
     let mut out = MonoResult::default();
 
     // Structural divergences (barrier in one branch only) are reported
@@ -92,7 +95,7 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
                         match class.verdict {
                             MonoVerdict::SequentialContext | MonoVerdict::MonoThreaded => {}
                             MonoVerdict::MultiThreaded => {
-                                let related = responsible_construct(f, w, ctxs);
+                                let related = responsible_construct(f, w);
                                 out.warnings.push(StaticWarning {
                                     kind: WarningKind::MultithreadedCollective,
                                     func: f.name.clone(),
@@ -108,7 +111,7 @@ pub fn check_monothread(f: &FuncIr, pw: &PwResult, ctxs: &CallContexts) -> MonoR
                                 out.suspects.push(bid);
                             }
                             MonoVerdict::NestedParallelism => {
-                                let related = responsible_construct(f, w, ctxs);
+                                let related = responsible_construct(f, w);
                                 out.warnings.push(StaticWarning {
                                     kind: WarningKind::NestedParallelismCollective,
                                     func: f.name.clone(),
@@ -161,11 +164,7 @@ impl MonoResult {
 /// Locate the parallel construct responsible for the multithreaded
 /// context: the innermost `P` token's begin block (or a note that the
 /// context comes from the caller when the token is synthetic).
-fn responsible_construct(
-    f: &FuncIr,
-    w: &crate::word::Word,
-    _ctxs: &CallContexts,
-) -> Vec<(Span, String)> {
+fn responsible_construct(f: &FuncIr, w: &crate::word::Word) -> Vec<(Span, String)> {
     let mut related = Vec::new();
     if let Some(Token::P(r)) = w.tokens().iter().rev().find(|t| t.is_p()) {
         if r.0 >= SYNTH_BASE {
@@ -186,8 +185,7 @@ fn responsible_construct(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::compute_contexts;
-    use crate::pw::{compute_pw, InitialContext};
+    use crate::pw::InitialContext;
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
     use parcoach_ir::Module;
@@ -195,14 +193,9 @@ mod tests {
     fn run(src: &str) -> (Module, Vec<MonoResult>) {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let ctxs = compute_contexts(&m, InitialContext::Sequential);
-        let results = m
-            .funcs
-            .iter()
-            .map(|f| {
-                let pw = compute_pw(f, ctxs.context_of(&f.name));
-                check_monothread(f, &pw, &ctxs)
-            })
+        let cx = AnalysisCx::build(&m, InitialContext::Sequential, parcoach_pool::global());
+        let results = (0..m.funcs.len())
+            .map(|i| check_monothread(&cx, i))
             .collect();
         (m, results)
     }

@@ -31,12 +31,12 @@
 //! Sites with an unresolvable tag or communicator conservatively match
 //! everything and produce no diagnostics.
 
-use crate::comm::{CommId, ModuleComms};
+use crate::comm::CommId;
+use crate::facts::AnalysisCx;
 use crate::report::{StaticWarning, WarningKind};
-use crate::request::{ModuleRequests, ReqId, ReqResolution};
+use crate::request::{ReqId, ReqResolution};
 use parcoach_front::ast::ANY_TAG;
 use parcoach_front::span::Span;
-use parcoach_ir::dom::DomTree;
 use parcoach_ir::func::Module;
 use parcoach_ir::instr::{Instr, MpiIr};
 use parcoach_ir::types::{BlockId, Const, Value};
@@ -126,16 +126,19 @@ pub struct P2pResult {
     pub epoch_functions: Vec<String>,
 }
 
-/// Run the pass over a whole module.
-pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pResult {
+/// Run the pass over a whole module, reading register resolutions and
+/// dominator trees from the fact store.
+pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
+    let m = cx.module;
+    let comms = &cx.comms;
     let mut out = P2pResult::default();
 
     // Collect every site, module-wide, in deterministic order.
     let mut sites: Vec<Site> = Vec::new();
     let mut waits: Vec<WaitSite> = Vec::new();
     for (fidx, f) in m.funcs.iter().enumerate() {
-        let fc = comms.of_func(&f.name);
-        let fr = reqs.of_func(&f.name);
+        let fc = cx.comms_of(fidx);
+        let fr = cx.reqs_of(fidx);
         for (bid, b) in f.iter_blocks() {
             for (iidx, i) in b.instrs.iter().enumerate() {
                 let Instr::Mpi { op, span, dest } = i else {
@@ -163,7 +166,7 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pR
                             block: bid,
                             instr: iidx,
                             span: *span,
-                            class: wait_class(&fr, *request),
+                            class: wait_class(fr, *request),
                         });
                         continue;
                     }
@@ -174,7 +177,7 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pR
                                 block: bid,
                                 instr: iidx,
                                 span: *span,
-                                class: wait_class(&fr, *r),
+                                class: wait_class(fr, *r),
                             });
                         }
                         continue;
@@ -234,9 +237,9 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pR
     // --- receive-before-send ordering ------------------------------------
     // The blocking point of an `MPI_Recv` is the receive itself; the
     // blocking point of an `MPI_Irecv` is every wait that completes its
-    // request class (deferred completion). Dominator trees are computed
-    // lazily, once per function that has a resolvable receive.
-    let mut doms: Vec<Option<DomTree>> = (0..m.funcs.len()).map(|_| None).collect();
+    // request class (deferred completion). Dominator trees come from the
+    // fact store — computed once per function, shared with the other
+    // phases.
     for r in sites.iter().filter(|s| s.dir == Dir::Recv) {
         if !r.resolved() {
             continue;
@@ -273,7 +276,7 @@ pub fn check_p2p(m: &Module, comms: &ModuleComms, reqs: &ModuleRequests) -> P2pR
             }
         };
         let f = &m.funcs[r.func];
-        let dom = doms[r.func].get_or_insert_with(|| DomTree::compute(f));
+        let dom = &cx.funcs[r.func].cfg().dom;
         // Every blocking point must precede every matching send: if one
         // wait site can run after a send, the message can exist.
         let all_dominated = block_points.iter().all(|&(wb, wi, _)| {
@@ -376,17 +379,15 @@ fn wait_class(fr: &crate::request::FuncRequests, v: Value) -> Option<ReqId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::comm::compute_comms;
-    use crate::request::compute_requests;
+    use crate::pw::InitialContext;
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
 
     fn run(src: &str) -> P2pResult {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let comms = compute_comms(&m);
-        let reqs = compute_requests(&m);
-        check_p2p(&m, &comms, &reqs)
+        let cx = AnalysisCx::build(&m, InitialContext::Sequential, parcoach_pool::global());
+        check_p2p(&cx)
     }
 
     #[test]

@@ -1,17 +1,20 @@
-//! The end-to-end static phase: run all three verification properties
-//! over a module and assemble the warning report + instrumentation plan.
+//! The end-to-end static phase: build the fact store, run all
+//! verification phases over it, assemble the warning report + the
+//! instrumentation plan.
 
 use crate::concurrency::check_concurrency;
+use crate::facts::AnalysisCx;
+use crate::intern::Sym;
 use crate::matching::{check_matching, MatchingOptions};
 use crate::mono::check_monothread;
-use crate::pw::{compute_pw, InitialContext};
+use crate::pw::InitialContext;
 use crate::report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
 use parcoach_front::ast::ThreadLevel;
-use parcoach_ir::dom::{DomTree, PostDomTree};
 use parcoach_ir::func::Module;
 use parcoach_ir::instr::{Instr, MpiIr};
-use parcoach_ir::loops::LoopInfo;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the static phase.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +29,11 @@ pub struct AnalysisOptions {
     /// request-free modules disabling it is report-invisible — pinned by
     /// the `no_request_modules_match_blocking_path` property test.
     pub check_requests: bool,
+    /// Serve `PDF+` queries from the per-function memo over precomputed
+    /// frontiers. `false` recomputes the frontier per event set — the
+    /// pre-fact-store engine, kept for the E10 ablation and pinned
+    /// report-identical by `fact_store_matches_legacy_reports`.
+    pub pdf_memo: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -35,6 +43,87 @@ impl Default for AnalysisOptions {
             refine_matching: true,
             check_thread_level: true,
             check_requests: true,
+            pdf_memo: true,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one static-analysis run.
+///
+/// The sequential stages (`contexts`, `facts`, `p2p`, `requests`) are
+/// plain wall times; the per-function stages (`mono`, `concurrency`,
+/// `matching`) are summed across pool workers, so at `jobs > 1` they
+/// report aggregate CPU time, not elapsed time. `total` is the true
+/// end-to-end wall clock. The request/communicator register resolutions
+/// are part of `facts`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Interprocedural context fixpoint (incl. parallelism words).
+    pub contexts: Duration,
+    /// Fact-store construction: dom/post-dom trees, frontiers, loops,
+    /// block→event maps, register resolutions, interning.
+    pub facts: Duration,
+    /// Phase 1 — monothread contexts.
+    pub mono: Duration,
+    /// Phase 2 — sequential order of collectives.
+    pub concurrency: Duration,
+    /// Phase 3 — inter-process matching (Algorithm 1, PDF+).
+    pub matching: Duration,
+    /// Module-wide point-to-point matching.
+    pub p2p: Duration,
+    /// Request life-cycle pass.
+    pub requests: Duration,
+    /// End-to-end wall clock of the whole analysis.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// `(phase name, duration)` rows in pipeline order — the shape the
+    /// CLI printer and the bench JSON writer share.
+    pub fn lines(&self) -> [(&'static str, Duration); 8] {
+        [
+            ("contexts", self.contexts),
+            ("facts", self.facts),
+            ("mono", self.mono),
+            ("concurrency", self.concurrency),
+            ("matching", self.matching),
+            ("p2p", self.p2p),
+            ("requests", self.requests),
+            ("total", self.total),
+        ]
+    }
+}
+
+/// Atomic accumulator for the per-function phases (workers add their
+/// share; relaxed ordering is fine — the sink is read after the pool
+/// joins).
+#[derive(Default)]
+struct TimingSink {
+    contexts: AtomicU64,
+    facts: AtomicU64,
+    mono: AtomicU64,
+    concurrency: AtomicU64,
+    matching: AtomicU64,
+    p2p: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl TimingSink {
+    fn add(cell: &AtomicU64, since: Instant) {
+        cell.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn into_timings(self, total: Duration) -> PhaseTimings {
+        let d = |c: AtomicU64| Duration::from_nanos(c.into_inner());
+        PhaseTimings {
+            contexts: d(self.contexts),
+            facts: d(self.facts),
+            mono: d(self.mono),
+            concurrency: d(self.concurrency),
+            matching: d(self.matching),
+            p2p: d(self.p2p),
+            requests: d(self.requests),
+            total,
         }
     }
 }
@@ -43,6 +132,35 @@ impl Default for AnalysisOptions {
 /// process-wide pool (see [`analyze_module_with`]).
 pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
     analyze_module_with(m, opts, parcoach_pool::global())
+}
+
+/// Run the complete static analysis over a lowered module, fanning the
+/// fact-store construction and the per-function phases out over `pool`.
+///
+/// The report is **byte-identical for any pool width**: workers fill one
+/// slot per function and the merge walks the slots in function order, so
+/// warning order, plan order and the global site renumbering all match
+/// the sequential (`jobs = 1`) walk exactly.
+pub fn analyze_module_with(
+    m: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+) -> StaticReport {
+    analyze_module_inner(m, opts, pool, None)
+}
+
+/// [`analyze_module_with`] plus a per-phase wall-time breakdown
+/// (`parcoachc check --timings`, `bench_ci`'s phase records).
+pub fn analyze_module_timed(
+    m: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+) -> (StaticReport, PhaseTimings) {
+    let sink = TimingSink::default();
+    let t0 = Instant::now();
+    let report = analyze_module_inner(m, opts, pool, Some(&sink));
+    let timings = sink.into_timings(t0.elapsed());
+    (report, timings)
 }
 
 /// The three per-function phases' output for one function, produced on a
@@ -58,26 +176,20 @@ struct FuncAnalysis {
     /// renumbered globally after the merge).
     concurrency_sites: Vec<(u32, u32)>,
     needs_cc: bool,
-    tainted: Vec<String>,
+    tainted: Vec<Sym>,
     required_level: Option<ThreadLevel>,
     pdf_candidates: usize,
     pdf_confirmed: usize,
 }
 
-/// Phases 1–3 for one function. Pure: reads only the function, the
-/// (already fixed) interprocedural contexts and the communicator
-/// resolution, so every function can run on a different worker.
+/// Phases 1–3 for one function. Pure: reads only the shared fact store,
+/// so every function can run on a different worker.
 fn analyze_function(
-    f: &parcoach_ir::func::FuncIr,
-    ctxs: &crate::context::CallContexts,
-    comms: &crate::comm::ModuleComms,
+    cx: &AnalysisCx,
+    fidx: usize,
     opts: &AnalysisOptions,
+    sink: Option<&TimingSink>,
 ) -> FuncAnalysis {
-    let init = ctxs.context_of(&f.name);
-    let pw = match ctxs.pw_of(&f.name) {
-        Some(pw) => pw.clone(),
-        None => compute_pw(f, init),
-    };
     let mut out = FuncAnalysis {
         warnings: Vec::new(),
         suspects: Vec::new(),
@@ -90,10 +202,12 @@ fn analyze_function(
         pdf_confirmed: 0,
     };
 
-    let fc = comms.of_func(&f.name);
-
     // Phase 1 — monothread contexts.
-    let mono = check_monothread(f, &pw, ctxs);
+    let t = Instant::now();
+    let mono = check_monothread(cx, fidx);
+    if let Some(s) = sink {
+        TimingSink::add(&s.mono, t);
+    }
     out.required_level = mono.required_level;
     out.suspects.extend(mono.suspects.iter().copied());
     out.monothread_checks.extend(mono.suspects.iter().copied());
@@ -101,9 +215,11 @@ fn analyze_function(
     out.warnings.extend(mono.warnings);
 
     // Phase 2 — sequential order of collectives (per communicator).
-    let dom = DomTree::compute(f);
-    let loops = LoopInfo::compute(f, &dom);
-    let conc = check_concurrency(f, &pw, &loops, &fc, &comms.table);
+    let t = Instant::now();
+    let conc = check_concurrency(cx, fidx);
+    if let Some(s) = sink {
+        TimingSink::add(&s.concurrency, t);
+    }
     out.suspects.extend(conc.suspects.iter().copied());
     out.concurrency_sites
         .extend(conc.sites.iter().map(|(region, site)| (region.0, *site)));
@@ -114,17 +230,18 @@ fn analyze_function(
     }
 
     // Phase 3 — inter-process matching (Algorithm 1, per communicator).
-    let pdt = PostDomTree::compute(f);
+    let t = Instant::now();
     let mat = check_matching(
-        f,
-        ctxs,
-        &pdt,
-        &fc,
-        &comms.table,
+        cx,
+        fidx,
         MatchingOptions {
             refine: opts.refine_matching,
+            memoize: opts.pdf_memo,
         },
     );
+    if let Some(s) = sink {
+        TimingSink::add(&s.matching, t);
+    }
     out.suspects.extend(mat.suspects.iter().copied());
     out.needs_cc |= !mat.suspects.is_empty();
     out.tainted = mat.tainted_callees;
@@ -134,25 +251,29 @@ fn analyze_function(
     out
 }
 
-/// Run the complete static analysis over a lowered module, fanning the
-/// per-function phases out over `pool`.
-///
-/// The report is **byte-identical for any pool width**: workers fill one
-/// slot per function and the merge walks the slots in function order, so
-/// warning order, plan order and the global site renumbering all match
-/// the sequential (`jobs = 1`) walk exactly.
-pub fn analyze_module_with(
+fn analyze_module_inner(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
+    sink: Option<&TimingSink>,
 ) -> StaticReport {
     let mut report = StaticReport::default();
+
+    // Interprocedural contexts, then the shared fact store.
+    let t = Instant::now();
     let ctxs = crate::context::compute_contexts_with(m, opts.entry_context, pool);
-    let comms = crate::comm::compute_comms(m);
+    if let Some(s) = sink {
+        TimingSink::add(&s.contexts, t);
+    }
+    let t = Instant::now();
+    let cx = AnalysisCx::from_contexts(m, ctxs, pool);
+    if let Some(s) = sink {
+        TimingSink::add(&s.facts, t);
+    }
 
     // Interprocedural phase-1 findings: collective-bearing functions
     // called from multithreaded contexts.
-    for (caller, callee, span) in &ctxs.multithreaded_calls {
+    for (caller, callee, span) in &cx.ctxs.multithreaded_calls {
         report.warnings.push(StaticWarning {
             kind: WarningKind::MultithreadedCall,
             func: caller.clone(),
@@ -166,19 +287,19 @@ pub fn analyze_module_with(
         });
     }
 
-    // Per-function fan-out: the phases only read `f` and the fixed
-    // interprocedural facts.
-    let per_func = pool.par_map(&m.funcs, |f| analyze_function(f, &ctxs, &comms, opts));
+    // Per-function fan-out: the phases only read the shared facts.
+    let idxs: Vec<usize> = (0..m.funcs.len()).collect();
+    let per_func = pool.par_map(&idxs, |&i| analyze_function(&cx, i, opts, sink));
 
-    let mut cc_functions: HashSet<String> = HashSet::new();
-    let mut tainted: Vec<String> = Vec::new();
+    let mut cc_functions: HashSet<Sym> = HashSet::new();
+    let mut tainted: Vec<Sym> = Vec::new();
     let mut required_level = ThreadLevel::Single;
 
     // Merge in function order — the same order the sequential loop used.
     for (f, fa) in m.funcs.iter().zip(per_func) {
         report
             .contexts
-            .push((f.name.clone(), ctxs.context_of(&f.name)));
+            .push((f.name.clone(), cx.ctxs.context_of(&f.name)));
         if let Some(l) = fa.required_level {
             required_level = required_level.max(l);
         }
@@ -195,7 +316,7 @@ pub fn analyze_module_with(
                 .push((f.name.clone(), *region, *site));
         }
         if fa.needs_cc {
-            cc_functions.insert(f.name.clone());
+            cc_functions.insert(cx.syms.lookup(&f.name).expect("module functions interned"));
         }
         tainted.extend(fa.tainted);
         report.pdf_candidates += fa.pdf_candidates;
@@ -205,34 +326,44 @@ pub fn analyze_module_with(
 
     // Functions called under divergent conditions need CC inside their
     // bodies too — a mismatch pairs *their* collectives across processes.
-    // Propagate down the call graph.
+    // Propagate down the call graph, entirely on interned symbols.
     let mut work = tainted;
-    while let Some(fname) = work.pop() {
-        if !cc_functions.insert(fname.clone()) {
+    while let Some(sym) = work.pop() {
+        if !cc_functions.insert(sym) {
             continue;
         }
-        if let Some(f) = m.func(&fname) {
+        if let Some(f) = m.func(cx.syms.name(sym)) {
             for b in &f.blocks {
                 for i in &b.instrs {
                     if let Instr::Call { func: callee, .. } = i {
-                        if ctxs.bears_collectives(callee) && !cc_functions.contains(callee) {
-                            work.push(callee.clone());
+                        if cx.ctxs.bears_collectives(callee) {
+                            if let Some(cs) = cx.syms.lookup(callee) {
+                                if !cc_functions.contains(&cs) {
+                                    work.push(cs);
+                                }
+                            }
                         }
                     }
                 }
             }
         }
     }
-    report.plan.cc_functions = cc_functions.into_iter().collect();
+    report.plan.cc_functions = cc_functions
+        .into_iter()
+        .map(|s| cx.syms.name(s).to_string())
+        .collect();
     report.plan.cc_functions.sort_unstable();
 
     // Point-to-point matching (module-wide: sends in one function may
     // feed receives in another). Sequential and after the merge, so its
     // warning order is identical at any pool width. The request
-    // resolution feeds the matcher (deferred completion of non-blocking
-    // receives) and the life-cycle pass.
-    let reqs = crate::request::compute_requests(m);
-    let p2p = crate::p2p::check_p2p(m, &comms, &reqs);
+    // resolution (already in the fact store) feeds the matcher (deferred
+    // completion of non-blocking receives) and the life-cycle pass.
+    let t = Instant::now();
+    let p2p = crate::p2p::check_p2p(&cx);
+    if let Some(s) = sink {
+        TimingSink::add(&s.p2p, t);
+    }
     report.warnings.extend(p2p.warnings);
     report.plan.p2p_epoch_functions = p2p.epoch_functions;
 
@@ -240,7 +371,11 @@ pub fn analyze_module_with(
     // request leaves traffic permanently unconsumed, so the p2p epoch
     // census must also be placed when only this pass warns.
     if opts.check_requests {
-        let req = crate::request::check_requests(m, &reqs);
+        let t = Instant::now();
+        let req = crate::request::check_requests(&cx);
+        if let Some(s) = sink {
+            TimingSink::add(&s.requests, t);
+        }
         if !req.warnings.is_empty() && report.plan.p2p_epoch_functions.is_empty() {
             report.plan.p2p_epoch_functions = crate::p2p::finalize_functions(m);
         }
@@ -524,6 +659,56 @@ mod tests {
              fn main() { parallel { w(); } }",
         );
         assert_eq!(r.contexts.len(), 2);
+    }
+
+    #[test]
+    fn timed_analysis_matches_untimed_and_covers_phases() {
+        let unit = parse_and_check(
+            "t.mh",
+            "fn exchange() { MPI_Barrier(); }
+             fn main() {
+                 MPI_Init();
+                 if (rank() == 0) { exchange(); }
+                 let peer = size() - 1 - rank();
+                 let rr = MPI_Irecv(peer, 5);
+                 MPI_Send(1.0, peer, 5);
+                 let v = MPI_Wait(rr);
+                 MPI_Finalize();
+             }",
+        )
+        .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let opts = AnalysisOptions::default();
+        let plain = analyze_module(&m, &opts);
+        let (timed, t) = analyze_module_timed(&m, &opts, parcoach_pool::global());
+        assert_eq!(format!("{plain:?}"), format!("{timed:?}"));
+        assert!(t.total > Duration::ZERO);
+        // Every phase ran (well-formed rows, total listed last).
+        let lines = t.lines();
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[lines.len() - 1].0, "total");
+        assert!(t.contexts + t.facts <= t.total * 2, "sane magnitudes");
+    }
+
+    #[test]
+    fn uncached_pdf_path_matches_memoized() {
+        let src = "fn exchange() { MPI_Barrier(); }
+             fn main() {
+                 if (rank() == 0) { exchange(); } else { exchange(); }
+                 if (rank() > 1) { MPI_Barrier(); }
+                 for (i in 0..3) { let x = MPI_Allreduce(i, SUM); }
+             }";
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let memo = analyze_module(&m, &AnalysisOptions::default());
+        let raw = analyze_module(
+            &m,
+            &AnalysisOptions {
+                pdf_memo: false,
+                ..AnalysisOptions::default()
+            },
+        );
+        assert_eq!(format!("{memo:?}"), format!("{raw:?}"));
     }
 
     #[test]

@@ -163,10 +163,17 @@ pub struct ModuleRequests {
     pub per_func: HashMap<String, FuncRequests>,
 }
 
+/// Shared empty resolution for functions absent from the map.
+static EMPTY_FUNC_REQUESTS: FuncRequests = FuncRequests {
+    per_reg: Vec::new(),
+};
+
 impl ModuleRequests {
-    /// Resolution for one function (empty resolution when absent).
-    pub fn of_func(&self, name: &str) -> FuncRequests {
-        self.per_func.get(name).cloned().unwrap_or_default()
+    /// Borrowed resolution for one function (a shared empty resolution
+    /// when absent) — the analysis phases read this through
+    /// [`crate::facts::AnalysisCx`].
+    pub fn func(&self, name: &str) -> &FuncRequests {
+        self.per_func.get(name).unwrap_or(&EMPTY_FUNC_REQUESTS)
     }
 }
 
@@ -294,11 +301,13 @@ pub struct RequestResult {
 }
 
 /// Check every function's request life-cycle: each post class must be
-/// completable by some wait, and every wait must have a post.
-pub fn check_requests(m: &Module, reqs: &ModuleRequests) -> RequestResult {
+/// completable by some wait, and every wait must have a post. Register
+/// resolutions come from the fact store.
+pub fn check_requests(cx: &crate::facts::AnalysisCx) -> RequestResult {
+    let m = cx.module;
     let mut out = RequestResult::default();
-    for f in &m.funcs {
-        let fr = reqs.of_func(&f.name);
+    for (fidx, f) in m.funcs.iter().enumerate() {
+        let fr = cx.reqs_of(fidx);
         // Collect post sites and the classes the function's waits cover.
         let mut posts: Vec<(ReqId, &'static str, Span)> = Vec::new();
         let mut waited: Vec<ReqId> = Vec::new();
@@ -310,14 +319,14 @@ pub fn check_requests(m: &Module, reqs: &ModuleRequests) -> RequestResult {
                 };
                 match op {
                     MpiIr::Isend { .. } => {
-                        posts.push((post_class(&fr, i), "MPI_Isend", *span));
+                        posts.push((post_class(fr, i), "MPI_Isend", *span));
                     }
                     MpiIr::Irecv { .. } => {
-                        posts.push((post_class(&fr, i), "MPI_Irecv", *span));
+                        posts.push((post_class(fr, i), "MPI_Irecv", *span));
                     }
                     MpiIr::Wait { request } => {
                         record_wait(
-                            &fr,
+                            fr,
                             *request,
                             *span,
                             f,
@@ -329,7 +338,7 @@ pub fn check_requests(m: &Module, reqs: &ModuleRequests) -> RequestResult {
                     MpiIr::Waitall { requests } => {
                         for r in requests {
                             record_wait(
-                                &fr,
+                                fr,
                                 *r,
                                 *span,
                                 f,
@@ -416,17 +425,21 @@ mod tests {
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
 
-    fn run(src: &str) -> (Module, ModuleRequests, RequestResult) {
+    fn run(src: &str) -> (ModuleRequests, RequestResult) {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let reqs = compute_requests(&m);
-        let result = check_requests(&m, &reqs);
-        (m, reqs, result)
+        let cx = crate::facts::AnalysisCx::build(
+            &m,
+            crate::pw::InitialContext::Sequential,
+            parcoach_pool::global(),
+        );
+        let result = check_requests(&cx);
+        (compute_requests(&m), result)
     }
 
     #[test]
     fn waited_requests_are_quiet() {
-        let (_m, reqs, r) = run("fn main() {
+        let (reqs, r) = run("fn main() {
                 let a = MPI_Irecv(0, 1);
                 let b = MPI_Isend(1, 0, 1);
                 let v = MPI_Wait(a);
@@ -438,7 +451,7 @@ mod tests {
 
     #[test]
     fn leaked_isend_flagged() {
-        let (_m, _reqs, r) = run("fn main() {
+        let (_reqs, r) = run("fn main() {
                 let s = MPI_Isend(1, 0, 1);
             }");
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
@@ -448,7 +461,7 @@ mod tests {
 
     #[test]
     fn leaked_irecv_flagged() {
-        let (_m, _reqs, r) = run("fn main() {
+        let (_reqs, r) = run("fn main() {
                 let a = MPI_Irecv(MPI_ANY_SOURCE, MPI_ANY_TAG);
                 let b = MPI_Irecv(0, 1);
                 let v = MPI_Wait(b);
@@ -460,7 +473,7 @@ mod tests {
 
     #[test]
     fn copies_keep_the_class() {
-        let (_m, _reqs, r) = run("fn main() {
+        let (_reqs, r) = run("fn main() {
                 let a = MPI_Irecv(0, 1);
                 let b = a;
                 let v = MPI_Wait(b);
@@ -472,7 +485,7 @@ mod tests {
     fn merged_wait_operand_is_conservative() {
         // A wait on a control-flow-merged handle may complete either
         // post: no leak is provable, no warning fires.
-        let (_m, _reqs, r) = run("fn main() {
+        let (_reqs, r) = run("fn main() {
                 let a = MPI_Irecv(0, 1);
                 if (rank() == 0) { a = MPI_Irecv(0, 2); }
                 let v = MPI_Wait(a);
@@ -511,8 +524,12 @@ mod tests {
             span: Span::DUMMY,
         };
         let m = Module::new(vec![f]);
-        let reqs = compute_requests(&m);
-        let r = check_requests(&m, &reqs);
+        let cx = crate::facts::AnalysisCx::build(
+            &m,
+            crate::pw::InitialContext::Sequential,
+            parcoach_pool::global(),
+        );
+        let r = check_requests(&cx);
         assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
         assert_eq!(r.warnings[0].kind, WarningKind::WaitWithoutPost);
     }

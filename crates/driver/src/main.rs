@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
-//!                            [--jobs N] [--deterministic]
+//!                            [--jobs N] [--deterministic] [--timings]
 //! parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument]
 //!                            [--jobs N] [--deterministic]
 //! parcoachc dump-cfg <file.mh> [function]
@@ -14,7 +14,8 @@
 //! `--jobs N` sizes the analysis thread pool (default: the machine's
 //! parallelism, or `PARCOACH_JOBS`); `--deterministic` makes pool
 //! scheduling reproducible. Reports are byte-identical for any `--jobs`
-//! either way.
+//! either way. `--timings` (or `PARCOACH_TIMINGS=1`) prints the
+//! per-phase wall-time breakdown of the static analysis to stderr.
 //!
 //! Exit codes: 0 = clean, 1 = static warnings only, 2 = dynamic error
 //! detected, 3 = usage/compile error. Bad flag values (`--jobs 0`,
@@ -22,7 +23,8 @@
 //! stderr, exit 3.
 
 use parcoach_core::{
-    analyze_module, instrument_module, AnalysisOptions, InitialContext, InstrumentMode,
+    analyze_module, analyze_module_timed, instrument_module, AnalysisOptions, InitialContext,
+    InstrumentMode,
 };
 use parcoach_front::parse_and_check;
 use parcoach_interp::{Executor, RunConfig};
@@ -63,7 +65,7 @@ parcoachc — static/dynamic validation of MPI collectives in multi-threaded pro
 
 USAGE:
     parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
-                               [--jobs N] [--deterministic]
+                               [--jobs N] [--deterministic] [--timings]
     parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument] [--full]
                                [--jobs N] [--deterministic]
     parcoachc dump-cfg <file.mh> [function]
@@ -73,6 +75,8 @@ USAGE:
 
     --jobs N          analysis pool width (>= 1; default: machine parallelism)
     --deterministic   reproducible pool scheduling (fixed victim-selection seed)
+    --timings         print per-phase analysis wall times to stderr
+                      (also enabled by PARCOACH_TIMINGS=1)
 ";
 
 struct Loaded {
@@ -95,10 +99,12 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("check: missing file")?;
     let mut opts = AnalysisOptions::default();
     let mut pool = PoolFlags::default();
+    let mut timings = std::env::var("PARCOACH_TIMINGS").is_ok_and(|v| v == "1");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--no-refine" => opts.refine_matching = false,
+            "--timings" => timings = true,
             "--context" => {
                 i += 1;
                 opts.entry_context = match args.get(i).map(String::as_str) {
@@ -119,7 +125,16 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
     pool.apply();
     let loaded = load(path)?;
-    let report = analyze_module(&loaded.module, &opts);
+    let report = if timings {
+        let (report, t) = analyze_module_timed(&loaded.module, &opts, parcoach_pool::global());
+        eprintln!("--- static phase timings ---");
+        for (phase, dur) in t.lines() {
+            eprintln!("{phase:<12} {:>10.3} ms", dur.as_secs_f64() * 1e3);
+        }
+        report
+    } else {
+        analyze_module(&loaded.module, &opts)
+    };
     println!("{}", report.render(&loaded.unit.source_map));
     if report.is_clean() {
         println!("verified statically: no instrumentation needed");

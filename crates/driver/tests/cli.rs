@@ -217,6 +217,40 @@ fn jobs_and_deterministic_flags_accepted() {
 }
 
 #[test]
+fn check_timings_prints_phase_breakdown() {
+    let p = write_mh("timings", DIVERGENT);
+    let file = p.to_str().unwrap();
+    // Flag form: breakdown on stderr, report on stdout, exit unchanged.
+    let out = parcoachc(&["check", file, "--timings"]);
+    assert_eq!(exit_code(&out), 1, "stdout: {}", stdout(&out));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    for phase in [
+        "static phase timings",
+        "contexts",
+        "facts",
+        "mono",
+        "concurrency",
+        "matching",
+        "p2p",
+        "requests",
+        "total",
+    ] {
+        assert!(err.contains(phase), "missing `{phase}` in: {err}");
+    }
+    // The timed path must not change the report itself.
+    let plain = parcoachc(&["check", file]);
+    assert_eq!(stdout(&out), stdout(&plain));
+    // Env form.
+    let out = Command::new(env!("CARGO_BIN_EXE_parcoachc"))
+        .args(["check", file])
+        .env("PARCOACH_TIMINGS", "1")
+        .output()
+        .expect("spawn parcoachc");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("static phase timings"), "{err}");
+}
+
+#[test]
 fn check_reports_identical_across_jobs() {
     // The analysis fans out over the pool; the rendered report must be
     // byte-identical whatever the width.

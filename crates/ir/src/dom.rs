@@ -284,35 +284,89 @@ impl PostDomTree {
     /// Iterated post-dominance frontier of a set of blocks: the fixpoint
     /// `PDF+(S) = PDF(S ∪ PDF+(S))`. This is the divergence-point set of
     /// PARCOACH's Algorithm 1.
+    ///
+    /// Recomputes the per-block frontiers on every call; when many sets
+    /// are queried against one function, compute [`PostDomTree::frontier`]
+    /// once and use an [`IpdfEngine`] instead.
     pub fn iterated_frontier(&self, f: &FuncIr, set: &[BlockId]) -> Vec<BlockId> {
-        let pdf = self.frontier(f);
-        let n = f.block_count();
-        let mut in_result = vec![false; n];
-        let mut queued = vec![false; n];
-        let mut work: Vec<BlockId> = Vec::new();
-        for &b in set {
-            if !queued[b.index()] {
-                queued[b.index()] = true;
-                work.push(b);
-            }
+        iterated_frontier_from(&self.frontier(f), set)
+    }
+}
+
+/// The `PDF+` worklist fixpoint over precomputed per-block frontiers.
+/// The result is sorted ascending.
+pub fn iterated_frontier_from(pdf: &[Vec<BlockId>], set: &[BlockId]) -> Vec<BlockId> {
+    let n = pdf.len();
+    let mut in_result = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut work: Vec<BlockId> = Vec::new();
+    for &b in set {
+        if !queued[b.index()] {
+            queued[b.index()] = true;
+            work.push(b);
         }
-        while let Some(b) = work.pop() {
-            for &d in &pdf[b.index()] {
-                if !in_result[d.index()] {
-                    in_result[d.index()] = true;
-                    if !queued[d.index()] {
-                        queued[d.index()] = true;
-                        work.push(d);
-                    }
+    }
+    while let Some(b) = work.pop() {
+        for &d in &pdf[b.index()] {
+            if !in_result[d.index()] {
+                in_result[d.index()] = true;
+                if !queued[d.index()] {
+                    queued[d.index()] = true;
+                    work.push(d);
                 }
             }
         }
-        let mut out: Vec<BlockId> = (0..n as u32)
-            .map(BlockId)
-            .filter(|b| in_result[b.index()])
-            .collect();
-        out.sort_unstable();
+    }
+    let mut out: Vec<BlockId> = (0..n as u32)
+        .map(BlockId)
+        .filter(|b| in_result[b.index()])
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Memoizing iterated-PDF engine: per-block post-dominance frontiers are
+/// computed once (by the caller, via [`PostDomTree::frontier`]) and the
+/// `PDF+` of each queried *block set* is cached, keyed by the normalized
+/// (sorted, deduplicated) set. Two collective events issued from the
+/// same blocks share one fixpoint computation.
+pub struct IpdfEngine<'a> {
+    pdf: &'a [Vec<BlockId>],
+    cache: std::collections::HashMap<Vec<BlockId>, Vec<BlockId>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> IpdfEngine<'a> {
+    /// Build an engine over precomputed per-block frontiers.
+    pub fn new(pdf: &'a [Vec<BlockId>]) -> IpdfEngine<'a> {
+        IpdfEngine {
+            pdf,
+            cache: std::collections::HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `PDF+(set)`, served from the cache when the (normalized) set was
+    /// queried before. Identical to [`PostDomTree::iterated_frontier`].
+    pub fn iterated(&mut self, set: &[BlockId]) -> Vec<BlockId> {
+        let mut key: Vec<BlockId> = set.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(cached) = self.cache.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let out = iterated_frontier_from(self.pdf, &key);
+        self.misses += 1;
+        self.cache.insert(key, out.clone());
         out
+    }
+
+    /// `(cache hits, cache misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -495,6 +549,46 @@ mod tests {
         assert_eq!(df[1], vec![BlockId(3)]);
         assert_eq!(df[2], vec![BlockId(3)]);
         assert!(df[0].is_empty());
+    }
+
+    #[test]
+    fn ipdf_engine_matches_uncached_path() {
+        // Nested conditionals + a loop: engine results (cached and not)
+        // must equal the recompute-per-set path for every seed set.
+        let f = func_from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 5),
+            ],
+        );
+        let pdt = PostDomTree::compute(&f);
+        let pdf = pdt.frontier(&f);
+        let mut engine = IpdfEngine::new(&pdf);
+        let sets: Vec<Vec<BlockId>> = vec![
+            vec![BlockId(2)],
+            vec![BlockId(6)],
+            vec![BlockId(2), BlockId(3)],
+            vec![BlockId(3), BlockId(2)], // permutation: same normalized key
+            vec![BlockId(2), BlockId(2)], // duplicate: same normalized key
+        ];
+        for set in &sets {
+            assert_eq!(
+                engine.iterated(set),
+                pdt.iterated_frontier(&f, set),
+                "engine diverges on {set:?}"
+            );
+        }
+        let (hits, misses) = engine.stats();
+        assert_eq!(hits, 2, "permuted/duplicated sets must hit the cache");
+        assert_eq!(misses, 3);
     }
 
     #[test]

@@ -721,6 +721,33 @@ fn main() {
             expect_dynamic: ExpectDynamic::Clean,
         },
         ErrorCase {
+            id: "ok-halo-exchange-subcomm",
+            description: "HERA-style comm-split halo exchange: isend/irecv \
+                          per step completed by MPI_Waitall on the \
+                          sub-communicator, then a subcomm allreduce \
+                          (request tables + per-comm matching under load)",
+            source: r#"
+fn main() {
+    MPI_Init();
+    let c = MPI_Comm_split(MPI_COMM_WORLD, 0, rank());
+    let peer = size() - 1 - rank();
+    let acc = 0.0;
+    for (step in 0..3) {
+        let r = MPI_Irecv(peer, 7, c);
+        let s = MPI_Isend(float_of(step) + 0.5, peer, 7, c);
+        MPI_Waitall(r, s);
+    }
+    let total = MPI_Allreduce(acc + 1.0, SUM, c);
+    print(total);
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
             id: "ok-balanced-branches",
             description: "same collective on both branches (refinement removes \
                           the PDF+ candidate)",
@@ -786,6 +813,9 @@ pub fn paper_ref(id: &str) -> &'static str {
             "extension: non-blocking p2p (correct controls)"
         }
         "ok-wildcard-subcomm" => "extension: wildcard matching per communicator",
+        "ok-halo-exchange-subcomm" => {
+            "extension: non-blocking halo exchange on a sub-communicator (correct control)"
+        }
         _ => "unmapped",
     }
 }
