@@ -30,6 +30,7 @@ use crate::request::{compute_requests, FuncRequests, ModuleRequests};
 use parcoach_front::span::Span;
 use parcoach_ir::dom::{DomTree, PostDomTree};
 use parcoach_ir::func::Module;
+use parcoach_ir::instr::Instr;
 use parcoach_ir::loops::LoopInfo;
 use parcoach_ir::types::BlockId;
 
@@ -104,6 +105,40 @@ pub struct AnalysisCx<'m> {
     pub words: WordArena,
     /// Per-function facts, indexed like `module.funcs`.
     pub funcs: Vec<FuncFacts>,
+    /// Entry-point reachability, indexed like `module.funcs`: `main`
+    /// and everything transitively called from it. The phases only
+    /// diagnose reachable code — an uncalled helper can neither warn
+    /// (its operations never execute: a guaranteed false positive,
+    /// found by differential fuzzing) nor feed the module-wide p2p
+    /// matcher (its sends would silently balance reachable receives).
+    pub reachable: Vec<bool>,
+}
+
+/// Walk the call graph from `main`. Modules without a `main`
+/// (library-style inputs, unit-test fixtures) keep every function
+/// reachable.
+fn compute_reachable(m: &Module) -> Vec<bool> {
+    let Some(&entry) = m.by_name.get("main") else {
+        return vec![true; m.funcs.len()];
+    };
+    let mut reachable = vec![false; m.funcs.len()];
+    reachable[entry] = true;
+    let mut work = vec![entry];
+    while let Some(fidx) = work.pop() {
+        for b in &m.funcs[fidx].blocks {
+            for i in &b.instrs {
+                if let Instr::Call { func, .. } = i {
+                    if let Some(&cidx) = m.by_name.get(func) {
+                        if !reachable[cidx] {
+                            reachable[cidx] = true;
+                            work.push(cidx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    reachable
 }
 
 /// The pool-computed part of one function's facts (no interning, so the
@@ -203,6 +238,7 @@ impl<'m> AnalysisCx<'m> {
             });
         }
 
+        let reachable = compute_reachable(m);
         AnalysisCx {
             module: m,
             ctxs,
@@ -212,7 +248,23 @@ impl<'m> AnalysisCx<'m> {
             events,
             words,
             funcs,
+            reachable,
         }
+    }
+
+    /// Is function `fidx` reachable from the entry point?
+    pub fn is_reachable(&self, fidx: usize) -> bool {
+        self.reachable[fidx]
+    }
+
+    /// Is the function named `name` reachable from the entry point?
+    /// Unknown names read as reachable (the conservative answer for
+    /// callers that only have a name, e.g. context-fixpoint call sites).
+    pub fn is_reachable_name(&self, name: &str) -> bool {
+        self.module
+            .by_name
+            .get(name)
+            .is_none_or(|&i| self.reachable[i])
     }
 
     /// The communicator register resolution of function `fidx`.

@@ -133,10 +133,16 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
     let comms = &cx.comms;
     let mut out = P2pResult::default();
 
-    // Collect every site, module-wide, in deterministic order.
+    // Collect every site, module-wide, in deterministic order —
+    // *reachable* functions only: an uncalled helper's traffic never
+    // flows, so its sends must neither warn nor balance the keys of
+    // receives that do execute.
     let mut sites: Vec<Site> = Vec::new();
     let mut waits: Vec<WaitSite> = Vec::new();
     for (fidx, f) in m.funcs.iter().enumerate() {
+        if !cx.is_reachable(fidx) {
+            continue;
+        }
         let fc = cx.comms_of(fidx);
         let fr = cx.reqs_of(fidx);
         for (bid, b) in f.iter_blocks() {

@@ -164,7 +164,9 @@ pub fn analyze_module_timed(
 }
 
 /// The three per-function phases' output for one function, produced on a
-/// pool worker and merged into the report in function order.
+/// pool worker and merged into the report in function order. `Default`
+/// is the empty analysis — what an entry-unreachable function gets.
+#[derive(Default)]
 struct FuncAnalysis {
     warnings: Vec<StaticWarning>,
     /// Collective blocks needing `CC` instrumentation (phases 1–3, in
@@ -272,8 +274,12 @@ fn analyze_module_inner(
     }
 
     // Interprocedural phase-1 findings: collective-bearing functions
-    // called from multithreaded contexts.
+    // called from multithreaded contexts. Only for call sites that can
+    // actually execute — see `AnalysisCx::reachable`.
     for (caller, callee, span) in &cx.ctxs.multithreaded_calls {
+        if !cx.is_reachable_name(caller) {
+            continue;
+        }
         report.warnings.push(StaticWarning {
             kind: WarningKind::MultithreadedCall,
             func: caller.clone(),
@@ -288,8 +294,17 @@ fn analyze_module_inner(
     }
 
     // Per-function fan-out: the phases only read the shared facts.
+    // Entry-unreachable functions are skipped wholesale — their
+    // operations never execute, so any diagnosis would be a guaranteed
+    // false positive (and their suspects would bloat the plan).
     let idxs: Vec<usize> = (0..m.funcs.len()).collect();
-    let per_func = pool.par_map(&idxs, |&i| analyze_function(&cx, i, opts, sink));
+    let per_func = pool.par_map(&idxs, |&i| {
+        if cx.is_reachable(i) {
+            analyze_function(&cx, i, opts, sink)
+        } else {
+            FuncAnalysis::default()
+        }
+    });
 
     let mut cc_functions: HashSet<Sym> = HashSet::new();
     let mut tainted: Vec<Sym> = Vec::new();

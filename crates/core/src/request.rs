@@ -307,6 +307,12 @@ pub fn check_requests(cx: &crate::facts::AnalysisCx) -> RequestResult {
     let m = cx.module;
     let mut out = RequestResult::default();
     for (fidx, f) in m.funcs.iter().enumerate() {
+        // Requests in entry-unreachable functions are never posted;
+        // diagnosing their life-cycle would be a guaranteed false
+        // positive (same policy as the other phases).
+        if !cx.is_reachable(fidx) {
+            continue;
+        }
         let fr = cx.reqs_of(fidx);
         // Collect post sites and the classes the function's waits cover.
         let mut posts: Vec<(ReqId, &'static str, Span)> = Vec::new();

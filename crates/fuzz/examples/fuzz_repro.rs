@@ -1,0 +1,27 @@
+//! Reproduce one fuzz module: `fuzz_repro <generator-seed>` regenerates
+//! and re-observes a module by seed; `fuzz_repro <path.mh>` observes a
+//! source file (e.g. a minimized corpus entry). Prints the source and
+//! six repeated observations — any variation across them is a
+//! determinism bug.
+
+use parcoach_fuzz::{observe, OracleConfig, OracleOutcome};
+use parcoach_testutil::Scenario;
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .expect("usage: fuzz_repro <seed|file.mh>");
+    let src = match arg.parse::<u64>() {
+        Ok(seed) => Scenario::generate(seed).render(),
+        Err(_) => std::fs::read_to_string(&arg).expect("readable source file"),
+    };
+    println!("{src}");
+    for i in 0..6 {
+        match observe("repro.mh", &src, &OracleConfig::default()) {
+            OracleOutcome::Valid(o) => {
+                println!("run {i}: static={:?} dyn={:?}", o.static_codes, o.dyn_codes)
+            }
+            OracleOutcome::Invalid(e) => println!("run {i}: INVALID {e}"),
+        }
+    }
+}

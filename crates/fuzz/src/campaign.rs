@@ -1,0 +1,281 @@
+//! Campaign driver: rounds of generated modules through the oracle,
+//! sharded over the pool in-process (and over worker processes by the
+//! bin), with the loop-until-dry stopping criterion.
+
+use crate::classify::{classify, is_disagreement};
+use crate::oracle::{observe, OracleConfig, OracleOutcome};
+use parcoach_pool::Pool;
+use parcoach_testutil::Scenario;
+use std::collections::BTreeSet;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign seed; module seeds derive from `(seed, index)`.
+    pub seed: u64,
+    /// Maximum rounds.
+    pub rounds: usize,
+    /// Modules per round (the dry-out granularity).
+    pub modules_per_round: usize,
+    /// Stop after this many consecutive rounds with no new
+    /// disagreement class; `0` disables early stopping.
+    pub dry_rounds: usize,
+    /// Process sharding: `(shard_index, shard_count)` keeps only module
+    /// indices with `index % shard_count == shard_index`. The parent
+    /// merges records by index, so sharding never changes results.
+    pub shard: Option<(usize, usize)>,
+    /// Oracle knobs.
+    pub oracle: OracleConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            rounds: 5,
+            modules_per_round: 40,
+            dry_rounds: 3,
+            shard: None,
+            oracle: OracleConfig::default(),
+        }
+    }
+}
+
+/// One module's differential record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleRecord {
+    /// Global module index (`round * modules_per_round + position`).
+    pub index: u64,
+    /// Derived generator seed — the reproduction handle.
+    pub seed: u64,
+    /// Round this module belongs to.
+    pub round: usize,
+    /// Polarity name, or `invalid` for generator bugs.
+    pub polarity: String,
+    /// Class keys ([`crate::classify::classify`]); empty when invalid.
+    pub class_keys: Vec<String>,
+    /// Sorted static warning codes.
+    pub static_codes: Vec<String>,
+    /// Sorted dynamic error codes (`hang` for a watchdog kill).
+    pub dyn_codes: Vec<String>,
+    /// Compile diagnostics when the module was invalid.
+    pub invalid: Option<String>,
+}
+
+/// Mix a campaign seed and a module index into a generator seed.
+/// Depends on nothing else — not jobs, not shards, not the round count
+/// — which is what makes every execution layout equivalent and smaller
+/// campaigns strict prefixes of larger ones.
+pub fn module_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed
+        .rotate_left(17)
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate, observe and classify one module.
+pub fn evaluate_module(cfg: &CampaignConfig, index: u64, round: usize) -> ModuleRecord {
+    let seed = module_seed(cfg.seed, index);
+    let src = Scenario::generate(seed).render();
+    match observe(&format!("fuzz_{index}.mh"), &src, &cfg.oracle) {
+        OracleOutcome::Valid(obs) => {
+            let c = classify(&obs);
+            ModuleRecord {
+                index,
+                seed,
+                round,
+                polarity: c.polarity.name().to_string(),
+                class_keys: c.class_keys,
+                static_codes: obs.static_codes,
+                dyn_codes: obs.dyn_codes,
+                invalid: None,
+            }
+        }
+        OracleOutcome::Invalid(diag) => ModuleRecord {
+            index,
+            seed,
+            round,
+            polarity: "invalid".to_string(),
+            class_keys: Vec::new(),
+            static_codes: Vec::new(),
+            dyn_codes: Vec::new(),
+            invalid: Some(diag),
+        },
+    }
+}
+
+/// Dry-out bookkeeping: the set of disagreement classes seen so far and
+/// the streak of rounds that added nothing. Shared between the
+/// in-process loop and the post-hoc merge of worker records so both
+/// stop at the same round.
+#[derive(Debug, Default)]
+pub struct DryTracker {
+    seen: BTreeSet<String>,
+    streak: usize,
+}
+
+impl DryTracker {
+    /// Fresh tracker.
+    pub fn new() -> DryTracker {
+        DryTracker::default()
+    }
+
+    /// Fold one round's class keys; returns `true` if the round
+    /// surfaced a new disagreement class.
+    pub fn observe_round<'a>(&mut self, keys: impl Iterator<Item = &'a String>) -> bool {
+        let mut any_new = false;
+        for k in keys {
+            if is_disagreement(k) && self.seen.insert(k.clone()) {
+                any_new = true;
+            }
+        }
+        if any_new {
+            self.streak = 0;
+        } else {
+            self.streak += 1;
+        }
+        any_new
+    }
+
+    /// Has the campaign gone `dry_rounds` rounds without news?
+    pub fn is_dry(&self, dry_rounds: usize) -> bool {
+        dry_rounds > 0 && self.streak >= dry_rounds
+    }
+
+    /// Disagreement classes seen so far.
+    pub fn seen(&self) -> &BTreeSet<String> {
+        &self.seen
+    }
+}
+
+/// Campaign outcome: records in module-index order plus how it stopped.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Records of every evaluated module, ascending index.
+    pub records: Vec<ModuleRecord>,
+    /// Rounds actually executed.
+    pub rounds_run: usize,
+    /// Whether the dry-out criterion (rather than the round budget)
+    /// ended the campaign.
+    pub dried_out: bool,
+}
+
+/// The module indices of one round, after shard filtering.
+fn round_indices(cfg: &CampaignConfig, round: usize) -> Vec<u64> {
+    let lo = (round * cfg.modules_per_round) as u64;
+    (lo..lo + cfg.modules_per_round as u64)
+        .filter(|i| match cfg.shard {
+            Some((k, n)) => (*i as usize) % n == k,
+            None => true,
+        })
+        .collect()
+}
+
+/// Run a campaign on `pool` (in-process sharding: the round's modules
+/// fan out over `par_map`, whose results keep index order). `progress`
+/// is called once per completed round.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    pool: &Pool,
+    mut progress: impl FnMut(usize, &[ModuleRecord], &DryTracker),
+) -> CampaignResult {
+    let mut tracker = DryTracker::new();
+    let mut records = Vec::new();
+    let mut rounds_run = 0;
+    let mut dried_out = false;
+    for round in 0..cfg.rounds {
+        let indices = round_indices(cfg, round);
+        let batch = pool.par_map(&indices, |&i| evaluate_module(cfg, i, round));
+        tracker.observe_round(batch.iter().flat_map(|m| m.class_keys.iter()));
+        rounds_run = round + 1;
+        progress(round, &batch, &tracker);
+        records.extend(batch);
+        if tracker.is_dry(cfg.dry_rounds) {
+            dried_out = true;
+            break;
+        }
+    }
+    CampaignResult {
+        records,
+        rounds_run,
+        dried_out,
+    }
+}
+
+/// Re-apply the dry-out criterion to merged records (the worker-process
+/// path: each worker runs its shard over the full round budget, the
+/// parent merges by index and truncates where the in-process loop would
+/// have stopped). `records` must be sorted by index.
+pub fn apply_dry(records: Vec<ModuleRecord>, rounds: usize, dry_rounds: usize) -> CampaignResult {
+    let mut tracker = DryTracker::new();
+    let mut kept = Vec::new();
+    let mut rounds_run = 0;
+    let mut dried_out = false;
+    let mut it = records.into_iter().peekable();
+    for round in 0..rounds {
+        let mut batch = Vec::new();
+        while it.peek().is_some_and(|r| r.round == round) {
+            batch.push(it.next().unwrap());
+        }
+        if batch.is_empty() && it.peek().is_none() && round > 0 {
+            break;
+        }
+        tracker.observe_round(batch.iter().flat_map(|m| m.class_keys.iter()));
+        rounds_run = round + 1;
+        kept.extend(batch);
+        if tracker.is_dry(dry_rounds) {
+            dried_out = true;
+            break;
+        }
+    }
+    CampaignResult {
+        records: kept,
+        rounds_run,
+        dried_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_seed_ignores_layout() {
+        // Only (campaign seed, index) matter.
+        assert_eq!(module_seed(42, 17), module_seed(42, 17));
+        assert_ne!(module_seed(42, 17), module_seed(42, 18));
+        assert_ne!(module_seed(42, 17), module_seed(43, 17));
+    }
+
+    #[test]
+    fn shards_partition_each_round() {
+        let mut cfg = CampaignConfig {
+            modules_per_round: 10,
+            ..CampaignConfig::default()
+        };
+        let full = round_indices(&cfg, 3);
+        let mut merged = Vec::new();
+        for k in 0..3 {
+            cfg.shard = Some((k, 3));
+            merged.extend(round_indices(&cfg, 3));
+        }
+        merged.sort_unstable();
+        assert_eq!(full, merged);
+    }
+
+    #[test]
+    fn dry_tracker_counts_consecutive_quiet_rounds() {
+        let mut t = DryTracker::new();
+        let keys = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(t.observe_round(keys(&["static-only:x", "agreed-clean"]).iter()));
+        assert!(!t.observe_round(keys(&["static-only:x"]).iter()));
+        assert!(!t.observe_round(keys(&["agreed-clean"]).iter()));
+        assert!(t.is_dry(2));
+        assert!(!t.is_dry(3));
+        // A new class resets the streak.
+        assert!(t.observe_round(keys(&["dynamic-only:deadlock"]).iter()));
+        assert!(!t.is_dry(2));
+    }
+}

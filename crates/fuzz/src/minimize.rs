@@ -1,0 +1,74 @@
+//! Delta-debugging minimizer: shrink a disagreeing scenario to a
+//! minimal reproducer of its class key.
+//!
+//! The generator keeps scenarios structured ([`Scenario::helpers`] /
+//! [`Scenario::main_stmts`]), so minimization works on whole
+//! statements: greedily drop each one (last first, so consumers go
+//! before producers), keep the removal iff the oracle still reports the
+//! target class, and repeat to a fixpoint; a final pass drops helper
+//! functions no remaining statement calls. Statement removals that
+//! break compilation are rejected by the same predicate (an invalid
+//! module never classifies), so the minimizer needs no name tracking.
+
+use crate::classify::classify;
+use crate::oracle::{observe, OracleConfig, OracleOutcome};
+use parcoach_testutil::Scenario;
+
+/// Does the scenario still exhibit `target_key`?
+fn reproduces(sc: &Scenario, target_key: &str, oracle: &OracleConfig, runs: &mut usize) -> bool {
+    *runs += 1;
+    match observe("minimize.mh", &sc.render(), oracle) {
+        OracleOutcome::Valid(obs) => classify(&obs).class_keys.iter().any(|k| k == target_key),
+        OracleOutcome::Invalid(_) => false,
+    }
+}
+
+/// Minimize `sc` while preserving `target_key`. Returns the shrunk
+/// scenario and the number of oracle runs spent.
+pub fn minimize(sc: &Scenario, target_key: &str, oracle: &OracleConfig) -> (Scenario, usize) {
+    let mut cur = sc.clone();
+    let mut runs = 0;
+    debug_assert!(reproduces(&cur, target_key, oracle, &mut runs));
+    loop {
+        let mut changed = false;
+        // Main statements, last first.
+        let mut i = cur.main_stmts.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = cur.clone();
+            cand.main_stmts.remove(i);
+            if reproduces(&cand, target_key, oracle, &mut runs) {
+                cur = cand;
+                changed = true;
+            }
+        }
+        // Helper statements, last first per helper.
+        for h in 0..cur.helpers.len() {
+            let mut i = cur.helpers[h].stmts.len();
+            while i > 0 {
+                i -= 1;
+                let mut cand = cur.clone();
+                cand.helpers[h].stmts.remove(i);
+                if reproduces(&cand, target_key, oracle, &mut runs) {
+                    cur = cand;
+                    changed = true;
+                }
+            }
+        }
+        // Whole helpers (uncalled ones shrink the rendering; called
+        // ones only go if the class survives without them).
+        let mut h = cur.helpers.len();
+        while h > 0 {
+            h -= 1;
+            let mut cand = cur.clone();
+            cand.helpers.remove(h);
+            if reproduces(&cand, target_key, oracle, &mut runs) {
+                cur = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (cur, runs);
+        }
+    }
+}

@@ -18,8 +18,17 @@
 //!   source-compatible with the real crate. Reports mean/min/max per
 //!   benchmark id on stdout.
 
+//! * [`scenario`] — a structured generator over the full MiniHPC
+//!   scenario grammar (collectives × communicators × non-blocking p2p ×
+//!   wildcards × thread regions/levels) used by the `crates/fuzz`
+//!   differential oracle. Unlike the property-test generators, its
+//!   programs may be erroneous on purpose; it guarantees validity
+//!   (parse/lower/verify) and schedule-deterministic outcomes instead.
+
 pub mod bench;
 pub mod rng;
+pub mod scenario;
 
 pub use bench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
 pub use rng::{case_budget, Rng};
+pub use scenario::{GenFunc, InitLevel, Scenario, ScenarioConfig};

@@ -760,6 +760,136 @@ fn main() {
             expect_static: ExpectStatic::Clean,
             expect_dynamic: ExpectDynamic::Clean,
         },
+        // ---- fuzz-derived cases (minimized differential reproducers) ----
+        // Promoted from the E11 differential-fuzzing campaigns: each is a
+        // delta-debugged counterexample whose static/dynamic verdicts
+        // disagreed (or used to, before the entry-reachability fix).
+        ErrorCase {
+            id: "fuzz-dead-helper-wait-cycle",
+            description: "uncalled helper with a recv-before-send cycle: \
+                          before entry-reachability filtering the static \
+                          phase warned on dead code (fuzz FP reproducer)",
+            source: r#"
+fn dead() {
+    let peer = size() - 1 - rank();
+    let v = MPI_Recv(peer, 1);
+    MPI_Send(v, peer, 1);
+}
+fn main() {
+    MPI_Init();
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "fuzz-dead-helper-send-leak",
+            description: "uncalled helper whose send never completes: dead \
+                          code must not produce unmatched-p2p warnings \
+                          (fuzz FP reproducer)",
+            source: r#"
+fn dead() {
+    MPI_Send(1.5, 0, 4);
+}
+fn main() {
+    MPI_Init();
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "fuzz-dead-helper-request-leak",
+            description: "uncalled helper leaking an isend request: dead \
+                          code must not trip the request life-cycle pass \
+                          (fuzz FP reproducer)",
+            source: r#"
+fn dead() {
+    let peer = size() - 1 - rank();
+    let r = MPI_Isend(2.5, peer, 9);
+}
+fn main() {
+    MPI_Init();
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Clean,
+        },
+        ErrorCase {
+            id: "fuzz-masked-recv-balance",
+            description: "the soundness half of reachability filtering: an \
+                          uncalled helper's send must not balance the \
+                          reachable receive's (comm, tag) key, which would \
+                          mask the deadlock statically",
+            source: r#"
+fn dead() {
+    let peer = size() - 1 - rank();
+    MPI_Send(1.0, peer, 5);
+}
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let v = MPI_Recv(peer, 5);
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("unmatched-p2p"),
+            expect_dynamic: ExpectDynamic::CaughtBySubstrate,
+        },
+        ErrorCase {
+            id: "fuzz-pinned-collector-single",
+            description: "pinned-wrong-source collector inside a single \
+                          region: the SPMD (comm, tag) abstraction cannot \
+                          align peer ranks statically, and the stall \
+                          surfaces as thread-barrier divergence (fuzz FN \
+                          blind-spot reproducer)",
+            source: r#"
+fn collect() {
+    if (rank() == 0) {
+        let r = MPI_Irecv(0, 2);
+        let v = MPI_Wait(r);
+    } else {
+        MPI_Send(1.5, 0, 2);
+    }
+}
+fn main() {
+    MPI_Init_thread(MULTIPLE);
+    parallel num_threads(2) {
+        single { collect(); }
+    }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Clean,
+            expect_dynamic: ExpectDynamic::Fails,
+        },
+        ErrorCase {
+            id: "fuzz-uniform-guard-fp",
+            description: "the fuzzer's minimized form of the uniform-guard \
+                          false positive: a size()-uniform inline condition \
+                          around a collective (cf. fp-uniform-conditional)",
+            source: r#"
+fn main() {
+    MPI_Init_thread(FUNNELED);
+    if (size() > 0) { MPI_Barrier(); }
+    MPI_Finalize();
+}
+"#
+            .into(),
+            expect_static: ExpectStatic::Warns("collective-mismatch"),
+            expect_dynamic: ExpectDynamic::Clean,
+        },
     ]
 }
 
@@ -816,6 +946,14 @@ pub fn paper_ref(id: &str) -> &'static str {
         "ok-halo-exchange-subcomm" => {
             "extension: non-blocking halo exchange on a sub-communicator (correct control)"
         }
+        "fuzz-dead-helper-wait-cycle"
+        | "fuzz-dead-helper-send-leak"
+        | "fuzz-dead-helper-request-leak"
+        | "fuzz-masked-recv-balance" => "E11: entry-reachability fix (fuzz-minimized)",
+        "fuzz-pinned-collector-single" => {
+            "E11: pinned-source blind spot — §3 hybrid rationale (fuzz-minimized)"
+        }
+        "fuzz-uniform-guard-fp" => "§3 (dynamic check clears static FP) — fuzz-minimized",
         _ => "unmapped",
     }
 }
@@ -870,7 +1008,7 @@ mod tests {
     #[test]
     fn catalogue_is_well_formed() {
         let cases = error_catalogue();
-        assert!(cases.len() >= 38);
+        assert!(cases.len() >= 44);
         let mut ids: Vec<_> = cases.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();

@@ -291,6 +291,67 @@ fn leaked_request_caught_by_census() {
     );
 }
 
+/// Regression (found by `fuzz_differential`, minimized by its
+/// delta-debugger): functions unreachable from `main` must not be
+/// diagnosed. Before the fix, an uncalled helper bearing a head-to-head
+/// `recv; send`, a request leak and an unreceived send produced
+/// `mismatched-order` / `unwaited-request` / `unmatched-p2p` warnings —
+/// all guaranteed false positives, since the code never executes.
+#[test]
+fn uncalled_helper_is_not_diagnosed() {
+    let src = r#"
+fn dead() {
+    let peer = size() - 1 - rank();
+    let v = MPI_Recv(peer, 1);
+    MPI_Send(1.0, peer, 1);
+    let s = MPI_Isend(2.0, peer, 24);
+    MPI_Send(42, peer, 21);
+}
+fn main() {
+    MPI_Init();
+    MPI_Barrier();
+    MPI_Finalize();
+}
+"#;
+    let (report, run) = check_and_run("dead.mh", src, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report.is_clean(),
+        "uncalled helper must not warn: {:?}",
+        report.warnings
+    );
+    assert!(run.is_clean(), "{:?}", run.errors);
+}
+
+/// The soundness half of the same fix: before reachability filtering,
+/// an uncalled helper's send fed the module-wide p2p matcher and
+/// silently *balanced* the key of a reachable receive — masking a real
+/// deadlock from the static phase.
+#[test]
+fn unreachable_send_cannot_balance_reachable_recv() {
+    let src = r#"
+fn dead() {
+    let peer = size() - 1 - rank();
+    MPI_Send(1.0, peer, 5);
+}
+fn main() {
+    MPI_Init();
+    let peer = size() - 1 - rank();
+    let v = MPI_Recv(peer, 5);
+    MPI_Finalize();
+}
+"#;
+    let (report, run) = check_and_run("mask.mh", src, RunConfig::fast_fail(2, 2), true).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.kind.code() == "unmatched-p2p"),
+        "the reachable receive has no reachable sender: {:?}",
+        report.warnings
+    );
+    assert!(!run.is_clean(), "the receive deadlocks at run time");
+}
+
 /// Scaling smoke test: more ranks and threads still work.
 #[test]
 fn four_ranks_four_threads() {
