@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parcoach_bench::compile_baseline;
-use parcoach_core::{analyze_module, AnalysisOptions};
+use parcoach_core::AnalysisSession;
 use parcoach_workloads::{hera, WorkloadClass};
 use std::hint::black_box;
 use std::time::Duration;
@@ -23,21 +23,17 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("analyze", format!("HERA-{class:?}-{}loc", w.lines())),
             &module,
-            |b, m| b.iter(|| black_box(analyze_module(m, &AnalysisOptions::default()))),
+            |b, m| {
+                let mut session = AnalysisSession::builder().build();
+                b.iter(|| black_box(session.check_module(m)))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("analyze-no-refine", format!("HERA-{class:?}")),
             &module,
             |b, m| {
-                b.iter(|| {
-                    black_box(analyze_module(
-                        m,
-                        &AnalysisOptions {
-                            refine_matching: false,
-                            ..AnalysisOptions::default()
-                        },
-                    ))
-                })
+                let mut session = AnalysisSession::builder().refine_matching(false).build();
+                b.iter(|| black_box(session.check_module(m)))
             },
         );
     }

@@ -11,9 +11,7 @@
 //!
 //! Usage: `cargo run --release -p parcoach-bench --bin ablation_pdf_memo [A|B|C] [reps]`
 
-use parcoach_bench::{lower_workload, static_phase_breakdown};
-use parcoach_core::AnalysisOptions;
-use parcoach_pool::{Pool, PoolConfig};
+use parcoach_bench::{bench_session, lower_workload, static_phase_breakdown};
 use parcoach_workloads::{figure1_suite, WorkloadClass};
 
 fn main() {
@@ -27,18 +25,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
 
-    // jobs = 1 so the per-function phase sums equal wall time and the
-    // two configurations are compared on identical schedules.
-    let pool = Pool::new(PoolConfig {
-        jobs: 1,
-        deterministic: true,
-        seed: 42,
-    });
-    let cached_opts = AnalysisOptions::default();
-    let uncached_opts = AnalysisOptions {
-        pdf_memo: false,
-        ..AnalysisOptions::default()
-    };
+    // See `bench_session`: 1-lane deterministic pool, memo on vs off.
+    let mut cached = bench_session(true);
+    let mut uncached = bench_session(false);
 
     println!("E10 — PDF+ memoization ablation (class {class:?}, {reps} reps, min)");
     println!(
@@ -47,8 +36,8 @@ fn main() {
     );
     for w in figure1_suite(class) {
         let module = lower_workload(&w);
-        let cached = static_phase_breakdown(&module, &cached_opts, &pool, reps);
-        let uncached = static_phase_breakdown(&module, &uncached_opts, &pool, reps);
+        let cached = static_phase_breakdown(&module, &mut cached, reps);
+        let uncached = static_phase_breakdown(&module, &mut uncached, reps);
         let ms = |d: std::time::Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
         let ratio = uncached.matching.as_secs_f64() / cached.matching.as_secs_f64().max(1e-9);
         println!(

@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p parcoach-bench --bin ablation_selective [A|B|C]`
 
 use parcoach_bench::compile_baseline;
-use parcoach_core::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach_core::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach_workloads::{figure1_suite, WorkloadClass};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
                     .count()
             })
             .sum();
-        let report = analyze_module(&module, &AnalysisOptions::default());
+        let report = AnalysisSession::builder().build().check_module(&module);
         let (_m1, sel) = instrument_module(&module, &report, InstrumentMode::Selective);
         let (_m2, full) = instrument_module(&module, &report, InstrumentMode::Full);
         let saved = if full.total() > 0 {
@@ -64,7 +64,7 @@ fn main() {
     );
     for w in figure1_suite(class) {
         let (_u, module) = compile_baseline(w.name, &w.source);
-        let refined = analyze_module(&module, &AnalysisOptions::default());
+        let refined = AnalysisSession::builder().build().check_module(&module);
         println!(
             "{:<8} {:>14} {:>14} {:>12}",
             w.name,

@@ -11,8 +11,7 @@
 //! confidence intervals for the same quantities.
 
 use parcoach_core::{
-    analyze_module, analyze_module_timed, instrument_module, AnalysisOptions, InstrumentMode,
-    PhaseTimings, StaticReport,
+    instrument_module, AnalysisSession, InstrumentMode, PhaseTimings, StaticReport,
 };
 use parcoach_front::parse_and_check;
 use parcoach_front::CheckedUnit;
@@ -42,7 +41,7 @@ pub fn compile_baseline(name: &str, src: &str) -> (CheckedUnit, Module) {
 pub fn compile_with_warnings(name: &str, src: &str) -> (Module, StaticReport) {
     let unit = parse_and_check(name, src).expect("workload compiles");
     let mut module = lower_program(&unit.program, &unit.signatures);
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     parcoach_ir::opt::optimize_module(&mut module, 4);
     for f in &module.funcs {
         let _ = parcoach_ir::opt::allocate(f);
@@ -56,7 +55,7 @@ pub fn compile_with_warnings(name: &str, src: &str) -> (Module, StaticReport) {
 pub fn compile_with_codegen(name: &str, src: &str) -> (Module, StaticReport) {
     let unit = parse_and_check(name, src).expect("workload compiles");
     let module = lower_program(&unit.program, &unit.signatures);
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     let (mut instrumented, _stats) = instrument_module(&module, &report, InstrumentMode::Selective);
     parcoach_ir::opt::optimize_module(&mut instrumented, 4);
     for f in &instrumented.funcs {
@@ -66,8 +65,8 @@ pub fn compile_with_codegen(name: &str, src: &str) -> (Module, StaticReport) {
 }
 
 /// Lower a workload to its analysis-input IR (parse + sema + lower,
-/// no optimizer) — the module shape `analyze_module` sees inside the
-/// compile pipelines. Used by the static-phase micro-benches.
+/// no optimizer) — the module shape the analysis session sees inside
+/// the compile pipelines. Used by the static-phase micro-benches.
 pub fn lower_workload(w: &parcoach_workloads::Workload) -> Module {
     let unit = parse_and_check(w.name, &w.source).expect("workload compiles");
     lower_program(&unit.program, &unit.signatures)
@@ -79,14 +78,14 @@ pub fn lower_workload(w: &parcoach_workloads::Workload) -> Module {
 /// likewise the fastest end-to-end run.
 pub fn static_phase_breakdown(
     module: &Module,
-    opts: &AnalysisOptions,
-    pool: &parcoach_pool::Pool,
+    session: &mut AnalysisSession,
     reps: usize,
 ) -> PhaseTimings {
-    let _ = analyze_module_timed(module, opts, pool); // warm-up
+    let _ = session.check_module(module); // warm-up
     let mut best: Option<PhaseTimings> = None;
     for _ in 0..reps.max(1) {
-        let (_r, t) = analyze_module_timed(module, opts, pool);
+        let _r = session.check_module(module);
+        let t = *session.timings().expect("check records timings");
         best = Some(match best {
             None => t,
             Some(b) => PhaseTimings {
@@ -102,6 +101,21 @@ pub fn static_phase_breakdown(
         });
     }
     best.unwrap_or_default()
+}
+
+/// The measurement session the ablations and CI benches share: a
+/// 1-lane deterministic pool (at `jobs = 1` the per-function phase sums
+/// equal wall time, and the two PDF+ configurations compare on
+/// identical schedules). This is the *one* place the bench side
+/// configures `AnalysisOptions` — the ad-hoc `pdf_memo: false` rebuilds
+/// it replaced drifted independently.
+pub fn bench_session(pdf_memo: bool) -> AnalysisSession {
+    AnalysisSession::builder()
+        .jobs(1)
+        .deterministic(true)
+        .seed(42)
+        .pdf_memo(pdf_memo)
+        .build()
 }
 
 /// Timing statistics over repeated runs.
@@ -271,7 +285,7 @@ mod tests {
         let suite = figure1_suite(WorkloadClass::A);
         let w = suite.iter().find(|w| w.name == "EPCC").unwrap();
         let m = lower_workload(w);
-        let t = static_phase_breakdown(&m, &AnalysisOptions::default(), parcoach_pool::global(), 3);
+        let t = static_phase_breakdown(&m, &mut bench_session(true), 3);
         assert!(t.total > Duration::ZERO);
         // The per-function phases all ran on a collective-rich workload.
         assert!(t.matching > Duration::ZERO);

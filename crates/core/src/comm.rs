@@ -228,6 +228,15 @@ pub fn compute_comms(m: &Module) -> ModuleComms {
 /// (bounded by the register count, in practice two rounds).
 fn resolve_func(f: &FuncIr, table: &mut CommTable) -> FuncComms {
     let n = f.reg_types.len();
+    // Fast path: a function with no comm-typed register can neither
+    // create a communicator class (creation sites define comm-typed
+    // destinations) nor carry one — the fixpoint below would do one
+    // full instruction walk only to conclude exactly this.
+    if !f.reg_types.contains(&Type::Comm) {
+        return FuncComms {
+            per_reg: vec![None; n],
+        };
+    }
     let mut state: Vec<RegComm> = (0..n)
         .map(|i| {
             if f.reg_types[i] == Type::Comm {

@@ -15,10 +15,11 @@
 
 use crate::lang::{classify, MonoVerdict};
 use crate::pw::{compute_pw, InitialContext, PwResult};
+use crate::query::{call_summary, CallSummary, QueryDb};
 use parcoach_front::span::Span;
-use parcoach_ir::func::Module;
-use parcoach_ir::instr::Instr;
+use parcoach_ir::func::{FuncIr, Module};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-module interprocedural facts.
 #[derive(Debug, Clone)]
@@ -32,8 +33,13 @@ pub struct CallContexts {
     pub multithreaded_calls: Vec<(String, String, Span)>,
     /// Parallelism words per function, computed under the final contexts
     /// (reused by the analysis phases — computing pw is the costliest
-    /// part of the pipeline).
-    pub pw: HashMap<String, PwResult>,
+    /// part of the pipeline). `Arc`-shared with the incremental query
+    /// cache so a warm re-check pays no clone.
+    pub pw: HashMap<String, Arc<PwResult>>,
+    /// Per-function call-graph summaries, indexed like `Module::funcs`.
+    /// `Arc`-shared with the incremental query cache; the fact store
+    /// derives entry reachability from these without another IR walk.
+    pub summaries: Vec<Arc<CallSummary>>,
 }
 
 impl CallContexts {
@@ -44,7 +50,7 @@ impl CallContexts {
 
     /// The cached parallelism-word result for `func`.
     pub fn pw_of(&self, func: &str) -> Option<&PwResult> {
-        self.pw.get(func)
+        self.pw.get(func).map(|a| a.as_ref())
     }
 
     /// Does `func` (transitively) execute collectives?
@@ -77,46 +83,62 @@ pub fn compute_contexts_with(
     entry_context: InitialContext,
     pool: &parcoach_pool::Pool,
 ) -> CallContexts {
+    compute_contexts_db(m, entry_context, pool, None)
+}
+
+/// [`compute_contexts_with`] consulting an incremental [`QueryDb`] for
+/// the per-`(function, context)` parallelism words. The db must have
+/// been reconciled against `m` (see [`QueryDb::reconcile_module`]);
+/// cached results are shared by `Arc`, fresh ones are inserted back.
+pub fn compute_contexts_db(
+    m: &Module,
+    entry_context: InitialContext,
+    pool: &parcoach_pool::Pool,
+    mut db: Option<&mut QueryDb>,
+) -> CallContexts {
+    // --- per-function call-graph summaries: served from the query cache
+    // for green functions, derived from the IR otherwise. Everything
+    // below (collective-bearing, the context fixpoint, and — via the
+    // fact store — entry reachability) reads these instead of re-walking
+    // instructions.
+    let summaries: Vec<Arc<CallSummary>> = {
+        let mut v = Vec::with_capacity(m.funcs.len());
+        for f in &m.funcs {
+            let cached = db.as_deref_mut().and_then(|db| db.summary(&f.name));
+            v.push(match cached {
+                Some(s) => s,
+                None => {
+                    let s = Arc::new(call_summary(f));
+                    if let Some(db) = db.as_deref_mut() {
+                        db.insert_summary(&f.name, s.clone());
+                    }
+                    s
+                }
+            });
+        }
+        v
+    };
+
     // --- collective-bearing: own collectives (including the
     // communicator-management collectives, which synchronize their
     // parent's members), then propagate up the call graph to a fixpoint.
     let mut bearing: HashMap<String, bool> = m
         .funcs
         .iter()
-        .map(|f| {
-            let own = !f.collective_blocks().is_empty()
-                || f.blocks.iter().flat_map(|b| &b.instrs).any(|i| match i {
-                    Instr::Mpi { op, .. } => op.comm_mgmt().is_some(),
-                    _ => false,
-                });
-            (f.name.clone(), own)
-        })
-        .collect();
-    let callees: HashMap<String, Vec<String>> = m
-        .funcs
-        .iter()
-        .map(|f| {
-            let mut cs = Vec::new();
-            for b in &f.blocks {
-                for i in &b.instrs {
-                    if let Instr::Call { func, .. } = i {
-                        cs.push(func.clone());
-                    }
-                }
-            }
-            (f.name.clone(), cs)
-        })
+        .zip(&summaries)
+        .map(|(f, s)| (f.name.clone(), s.own_bearing))
         .collect();
     let mut changed = true;
     while changed {
         changed = false;
-        for f in &m.funcs {
+        for (f, s) in m.funcs.iter().zip(&summaries) {
             if bearing[&f.name] {
                 continue;
             }
-            let has = callees[&f.name]
+            let has = s
+                .call_sites
                 .iter()
-                .any(|c| bearing.get(c).copied().unwrap_or(false));
+                .any(|(_, c, _)| bearing.get(c).copied().unwrap_or(false));
             if has {
                 bearing.insert(f.name.clone(), true);
                 changed = true;
@@ -139,58 +161,37 @@ pub fn compute_contexts_with(
     // is cached per (function, context): only functions whose context was
     // raised since the last round pay for recomputation.
     let mut multithreaded_calls: Vec<(String, String, Span)> = Vec::new();
-    let mut pw_cache: HashMap<String, (InitialContext, PwResult)> = HashMap::new();
-    // Refresh the pw cache for every function whose context moved since
-    // its last computation — in parallel, words are per-function pure.
-    let refresh_stale = |pw_cache: &mut HashMap<String, (InitialContext, PwResult)>,
-                         initial: &HashMap<String, InitialContext>| {
-        let stale: Vec<&parcoach_ir::func::FuncIr> = m
-            .funcs
-            .iter()
-            .filter(|f| {
-                let ctx = initial[&f.name];
-                pw_cache.get(&f.name).map(|(c, _)| *c) != Some(ctx)
-            })
-            .collect();
-        let fresh = pool.par_map(&stale, |f| {
-            let ctx = initial[&f.name];
-            (f.name.clone(), (ctx, compute_pw(f, ctx)))
-        });
-        pw_cache.extend(fresh);
-    };
+    let mut pw_cache: HashMap<String, (InitialContext, Arc<PwResult>)> = HashMap::new();
     for _round in 0..(3 * m.funcs.len().max(1)) {
         let mut any = false;
         multithreaded_calls.clear();
-        refresh_stale(&mut pw_cache, &initial);
-        for f in &m.funcs {
+        refresh_stale(m, pool, &mut pw_cache, &initial, &mut db);
+        for (f, s) in m.funcs.iter().zip(&summaries) {
             let pw = &pw_cache[&f.name].1;
-            for (bid, b) in f.iter_blocks() {
-                let call_sites: Vec<(&String, Span)> = b
-                    .instrs
-                    .iter()
-                    .filter_map(|i| match i {
-                        Instr::Call { func, span, .. } => Some((func, *span)),
-                        _ => None,
-                    })
-                    .collect();
-                if call_sites.is_empty() {
+            // Summaries keep sites in block order, so the entry context
+            // of each block is computed once per run of same-block sites.
+            let mut cur: Option<(parcoach_ir::types::BlockId, InitialContext)> = None;
+            for (bid, callee, span) in &s.call_sites {
+                let site_ctx = match cur {
+                    Some((b, ctx)) if b == *bid => ctx,
+                    _ => {
+                        let ctx = site_context(pw, bid.index());
+                        cur = Some((*bid, ctx));
+                        ctx
+                    }
+                };
+                if !initial.contains_key(callee) {
                     continue;
                 }
-                let site_ctx = site_context(pw, bid.index());
-                for (callee, span) in call_sites {
-                    if !initial.contains_key(callee) {
-                        continue;
-                    }
-                    let joined = initial[callee].join(site_ctx);
-                    if joined != initial[callee] {
-                        initial.insert(callee.clone(), joined);
-                        any = true;
-                    }
-                    if site_ctx == InitialContext::Parallel
-                        && bearing.get(callee).copied().unwrap_or(false)
-                    {
-                        multithreaded_calls.push((f.name.clone(), callee.clone(), span));
-                    }
+                let joined = initial[callee].join(site_ctx);
+                if joined != initial[callee] {
+                    initial.insert(callee.clone(), joined);
+                    any = true;
+                }
+                if site_ctx == InitialContext::Parallel
+                    && bearing.get(callee).copied().unwrap_or(false)
+                {
+                    multithreaded_calls.push((f.name.clone(), callee.clone(), *span));
                 }
             }
         }
@@ -200,14 +201,62 @@ pub fn compute_contexts_with(
     }
     // Ensure the cache reflects the *final* contexts (only needed when
     // the round bound was hit with changes still in flight).
-    refresh_stale(&mut pw_cache, &initial);
+    refresh_stale(m, pool, &mut pw_cache, &initial, &mut db);
 
     CallContexts {
         initial,
         collective_bearing: bearing,
         multithreaded_calls,
         pw: pw_cache.into_iter().map(|(k, (_c, pw))| (k, pw)).collect(),
+        summaries,
     }
+}
+
+/// Refresh the fixpoint's pw cache for every function whose context
+/// moved since its last computation. Misses run in parallel (words are
+/// per-function pure); when a [`QueryDb`] is supplied, memoized results
+/// are served as `Arc` clones and fresh ones flow back into it.
+fn refresh_stale(
+    m: &Module,
+    pool: &parcoach_pool::Pool,
+    pw_cache: &mut HashMap<String, (InitialContext, Arc<PwResult>)>,
+    initial: &HashMap<String, InitialContext>,
+    db: &mut Option<&mut QueryDb>,
+) {
+    let stale: Vec<&FuncIr> = m
+        .funcs
+        .iter()
+        .filter(|f| {
+            let ctx = initial[&f.name];
+            pw_cache.get(&f.name).map(|(c, _)| *c) != Some(ctx)
+        })
+        .collect();
+    let misses: Vec<&FuncIr> = match db.as_deref_mut() {
+        None => stale,
+        Some(db) => stale
+            .into_iter()
+            .filter(|f| {
+                let ctx = initial[&f.name];
+                match db.pw(&f.name, ctx) {
+                    Some(pw) => {
+                        pw_cache.insert(f.name.clone(), (ctx, pw));
+                        false
+                    }
+                    None => true,
+                }
+            })
+            .collect(),
+    };
+    let fresh = pool.par_map(&misses, |f| {
+        let ctx = initial[&f.name];
+        (f.name.clone(), (ctx, Arc::new(compute_pw(f, ctx))))
+    });
+    if let Some(db) = db.as_deref_mut() {
+        for (name, (ctx, pw)) in &fresh {
+            db.insert_pw(name, *ctx, pw.clone());
+        }
+    }
+    pw_cache.extend(fresh);
 }
 
 /// Map the pw state at a call-site block to the callee's entry context.

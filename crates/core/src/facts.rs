@@ -26,13 +26,14 @@ use crate::context::{compute_contexts_with, CallContexts};
 use crate::intern::{EventArena, EventId, SymTable, WordArena, WordId};
 use crate::matching::{block_events, Event};
 use crate::pw::{compute_pw, InitialContext, PwResult, PwState};
+use crate::query::QueryDb;
 use crate::request::{compute_requests, FuncRequests, ModuleRequests};
 use parcoach_front::span::Span;
 use parcoach_ir::dom::{DomTree, PostDomTree};
-use parcoach_ir::func::Module;
-use parcoach_ir::instr::Instr;
+use parcoach_ir::func::{FuncIr, Module};
 use parcoach_ir::loops::LoopInfo;
 use parcoach_ir::types::BlockId;
+use std::sync::Arc;
 
 /// Control-flow facts for one *MPI-relevant* function: functions with
 /// no MPI instructions and no collective events (most kernels of a
@@ -54,15 +55,19 @@ pub struct CfgFacts {
 }
 
 /// Facts for one function, computed once and shared by all phases.
+/// The expensive span-free members (`cfg`, `pw`) are `Arc`-shared with
+/// the incremental [`QueryDb`] so warm re-checks reuse them in place.
 #[derive(Debug)]
 pub struct FuncFacts {
     /// CFG facts; `None` for functions with no MPI instructions and no
     /// collective events — no phase ever queries those.
-    cfg: Option<CfgFacts>,
+    cfg: Option<Arc<CfgFacts>>,
     /// Parallelism words under the function's final calling context.
-    pub pw: PwResult,
+    pub pw: Arc<PwResult>,
     /// Interned entry word per block (`None` = unreachable or conflict;
-    /// [`PwResult`] distinguishes the two when it matters).
+    /// [`PwResult`] distinguishes the two when it matters). All-`None`
+    /// for MPI-irrelevant functions: only the concurrency phase reads
+    /// these, indexed by MPI block, so nothing else is interned.
     pub words: Vec<Option<WordId>>,
     /// Collective events issued per block, in instruction order.
     pub block_events: Vec<Vec<(EventId, Span)>>,
@@ -74,7 +79,7 @@ impl FuncFacts {
     /// so a miss is a fact-store construction bug.
     pub fn cfg(&self) -> &CfgFacts {
         self.cfg
-            .as_ref()
+            .as_deref()
             .expect("CFG facts queried for a function without MPI instructions or events")
     }
 
@@ -114,10 +119,11 @@ pub struct AnalysisCx<'m> {
     pub reachable: Vec<bool>,
 }
 
-/// Walk the call graph from `main`. Modules without a `main`
-/// (library-style inputs, unit-test fixtures) keep every function
-/// reachable.
-fn compute_reachable(m: &Module) -> Vec<bool> {
+/// Walk the call graph from `main` using the contexts' cached
+/// per-function call summaries (no IR re-walk). Modules without a
+/// `main` (library-style inputs, unit-test fixtures) keep every
+/// function reachable.
+fn compute_reachable(m: &Module, ctxs: &CallContexts) -> Vec<bool> {
     let Some(&entry) = m.by_name.get("main") else {
         return vec![true; m.funcs.len()];
     };
@@ -125,15 +131,11 @@ fn compute_reachable(m: &Module) -> Vec<bool> {
     reachable[entry] = true;
     let mut work = vec![entry];
     while let Some(fidx) = work.pop() {
-        for b in &m.funcs[fidx].blocks {
-            for i in &b.instrs {
-                if let Instr::Call { func, .. } = i {
-                    if let Some(&cidx) = m.by_name.get(func) {
-                        if !reachable[cidx] {
-                            reachable[cidx] = true;
-                            work.push(cidx);
-                        }
-                    }
+        for (_, func, _) in &ctxs.summaries[fidx].call_sites {
+            if let Some(&cidx) = m.by_name.get(func) {
+                if !reachable[cidx] {
+                    reachable[cidx] = true;
+                    work.push(cidx);
                 }
             }
         }
@@ -144,8 +146,31 @@ fn compute_reachable(m: &Module) -> Vec<bool> {
 /// The pool-computed part of one function's facts (no interning, so the
 /// workers stay pure and order-independent).
 struct RawFacts {
-    cfg: Option<CfgFacts>,
+    /// Does any phase query CFG facts for this function?
+    needs_cfg: bool,
+    /// Does the function issue collective events (⇒ frontiers needed)?
+    has_events: bool,
     raw_events: Vec<Vec<(Event, Span)>>,
+}
+
+/// Dominator/post-dominator trees, frontiers and loops for one
+/// function. `with_pdf` additionally materializes the per-block
+/// post-dominance frontiers (only event-bearing functions query them).
+fn compute_cfg(f: &FuncIr, with_pdf: bool) -> CfgFacts {
+    let dom = DomTree::compute(f);
+    let pdt = PostDomTree::compute(f);
+    let loops = LoopInfo::compute(f, &dom);
+    let pdf = if with_pdf {
+        pdt.frontier(f)
+    } else {
+        Vec::new()
+    };
+    CfgFacts {
+        dom,
+        pdt,
+        pdf,
+        loops,
+    }
 }
 
 impl<'m> AnalysisCx<'m> {
@@ -159,18 +184,45 @@ impl<'m> AnalysisCx<'m> {
     /// Build the fact store from already-computed call contexts. The
     /// contexts' cached pw results are *moved* into the per-function
     /// facts (they were previously cloned once per function).
-    pub fn from_contexts(
+    pub fn from_contexts(m: &'m Module, ctxs: CallContexts, pool: &parcoach_pool::Pool) -> Self {
+        Self::from_contexts_db(m, ctxs, pool, None)
+    }
+
+    /// [`AnalysisCx::from_contexts`] consulting an incremental
+    /// [`QueryDb`] for the per-function CFG facts. The db must have been
+    /// reconciled against `m` (see [`QueryDb::reconcile_module`]).
+    pub fn from_contexts_db(
         m: &'m Module,
         mut ctxs: CallContexts,
         pool: &parcoach_pool::Pool,
+        mut db: Option<&mut QueryDb>,
     ) -> Self {
         let comms = compute_comms(m);
         let reqs = compute_requests(m);
         let syms = SymTable::for_module(m);
 
-        // Parallel stage: everything derivable from one function plus
-        // the fixed module-wide resolutions.
-        let raws: Vec<RawFacts> = pool.par_map(&m.funcs, |f| {
+        // Parallel stage 1: block→event maps. Span-bearing, so always
+        // derived fresh from the (span-correct) IR — but only for
+        // functions that *can* produce events. The contexts' call
+        // summaries tell us for free: a function with no MPI
+        // instruction and no collective-bearing callee has no events
+        // and never queries CFG facts, so its blocks are not walked at
+        // all (most kernels of a large workload).
+        let idxs: Vec<usize> = (0..m.funcs.len()).collect();
+        let raws: Vec<RawFacts> = pool.par_map(&idxs, |&i| {
+            let f = &m.funcs[i];
+            let s = &ctxs.summaries[i];
+            let relevant = s.has_mpi
+                || s.call_sites
+                    .iter()
+                    .any(|(_, c, _)| ctxs.bears_collectives(c));
+            if !relevant {
+                return RawFacts {
+                    needs_cfg: false,
+                    has_events: false,
+                    raw_events: vec![Vec::new(); f.block_count()],
+                };
+            }
             let fc = comms.func(&f.name);
             let raw_events: Vec<Vec<(Event, Span)>> = f
                 .block_ids()
@@ -179,28 +231,42 @@ impl<'m> AnalysisCx<'m> {
             let has_events = raw_events.iter().any(|v| !v.is_empty());
             // CFG facts are only queried for functions with MPI nodes
             // (mono/concurrency/p2p) or collective events (matching) —
-            // everything else (most kernels of a large workload) skips
-            // the dominator/loop computations entirely.
-            let cfg = (f.has_mpi() || has_events).then(|| {
-                let dom = DomTree::compute(f);
-                let pdt = PostDomTree::compute(f);
-                let loops = LoopInfo::compute(f, &dom);
-                // Frontiers feed `PDF+` queries, which only
-                // event-bearing functions issue.
-                let pdf = if has_events {
-                    pdt.frontier(f)
-                } else {
-                    Vec::new()
-                };
-                CfgFacts {
-                    dom,
-                    pdt,
-                    pdf,
-                    loops,
-                }
-            });
-            RawFacts { cfg, raw_events }
+            // everything else skips the dominator/loop computations
+            // entirely.
+            RawFacts {
+                needs_cfg: s.has_mpi || has_events,
+                has_events,
+                raw_events,
+            }
         });
+
+        // Stage 2: CFG facts — served from the query cache on a
+        // fingerprint hit, computed on the pool otherwise. Frontiers
+        // feed `PDF+` queries, which only event-bearing functions
+        // issue, so event presence is part of the cache key.
+        let mut cfgs: Vec<Option<Arc<CfgFacts>>> = (0..m.funcs.len()).map(|_| None).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, raw) in raws.iter().enumerate() {
+            if !raw.needs_cfg {
+                continue;
+            }
+            let cached = db
+                .as_deref_mut()
+                .and_then(|db| db.cfg(&m.funcs[i].name, raw.has_events));
+            match cached {
+                Some(cfg) => cfgs[i] = Some(cfg),
+                None => misses.push(i),
+            }
+        }
+        let computed = pool.par_map(&misses, |&i| {
+            Arc::new(compute_cfg(&m.funcs[i], raws[i].has_events))
+        });
+        for (&i, cfg) in misses.iter().zip(computed) {
+            if let Some(db) = db.as_deref_mut() {
+                db.insert_cfg(&m.funcs[i].name, raws[i].has_events, cfg.clone());
+            }
+            cfgs[i] = Some(cfg);
+        }
 
         // Sequential merge in module order: move pw out of the context
         // cache and fill the arenas deterministically.
@@ -208,18 +274,24 @@ impl<'m> AnalysisCx<'m> {
         let mut words = WordArena::default();
         let mut pw_map = std::mem::take(&mut ctxs.pw);
         let mut funcs = Vec::with_capacity(m.funcs.len());
-        for (f, raw) in m.funcs.iter().zip(raws) {
+        for ((f, raw), cfg) in m.funcs.iter().zip(raws).zip(cfgs) {
             let pw = pw_map
                 .remove(&f.name)
-                .unwrap_or_else(|| compute_pw(f, ctxs.context_of(&f.name)));
-            let word_ids = pw
-                .entry
-                .iter()
-                .map(|state| match state {
-                    Some(PwState::Word(w)) => Some(words.intern(w)),
-                    _ => None,
-                })
-                .collect();
+                .unwrap_or_else(|| Arc::new(compute_pw(f, ctxs.context_of(&f.name))));
+            // Entry words are only read by the phases for MPI-relevant
+            // functions (concurrency indexes them per MPI block), so
+            // the rest skip the per-block interning.
+            let word_ids = if raw.needs_cfg {
+                pw.entry
+                    .iter()
+                    .map(|state| match state {
+                        Some(PwState::Word(w)) => Some(words.intern(w)),
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                vec![None; pw.entry.len()]
+            };
             let block_events = raw
                 .raw_events
                 .into_iter()
@@ -231,14 +303,14 @@ impl<'m> AnalysisCx<'m> {
                 })
                 .collect();
             funcs.push(FuncFacts {
-                cfg: raw.cfg,
+                cfg,
                 pw,
                 words: word_ids,
                 block_events,
             });
         }
 
-        let reachable = compute_reachable(m);
+        let reachable = compute_reachable(m, &ctxs);
         AnalysisCx {
             module: m,
             ctxs,

@@ -261,7 +261,7 @@ fn instrument_region_counter(func: &mut FuncIr, region: RegionId, site: u32) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{analyze_module, AnalysisOptions};
+    use crate::session::AnalysisSession;
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
     use parcoach_ir::verify::verify_module;
@@ -269,7 +269,7 @@ mod tests {
     fn pipeline(src: &str, mode: InstrumentMode) -> (Module, InstrumentStats) {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let report = analyze_module(&m, &AnalysisOptions::default());
+        let report = AnalysisSession::builder().build().check_module(&m);
         let (instr, stats) = instrument_module(&m, &report, mode);
         let errs = verify_module(&instr);
         assert!(errs.is_empty(), "instrumented module must verify: {errs:?}");
@@ -376,7 +376,7 @@ mod tests {
             .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
         let before = m.total_instrs();
-        let report = analyze_module(&m, &AnalysisOptions::default());
+        let report = AnalysisSession::builder().build().check_module(&m);
         let _ = instrument_module(&m, &report, InstrumentMode::Selective);
         assert_eq!(m.total_instrs(), before);
     }

@@ -14,7 +14,7 @@
 //!   line blocks overwhelmingly share their entry word, so the arena
 //!   stores each distinct word once per module.
 //!
-//! All three are thin typed wrappers over one generic [`Interner`]. The
+//! All three are thin typed wrappers over one generic `Interner`. The
 //! arenas are built **sequentially in module order** by
 //! [`crate::facts::AnalysisCx::from_contexts`], so ids are deterministic
 //! at every pool width.
@@ -57,12 +57,28 @@ impl<T: Clone + Eq + std::hash::Hash> Interner<T> {
         &self.items[id as usize]
     }
 
-    fn lookup(&self, item: &T) -> Option<u32> {
-        self.by_item.get(item).copied()
-    }
-
     fn len(&self) -> usize {
         self.items.len()
+    }
+}
+
+impl Interner<String> {
+    /// String-keyed intern: no allocation on a hit (the generic
+    /// [`Interner::intern`] would require an owned `String` to probe
+    /// the map).
+    fn intern_str(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_item.get(name) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(name.to_string());
+        self.by_item.insert(name.to_string(), id);
+        id
+    }
+
+    /// String-keyed lookup: never allocates.
+    fn lookup_str(&self, name: &str) -> Option<u32> {
+        self.by_item.get(name).copied()
     }
 }
 
@@ -86,12 +102,12 @@ impl SymTable {
 
     /// Intern a name, returning its stable id.
     pub fn intern(&mut self, name: &str) -> Sym {
-        Sym(self.0.intern(&name.to_string()))
+        Sym(self.0.intern_str(name))
     }
 
     /// The id of an already-interned name.
     pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.0.lookup(&name.to_string()).map(Sym)
+        self.0.lookup_str(name).map(Sym)
     }
 
     /// The name of an interned id.

@@ -21,12 +21,12 @@
 //! ```
 //! use parcoach_front::parse_and_check;
 //! use parcoach_ir::lower::lower_program;
-//! use parcoach_core::{analyze_module, AnalysisOptions, instrument_module, InstrumentMode};
+//! use parcoach_core::{AnalysisSession, instrument_module, InstrumentMode};
 //!
 //! let unit = parse_and_check("demo.mh",
 //!     "fn main() { if (rank() == 0) { MPI_Barrier(); } }").unwrap();
 //! let module = lower_program(&unit.program, &unit.signatures);
-//! let report = analyze_module(&module, &AnalysisOptions::default());
+//! let report = AnalysisSession::builder().build().check_module(&module);
 //! assert_eq!(report.warnings.len(), 1); // collective mismatch
 //! let (instrumented, stats) = instrument_module(&module, &report, InstrumentMode::Selective);
 //! assert!(stats.cc_collective > 0);
@@ -45,8 +45,10 @@ pub mod mono;
 pub mod p2p;
 pub mod pipeline;
 pub mod pw;
+pub mod query;
 pub mod report;
 pub mod request;
+pub mod session;
 pub mod word;
 
 pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
@@ -54,10 +56,13 @@ pub use facts::{AnalysisCx, FuncFacts};
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
 pub use intern::{EventArena, EventId, Sym, SymTable, WordArena, WordId};
 pub use lang::{classify, ContextClass, MonoVerdict};
+#[allow(deprecated)]
 pub use pipeline::{
     analyze_module, analyze_module_timed, analyze_module_with, AnalysisOptions, PhaseTimings,
 };
 pub use pw::{compute_pw, InitialContext, PwResult};
+pub use query::{fingerprint, Fingerprint, QueryDb, QueryStats};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
 pub use request::{compute_requests, ModuleRequests, ReqDef, ReqId, ReqTable};
+pub use session::{AnalysisSession, AnalysisSessionBuilder};
 pub use word::{SKind, Token, Word};

@@ -130,8 +130,12 @@ impl TimingSink {
 
 /// Run the complete static analysis over a lowered module on the
 /// process-wide pool (see [`analyze_module_with`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `session::AnalysisSession::builder().build().check_module(m)`"
+)]
 pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
-    analyze_module_with(m, opts, parcoach_pool::global())
+    analyze_module_inner(m, opts, parcoach_pool::global(), None, None)
 }
 
 /// Run the complete static analysis over a lowered module, fanning the
@@ -141,26 +145,61 @@ pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
 /// slot per function and the merge walks the slots in function order, so
 /// warning order, plan order and the global site renumbering all match
 /// the sequential (`jobs = 1`) walk exactly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `session::AnalysisSession::builder().jobs(n).build().check_module(m)`"
+)]
 pub fn analyze_module_with(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
 ) -> StaticReport {
-    analyze_module_inner(m, opts, pool, None)
+    analyze_module_inner(m, opts, pool, None, None)
 }
 
 /// [`analyze_module_with`] plus a per-phase wall-time breakdown
 /// (`parcoachc check --timings`, `bench_ci`'s phase records).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `session::AnalysisSession` and its `timings()` accessor"
+)]
 pub fn analyze_module_timed(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
 ) -> (StaticReport, PhaseTimings) {
+    analyze_timed_impl(m, opts, pool, None)
+}
+
+/// The shared timed entry: one cold or warm analysis with a per-phase
+/// breakdown. [`crate::session::AnalysisSession`] is the public surface.
+pub(crate) fn analyze_timed_impl(
+    m: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+    db: Option<&mut crate::query::QueryDb>,
+) -> (StaticReport, PhaseTimings) {
     let sink = TimingSink::default();
     let t0 = Instant::now();
-    let report = analyze_module_inner(m, opts, pool, Some(&sink));
+    let report = analyze_module_inner(m, opts, pool, Some(&sink), db);
     let timings = sink.into_timings(t0.elapsed());
     (report, timings)
+}
+
+/// [`analyze_module_timed`] consulting (and refilling) an incremental
+/// [`crate::query::QueryDb`]: the red-green reconciliation pass runs
+/// first, then the pw and CFG queries are served from cache wherever the
+/// per-function fingerprints are green. The report is byte-identical to
+/// a cold [`analyze_module_with`] run — only span-free facts are cached,
+/// and the db's span-rebase hook keeps cached divergences aligned with
+/// the document (the edit-soak property test pins this).
+pub fn analyze_module_db(
+    m: &Module,
+    opts: &AnalysisOptions,
+    pool: &parcoach_pool::Pool,
+    db: &mut crate::query::QueryDb,
+) -> (StaticReport, PhaseTimings) {
+    analyze_timed_impl(m, opts, pool, Some(db))
 }
 
 /// The three per-function phases' output for one function, produced on a
@@ -258,17 +297,24 @@ fn analyze_module_inner(
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
     sink: Option<&TimingSink>,
+    mut db: Option<&mut crate::query::QueryDb>,
 ) -> StaticReport {
     let mut report = StaticReport::default();
 
+    // Red-green pass: bring the memo store's fingerprints up to date so
+    // the context and fact queries below only miss on real changes.
+    if let Some(db) = db.as_deref_mut() {
+        db.reconcile_module(m);
+    }
+
     // Interprocedural contexts, then the shared fact store.
     let t = Instant::now();
-    let ctxs = crate::context::compute_contexts_with(m, opts.entry_context, pool);
+    let ctxs = crate::context::compute_contexts_db(m, opts.entry_context, pool, db.as_deref_mut());
     if let Some(s) = sink {
         TimingSink::add(&s.contexts, t);
     }
     let t = Instant::now();
-    let cx = AnalysisCx::from_contexts(m, ctxs, pool);
+    let cx = AnalysisCx::from_contexts_db(m, ctxs, pool, db);
     if let Some(s) = sink {
         TimingSink::add(&s.facts, t);
     }
@@ -497,10 +543,12 @@ mod tests {
     use parcoach_front::parse_and_check;
     use parcoach_ir::lower::lower_program;
 
+    use crate::session::AnalysisSession;
+
     fn analyze(src: &str) -> StaticReport {
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        analyze_module(&m, &AnalysisOptions::default())
+        AnalysisSession::builder().build().check_module(&m)
     }
 
     #[test]
@@ -676,7 +724,10 @@ mod tests {
         assert_eq!(r.contexts.len(), 2);
     }
 
+    /// The deprecated free functions stay behaviorally identical to the
+    /// session for their one-release grace period.
     #[test]
+    #[allow(deprecated)]
     fn timed_analysis_matches_untimed_and_covers_phases() {
         let unit = parse_and_check(
             "t.mh",
@@ -715,14 +766,11 @@ mod tests {
              }";
         let unit = parse_and_check("t.mh", src).expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let memo = analyze_module(&m, &AnalysisOptions::default());
-        let raw = analyze_module(
-            &m,
-            &AnalysisOptions {
-                pdf_memo: false,
-                ..AnalysisOptions::default()
-            },
-        );
+        let memo = AnalysisSession::builder().build().check_module(&m);
+        let raw = AnalysisSession::builder()
+            .pdf_memo(false)
+            .build()
+            .check_module(&m);
         assert_eq!(format!("{memo:?}"), format!("{raw:?}"));
     }
 
@@ -734,7 +782,7 @@ mod tests {
         )
         .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let r = analyze_module(&m, &AnalysisOptions::default());
+        let r = AnalysisSession::builder().build().check_module(&m);
         let text = r.render(&unit.source_map);
         assert!(text.contains("collective mismatch"), "{text}");
         assert!(text.contains("demo.mh:"), "{text}");

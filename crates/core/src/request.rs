@@ -193,6 +193,14 @@ pub fn compute_requests(m: &Module) -> ModuleRequests {
 /// [`crate::comm`]'s communicator resolution.
 fn resolve_func(f: &FuncIr, table: &mut ReqTable) -> FuncRequests {
     let n = f.reg_types.len();
+    // Fast path: a function with no request-typed register can neither
+    // post a request (Isend/Irecv define request-typed destinations)
+    // nor wait on one — skip the instruction-walking fixpoint.
+    if !f.reg_types.contains(&Type::Request) {
+        return FuncRequests {
+            per_reg: vec![None; n],
+        };
+    }
     let mut state: Vec<RegReq> = (0..n)
         .map(|i| {
             if f.reg_types[i] == Type::Request {

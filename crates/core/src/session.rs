@@ -1,0 +1,372 @@
+//! The consolidated analysis entry point.
+//!
+//! The static pipeline grew four overlapping entry points
+//! (`analyze_module`, `analyze_module_with`, `analyze_module_timed`,
+//! plus ad-hoc `AnalysisOptions` plumbing at every call site).
+//! [`AnalysisSession`] replaces them with one builder-configured object
+//! that owns the execution resources (pool choice, determinism, seed),
+//! the tuning knobs ([`AnalysisOptions`]) and — when incremental mode is
+//! on — the memoized query store ([`QueryDb`]) that makes warm
+//! re-checks fast:
+//!
+//! ```
+//! use parcoach_core::session::AnalysisSession;
+//! use parcoach_front::parse_and_check;
+//! use parcoach_ir::lower::lower_program;
+//!
+//! let unit = parse_and_check("t.mh",
+//!     "fn main() { if (rank() == 0) { MPI_Barrier(); } }").unwrap();
+//! let module = lower_program(&unit.program, &unit.signatures);
+//! let mut session = AnalysisSession::builder()
+//!     .jobs(2)
+//!     .deterministic(true)
+//!     .build();
+//! let report = session.check_module(&module);
+//! assert_eq!(report.warnings.len(), 1);
+//! assert!(session.timings().is_some());
+//! ```
+//!
+//! A default session is stateless: every `check_module` is a cold run,
+//! byte-identical to the old free functions. `incremental(true)` turns
+//! on the content-hash-keyed memo store; the caller (normally
+//! `parcoachd`'s document layer) then reports edits through
+//! [`AnalysisSession::mark_edited`] / [`AnalysisSession::shift_function`]
+//! so the red-green pass can invalidate precisely.
+
+use crate::pipeline::{analyze_timed_impl, AnalysisOptions, PhaseTimings};
+use crate::pw::InitialContext;
+use crate::query::{QueryDb, QueryStats};
+use crate::report::{StaticReport, StaticWarning};
+use parcoach_ir::func::Module;
+use parcoach_pool::{Pool, PoolConfig};
+
+/// Which pool a session runs on.
+enum PoolChoice {
+    /// The process-wide pool (`PARCOACH_JOBS` / CLI-configured).
+    Global,
+    /// A session-private pool with explicit width/determinism.
+    Owned(Pool),
+}
+
+/// Builder for [`AnalysisSession`] — the one place execution and
+/// analysis configuration meet.
+pub struct AnalysisSessionBuilder {
+    jobs: Option<usize>,
+    deterministic: bool,
+    seed: u64,
+    opts: AnalysisOptions,
+    incremental: bool,
+}
+
+impl AnalysisSessionBuilder {
+    /// Pool width. Without this the session runs on the process-wide
+    /// pool; with it the session owns a private pool of `n` lanes.
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = Some(n.max(1));
+        self
+    }
+
+    /// Seed the pool's victim selection so task placement reproduces
+    /// run to run (reports are byte-identical at any width regardless).
+    /// Implies a session-private pool.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
+    /// Scheduling seed for deterministic mode.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the whole option block.
+    pub fn options(mut self, opts: AnalysisOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The context `main` is assumed to start in.
+    pub fn entry_context(mut self, ctx: InitialContext) -> Self {
+        self.opts.entry_context = ctx;
+        self
+    }
+
+    /// Toggle the balanced-arms refinement in the matching phase.
+    pub fn refine_matching(mut self, on: bool) -> Self {
+        self.opts.refine_matching = on;
+        self
+    }
+
+    /// Toggle `InsufficientThreadLevel` warnings.
+    pub fn check_thread_level(mut self, on: bool) -> Self {
+        self.opts.check_thread_level = on;
+        self
+    }
+
+    /// Toggle the non-blocking request life-cycle pass.
+    pub fn check_requests(mut self, on: bool) -> Self {
+        self.opts.check_requests = on;
+        self
+    }
+
+    /// Toggle the memoized `PDF+` engine (off = the E10 ablation's
+    /// recompute-per-query path).
+    pub fn pdf_memo(mut self, on: bool) -> Self {
+        self.opts.pdf_memo = on;
+        self
+    }
+
+    /// Keep span-free derived facts (parallelism words, CFG facts) in a
+    /// content-hash-keyed memo across checks. See the type docs for the
+    /// edit-notification contract this puts on the caller.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> AnalysisSession {
+        let pool = if self.jobs.is_some() || self.deterministic {
+            PoolChoice::Owned(Pool::new(PoolConfig {
+                jobs: self.jobs.unwrap_or_else(parcoach_pool::default_jobs),
+                deterministic: self.deterministic,
+                seed: self.seed,
+            }))
+        } else {
+            PoolChoice::Global
+        };
+        AnalysisSession {
+            pool,
+            opts: self.opts,
+            db: self.incremental.then(QueryDb::new),
+            timings: None,
+        }
+    }
+}
+
+/// A configured analysis pipeline: pool + options (+ optional
+/// incremental memo store). Replaces the free-function entry points
+/// (`analyze_module` and friends, now deprecated shims over this).
+pub struct AnalysisSession {
+    pool: PoolChoice,
+    opts: AnalysisOptions,
+    /// The memo store; `Some` iff the session is incremental.
+    db: Option<QueryDb>,
+    /// Breakdown of the most recent check.
+    timings: Option<PhaseTimings>,
+}
+
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl AnalysisSession {
+    /// Start configuring a session. The default configuration runs on
+    /// the process-wide pool with default options, non-incremental.
+    pub fn builder() -> AnalysisSessionBuilder {
+        AnalysisSessionBuilder {
+            jobs: None,
+            deterministic: false,
+            seed: 0,
+            opts: AnalysisOptions::default(),
+            incremental: false,
+        }
+    }
+
+    /// The pool this session fans work out on.
+    pub fn pool(&self) -> &Pool {
+        match &self.pool {
+            PoolChoice::Global => parcoach_pool::global(),
+            PoolChoice::Owned(p) => p,
+        }
+    }
+
+    /// The session's analysis options.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.opts
+    }
+
+    /// Run the full static analysis. Byte-identical to the legacy
+    /// `analyze_module_with` at any pool width; with `incremental(true)`
+    /// the expensive span-free queries are served from the memo wherever
+    /// the per-function fingerprints are green.
+    pub fn check_module(&mut self, m: &Module) -> StaticReport {
+        let pool = match &self.pool {
+            PoolChoice::Global => parcoach_pool::global(),
+            PoolChoice::Owned(p) => p,
+        };
+        let (report, timings) = analyze_timed_impl(m, &self.opts, pool, self.db.as_mut());
+        self.timings = Some(timings);
+        report
+    }
+
+    /// Run the analysis and return only the warnings attributed to
+    /// `name` (`None` if the module has no such function). The warm path
+    /// of `parcoachd check {func}`: on an incremental session only the
+    /// edited function's facts are re-derived.
+    pub fn check_function(&mut self, m: &Module, name: &str) -> Option<Vec<StaticWarning>> {
+        if !m.by_name.contains_key(name) {
+            return None;
+        }
+        let report = self.check_module(m);
+        Some(
+            report
+                .warnings
+                .into_iter()
+                .filter(|w| w.func == name)
+                .collect(),
+        )
+    }
+
+    /// Per-phase wall-time breakdown of the most recent check.
+    pub fn timings(&self) -> Option<&PhaseTimings> {
+        self.timings.as_ref()
+    }
+
+    /// Whether the session keeps a memo store across checks.
+    pub fn is_incremental(&self) -> bool {
+        self.db.is_some()
+    }
+
+    /// Hit/miss counters of the memo store (zeroes when
+    /// non-incremental).
+    pub fn query_stats(&self) -> QueryStats {
+        self.db.as_ref().map(|db| db.stats).unwrap_or_default()
+    }
+
+    /// Tell the memo store that `name`'s text changed; the next check's
+    /// red-green pass re-fingerprints it and drops its facts only if the
+    /// structure really changed. No-op on non-incremental sessions.
+    pub fn mark_edited(&mut self, name: &str) {
+        if let Some(db) = self.db.as_mut() {
+            db.mark_dirty(name);
+        }
+    }
+
+    /// Tell the memo store that `name` moved by `delta` bytes within the
+    /// document (an earlier function grew or shrank), so cached spans
+    /// are rebased. No-op on non-incremental sessions.
+    pub fn shift_function(&mut self, name: &str, delta: i64) {
+        if let Some(db) = self.db.as_mut() {
+            db.shift(name, delta);
+        }
+    }
+
+    /// Drop every memoized fact (e.g. after replacing the document
+    /// wholesale). No-op on non-incremental sessions.
+    pub fn invalidate_all(&mut self) {
+        if let Some(db) = self.db.as_mut() {
+            let stats = db.stats;
+            *db = QueryDb::new();
+            db.stats = stats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcoach_front::parse_and_check;
+    use parcoach_ir::lower::lower_program;
+
+    fn lower(src: &str) -> Module {
+        let unit = parse_and_check("t.mh", src).expect("valid");
+        lower_program(&unit.program, &unit.signatures)
+    }
+
+    const SRC: &str = "fn exchange() { MPI_Barrier(); }
+         fn main() {
+             MPI_Init();
+             if (rank() == 0) { exchange(); }
+             MPI_Finalize();
+         }";
+
+    #[test]
+    fn session_matches_legacy_entry_points() {
+        let m = lower(SRC);
+        #[allow(deprecated)]
+        let legacy = crate::pipeline::analyze_module(&m, &AnalysisOptions::default());
+        let mut s = AnalysisSession::builder().build();
+        let new = s.check_module(&m);
+        assert_eq!(format!("{legacy:?}"), format!("{new:?}"));
+        assert!(s.timings().unwrap().total > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn session_deterministic_across_widths() {
+        let m = lower(SRC);
+        let mut s1 = AnalysisSession::builder()
+            .jobs(1)
+            .deterministic(true)
+            .build();
+        let mut s4 = AnalysisSession::builder()
+            .jobs(4)
+            .deterministic(true)
+            .build();
+        assert_eq!(
+            format!("{:?}", s1.check_module(&m)),
+            format!("{:?}", s4.check_module(&m))
+        );
+    }
+
+    #[test]
+    fn incremental_warm_check_hits_cache_and_matches_cold() {
+        let m = lower(SRC);
+        let mut warm = AnalysisSession::builder().incremental(true).build();
+        let cold_report = AnalysisSession::builder().build().check_module(&m);
+        let first = warm.check_module(&m);
+        assert_eq!(format!("{first:?}"), format!("{cold_report:?}"));
+        let misses = warm.query_stats().pw_misses;
+        assert!(misses > 0);
+        // Unedited re-check: everything green, zero new misses.
+        let second = warm.check_module(&m);
+        assert_eq!(format!("{second:?}"), format!("{cold_report:?}"));
+        assert_eq!(warm.query_stats().pw_misses, misses);
+        assert!(warm.query_stats().pw_hits > 0);
+        assert!(warm.query_stats().cfg_hits > 0);
+    }
+
+    #[test]
+    fn incremental_edit_invalidate_matches_cold() {
+        let m = lower(SRC);
+        let mut warm = AnalysisSession::builder().incremental(true).build();
+        warm.check_module(&m);
+        // Edit `main` (different structure). exchange stays cached.
+        let m2 = lower(
+            "fn exchange() { MPI_Barrier(); }
+             fn main() {
+                 MPI_Init();
+                 if (rank() > 1) { exchange(); } else { exchange(); }
+                 MPI_Finalize();
+             }",
+        );
+        warm.mark_edited("main");
+        let warm_report = warm.check_module(&m2);
+        let cold_report = AnalysisSession::builder().build().check_module(&m2);
+        assert_eq!(format!("{warm_report:?}"), format!("{cold_report:?}"));
+    }
+
+    #[test]
+    fn check_function_filters_and_rejects_unknown() {
+        let m = lower(SRC);
+        let mut s = AnalysisSession::builder().build();
+        assert!(s.check_function(&m, "nope").is_none());
+        let main_warnings = s.check_function(&m, "main").unwrap();
+        assert!(main_warnings.iter().all(|w| w.func == "main"));
+        assert!(!main_warnings.is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_forces_recompute() {
+        let m = lower(SRC);
+        let mut s = AnalysisSession::builder().incremental(true).build();
+        s.check_module(&m);
+        let misses = s.query_stats().pw_misses;
+        s.invalidate_all();
+        s.check_module(&m);
+        assert!(s.query_stats().pw_misses > misses);
+    }
+}

@@ -1,157 +1,152 @@
 //! `parcoachc` — command-line driver.
 //!
+//! One-shot mode of the same machinery `parcoachd` serves resident: the
+//! analysis subcommands compile through [`parcoach_server::Document`]
+//! and analyze through a [`parcoach_core::AnalysisSession`], so batch
+//! and daemon answers cannot drift. The subcommands mirror the RPC
+//! verbs:
+//!
 //! ```text
-//! parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
-//!                            [--jobs N] [--deterministic] [--timings]
-//! parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument]
-//!                            [--jobs N] [--deterministic]
-//! parcoachc dump-cfg <file.mh> [function]
-//! parcoachc dump-ir  <file.mh> [function]
+//! parcoachc check       <file.mh> [--no-refine] [--context seq|psingle|parallel]
+//!                                 [--jobs N] [--deterministic] [--timings]
+//! parcoachc diagnostics <file.mh>   # same findings, one line of JSON
+//! parcoachc run         <file.mh> [--ranks N] [--threads T] [--no-instrument]
+//!                                 [--jobs N] [--deterministic]
+//! parcoachc dump        <file.mh> [function] [--dot]
 //! parcoachc workload <name> <class>      # print a generated benchmark
 //! parcoachc catalogue                    # list the error catalogue
 //! ```
 //!
-//! `--jobs N` sizes the analysis thread pool (default: the machine's
+//! `--jobs N` sizes the analysis pool (default: the machine's
 //! parallelism, or `PARCOACH_JOBS`); `--deterministic` makes pool
 //! scheduling reproducible. Reports are byte-identical for any `--jobs`
 //! either way. `--timings` (or `PARCOACH_TIMINGS=1`) prints the
 //! per-phase wall-time breakdown of the static analysis to stderr.
 //!
-//! Exit codes: 0 = clean, 1 = static warnings only, 2 = dynamic error
-//! detected, 3 = usage/compile error. Bad flag values (`--jobs 0`,
-//! `--ranks x`) are usage errors: a diagnostic plus the usage text on
-//! stderr, exit 3.
+//! Exit codes (see [`cli::Exit`]): 0 = clean, 1 = static warnings only,
+//! 2 = dynamic error detected, 3 = usage/compile error. Bad flag values
+//! (`--jobs 0`, `--ranks x`) are usage errors: a diagnostic plus the
+//! usage text on stderr, exit 3.
 
-use parcoach_core::{
-    analyze_module, analyze_module_timed, instrument_module, AnalysisOptions, InitialContext,
-    InstrumentMode,
-};
-use parcoach_front::parse_and_check;
+mod cli;
+
+use cli::{parse_num, Exit, SessionFlags, USAGE};
+use parcoach_core::{instrument_module, InstrumentMode};
 use parcoach_interp::{Executor, RunConfig};
-use parcoach_ir::lower::lower_program;
+use parcoach_server::{warnings_json, DocError, Document};
 use parcoach_workloads::{error_catalogue, figure1_suite, WorkloadClass};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(code) => code,
+        Ok(code) => code.into(),
         Err(msg) => {
             eprintln!("parcoachc: {msg}");
-            ExitCode::from(3)
+            Exit::Usage.into()
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<Exit, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
-        "check" => cmd_check(&args[1..]),
+        "check" => cmd_check(&args[1..], Output::Human),
+        "diagnostics" => cmd_check(&args[1..], Output::Json),
         "run" => cmd_run(&args[1..]),
-        "dump-cfg" => cmd_dump(&args[1..], true),
-        "dump-ir" => cmd_dump(&args[1..], false),
+        "dump" => cmd_dump(&args[1..]),
+        // Former spellings, kept as aliases of `dump`.
+        "dump-cfg" => cmd_dump_as(&args[1..], true),
+        "dump-ir" => cmd_dump_as(&args[1..], false),
         "workload" => cmd_workload(&args[1..]),
         "catalogue" => cmd_catalogue(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(ExitCode::SUCCESS)
+            Ok(Exit::Clean)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
 
-const USAGE: &str = "\
-parcoachc — static/dynamic validation of MPI collectives in multi-threaded programs
-
-USAGE:
-    parcoachc check  <file.mh> [--no-refine] [--context seq|psingle|parallel]
-                               [--jobs N] [--deterministic] [--timings]
-    parcoachc run    <file.mh> [--ranks N] [--threads T] [--no-instrument] [--full]
-                               [--jobs N] [--deterministic]
-    parcoachc dump-cfg <file.mh> [function]
-    parcoachc dump-ir  <file.mh> [function]
-    parcoachc workload <BT-MZ|SP-MZ|LU-MZ|EPCC|HERA> <A|B|C>
-    parcoachc catalogue
-
-    --jobs N          analysis pool width (>= 1; default: machine parallelism)
-    --deterministic   reproducible pool scheduling (fixed victim-selection seed)
-    --timings         print per-phase analysis wall times to stderr
-                      (also enabled by PARCOACH_TIMINGS=1)
-";
-
-struct Loaded {
-    unit: parcoach_front::CheckedUnit,
-    module: parcoach_ir::Module,
-}
-
-fn load(path: &str) -> Result<Loaded, String> {
+/// Open a document the way the daemon does; compile failures render as
+/// usage errors (exit 3).
+fn load(path: &str) -> Result<Document, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let unit = parse_and_check(path, &src).map_err(|(d, sm)| d.render(&sm))?;
-    let module = lower_program(&unit.program, &unit.signatures);
-    let errs = parcoach_ir::verify_module(&module);
-    if !errs.is_empty() {
-        return Err(format!("internal IR verification failure: {errs:?}"));
-    }
-    Ok(Loaded { unit, module })
+    Document::open(path, &src).map_err(|e| match e {
+        DocError::Compile { rendered } => rendered,
+        DocError::UnknownFunction(f) => format!("no function `{f}`"), // unreachable for open
+    })
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+/// `check` and `diagnostics` differ only in how findings leave the
+/// process: rendered diagnostics vs the daemon's JSON payload.
+enum Output {
+    Human,
+    Json,
+}
+
+fn cmd_check(args: &[String], output: Output) -> Result<Exit, String> {
     let path = args.first().ok_or("check: missing file")?;
-    let mut opts = AnalysisOptions::default();
-    let mut pool = PoolFlags::default();
+    let mut flags = SessionFlags::default();
     let mut timings = std::env::var("PARCOACH_TIMINGS").is_ok_and(|v| v == "1");
     let mut i = 1;
     while i < args.len() {
+        if flags.eat(args, &mut i)? {
+            continue;
+        }
         match args[i].as_str() {
-            "--no-refine" => opts.refine_matching = false,
             "--timings" => timings = true,
-            "--context" => {
-                i += 1;
-                opts.entry_context = match args.get(i).map(String::as_str) {
-                    Some("seq") => InitialContext::Sequential,
-                    Some("psingle") => InitialContext::ParallelSingle,
-                    Some("parallel") => InitialContext::Parallel,
-                    other => return Err(format!("--context: bad value {other:?}")),
-                };
-            }
-            "--jobs" => {
-                i += 1;
-                pool.jobs = Some(parse_num(args.get(i), "--jobs")?);
-            }
-            "--deterministic" => pool.deterministic = true,
             other => return Err(format!("check: unknown flag `{other}`")),
         }
         i += 1;
     }
-    pool.apply();
-    let loaded = load(path)?;
-    let report = if timings {
-        let (report, t) = analyze_module_timed(&loaded.module, &opts, parcoach_pool::global());
+    let doc = load(path)?;
+    let mut session = flags.session();
+    let report = session.check_module(doc.module());
+    if timings {
+        let t = session.timings().expect("check records timings");
         eprintln!("--- static phase timings ---");
         for (phase, dur) in t.lines() {
             eprintln!("{phase:<12} {:>10.3} ms", dur.as_secs_f64() * 1e3);
         }
-        report
-    } else {
-        analyze_module(&loaded.module, &opts)
-    };
-    println!("{}", report.render(&loaded.unit.source_map));
-    if report.is_clean() {
-        println!("verified statically: no instrumentation needed");
-        Ok(ExitCode::SUCCESS)
-    } else {
-        Ok(ExitCode::from(1))
     }
+    match output {
+        Output::Human => {
+            println!("{}", report.render(doc.source_map()));
+            if report.is_clean() {
+                println!("verified statically: no instrumentation needed");
+            }
+        }
+        Output::Json => {
+            use parcoach_server::json::{obj, Value};
+            println!(
+                "{}",
+                obj([
+                    ("clean", Value::from(report.is_clean())),
+                    ("warnings", warnings_json(&report)),
+                ])
+                .to_line()
+            );
+        }
+    }
+    Ok(if report.is_clean() {
+        Exit::Clean
+    } else {
+        Exit::StaticWarnings
+    })
 }
 
-fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_run(args: &[String]) -> Result<Exit, String> {
     let path = args.first().ok_or("run: missing file")?;
     let mut cfg = RunConfig::default();
     let mut instrument = true;
     let mut mode = InstrumentMode::Selective;
-    let mut pool = PoolFlags::default();
+    let mut flags = SessionFlags::default();
     let mut i = 1;
     while i < args.len() {
+        if flags.eat(args, &mut i)? {
+            continue;
+        }
         match args[i].as_str() {
             "--ranks" => {
                 i += 1;
@@ -163,25 +158,20 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--no-instrument" => instrument = false,
             "--full" => mode = InstrumentMode::Full,
-            "--jobs" => {
-                i += 1;
-                pool.jobs = Some(parse_num(args.get(i), "--jobs")?);
-            }
-            "--deterministic" => pool.deterministic = true,
             other => return Err(format!("run: unknown flag `{other}`")),
         }
         i += 1;
     }
-    pool.apply();
-    let loaded = load(path)?;
-    let report = analyze_module(&loaded.module, &AnalysisOptions::default());
+    let doc = load(path)?;
+    let mut session = flags.session();
+    let report = session.check_module(doc.module());
     if !report.is_clean() {
         println!("--- static warnings ---");
-        println!("{}", report.render(&loaded.unit.source_map));
+        println!("{}", report.render(doc.source_map()));
         println!();
     }
     let module = if instrument {
-        let (m, stats) = instrument_module(&loaded.module, &report, mode);
+        let (m, stats) = instrument_module(doc.module(), &report, mode);
         println!(
             "instrumentation: {} CC, {} return-CC, {} monothread assert(s), {} concurrency site(s), {} p2p epoch(s)",
             stats.cc_collective,
@@ -192,7 +182,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
         m
     } else {
-        loaded.module
+        doc.module().clone()
     };
     let run = Executor::new(module, cfg).run();
     for line in &run.output {
@@ -200,25 +190,46 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     if run.is_clean() {
         println!("--- run completed cleanly ---");
-        Ok(ExitCode::SUCCESS)
+        Ok(Exit::Clean)
     } else {
         println!("--- run failed ---");
         for e in &run.errors {
-            let line = loaded.unit.source_map.line_of(e.span);
+            let line = doc.source_map().line_of(e.span);
             println!("{path}:{line}: {e} [{}]", e.kind.code());
         }
         if run.detected_by_check() {
             println!("(intercepted by a PARCOACH dynamic check)");
         }
-        Ok(ExitCode::from(2))
+        Ok(Exit::DynamicError)
     }
 }
 
-fn cmd_dump(args: &[String], dot: bool) -> Result<ExitCode, String> {
+fn cmd_dump(args: &[String]) -> Result<Exit, String> {
+    let mut path = None;
+    let mut which = None;
+    let mut dot = false;
+    for a in args {
+        match a.as_str() {
+            "--dot" => dot = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other if which.is_none() => which = Some(other.to_string()),
+            other => return Err(format!("dump: unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("dump: missing file")?;
+    dump(&path, which.as_deref(), dot)
+}
+
+/// The `dump-cfg` / `dump-ir` aliases (fixed format, same positional
+/// arguments as before the rename).
+fn cmd_dump_as(args: &[String], dot: bool) -> Result<Exit, String> {
     let path = args.first().ok_or("dump: missing file")?;
-    let which = args.get(1).map(String::as_str);
-    let loaded = load(path)?;
-    for f in &loaded.module.funcs {
+    dump(path, args.get(1).map(String::as_str), dot)
+}
+
+fn dump(path: &str, which: Option<&str>, dot: bool) -> Result<Exit, String> {
+    let doc = load(path)?;
+    for f in &doc.module().funcs {
         if let Some(name) = which {
             if f.name != name {
                 continue;
@@ -230,10 +241,10 @@ fn cmd_dump(args: &[String], dot: bool) -> Result<ExitCode, String> {
             println!("{}", f.dump());
         }
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(Exit::Clean)
 }
 
-fn cmd_workload(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_workload(args: &[String]) -> Result<Exit, String> {
     let name = args.first().ok_or("workload: missing name")?;
     let class = match args.get(1).map(String::as_str) {
         Some("A") | None => WorkloadClass::A,
@@ -249,10 +260,10 @@ fn cmd_workload(args: &[String]) -> Result<ExitCode, String> {
             format!("unknown workload `{name}` (try BT-MZ, SP-MZ, LU-MZ, EPCC, HERA)")
         })?;
     print!("{}", w.source);
-    Ok(ExitCode::SUCCESS)
+    Ok(Exit::Clean)
 }
 
-fn cmd_catalogue() -> Result<ExitCode, String> {
+fn cmd_catalogue() -> Result<Exit, String> {
     println!(
         "{:<28} {:<28} {:<18} description",
         "id", "static", "dynamic"
@@ -270,49 +281,5 @@ fn cmd_catalogue() -> Result<ExitCode, String> {
             c.description
         );
     }
-    Ok(ExitCode::SUCCESS)
-}
-
-/// `--jobs`/`--deterministic` accumulated per subcommand, applied to the
-/// process-wide pool before any analysis runs.
-#[derive(Default)]
-struct PoolFlags {
-    jobs: Option<usize>,
-    deterministic: bool,
-}
-
-impl PoolFlags {
-    fn apply(&self) {
-        if self.jobs.is_none() && !self.deterministic {
-            return; // leave env/default configuration untouched
-        }
-        let mut cfg = parcoach_pool::PoolConfig::from_env();
-        if let Some(j) = self.jobs {
-            cfg.jobs = j;
-        }
-        if self.deterministic {
-            cfg.deterministic = true;
-        }
-        // The CLI configures before the first analysis, so this cannot
-        // race first-use; ignore the (unreachable) late-config error.
-        let _ = parcoach_pool::configure(cfg);
-    }
-}
-
-/// Parse a numeric flag value that must be at least 1. Anything else —
-/// missing, non-numeric, or zero — is a usage error: the message plus
-/// the usage text goes to stderr and the process exits 3.
-fn parse_num(v: Option<&String>, flag: &str) -> Result<usize, String> {
-    let raw = v.ok_or_else(|| usage_error(format!("{flag}: missing value")))?;
-    match raw.parse::<usize>() {
-        Ok(0) => Err(usage_error(format!(
-            "{flag}: value must be at least 1, got `{raw}`"
-        ))),
-        Ok(n) => Ok(n),
-        Err(e) => Err(usage_error(format!("{flag}: invalid value `{raw}`: {e}"))),
-    }
-}
-
-fn usage_error(msg: String) -> String {
-    format!("{msg}\n{USAGE}")
+    Ok(Exit::Clean)
 }

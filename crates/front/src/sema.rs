@@ -34,14 +34,51 @@ pub struct SemaResult {
     pub signatures: HashMap<String, Signature>,
 }
 
+/// The externally visible signature of `f`, as callers see it.
+pub fn signature_of(f: &Function) -> Signature {
+    Signature {
+        params: f.params.iter().map(|p| p.ty).collect(),
+        ret: f.ret,
+    }
+}
+
+/// Type-check and structurally validate a single function body against a
+/// complete `signatures` map. This is the per-function half of
+/// [`check_program`]; incremental sessions call it directly after a
+/// single-function edit whose signature is unchanged.
+pub fn check_function(
+    f: &Function,
+    signatures: &HashMap<String, Signature>,
+    diags: &mut Diagnostics,
+) {
+    let mut ck = Checker {
+        signatures,
+        diags,
+        scopes: vec![HashMap::new()],
+        ret_ty: f.ret,
+        omp_depth: 0,
+        loops: Vec::new(),
+        fn_name: &f.name.name,
+        barrier_forbidden: false,
+    };
+    for p in &f.params {
+        if p.ty == Type::Void {
+            ck.diags.error(
+                "bad-param",
+                format!("parameter `{}` cannot have type void", p.name.name),
+                p.name.span,
+            );
+        }
+        ck.declare(&p.name, p.ty);
+    }
+    ck.check_block(&f.body);
+}
+
 /// Type-check and structurally validate `prog`, reporting into `diags`.
 pub fn check_program(prog: &Program, diags: &mut Diagnostics) -> SemaResult {
     let mut signatures = HashMap::new();
     for f in &prog.functions {
-        let sig = Signature {
-            params: f.params.iter().map(|p| p.ty).collect(),
-            ret: f.ret,
-        };
+        let sig = signature_of(f);
         if signatures.insert(f.name.name.clone(), sig).is_some() {
             diags.error(
                 "duplicate-function",
@@ -63,27 +100,7 @@ pub fn check_program(prog: &Program, diags: &mut Diagnostics) -> SemaResult {
     }
 
     for f in &prog.functions {
-        let mut ck = Checker {
-            signatures: &signatures,
-            diags,
-            scopes: vec![HashMap::new()],
-            ret_ty: f.ret,
-            omp_depth: 0,
-            loops: Vec::new(),
-            fn_name: &f.name.name,
-            barrier_forbidden: false,
-        };
-        for p in &f.params {
-            if p.ty == Type::Void {
-                ck.diags.error(
-                    "bad-param",
-                    format!("parameter `{}` cannot have type void", p.name.name),
-                    p.name.span,
-                );
-            }
-            ck.declare(&p.name, p.ty);
-        }
-        ck.check_block(&f.body);
+        check_function(f, &signatures, diags);
     }
 
     SemaResult { signatures }

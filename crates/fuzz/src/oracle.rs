@@ -2,7 +2,7 @@
 //! out — the static warning codes and the instrumented run's error
 //! codes, gathered under a per-module watchdog.
 
-use parcoach_core::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach_core::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach_front::parse_and_check;
 use parcoach_interp::{Executor, RunConfig};
 use parcoach_ir::lower::lower_program;
@@ -73,7 +73,7 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     if !verify.is_empty() {
         return OracleOutcome::Invalid(format!("IR verification failed: {verify:?}"));
     }
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     let mut static_codes: Vec<String> = report
         .warnings
         .iter()

@@ -35,7 +35,7 @@ pub use error::{RunError, RunErrorKind, RunReport};
 pub use exec::{Executor, RunConfig};
 pub use value::Value;
 
-use parcoach_core::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach_core::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach_front::parse_and_check;
 use parcoach_ir::lower::lower_program;
 
@@ -56,7 +56,7 @@ pub fn check_and_run(
     if !verify.is_empty() {
         return Err(format!("IR verification failed: {verify:?}"));
     }
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     let module = if instrument {
         let (m, _stats) = instrument_module(&module, &report, InstrumentMode::Selective);
         m

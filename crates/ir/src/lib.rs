@@ -28,6 +28,7 @@
 
 pub mod dom;
 pub mod dot;
+pub mod edit;
 pub mod func;
 pub mod graph;
 pub mod instr;
@@ -38,6 +39,7 @@ pub mod types;
 pub mod verify;
 
 pub use dom::{DomTree, PostDomTree};
+pub use edit::shift_spans;
 pub use func::{BasicBlock, FuncIr, Module};
 pub use instr::{BlockKind, CheckOp, Directive, Instr, MpiIr, Terminator, WorkshareKind};
 pub use loops::{LoopInfo, NaturalLoop};

@@ -34,6 +34,14 @@ pub fn lower_program(prog: &Program, sigs: &HashMap<String, Signature>) -> Modul
     Module::new(funcs)
 }
 
+/// Lower a single checked function against a full signature table. The
+/// incremental session (`parcoachd` edits) re-lowers only the edited
+/// function; the result is bit-identical to the corresponding entry of
+/// [`lower_program`] because lowering is per-function pure.
+pub fn lower_function(f: &Function, sigs: &HashMap<String, Signature>) -> FuncIr {
+    Lowerer::new(f, sigs).run()
+}
+
 struct LoopTargets {
     continue_bb: BlockId,
     break_bb: BlockId,

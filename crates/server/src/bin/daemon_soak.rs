@@ -1,0 +1,377 @@
+//! `daemon_soak` — the edit-soak differential client for `parcoachd`.
+//!
+//! Spawns a real daemon process, opens a seeded random program, then
+//! hammers it with single-function edits. After every accepted edit it
+//! issues a warm `check` and compares the response — byte for byte —
+//! against a cold oracle computed in-process: a from-scratch compile of
+//! the mirrored text through a fresh one-shot session with identical
+//! pool settings. Any divergence is a correctness bug in the
+//! incremental layer (span rebasing, red-green invalidation, cache
+//! keying) and fails the run.
+//!
+//! ```text
+//! daemon_soak [--server PATH] [--edits N] [--duration SECS] [--seed S]
+//!             [--jobs N] [--out FILE]
+//! ```
+//!
+//! Writes a latency histogram (warm-check microseconds, client-side
+//! wall clock including the protocol round-trip) to `--out` as JSON —
+//! the artifact the `daemon-soak` CI job uploads.
+//!
+//! Exit codes: 0 = clean, 1 = divergent response, 3 = usage/spawn error.
+
+use parcoach_core::AnalysisSession;
+use parcoach_server::json::{obj, parse, Value};
+use parcoach_server::server::check_result_json;
+use parcoach_server::Document;
+use parcoach_testutil::{Rng, Scenario, ScenarioConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+daemon_soak — differential edit-soak client for parcoachd
+
+USAGE:
+    daemon_soak [--server PATH] [--edits N] [--duration SECS] [--seed S]
+                [--jobs N] [--out FILE]
+
+    --server PATH    parcoachd binary (default: next to this executable)
+    --edits N        stop after N accepted edits (default 200)
+    --duration SECS  stop after SECS seconds, whichever comes first
+    --seed S         generator seed (default 1)
+    --jobs N         pool width for daemon AND oracle (default 2)
+    --out FILE       latency histogram JSON (default soak_histogram.json)
+";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("daemon_soak: {msg}\n{USAGE}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+struct Opts {
+    server: Option<String>,
+    edits: usize,
+    duration: Option<Duration>,
+    seed: u64,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        server: None,
+        edits: 200,
+        duration: None,
+        seed: 1,
+        jobs: 2,
+        out: "soak_histogram.json".to_string(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{}: missing value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--server" => o.server = Some(take(&mut i)?),
+            "--edits" => o.edits = num(&take(&mut i)?, "--edits")?,
+            "--duration" => {
+                o.duration = Some(Duration::from_secs(
+                    num(&take(&mut i)?, "--duration")? as u64
+                ))
+            }
+            "--seed" => o.seed = num(&take(&mut i)?, "--seed")? as u64,
+            "--jobs" => o.jobs = num(&take(&mut i)?, "--jobs")?.max(1),
+            "--out" => o.out = take(&mut i)?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn num(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// A line-delimited JSON-RPC connection to a child daemon.
+struct Client {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    next_id: i64,
+}
+
+impl Client {
+    fn spawn(server: &str, jobs: usize) -> Result<Client, String> {
+        let mut child = Command::new(server)
+            .args(["--stdio", "--deterministic", "--jobs", &jobs.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {server}: {e}"))?;
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Ok(Client {
+            child,
+            stdin,
+            stdout,
+            next_id: 0,
+        })
+    }
+
+    /// One request, one response. Returns the raw response `Value`.
+    fn call(&mut self, method: &str, params: Value) -> Result<Value, String> {
+        self.next_id += 1;
+        let line = obj([
+            ("jsonrpc", Value::from("2.0")),
+            ("id", Value::from(self.next_id)),
+            ("method", Value::from(method)),
+            ("params", params),
+        ])
+        .to_line();
+        writeln!(self.stdin, "{line}").map_err(|e| format!("write: {e}"))?;
+        self.stdin.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut resp = String::new();
+        self.stdout
+            .read_line(&mut resp)
+            .map_err(|e| format!("read: {e}"))?;
+        if resp.is_empty() {
+            return Err("daemon closed the connection".into());
+        }
+        parse(resp.trim_end()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.call("shutdown", Value::Obj(Vec::new()));
+        let _ = self.child.wait();
+    }
+}
+
+/// Generate a scenario with at least two helper functions (the editable
+/// surface), scanning seeds upward from `seed`.
+fn base_scenario(seed: u64, cfg: &ScenarioConfig) -> Scenario {
+    (seed..)
+        .map(|s| Scenario::generate_with(s, cfg))
+        .find(|sc| sc.helpers.len() >= 2)
+        .unwrap()
+}
+
+/// Render one helper as a full function definition (the `edit` payload),
+/// body statements donated by another scenario's helper.
+fn render_helper(name: &str, stmts: &[String]) -> String {
+    let mut out = format!("fn {name}() {{\n");
+    out.push_str("    let acc = 1;\n");
+    out.push_str("    let peer = size() - 1 - rank();\n");
+    for s in stmts {
+        out.push_str(&format!("    {s}\n"));
+    }
+    out.push('}');
+    out
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let opts = parse_opts(args)?;
+    let server = match &opts.server {
+        Some(p) => p.clone(),
+        None => {
+            let mut p = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            p.set_file_name("parcoachd");
+            p.to_string_lossy().into_owned()
+        }
+    };
+
+    let cfg = ScenarioConfig {
+        max_helpers: 4,
+        max_main_stmts: 6,
+        max_helper_stmts: 3,
+    };
+    let base = base_scenario(opts.seed, &cfg);
+    let text = base.render();
+    let helper_names: Vec<String> = base.helpers.iter().map(|h| h.name.clone()).collect();
+    let uri = "soak.mh";
+
+    let mut client = Client::spawn(&server, opts.jobs)?;
+    expect_ok(&client.call("initialize", obj([("protocolVersion", Value::from(1i64))]))?)?;
+    expect_ok(&client.call(
+        "open",
+        obj([
+            ("uri", Value::from(uri)),
+            ("text", Value::from(text.as_str())),
+        ]),
+    )?)?;
+
+    // The client-side mirror: same Document type the daemon uses, so
+    // splices and fallbacks stay in lockstep; its session is a scratch
+    // (the oracle compiles cold every time).
+    let mut mirror = Document::open(uri, &text).map_err(|e| format!("mirror open: {e:?}"))?;
+    let mut scratch = AnalysisSession::builder().build();
+
+    let mut rng = Rng::new(opts.seed ^ 0x50AC);
+    let mut donor_seed = opts.seed.wrapping_mul(31).wrapping_add(1000);
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let (mut accepted, mut rejected, mut divergent, mut incremental) =
+        (0usize, 0usize, 0usize, 0usize);
+
+    while accepted < opts.edits {
+        if let Some(d) = opts.duration {
+            if started.elapsed() >= d {
+                break;
+            }
+        }
+        if rejected > 50 * opts.edits + 100 {
+            return Err("generator stalled: too many rejected edits".into());
+        }
+        // Donate a replacement body from a fresh scenario's helper.
+        donor_seed += 1;
+        let donor = Scenario::generate_with(donor_seed, &cfg);
+        let Some(dh) = donor.helpers.first() else {
+            continue;
+        };
+        let func = rng.pick(&helper_names).clone();
+        let new_text = render_helper(&func, &dh.stmts);
+
+        let resp = client.call(
+            "edit",
+            obj([
+                ("uri", Value::from(uri)),
+                ("func", Value::from(func.as_str())),
+                ("text", Value::from(new_text.as_str())),
+            ]),
+        )?;
+        if resp.get("error").is_some() {
+            // The daemon rejected the edit (donor body illegal in this
+            // program); the mirror must agree and stay unchanged.
+            if mirror.edit(&mut scratch, &func, &new_text).is_ok() {
+                eprintln!("daemon rejected an edit the oracle accepts: {func}");
+                divergent += 1;
+            }
+            rejected += 1;
+            continue;
+        }
+        let inc = resp
+            .get("result")
+            .and_then(|r| r.get("incremental"))
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        incremental += inc as usize;
+        mirror
+            .edit(&mut scratch, &func, &new_text)
+            .map_err(|e| format!("oracle rejected an edit the daemon accepted: {e:?}"))?;
+        accepted += 1;
+
+        // Warm check over the wire, cold oracle in-process.
+        let t0 = Instant::now();
+        let resp = client.call("check", obj([("uri", Value::from(uri))]))?;
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        let got = resp
+            .get("result")
+            .ok_or("check returned an error")?
+            .to_line();
+
+        let fresh =
+            Document::open(uri, mirror.text()).map_err(|e| format!("oracle recompile: {e:?}"))?;
+        let mut cold = AnalysisSession::builder()
+            .jobs(opts.jobs)
+            .deterministic(true)
+            .seed(42)
+            .build();
+        let report = cold.check_module(fresh.module());
+        let rendered = report.render(fresh.source_map());
+        let want = check_result_json(&report, rendered).to_line();
+        if got != want {
+            divergent += 1;
+            eprintln!(
+                "DIVERGENCE after edit #{accepted} of `{func}`:\n  warm: {got}\n  cold: {want}"
+            );
+        }
+    }
+
+    latencies_us.sort_unstable();
+    let histogram = histogram_json(&latencies_us, accepted, rejected, incremental, divergent);
+    std::fs::write(&opts.out, histogram.to_line())
+        .map_err(|e| format!("write {}: {e}", opts.out))?;
+    println!(
+        "soak: {accepted} edits ({incremental} incremental, {rejected} rejected), \
+         {divergent} divergent, p50 {}us p99 {}us — wrote {}",
+        pct(&latencies_us, 50),
+        pct(&latencies_us, 99),
+        opts.out
+    );
+    Ok(divergent == 0 && accepted > 0)
+}
+
+fn expect_ok(resp: &Value) -> Result<(), String> {
+    match resp.get("error") {
+        None => Ok(()),
+        Some(e) => Err(format!("request failed: {}", e.to_line())),
+    }
+}
+
+/// Percentile over sorted samples (nearest-rank).
+fn pct(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn histogram_json(
+    sorted_us: &[u64],
+    accepted: usize,
+    rejected: usize,
+    incremental: usize,
+    divergent: usize,
+) -> Value {
+    // Power-of-two latency buckets: `le_us` upper bounds with counts.
+    let mut buckets: Vec<(String, Value)> = Vec::new();
+    let mut bound = 64u64;
+    let mut idx = 0usize;
+    while idx < sorted_us.len() {
+        let upto = sorted_us.partition_point(|&v| v <= bound);
+        if upto > idx {
+            buckets.push((format!("le_{bound}us"), Value::from((upto - idx) as u64)));
+        }
+        idx = upto;
+        if bound > 1 << 40 {
+            buckets.push((
+                "le_inf".to_string(),
+                Value::from((sorted_us.len() - idx) as u64),
+            ));
+            break;
+        }
+        bound *= 2;
+    }
+    obj([
+        ("edits_accepted", Value::from(accepted)),
+        ("edits_rejected", Value::from(rejected)),
+        ("edits_incremental", Value::from(incremental)),
+        ("divergent", Value::from(divergent)),
+        ("samples", Value::from(sorted_us.len())),
+        ("p50_us", Value::from(pct(sorted_us, 50))),
+        ("p90_us", Value::from(pct(sorted_us, 90))),
+        ("p99_us", Value::from(pct(sorted_us, 99))),
+        (
+            "max_us",
+            Value::from(sorted_us.last().copied().unwrap_or(0)),
+        ),
+        ("buckets", Value::Obj(buckets)),
+    ])
+}

@@ -1,0 +1,113 @@
+//! `parcoachd` — the long-running analysis daemon.
+//!
+//! ```text
+//! parcoachd [--stdio] [--socket PATH] [--jobs N] [--deterministic] [--seed S]
+//! ```
+//!
+//! Speaks line-delimited JSON-RPC (see `parcoach_server::proto`).
+//! `--stdio` (the default) serves one session over stdin/stdout —
+//! the shape editors and the soak harness use. `--socket PATH` binds a
+//! unix listener and serves connections one at a time, each with its
+//! own protocol session over the shared resident state.
+//!
+//! Exit codes: 0 on `shutdown`/EOF, 3 on usage errors.
+
+use parcoach_server::{Server, ServerConfig};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+parcoachd — resident MPI/OpenMP collective-analysis service
+
+USAGE:
+    parcoachd [--stdio] [--socket PATH] [--jobs N] [--deterministic] [--seed S]
+
+    --stdio           serve stdin/stdout (default)
+    --socket PATH     bind a unix socket and serve connections serially
+    --jobs N          analysis pool width (>= 1; default: machine parallelism)
+    --deterministic   reproducible scheduling + byte-stable transcripts
+    --seed S          pool seed under --deterministic (default 42)
+";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("parcoachd: {msg}\n{USAGE}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig {
+        seed: 42,
+        ..ServerConfig::default()
+    };
+    let mut socket: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{}: missing value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--stdio" => socket = None,
+            "--socket" => socket = Some(take(&mut i)?),
+            "--jobs" => {
+                let v = take(&mut i)?;
+                let n: usize = v.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs: value must be at least 1".into());
+                }
+                config.jobs = Some(n);
+            }
+            "--deterministic" => config.deterministic = true,
+            "--seed" => {
+                config.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut server = Server::new(config);
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server
+                .serve(stdin.lock(), stdout.lock())
+                .map_err(|e| format!("stdio: {e}"))
+        }
+        Some(path) => serve_socket(&mut server, &path),
+    }
+}
+
+/// Accept connections one at a time; resident documents and the warm
+/// cache survive across connections, so a reconnecting client keeps
+/// its latency profile.
+fn serve_socket(server: &mut Server, path: &str) -> Result<(), String> {
+    let _ = std::fs::remove_file(path); // stale socket from a dead daemon
+    let listener =
+        std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+    eprintln!("parcoachd: listening on {path}");
+    for conn in listener.incoming() {
+        let conn = conn.map_err(|e| format!("accept: {e}"))?;
+        let reader = BufReader::new(conn.try_clone().map_err(|e| format!("socket: {e}"))?);
+        server
+            .serve(reader, conn)
+            .map_err(|e| format!("serve: {e}"))?;
+        if server.is_shut_down() {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,350 @@
+//! A resident compilation unit: source text plus the parsed, checked
+//! and lowered artifacts, kept consistent across per-function edits.
+//!
+//! The daemon's latency story lives here. `open` pays the full
+//! front-end once; [`Document::edit`] then tries the **incremental
+//! path**: reparse *only* the replacement function (padded with blanks
+//! so its spans land at absolute file offsets), sema-check it against
+//! the existing signature table, re-lower it in isolation, and rebase
+//! the spans of every function after the splice point by the byte
+//! delta. The analysis session is told exactly what moved
+//! ([`parcoach_core::AnalysisSession::mark_edited`] /
+//! [`shift_function`](parcoach_core::AnalysisSession::shift_function)),
+//! so a following `check` re-derives one function's facts and reuses
+//! the rest.
+//!
+//! The incremental path declines (falling back to a full reopen of the
+//! spliced text) when the edit is not a drop-in replacement: the new
+//! text is not exactly one function, keeps a different name, or changes
+//! the signature — any of which can change how *callers* lower, not
+//! just the edited body.
+
+use parcoach_core::AnalysisSession;
+use parcoach_front::{parser, sema, Function, Program, SourceMap, Span};
+use parcoach_ir::lower::{lower_function, lower_program};
+use parcoach_ir::Module;
+use std::collections::HashMap;
+
+/// Why an `open`/`edit` was rejected. The document is left exactly as
+/// it was — a failed edit never corrupts the resident state.
+#[derive(Debug)]
+pub enum DocError {
+    /// The target function does not exist in the document.
+    UnknownFunction(String),
+    /// The (spliced) text does not compile; `rendered` is the full
+    /// diagnostic text, ready for the wire.
+    Compile { rendered: String },
+}
+
+/// What an `edit` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// Whether the single-function incremental path applied (`false`
+    /// means the document was reopened from the spliced text and the
+    /// session cache fully invalidated).
+    pub incremental: bool,
+    /// Signed byte growth of the document.
+    pub delta: i64,
+}
+
+/// A resident source file and its derived artifacts.
+#[derive(Debug)]
+pub struct Document {
+    uri: String,
+    text: String,
+    program: Program,
+    signatures: HashMap<String, sema::Signature>,
+    source_map: SourceMap,
+    module: Module,
+}
+
+impl Document {
+    /// Compile `text` from scratch. This is the cold path `parcoachc
+    /// check` pays once per invocation and the daemon pays once per
+    /// `open`.
+    pub fn open(uri: &str, text: &str) -> Result<Document, DocError> {
+        let (program, signatures, source_map, module) = compile(uri, text)?;
+        Ok(Document {
+            uri: uri.to_string(),
+            text: text.to_string(),
+            program,
+            signatures,
+            source_map,
+            module,
+        })
+    }
+
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Function names in definition order.
+    pub fn functions(&self) -> Vec<String> {
+        self.program
+            .functions
+            .iter()
+            .map(|f| f.name.name.clone())
+            .collect()
+    }
+
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    pub fn source_map(&self) -> &SourceMap {
+        &self.source_map
+    }
+
+    /// Replace the definition of `func` with `new_text` (which must
+    /// contain the full replacement definition, `fn` keyword included).
+    ///
+    /// `session` is kept in sync: the edited function is marked dirty
+    /// and later functions' cached facts are span-rebased, or — on the
+    /// full-reopen fallback — the whole cache is invalidated.
+    pub fn edit(
+        &mut self,
+        session: &mut AnalysisSession,
+        func: &str,
+        new_text: &str,
+    ) -> Result<EditOutcome, DocError> {
+        let idx = self
+            .program
+            .functions
+            .iter()
+            .position(|f| f.name.name == func)
+            .ok_or_else(|| DocError::UnknownFunction(func.to_string()))?;
+        let old_span = self.program.functions[idx].span;
+        let (lo, hi) = (old_span.lo as usize, old_span.hi as usize);
+        let delta = new_text.len() as i64 - (hi - lo) as i64;
+
+        let mut spliced = String::with_capacity(self.text.len() + new_text.len());
+        spliced.push_str(&self.text[..lo]);
+        spliced.push_str(new_text);
+        spliced.push_str(&self.text[hi..]);
+
+        if let Some((new_fn, new_ir)) = self.try_incremental(func, idx, lo, new_text) {
+            self.text = spliced;
+            self.source_map = SourceMap::new(&self.uri, &self.text);
+            self.program.functions[idx] = new_fn;
+            for later in &mut self.program.functions[idx + 1..] {
+                shift_ast_function(later, delta);
+            }
+            self.module.funcs[idx] = new_ir;
+            for later in &mut self.module.funcs[idx + 1..] {
+                parcoach_ir::shift_spans(later, delta);
+                session.shift_function(&later.name, delta);
+            }
+            session.mark_edited(func);
+            return Ok(EditOutcome {
+                incremental: true,
+                delta,
+            });
+        }
+
+        // Fallback: whole-document recompile. Anything may have changed
+        // shape, so the session cache starts over (a failed compile
+        // leaves both document and session untouched).
+        let (program, signatures, source_map, module) = compile(&self.uri, &spliced)?;
+        self.text = spliced;
+        self.program = program;
+        self.signatures = signatures;
+        self.source_map = source_map;
+        self.module = module;
+        session.invalidate_all();
+        Ok(EditOutcome {
+            incremental: false,
+            delta,
+        })
+    }
+
+    /// The single-function path: parse `new_text` alone (padded to
+    /// absolute offsets), and accept it only if it is a drop-in
+    /// replacement — same name, same signature, sema-clean against the
+    /// existing signature table.
+    fn try_incremental(
+        &self,
+        func: &str,
+        idx: usize,
+        offset: usize,
+        new_text: &str,
+    ) -> Option<(Function, parcoach_ir::FuncIr)> {
+        let padded = format!("{}{}", " ".repeat(offset), new_text);
+        let (prog, diags) = parser::parse_program(&padded);
+        if diags.has_errors() || prog.functions.len() != 1 {
+            return None;
+        }
+        let new_fn = prog.functions.into_iter().next().unwrap();
+        if new_fn.name.name != func {
+            return None;
+        }
+        let old_sig = &self.signatures[func];
+        if sema::signature_of(&new_fn) != *old_sig {
+            return None;
+        }
+        let mut diags = parcoach_front::Diagnostics::new();
+        sema::check_function(&new_fn, &self.signatures, &mut diags);
+        if diags.has_errors() {
+            return None;
+        }
+        let new_ir = lower_function(&new_fn, &self.signatures);
+        debug_assert_eq!(self.module.funcs[idx].name, new_ir.name);
+        Some((new_fn, new_ir))
+    }
+}
+
+/// Full front-end: parse, sema, lower, verify.
+fn compile(
+    uri: &str,
+    text: &str,
+) -> Result<(Program, HashMap<String, sema::Signature>, SourceMap, Module), DocError> {
+    let unit =
+        parcoach_front::parse_and_check(uri, text).map_err(|(diags, sm)| DocError::Compile {
+            rendered: diags.render(&sm),
+        })?;
+    let module = lower_program(&unit.program, &unit.signatures);
+    let errs = parcoach_ir::verify_module(&module);
+    if !errs.is_empty() {
+        return Err(DocError::Compile {
+            rendered: format!("internal IR verification failure: {errs:?}"),
+        });
+    }
+    Ok((unit.program, unit.signatures, unit.source_map, module))
+}
+
+/// Rebase the one AST span a later fast-path edit reads: the span of
+/// the whole definition (used to locate the splice). Inner AST spans of
+/// untouched functions are never consumed again — a future incremental
+/// edit reparses from text, and a fallback reopen rebuilds the AST.
+fn shift_ast_function(f: &mut Function, delta: i64) {
+    if f.span == Span::DUMMY {
+        return;
+    }
+    let lo = (f.span.lo as i64 + delta).max(0) as u32;
+    let hi = (f.span.hi as i64 + delta).max(0) as u32;
+    f.span = Span::new(lo, hi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+fn helper() {
+    MPI_Barrier();
+}
+fn main() {
+    MPI_Init();
+    helper();
+    if (rank() == 0) { MPI_Barrier(); }
+    MPI_Finalize();
+}
+";
+
+    fn session() -> AnalysisSession {
+        AnalysisSession::builder()
+            .jobs(1)
+            .deterministic(true)
+            .seed(1)
+            .incremental(true)
+            .build()
+    }
+
+    #[test]
+    fn open_lists_functions_in_order() {
+        let doc = Document::open("t.mh", SRC).unwrap();
+        assert_eq!(doc.functions(), ["helper", "main"]);
+    }
+
+    #[test]
+    fn open_rejects_bad_source() {
+        match Document::open("t.mh", "fn main( {").unwrap_err() {
+            DocError::Compile { rendered } => assert!(!rendered.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_edit_matches_full_recompile() {
+        let mut s = session();
+        let mut doc = Document::open("t.mh", SRC).unwrap();
+        let _ = s.check_module(doc.module());
+
+        let replacement = "fn helper() {\n    MPI_Barrier();\n    MPI_Barrier();\n}";
+        let out = s_edit(&mut doc, &mut s, "helper", replacement);
+        assert!(out.incremental);
+        assert!(out.delta > 0);
+
+        // The edited document equals a from-scratch compile of its text,
+        // module spans included (the shift rebased `main`). Compare the
+        // function vector, not the whole module: `by_name` is a HashMap
+        // whose Debug order is not part of the contract.
+        let fresh = Document::open("t.mh", doc.text()).unwrap();
+        assert_eq!(
+            format!("{:?}", doc.module().funcs),
+            format!("{:?}", fresh.module().funcs)
+        );
+        assert_eq!(doc.module().by_name, fresh.module().by_name);
+
+        // And a warm check is byte-identical to a cold one.
+        let warm = format!("{:?}", s.check_module(doc.module()));
+        let cold = format!(
+            "{:?}",
+            AnalysisSession::builder()
+                .jobs(1)
+                .deterministic(true)
+                .seed(1)
+                .build()
+                .check_module(fresh.module())
+        );
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn signature_change_falls_back_to_reopen() {
+        let mut s = session();
+        let mut doc = Document::open("t.mh", SRC).unwrap();
+        let _ = s.check_module(doc.module());
+        // helper() -> helper(x: int) changes the signature, but the call
+        // site `helper();` would no longer compile — so change both via
+        // an edit of `main`... which *renames* nothing but the helper
+        // edit alone must decline the incremental path and then fail to
+        // compile the spliced text. The document must stay untouched.
+        let before = doc.text().to_string();
+        let bad = doc.edit(
+            &mut s,
+            "helper",
+            "fn helper(x: int) {\n    MPI_Barrier();\n}\n",
+        );
+        assert!(matches!(bad, Err(DocError::Compile { .. })));
+        assert_eq!(doc.text(), before);
+
+        // A body edit of `main` that adds a second function is also not
+        // a drop-in replacement: full reopen, still correct.
+        let out = s_edit(
+            &mut doc,
+            &mut s,
+            "main",
+            "fn extra() { MPI_Barrier(); }\nfn main() {\n    MPI_Init();\n    helper();\n    extra();\n    MPI_Finalize();\n}",
+        );
+        assert!(!out.incremental);
+        assert_eq!(doc.functions(), ["helper", "extra", "main"]);
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let mut s = session();
+        let mut doc = Document::open("t.mh", SRC).unwrap();
+        assert!(matches!(
+            doc.edit(&mut s, "nope", "fn nope() {}"),
+            Err(DocError::UnknownFunction(_))
+        ));
+    }
+
+    fn s_edit(doc: &mut Document, s: &mut AnalysisSession, func: &str, text: &str) -> EditOutcome {
+        doc.edit(s, func, text).unwrap()
+    }
+}

@@ -1,0 +1,39 @@
+//! # parcoach-server — `parcoachd`, analysis-as-a-service
+//!
+//! The batch pipeline answers "is this program safe?"; this crate
+//! answers it *repeatedly*, for a program being edited, without paying
+//! the whole pipeline per keystroke. Three layers:
+//!
+//! * [`document`] — a resident compilation unit. `open` pays the full
+//!   front-end once; a per-function `edit` reparses and re-lowers only
+//!   the replaced function, rebases spans after the splice point, and
+//!   tells the analysis session exactly which facts died.
+//! * [`server`] — the JSON-RPC dispatcher over one incremental
+//!   [`parcoach_core::AnalysisSession`]: `initialize`, `open`, `edit`,
+//!   `check`, `diagnostics`, `timings`, `shutdown`.
+//! * [`json`] / [`proto`] — a dependency-free, insertion-ordered JSON
+//!   layer, so a `--deterministic` daemon emits byte-identical
+//!   transcripts (the property the edit-soak CI job asserts).
+//!
+//! `parcoachc check` is a one-shot client of the same [`Document`]
+//! object, so batch and server modes cannot drift.
+//!
+//! ```
+//! use parcoach_server::{Server, ServerConfig};
+//!
+//! let mut srv = Server::new(ServerConfig::default());
+//! let resp = srv.handle_line(
+//!     r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"protocolVersion":1}}"#,
+//! );
+//! assert!(resp.contains(r#""serverName":"parcoachd""#));
+//! ```
+
+pub mod document;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use document::{DocError, Document, EditOutcome};
+pub use json::Value;
+pub use proto::PROTOCOL_VERSION;
+pub use server::{check_result_json, warnings_json, Server, ServerConfig};

@@ -1,0 +1,356 @@
+//! The `parcoachd` request loop: decode → dispatch → encode, one line
+//! per request, one line per response.
+//!
+//! All state lives in [`Server`]: the resident [`Document`]s and one
+//! incremental [`AnalysisSession`] whose query cache serves the *active*
+//! document (the last one checked). Checking a different document
+//! invalidates the cache first — the per-function memo is keyed by
+//! function name, and two documents may disagree about what `main` is.
+//! The expected deployment is one hot document per daemon (an editor
+//! buffer, a CI shard), where the cache survives every edit.
+//!
+//! Every response except `timings` is a pure function of the request
+//! history, so a `--deterministic` server produces byte-identical
+//! transcripts across runs and pool widths (`timings` reports measured
+//! wall clock, which no scheduler can promise twice).
+
+use crate::document::{DocError, Document};
+use crate::json::{obj, Value};
+use crate::proto::{self, code, Request, PROTOCOL_VERSION};
+use parcoach_core::{AnalysisSession, StaticReport};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Configuration mirrored from the daemon's command line.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Analysis pool width (`None`: the process-wide default).
+    pub jobs: Option<usize>,
+    /// Deterministic pool scheduling and byte-stable transcripts.
+    pub deterministic: bool,
+    /// Pool seed under `deterministic`.
+    pub seed: u64,
+}
+
+/// A resident analysis service.
+pub struct Server {
+    config: ServerConfig,
+    session: AnalysisSession,
+    docs: HashMap<String, Document>,
+    /// The document the session cache currently describes.
+    active_uri: Option<String>,
+    initialized: bool,
+    shutdown: bool,
+}
+
+impl Server {
+    pub fn new(config: ServerConfig) -> Server {
+        let mut b = AnalysisSession::builder().incremental(true);
+        if let Some(jobs) = config.jobs {
+            b = b.jobs(jobs);
+        }
+        if config.deterministic {
+            b = b.deterministic(true).seed(config.seed);
+        }
+        Server {
+            config,
+            session: b.build(),
+            docs: HashMap::new(),
+            active_uri: None,
+            initialized: false,
+            shutdown: false,
+        }
+    }
+
+    /// Whether `shutdown` has been acknowledged.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handle one request line, producing one response line.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let req = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err((c, msg)) => return proto::err(&Value::Null, c, &msg, None),
+        };
+        self.dispatch(&req)
+    }
+
+    fn dispatch(&mut self, req: &Request) -> String {
+        if !self.initialized && req.method != "initialize" {
+            return proto::err(
+                &req.id,
+                code::NOT_INITIALIZED,
+                "server not initialized (send `initialize` first)",
+                None,
+            );
+        }
+        match req.method.as_str() {
+            "initialize" => self.initialize(req),
+            "open" => self.open(req),
+            "edit" => self.edit(req),
+            "check" => self.check(req),
+            "diagnostics" => self.diagnostics(req),
+            "timings" => self.timings(req),
+            "shutdown" => {
+                self.shutdown = true;
+                proto::ok(&req.id, Value::Null)
+            }
+            other => proto::err(
+                &req.id,
+                code::METHOD_NOT_FOUND,
+                &format!("unknown method `{other}`"),
+                None,
+            ),
+        }
+    }
+
+    fn initialize(&mut self, req: &Request) -> String {
+        let version = req.params.get("protocolVersion").and_then(Value::as_i64);
+        match version {
+            Some(v) if v == PROTOCOL_VERSION => {}
+            other => {
+                return proto::err(
+                    &req.id,
+                    code::VERSION_MISMATCH,
+                    &format!(
+                        "unsupported protocolVersion {:?} (server speaks {PROTOCOL_VERSION})",
+                        other
+                    ),
+                    None,
+                );
+            }
+        }
+        self.initialized = true;
+        proto::ok(
+            &req.id,
+            obj([
+                ("protocolVersion", Value::from(PROTOCOL_VERSION)),
+                ("serverName", Value::from("parcoachd")),
+                ("serverVersion", Value::from(env!("CARGO_PKG_VERSION"))),
+                (
+                    "capabilities",
+                    obj([
+                        ("incrementalEdits", Value::from(true)),
+                        ("deterministic", Value::from(self.config.deterministic)),
+                    ]),
+                ),
+            ]),
+        )
+    }
+
+    fn open(&mut self, req: &Request) -> String {
+        let Some(uri) = req.params.get("uri").and_then(Value::as_str) else {
+            return invalid_params(&req.id, "open: missing string `uri`");
+        };
+        let Some(text) = req.params.get("text").and_then(Value::as_str) else {
+            return invalid_params(&req.id, "open: missing string `text`");
+        };
+        match Document::open(uri, text) {
+            Ok(doc) => {
+                let functions = doc
+                    .functions()
+                    .into_iter()
+                    .map(Value::from)
+                    .collect::<Vec<_>>();
+                // Re-opening the active document resets its cache.
+                if self.active_uri.as_deref() == Some(uri) {
+                    self.session.invalidate_all();
+                }
+                self.docs.insert(uri.to_string(), doc);
+                proto::ok(&req.id, obj([("functions", Value::Arr(functions))]))
+            }
+            Err(e) => doc_error(&req.id, e),
+        }
+    }
+
+    fn edit(&mut self, req: &Request) -> String {
+        let Some(uri) = req.params.get("uri").and_then(Value::as_str) else {
+            return invalid_params(&req.id, "edit: missing string `uri`");
+        };
+        let Some(func) = req.params.get("func").and_then(Value::as_str) else {
+            return invalid_params(&req.id, "edit: missing string `func`");
+        };
+        let Some(text) = req.params.get("text").and_then(Value::as_str) else {
+            return invalid_params(&req.id, "edit: missing string `text`");
+        };
+        let Some(doc) = self.docs.get_mut(uri) else {
+            return unknown_doc(&req.id, uri);
+        };
+        // An edit to a non-active document must not poison the active
+        // cache; the session is only consulted for the active one.
+        if self.active_uri.as_deref() == Some(uri) {
+            match doc.edit(&mut self.session, func, text) {
+                Ok(out) => proto::ok(
+                    &req.id,
+                    obj([
+                        ("incremental", Value::from(out.incremental)),
+                        ("delta", Value::from(out.delta)),
+                    ]),
+                ),
+                Err(e) => doc_error(&req.id, e),
+            }
+        } else {
+            let mut scratch = AnalysisSession::builder().build();
+            match doc.edit(&mut scratch, func, text) {
+                Ok(out) => proto::ok(
+                    &req.id,
+                    obj([
+                        ("incremental", Value::from(out.incremental)),
+                        ("delta", Value::from(out.delta)),
+                    ]),
+                ),
+                Err(e) => doc_error(&req.id, e),
+            }
+        }
+    }
+
+    fn check(&mut self, req: &Request) -> String {
+        match self.run_check(req) {
+            Ok((report, rendered)) => proto::ok(&req.id, check_result_json(&report, rendered)),
+            Err(resp) => resp,
+        }
+    }
+
+    fn diagnostics(&mut self, req: &Request) -> String {
+        match self.run_check(req) {
+            Ok((report, _)) => proto::ok(
+                &req.id,
+                obj([
+                    ("clean", Value::from(report.is_clean())),
+                    ("warnings", warnings_json(&report)),
+                ]),
+            ),
+            Err(resp) => resp,
+        }
+    }
+
+    /// Shared `check`/`diagnostics` body: activate the document (cache
+    /// reset if it changed), analyze, render.
+    fn run_check(&mut self, req: &Request) -> Result<(StaticReport, String), String> {
+        let Some(uri) = req.params.get("uri").and_then(Value::as_str) else {
+            return Err(invalid_params(&req.id, "check: missing string `uri`"));
+        };
+        let Some(doc) = self.docs.get(uri) else {
+            return Err(unknown_doc(&req.id, uri));
+        };
+        if self.active_uri.as_deref() != Some(uri) {
+            self.session.invalidate_all();
+            self.active_uri = Some(uri.to_string());
+        }
+        let report = self.session.check_module(doc.module());
+        let rendered = report.render(doc.source_map());
+        Ok((report, rendered))
+    }
+
+    fn timings(&mut self, req: &Request) -> String {
+        let Some(t) = self.session.timings() else {
+            return proto::ok(&req.id, obj([("available", Value::from(false))]));
+        };
+        let phases = t
+            .lines()
+            .iter()
+            .map(|(name, dur)| (format!("{name}_ns"), Value::from(dur.as_nanos() as u64)))
+            .collect::<Vec<_>>();
+        let stats = self.session.query_stats();
+        proto::ok(
+            &req.id,
+            obj([
+                ("available", Value::from(true)),
+                ("phases", Value::Obj(phases)),
+                (
+                    "cache",
+                    obj([
+                        ("pwHits", Value::from(stats.pw_hits)),
+                        ("pwMisses", Value::from(stats.pw_misses)),
+                        ("cfgHits", Value::from(stats.cfg_hits)),
+                        ("cfgMisses", Value::from(stats.cfg_misses)),
+                        ("greened", Value::from(stats.greened)),
+                        ("invalidated", Value::from(stats.invalidated)),
+                    ]),
+                ),
+            ]),
+        )
+    }
+
+    /// Serve line-delimited requests from `input`, writing one response
+    /// line each to `output`, until EOF or `shutdown`.
+    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut output: W) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let resp = self.handle_line(&line);
+            output.write_all(resp.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if self.shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `check` result object. Public so the soak client can construct
+/// the *expected* response from an independently compiled document and
+/// compare transcripts byte-for-byte.
+pub fn check_result_json(report: &StaticReport, rendered: String) -> Value {
+    obj([
+        ("clean", Value::from(report.is_clean())),
+        ("warnings", warnings_json(report)),
+        ("rendered", Value::from(rendered)),
+    ])
+}
+
+/// The structured warning array shared by `check` and `diagnostics`
+/// (and printed by `parcoachc diagnostics`): discovery order, which the
+/// deterministic pipeline fixes across pool widths.
+pub fn warnings_json(report: &StaticReport) -> Value {
+    Value::Arr(
+        report
+            .warnings
+            .iter()
+            .map(|w| {
+                obj([
+                    ("func", Value::from(w.func.as_str())),
+                    ("code", Value::from(w.kind.code())),
+                    ("lo", Value::from(w.span.lo)),
+                    ("hi", Value::from(w.span.hi)),
+                    ("message", Value::from(w.message.as_str())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn invalid_params(id: &Value, msg: &str) -> String {
+    proto::err(id, code::INVALID_PARAMS, msg, None)
+}
+
+fn unknown_doc(id: &Value, uri: &str) -> String {
+    proto::err(
+        id,
+        code::UNKNOWN_TARGET,
+        &format!("no open document `{uri}`"),
+        None,
+    )
+}
+
+fn doc_error(id: &Value, e: DocError) -> String {
+    match e {
+        DocError::UnknownFunction(f) => proto::err(
+            id,
+            code::UNKNOWN_TARGET,
+            &format!("no function `{f}` in document"),
+            None,
+        ),
+        DocError::Compile { rendered } => proto::err(
+            id,
+            code::COMPILE_ERROR,
+            "text does not compile",
+            Some(obj([("diagnostics", Value::from(rendered))])),
+        ),
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded edit-soak property, in-process.
+//!
+//! Two warm servers (pool widths 1 and 4, both deterministic) receive
+//! the same stream of random single-function edits. After every
+//! accepted edit, their `check` responses must be byte-identical to
+//! each other AND to a cold oracle: a from-scratch [`Document::open`]
+//! of the mirrored text checked by a fresh one-shot session. This is
+//! the same differential the `daemon_soak` binary runs against a live
+//! process, kept here in miniature so `cargo test` guards the property
+//! without spawning anything.
+
+use parcoach_core::AnalysisSession;
+use parcoach_server::json::{obj, Value};
+use parcoach_server::{check_result_json, proto, Document, Server, ServerConfig};
+use parcoach_testutil::{Rng, Scenario, ScenarioConfig};
+
+const SEED: u64 = 7;
+const EDITS: usize = 25;
+
+fn server(jobs: usize) -> Server {
+    let mut srv = Server::new(ServerConfig {
+        jobs: Some(jobs),
+        deterministic: true,
+        seed: 42,
+    });
+    let resp = srv.handle_line(
+        r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":1}}"#,
+    );
+    assert!(resp.contains(r#""result""#), "{resp}");
+    srv
+}
+
+fn request(id: i64, method: &str, params: Value) -> String {
+    obj([
+        ("jsonrpc", Value::from("2.0")),
+        ("id", Value::from(id)),
+        ("method", Value::from(method)),
+        ("params", params),
+    ])
+    .to_line()
+}
+
+/// Render one helper as an `edit` payload, body donated by another
+/// scenario's helper (same prologue the generator emits, so the donor
+/// statements' locals resolve).
+fn render_helper(name: &str, stmts: &[String]) -> String {
+    let mut out = format!("fn {name}() {{\n");
+    out.push_str("    let acc = 1;\n");
+    out.push_str("    let peer = size() - 1 - rank();\n");
+    for s in stmts {
+        out.push_str(&format!("    {s}\n"));
+    }
+    out.push('}');
+    out
+}
+
+#[test]
+fn warm_checks_match_cold_oracle_at_jobs_1_and_4() {
+    let cfg = ScenarioConfig {
+        max_helpers: 4,
+        max_main_stmts: 6,
+        max_helper_stmts: 3,
+    };
+    let base = (SEED..)
+        .map(|s| Scenario::generate_with(s, &cfg))
+        .find(|sc| sc.helpers.len() >= 2)
+        .unwrap();
+    let text = base.render();
+    let helper_names: Vec<String> = base.helpers.iter().map(|h| h.name.clone()).collect();
+    let uri = "soak.mh";
+
+    let mut narrow = server(1);
+    let mut wide = server(4);
+    let open = request(
+        1,
+        "open",
+        obj([
+            ("uri", Value::from(uri)),
+            ("text", Value::from(text.as_str())),
+        ]),
+    );
+    assert_eq!(narrow.handle_line(&open), wide.handle_line(&open));
+
+    // The oracle mirror tracks the text the servers hold; its session is
+    // a scratch — the oracle itself always compiles cold.
+    let mut mirror = Document::open(uri, &text).unwrap();
+    let mut scratch = AnalysisSession::builder().build();
+
+    let mut rng = Rng::new(SEED ^ 0x50AC);
+    let mut donor_seed = SEED.wrapping_mul(31).wrapping_add(1000);
+    let mut id = 1i64;
+    let (mut accepted, mut rejected, mut incremental) = (0usize, 0usize, 0usize);
+
+    while accepted < EDITS {
+        assert!(rejected < 50 * EDITS + 100, "generator stalled");
+        donor_seed += 1;
+        let donor = Scenario::generate_with(donor_seed, &cfg);
+        let Some(dh) = donor.helpers.first() else {
+            continue;
+        };
+        let func = rng.pick(&helper_names).clone();
+        let new_text = render_helper(&func, &dh.stmts);
+
+        id += 1;
+        let edit = request(
+            id,
+            "edit",
+            obj([
+                ("uri", Value::from(uri)),
+                ("func", Value::from(func.as_str())),
+                ("text", Value::from(new_text.as_str())),
+            ]),
+        );
+        let resp_n = narrow.handle_line(&edit);
+        let resp_w = wide.handle_line(&edit);
+        assert_eq!(resp_n, resp_w, "edit #{accepted} of `{func}`");
+        if resp_n.contains(r#""error""#) {
+            // Both servers rejected; the mirror must agree.
+            assert!(
+                mirror.edit(&mut scratch, &func, &new_text).is_err(),
+                "servers rejected an edit the oracle accepts: {func}"
+            );
+            rejected += 1;
+            continue;
+        }
+        incremental += resp_n.contains(r#""incremental":true"#) as usize;
+        mirror.edit(&mut scratch, &func, &new_text).unwrap();
+        accepted += 1;
+
+        id += 1;
+        let check = request(id, "check", obj([("uri", Value::from(uri))]));
+        let warm_n = narrow.handle_line(&check);
+        let warm_w = wide.handle_line(&check);
+        assert_eq!(
+            warm_n, warm_w,
+            "pool width changed bytes after edit #{accepted}"
+        );
+
+        let fresh = Document::open(uri, mirror.text()).unwrap();
+        let mut cold = AnalysisSession::builder()
+            .jobs(1)
+            .deterministic(true)
+            .seed(42)
+            .build();
+        let report = cold.check_module(fresh.module());
+        let rendered = report.render(fresh.source_map());
+        let want = proto::ok(&Value::from(id), check_result_json(&report, rendered));
+        assert_eq!(
+            warm_n, want,
+            "warm/cold divergence after edit #{accepted} of `{func}`"
+        );
+    }
+
+    // The soak must actually exercise the fast path, not fall back to
+    // reopen every time.
+    assert!(
+        incremental * 2 >= accepted,
+        "only {incremental}/{accepted} edits took the incremental path"
+    );
+}

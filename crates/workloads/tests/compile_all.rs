@@ -1,7 +1,7 @@
 //! Every generated workload must parse, type-check, lower, verify and
 //! analyze — the compile-time benchmark (Figure 1) depends on it.
 
-use parcoach_core::{analyze_module, AnalysisOptions, WarningKind};
+use parcoach_core::{AnalysisSession, WarningKind};
 use parcoach_front::parse_and_check;
 use parcoach_ir::lower::lower_program;
 use parcoach_workloads::{error_catalogue, figure1_suite, nas_mz, MzKind, WorkloadClass};
@@ -34,7 +34,7 @@ fn nas_workloads_have_no_context_warnings() {
         let w = nas_mz::generate(kind, WorkloadClass::A);
         let unit = parse_and_check(w.name, &w.source).expect("compiles");
         let module = lower_program(&unit.program, &unit.signatures);
-        let report = analyze_module(&module, &AnalysisOptions::default());
+        let report = AnalysisSession::builder().build().check_module(&module);
         for warn in &report.warnings {
             assert!(
                 !matches!(

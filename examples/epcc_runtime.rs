@@ -7,7 +7,7 @@
 //! cargo run --release --example epcc_runtime
 //! ```
 
-use parcoach::analysis::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach::analysis::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach::front::parse_and_check;
 use parcoach::interp::{Executor, RunConfig};
 use parcoach::ir::lower::lower_program;
@@ -18,7 +18,7 @@ fn main() {
     let w = epcc::generate(WorkloadClass::A);
     let unit = parse_and_check(w.name, &w.source).expect("compiles");
     let module = lower_program(&unit.program, &unit.signatures);
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     println!(
         "static phase: {} warning(s), {} CC function(s)",
         report.warnings.len(),

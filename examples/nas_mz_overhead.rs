@@ -7,7 +7,7 @@
 //! ```
 //! (Use `--release`: debug-build timings exaggerate the analysis share.)
 
-use parcoach::analysis::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach::analysis::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach::front::parse_and_check;
 use parcoach::ir::lower::lower_program;
 use parcoach::workloads::{nas_mz, MzKind, WorkloadClass};
@@ -21,6 +21,7 @@ fn main() {
     for kind in [MzKind::BT, MzKind::SP, MzKind::LU] {
         let w = nas_mz::generate(kind, WorkloadClass::B);
         let reps = 9;
+        let mut session = AnalysisSession::builder().build();
         let (mut tb, mut tw, mut tc) = (Vec::new(), Vec::new(), Vec::new());
         for _ in 0..=reps {
             // baseline: parse + lower + optimize + regalloc
@@ -36,7 +37,7 @@ fn main() {
             let t0 = Instant::now();
             let unit = parse_and_check(w.name, &w.source).unwrap();
             let mut m = lower_program(&unit.program, &unit.signatures);
-            let _report = analyze_module(&m, &AnalysisOptions::default());
+            let _report = session.check_module(&m);
             parcoach::ir::opt::optimize_module(&mut m, 4);
             for f in &m.funcs {
                 let _ = parcoach::ir::opt::allocate(f);
@@ -46,7 +47,7 @@ fn main() {
             let t0 = Instant::now();
             let unit = parse_and_check(w.name, &w.source).unwrap();
             let m = lower_program(&unit.program, &unit.signatures);
-            let report = analyze_module(&m, &AnalysisOptions::default());
+            let report = session.check_module(&m);
             let (mut mi, _stats) = instrument_module(&m, &report, InstrumentMode::Selective);
             parcoach::ir::opt::optimize_module(&mut mi, 4);
             for f in &mi.funcs {

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use parcoach::analysis::{analyze_module, instrument_module, AnalysisOptions, InstrumentMode};
+use parcoach::analysis::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach::front::parse_and_check;
 use parcoach::interp::{Executor, RunConfig};
 use parcoach::ir::lower::lower_program;
@@ -35,7 +35,7 @@ fn main() {
     let module = lower_program(&unit.program, &unit.signatures);
 
     // 2. Static phase (paper §2): the three properties.
-    let report = analyze_module(&module, &AnalysisOptions::default());
+    let report = AnalysisSession::builder().build().check_module(&module);
     println!("--- static analysis ---");
     println!("{}", report.render(&unit.source_map));
     assert!(report.is_clean(), "this program is correct by construction");

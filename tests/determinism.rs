@@ -1,7 +1,7 @@
 //! Determinism properties of the pooled pipeline.
 //!
-//! 1. **Static**: for seeded random multi-function modules,
-//!    `analyze_module_with` under a 1-lane pool and under an N-lane
+//! 1. **Static**: for seeded random multi-function modules, an
+//!    [`AnalysisSession`] over a 1-lane pool and over an N-lane
 //!    deterministic pool produce *byte-identical* `StaticReport`s (both
 //!    the `Debug` form and the rendered text). The generator leans into
 //!    what the fan-out must keep ordered: many functions, divergent
@@ -13,11 +13,10 @@
 //!    check-interception and error-kind sets all match the catalogue's
 //!    expectation either way.
 
-use parcoach::analysis::{analyze_module_with, AnalysisOptions};
+use parcoach::analysis::AnalysisSession;
 use parcoach::front::parse_and_check;
 use parcoach::interp::{check_and_run, RunConfig};
 use parcoach::ir::lower::lower_program;
-use parcoach::pool::{Pool, PoolConfig};
 use parcoach::workloads::{error_catalogue, ExpectDynamic};
 use parcoach_testutil::Rng;
 
@@ -91,24 +90,21 @@ fn random_module(rng: &mut Rng) -> String {
 /// sequential reference schedule and a 4-lane deterministic pool.
 #[test]
 fn analyze_reports_identical_across_pool_widths() {
-    let pool1 = Pool::new(PoolConfig {
-        jobs: 1,
-        deterministic: true,
-        seed: 0xD5,
-    });
-    let pool4 = Pool::new(PoolConfig {
-        jobs: 4,
-        deterministic: true,
-        seed: 0xD5,
-    });
-    let opts = AnalysisOptions::default();
+    let session = |jobs| {
+        AnalysisSession::builder()
+            .jobs(jobs)
+            .deterministic(true)
+            .seed(0xD5)
+            .build()
+    };
+    let (mut s1, mut s4) = (session(1), session(4));
     for seed in 0..50 {
         let src = random_module(&mut Rng::new(seed));
         let unit = parse_and_check("det.mh", &src)
             .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}\n{src}", d.render(&sm)));
         let module = lower_program(&unit.program, &unit.signatures);
-        let seq = analyze_module_with(&module, &opts, &pool1);
-        let par = analyze_module_with(&module, &opts, &pool4);
+        let seq = s1.check_module(&module);
+        let par = s4.check_module(&module);
         assert_eq!(
             format!("{seq:?}"),
             format!("{par:?}"),
@@ -126,18 +122,17 @@ fn analyze_reports_identical_across_pool_widths() {
 /// hidden iteration-order leaks through HashMaps).
 #[test]
 fn analyze_is_stable_across_repeats() {
-    let pool4 = Pool::new(PoolConfig {
-        jobs: 4,
-        deterministic: true,
-        seed: 9,
-    });
-    let opts = AnalysisOptions::default();
+    let mut s4 = AnalysisSession::builder()
+        .jobs(4)
+        .deterministic(true)
+        .seed(9)
+        .build();
     let src = random_module(&mut Rng::new(1234));
     let unit = parse_and_check("det.mh", &src).expect("valid");
     let module = lower_program(&unit.program, &unit.signatures);
-    let first = format!("{:?}", analyze_module_with(&module, &opts, &pool4));
+    let first = format!("{:?}", s4.check_module(&module));
     for _ in 0..5 {
-        let again = format!("{:?}", analyze_module_with(&module, &opts, &pool4));
+        let again = format!("{:?}", s4.check_module(&module));
         assert_eq!(first, again, "\n{src}");
     }
 }

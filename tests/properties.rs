@@ -15,7 +15,7 @@
 //! Programs come from a per-case `parcoach_testutil::Rng` seed; failing
 //! cases print the seed and the full generated source.
 
-use parcoach::analysis::{analyze_module, AnalysisOptions, WarningKind};
+use parcoach::analysis::{AnalysisSession, WarningKind};
 use parcoach::front::parse_and_check;
 use parcoach::interp::{check_and_run, Executor, RunConfig};
 use parcoach::ir::lower::lower_program;
@@ -92,7 +92,7 @@ fn generated_programs_are_statically_quiet() {
             parcoach::ir::verify_module(&module).is_empty(),
             "seed {seed}"
         );
-        let report = analyze_module(&module, &AnalysisOptions::default());
+        let report = AnalysisSession::builder().build().check_module(&module);
         for w in &report.warnings {
             assert!(
                 !matches!(
@@ -235,18 +235,14 @@ fn strip_comm_operands(m: &mut parcoach::ir::Module) {
 /// **byte-identical** reports — at `jobs = 1` and `jobs = 4` alike.
 #[test]
 fn world_only_analysis_matches_single_comm_path() {
-    use parcoach::analysis::analyze_module_with;
-    use parcoach::pool::{Pool, PoolConfig};
-    let pool1 = Pool::new(PoolConfig {
-        jobs: 1,
-        deterministic: true,
-        seed: 7,
-    });
-    let pool4 = Pool::new(PoolConfig {
-        jobs: 4,
-        deterministic: true,
-        seed: 7,
-    });
+    let session = |jobs| {
+        AnalysisSession::builder()
+            .jobs(jobs)
+            .deterministic(true)
+            .seed(7)
+            .build()
+    };
+    let (mut s1, mut s4) = (session(1), session(4));
     for seed in 300..(300 + 12 * parcoach_testutil::case_budget(1)) {
         let src = random_world_comm_program(&mut Rng::new(seed));
         let unit = parse_and_check("gen.mh", &src)
@@ -254,14 +250,14 @@ fn world_only_analysis_matches_single_comm_path() {
         let with_comms = lower_program(&unit.program, &unit.signatures);
         let mut stripped = with_comms.clone();
         strip_comm_operands(&mut stripped);
-        let opts = AnalysisOptions::default();
-        let baseline = format!("{:?}", analyze_module_with(&stripped, &opts, &pool1));
-        for (label, module, pool) in [
-            ("with-comms jobs=1", &with_comms, &pool1),
-            ("with-comms jobs=4", &with_comms, &pool4),
-            ("stripped jobs=4", &stripped, &pool4),
+        let baseline = format!("{:?}", s1.check_module(&stripped));
+        for (label, module, wide) in [
+            ("with-comms jobs=1", &with_comms, false),
+            ("with-comms jobs=4", &with_comms, true),
+            ("stripped jobs=4", &stripped, true),
         ] {
-            let report = format!("{:?}", analyze_module_with(module, &opts, pool));
+            let s = if wide { &mut s4 } else { &mut s1 };
+            let report = format!("{:?}", s.check_module(module));
             assert_eq!(
                 report, baseline,
                 "seed {seed}: {label} report differs from the single-comm path in\n{src}"
@@ -314,35 +310,30 @@ fn random_blocking_only_program(rng: &mut Rng) -> String {
 /// `world_only_analysis_matches_single_comm_path`.
 #[test]
 fn no_request_modules_match_blocking_path() {
-    use parcoach::analysis::analyze_module_with;
-    use parcoach::pool::{Pool, PoolConfig};
-    let pool1 = Pool::new(PoolConfig {
-        jobs: 1,
-        deterministic: true,
-        seed: 11,
-    });
-    let pool4 = Pool::new(PoolConfig {
-        jobs: 4,
-        deterministic: true,
-        seed: 11,
-    });
-    let with_requests = AnalysisOptions::default();
-    let blocking_path = AnalysisOptions {
-        check_requests: false,
-        ..AnalysisOptions::default()
+    let session = |jobs, requests| {
+        AnalysisSession::builder()
+            .jobs(jobs)
+            .deterministic(true)
+            .seed(11)
+            .check_requests(requests)
+            .build()
     };
+    let mut requests1 = session(1, true);
+    let mut requests4 = session(4, true);
+    let mut blocking1 = session(1, false);
+    let mut blocking4 = session(4, false);
     for seed in 400..(400 + 12 * parcoach_testutil::case_budget(1)) {
         let src = random_blocking_only_program(&mut Rng::new(seed));
         let unit = parse_and_check("gen.mh", &src)
             .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}", d.render(&sm)));
         let module = lower_program(&unit.program, &unit.signatures);
-        let baseline = format!("{:?}", analyze_module_with(&module, &blocking_path, &pool1));
-        for (label, opts, pool) in [
-            ("with-requests jobs=1", &with_requests, &pool1),
-            ("with-requests jobs=4", &with_requests, &pool4),
-            ("blocking-path jobs=4", &blocking_path, &pool4),
+        let baseline = format!("{:?}", blocking1.check_module(&module));
+        for (label, s) in [
+            ("with-requests jobs=1", &mut requests1),
+            ("with-requests jobs=4", &mut requests4),
+            ("blocking-path jobs=4", &mut blocking4),
         ] {
-            let report = format!("{:?}", analyze_module_with(&module, opts, pool));
+            let report = format!("{:?}", s.check_module(&module));
             assert_eq!(
                 report, baseline,
                 "seed {seed}: {label} report differs from the blocking path in\n{src}"
@@ -452,37 +443,32 @@ fn random_fact_rich_module(rng: &mut Rng) -> String {
 /// and `jobs = 4` alike.
 #[test]
 fn fact_store_matches_legacy_reports() {
-    use parcoach::analysis::analyze_module_with;
-    use parcoach::pool::{Pool, PoolConfig};
-    let pool1 = Pool::new(PoolConfig {
-        jobs: 1,
-        deterministic: true,
-        seed: 23,
-    });
-    let pool4 = Pool::new(PoolConfig {
-        jobs: 4,
-        deterministic: true,
-        seed: 23,
-    });
-    let memoized = AnalysisOptions::default();
-    let legacy = AnalysisOptions {
-        pdf_memo: false,
-        ..AnalysisOptions::default()
+    let session = |jobs, memo| {
+        AnalysisSession::builder()
+            .jobs(jobs)
+            .deterministic(true)
+            .seed(23)
+            .pdf_memo(memo)
+            .build()
     };
+    let mut memoized1 = session(1, true);
+    let mut memoized4 = session(4, true);
+    let mut legacy1 = session(1, false);
+    let mut legacy4 = session(4, false);
     for seed in 500..600u64 {
         let src = random_fact_rich_module(&mut Rng::new(seed));
         let unit = parse_and_check("gen.mh", &src)
             .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}\n{src}", d.render(&sm)));
         let module = lower_program(&unit.program, &unit.signatures);
-        let baseline = analyze_module_with(&module, &legacy, &pool1);
+        let baseline = legacy1.check_module(&module);
         let baseline_dbg = format!("{baseline:?}");
         let baseline_txt = baseline.render(&unit.source_map);
-        for (label, opts, pool) in [
-            ("memoized jobs=1", &memoized, &pool1),
-            ("memoized jobs=4", &memoized, &pool4),
-            ("legacy jobs=4", &legacy, &pool4),
+        for (label, s) in [
+            ("memoized jobs=1", &mut memoized1),
+            ("memoized jobs=4", &mut memoized4),
+            ("legacy jobs=4", &mut legacy4),
         ] {
-            let report = analyze_module_with(&module, opts, pool);
+            let report = s.check_module(&module);
             assert_eq!(
                 format!("{report:?}"),
                 baseline_dbg,
