@@ -1,0 +1,34 @@
+//! Review repro: whitespace-only interior edit keeps the fingerprint
+//! green but moves spans inside the edited function.
+
+use parcoach_core::AnalysisSession;
+use parcoach_server::Document;
+
+fn det_session(incremental: bool) -> AnalysisSession {
+    AnalysisSession::builder()
+        .jobs(1)
+        .deterministic(true)
+        .seed(1)
+        .incremental(incremental)
+        .build()
+}
+
+#[test]
+fn whitespace_interior_edit_keeps_warm_equal_to_cold() {
+    let src = "fn helper() {\n    parallel { if (thread_num() == 0) { barrier; } }\n}\nfn main() {\n    MPI_Init();\n    helper();\n    MPI_Finalize();\n}\n";
+    let mut s = det_session(true);
+    let mut doc = Document::open("t.mh", src).unwrap();
+    let _ = s.check_module(doc.module());
+
+    // Same structure, extra interior indentation: spans inside `helper`
+    // move by 4 bytes, fingerprint is unchanged.
+    let replacement =
+        "fn helper() {\n        parallel { if (thread_num() == 0) { barrier; } }\n}";
+    let out = doc.edit(&mut s, "helper", replacement).unwrap();
+    assert!(out.incremental, "expected the incremental path");
+
+    let warm = format!("{:?}", s.check_module(doc.module()));
+    let fresh = Document::open("t.mh", doc.text()).unwrap();
+    let cold = format!("{:?}", det_session(false).check_module(fresh.module()));
+    assert_eq!(warm, cold, "warm check diverged from cold after a whitespace-only edit");
+}
