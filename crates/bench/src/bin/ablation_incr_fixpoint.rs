@@ -1,0 +1,55 @@
+//! E13 (extension) — incremental context-fixpoint ablation.
+//!
+//! The context-propagation phase used to re-walk every changed function
+//! up to `3·n` rounds, recomputing each parallelism-word pass from
+//! scratch; the incremental worklist driver re-propagates only functions
+//! whose entry context actually rose and serves per-call-site contexts
+//! from the hash-consed delta query. This ablation runs the static
+//! analysis with the worklist on (`incr_fixpoint: true`, the default)
+//! and off (the legacy round loop, kept report-identical — pinned by the
+//! `incr_fixpoint_matches_legacy_reports` property test) and reports the
+//! per-workload analysis and contexts-phase minima.
+//!
+//! Usage: `cargo run --release -p parcoach-bench --bin ablation_incr_fixpoint [A|B|C] [reps]`
+
+use parcoach_bench::{bench_session_with, lower_workload, static_phase_breakdown};
+use parcoach_workloads::{figure1_suite, WorkloadClass};
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("A") => WorkloadClass::A,
+        Some("C") => WorkloadClass::C,
+        _ => WorkloadClass::B,
+    };
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+
+    // See `bench_session_with`: 1-lane deterministic pool, pdf memo on
+    // in both sessions so the only variable is the fixpoint driver.
+    let mut worklist = bench_session_with(true, true);
+    let mut legacy = bench_session_with(true, false);
+
+    println!("E13 — incremental context-fixpoint ablation (class {class:?}, {reps} reps, min)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "bench", "analyze", "analyze-legacy", "contexts", "contexts-leg", "ctx x"
+    );
+    for w in figure1_suite(class) {
+        let module = lower_workload(&w);
+        let incr = static_phase_breakdown(&module, &mut worklist, reps);
+        let full = static_phase_breakdown(&module, &mut legacy, reps);
+        let ms = |d: std::time::Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
+        let ratio = full.contexts.as_secs_f64() / incr.contexts.as_secs_f64().max(1e-9);
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14} {:>8.2}x",
+            w.name,
+            ms(incr.total),
+            ms(full.total),
+            ms(incr.contexts),
+            ms(full.contexts),
+            ratio,
+        );
+    }
+}

@@ -29,8 +29,8 @@
 //! failure, 3 = usage error.
 
 use parcoach_bench::{
-    bench_session, compile_suite_concurrent, compile_with_codegen, lower_workload, measure,
-    static_phase_breakdown,
+    bench_session, bench_session_with, compile_suite_concurrent, compile_with_codegen,
+    lower_workload, measure, static_phase_breakdown,
 };
 use parcoach_core::AnalysisSession;
 use parcoach_front::parse_and_check;
@@ -258,6 +258,24 @@ fn run(args: &[String]) -> Result<bool, String> {
         phases_only.insert(key.clone(), *ns);
     }
 
+    // Absolute latency bar on the default (incremental-worklist) driver:
+    // a full cold static analysis of HERA class B must finish under
+    // 0.4 ms. Like the warm-re-check gate above, this needs no baseline
+    // entry — the bound is a property of the analysis, not the machine.
+    const HERA_B_TOTAL_BOUND_NS: u64 = 400_000;
+    let hera_total_ns = phase_records
+        .iter()
+        .find(|(k, _)| k == "phase/hera_b/total_ns")
+        .map(|(_, ns)| *ns)
+        .unwrap_or(u64::MAX);
+    let hera_ok = hera_total_ns < HERA_B_TOTAL_BOUND_NS;
+    println!(
+        "hera_b cold analysis: {:.3} ms (bound {:.1} ms) — {}",
+        hera_total_ns as f64 / 1e6,
+        HERA_B_TOTAL_BOUND_NS as f64 / 1e6,
+        if hera_ok { "ok" } else { "GATE FAILURE" }
+    );
+
     // --- write ------------------------------------------------------------
     let json = to_json(&results);
     std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
@@ -268,9 +286,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     if let Some(p) = write_baseline {
         std::fs::write(&p, &json).map_err(|e| format!("write {p}: {e}"))?;
         println!("wrote baseline {p}");
-        return Ok(detection_ok && identical && incr_ok);
+        return Ok(detection_ok && identical && incr_ok && hera_ok);
     }
-    Ok(gate_ok && detection_ok && identical && incr_ok)
+    Ok(gate_ok && detection_ok && identical && incr_ok && hera_ok)
 }
 
 /// Minimum compile time per workload; returns the suite total and the
@@ -450,6 +468,10 @@ fn detection_pass() -> bool {
 fn phase_breakdown() -> Vec<(String, u64)> {
     let mut memo_on = bench_session(true);
     let mut memo_off = bench_session(false);
+    // E13 ablation: same analysis with the legacy full-re-walk context
+    // driver (`incr_fixpoint: false`) — the round loop the worklist
+    // replaced. Only `contexts`/`total` differ between the drivers.
+    let mut legacy_fixpoint = bench_session_with(true, false);
     let mut out = Vec::new();
     for (label, w) in [
         (
@@ -464,6 +486,7 @@ fn phase_breakdown() -> Vec<(String, u64)> {
         let module = lower_workload(&w);
         let cached = static_phase_breakdown(&module, &mut memo_on, PHASE_REPS);
         let uncached = static_phase_breakdown(&module, &mut memo_off, PHASE_REPS);
+        let legacy = static_phase_breakdown(&module, &mut legacy_fixpoint, PHASE_REPS);
         for (phase, dur) in cached.lines() {
             out.push((format!("phase/{label}/{phase}_ns"), dur.as_nanos() as u64));
         }
@@ -475,13 +498,25 @@ fn phase_breakdown() -> Vec<(String, u64)> {
             format!("phase/{label}/total_uncached_ns"),
             uncached.total.as_nanos() as u64,
         ));
+        out.push((
+            format!("phase/{label}/contexts_legacy_ns"),
+            legacy.contexts.as_nanos() as u64,
+        ));
+        out.push((
+            format!("phase/{label}/total_legacy_ns"),
+            legacy.total.as_nanos() as u64,
+        ));
         let ratio = uncached.matching.as_secs_f64() / cached.matching.as_secs_f64().max(1e-9);
+        let ctx_ratio = legacy.contexts.as_secs_f64() / cached.contexts.as_secs_f64().max(1e-9);
         println!(
             "phases {label}: total {:.3} ms, matching {:.3} ms \
-             (uncached PDF+ matching {:.3} ms → {ratio:.2}x)",
+             (uncached PDF+ matching {:.3} ms → {ratio:.2}x), contexts {:.3} ms \
+             (legacy fixpoint {:.3} ms → {ctx_ratio:.2}x)",
             cached.total.as_secs_f64() * 1e3,
             cached.matching.as_secs_f64() * 1e3,
             uncached.matching.as_secs_f64() * 1e3,
+            cached.contexts.as_secs_f64() * 1e3,
+            legacy.contexts.as_secs_f64() * 1e3,
         );
     }
     out

@@ -110,11 +110,19 @@ pub fn static_phase_breakdown(
 /// configures `AnalysisOptions` — the ad-hoc `pdf_memo: false` rebuilds
 /// it replaced drifted independently.
 pub fn bench_session(pdf_memo: bool) -> AnalysisSession {
+    bench_session_with(pdf_memo, true)
+}
+
+/// [`bench_session`] with the context-propagation driver selectable as
+/// well: `incr_fixpoint: false` measures the legacy full-re-walk round
+/// loop (the E13 ablation baseline), `true` the incremental worklist.
+pub fn bench_session_with(pdf_memo: bool, incr_fixpoint: bool) -> AnalysisSession {
     AnalysisSession::builder()
         .jobs(1)
         .deterministic(true)
         .seed(42)
         .pdf_memo(pdf_memo)
+        .incr_fixpoint(incr_fixpoint)
         .build()
 }
 

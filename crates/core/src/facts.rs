@@ -23,7 +23,7 @@
 
 use crate::comm::{compute_comms, FuncComms, ModuleComms};
 use crate::context::{compute_contexts_with, CallContexts};
-use crate::intern::{EventArena, EventId, SymTable, WordArena, WordId};
+use crate::intern::{EventArena, EventId, SymTable, WordArena, WordId, WordNode};
 use crate::matching::{block_events, Event};
 use crate::pw::{compute_pw, InitialContext, PwResult, PwState};
 use crate::query::QueryDb;
@@ -33,6 +33,7 @@ use parcoach_ir::dom::{DomTree, PostDomTree};
 use parcoach_ir::func::{FuncIr, Module};
 use parcoach_ir::loops::LoopInfo;
 use parcoach_ir::types::BlockId;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Control-flow facts for one *MPI-relevant* function: functions with
@@ -280,12 +281,19 @@ impl<'m> AnalysisCx<'m> {
                 .unwrap_or_else(|| Arc::new(compute_pw(f, ctxs.context_of(&f.name))));
             // Entry words are only read by the phases for MPI-relevant
             // functions (concurrency indexes them per MPI block), so
-            // the rest skip the per-block interning.
+            // the rest skip the per-block interning. Words materialize
+            // from the function's dag at most once per distinct node
+            // (straight-line blocks share nodes).
             let word_ids = if raw.needs_cfg {
+                let mut node_memo: HashMap<WordNode, WordId> = HashMap::new();
                 pw.entry
                     .iter()
                     .map(|state| match state {
-                        Some(PwState::Word(w)) => Some(words.intern(w)),
+                        Some(PwState::Word(n)) => Some(
+                            *node_memo
+                                .entry(*n)
+                                .or_insert_with(|| words.intern(&pw.dag.materialize(*n))),
+                        ),
                         _ => None,
                     })
                     .collect()

@@ -52,16 +52,17 @@ pub mod session;
 pub mod word;
 
 pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
+pub use context::{compute_contexts, compute_contexts_db, compute_contexts_legacy, CallContexts};
 pub use facts::{AnalysisCx, FuncFacts};
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
-pub use intern::{EventArena, EventId, Sym, SymTable, WordArena, WordId};
+pub use intern::{EventArena, EventId, Sym, SymTable, WordArena, WordDag, WordId, WordNode};
 pub use lang::{classify, ContextClass, MonoVerdict};
 #[allow(deprecated)]
 pub use pipeline::{
     analyze_module, analyze_module_timed, analyze_module_with, AnalysisOptions, PhaseTimings,
 };
 pub use pw::{compute_pw, InitialContext, PwResult};
-pub use query::{fingerprint, Fingerprint, QueryDb, QueryStats};
+pub use query::{fingerprint, Fingerprint, QueryDb, QueryStats, SiteContexts};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};
 pub use request::{compute_requests, ModuleRequests, ReqDef, ReqId, ReqTable};
 pub use session::{AnalysisSession, AnalysisSessionBuilder};

@@ -8,8 +8,8 @@
 //! parallel construct responsible.
 
 use crate::facts::AnalysisCx;
-use crate::lang::{classify, MonoVerdict};
-use crate::pw::SYNTH_BASE;
+use crate::lang::MonoVerdict;
+use crate::pw::{PwState, SYNTH_BASE};
 use crate::report::{StaticWarning, WarningKind};
 use crate::word::Token;
 use parcoach_front::ast::ThreadLevel;
@@ -71,63 +71,65 @@ pub fn check_monothread(cx: &AnalysisCx, fidx: usize) -> MonoResult {
                 },
             };
             let span = *span;
-            match pw.entry[bid.index()].as_ref() {
+            match pw.entry[bid.index()] {
                 None => continue, // unreachable
-                Some(state) => match state.word() {
-                    None => {
-                        // Conflict state: context depends on control flow.
-                        out.warnings.push(StaticWarning {
-                            kind: WarningKind::MultithreadedCollective,
-                            func: f.name.clone(),
-                            message: format!(
-                                "{name} is reached with control-flow-dependent thread \
-                                 context; cannot prove monothreaded execution"
-                            ),
-                            span,
-                            related: Vec::new(),
-                        });
-                        out.suspects.push(bid);
-                        out.bump_level(ThreadLevel::Multiple);
-                    }
-                    Some(w) => {
-                        let class = classify(w);
-                        out.bump_level(class.required_level);
-                        match class.verdict {
-                            MonoVerdict::SequentialContext | MonoVerdict::MonoThreaded => {}
-                            MonoVerdict::MultiThreaded => {
-                                let related = responsible_construct(f, w);
-                                out.warnings.push(StaticWarning {
-                                    kind: WarningKind::MultithreadedCollective,
-                                    func: f.name.clone(),
-                                    message: format!(
-                                        "{name} may be executed by multiple non-synchronized \
-                                         threads (parallelism word {w}); requires \
-                                         MPI_THREAD_MULTIPLE and a proof that a single \
-                                         thread calls it"
-                                    ),
-                                    span,
-                                    related,
-                                });
-                                out.suspects.push(bid);
-                            }
-                            MonoVerdict::NestedParallelism => {
-                                let related = responsible_construct(f, w);
-                                out.warnings.push(StaticWarning {
-                                    kind: WarningKind::NestedParallelismCollective,
-                                    func: f.name.clone(),
-                                    message: format!(
-                                        "{name} sits under nested parallel regions \
-                                         (parallelism word {w}); one thread per team may \
-                                         execute it"
-                                    ),
-                                    span,
-                                    related,
-                                });
-                                out.suspects.push(bid);
-                            }
+                Some(PwState::Conflict) => {
+                    // Conflict state: context depends on control flow.
+                    out.warnings.push(StaticWarning {
+                        kind: WarningKind::MultithreadedCollective,
+                        func: f.name.clone(),
+                        message: format!(
+                            "{name} is reached with control-flow-dependent thread \
+                             context; cannot prove monothreaded execution"
+                        ),
+                        span,
+                        related: Vec::new(),
+                    });
+                    out.suspects.push(bid);
+                    out.bump_level(ThreadLevel::Multiple);
+                }
+                Some(PwState::Word(node)) => {
+                    // The verdict is cached on the word node; the word
+                    // itself materializes only for warning messages.
+                    let class = pw.class(node);
+                    out.bump_level(class.required_level);
+                    match class.verdict {
+                        MonoVerdict::SequentialContext | MonoVerdict::MonoThreaded => {}
+                        MonoVerdict::MultiThreaded => {
+                            let w = pw.dag.materialize(node);
+                            let related = responsible_construct(f, &w);
+                            out.warnings.push(StaticWarning {
+                                kind: WarningKind::MultithreadedCollective,
+                                func: f.name.clone(),
+                                message: format!(
+                                    "{name} may be executed by multiple non-synchronized \
+                                     threads (parallelism word {w}); requires \
+                                     MPI_THREAD_MULTIPLE and a proof that a single \
+                                     thread calls it"
+                                ),
+                                span,
+                                related,
+                            });
+                            out.suspects.push(bid);
+                        }
+                        MonoVerdict::NestedParallelism => {
+                            let w = pw.dag.materialize(node);
+                            let related = responsible_construct(f, &w);
+                            out.warnings.push(StaticWarning {
+                                kind: WarningKind::NestedParallelismCollective,
+                                func: f.name.clone(),
+                                message: format!(
+                                    "{name} sits under nested parallel regions \
+                                     (parallelism word {w}); one thread per team may \
+                                     execute it"
+                                ),
+                                span,
+                                related,
+                            });
+                            out.suspects.push(bid);
                         }
                     }
-                },
+                }
             }
         }
     }
@@ -139,12 +141,10 @@ pub fn check_monothread(cx: &AnalysisCx, fidx: usize) -> MonoResult {
     // thread of a team calling MPI needs MPI_THREAD_MULTIPLE, a
     // monothreaded region SERIALIZED (FUNNELED for master chains).
     for bid in f.p2p_blocks() {
-        match pw.entry[bid.index()].as_ref() {
+        match pw.entry[bid.index()] {
             None => continue, // unreachable
-            Some(state) => match state.word() {
-                None => out.bump_level(ThreadLevel::Multiple),
-                Some(w) => out.bump_level(classify(w).required_level),
-            },
+            Some(PwState::Conflict) => out.bump_level(ThreadLevel::Multiple),
+            Some(PwState::Word(node)) => out.bump_level(pw.class(node).required_level),
         }
     }
 

@@ -34,6 +34,12 @@ pub struct AnalysisOptions {
     /// pre-fact-store engine, kept for the E10 ablation and pinned
     /// report-identical by `fact_store_matches_legacy_reports`.
     pub pdf_memo: bool,
+    /// Drive the interprocedural context fixpoint with the incremental
+    /// worklist (`true`, the default). `false` falls back to the legacy
+    /// round-based re-walk — kept for the E13 ablation and the fuzz
+    /// differential's `--legacy-fixpoint` mode, and pinned
+    /// report-identical by `incr_fixpoint_matches_legacy_reports`.
+    pub incr_fixpoint: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -44,6 +50,7 @@ impl Default for AnalysisOptions {
             check_thread_level: true,
             check_requests: true,
             pdf_memo: true,
+            incr_fixpoint: true,
         }
     }
 }
@@ -309,7 +316,11 @@ fn analyze_module_inner(
 
     // Interprocedural contexts, then the shared fact store.
     let t = Instant::now();
-    let ctxs = crate::context::compute_contexts_db(m, opts.entry_context, pool, db.as_deref_mut());
+    let ctxs = if opts.incr_fixpoint {
+        crate::context::compute_contexts_db(m, opts.entry_context, pool, db.as_deref_mut())
+    } else {
+        crate::context::compute_contexts_legacy(m, opts.entry_context, pool, db.as_deref_mut())
+    };
     if let Some(s) = sink {
         TimingSink::add(&s.contexts, t);
     }

@@ -18,7 +18,15 @@
 //! Tokens are pushed edge-sensitively: `single`/`master`/`section`
 //! entries only push their `S_i` on the branch edge taken by the chosen
 //! thread (the region body); the skip edge keeps the incoming word.
+//!
+//! Words live in a per-result hash-consed [`WordDag`]: extending by one
+//! token is an O(1) intern, the meet compares node ids, and the
+//! membership verdict is cached on the node (see [`crate::intern`]).
+//! `Vec`-backed [`Word`]s materialize only at report boundaries
+//! (divergences, warning messages).
 
+use crate::intern::{WordDag, WordNode};
+use crate::lang::ContextClass;
 use crate::word::{SKind, Token, Word};
 use parcoach_front::span::Span;
 use parcoach_ir::func::FuncIr;
@@ -26,20 +34,21 @@ use parcoach_ir::instr::{Directive, Terminator};
 use parcoach_ir::types::{BlockId, RegionId};
 use std::collections::VecDeque;
 
-/// The word state of a block entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The word state of a block entry. Word nodes index the owning
+/// [`PwResult`]'s dag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PwState {
     /// A definite word.
-    Word(Word),
+    Word(WordNode),
     /// Incompatible words met — structure depends on control flow.
     Conflict,
 }
 
 impl PwState {
-    /// The word, if definite.
-    pub fn word(&self) -> Option<&Word> {
+    /// The word node, if definite.
+    pub fn node(&self) -> Option<WordNode> {
         match self {
-            PwState::Word(w) => Some(w),
+            PwState::Word(n) => Some(*n),
             PwState::Conflict => None,
         }
     }
@@ -66,17 +75,30 @@ pub struct PwResult {
     /// Blocks where barrier-only loop extensions were collapsed; barrier
     /// counts at and after these blocks are iteration-dependent.
     pub phase_merged: Vec<bool>,
-    /// Structural divergences (candidate deadlocks).
+    /// Structural divergences (candidate deadlocks), with materialized
+    /// words (they flow into report messages and span rebasing).
     pub divergences: Vec<Divergence>,
+    /// The hash-consed words of this function × context.
+    pub dag: WordDag,
 }
 
 impl PwResult {
-    /// The word at a block's entry, if definite.
-    pub fn word_at(&self, b: BlockId) -> Option<&Word> {
+    /// The word node at a block's entry, if definite.
+    pub fn node_at(&self, b: BlockId) -> Option<WordNode> {
         self.entry
             .get(b.index())
             .and_then(|s| s.as_ref())
-            .and_then(|s| s.word())
+            .and_then(|s| s.node())
+    }
+
+    /// The word at a block's entry, if definite (materialized).
+    pub fn word_at(&self, b: BlockId) -> Option<Word> {
+        self.node_at(b).map(|n| self.dag.materialize(n))
+    }
+
+    /// The cached classification of a word node of this result.
+    pub fn class(&self, n: WordNode) -> ContextClass {
+        self.dag.class(n)
     }
 
     /// True when the block entry is in conflict state.
@@ -138,6 +160,7 @@ impl InitialContext {
 /// given initial context.
 pub fn compute_pw(f: &FuncIr, init: InitialContext) -> PwResult {
     let n = f.block_count();
+    let mut dag = WordDag::new();
     let mut entry: Vec<Option<PwState>> = vec![None; n];
     let mut phase_merged = vec![false; n];
     let mut divergences: Vec<Divergence> = Vec::new();
@@ -153,33 +176,29 @@ pub fn compute_pw(f: &FuncIr, init: InitialContext) -> PwResult {
         rpo_pos[b.index()] = i;
     }
 
-    entry[f.entry.index()] = Some(PwState::Word(init.prefix()));
+    entry[f.entry.index()] = Some(PwState::Word(dag.intern_word(&init.prefix())));
     queue.push_back(f.entry);
 
     // Termination: words only shrink at meets, Conflict is absorbing and
     // each block is re-queued only when its state changes.
     while let Some(b) = queue.pop_front() {
-        let state = entry[b.index()].clone().expect("queued blocks have state");
+        let state = entry[b.index()].expect("queued blocks have state");
         let blk = f.block(b);
-        // Compute the outgoing state per successor edge.
-        let out_states: Vec<(BlockId, PwState)> = match &state {
-            PwState::Conflict => blk
-                .term
-                .successors()
-                .into_iter()
-                .map(|s| (s, PwState::Conflict))
-                .collect(),
-            PwState::Word(w) => transfer(f, b, blk.directive(), &blk.term, w),
+        // Compute the outgoing state per successor edge — at most two,
+        // returned inline so the hot loop never heap-allocates.
+        let out_states: [Option<(BlockId, PwState)>; 2] = match state {
+            PwState::Conflict => uniform_out(&blk.term, |_| PwState::Conflict),
+            PwState::Word(w) => transfer(f, b, blk.directive(), &blk.term, w, &mut dag),
         };
-        for (succ, new_state) in out_states {
-            match &entry[succ.index()] {
+        for (succ, new_state) in out_states.into_iter().flatten() {
+            match entry[succ.index()] {
                 None => {
                     entry[succ.index()] = Some(new_state);
                     queue.push_back(succ);
                 }
                 Some(existing) => {
                     let retreating = rpo_pos[succ.index()] <= rpo_pos[b.index()];
-                    let (met, note) = meet(existing, &new_state, retreating);
+                    let (met, note) = meet(existing, new_state, retreating, &dag);
                     if let MeetNote::PhaseMerge = note {
                         phase_merged[succ.index()] = true;
                     }
@@ -188,13 +207,13 @@ pub fn compute_pw(f: &FuncIr, init: InitialContext) -> PwResult {
                         if !divergences.iter().any(|d| d.block == succ) {
                             divergences.push(Divergence {
                                 block: succ,
-                                left: l,
-                                right: r,
+                                left: dag.materialize(l),
+                                right: dag.materialize(r),
                                 span: f.block(succ).span,
                             });
                         }
                     }
-                    if &met != existing {
+                    if met != existing {
                         entry[succ.index()] = Some(met);
                         queue.push_back(succ);
                     }
@@ -207,46 +226,65 @@ pub fn compute_pw(f: &FuncIr, init: InitialContext) -> PwResult {
         entry,
         phase_merged,
         divergences,
+        dag,
     }
 }
 
-/// Edge-sensitive transfer function of one block.
+/// The per-edge states of a block with the same state on every successor
+/// (a `Terminator` has at most two), built without allocating.
+fn uniform_out(
+    term: &Terminator,
+    state: impl Fn(BlockId) -> PwState,
+) -> [Option<(BlockId, PwState)>; 2] {
+    match term {
+        Terminator::Goto(t) => [Some((*t, state(*t))), None],
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => [
+            Some((*then_bb, state(*then_bb))),
+            Some((*else_bb, state(*else_bb))),
+        ],
+        Terminator::Return { .. } | Terminator::Unreachable => [None, None],
+    }
+}
+
+/// Edge-sensitive transfer function of one block. Word extensions are
+/// O(1) dag interns; nothing is cloned.
 fn transfer(
     f: &FuncIr,
     b: BlockId,
     dir: Option<&Directive>,
     term: &Terminator,
-    w: &Word,
-) -> Vec<(BlockId, PwState)> {
-    let uniform = |w: Word| -> Vec<(BlockId, PwState)> {
-        term.successors()
-            .into_iter()
-            .map(|s| (s, PwState::Word(w.clone())))
-            .collect()
-    };
+    w: WordNode,
+    dag: &mut WordDag,
+) -> [Option<(BlockId, PwState)>; 2] {
+    let uniform = |w: WordNode| uniform_out(term, |_| PwState::Word(w));
     match dir {
-        None => uniform(w.clone()),
+        None => uniform(w),
         Some(d) => match d {
-            Directive::ParallelBegin { region, .. } => uniform(w.extended(Token::P(*region))),
+            Directive::ParallelBegin { region, .. } => uniform(dag.extend(w, Token::P(*region))),
             Directive::SingleBegin { region, .. } => {
-                conditional_entry(f, b, term, w, Token::S(*region, SKind::Single))
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Single), dag)
             }
             Directive::MasterBegin { region, .. } => {
-                conditional_entry(f, b, term, w, Token::S(*region, SKind::Master))
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Master), dag)
             }
             Directive::SectionBegin { region, .. } => {
-                conditional_entry(f, b, term, w, Token::S(*region, SKind::Section))
+                conditional_entry(f, b, term, w, Token::S(*region, SKind::Section), dag)
             }
             Directive::ParallelEnd { region }
             | Directive::SingleEnd { region }
             | Directive::MasterEnd { region }
             | Directive::SectionEnd { region } => {
-                let mut nw = w.clone();
-                let ok = nw.close_region(*region);
-                debug_assert!(ok, "verifier guarantees balanced regions in {}", f.name);
-                uniform(nw)
+                let closed = dag.close_region(w, *region);
+                debug_assert!(
+                    closed.is_some(),
+                    "verifier guarantees balanced regions in {}",
+                    f.name
+                );
+                uniform(closed.unwrap_or(w))
             }
-            Directive::Barrier { .. } => uniform(w.extended(Token::B)),
+            Directive::Barrier { .. } => uniform(dag.extend(w, Token::B)),
             // Critical is mutual exclusion, not single-threaded execution:
             // all threads run the body. Worksharing begin/end and pfor
             // chunk setup do not change the thread-parallelism level
@@ -255,7 +293,7 @@ fn transfer(
             | Directive::CriticalEnd { .. }
             | Directive::WorkshareBegin { .. }
             | Directive::WorkshareEnd { .. }
-            | Directive::PForInit { .. } => uniform(w.clone()),
+            | Directive::PForInit { .. } => uniform(w),
         },
     }
 }
@@ -265,23 +303,22 @@ fn conditional_entry(
     f: &FuncIr,
     b: BlockId,
     term: &Terminator,
-    w: &Word,
+    w: WordNode,
     token: Token,
-) -> Vec<(BlockId, PwState)> {
+    dag: &mut WordDag,
+) -> [Option<(BlockId, PwState)>; 2] {
     match term {
         Terminator::Branch {
             then_bb, else_bb, ..
-        } => vec![
-            (*then_bb, PwState::Word(w.extended(token))),
-            (*else_bb, PwState::Word(w.clone())),
+        } => [
+            Some((*then_bb, PwState::Word(dag.extend(w, token)))),
+            Some((*else_bb, PwState::Word(w))),
         ],
         _ => {
             // Lowering always gives these a branch; degrade gracefully.
             debug_assert!(false, "conditional opener without branch in {} {b}", f.name);
-            term.successors()
-                .into_iter()
-                .map(|s| (s, PwState::Word(w.extended(token))))
-                .collect()
+            let ext = dag.extend(w, token);
+            uniform_out(term, |_| PwState::Word(ext))
         }
     }
 }
@@ -289,29 +326,35 @@ fn conditional_entry(
 enum MeetNote {
     None,
     PhaseMerge,
-    Diverged(Word, Word),
+    Diverged(WordNode, WordNode),
 }
 
-/// Meet of an existing entry state with a new incoming state.
+/// Meet of an existing entry state with a new incoming state. Word
+/// equality is node-id equality (hash-consing).
 ///
 /// `retreating` marks loop back edges: only there is a barrier-only word
 /// extension collapsed (per-iteration barrier growth). On forward joins
 /// the same mismatch is a genuine divergence — a barrier executed on one
 /// path but not the other.
-fn meet(existing: &PwState, incoming: &PwState, retreating: bool) -> (PwState, MeetNote) {
+fn meet(
+    existing: PwState,
+    incoming: PwState,
+    retreating: bool,
+    dag: &WordDag,
+) -> (PwState, MeetNote) {
     match (existing, incoming) {
         (PwState::Conflict, _) | (_, PwState::Conflict) => (PwState::Conflict, MeetNote::None),
         (PwState::Word(a), PwState::Word(b)) => {
             if a == b {
-                (PwState::Word(a.clone()), MeetNote::None)
-            } else if retreating && b.is_barrier_extension_of(a) {
+                (PwState::Word(a), MeetNote::None)
+            } else if retreating && dag.extends_by_barriers(b, a) {
                 // Loop head: back edge brings extra barriers. Keep the
                 // first-visit word.
-                (PwState::Word(a.clone()), MeetNote::PhaseMerge)
-            } else if retreating && a.is_barrier_extension_of(b) {
-                (PwState::Word(b.clone()), MeetNote::PhaseMerge)
+                (PwState::Word(a), MeetNote::PhaseMerge)
+            } else if retreating && dag.extends_by_barriers(a, b) {
+                (PwState::Word(b), MeetNote::PhaseMerge)
             } else {
-                (PwState::Conflict, MeetNote::Diverged(a.clone(), b.clone()))
+                (PwState::Conflict, MeetNote::Diverged(a, b))
             }
         }
     }
@@ -339,7 +382,7 @@ mod tests {
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
         assert_eq!(cb.len(), 1, "expected exactly one collective block");
-        pw.word_at(cb[0]).expect("definite word").clone()
+        pw.word_at(cb[0]).expect("definite word")
     }
 
     #[test]
@@ -408,10 +451,10 @@ mod tests {
         let pw = compute_pw(f, InitialContext::Parallel);
         let cb = f.collective_blocks();
         let w = pw.word_at(cb[0]).unwrap();
-        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+        assert_eq!(classify(&w).verdict, MonoVerdict::MultiThreaded);
         let pw = compute_pw(f, InitialContext::ParallelSingle);
         let w = pw.word_at(cb[0]).unwrap();
-        assert_eq!(classify(w).verdict, MonoVerdict::MonoThreaded);
+        assert_eq!(classify(&w).verdict, MonoVerdict::MonoThreaded);
     }
 
     #[test]
@@ -474,7 +517,7 @@ mod tests {
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
         let w = pw.word_at(cb[0]).unwrap();
-        assert!(classify(w).verdict.is_monothreaded(), "word {w}");
+        assert!(classify(&w).verdict.is_monothreaded(), "word {w}");
     }
 
     #[test]
@@ -484,7 +527,7 @@ mod tests {
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
         let w = pw.word_at(cb[0]).unwrap();
-        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+        assert_eq!(classify(&w).verdict, MonoVerdict::MultiThreaded);
     }
 
     #[test]
@@ -494,7 +537,7 @@ mod tests {
         let pw = compute_pw(f, InitialContext::Sequential);
         let cb = f.collective_blocks();
         let w = pw.word_at(cb[0]).unwrap();
-        assert_eq!(classify(w).verdict, MonoVerdict::MultiThreaded);
+        assert_eq!(classify(&w).verdict, MonoVerdict::MultiThreaded);
     }
 
     #[test]

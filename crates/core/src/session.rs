@@ -117,6 +117,13 @@ impl AnalysisSessionBuilder {
         self
     }
 
+    /// Toggle the incremental worklist driver of the context fixpoint
+    /// (off = the E13 ablation's legacy round-based re-walk).
+    pub fn incr_fixpoint(mut self, on: bool) -> Self {
+        self.opts.incr_fixpoint = on;
+        self
+    }
+
     /// Keep span-free derived facts (parallelism words, CFG facts) in a
     /// content-hash-keyed memo across checks. See the type docs for the
     /// edit-notification contract this puts on the caller.
@@ -347,6 +354,59 @@ mod tests {
         let warm_report = warm.check_module(&m2);
         let cold_report = AnalysisSession::builder().build().check_module(&m2);
         assert_eq!(format!("{warm_report:?}"), format!("{cold_report:?}"));
+    }
+
+    /// Edit-soak for the delta-propagation queries: after an edit to one
+    /// function, the pw and site-context queries must miss for exactly
+    /// that function and keep serving every other function from cache.
+    #[test]
+    fn edit_invalidates_exactly_the_dirty_function() {
+        let src_v1 = "fn left() { MPI_Barrier(); }
+             fn right() { MPI_Barrier(); }
+             fn main() {
+                 MPI_Init();
+                 left();
+                 right();
+                 MPI_Finalize();
+             }";
+        // `right` structurally edited; `left` and `main` untouched.
+        let src_v2 = "fn left() { MPI_Barrier(); }
+             fn right() { MPI_Barrier(); MPI_Barrier(); }
+             fn main() {
+                 MPI_Init();
+                 left();
+                 right();
+                 MPI_Finalize();
+             }";
+        let m1 = lower(src_v1);
+        let m2 = lower(src_v2);
+        let mut s = AnalysisSession::builder().incremental(true).build();
+        s.check_module(&m1);
+        let cold = s.query_stats();
+        // All three functions are analyzed in one context each.
+        assert_eq!(cold.pw_misses, 3);
+        assert_eq!(cold.site_misses, 3);
+        // Unedited soak rounds: pure hits, zero new misses.
+        for _ in 0..3 {
+            s.check_module(&m1);
+        }
+        let soaked = s.query_stats();
+        assert_eq!(soaked.pw_misses, cold.pw_misses);
+        assert_eq!(soaked.site_misses, cold.site_misses);
+        assert_eq!(soaked.pw_hits, cold.pw_hits + 3 * 3);
+        assert_eq!(soaked.site_hits, cold.site_hits + 3 * 3);
+        // Edit exactly one function: exactly one pw miss and one
+        // site-context miss; the other two functions stay green.
+        s.mark_edited("right");
+        let edited = s.check_module(&m2);
+        let after = s.query_stats();
+        assert_eq!(after.pw_misses, soaked.pw_misses + 1);
+        assert_eq!(after.site_misses, soaked.site_misses + 1);
+        assert_eq!(after.pw_hits, soaked.pw_hits + 2);
+        assert_eq!(after.site_hits, soaked.site_hits + 2);
+        // And the warm result is byte-identical to a cold analysis.
+        let cold_report = AnalysisSession::builder().build().check_module(&m2);
+        assert_eq!(format!("{edited:?}"), format!("{cold_report:?}"));
     }
 
     #[test]

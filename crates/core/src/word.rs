@@ -9,6 +9,7 @@
 //! removes its token (and everything after it) from the word.
 
 use parcoach_ir::types::RegionId;
+use std::cmp::Ordering;
 use std::fmt;
 
 /// The flavour of a single-threaded (`S`) region. Needed to derive the
@@ -63,6 +64,28 @@ impl Token {
     /// Is this a `P` token?
     pub fn is_p(self) -> bool {
         matches!(self, Token::P(_))
+    }
+}
+
+impl Token {
+    /// Sort key for [`Word::cmp_for_report`]: `B` sorts before any region
+    /// token, `P` before `S`, regions by id, and `S` kinds in declaration
+    /// order. Purely structural — no span or symbol information — so the
+    /// order is stable across parses of the same module.
+    fn report_key(self) -> (u8, u32, u8) {
+        match self {
+            Token::B => (0, 0, 0),
+            Token::P(r) => (1, r.0, 0),
+            Token::S(r, k) => (
+                2,
+                r.0,
+                match k {
+                    SKind::Single => 0,
+                    SKind::Master => 1,
+                    SKind::Section => 2,
+                },
+            ),
+        }
     }
 }
 
@@ -152,6 +175,24 @@ impl Word {
     /// Number of `B` tokens in the word.
     pub fn barrier_count(&self) -> usize {
         self.0.iter().filter(|t| **t == Token::B).count()
+    }
+
+    /// Deterministic total order used when words are listed in reports or
+    /// test transcripts: shorter words first, length ties broken
+    /// lexicographically by [`Token::report_key`]. Independent of arena or
+    /// dag interning order, so the hash-consed representation in
+    /// [`crate::intern::WordDag`] must reproduce it exactly after
+    /// materialization (pinned by the `lang_props` property tests).
+    pub fn cmp_for_report(&self, other: &Word) -> Ordering {
+        self.0.len().cmp(&other.0.len()).then_with(|| {
+            for (a, b) in self.0.iter().zip(other.0.iter()) {
+                let ord = a.report_key().cmp(&b.report_key());
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        })
     }
 }
 
@@ -246,6 +287,29 @@ mod tests {
         assert!(!base.is_barrier_extension_of(&ext));
         let other = Word(vec![Token::P(r(0)), Token::S(r(1), SKind::Single)]);
         assert!(!other.is_barrier_extension_of(&base));
+    }
+
+    #[test]
+    fn report_order_is_length_then_lexicographic() {
+        let empty = Word::empty();
+        let b = Word(vec![Token::B]);
+        let p = Word(vec![Token::P(r(0))]);
+        let s = Word(vec![Token::S(r(0), SKind::Single)]);
+        let long = Word(vec![Token::B, Token::B]);
+        // Shorter first.
+        assert_eq!(empty.cmp_for_report(&b), Ordering::Less);
+        assert_eq!(long.cmp_for_report(&b), Ordering::Greater);
+        // Same length: B < P < S.
+        assert_eq!(b.cmp_for_report(&p), Ordering::Less);
+        assert_eq!(p.cmp_for_report(&s), Ordering::Less);
+        // Region ids order same-shape tokens.
+        let p1 = Word(vec![Token::P(r(1))]);
+        assert_eq!(p.cmp_for_report(&p1), Ordering::Less);
+        // S kinds order within a region.
+        let master = Word(vec![Token::S(r(0), SKind::Master)]);
+        assert_eq!(s.cmp_for_report(&master), Ordering::Less);
+        // Reflexive equality.
+        assert_eq!(s.cmp_for_report(&s), Ordering::Equal);
     }
 
     #[test]

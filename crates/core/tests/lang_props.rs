@@ -5,6 +5,7 @@
 //! Random words come from `parcoach_testutil::Rng` with per-case seeds;
 //! a failing case reports its seed and the offending word.
 
+use parcoach_core::intern::WordDag;
 use parcoach_core::lang::{classify, in_language_reference};
 use parcoach_core::word::{SKind, Token, Word};
 use parcoach_ir::types::RegionId;
@@ -122,6 +123,129 @@ fn common_prefix_symmetric() {
         if ab < a.len() && ab < b.len() {
             assert_ne!(a.tokens()[ab], b.tokens()[ab], "seed {seed}");
         }
+    }
+}
+
+/// Hash-consed words agree with the `Vec<Token>` representation on every
+/// observable: building a random token sequence via interned `extend`
+/// must materialize to the same tokens, the cached `L`-membership flags
+/// must match both the production classifier and the regex-derivative
+/// reference automaton, and interning the same sequence twice must yield
+/// the same node id (hash-consing actually shares).
+#[test]
+fn word_dag_matches_vec_representation() {
+    for seed in 0..cases() {
+        let mut rng = Rng::new(seed);
+        let w = random_word(&mut rng);
+        let mut dag = WordDag::new();
+        // Build incrementally via extend, exactly as compute_pw does.
+        let mut node = dag.epsilon();
+        for t in w.tokens() {
+            node = dag.extend(node, *t);
+        }
+        // Token content round-trips.
+        assert_eq!(
+            dag.materialize(node),
+            w,
+            "materialize mismatch on {} (seed {seed})",
+            w
+        );
+        assert_eq!(dag.len(node) as usize, w.len(), "len (seed {seed})");
+        assert_eq!(dag.is_empty(node), w.is_empty(), "is_empty (seed {seed})");
+        // The O(1) flag-derived class equals the token-walking classifier
+        // and the reference automaton.
+        let class = dag.class(node);
+        assert_eq!(class, classify(&w), "class mismatch on {} (seed {seed})", w);
+        assert_eq!(
+            class.verdict.is_monothreaded(),
+            in_language_reference(&w),
+            "membership cache wrong on {} (seed {seed})",
+            w
+        );
+        // Hash-consing: interning the whole word hits the same node, so
+        // equality-by-id is sound.
+        assert_eq!(
+            dag.intern_word(&w),
+            node,
+            "intern_word disagrees with extend chain (seed {seed})"
+        );
+    }
+}
+
+/// `cmp_for_report` computed on dag-materialized words must order
+/// exactly like the `Vec<Token>` originals — the report comparator may
+/// not observe interning order.
+#[test]
+fn word_dag_preserves_report_order() {
+    for seed in 0..cases() {
+        let mut rng = Rng::new(seed);
+        let a = random_word(&mut rng);
+        let b = random_word(&mut rng);
+        let mut dag = WordDag::new();
+        let na = dag.intern_word(&a);
+        let nb = dag.intern_word(&b);
+        assert_eq!(
+            dag.materialize(na).cmp_for_report(&dag.materialize(nb)),
+            a.cmp_for_report(&b),
+            "report order changed for {} vs {} (seed {seed})",
+            a,
+            b
+        );
+        // Id equality coincides with structural equality within one dag.
+        assert_eq!(na == nb, a == b, "id equality wrong (seed {seed})");
+    }
+}
+
+/// The structural helpers on the dag (`close_region`,
+/// `extends_by_barriers`) agree with their `Word` counterparts.
+#[test]
+fn word_dag_structural_ops_match() {
+    for seed in 0..cases() {
+        let mut rng = Rng::new(seed);
+        let w = random_word(&mut rng);
+        let mut dag = WordDag::new();
+        let node = dag.intern_word(&w);
+        // close_region on every region mentioned in the word, plus one
+        // absent region (disjoint range).
+        let mut regions: Vec<RegionId> = w.tokens().iter().filter_map(|t| t.region()).collect();
+        regions.push(RegionId(rng.range_u32(900, 950)));
+        for r in regions {
+            let mut expect = w.clone();
+            let closed = expect.close_region(r);
+            match dag.close_region(node, r) {
+                Some(n) => {
+                    assert!(closed, "dag closed absent region (seed {seed})");
+                    assert_eq!(
+                        dag.materialize(n),
+                        expect,
+                        "close_region({r:?}) mismatch on {} (seed {seed})",
+                        w
+                    );
+                }
+                None => assert!(!closed, "dag missed region {r:?} in {} (seed {seed})", w),
+            }
+        }
+        // Barrier extension: w plus k barriers extends w; w plus any
+        // non-B token does not.
+        let mut ext = node;
+        let mut ext_word = w.clone();
+        for _ in 0..rng.below(3) + 1 {
+            ext = dag.extend(ext, Token::B);
+            ext_word.push(Token::B);
+        }
+        assert!(
+            dag.extends_by_barriers(ext, node),
+            "B-extension not recognized (seed {seed})"
+        );
+        assert!(
+            ext_word.is_barrier_extension_of(&w),
+            "vec oracle disagrees (seed {seed})"
+        );
+        let diverged = dag.extend(node, Token::P(RegionId(999)));
+        assert!(
+            !dag.extends_by_barriers(diverged, node),
+            "P-extension misclassified (seed {seed})"
+        );
     }
 }
 

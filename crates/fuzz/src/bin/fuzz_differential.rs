@@ -8,10 +8,15 @@
 //! ```text
 //! fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K]
 //!                   [--jobs J] [--workers W | --shard I/N]
+//!                   [--legacy-fixpoint]
 //!                   [--minimize] [--corpus-out DIR]
 //!                   [--summary-out FILE] [--records-out FILE]
 //!                   [--expected FILE] [--quiet]
 //! ```
+//!
+//! `--legacy-fixpoint` runs the static side with the legacy full-re-walk
+//! context driver instead of the incremental worklist, so CI pins both
+//! against the simulator ground truth.
 //!
 //! Deterministic by construction: module seeds derive from
 //! `(--seed, module index)` only, so the summary is byte-identical at
@@ -40,7 +45,7 @@ struct Opts {
 }
 
 const USAGE: &str = "usage: fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K] \
-[--jobs J] [--workers W | --shard I/N] [--minimize] [--corpus-out DIR] \
+[--jobs J] [--workers W | --shard I/N] [--legacy-fixpoint] [--minimize] [--corpus-out DIR] \
 [--summary-out FILE] [--records-out FILE] [--expected FILE] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
@@ -90,6 +95,7 @@ fn parse_opts() -> Opts {
                     .unwrap_or_else(|| usage_err(&format!("--shard: bad spec `{v}`")));
                 opts.cfg.shard = Some((i, n));
             }
+            "--legacy-fixpoint" => opts.cfg.oracle.incr_fixpoint = false,
             "--minimize" => opts.minimize = true,
             "--corpus-out" => {
                 opts.corpus_out = Some(
@@ -153,6 +159,9 @@ fn run_workers(opts: &Opts) -> Result<Vec<parcoach_fuzz::ModuleRecord>, String> 
             .arg("--records-out")
             .arg(&records)
             .arg("--quiet");
+        if !opts.cfg.oracle.incr_fixpoint {
+            cmd.arg("--legacy-fixpoint");
+        }
         if let Some(jobs) = opts.jobs {
             cmd.arg("--jobs")
                 .arg(jobs.div_ceil(opts.workers).to_string());

@@ -21,6 +21,10 @@ pub struct OracleConfig {
     /// Hard wall-clock cap per module; a run that exceeds it is
     /// recorded as the synthetic dynamic code `hang`.
     pub watchdog: Duration,
+    /// Context-propagation driver for the static side: the incremental
+    /// worklist (default) or, when `false`, the legacy full-re-walk
+    /// round loop — so the campaign can pin both against the simulator.
+    pub incr_fixpoint: bool,
 }
 
 impl Default for OracleConfig {
@@ -29,6 +33,7 @@ impl Default for OracleConfig {
             ranks: 2,
             threads: 2,
             watchdog: Duration::from_secs(10),
+            incr_fixpoint: true,
         }
     }
 }
@@ -73,7 +78,10 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     if !verify.is_empty() {
         return OracleOutcome::Invalid(format!("IR verification failed: {verify:?}"));
     }
-    let report = AnalysisSession::builder().build().check_module(&module);
+    let report = AnalysisSession::builder()
+        .incr_fixpoint(cfg.incr_fixpoint)
+        .build()
+        .check_module(&module);
     let mut static_codes: Vec<String> = report
         .warnings
         .iter()

@@ -29,17 +29,18 @@ pub fn reverse_post_order(f: &FuncIr) -> Vec<BlockId> {
     let n = f.block_count();
     let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
     let mut post = Vec::with_capacity(n);
-    // Iterative DFS keeping an explicit successor cursor per frame.
-    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    // Iterative DFS keeping an explicit successor cursor per frame;
+    // `Terminator::successor` serves edges by index so no frame
+    // allocates a successor list.
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
     state[f.entry.index()] = 1;
-    stack.push((f.entry, f.successors(f.entry), 0));
-    while let Some((b, succs, cursor)) = stack.last_mut() {
-        if let Some(&s) = succs.get(*cursor) {
+    stack.push((f.entry, 0));
+    while let Some((b, cursor)) = stack.last_mut() {
+        if let Some(s) = f.block(*b).term.successor(*cursor) {
             *cursor += 1;
             if state[s.index()] == 0 {
                 state[s.index()] = 1;
-                let sc = f.successors(s);
-                stack.push((s, sc, 0));
+                stack.push((s, 0));
             }
         } else {
             state[b.index()] = 2;

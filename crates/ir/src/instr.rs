@@ -637,6 +637,18 @@ impl Terminator {
             Terminator::Return { .. } | Terminator::Unreachable => vec![],
         }
     }
+
+    /// The `i`-th successor, without allocating (a terminator has at
+    /// most two). `None` once `i` runs past the out-degree — the shape
+    /// CFG walks want for an explicit-cursor DFS.
+    pub fn successor(&self, i: usize) -> Option<crate::types::BlockId> {
+        match (self, i) {
+            (Terminator::Goto(t), 0) => Some(*t),
+            (Terminator::Branch { then_bb, .. }, 0) => Some(*then_bb),
+            (Terminator::Branch { else_bb, .. }, 1) => Some(*else_bb),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Terminator {

@@ -22,13 +22,15 @@ fn whitespace_interior_edit_keeps_warm_equal_to_cold() {
 
     // Same structure, extra interior indentation: spans inside `helper`
     // move by 4 bytes, fingerprint is unchanged.
-    let replacement =
-        "fn helper() {\n        parallel { if (thread_num() == 0) { barrier; } }\n}";
+    let replacement = "fn helper() {\n        parallel { if (thread_num() == 0) { barrier; } }\n}";
     let out = doc.edit(&mut s, "helper", replacement).unwrap();
     assert!(out.incremental, "expected the incremental path");
 
     let warm = format!("{:?}", s.check_module(doc.module()));
     let fresh = Document::open("t.mh", doc.text()).unwrap();
     let cold = format!("{:?}", det_session(false).check_module(fresh.module()));
-    assert_eq!(warm, cold, "warm check diverged from cold after a whitespace-only edit");
+    assert_eq!(
+        warm, cold,
+        "warm check diverged from cold after a whitespace-only edit"
+    );
 }

@@ -483,6 +483,56 @@ fn fact_store_matches_legacy_reports() {
     }
 }
 
+/// The incremental worklist fixpoint must be report-invisible: the
+/// delta-propagating driver (`incr_fixpoint: true`, the default) and
+/// the legacy full-re-walk round loop (`incr_fixpoint: false`) must
+/// produce **byte-identical** `StaticReport`s on ≥ 100 seeded fact-rich
+/// modules (cross-function calls under mixed parallel/sequential
+/// contexts), at `jobs = 1` and `jobs = 4` alike. The mirror of
+/// `fact_store_matches_legacy_reports` for the context-propagation
+/// phase.
+#[test]
+fn incr_fixpoint_matches_legacy_reports() {
+    let session = |jobs, incremental| {
+        AnalysisSession::builder()
+            .jobs(jobs)
+            .deterministic(true)
+            .seed(23)
+            .incr_fixpoint(incremental)
+            .build()
+    };
+    let mut worklist1 = session(1, true);
+    let mut worklist4 = session(4, true);
+    let mut legacy1 = session(1, false);
+    let mut legacy4 = session(4, false);
+    for seed in 600..700u64 {
+        let src = random_fact_rich_module(&mut Rng::new(seed));
+        let unit = parse_and_check("gen.mh", &src)
+            .unwrap_or_else(|(d, sm)| panic!("seed {seed}: {}\n{src}", d.render(&sm)));
+        let module = lower_program(&unit.program, &unit.signatures);
+        let baseline = legacy1.check_module(&module);
+        let baseline_dbg = format!("{baseline:?}");
+        let baseline_txt = baseline.render(&unit.source_map);
+        for (label, s) in [
+            ("worklist jobs=1", &mut worklist1),
+            ("worklist jobs=4", &mut worklist4),
+            ("legacy jobs=4", &mut legacy4),
+        ] {
+            let report = s.check_module(&module);
+            assert_eq!(
+                format!("{report:?}"),
+                baseline_dbg,
+                "seed {seed}: {label} report differs from the legacy fixpoint in\n{src}"
+            );
+            assert_eq!(
+                report.render(&unit.source_map),
+                baseline_txt,
+                "seed {seed}: {label} rendered report differs in\n{src}"
+            );
+        }
+    }
+}
+
 /// Wider worlds are affordable now that rank threads are pooled: a
 /// collective program over 8 ranks (16 under the extended budget), with
 /// the result checked exactly.
