@@ -244,6 +244,29 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
     );
 
+    // --- module-memo warm re-check (absolute gate) -----------------------
+    // The module-level memo's acceptance bar: an edit that touches NO
+    // comm/request/p2p events must reuse the module-wide match tables
+    // wholesale, so the whole-module warm re-check stays within 2x the
+    // single-function warm number measured above — same run, same
+    // machine, no baseline entry needed.
+    let (module_warm_ns, module_identical, memo_live) = module_warm_latency();
+    results.insert("info/incr/hera_b/module_warm_ns".into(), module_warm_ns);
+    let module_ok = module_warm_ns <= 2 * warm_ns && module_identical && memo_live;
+    println!(
+        "module-memo HERA/B: warm whole-module {:.3} ms (bound 2x single-function = {:.3} ms), \
+         reports {}, module tables {} — {}",
+        module_warm_ns as f64 / 1e6,
+        (2 * warm_ns) as f64 / 1e6,
+        if module_identical {
+            "byte-identical"
+        } else {
+            "DIFFER"
+        },
+        if memo_live { "reused" } else { "NOT REUSED" },
+        if module_ok { "ok" } else { "GATE FAILURE" }
+    );
+
     // --- per-phase static-analysis breakdown (informational) -------------
     // The fact-store refactor's target metric: `matching` no longer
     // recomputes per-block frontiers per event set. Recorded per phase
@@ -286,9 +309,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     if let Some(p) = write_baseline {
         std::fs::write(&p, &json).map_err(|e| format!("write {p}: {e}"))?;
         println!("wrote baseline {p}");
-        return Ok(detection_ok && identical && incr_ok && hera_ok);
+        return Ok(detection_ok && identical && incr_ok && module_ok && hera_ok);
     }
-    Ok(gate_ok && detection_ok && identical && incr_ok && hera_ok)
+    Ok(gate_ok && detection_ok && identical && incr_ok && module_ok && hera_ok)
 }
 
 /// Minimum compile time per workload; returns the suite total and the
@@ -617,6 +640,62 @@ fn incremental_latency() -> (u64, u64, bool) {
         warm.min.as_nanos() as u64,
         identical,
     )
+}
+
+/// The module-memo counterpart of [`incremental_latency`]: the probe
+/// flips between two bodies with NO comm/request/p2p events, so every
+/// warm rep re-fingerprints the module and re-derives the probe's local
+/// facts but finds the module-wide comm/request/p2p match tables
+/// fingerprint-clean and reuses them wholesale. Returns
+/// `(warm_module_ns, identical, memo_live)` — `identical` compares the
+/// warm report against a cold fresh-session report of the same edited
+/// module; `memo_live` certifies the timed loop actually hit the module
+/// tables (otherwise the ≤ 2x gate would vacuously time the rebuild
+/// path).
+fn module_warm_latency() -> (u64, bool, bool) {
+    let w: Workload = parcoach_workloads::hera::generate(WorkloadClass::B);
+    let variant = |body: &str| format!("{}\nfn bench_ci_probe() {{ {body} }}\n", w.source);
+    let (src_a, src_b) = (
+        variant("let acc = 1;"),
+        variant("let acc = 1; let adj = 2;"),
+    );
+    let compile = |src: &str| {
+        let unit = parse_and_check(w.name, src).expect("workload compiles");
+        lower_program(&unit.program, &unit.signatures)
+    };
+    let (module_a, module_b) = (compile(&src_a), compile(&src_b));
+    let mut warm_session = AnalysisSession::builder()
+        .jobs(1)
+        .deterministic(true)
+        .seed(42)
+        .incremental(true)
+        .build();
+    let _ = warm_session.check_module(&module_b);
+    warm_session.mark_edited("bench_ci_probe");
+    let warm_report = warm_session.check_module(&module_a);
+    let mut cold_session = AnalysisSession::builder()
+        .jobs(1)
+        .deterministic(true)
+        .seed(42)
+        .build();
+    let cold_report = cold_session.check_module(&module_a);
+    let identical = format!("{warm_report:?}") == format!("{cold_report:?}");
+
+    let before = warm_session.query_stats();
+    let mut flip = false;
+    let warm = measure(ANALYZE_REPS, || {
+        flip = !flip;
+        warm_session.mark_edited("bench_ci_probe");
+        let _ = warm_session.check_module(if flip { &module_b } else { &module_a });
+    });
+    let after = warm_session.query_stats();
+    // Every timed rep must have reused the comm and p2p module tables
+    // without a single rebuild.
+    let memo_live = after.comm_hits > before.comm_hits
+        && after.p2p_hits > before.p2p_hits
+        && after.comm_misses == before.comm_misses
+        && after.p2p_misses == before.p2p_misses;
+    (warm.min.as_nanos() as u64, identical, memo_live)
 }
 
 // --- flat JSON (no external deps) ----------------------------------------

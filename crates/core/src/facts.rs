@@ -100,9 +100,12 @@ pub struct AnalysisCx<'m> {
     /// [`FuncFacts::pw`] — use the facts, not [`CallContexts::pw_of`]).
     pub ctxs: CallContexts,
     /// Interned communicator classes + per-function register resolution.
-    pub comms: ModuleComms,
-    /// Interned request classes + per-function register resolution.
-    pub reqs: ModuleRequests,
+    /// `Arc`-shared with the incremental [`QueryDb`]'s module-wide cache
+    /// when the fingerprint key is green.
+    pub comms: Arc<ModuleComms>,
+    /// Interned request classes + per-function register resolution
+    /// (`Arc`-shared like [`AnalysisCx::comms`]).
+    pub reqs: Arc<ModuleRequests>,
     /// Interned function names.
     pub syms: SymTable,
     /// Interned collective events.
@@ -186,20 +189,44 @@ impl<'m> AnalysisCx<'m> {
     /// contexts' cached pw results are *moved* into the per-function
     /// facts (they were previously cloned once per function).
     pub fn from_contexts(m: &'m Module, ctxs: CallContexts, pool: &parcoach_pool::Pool) -> Self {
-        Self::from_contexts_db(m, ctxs, pool, None)
+        Self::from_contexts_db(m, ctxs, pool, None, false)
     }
 
     /// [`AnalysisCx::from_contexts`] consulting an incremental
-    /// [`QueryDb`] for the per-function CFG facts. The db must have been
-    /// reconciled against `m` (see [`QueryDb::reconcile_module`]).
+    /// [`QueryDb`] for the per-function CFG facts and — when
+    /// `module_memo` is on — the module-wide communicator/request
+    /// tables. The db must have been reconciled against `m` (see
+    /// [`QueryDb::reconcile_module`]).
     pub fn from_contexts_db(
         m: &'m Module,
         mut ctxs: CallContexts,
         pool: &parcoach_pool::Pool,
         mut db: Option<&mut QueryDb>,
+        module_memo: bool,
     ) -> Self {
-        let comms = compute_comms(m);
-        let reqs = compute_requests(m);
+        // Module-wide register resolutions: wholesale-cached behind a
+        // key over every function's comm/request input projection, so an
+        // edit touching no communicator (or request) instruction reuses
+        // the entire table. The interning spans inside a reused table
+        // may be stale, but nothing reads them — labels print class ids.
+        let (comms, reqs) = match db.as_deref_mut().filter(|_| module_memo) {
+            Some(db) => {
+                let ck = db.module_comm_key(m);
+                let comms = db.module_comms(ck).unwrap_or_else(|| {
+                    let t = Arc::new(compute_comms(m));
+                    db.insert_module_comms(ck, t.clone());
+                    t
+                });
+                let rk = db.module_req_key(m);
+                let reqs = db.module_reqs(rk).unwrap_or_else(|| {
+                    let t = Arc::new(compute_requests(m));
+                    db.insert_module_reqs(rk, t.clone());
+                    t
+                });
+                (comms, reqs)
+            }
+            None => (Arc::new(compute_comms(m)), Arc::new(compute_requests(m))),
+        };
         let syms = SymTable::for_module(m);
 
         // Parallel stage 1: block→event maps. Span-bearing, so always

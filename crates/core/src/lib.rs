@@ -33,6 +33,7 @@
 //! assert!(parcoach_ir::verify_module(&instrumented).is_empty());
 //! ```
 
+pub mod cancel;
 pub mod comm;
 pub mod concurrency;
 pub mod context;
@@ -51,16 +52,14 @@ pub mod request;
 pub mod session;
 pub mod word;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use comm::{compute_comms, CommDef, CommId, CommTable, ModuleComms};
 pub use context::{compute_contexts, compute_contexts_db, compute_contexts_legacy, CallContexts};
 pub use facts::{AnalysisCx, FuncFacts};
 pub use instrument::{instrument_module, InstrumentMode, InstrumentStats};
 pub use intern::{EventArena, EventId, Sym, SymTable, WordArena, WordDag, WordId, WordNode};
 pub use lang::{classify, ContextClass, MonoVerdict};
-#[allow(deprecated)]
-pub use pipeline::{
-    analyze_module, analyze_module_timed, analyze_module_with, AnalysisOptions, PhaseTimings,
-};
+pub use pipeline::{AnalysisOptions, PhaseTimings};
 pub use pw::{compute_pw, InitialContext, PwResult};
 pub use query::{fingerprint, Fingerprint, QueryDb, QueryStats, SiteContexts};
 pub use report::{InstrumentationPlan, StaticReport, StaticWarning, WarningKind};

@@ -84,7 +84,6 @@ struct Site {
     func: usize,
     block: BlockId,
     instr: usize,
-    span: Span,
     dir: Dir,
     comm: CommId,
     tag: TagKey,
@@ -112,7 +111,6 @@ struct WaitSite {
     func: usize,
     block: BlockId,
     instr: usize,
-    span: Span,
     /// Resolved class of the waited request (None = may complete any).
     class: Option<ReqId>,
 }
@@ -126,12 +124,73 @@ pub struct P2pResult {
     pub epoch_functions: Vec<String>,
 }
 
+/// A span-free program point: `(function index, block, instruction)`.
+/// The materializer re-reads the live instruction's span through it, so
+/// a cached [`P2pCore`] survives edits that move code without changing
+/// structure (the whitespace-interior-edit hazard).
+type Locator = (usize, BlockId, usize);
+
+/// One matching diagnostic with locators instead of spans.
+#[derive(Debug, Clone)]
+struct P2pWarningCore {
+    kind: WarningKind,
+    func: String,
+    message: String,
+    site: Locator,
+    related: Vec<(Locator, String)>,
+}
+
+/// The span-free output of the p2p matching pass — what the incremental
+/// store caches under [`crate::query::QueryDb::module_p2p_key`].
+/// Messages embed only tags and communicator-class labels, which are
+/// stable while the key is green; spans are *not* stored (see
+/// `Locator`).
+#[derive(Debug, Clone, Default)]
+pub struct P2pCore {
+    warnings: Vec<P2pWarningCore>,
+    epoch_functions: Vec<String>,
+}
+
+/// Turn a cached (or fresh) [`P2pCore`] into span-bearing warnings by
+/// reading each locator's instruction span from the live IR.
+pub fn materialize_p2p(core: &P2pCore, m: &Module) -> P2pResult {
+    let span_of = |(fi, b, ii): Locator| -> Span {
+        m.funcs[fi].blocks[b.0 as usize].instrs[ii]
+            .span()
+            .unwrap_or(Span::DUMMY)
+    };
+    P2pResult {
+        warnings: core
+            .warnings
+            .iter()
+            .map(|w| StaticWarning {
+                kind: w.kind,
+                func: w.func.clone(),
+                message: w.message.clone(),
+                span: span_of(w.site),
+                related: w
+                    .related
+                    .iter()
+                    .map(|(loc, msg)| (span_of(*loc), msg.clone()))
+                    .collect(),
+            })
+            .collect(),
+        epoch_functions: core.epoch_functions.clone(),
+    }
+}
+
 /// Run the pass over a whole module, reading register resolutions and
 /// dominator trees from the fact store.
 pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
+    materialize_p2p(&p2p_core(cx), cx.module)
+}
+
+/// The span-free matching pass: everything [`check_p2p`] computes, with
+/// warning positions as `Locator`s.
+pub fn p2p_core(cx: &AnalysisCx) -> P2pCore {
     let m = cx.module;
     let comms = &cx.comms;
-    let mut out = P2pResult::default();
+    let mut out = P2pCore::default();
 
     // Collect every site, module-wide, in deterministic order —
     // *reachable* functions only: an uncalled helper's traffic never
@@ -147,7 +206,7 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
         let fr = cx.reqs_of(fidx);
         for (bid, b) in f.iter_blocks() {
             for (iidx, i) in b.instrs.iter().enumerate() {
-                let Instr::Mpi { op, span, dest } = i else {
+                let Instr::Mpi { op, dest, .. } = i else {
                     continue;
                 };
                 let req_class = || {
@@ -171,7 +230,6 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                             func: fidx,
                             block: bid,
                             instr: iidx,
-                            span: *span,
                             class: wait_class(fr, *request),
                         });
                         continue;
@@ -182,7 +240,6 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                                 func: fidx,
                                 block: bid,
                                 instr: iidx,
-                                span: *span,
                                 class: wait_class(fr, *r),
                             });
                         }
@@ -194,7 +251,6 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                     func: fidx,
                     block: bid,
                     instr: iidx,
-                    span: *span,
                     dir,
                     comm: fc.of_operand(*comm),
                     tag: tag_key(*tag),
@@ -225,7 +281,7 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                      forever"
                 }
             };
-            out.warnings.push(StaticWarning {
+            out.warnings.push(P2pWarningCore {
                 kind: WarningKind::UnmatchedP2p,
                 func: m.funcs[s.func].name.clone(),
                 message: format!(
@@ -234,7 +290,7 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                     s.tag,
                     comms.table.label(s.comm),
                 ),
-                span: s.span,
+                site: (s.func, s.block, s.instr),
                 related: Vec::new(),
             });
         }
@@ -262,8 +318,8 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
             continue;
         }
         // The program points where this receive blocks.
-        let block_points: Vec<(BlockId, usize, Span)> = match r.req {
-            None => vec![(r.block, r.instr, r.span)],
+        let block_points: Vec<(BlockId, usize)> = match r.req {
+            None => vec![(r.block, r.instr)],
             Some(class) => {
                 if class.is_unknown() {
                     continue; // cannot attribute a wait to this post
@@ -275,17 +331,14 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                 if for_class.is_empty() {
                     continue; // leaked request: the request pass reports it
                 }
-                for_class
-                    .iter()
-                    .map(|w| (w.block, w.instr, w.span))
-                    .collect()
+                for_class.iter().map(|w| (w.block, w.instr)).collect()
             }
         };
         let f = &m.funcs[r.func];
         let dom = &cx.funcs[r.func].cfg().dom;
         // Every blocking point must precede every matching send: if one
         // wait site can run after a send, the message can exist.
-        let all_dominated = block_points.iter().all(|&(wb, wi, _)| {
+        let all_dominated = block_points.iter().all(|&(wb, wi)| {
             matching.iter().all(|s| {
                 if s.block == wb {
                     wi < s.instr
@@ -295,17 +348,17 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
             })
         });
         if all_dominated {
-            let mut related: Vec<(Span, String)> = Vec::new();
+            let mut related: Vec<(Locator, String)> = Vec::new();
             if r.req.is_some() {
-                for &(_, _, wspan) in &block_points {
-                    if wspan != r.span {
-                        related.push((wspan, "the receive blocks at this wait".into()));
+                for &(wb, wi) in &block_points {
+                    if (wb, wi) != (r.block, r.instr) {
+                        related.push(((r.func, wb, wi), "the receive blocks at this wait".into()));
                     }
                 }
             }
             related.extend(matching.iter().map(|s| {
                 (
-                    s.span,
+                    (s.func, s.block, s.instr),
                     "matching send only happens after the receive".into(),
                 )
             }));
@@ -314,7 +367,7 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
             } else {
                 "the receive"
             };
-            out.warnings.push(StaticWarning {
+            out.warnings.push(P2pWarningCore {
                 kind: WarningKind::P2pOrder,
                 func: f.name.clone(),
                 message: format!(
@@ -325,7 +378,7 @@ pub fn check_p2p(cx: &AnalysisCx) -> P2pResult {
                     r.tag,
                     comms.table.label(r.comm),
                 ),
-                span: r.span,
+                site: (r.func, r.block, r.instr),
                 related,
             });
         }

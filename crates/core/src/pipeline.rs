@@ -40,6 +40,13 @@ pub struct AnalysisOptions {
     /// differential's `--legacy-fixpoint` mode, and pinned
     /// report-identical by `incr_fixpoint_matches_legacy_reports`.
     pub incr_fixpoint: bool,
+    /// Serve the **module-wide** tables (communicator classes, request
+    /// classes, the p2p matching core) from the incremental store when
+    /// their input fingerprints are green (`true`, the default; only
+    /// effective on sessions with a [`crate::query::QueryDb`]). `false`
+    /// recomputes them every check — the ablation baseline and the fuzz
+    /// differential's `--no-module-memo` mode.
+    pub module_memo: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -51,6 +58,7 @@ impl Default for AnalysisOptions {
             check_requests: true,
             pdf_memo: true,
             incr_fixpoint: true,
+            module_memo: true,
         }
     }
 }
@@ -135,78 +143,38 @@ impl TimingSink {
     }
 }
 
-/// Run the complete static analysis over a lowered module on the
-/// process-wide pool (see [`analyze_module_with`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `session::AnalysisSession::builder().build().check_module(m)`"
-)]
-pub fn analyze_module(m: &Module, opts: &AnalysisOptions) -> StaticReport {
-    analyze_module_inner(m, opts, parcoach_pool::global(), None, None)
-}
-
-/// Run the complete static analysis over a lowered module, fanning the
-/// fact-store construction and the per-function phases out over `pool`.
-///
-/// The report is **byte-identical for any pool width**: workers fill one
-/// slot per function and the merge walks the slots in function order, so
-/// warning order, plan order and the global site renumbering all match
-/// the sequential (`jobs = 1`) walk exactly.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `session::AnalysisSession::builder().jobs(n).build().check_module(m)`"
-)]
-pub fn analyze_module_with(
-    m: &Module,
-    opts: &AnalysisOptions,
-    pool: &parcoach_pool::Pool,
-) -> StaticReport {
-    analyze_module_inner(m, opts, pool, None, None)
-}
-
-/// [`analyze_module_with`] plus a per-phase wall-time breakdown
-/// (`parcoachc check --timings`, `bench_ci`'s phase records).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `session::AnalysisSession` and its `timings()` accessor"
-)]
-pub fn analyze_module_timed(
-    m: &Module,
-    opts: &AnalysisOptions,
-    pool: &parcoach_pool::Pool,
-) -> (StaticReport, PhaseTimings) {
-    analyze_timed_impl(m, opts, pool, None)
-}
-
 /// The shared timed entry: one cold or warm analysis with a per-phase
-/// breakdown. [`crate::session::AnalysisSession`] is the public surface.
+/// breakdown and optional cooperative cancellation at phase boundaries.
+/// [`crate::session::AnalysisSession`] is the public surface.
 pub(crate) fn analyze_timed_impl(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
     db: Option<&mut crate::query::QueryDb>,
-) -> (StaticReport, PhaseTimings) {
+    token: Option<&crate::cancel::CancelToken>,
+) -> Result<(StaticReport, PhaseTimings), crate::cancel::Cancelled> {
     let sink = TimingSink::default();
     let t0 = Instant::now();
-    let report = analyze_module_inner(m, opts, pool, Some(&sink), db);
+    let report = analyze_module_inner(m, opts, pool, Some(&sink), db, token)?;
     let timings = sink.into_timings(t0.elapsed());
-    (report, timings)
+    Ok((report, timings))
 }
 
-/// [`analyze_module_timed`] consulting (and refilling) an incremental
-/// [`crate::query::QueryDb`]: the red-green reconciliation pass runs
-/// first, then the pw and CFG queries are served from cache wherever the
-/// per-function fingerprints are green. The report is byte-identical to
-/// a cold [`analyze_module_with`] run — only span-free facts are cached,
-/// and the db's span-rebase hook keeps cached divergences aligned with
-/// the document (the edit-soak property test pins this).
+/// [`AnalysisSession::check_module`](crate::session::AnalysisSession::check_module)
+/// as a free function over an explicit [`crate::query::QueryDb`]: the
+/// red-green reconciliation pass runs first, then the pw, CFG and
+/// module-table queries are served from cache wherever the fingerprints
+/// are green. The report is byte-identical to a cold run — only
+/// span-free facts are cached, and the db's span-rebase hook keeps
+/// cached divergences aligned with the document (the edit-soak property
+/// test pins this).
 pub fn analyze_module_db(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
     db: &mut crate::query::QueryDb,
 ) -> (StaticReport, PhaseTimings) {
-    analyze_timed_impl(m, opts, pool, Some(db))
+    analyze_timed_impl(m, opts, pool, Some(db), None).expect("no token, cannot cancel")
 }
 
 /// The three per-function phases' output for one function, produced on a
@@ -299,14 +267,27 @@ fn analyze_function(
     out
 }
 
+/// Observe a cancellation request, if a token is installed. Called at
+/// phase boundaries: a cancelled check may leave freshly computed facts
+/// in the db (they are fingerprint-keyed and remain valid — the next
+/// check simply starts warmer).
+fn checkpoint(token: Option<&crate::cancel::CancelToken>) -> Result<(), crate::cancel::Cancelled> {
+    match token {
+        Some(t) if t.is_cancelled() => Err(crate::cancel::Cancelled),
+        _ => Ok(()),
+    }
+}
+
 fn analyze_module_inner(
     m: &Module,
     opts: &AnalysisOptions,
     pool: &parcoach_pool::Pool,
     sink: Option<&TimingSink>,
     mut db: Option<&mut crate::query::QueryDb>,
-) -> StaticReport {
+    token: Option<&crate::cancel::CancelToken>,
+) -> Result<StaticReport, crate::cancel::Cancelled> {
     let mut report = StaticReport::default();
+    checkpoint(token)?;
 
     // Red-green pass: bring the memo store's fingerprints up to date so
     // the context and fact queries below only miss on real changes.
@@ -324,11 +305,13 @@ fn analyze_module_inner(
     if let Some(s) = sink {
         TimingSink::add(&s.contexts, t);
     }
+    checkpoint(token)?;
     let t = Instant::now();
-    let cx = AnalysisCx::from_contexts_db(m, ctxs, pool, db);
+    let cx = AnalysisCx::from_contexts_db(m, ctxs, pool, db.as_deref_mut(), opts.module_memo);
     if let Some(s) = sink {
         TimingSink::add(&s.facts, t);
     }
+    checkpoint(token)?;
 
     // Interprocedural phase-1 findings: collective-bearing functions
     // called from multithreaded contexts. Only for call sites that can
@@ -362,6 +345,7 @@ fn analyze_module_inner(
             FuncAnalysis::default()
         }
     });
+    checkpoint(token)?;
 
     let mut cc_functions: HashSet<Sym> = HashSet::new();
     let mut tainted: Vec<Sym> = Vec::new();
@@ -431,13 +415,32 @@ fn analyze_module_inner(
     // warning order is identical at any pool width. The request
     // resolution (already in the fact store) feeds the matcher (deferred
     // completion of non-blocking receives) and the life-cycle pass.
+    // With the module memo on, the span-free matching core is served
+    // wholesale from the store when no function's p2p inputs (sites,
+    // waits, comm/request tables, reachability, finalize placement)
+    // changed; warning spans are re-read from the live IR either way.
     let t = Instant::now();
-    let p2p = crate::p2p::check_p2p(&cx);
+    let p2p = match db.filter(|_| opts.module_memo) {
+        Some(db) => {
+            let key = db.module_p2p_key(m, &cx.reachable);
+            match db.p2p_core(key) {
+                Some(core) => crate::p2p::materialize_p2p(&core, m),
+                None => {
+                    let core = std::sync::Arc::new(crate::p2p::p2p_core(&cx));
+                    let out = crate::p2p::materialize_p2p(&core, m);
+                    db.insert_p2p_core(key, core);
+                    out
+                }
+            }
+        }
+        None => crate::p2p::check_p2p(&cx),
+    };
     if let Some(s) = sink {
         TimingSink::add(&s.p2p, t);
     }
     report.warnings.extend(p2p.warnings);
     report.plan.p2p_epoch_functions = p2p.epoch_functions;
+    checkpoint(token)?;
 
     // Request life-cycle (leaked request / wait-without-post). A leaked
     // request leaves traffic permanently unconsumed, so the p2p epoch
@@ -490,7 +493,7 @@ fn analyze_module_inner(
         .monothread_checks
         .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
     report.plan.monothread_checks.dedup();
-    report
+    Ok(report)
 }
 
 /// Make concurrency site ids unique across functions.
@@ -735,10 +738,9 @@ mod tests {
         assert_eq!(r.contexts.len(), 2);
     }
 
-    /// The deprecated free functions stay behaviorally identical to the
-    /// session for their one-release grace period.
+    /// The session's timed run is behaviorally identical to an untimed
+    /// one and records every phase.
     #[test]
-    #[allow(deprecated)]
     fn timed_analysis_matches_untimed_and_covers_phases() {
         let unit = parse_and_check(
             "t.mh",
@@ -755,9 +757,10 @@ mod tests {
         )
         .expect("valid");
         let m = lower_program(&unit.program, &unit.signatures);
-        let opts = AnalysisOptions::default();
-        let plain = analyze_module(&m, &opts);
-        let (timed, t) = analyze_module_timed(&m, &opts, parcoach_pool::global());
+        let plain = AnalysisSession::builder().build().check_module(&m);
+        let mut timed_session = AnalysisSession::builder().build();
+        let timed = timed_session.check_module(&m);
+        let t = *timed_session.timings().expect("timings recorded");
         assert_eq!(format!("{plain:?}"), format!("{timed:?}"));
         assert!(t.total > Duration::ZERO);
         // Every phase ran (well-formed rows, total listed last).
@@ -765,6 +768,28 @@ mod tests {
         assert_eq!(lines.len(), 8);
         assert_eq!(lines[lines.len() - 1].0, "total");
         assert!(t.contexts + t.facts <= t.total * 2, "sane magnitudes");
+    }
+
+    /// A pre-cancelled token aborts at the first checkpoint; a fresh
+    /// token lets the same session produce the normal report, and an
+    /// expired deadline cancels like an explicit request.
+    #[test]
+    fn cancellation_observed_at_phase_boundaries() {
+        let unit = parse_and_check("t.mh", "fn main() { if (rank() == 0) { MPI_Barrier(); } }")
+            .expect("valid");
+        let m = lower_program(&unit.program, &unit.signatures);
+        let mut s = AnalysisSession::builder().incremental(true).build();
+        let cancelled = crate::cancel::CancelToken::new();
+        cancelled.cancel();
+        assert!(s.check_module_cancellable(&m, &cancelled).is_err());
+        let expired = crate::cancel::CancelToken::with_deadline(Duration::ZERO);
+        assert!(s.check_module_cancellable(&m, &expired).is_err());
+        let fresh = crate::cancel::CancelToken::new();
+        let report = s
+            .check_module_cancellable(&m, &fresh)
+            .expect("not cancelled");
+        let cold = AnalysisSession::builder().build().check_module(&m);
+        assert_eq!(format!("{report:?}"), format!("{cold:?}"));
     }
 
     #[test]

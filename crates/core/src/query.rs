@@ -12,7 +12,15 @@
 //!   rebases when an edit moves the function within the document;
 //! * the CFG facts per function ([`CfgFacts`]: dominator/post-dominator
 //!   trees, frontiers, natural loops) — pure block-graph structure with
-//!   no spans at all.
+//!   no spans at all;
+//! * the **module-wide** tables — communicator classes
+//!   ([`ModuleComms`]), request classes ([`ModuleRequests`]) and the
+//!   p2p matching core ([`P2pCore`]) — each keyed by a hash of every
+//!   function's projection of that family's inputs (`SubFps`), so an
+//!   edit touching no communicator/request/p2p instruction anywhere
+//!   reuses the whole table. The p2p core stores warning *locators*
+//!   (function/block/instruction indices), never spans; the pipeline
+//!   re-reads spans from the live IR when materializing warnings.
 //!
 //! Everything span-bearing (block→event maps, warning assembly, the
 //! interning merge) is re-derived from the span-correct IR on every
@@ -35,11 +43,15 @@
 //! instead: pw is keyed by [`InitialContext`], CFG facts by whether the
 //! frontier set was materialized.
 
+use crate::comm::ModuleComms;
 use crate::facts::CfgFacts;
+use crate::p2p::P2pCore;
 use crate::pw::{InitialContext, PwResult};
+use crate::request::ModuleRequests;
+use parcoach_front::ast::Type;
 use parcoach_front::span::Span;
 use parcoach_ir::func::{FuncIr, Module};
-use parcoach_ir::instr::{BlockKind, CheckOp, Directive, Instr, Terminator};
+use parcoach_ir::instr::{BlockKind, CheckOp, Directive, Instr, MpiIr, Terminator};
 use parcoach_ir::types::BlockId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -93,7 +105,7 @@ impl std::fmt::Write for Fnv128 {
 /// The walk mirrors the IR shape by hand wherever a `Span` hides
 /// ([`Instr`], [`Directive`], [`Terminator`], [`CheckOp`], blocks, the
 /// function header) and falls back to `Debug` for span-free leaves
-/// ([`MpiIr`](parcoach_ir::instr::MpiIr), operators, operands, ids).
+/// ([`MpiIr`], operators, operands, ids).
 pub fn fingerprint(f: &FuncIr) -> Fingerprint {
     let mut h = Fnv128::new();
     h.bytes(f.name.as_bytes());
@@ -305,6 +317,84 @@ fn hash_terminator(h: &mut Fnv128, t: &Terminator) {
     }
 }
 
+/// Per-function projections of the **module-level** fact inputs: what
+/// one function contributes to the communicator tables, the request
+/// tables and the p2p matcher. Hashed together in module order they key
+/// the module-wide caches ([`QueryDb::module_comm_key`] and friends), so
+/// an edit that touches none of a family's inputs anywhere in the module
+/// reuses that family's table wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SubFps {
+    /// Inputs of the communicator resolution: `0` when the function has
+    /// no `comm`-typed register (the resolver's fast path), else a
+    /// span-insensitive hash of the signature, the register types and
+    /// every instruction defining a `comm`-typed register.
+    comm: u128,
+    /// Same projection for `request`-typed registers.
+    req: u128,
+    /// Inputs of the p2p matcher: the full structural fingerprint when
+    /// the function contains any point-to-point or wait operation
+    /// (matching reads sites, waits *and* dominators), the sentinel `1`
+    /// when it only contains `MPI_Finalize` (the epoch census walks all
+    /// functions for finalize presence), else `0`.
+    p2p: u128,
+}
+
+/// Span-insensitive hash of everything the per-register lattice
+/// resolution of `ty`-typed registers reads from `f`.
+fn typed_def_fp(f: &FuncIr, ty: Type) -> u128 {
+    if !f.reg_types.contains(&ty) {
+        return 0;
+    }
+    let mut h = Fnv128::new();
+    h.tag(0xD0);
+    let _ = write!(h, "{:?}|{:?}", f.params, f.reg_types);
+    for b in &f.blocks {
+        h.tag(0xB1);
+        for i in &b.instrs {
+            if i.dest()
+                .is_some_and(|d| f.reg_types.get(d.index()) == Some(&ty))
+            {
+                hash_instr(&mut h, i);
+            }
+        }
+    }
+    h.0
+}
+
+fn compute_sub_fps(f: &FuncIr, full: Option<Fingerprint>) -> SubFps {
+    let mut has_p2p = false;
+    let mut has_finalize = false;
+    for b in &f.blocks {
+        for i in &b.instrs {
+            if let Instr::Mpi { op, .. } = i {
+                match op {
+                    MpiIr::Send { .. }
+                    | MpiIr::Recv { .. }
+                    | MpiIr::Isend { .. }
+                    | MpiIr::Irecv { .. }
+                    | MpiIr::Wait { .. }
+                    | MpiIr::Waitall { .. } => has_p2p = true,
+                    MpiIr::Finalize => has_finalize = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let p2p = if has_p2p {
+        full.unwrap_or_else(|| fingerprint(f)).0
+    } else if has_finalize {
+        1
+    } else {
+        0
+    };
+    SubFps {
+        comm: typed_def_fp(f, Type::Comm),
+        req: typed_def_fp(f, Type::Request),
+        p2p,
+    }
+}
+
 /// One function's call-graph contribution, derived from its IR alone —
 /// which makes it cacheable by [`fingerprint`] (`Instr::Call` hashes the
 /// callee name, so a retargeted call changes the key). The
@@ -389,6 +479,18 @@ pub struct QueryStats {
     pub greened: u64,
     /// Red entries whose facts were actually dropped.
     pub invalidated: u64,
+    /// Module-wide communicator tables served from cache.
+    pub comm_hits: u64,
+    /// Module-wide communicator tables recomputed.
+    pub comm_misses: u64,
+    /// Module-wide request tables served from cache.
+    pub req_hits: u64,
+    /// Module-wide request tables recomputed.
+    pub req_misses: u64,
+    /// Module-wide p2p matching results served from cache.
+    pub p2p_hits: u64,
+    /// Module-wide p2p matching results recomputed.
+    pub p2p_misses: u64,
 }
 
 /// One function's memoized facts.
@@ -397,6 +499,9 @@ struct FuncEntry {
     fp: Option<Fingerprint>,
     /// Set by [`QueryDb::mark_dirty`]; cleared by reconciliation.
     dirty: bool,
+    /// Lazily-filled module-fact projections (see `SubFps`); dropped
+    /// whenever the structural fingerprint changes.
+    sub: Option<SubFps>,
     /// Cached pw per [`InitialContext`] (index = lattice position).
     pw: [Option<Arc<PwResult>>; 3],
     /// Cached call-site contexts per [`InitialContext`], keyed like `pw`
@@ -415,6 +520,15 @@ struct FuncEntry {
 #[derive(Debug, Default)]
 pub struct QueryDb {
     funcs: HashMap<String, FuncEntry>,
+    /// The last module-wide communicator tables, keyed by
+    /// [`QueryDb::module_comm_key`].
+    comms: Option<(u128, Arc<ModuleComms>)>,
+    /// The last module-wide request tables, keyed by
+    /// [`QueryDb::module_req_key`].
+    reqs: Option<(u128, Arc<ModuleRequests>)>,
+    /// The last span-free p2p matching core, keyed by
+    /// [`QueryDb::module_p2p_key`].
+    p2p: Option<(u128, Arc<P2pCore>)>,
     /// Running hit/miss counters.
     pub stats: QueryStats,
 }
@@ -497,6 +611,7 @@ impl QueryDb {
                 entry.sites = [None, None, None];
                 entry.cfg = None;
                 entry.summary = None;
+                entry.sub = None;
                 entry.fp = Some(fp);
             }
             entry.dirty = false;
@@ -582,6 +697,121 @@ impl QueryDb {
     /// Record a freshly computed call summary for `name`.
     pub fn insert_summary(&mut self, name: &str, s: Arc<CallSummary>) {
         self.funcs.entry(name.to_string()).or_default().summary = Some(s);
+    }
+
+    /// `f`'s module-fact projections, computing and caching them on
+    /// first use after an invalidation.
+    fn sub_fps(&mut self, f: &FuncIr) -> SubFps {
+        let e = self.funcs.entry(f.name.clone()).or_default();
+        if let Some(s) = e.sub {
+            return s;
+        }
+        let s = compute_sub_fps(f, e.fp);
+        e.sub = Some(s);
+        s
+    }
+
+    fn module_key(&mut self, m: &Module, tag: u8, proj: impl Fn(SubFps) -> u128) -> u128 {
+        let mut h = Fnv128::new();
+        h.tag(tag);
+        for f in &m.funcs {
+            let sub = self.sub_fps(f);
+            h.bytes(f.name.as_bytes());
+            h.tag(0x00);
+            h.bytes(&proj(sub).to_le_bytes());
+        }
+        h.0
+    }
+
+    /// Cache key of the module-wide communicator tables: every
+    /// function's `(name, comm projection)` in module order, so the key
+    /// is green exactly when no function's communicator inputs changed.
+    pub fn module_comm_key(&mut self, m: &Module) -> u128 {
+        self.module_key(m, 0xC1, |s| s.comm)
+    }
+
+    /// Cache key of the module-wide request tables (see
+    /// [`QueryDb::module_comm_key`]).
+    pub fn module_req_key(&mut self, m: &Module) -> u128 {
+        self.module_key(m, 0xC2, |s| s.req)
+    }
+
+    /// Cache key of the module-wide p2p matching core. Covers everything
+    /// the matcher reads: the communicator and request tables (their
+    /// keys), per-function p2p/finalize projections, and
+    /// entry-reachability (a call-graph edit anywhere can silence or
+    /// unmask sites without touching any p2p instruction).
+    pub fn module_p2p_key(&mut self, m: &Module, reachable: &[bool]) -> u128 {
+        let comm_key = self.module_comm_key(m);
+        let req_key = self.module_req_key(m);
+        let mut h = Fnv128::new();
+        h.tag(0xC3);
+        h.bytes(&comm_key.to_le_bytes());
+        h.bytes(&req_key.to_le_bytes());
+        for (f, r) in m.funcs.iter().zip(reachable) {
+            let sub = self.sub_fps(f);
+            h.bytes(f.name.as_bytes());
+            h.tag(u8::from(*r));
+            h.bytes(&sub.p2p.to_le_bytes());
+        }
+        h.0
+    }
+
+    /// The cached module-wide communicator tables, if keyed by `key`.
+    pub fn module_comms(&mut self, key: u128) -> Option<Arc<ModuleComms>> {
+        match &self.comms {
+            Some((k, t)) if *k == key => {
+                self.stats.comm_hits += 1;
+                Some(t.clone())
+            }
+            _ => {
+                self.stats.comm_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record freshly computed communicator tables under `key`.
+    pub fn insert_module_comms(&mut self, key: u128, t: Arc<ModuleComms>) {
+        self.comms = Some((key, t));
+    }
+
+    /// The cached module-wide request tables, if keyed by `key`.
+    pub fn module_reqs(&mut self, key: u128) -> Option<Arc<ModuleRequests>> {
+        match &self.reqs {
+            Some((k, t)) if *k == key => {
+                self.stats.req_hits += 1;
+                Some(t.clone())
+            }
+            _ => {
+                self.stats.req_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record freshly computed request tables under `key`.
+    pub fn insert_module_reqs(&mut self, key: u128, t: Arc<ModuleRequests>) {
+        self.reqs = Some((key, t));
+    }
+
+    /// The cached p2p matching core, if keyed by `key`.
+    pub fn p2p_core(&mut self, key: u128) -> Option<Arc<P2pCore>> {
+        match &self.p2p {
+            Some((k, c)) if *k == key => {
+                self.stats.p2p_hits += 1;
+                Some(c.clone())
+            }
+            _ => {
+                self.stats.p2p_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a freshly computed p2p matching core under `key`.
+    pub fn insert_p2p_core(&mut self, key: u128, c: Arc<P2pCore>) {
+        self.p2p = Some((key, c));
     }
 }
 

@@ -33,6 +33,7 @@
 //! [`AnalysisSession::mark_edited`] / [`AnalysisSession::shift_function`]
 //! so the red-green pass can invalidate precisely.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::pipeline::{analyze_timed_impl, AnalysisOptions, PhaseTimings};
 use crate::pw::InitialContext;
 use crate::query::{QueryDb, QueryStats};
@@ -124,6 +125,15 @@ impl AnalysisSessionBuilder {
         self
     }
 
+    /// Toggle the module-wide table memo (communicator/request classes,
+    /// p2p matching core) on incremental sessions. Off = recompute per
+    /// check — the ablation baseline and the fuzz differential's
+    /// `--no-module-memo` mode.
+    pub fn module_memo(mut self, on: bool) -> Self {
+        self.opts.module_memo = on;
+        self
+    }
+
     /// Keep span-free derived facts (parallelism words, CFG facts) in a
     /// content-hash-keyed memo across checks. See the type docs for the
     /// edit-notification contract this puts on the caller.
@@ -153,8 +163,8 @@ impl AnalysisSessionBuilder {
 }
 
 /// A configured analysis pipeline: pool + options (+ optional
-/// incremental memo store). Replaces the free-function entry points
-/// (`analyze_module` and friends, now deprecated shims over this).
+/// incremental memo store). The one entry point — the historical
+/// free-function family (`analyze_module` and friends) is gone.
 pub struct AnalysisSession {
     pool: PoolChoice,
     opts: AnalysisOptions,
@@ -201,13 +211,35 @@ impl AnalysisSession {
     /// the expensive span-free queries are served from the memo wherever
     /// the per-function fingerprints are green.
     pub fn check_module(&mut self, m: &Module) -> StaticReport {
+        self.check_impl(m, None).expect("no token, cannot cancel")
+    }
+
+    /// [`AnalysisSession::check_module`] with cooperative cancellation:
+    /// `token` is observed at every phase boundary, and a cancelled (or
+    /// deadline-expired) check returns `Err(Cancelled)` without a
+    /// report. Facts computed before the cancellation stay in the
+    /// incremental store — they are fingerprint-keyed and valid, so the
+    /// next check starts warmer.
+    pub fn check_module_cancellable(
+        &mut self,
+        m: &Module,
+        token: &CancelToken,
+    ) -> Result<StaticReport, Cancelled> {
+        self.check_impl(m, Some(token))
+    }
+
+    fn check_impl(
+        &mut self,
+        m: &Module,
+        token: Option<&CancelToken>,
+    ) -> Result<StaticReport, Cancelled> {
         let pool = match &self.pool {
             PoolChoice::Global => parcoach_pool::global(),
             PoolChoice::Owned(p) => p,
         };
-        let (report, timings) = analyze_timed_impl(m, &self.opts, pool, self.db.as_mut());
+        let (report, timings) = analyze_timed_impl(m, &self.opts, pool, self.db.as_mut(), token)?;
         self.timings = Some(timings);
-        report
+        Ok(report)
     }
 
     /// Run the analysis and return only the warnings attributed to
@@ -292,13 +324,15 @@ mod tests {
          }";
 
     #[test]
-    fn session_matches_legacy_entry_points() {
+    fn sessions_agree_and_record_timings() {
         let m = lower(SRC);
-        #[allow(deprecated)]
-        let legacy = crate::pipeline::analyze_module(&m, &AnalysisOptions::default());
+        let baseline = AnalysisSession::builder()
+            .options(AnalysisOptions::default())
+            .build()
+            .check_module(&m);
         let mut s = AnalysisSession::builder().build();
         let new = s.check_module(&m);
-        assert_eq!(format!("{legacy:?}"), format!("{new:?}"));
+        assert_eq!(format!("{baseline:?}"), format!("{new:?}"));
         assert!(s.timings().unwrap().total > std::time::Duration::ZERO);
     }
 
@@ -407,6 +441,111 @@ mod tests {
         // And the warm result is byte-identical to a cold analysis.
         let cold_report = AnalysisSession::builder().build().check_module(&m2);
         assert_eq!(format!("{edited:?}"), format!("{cold_report:?}"));
+    }
+
+    /// Module-memo widening: an edit touching no communicator, request
+    /// or p2p instruction anywhere in the module reuses the module-wide
+    /// tables wholesale — and the cached p2p core rematerializes with
+    /// live spans even though the edit moved the suspect code.
+    #[test]
+    fn module_memo_reuses_tables_across_irrelevant_edits() {
+        let body = "fn main() {
+                 MPI_Init();
+                 let peer = size() - 1 - rank();
+                 let v = MPI_Recv(peer, 7);
+                 MPI_Send(1, peer, 7);
+                 compute();
+                 MPI_Finalize();
+             }";
+        let m1 = lower(&format!("fn compute() {{ let x = 1; }}\n{body}"));
+        // `compute` grows: its structure changes and `main` moves within
+        // the document, but no comm/request/p2p input changes.
+        let m2 = lower(&format!(
+            "fn compute() {{ let x = 1; let y = x + 1; }}\n{body}"
+        ));
+        let mut s = AnalysisSession::builder().incremental(true).build();
+        let first = s.check_module(&m1);
+        assert_eq!(
+            first.count(crate::report::WarningKind::P2pOrder),
+            1,
+            "{:#?}",
+            first.warnings
+        );
+        let cold = s.query_stats();
+        assert_eq!(cold.comm_misses, 1);
+        assert_eq!(cold.req_misses, 1);
+        assert_eq!(cold.p2p_misses, 1);
+        // Unedited warm re-check: pure hits.
+        s.check_module(&m1);
+        let warm = s.query_stats();
+        assert_eq!(warm.comm_hits, cold.comm_hits + 1);
+        assert_eq!(warm.req_hits, cold.req_hits + 1);
+        assert_eq!(warm.p2p_hits, cold.p2p_hits + 1);
+        assert_eq!(warm.p2p_misses, cold.p2p_misses);
+        // Edit only `compute`: every module table stays green.
+        s.mark_edited("compute");
+        let edited = s.check_module(&m2);
+        let after = s.query_stats();
+        assert_eq!(after.comm_misses, warm.comm_misses);
+        assert_eq!(after.req_misses, warm.req_misses);
+        assert_eq!(after.p2p_misses, warm.p2p_misses);
+        assert_eq!(after.p2p_hits, warm.p2p_hits + 1);
+        // Byte-identical to cold — in particular the cached p2p
+        // warning's span must track the moved receive.
+        let cold_report = AnalysisSession::builder().build().check_module(&m2);
+        assert_eq!(format!("{edited:?}"), format!("{cold_report:?}"));
+    }
+
+    /// A call-graph edit that changes only *reachability* must miss the
+    /// p2p cache: an unreachable helper's sends neither warn nor balance
+    /// reachable receives.
+    #[test]
+    fn module_memo_p2p_key_covers_reachability() {
+        let helper = "fn helper() { MPI_Send(1, 0, 5); }";
+        let m1 = lower(&format!(
+            "{helper}\nfn main() {{ MPI_Init(); helper(); MPI_Finalize(); }}"
+        ));
+        let m2 = lower(&format!(
+            "{helper}\nfn main() {{ MPI_Init(); MPI_Finalize(); }}"
+        ));
+        let mut s = AnalysisSession::builder().incremental(true).build();
+        let first = s.check_module(&m1);
+        assert_eq!(first.count(crate::report::WarningKind::UnmatchedP2p), 1);
+        s.mark_edited("main");
+        let edited = s.check_module(&m2);
+        assert!(edited.is_clean(), "{:#?}", edited.warnings);
+        assert_eq!(s.query_stats().p2p_misses, 2, "reachability is keyed");
+        let cold_report = AnalysisSession::builder().build().check_module(&m2);
+        assert_eq!(format!("{edited:?}"), format!("{cold_report:?}"));
+    }
+
+    /// The ablation path (`module_memo(false)`) recomputes the tables
+    /// every check and stays byte-identical.
+    #[test]
+    fn module_memo_off_matches_on() {
+        let m = lower(
+            "fn main() {
+                 MPI_Init();
+                 let peer = size() - 1 - rank();
+                 let v = MPI_Recv(peer, 7);
+                 MPI_Send(1, peer, 7);
+                 MPI_Finalize();
+             }",
+        );
+        let mut on = AnalysisSession::builder().incremental(true).build();
+        let mut off = AnalysisSession::builder()
+            .incremental(true)
+            .module_memo(false)
+            .build();
+        for _ in 0..2 {
+            assert_eq!(
+                format!("{:?}", on.check_module(&m)),
+                format!("{:?}", off.check_module(&m))
+            );
+        }
+        assert_eq!(off.query_stats().comm_hits, 0);
+        assert_eq!(off.query_stats().p2p_hits, 0);
+        assert!(on.query_stats().p2p_hits > 0);
     }
 
     #[test]

@@ -179,7 +179,7 @@ impl Word {
 
     /// Deterministic total order used when words are listed in reports or
     /// test transcripts: shorter words first, length ties broken
-    /// lexicographically by [`Token::report_key`]. Independent of arena or
+    /// lexicographically by `Token::report_key`. Independent of arena or
     /// dag interning order, so the hash-consed representation in
     /// [`crate::intern::WordDag`] must reproduce it exactly after
     /// materialization (pinned by the `lang_props` property tests).

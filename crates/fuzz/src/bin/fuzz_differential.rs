@@ -8,7 +8,7 @@
 //! ```text
 //! fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K]
 //!                   [--jobs J] [--workers W | --shard I/N]
-//!                   [--legacy-fixpoint]
+//!                   [--legacy-fixpoint] [--no-module-memo]
 //!                   [--minimize] [--corpus-out DIR]
 //!                   [--summary-out FILE] [--records-out FILE]
 //!                   [--expected FILE] [--quiet]
@@ -16,7 +16,9 @@
 //!
 //! `--legacy-fixpoint` runs the static side with the legacy full-re-walk
 //! context driver instead of the incremental worklist, so CI pins both
-//! against the simulator ground truth.
+//! against the simulator ground truth. `--no-module-memo` likewise
+//! disables the fingerprint-keyed module match tables, pinning the
+//! direct-recompute path; CI compares the two summaries byte for byte.
 //!
 //! Deterministic by construction: module seeds derive from
 //! `(--seed, module index)` only, so the summary is byte-identical at
@@ -45,7 +47,8 @@ struct Opts {
 }
 
 const USAGE: &str = "usage: fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K] \
-[--jobs J] [--workers W | --shard I/N] [--legacy-fixpoint] [--minimize] [--corpus-out DIR] \
+[--jobs J] [--workers W | --shard I/N] [--legacy-fixpoint] [--no-module-memo] [--minimize] \
+[--corpus-out DIR] \
 [--summary-out FILE] [--records-out FILE] [--expected FILE] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
@@ -96,6 +99,7 @@ fn parse_opts() -> Opts {
                 opts.cfg.shard = Some((i, n));
             }
             "--legacy-fixpoint" => opts.cfg.oracle.incr_fixpoint = false,
+            "--no-module-memo" => opts.cfg.oracle.module_memo = false,
             "--minimize" => opts.minimize = true,
             "--corpus-out" => {
                 opts.corpus_out = Some(
@@ -161,6 +165,9 @@ fn run_workers(opts: &Opts) -> Result<Vec<parcoach_fuzz::ModuleRecord>, String> 
             .arg("--quiet");
         if !opts.cfg.oracle.incr_fixpoint {
             cmd.arg("--legacy-fixpoint");
+        }
+        if !opts.cfg.oracle.module_memo {
+            cmd.arg("--no-module-memo");
         }
         if let Some(jobs) = opts.jobs {
             cmd.arg("--jobs")

@@ -25,6 +25,11 @@ pub struct OracleConfig {
     /// worklist (default) or, when `false`, the legacy full-re-walk
     /// round loop — so the campaign can pin both against the simulator.
     pub incr_fixpoint: bool,
+    /// Module-level memo for the comm/request/p2p match tables: the
+    /// fingerprint-keyed path (default) or, when `false`, direct
+    /// recomputation — so the campaign can pin the keyed tables against
+    /// the simulator too.
+    pub module_memo: bool,
 }
 
 impl Default for OracleConfig {
@@ -34,6 +39,7 @@ impl Default for OracleConfig {
             threads: 2,
             watchdog: Duration::from_secs(10),
             incr_fixpoint: true,
+            module_memo: true,
         }
     }
 }
@@ -80,6 +86,7 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     }
     let report = AnalysisSession::builder()
         .incr_fixpoint(cfg.incr_fixpoint)
+        .module_memo(cfg.module_memo)
         .build()
         .check_module(&module);
     let mut static_codes: Vec<String> = report

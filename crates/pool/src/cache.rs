@@ -196,27 +196,7 @@ impl ThreadCache {
         // yet, so no lifetime-erased borrow of `f` is live and the
         // unwind is a clean panic, not a use-after-free. Already-parked
         // acquisitions are merely lost from the idle list in that case.
-        let slots: Vec<Arc<WorkSlot>> = (0..n)
-            .map(|_| {
-                let popped = self.shared.idle.lock().pop();
-                match popped {
-                    Some(slot) => {
-                        self.shared.reused.fetch_add(1, Ordering::Relaxed);
-                        slot
-                    }
-                    None => {
-                        self.shared.spawned.fetch_add(1, Ordering::Relaxed);
-                        let slot = Arc::new(WorkSlot::new());
-                        let worker_slot = Arc::clone(&slot);
-                        std::thread::Builder::new()
-                            .name("parcoach-sim-worker".into())
-                            .spawn(move || cached_worker(worker_slot))
-                            .expect("spawn cached simulator thread");
-                        slot
-                    }
-                }
-            })
-            .collect();
+        let slots: Vec<Arc<WorkSlot>> = (0..n).map(|_| self.acquire_slot()).collect();
         // Phase 2 — infallible: build and deliver every member task,
         // then block on the latch.
         let latch = Arc::new(Latch::new(n));
@@ -241,6 +221,49 @@ impl ThreadCache {
         if let Some(p) = latch.wait() {
             resume_unwind(p);
         }
+    }
+
+    /// Pop a parked worker or spawn a fresh one.
+    fn acquire_slot(&self) -> Arc<WorkSlot> {
+        let popped = self.shared.idle.lock().pop();
+        match popped {
+            Some(slot) => {
+                self.shared.reused.fetch_add(1, Ordering::Relaxed);
+                slot
+            }
+            None => {
+                self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+                let slot = Arc::new(WorkSlot::new());
+                let worker_slot = Arc::clone(&slot);
+                std::thread::Builder::new()
+                    .name("parcoach-sim-worker".into())
+                    .spawn(move || cached_worker(worker_slot))
+                    .expect("spawn cached simulator thread");
+                slot
+            }
+        }
+    }
+
+    /// Run one detached task on a cached thread and return immediately.
+    ///
+    /// The daemon uses this for per-connection reader/worker threads:
+    /// connection churn reuses parked threads instead of paying an OS
+    /// spawn per client. The thread returns to the idle list when `f`
+    /// finishes; a panic in `f` is contained to the task (the worker
+    /// survives and re-parks) — detached callers have no join point to
+    /// resume it on.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let slot = self.acquire_slot();
+        let shared = Arc::clone(&self.shared);
+        let task_slot = Arc::clone(&slot);
+        let task: CacheTask = Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(f));
+            shared.release(&task_slot);
+        });
+        slot.deliver(SlotMsg::Run(task));
     }
 
     /// [`run_set`](Self::run_set) collecting one result per member, in
@@ -330,6 +353,28 @@ mod tests {
         assert!(res.is_err());
         // The cache still works afterwards.
         cache.run_set(3, |_| {});
+    }
+
+    #[test]
+    fn spawn_is_detached_and_reuses_threads() {
+        let cache = ThreadCache::default();
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..5 {
+            let tx = tx.clone();
+            cache.spawn(move || {
+                tx.send(i).unwrap();
+            });
+        }
+        let mut got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // A panicking detached task neither kills the process nor leaks
+        // the worker: the thread re-parks and serves the next spawn.
+        cache.spawn(|| panic!("detached task down"));
+        let (tx2, rx2) = std::sync::mpsc::channel();
+        cache.spawn(move || tx2.send(7i32).unwrap());
+        assert_eq!(rx2.recv().unwrap(), 7);
+        assert!(cache.reused_total() > 0, "spawns reuse parked threads");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! * [`Pool`] — a work-stealing compute pool exposing a rayon-compatible
 //!   subset (`scope`/`spawn`, `join`, `par_map`). Used by the *static*
-//!   side: `analyze_module` fans per-function analysis out over it, and
+//!   side: `AnalysisSession` fans per-function analysis out over it, and
 //!   the bench harness compiles workloads concurrently. Results are
 //!   structurally deterministic (index-ordered merges); deterministic
 //!   mode (`PoolConfig::deterministic`) additionally seeds victim

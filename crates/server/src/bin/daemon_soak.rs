@@ -6,12 +6,25 @@
 //! against a cold oracle computed in-process: a from-scratch compile of
 //! the mirrored text through a fresh one-shot session with identical
 //! pool settings. Any divergence is a correctness bug in the
-//! incremental layer (span rebasing, red-green invalidation, cache
-//! keying) and fails the run.
+//! incremental layer (span rebasing, red-green invalidation, module
+//! memo keying) and fails the run.
+//!
+//! `--clients N` (N > 1) switches to the concurrent mode: the daemon is
+//! driven over a unix socket by N client threads, each soaking its own
+//! document with its own mirror and cold oracle. Byte-identity under
+//! contention IS the serial-replay property — every response is
+//! compared against an oracle computed with no other client in sight.
+//!
+//! `--cancel-storm R` appends R rounds per client that race
+//! cancellation against real work: checks under `deadlineMs:0` must
+//! answer `-32800`, checks raced with `$/cancelRequest` must answer
+//! either the byte-exact oracle result or `-32800`, and a final quiet
+//! check must match the oracle exactly — cancellation may drop work,
+//! never corrupt it.
 //!
 //! ```text
 //! daemon_soak [--server PATH] [--edits N] [--duration SECS] [--seed S]
-//!             [--jobs N] [--out FILE]
+//!             [--jobs N] [--clients N] [--cancel-storm R] [--out FILE]
 //! ```
 //!
 //! Writes a latency histogram (warm-check microseconds, client-side
@@ -22,11 +35,12 @@
 
 use parcoach_core::AnalysisSession;
 use parcoach_server::json::{obj, parse, Value};
-use parcoach_server::server::check_result_json;
+use parcoach_server::server::check_result_json_v2;
 use parcoach_server::Document;
 use parcoach_testutil::{Rng, Scenario, ScenarioConfig};
 use std::io::{BufRead, BufReader, Write};
-use std::process::{Child, ChildStdin, ChildStdout, Command, ExitCode, Stdio};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
@@ -34,14 +48,17 @@ daemon_soak — differential edit-soak client for parcoachd
 
 USAGE:
     daemon_soak [--server PATH] [--edits N] [--duration SECS] [--seed S]
-                [--jobs N] [--out FILE]
+                [--jobs N] [--clients N] [--cancel-storm R] [--out FILE]
 
-    --server PATH    parcoachd binary (default: next to this executable)
-    --edits N        stop after N accepted edits (default 200)
-    --duration SECS  stop after SECS seconds, whichever comes first
-    --seed S         generator seed (default 1)
-    --jobs N         pool width for daemon AND oracle (default 2)
-    --out FILE       latency histogram JSON (default soak_histogram.json)
+    --server PATH     parcoachd binary (default: next to this executable)
+    --edits N         stop after N accepted edits per client (default 200)
+    --duration SECS   stop after SECS seconds, whichever comes first
+    --seed S          generator seed (default 1)
+    --jobs N          pool width for daemon AND oracle (default 2)
+    --clients N       concurrent client threads over a unix socket
+                      (default 1 = single client over stdio)
+    --cancel-storm R  R cancellation rounds per client after the soak
+    --out FILE        latency histogram JSON (default soak_histogram.json)
 ";
 
 fn main() -> ExitCode {
@@ -55,12 +72,15 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(Clone)]
 struct Opts {
     server: Option<String>,
     edits: usize,
     duration: Option<Duration>,
     seed: u64,
     jobs: usize,
+    clients: usize,
+    cancel_storm: usize,
     out: String,
 }
 
@@ -71,6 +91,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         duration: None,
         seed: 1,
         jobs: 2,
+        clients: 1,
+        cancel_storm: 0,
         out: "soak_histogram.json".to_string(),
     };
     let mut i = 0;
@@ -91,6 +113,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--seed" => o.seed = num(&take(&mut i)?, "--seed")? as u64,
             "--jobs" => o.jobs = num(&take(&mut i)?, "--jobs")?.max(1),
+            "--clients" => o.clients = num(&take(&mut i)?, "--clients")?.max(1),
+            "--cancel-storm" => o.cancel_storm = num(&take(&mut i)?, "--cancel-storm")?,
             "--out" => o.out = take(&mut i)?,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -107,34 +131,21 @@ fn num(v: &str, flag: &str) -> Result<usize, String> {
     v.parse().map_err(|e| format!("{flag}: {e}"))
 }
 
-/// A line-delimited JSON-RPC connection to a child daemon.
-struct Client {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+/// A line-delimited JSON-RPC connection — child stdio or unix socket.
+struct Conn {
+    w: Box<dyn Write + Send>,
+    r: Box<dyn BufRead + Send>,
     next_id: i64,
 }
 
-impl Client {
-    fn spawn(server: &str, jobs: usize) -> Result<Client, String> {
-        let mut child = Command::new(server)
-            .args(["--stdio", "--deterministic", "--jobs", &jobs.to_string()])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| format!("spawn {server}: {e}"))?;
-        let stdin = child.stdin.take().unwrap();
-        let stdout = BufReader::new(child.stdout.take().unwrap());
-        Ok(Client {
-            child,
-            stdin,
-            stdout,
-            next_id: 0,
-        })
+impl Conn {
+    fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.w, "{line}").map_err(|e| format!("write: {e}"))?;
+        self.w.flush().map_err(|e| format!("flush: {e}"))
     }
 
-    /// One request, one response. Returns the raw response `Value`.
-    fn call(&mut self, method: &str, params: Value) -> Result<Value, String> {
+    /// Write one request; the caller pairs it with [`Conn::recv`].
+    fn send(&mut self, method: &str, params: Value) -> Result<i64, String> {
         self.next_id += 1;
         let line = obj([
             ("jsonrpc", Value::from("2.0")),
@@ -143,10 +154,24 @@ impl Client {
             ("params", params),
         ])
         .to_line();
-        writeln!(self.stdin, "{line}").map_err(|e| format!("write: {e}"))?;
-        self.stdin.flush().map_err(|e| format!("flush: {e}"))?;
+        self.send_raw(&line)?;
+        Ok(self.next_id)
+    }
+
+    /// A notification: no id, no response.
+    fn notify(&mut self, method: &str, params: Value) -> Result<(), String> {
+        let line = obj([
+            ("jsonrpc", Value::from("2.0")),
+            ("method", Value::from(method)),
+            ("params", params),
+        ])
+        .to_line();
+        self.send_raw(&line)
+    }
+
+    fn recv(&mut self) -> Result<Value, String> {
         let mut resp = String::new();
-        self.stdout
+        self.r
             .read_line(&mut resp)
             .map_err(|e| format!("read: {e}"))?;
         if resp.is_empty() {
@@ -154,13 +179,115 @@ impl Client {
         }
         parse(resp.trim_end()).map_err(|e| format!("bad response JSON: {e}"))
     }
+
+    /// One request, one response.
+    fn call(&mut self, method: &str, params: Value) -> Result<Value, String> {
+        self.send(method, params)?;
+        self.recv()
+    }
 }
 
-impl Drop for Client {
-    fn drop(&mut self) {
-        let _ = self.call("shutdown", Value::Obj(Vec::new()));
-        let _ = self.child.wait();
+/// The daemon process and how clients reach it.
+struct Daemon {
+    child: Child,
+    socket: Option<String>,
+    /// Taken by the single stdio client.
+    stdio: Option<Conn>,
+}
+
+impl Daemon {
+    fn spawn(server: &str, opts: &Opts) -> Result<Daemon, String> {
+        if opts.clients == 1 {
+            let mut child = Command::new(server)
+                .args([
+                    "--stdio",
+                    "--deterministic",
+                    "--jobs",
+                    &opts.jobs.to_string(),
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("spawn {server}: {e}"))?;
+            let w = Box::new(child.stdin.take().unwrap());
+            let r = Box::new(BufReader::new(child.stdout.take().unwrap()));
+            Ok(Daemon {
+                child,
+                socket: None,
+                stdio: Some(Conn { w, r, next_id: 0 }),
+            })
+        } else {
+            let path = std::env::temp_dir()
+                .join(format!("parcoachd_soak_{}.sock", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            let _ = std::fs::remove_file(&path);
+            let child = Command::new(server)
+                .args([
+                    "--socket",
+                    &path,
+                    "--deterministic",
+                    "--jobs",
+                    &opts.jobs.to_string(),
+                ])
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn {server}: {e}"))?;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !std::path::Path::new(&path).exists() {
+                if Instant::now() >= deadline {
+                    return Err(format!("daemon never bound {path}"));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Ok(Daemon {
+                child,
+                socket: Some(path),
+                stdio: None,
+            })
+        }
     }
+
+    fn connect(&self) -> Result<Conn, String> {
+        connect(self.socket.as_ref().expect("socket mode"))
+    }
+
+    fn shutdown(mut self) -> Result<(), String> {
+        let mut conn = match self.stdio.take() {
+            Some(c) => c,
+            None => {
+                let mut c = self.connect()?;
+                expect_ok(&c.call("initialize", obj([("protocolVersion", Value::from(2i64))]))?)?;
+                c
+            }
+        };
+        let _ = conn.call("shutdown", Value::Obj(Vec::new()));
+        let _ = self.child.wait();
+        Ok(())
+    }
+}
+
+fn connect(path: &str) -> Result<Conn, String> {
+    let s = UnixStream::connect(path).map_err(|e| format!("connect {path}: {e}"))?;
+    let r = Box::new(BufReader::new(
+        s.try_clone().map_err(|e| format!("socket: {e}"))?,
+    ));
+    Ok(Conn {
+        w: Box::new(s),
+        r,
+        next_id: 0,
+    })
+}
+
+/// What one client measured.
+#[derive(Default)]
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    accepted: usize,
+    rejected: usize,
+    incremental: usize,
+    divergent: usize,
+    cancelled: usize,
 }
 
 /// Generate a scenario with at least two helper functions (the editable
@@ -185,30 +312,21 @@ fn render_helper(name: &str, stmts: &[String]) -> String {
     out
 }
 
-fn run(args: &[String]) -> Result<bool, String> {
-    let opts = parse_opts(args)?;
-    let server = match &opts.server {
-        Some(p) => p.clone(),
-        None => {
-            let mut p = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-            p.set_file_name("parcoachd");
-            p.to_string_lossy().into_owned()
-        }
-    };
-
+/// The per-client differential soak: edit, warm-check over the wire,
+/// cold oracle in-process, compare bytes. `seed` differentiates clients
+/// so concurrent documents differ.
+fn soak_client(conn: &mut Conn, uri: &str, seed: u64, opts: &Opts) -> Result<ClientStats, String> {
     let cfg = ScenarioConfig {
         max_helpers: 4,
         max_main_stmts: 6,
         max_helper_stmts: 3,
     };
-    let base = base_scenario(opts.seed, &cfg);
+    let base = base_scenario(seed, &cfg);
     let text = base.render();
     let helper_names: Vec<String> = base.helpers.iter().map(|h| h.name.clone()).collect();
-    let uri = "soak.mh";
 
-    let mut client = Client::spawn(&server, opts.jobs)?;
-    expect_ok(&client.call("initialize", obj([("protocolVersion", Value::from(1i64))]))?)?;
-    expect_ok(&client.call(
+    expect_ok(&conn.call("initialize", obj([("protocolVersion", Value::from(2i64))]))?)?;
+    expect_ok(&conn.call(
         "open",
         obj([
             ("uri", Value::from(uri)),
@@ -222,20 +340,18 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut mirror = Document::open(uri, &text).map_err(|e| format!("mirror open: {e:?}"))?;
     let mut scratch = AnalysisSession::builder().build();
 
-    let mut rng = Rng::new(opts.seed ^ 0x50AC);
-    let mut donor_seed = opts.seed.wrapping_mul(31).wrapping_add(1000);
+    let mut rng = Rng::new(seed ^ 0x50AC);
+    let mut donor_seed = seed.wrapping_mul(31).wrapping_add(1000);
     let started = Instant::now();
-    let mut latencies_us: Vec<u64> = Vec::new();
-    let (mut accepted, mut rejected, mut divergent, mut incremental) =
-        (0usize, 0usize, 0usize, 0usize);
+    let mut st = ClientStats::default();
 
-    while accepted < opts.edits {
+    while st.accepted < opts.edits {
         if let Some(d) = opts.duration {
             if started.elapsed() >= d {
                 break;
             }
         }
-        if rejected > 50 * opts.edits + 100 {
+        if st.rejected > 50 * opts.edits + 100 {
             return Err("generator stalled: too many rejected edits".into());
         }
         // Donate a replacement body from a fresh scenario's helper.
@@ -247,7 +363,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         let func = rng.pick(&helper_names).clone();
         let new_text = render_helper(&func, &dh.stmts);
 
-        let resp = client.call(
+        let resp = conn.call(
             "edit",
             obj([
                 ("uri", Value::from(uri)),
@@ -260,9 +376,9 @@ fn run(args: &[String]) -> Result<bool, String> {
             // program); the mirror must agree and stay unchanged.
             if mirror.edit(&mut scratch, &func, &new_text).is_ok() {
                 eprintln!("daemon rejected an edit the oracle accepts: {func}");
-                divergent += 1;
+                st.divergent += 1;
             }
-            rejected += 1;
+            st.rejected += 1;
             continue;
         }
         let inc = resp
@@ -270,46 +386,232 @@ fn run(args: &[String]) -> Result<bool, String> {
             .and_then(|r| r.get("incremental"))
             .and_then(Value::as_bool)
             .unwrap_or(false);
-        incremental += inc as usize;
+        st.incremental += inc as usize;
         mirror
             .edit(&mut scratch, &func, &new_text)
             .map_err(|e| format!("oracle rejected an edit the daemon accepted: {e:?}"))?;
-        accepted += 1;
+        st.accepted += 1;
 
         // Warm check over the wire, cold oracle in-process.
         let t0 = Instant::now();
-        let resp = client.call("check", obj([("uri", Value::from(uri))]))?;
-        latencies_us.push(t0.elapsed().as_micros() as u64);
+        let resp = conn.call("check", obj([("uri", Value::from(uri))]))?;
+        st.latencies_us.push(t0.elapsed().as_micros() as u64);
         let got = resp
             .get("result")
             .ok_or("check returned an error")?
             .to_line();
-
-        let fresh =
-            Document::open(uri, mirror.text()).map_err(|e| format!("oracle recompile: {e:?}"))?;
-        let mut cold = AnalysisSession::builder()
-            .jobs(opts.jobs)
-            .deterministic(true)
-            .seed(42)
-            .build();
-        let report = cold.check_module(fresh.module());
-        let rendered = report.render(fresh.source_map());
-        let want = check_result_json(&report, rendered).to_line();
-        if got != want {
-            divergent += 1;
+        if got != oracle_check(uri, mirror.text(), opts.jobs)? {
+            st.divergent += 1;
             eprintln!(
-                "DIVERGENCE after edit #{accepted} of `{func}`:\n  warm: {got}\n  cold: {want}"
+                "DIVERGENCE after edit #{} of `{func}` in {uri}:\n  warm: {got}",
+                st.accepted
             );
         }
     }
 
+    storm_client(
+        conn,
+        uri,
+        &mut mirror,
+        &mut scratch,
+        &mut st,
+        opts,
+        &mut rng,
+    )?;
+    Ok(st)
+}
+
+/// The cancellation storm: cancellation must be able to drop work but
+/// never corrupt it. Each round alternates an expired-deadline check
+/// (must cancel) with a `$/cancelRequest` race (either outcome), and
+/// closes with a quiet check that must match the oracle exactly.
+fn storm_client(
+    conn: &mut Conn,
+    uri: &str,
+    mirror: &mut Document,
+    scratch: &mut AnalysisSession,
+    st: &mut ClientStats,
+    opts: &Opts,
+    rng: &mut Rng,
+) -> Result<(), String> {
+    if opts.cancel_storm == 0 {
+        return Ok(());
+    }
+    let helper_names: Vec<String> = mirror
+        .functions()
+        .into_iter()
+        .filter(|f| f != "main")
+        .collect();
+    let cfg = ScenarioConfig {
+        max_helpers: 4,
+        max_main_stmts: 6,
+        max_helper_stmts: 3,
+    };
+    let mut donor_seed = 0x57AB ^ opts.seed;
+    let mut round = 0usize;
+    while round < opts.cancel_storm {
+        donor_seed += 1;
+        let donor = Scenario::generate_with(donor_seed, &cfg);
+        let Some(dh) = donor.helpers.first() else {
+            continue;
+        };
+        let func = rng.pick(&helper_names).clone();
+        let new_text = render_helper(&func, &dh.stmts);
+        let resp = conn.call(
+            "edit",
+            obj([
+                ("uri", Value::from(uri)),
+                ("func", Value::from(func.as_str())),
+                ("text", Value::from(new_text.as_str())),
+            ]),
+        )?;
+        if resp.get("error").is_some() {
+            continue; // illegal donor; try another
+        }
+        mirror
+            .edit(scratch, &func, &new_text)
+            .map_err(|e| format!("storm: oracle rejected accepted edit: {e:?}"))?;
+        round += 1;
+
+        if round % 2 == 1 {
+            // Cache is cold after the edit, so an already-expired budget
+            // must cancel at the first phase boundary.
+            let resp = conn.call(
+                "check",
+                obj([("uri", Value::from(uri)), ("deadlineMs", Value::from(0i64))]),
+            )?;
+            let code = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_i64);
+            if code != Some(-32800) {
+                st.divergent += 1;
+                eprintln!(
+                    "storm: deadline 0 answered {} instead of -32800",
+                    resp.to_line()
+                );
+            } else {
+                st.cancelled += 1;
+            }
+        } else {
+            // Race a cancel notification against the check: either the
+            // oracle bytes or a clean cancellation — nothing else.
+            let id = conn.send("check", obj([("uri", Value::from(uri))]))?;
+            conn.notify("$/cancelRequest", obj([("id", Value::from(id))]))?;
+            let resp = conn.recv()?;
+            match resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_i64)
+            {
+                Some(-32800) => st.cancelled += 1,
+                Some(c) => {
+                    st.divergent += 1;
+                    eprintln!("storm: cancel race answered error {c}");
+                }
+                None => {
+                    let got = resp.get("result").ok_or("no result")?.to_line();
+                    if got != oracle_check(uri, mirror.text(), opts.jobs)? {
+                        st.divergent += 1;
+                        eprintln!("storm: cancel race returned divergent bytes");
+                    }
+                }
+            }
+        }
+
+        // The quiet check after the dust settles must be exact.
+        let resp = conn.call("check", obj([("uri", Value::from(uri))]))?;
+        let got = resp
+            .get("result")
+            .ok_or("storm: final check errored")?
+            .to_line();
+        if got != oracle_check(uri, mirror.text(), opts.jobs)? {
+            st.divergent += 1;
+            eprintln!("storm: post-cancellation check diverged in {uri}");
+        }
+    }
+    Ok(())
+}
+
+/// The expected v2 `check` result bytes for `text`, computed cold.
+fn oracle_check(uri: &str, text: &str, jobs: usize) -> Result<String, String> {
+    let fresh = Document::open(uri, text).map_err(|e| format!("oracle recompile: {e:?}"))?;
+    let mut cold = AnalysisSession::builder()
+        .jobs(jobs)
+        .deterministic(true)
+        .seed(42)
+        .build();
+    let report = cold.check_module(fresh.module());
+    let rendered = report.render(fresh.source_map());
+    Ok(check_result_json_v2(&report, rendered, fresh.source_map()).to_line())
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let opts = parse_opts(args)?;
+    let server = match &opts.server {
+        Some(p) => p.clone(),
+        None => {
+            let mut p = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            p.set_file_name("parcoachd");
+            p.to_string_lossy().into_owned()
+        }
+    };
+
+    let mut daemon = Daemon::spawn(&server, &opts)?;
+    let stats: Vec<ClientStats> = if opts.clients == 1 {
+        let mut conn = daemon.stdio.take().expect("stdio conn");
+        let st = soak_client(&mut conn, "soak.mh", opts.seed, &opts)?;
+        daemon.stdio = Some(conn);
+        vec![st]
+    } else {
+        let path = daemon.socket.clone().expect("socket mode");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..opts.clients)
+                .map(|k| {
+                    let path = &path;
+                    let opts = &opts;
+                    scope.spawn(move || {
+                        let mut conn = connect(path)?;
+                        let uri = format!("soak_{k}.mh");
+                        soak_client(&mut conn, &uri, opts.seed + 101 * k as u64, opts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| "client panicked".to_string())?)
+                .collect::<Result<Vec<_>, String>>()
+        })?
+    };
+    daemon.shutdown()?;
+
+    let mut latencies_us: Vec<u64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    let (accepted, rejected, incremental, divergent, cancelled) =
+        stats.iter().fold((0, 0, 0, 0, 0), |(a, r, i, d, c), s| {
+            (
+                a + s.accepted,
+                r + s.rejected,
+                i + s.incremental,
+                d + s.divergent,
+                c + s.cancelled,
+            )
+        });
     latencies_us.sort_unstable();
-    let histogram = histogram_json(&latencies_us, accepted, rejected, incremental, divergent);
+    let histogram = histogram_json(
+        &latencies_us,
+        opts.clients,
+        accepted,
+        rejected,
+        incremental,
+        divergent,
+        cancelled,
+    );
     std::fs::write(&opts.out, histogram.to_line())
         .map_err(|e| format!("write {}: {e}", opts.out))?;
     println!(
-        "soak: {accepted} edits ({incremental} incremental, {rejected} rejected), \
-         {divergent} divergent, p50 {}us p99 {}us — wrote {}",
+        "soak: {} clients, {accepted} edits ({incremental} incremental, {rejected} rejected), \
+         {divergent} divergent, {cancelled} cancelled, p50 {}us p99 {}us — wrote {}",
+        opts.clients,
         pct(&latencies_us, 50),
         pct(&latencies_us, 99),
         opts.out
@@ -335,10 +637,12 @@ fn pct(sorted: &[u64], p: usize) -> u64 {
 
 fn histogram_json(
     sorted_us: &[u64],
+    clients: usize,
     accepted: usize,
     rejected: usize,
     incremental: usize,
     divergent: usize,
+    cancelled: usize,
 ) -> Value {
     // Power-of-two latency buckets: `le_us` upper bounds with counts.
     let mut buckets: Vec<(String, Value)> = Vec::new();
@@ -360,10 +664,12 @@ fn histogram_json(
         bound *= 2;
     }
     obj([
+        ("clients", Value::from(clients)),
         ("edits_accepted", Value::from(accepted)),
         ("edits_rejected", Value::from(rejected)),
         ("edits_incremental", Value::from(incremental)),
         ("divergent", Value::from(divergent)),
+        ("cancelled", Value::from(cancelled)),
         ("samples", Value::from(sorted_us.len())),
         ("p50_us", Value::from(pct(sorted_us, 50))),
         ("p90_us", Value::from(pct(sorted_us, 90))),

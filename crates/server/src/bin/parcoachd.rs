@@ -2,31 +2,41 @@
 //!
 //! ```text
 //! parcoachd [--stdio] [--socket PATH] [--jobs N] [--deterministic] [--seed S]
+//!           [--queue N]
 //! ```
 //!
-//! Speaks line-delimited JSON-RPC (see `parcoach_server::proto`).
-//! `--stdio` (the default) serves one session over stdin/stdout —
-//! the shape editors and the soak harness use. `--socket PATH` binds a
-//! unix listener and serves connections one at a time, each with its
-//! own protocol session over the shared resident state.
+//! Speaks line-delimited JSON-RPC, protocol v1 and v2 (see
+//! `parcoach_server::proto`). `--stdio` (the default) serves one session
+//! over stdin/stdout — the shape editors and the soak harness use.
+//! `--socket PATH` binds a unix listener and serves connections
+//! **concurrently**, each on a cached worker pair over the shared
+//! resident state: different documents analyze in parallel, and a
+//! client disconnecting mid-request costs only its own connection —
+//! never the daemon. `shutdown` from any client drains in-flight
+//! requests and exits.
 //!
 //! Exit codes: 0 on `shutdown`/EOF, 3 on usage errors.
 
-use parcoach_server::{Server, ServerConfig};
+use parcoach_server::{drive_connection, Server, ServerConfig, ServerShared};
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 parcoachd — resident MPI/OpenMP collective-analysis service
 
 USAGE:
     parcoachd [--stdio] [--socket PATH] [--jobs N] [--deterministic] [--seed S]
+              [--queue N]
 
     --stdio           serve stdin/stdout (default)
-    --socket PATH     bind a unix socket and serve connections serially
+    --socket PATH     bind a unix socket and serve connections concurrently
     --jobs N          analysis pool width (>= 1; default: machine parallelism)
     --deterministic   reproducible scheduling + byte-stable transcripts
     --seed S          pool seed under --deterministic (default 42)
+    --queue N         per-connection request-queue bound (default 64;
+                      overflow answers -32005 ServerBusy)
 ";
 
 fn main() -> ExitCode {
@@ -68,6 +78,13 @@ fn run(args: &[String]) -> Result<(), String> {
             "--seed" => {
                 config.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--queue" => {
+                let n: usize = take(&mut i)?.parse().map_err(|e| format!("--queue: {e}"))?;
+                if n == 0 {
+                    return Err("--queue: value must be at least 1".into());
+                }
+                config.queue_capacity = n;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return Ok(());
@@ -77,36 +94,70 @@ fn run(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
-    let mut server = Server::new(config);
+    let shared = ServerShared::new(config);
     match socket {
         None => {
             let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            server
-                .serve(stdin.lock(), stdout.lock())
+            let server = Server::with_shared(shared);
+            drive_connection(server, stdin.lock(), std::io::stdout())
                 .map_err(|e| format!("stdio: {e}"))
         }
-        Some(path) => serve_socket(&mut server, &path),
+        Some(path) => serve_socket(shared, &path),
     }
 }
 
-/// Accept connections one at a time; resident documents and the warm
-/// cache survive across connections, so a reconnecting client keeps
-/// its latency profile.
-fn serve_socket(server: &mut Server, path: &str) -> Result<(), String> {
+/// Accept connections concurrently; resident documents and their warm
+/// caches survive across connections, so a reconnecting client keeps
+/// its latency profile. A per-connection I/O error (client vanished
+/// mid-request) is logged and costs that connection only — the accept
+/// loop, and every other client, keep going. `shutdown` drains:
+/// accepting stops, in-flight connections finish.
+fn serve_socket(shared: Arc<ServerShared>, path: &str) -> Result<(), String> {
     let _ = std::fs::remove_file(path); // stale socket from a dead daemon
     let listener =
         std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+    // Non-blocking accept so a `shutdown` from any connection is
+    // observed promptly, without needing one more client to connect.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("socket: {e}"))?;
     eprintln!("parcoachd: listening on {path}");
-    for conn in listener.incoming() {
-        let conn = conn.map_err(|e| format!("accept: {e}"))?;
-        let reader = BufReader::new(conn.try_clone().map_err(|e| format!("socket: {e}"))?);
-        server
-            .serve(reader, conn)
-            .map_err(|e| format!("serve: {e}"))?;
-        if server.is_shut_down() {
-            break;
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((conn, _addr)) => {
+                if conn.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let reader = match conn.try_clone() {
+                    Ok(c) => BufReader::new(c),
+                    Err(e) => {
+                        eprintln!("parcoachd: socket clone failed: {e}");
+                        continue;
+                    }
+                };
+                let shared = Arc::clone(&shared);
+                shared.connection_opened();
+                parcoach_pool::thread_cache().spawn(move || {
+                    let server = Server::with_shared(Arc::clone(&shared));
+                    if let Err(e) = drive_connection(server, reader, conn) {
+                        // The bugfix this daemon carries: a client gone
+                        // mid-request is that client's problem.
+                        eprintln!("parcoachd: connection error (client dropped?): {e}");
+                    }
+                    shared.connection_closed();
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => eprintln!("parcoachd: accept: {e}"),
         }
+    }
+    // Graceful drain: connections already accepted run to completion
+    // (bounded, so a wedged client cannot hold the process forever).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while shared.active_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
     }
     let _ = std::fs::remove_file(path);
     Ok(())

@@ -8,9 +8,16 @@
 //!   front-end once; a per-function `edit` reparses and re-lowers only
 //!   the replaced function, rebases spans after the splice point, and
 //!   tells the analysis session exactly which facts died.
-//! * [`server`] — the JSON-RPC dispatcher over one incremental
-//!   [`parcoach_core::AnalysisSession`]: `initialize`, `open`, `edit`,
-//!   `check`, `diagnostics`, `timings`, `shutdown`.
+//! * [`server`] — the JSON-RPC dispatcher: `initialize` (protocol v1 or
+//!   v2), `open`, `edit`, `check`, `diagnostics`, `timings`,
+//!   `shutdown`, `$/cancelRequest`. Each [`Server`] is a per-connection
+//!   view over the process-wide [`ServerShared`].
+//! * [`sched`] — the concurrency layer: the shared document map (each
+//!   document paired with its own incremental
+//!   [`parcoach_core::AnalysisSession`] and an epoch-keyed result
+//!   cache), plus the per-connection scheduler — bounded request queue
+//!   with `SERVER_BUSY` backpressure, a cached worker thread, and
+//!   cooperative cancellation (`$/cancelRequest`, `deadlineMs`).
 //! * [`json`] / [`proto`] — a dependency-free, insertion-ordered JSON
 //!   layer, so a `--deterministic` daemon emits byte-identical
 //!   transcripts (the property the edit-soak CI job asserts).
@@ -31,9 +38,13 @@
 pub mod document;
 pub mod json;
 pub mod proto;
+pub mod sched;
 pub mod server;
 
 pub use document::{DocError, Document, EditOutcome};
 pub use json::Value;
-pub use proto::PROTOCOL_VERSION;
-pub use server::{check_result_json, warnings_json, Server, ServerConfig};
+pub use proto::{PROTOCOL_VERSION, PROTOCOL_VERSION_LEGACY};
+pub use sched::{drive_connection, ServerShared};
+pub use server::{
+    check_result_json, check_result_json_v2, warnings_json, warnings_json_v2, Server, ServerConfig,
+};

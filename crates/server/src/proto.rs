@@ -4,15 +4,24 @@
 //! Each request is one line — `{"jsonrpc":"2.0","id":1,"method":"check",
 //! "params":{...}}` — and produces exactly one response line. Verbs:
 //!
-//! | method        | params                           | result |
-//! |---------------|----------------------------------|--------|
-//! | `initialize`  | `{protocolVersion}`              | server name/version, capabilities |
-//! | `open`        | `{uri, text}`                    | function list |
-//! | `edit`        | `{uri, func, text}`              | `{incremental, delta}` |
-//! | `check`       | `{uri}`                          | rendered report + structured warnings |
-//! | `diagnostics` | `{uri}`                          | structured warnings only |
-//! | `timings`     | `{}`                             | per-phase ns of the last check |
-//! | `shutdown`    | `{}`                             | `null`, then the server exits |
+//! | method             | params                      | result |
+//! |--------------------|-----------------------------|--------|
+//! | `initialize`       | `{protocolVersion}`         | server name/version, capabilities |
+//! | `open`             | `{uri, text}`               | function list |
+//! | `edit`             | `{uri, func, text}`         | `{incremental, delta}` |
+//! | `check`            | `{uri[, deadlineMs]}`       | rendered report + structured warnings |
+//! | `diagnostics`      | `{uri[, deadlineMs]}`       | structured warnings only |
+//! | `timings`          | `{}`                        | per-phase ns of the last check |
+//! | `shutdown`         | `{}`                        | `null`, then the server drains |
+//! | `$/cancelRequest`  | `{id}`                      | *notification* — no response; the named request answers [`code::REQUEST_CANCELLED`] |
+//!
+//! Two revisions are spoken (negotiated per connection at `initialize`):
+//! **v1** warnings carry raw byte offsets (`lo`/`hi`) and the response
+//! bytes are frozen; **v2** is LSP-shaped — warnings carry `severity`,
+//! zero-based `{line, character}` ranges and `relatedInformation`, and
+//! `check`/`diagnostics` accept a `deadlineMs` budget. `$/cancelRequest`
+//! and `deadlineMs` are honored on concurrent connections (see
+//! [`crate::sched`]).
 //!
 //! Error codes follow JSON-RPC where a standard code exists and use the
 //! `-320xx` application range for the rest (see [`code`]). Responses are
@@ -21,10 +30,15 @@
 
 use crate::json::{self, obj, Value};
 
-/// Protocol revision spoken by this server. `initialize` rejects any
-/// other major with [`code::VERSION_MISMATCH`]: a one-line protocol has
-/// no room for silent downgrades.
-pub const PROTOCOL_VERSION: i64 = 1;
+/// Current protocol revision. `initialize` accepts this or
+/// [`PROTOCOL_VERSION_LEGACY`] and rejects anything else with
+/// [`code::VERSION_MISMATCH`]: a one-line protocol has no room for
+/// silent downgrades.
+pub const PROTOCOL_VERSION: i64 = 2;
+
+/// The frozen v1 revision, still accepted behind the version gate so
+/// existing clients keep their exact bytes.
+pub const PROTOCOL_VERSION_LEGACY: i64 = 1;
 
 /// Typed JSON-RPC error codes.
 pub mod code {
@@ -45,6 +59,13 @@ pub mod code {
     /// `edit`/`check` naming a function or document the server has
     /// never seen.
     pub const UNKNOWN_TARGET: i64 = -32004;
+    /// The connection's bounded request queue is full; retry after an
+    /// in-flight request completes.
+    pub const SERVER_BUSY: i64 = -32005;
+    /// The request was cancelled (`$/cancelRequest` or an expired
+    /// `deadlineMs`) before or while running. Mirrors LSP's
+    /// `RequestCancelled`.
+    pub const REQUEST_CANCELLED: i64 = -32800;
 }
 
 /// A decoded request: id is echoed verbatim in the response (JSON-RPC

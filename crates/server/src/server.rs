@@ -1,28 +1,37 @@
-//! The `parcoachd` request loop: decode → dispatch → encode, one line
-//! per request, one line per response.
+//! The `parcoachd` dispatcher: decode → dispatch → encode, one line per
+//! request, one line per response.
 //!
-//! All state lives in [`Server`]: the resident [`Document`]s and one
-//! incremental [`AnalysisSession`] whose query cache serves the *active*
-//! document (the last one checked). Checking a different document
-//! invalidates the cache first — the per-function memo is keyed by
-//! function name, and two documents may disagree about what `main` is.
-//! The expected deployment is one hot document per daemon (an editor
-//! buffer, a CI shard), where the cache survives every edit.
+//! A [`Server`] is a *per-connection view* over the process-wide
+//! [`ServerShared`]: it holds only the connection's negotiated protocol
+//! version and shutdown flag, while documents — each paired with its own
+//! incremental [`AnalysisSession`](parcoach_core::AnalysisSession) and
+//! an epoch-keyed result cache — live in the shared map (see
+//! [`crate::sched`]). Any number of connections dispatch concurrently:
+//! different documents in parallel, same-document requests serialized on
+//! the document lock.
+//!
+//! Two protocol revisions are spoken (see [`PROTOCOL_VERSION`]):
+//! v1 responses are byte-frozen (golden-tested), v2 is LSP-shaped —
+//! warnings carry `severity`, zero-based `{line, character}` ranges and
+//! `relatedInformation`, and requests may carry a `deadlineMs` budget.
 //!
 //! Every response except `timings` is a pure function of the request
-//! history, so a `--deterministic` server produces byte-identical
-//! transcripts across runs and pool widths (`timings` reports measured
-//! wall clock, which no scheduler can promise twice).
+//! history of its document, so a `--deterministic` server produces
+//! byte-identical transcripts across runs and pool widths (`timings`
+//! reports measured wall clock, which no scheduler can promise twice).
 
 use crate::document::{DocError, Document};
 use crate::json::{obj, Value};
-use crate::proto::{self, code, Request, PROTOCOL_VERSION};
-use parcoach_core::{AnalysisSession, StaticReport};
-use std::collections::HashMap;
+use crate::proto::{self, code, Request, PROTOCOL_VERSION, PROTOCOL_VERSION_LEGACY};
+use crate::sched::{CheckCache, ServerShared};
+use parcoach_core::{CancelToken, StaticReport, WarningKind};
+use parcoach_front::{SourceMap, Span};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration mirrored from the daemon's command line.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Analysis pool width (`None`: the process-wide default).
     pub jobs: Option<usize>,
@@ -30,54 +39,85 @@ pub struct ServerConfig {
     pub deterministic: bool,
     /// Pool seed under `deterministic`.
     pub seed: u64,
+    /// Per-connection request-queue bound; overflow answers
+    /// [`code::SERVER_BUSY`].
+    pub queue_capacity: usize,
 }
 
-/// A resident analysis service.
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            jobs: None,
+            deterministic: false,
+            seed: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One connection's view of the resident analysis service.
 pub struct Server {
-    config: ServerConfig,
-    session: AnalysisSession,
-    docs: HashMap<String, Document>,
-    /// The document the session cache currently describes.
-    active_uri: Option<String>,
-    initialized: bool,
+    shared: Arc<ServerShared>,
+    /// Negotiated protocol version; `None` until a successful
+    /// `initialize`.
+    protocol: Option<i64>,
+    /// Document of this connection's last `check` (what `timings`
+    /// reports on).
+    last_checked: Option<String>,
     shutdown: bool,
 }
 
 impl Server {
+    /// A standalone server with its own state (one-connection deployments
+    /// and tests). Multi-connection daemons build one [`ServerShared`]
+    /// and a [`Server::with_shared`] view per connection.
     pub fn new(config: ServerConfig) -> Server {
-        let mut b = AnalysisSession::builder().incremental(true);
-        if let Some(jobs) = config.jobs {
-            b = b.jobs(jobs);
-        }
-        if config.deterministic {
-            b = b.deterministic(true).seed(config.seed);
-        }
+        Server::with_shared(ServerShared::new(config))
+    }
+
+    /// A view over existing shared state; the connection starts
+    /// uninitialized, whatever other connections have negotiated.
+    pub fn with_shared(shared: Arc<ServerShared>) -> Server {
         Server {
-            config,
-            session: b.build(),
-            docs: HashMap::new(),
-            active_uri: None,
-            initialized: false,
+            shared,
+            protocol: None,
+            last_checked: None,
             shutdown: false,
         }
     }
 
-    /// Whether `shutdown` has been acknowledged.
+    /// The shared state, for spawning sibling connection views.
+    pub fn shared(&self) -> Arc<ServerShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Whether `shutdown` has been acknowledged on this connection.
     pub fn is_shut_down(&self) -> bool {
         self.shutdown
     }
 
+    pub(crate) fn queue_capacity(&self) -> usize {
+        self.shared.config().queue_capacity.max(1)
+    }
+
     /// Handle one request line, producing one response line.
     pub fn handle_line(&mut self, line: &str) -> String {
+        self.handle_line_cancellable(line, &CancelToken::new())
+    }
+
+    /// [`Server::handle_line`] under a cancellation token: a `check`/
+    /// `diagnostics` in flight observes the token at analysis phase
+    /// boundaries and answers [`code::REQUEST_CANCELLED`] if it fires.
+    pub fn handle_line_cancellable(&mut self, line: &str, token: &CancelToken) -> String {
         let req = match proto::parse_request(line) {
             Ok(r) => r,
             Err((c, msg)) => return proto::err(&Value::Null, c, &msg, None),
         };
-        self.dispatch(&req)
+        self.dispatch(&req, token)
     }
 
-    fn dispatch(&mut self, req: &Request) -> String {
-        if !self.initialized && req.method != "initialize" {
+    fn dispatch(&mut self, req: &Request, token: &CancelToken) -> String {
+        if self.protocol.is_none() && req.method != "initialize" {
             return proto::err(
                 &req.id,
                 code::NOT_INITIALIZED,
@@ -89,11 +129,12 @@ impl Server {
             "initialize" => self.initialize(req),
             "open" => self.open(req),
             "edit" => self.edit(req),
-            "check" => self.check(req),
-            "diagnostics" => self.diagnostics(req),
+            "check" => self.check(req, token),
+            "diagnostics" => self.diagnostics(req, token),
             "timings" => self.timings(req),
             "shutdown" => {
                 self.shutdown = true;
+                self.shared.begin_drain();
                 proto::ok(&req.id, Value::Null)
             }
             other => proto::err(
@@ -107,34 +148,46 @@ impl Server {
 
     fn initialize(&mut self, req: &Request) -> String {
         let version = req.params.get("protocolVersion").and_then(Value::as_i64);
-        match version {
-            Some(v) if v == PROTOCOL_VERSION => {}
+        let version = match version {
+            Some(v) if v == PROTOCOL_VERSION || v == PROTOCOL_VERSION_LEGACY => v,
             other => {
                 return proto::err(
                     &req.id,
                     code::VERSION_MISMATCH,
                     &format!(
-                        "unsupported protocolVersion {:?} (server speaks {PROTOCOL_VERSION})",
-                        other
+                        "unsupported protocolVersion {other:?} (server speaks \
+                         {PROTOCOL_VERSION_LEGACY} and {PROTOCOL_VERSION})"
                     ),
                     None,
                 );
             }
-        }
-        self.initialized = true;
+        };
+        self.protocol = Some(version);
+        let deterministic = self.shared.config().deterministic;
+        // The v1 response shape is frozen: bytes golden-tested since
+        // protocol 1 shipped. v2 adds the capabilities new clients probe.
+        let capabilities = if version == PROTOCOL_VERSION_LEGACY {
+            obj([
+                ("incrementalEdits", Value::from(true)),
+                ("deterministic", Value::from(deterministic)),
+            ])
+        } else {
+            obj([
+                ("incrementalEdits", Value::from(true)),
+                ("deterministic", Value::from(deterministic)),
+                ("positionEncoding", Value::from("utf-8")),
+                ("cancelRequest", Value::from(true)),
+                ("deadlineMs", Value::from(true)),
+                ("concurrentClients", Value::from(true)),
+            ])
+        };
         proto::ok(
             &req.id,
             obj([
-                ("protocolVersion", Value::from(PROTOCOL_VERSION)),
+                ("protocolVersion", Value::from(version)),
                 ("serverName", Value::from("parcoachd")),
                 ("serverVersion", Value::from(env!("CARGO_PKG_VERSION"))),
-                (
-                    "capabilities",
-                    obj([
-                        ("incrementalEdits", Value::from(true)),
-                        ("deterministic", Value::from(self.config.deterministic)),
-                    ]),
-                ),
+                ("capabilities", capabilities),
             ]),
         )
     }
@@ -153,11 +206,9 @@ impl Server {
                     .into_iter()
                     .map(Value::from)
                     .collect::<Vec<_>>();
-                // Re-opening the active document resets its cache.
-                if self.active_uri.as_deref() == Some(uri) {
-                    self.session.invalidate_all();
-                }
-                self.docs.insert(uri.to_string(), doc);
+                // A re-open replaces the entry wholesale: fresh session,
+                // fresh epoch — exactly what a cold daemon would hold.
+                self.shared.insert_doc(uri, doc);
                 proto::ok(&req.id, obj([("functions", Value::Arr(functions))]))
             }
             Err(e) => doc_error(&req.id, e),
@@ -174,77 +225,106 @@ impl Server {
         let Some(text) = req.params.get("text").and_then(Value::as_str) else {
             return invalid_params(&req.id, "edit: missing string `text`");
         };
-        let Some(doc) = self.docs.get_mut(uri) else {
+        let Some(entry) = self.shared.doc(uri) else {
             return unknown_doc(&req.id, uri);
         };
-        // An edit to a non-active document must not poison the active
-        // cache; the session is only consulted for the active one.
-        if self.active_uri.as_deref() == Some(uri) {
-            match doc.edit(&mut self.session, func, text) {
-                Ok(out) => proto::ok(
+        let mut st = entry.state.lock().unwrap();
+        let st = &mut *st;
+        match st.doc.edit(&mut st.session, func, text) {
+            Ok(out) => {
+                // New snapshot: concurrent readers either saw the old
+                // epoch's cache or will recompute against the new text.
+                st.epoch += 1;
+                st.cache = None;
+                proto::ok(
                     &req.id,
                     obj([
                         ("incremental", Value::from(out.incremental)),
                         ("delta", Value::from(out.delta)),
                     ]),
-                ),
-                Err(e) => doc_error(&req.id, e),
+                )
             }
-        } else {
-            let mut scratch = AnalysisSession::builder().build();
-            match doc.edit(&mut scratch, func, text) {
-                Ok(out) => proto::ok(
-                    &req.id,
-                    obj([
-                        ("incremental", Value::from(out.incremental)),
-                        ("delta", Value::from(out.delta)),
-                    ]),
-                ),
-                Err(e) => doc_error(&req.id, e),
-            }
+            Err(e) => doc_error(&req.id, e),
         }
     }
 
-    fn check(&mut self, req: &Request) -> String {
-        match self.run_check(req) {
-            Ok((report, rendered)) => proto::ok(&req.id, check_result_json(&report, rendered)),
-            Err(resp) => resp,
-        }
-    }
-
-    fn diagnostics(&mut self, req: &Request) -> String {
-        match self.run_check(req) {
-            Ok((report, _)) => proto::ok(
+    fn check(&mut self, req: &Request, token: &CancelToken) -> String {
+        match self.run_check(req, token) {
+            Ok((clean, warnings, rendered)) => proto::ok(
                 &req.id,
                 obj([
-                    ("clean", Value::from(report.is_clean())),
-                    ("warnings", warnings_json(&report)),
+                    ("clean", Value::from(clean)),
+                    ("warnings", warnings),
+                    ("rendered", Value::from(rendered)),
                 ]),
             ),
             Err(resp) => resp,
         }
     }
 
-    /// Shared `check`/`diagnostics` body: activate the document (cache
-    /// reset if it changed), analyze, render.
-    fn run_check(&mut self, req: &Request) -> Result<(StaticReport, String), String> {
+    fn diagnostics(&mut self, req: &Request, token: &CancelToken) -> String {
+        match self.run_check(req, token) {
+            Ok((clean, warnings, _)) => proto::ok(
+                &req.id,
+                obj([("clean", Value::from(clean)), ("warnings", warnings)]),
+            ),
+            Err(resp) => resp,
+        }
+    }
+
+    /// Shared `check`/`diagnostics` body. Serves the epoch-keyed cache
+    /// when the document has not changed since the last analysis
+    /// (concurrent readers of a quiet document never recompute);
+    /// otherwise runs the analysis under the document lock, honoring the
+    /// connection token tightened by an optional `deadlineMs` budget.
+    fn run_check(
+        &mut self,
+        req: &Request,
+        token: &CancelToken,
+    ) -> Result<(bool, Value, String), String> {
         let Some(uri) = req.params.get("uri").and_then(Value::as_str) else {
             return Err(invalid_params(&req.id, "check: missing string `uri`"));
         };
-        let Some(doc) = self.docs.get(uri) else {
+        let Some(entry) = self.shared.doc(uri) else {
             return Err(unknown_doc(&req.id, uri));
         };
-        if self.active_uri.as_deref() != Some(uri) {
-            self.session.invalidate_all();
-            self.active_uri = Some(uri.to_string());
+        let token = match req.params.get("deadlineMs").and_then(Value::as_i64) {
+            Some(ms) => token.bounded(Duration::from_millis(ms.max(0) as u64)),
+            None => token.clone(),
+        };
+        let mut st = entry.state.lock().unwrap();
+        let st = &mut *st;
+        if st.cache.as_ref().is_none_or(|c| c.epoch != st.epoch) {
+            let report = st
+                .session
+                .check_module_cancellable(st.doc.module(), &token)
+                .map_err(|_| {
+                    proto::err(&req.id, code::REQUEST_CANCELLED, "request cancelled", None)
+                })?;
+            let rendered = report.render(st.doc.source_map());
+            st.cache = Some(CheckCache {
+                epoch: st.epoch,
+                report,
+                rendered,
+            });
         }
-        let report = self.session.check_module(doc.module());
-        let rendered = report.render(doc.source_map());
-        Ok((report, rendered))
+        self.last_checked = Some(uri.to_string());
+        let cache = st.cache.as_ref().expect("cache just filled");
+        let warnings = if self.protocol == Some(PROTOCOL_VERSION_LEGACY) {
+            warnings_json(&cache.report)
+        } else {
+            warnings_json_v2(&cache.report, st.doc.source_map())
+        };
+        Ok((cache.report.is_clean(), warnings, cache.rendered.clone()))
     }
 
     fn timings(&mut self, req: &Request) -> String {
-        let Some(t) = self.session.timings() else {
+        let entry = self.last_checked.as_ref().and_then(|u| self.shared.doc(u));
+        let Some(entry) = entry else {
+            return proto::ok(&req.id, obj([("available", Value::from(false))]));
+        };
+        let st = entry.state.lock().unwrap();
+        let Some(t) = st.session.timings() else {
             return proto::ok(&req.id, obj([("available", Value::from(false))]));
         };
         let phases = t
@@ -252,7 +332,7 @@ impl Server {
             .iter()
             .map(|(name, dur)| (format!("{name}_ns"), Value::from(dur.as_nanos() as u64)))
             .collect::<Vec<_>>();
-        let stats = self.session.query_stats();
+        let stats = st.session.query_stats();
         proto::ok(
             &req.id,
             obj([
@@ -265,6 +345,13 @@ impl Server {
                         ("pwMisses", Value::from(stats.pw_misses)),
                         ("cfgHits", Value::from(stats.cfg_hits)),
                         ("cfgMisses", Value::from(stats.cfg_misses)),
+                        ("moduleHits", Value::from(stats.comm_hits + stats.req_hits)),
+                        (
+                            "moduleMisses",
+                            Value::from(stats.comm_misses + stats.req_misses),
+                        ),
+                        ("p2pHits", Value::from(stats.p2p_hits)),
+                        ("p2pMisses", Value::from(stats.p2p_misses)),
                         ("greened", Value::from(stats.greened)),
                         ("invalidated", Value::from(stats.invalidated)),
                     ]),
@@ -274,7 +361,10 @@ impl Server {
     }
 
     /// Serve line-delimited requests from `input`, writing one response
-    /// line each to `output`, until EOF or `shutdown`.
+    /// line each to `output`, until EOF or `shutdown`. This is the
+    /// simple *serial* driver; concurrent connections with cancellation
+    /// and backpressure go through
+    /// [`drive_connection`](crate::sched::drive_connection).
     pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut output: W) -> std::io::Result<()> {
         for line in input.lines() {
             let line = line?;
@@ -293,9 +383,9 @@ impl Server {
     }
 }
 
-/// The `check` result object. Public so the soak client can construct
-/// the *expected* response from an independently compiled document and
-/// compare transcripts byte-for-byte.
+/// The protocol-v1 `check` result object. Public so the soak client can
+/// construct the *expected* response from an independently compiled
+/// document and compare transcripts byte-for-byte.
 pub fn check_result_json(report: &StaticReport, rendered: String) -> Value {
     obj([
         ("clean", Value::from(report.is_clean())),
@@ -304,9 +394,19 @@ pub fn check_result_json(report: &StaticReport, rendered: String) -> Value {
     ])
 }
 
-/// The structured warning array shared by `check` and `diagnostics`
-/// (and printed by `parcoachc diagnostics`): discovery order, which the
-/// deterministic pipeline fixes across pool widths.
+/// The protocol-v2 `check` result object ([`check_result_json`] with
+/// LSP-shaped warnings).
+pub fn check_result_json_v2(report: &StaticReport, rendered: String, sm: &SourceMap) -> Value {
+    obj([
+        ("clean", Value::from(report.is_clean())),
+        ("warnings", warnings_json_v2(report, sm)),
+        ("rendered", Value::from(rendered)),
+    ])
+}
+
+/// The protocol-v1 structured warning array shared by `check` and
+/// `diagnostics` (and printed by `parcoachc diagnostics`): discovery
+/// order, which the deterministic pipeline fixes across pool widths.
 pub fn warnings_json(report: &StaticReport) -> Value {
     Value::Arr(
         report
@@ -323,6 +423,72 @@ pub fn warnings_json(report: &StaticReport) -> Value {
             })
             .collect(),
     )
+}
+
+/// The protocol-v2 warning array: LSP-shaped, with `severity`,
+/// zero-based `{line, character}` ranges resolved through the source
+/// map, and `relatedInformation` for the secondary locations.
+pub fn warnings_json_v2(report: &StaticReport, sm: &SourceMap) -> Value {
+    Value::Arr(
+        report
+            .warnings
+            .iter()
+            .map(|w| {
+                let related = w
+                    .related
+                    .iter()
+                    .map(|(span, msg)| {
+                        obj([
+                            ("range", range_json(sm, *span)),
+                            ("message", Value::from(msg.as_str())),
+                        ])
+                    })
+                    .collect();
+                obj([
+                    ("func", Value::from(w.func.as_str())),
+                    ("code", Value::from(w.kind.code())),
+                    ("severity", Value::from(severity(w.kind))),
+                    ("range", range_json(sm, w.span)),
+                    ("message", Value::from(w.message.as_str())),
+                    ("relatedInformation", Value::Arr(related)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// LSP `DiagnosticSeverity`: 1 = Error for the kinds that describe a
+/// deadlock or an invariant violation, 2 = Warning for the hazard kinds
+/// (nondeterministic order, risky context) the analysis reports
+/// conservatively.
+fn severity(kind: WarningKind) -> i64 {
+    match kind {
+        WarningKind::CollectiveMismatch
+        | WarningKind::BarrierDivergence
+        | WarningKind::InsufficientThreadLevel
+        | WarningKind::UnmatchedP2p
+        | WarningKind::P2pOrder
+        | WarningKind::UnwaitedRequest
+        | WarningKind::WaitWithoutPost => 1,
+        WarningKind::MultithreadedCollective
+        | WarningKind::NestedParallelismCollective
+        | WarningKind::MultithreadedCall
+        | WarningKind::ConcurrentCollectives
+        | WarningKind::SelfConcurrentRegion => 2,
+    }
+}
+
+/// A zero-based LSP range for `span` (the source map reports 1-based
+/// line/column).
+fn range_json(sm: &SourceMap, span: Span) -> Value {
+    let pos = |offset: u32| {
+        let lc = sm.line_col(offset);
+        obj([
+            ("line", Value::from(lc.line.saturating_sub(1))),
+            ("character", Value::from(lc.col.saturating_sub(1))),
+        ])
+    };
+    obj([("start", pos(span.lo)), ("end", pos(span.hi))])
 }
 
 fn invalid_params(id: &Value, msg: &str) -> String {

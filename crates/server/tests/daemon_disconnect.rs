@@ -1,0 +1,152 @@
+//! Regression: a client disconnecting mid-request must cost its own
+//! connection, not the daemon.
+//!
+//! The old accept loop propagated any per-connection I/O error out of
+//! `serve_socket`, so a client vanishing between request and response
+//! (broken pipe on the reply write) killed the whole process and every
+//! other client with it. This drives the real binary over a unix
+//! socket: connect, fire a `check`, slam the socket shut without
+//! reading, then prove a second client still gets served.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DIVERGENT: &str = "fn main() { if (rank() == 0) { MPI_Barrier(); } }";
+
+struct Daemon {
+    child: Child,
+    path: String,
+}
+
+impl Daemon {
+    fn spawn() -> Daemon {
+        let path = std::env::temp_dir()
+            .join(format!("parcoachd_disc_{}.sock", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let child = Command::new(env!("CARGO_BIN_EXE_parcoachd"))
+            .args(["--socket", &path, "--deterministic", "--jobs", "1"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn parcoachd");
+        // Wait for the listener to come up.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !std::path::Path::new(&path).exists() {
+            assert!(Instant::now() < deadline, "daemon never bound {path}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Daemon { child, path }
+    }
+
+    fn connect(&self) -> UnixStream {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match UnixStream::connect(&self.path) {
+                Ok(s) => return s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("connect {}: {e}", self.path),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn send(conn: &mut UnixStream, line: &str) {
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    conn.flush().unwrap();
+}
+
+fn call(conn: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str) -> String {
+    send(conn, line);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(!resp.is_empty(), "daemon closed the connection");
+    resp.trim_end().to_string()
+}
+
+fn open_params(uri: &str) -> String {
+    format!(
+        r#"{{"jsonrpc":"2.0","id":1,"method":"open","params":{{"uri":"{uri}","text":"{}"}}}}"#,
+        DIVERGENT.replace('"', "\\\"")
+    )
+}
+
+#[test]
+fn client_disconnect_mid_request_does_not_kill_the_daemon() {
+    let daemon = Daemon::spawn();
+
+    // Client 1: handshake, open, fire a check — then vanish without
+    // reading the response. The daemon's reply hits a dead socket.
+    {
+        let mut conn = daemon.connect();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let resp = call(
+            &mut conn,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":2}}"#,
+        );
+        assert!(resp.contains(r#""result""#), "{resp}");
+        let resp = call(&mut conn, &mut reader, &open_params("drop.mh"));
+        assert!(resp.contains(r#""functions""#), "{resp}");
+        send(
+            &mut conn,
+            r#"{"jsonrpc":"2.0","id":2,"method":"check","params":{"uri":"drop.mh"}}"#,
+        );
+        // conn + reader dropped here: disconnect with the check in flight.
+    }
+
+    // Client 2: the daemon must still accept and serve.
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let resp = call(
+        &mut conn,
+        &mut reader,
+        r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":2}}"#,
+    );
+    assert!(
+        resp.contains(r#""result""#),
+        "daemon died with client 1: {resp}"
+    );
+    let resp = call(&mut conn, &mut reader, &open_params("alive.mh"));
+    assert!(resp.contains(r#""functions""#), "{resp}");
+    let resp = call(
+        &mut conn,
+        &mut reader,
+        r#"{"jsonrpc":"2.0","id":2,"method":"check","params":{"uri":"alive.mh"}}"#,
+    );
+    assert!(resp.contains(r#""clean":false"#), "{resp}");
+
+    // And shutdown still drains the daemon cleanly.
+    let resp = call(
+        &mut conn,
+        &mut reader,
+        r#"{"jsonrpc":"2.0","id":3,"method":"shutdown","params":{}}"#,
+    );
+    assert!(resp.contains(r#""result":null"#), "{resp}");
+    // The process exits on its own (drain), well before the kill in Drop.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut daemon = daemon;
+    loop {
+        match daemon.child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                break;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            None => panic!("daemon did not exit after shutdown"),
+        }
+    }
+}

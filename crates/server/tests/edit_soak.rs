@@ -22,6 +22,7 @@ fn server(jobs: usize) -> Server {
         jobs: Some(jobs),
         deterministic: true,
         seed: 42,
+        ..ServerConfig::default()
     });
     let resp = srv.handle_line(
         r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":1}}"#,

@@ -13,6 +13,7 @@ fn server() -> Server {
         jobs: Some(1),
         deterministic: true,
         seed: 42,
+        ..ServerConfig::default()
     })
 }
 
@@ -49,6 +50,75 @@ fn initialize_golden_response() {
             env!("CARGO_PKG_VERSION")
         )
     );
+}
+
+#[test]
+fn initialize_v2_golden_response() {
+    let mut srv = server();
+    let resp = srv.handle_line(
+        r#"{"jsonrpc":"2.0","id":7,"method":"initialize","params":{"protocolVersion":2}}"#,
+    );
+    assert_eq!(
+        resp,
+        format!(
+            r#"{{"jsonrpc":"2.0","id":7,"result":{{"protocolVersion":2,"serverName":"parcoachd","serverVersion":"{}","capabilities":{{"incrementalEdits":true,"deterministic":true,"positionEncoding":"utf-8","cancelRequest":true,"deadlineMs":true,"concurrentClients":true}}}}}}"#,
+            env!("CARGO_PKG_VERSION")
+        )
+    );
+}
+
+#[test]
+fn v2_diagnostics_carry_ranges_severity_and_related() {
+    let mut srv = server();
+    let resp = srv.handle_line(
+        r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":2}}"#,
+    );
+    assert!(resp.contains(r#""result""#), "{resp}");
+    let resp = open(&mut srv, DIVERGENT);
+    assert!(resp.contains(r#""functions""#), "{resp}");
+    let diag = srv
+        .handle_line(r#"{"jsonrpc":"2.0","id":2,"method":"diagnostics","params":{"uri":"t.mh"}}"#);
+    // DIVERGENT is one line: `fn main() { if (rank() == 0) { MPI_Barrier(); } }`
+    // The barrier call starts at 0-based character 31 on line 0.
+    assert!(diag.contains(r#""severity":1"#), "{diag}");
+    assert!(
+        diag.contains(r#""range":{"start":{"line":0,"character":31}"#),
+        "{diag}"
+    );
+    assert!(diag.contains(r#""relatedInformation":[{"range""#), "{diag}");
+    // v1 byte-offset keys are gone from the v2 shape.
+    assert!(!diag.contains(r#""lo":"#), "{diag}");
+
+    // The same document over a sibling v1 connection keeps the frozen
+    // v1 shape — negotiation is per connection, state is shared.
+    let mut v1 = parcoach_server::Server::with_shared(srv.shared());
+    let resp = v1.handle_line(
+        r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":1}}"#,
+    );
+    assert!(resp.contains(r#""protocolVersion":1"#), "{resp}");
+    let old = v1
+        .handle_line(r#"{"jsonrpc":"2.0","id":3,"method":"diagnostics","params":{"uri":"t.mh"}}"#);
+    assert!(old.contains(r#""lo":"#), "{old}");
+    assert!(!old.contains(r#""severity""#), "{old}");
+}
+
+#[test]
+fn expired_deadline_is_request_cancelled() {
+    let mut srv = server();
+    let resp = srv.handle_line(
+        r#"{"jsonrpc":"2.0","id":0,"method":"initialize","params":{"protocolVersion":2}}"#,
+    );
+    assert!(resp.contains(r#""result""#), "{resp}");
+    let _ = open(&mut srv, DIVERGENT);
+    let resp = srv.handle_line(
+        r#"{"jsonrpc":"2.0","id":2,"method":"check","params":{"uri":"t.mh","deadlineMs":0}}"#,
+    );
+    assert!(resp.contains(r#""code":-32800"#), "{resp}");
+    // A later unbounded check on the same connection succeeds: the
+    // deadline bounded only that request's token view.
+    let resp =
+        srv.handle_line(r#"{"jsonrpc":"2.0","id":3,"method":"check","params":{"uri":"t.mh"}}"#);
+    assert!(resp.contains(r#""clean":false"#), "{resp}");
 }
 
 #[test]
