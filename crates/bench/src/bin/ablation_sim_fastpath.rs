@@ -1,0 +1,126 @@
+//! E15 (extension) — simulator fast-path ablation.
+//!
+//! Two independent toggles on the instrumented-execution side, crossed:
+//!
+//! * **world lock** — the sharded per-communicator matching spaces and
+//!   per-`(comm, dst)` mailbox shards (default) vs. the legacy engine
+//!   that serializes every simulated MPI call on one world mutex
+//!   (`RunConfig::legacy_world_lock`);
+//! * **value interning** — the interpreter's allocation-reuse paths:
+//!   pooled frame slots and one-pass print rendering (default) vs.
+//!   fresh allocations per frame and per print
+//!   (`RunConfig::value_interning = false`).
+//!
+//! Both toggles are observationally invisible — the `sim_equivalence`
+//! property test and the fuzz-smoke `--legacy-world-lock` `cmp` pin
+//! the world-lock axis, and the determinism suite pins the interning
+//! axis — so the only thing that varies here is wall clock. Each
+//! module is parsed, analyzed and instrumented **once**; the timed
+//! region is execution only, which is where both toggles live.
+//!
+//! A calibration pass drops modules whose single run exceeds 100 ms:
+//! those are deadlocking scenarios resolved by the fast-fail *timeout
+//! constants* (300/600 ms), so their wall clock measures the
+//! configuration, not the engine, and one of them would drown the
+//! entire sweep.
+//!
+//! Usage: `cargo run --release -p parcoach-bench --bin ablation_sim_fastpath [modules] [reps]`
+
+use criterion::Scenario;
+use parcoach_core::{instrument_module, AnalysisSession, InstrumentMode};
+use parcoach_front::parse_and_check;
+use parcoach_fuzz::module_seed;
+use parcoach_interp::{Executor, RunConfig};
+use parcoach_ir::lower::lower_program;
+use parcoach_ir::Module;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+
+fn prepare(modules: u64) -> Vec<Module> {
+    let mut session = AnalysisSession::builder().build();
+    (0..modules)
+        .map(|i| {
+            let src = Scenario::generate(module_seed(SEED, i)).render();
+            let unit = parse_and_check(&format!("e15_{i}.mh"), &src)
+                .unwrap_or_else(|(diags, sm)| panic!("module {i} invalid: {}", diags.render(&sm)));
+            let module = lower_program(&unit.program, &unit.signatures);
+            let report = session.check_module(&module);
+            instrument_module(&module, &report, InstrumentMode::Selective).0
+        })
+        .collect()
+}
+
+fn main() {
+    let modules: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let prepared = prepare(modules);
+
+    // Calibration: drop timeout-bound modules (see module docs).
+    let fast_cfg = RunConfig::fast_fail(2, 2);
+    let prepared: Vec<Module> = prepared
+        .into_iter()
+        .filter(|m| {
+            let t0 = Instant::now();
+            let _ = Executor::new(m.clone(), fast_cfg.clone()).run();
+            t0.elapsed() < Duration::from_millis(100)
+        })
+        .collect();
+    let kept = prepared.len();
+
+    println!(
+        "E15 — simulator fast-path ablation ({kept} of {modules} modules kept \
+         ({} timeout-bound dropped), {reps} reps, min)",
+        modules as usize - kept
+    );
+    println!(
+        "{:<24} {:>12} {:>14} {:>9}",
+        "config", "total", "per module", "vs fast"
+    );
+    let mut fast = Duration::MAX;
+    for (legacy_world_lock, value_interning) in
+        [(false, true), (false, false), (true, true), (true, false)]
+    {
+        let mut cfg = RunConfig::fast_fail(2, 2);
+        cfg.legacy_world_lock = legacy_world_lock;
+        cfg.value_interning = value_interning;
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for m in &prepared {
+                let _ = Executor::new(m.clone(), cfg.clone()).run();
+            }
+            best = best.min(t0.elapsed());
+        }
+        if !legacy_world_lock && value_interning {
+            fast = best;
+        }
+        let label = format!(
+            "{}+{}",
+            if legacy_world_lock {
+                "legacy-lock"
+            } else {
+                "sharded"
+            },
+            if value_interning {
+                "interning"
+            } else {
+                "no-interning"
+            }
+        );
+        println!(
+            "{:<24} {:>9.3} ms {:>11.3} ms {:>8.2}x",
+            label,
+            best.as_secs_f64() * 1e3,
+            best.as_secs_f64() * 1e3 / kept.max(1) as f64,
+            best.as_secs_f64() / fast.as_secs_f64().max(1e-9),
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K]
 //!                   [--jobs J] [--workers W | --shard I/N]
 //!                   [--legacy-fixpoint] [--no-module-memo]
+//!                   [--legacy-world-lock]
 //!                   [--minimize] [--corpus-out DIR]
 //!                   [--summary-out FILE] [--records-out FILE]
 //!                   [--expected FILE] [--quiet]
@@ -19,6 +20,10 @@
 //! against the simulator ground truth. `--no-module-memo` likewise
 //! disables the fingerprint-keyed module match tables, pinning the
 //! direct-recompute path; CI compares the two summaries byte for byte.
+//! `--legacy-world-lock` runs the dynamic side on the simulator's legacy
+//! single-world-lock engine instead of the sharded matching spaces, so
+//! CI pins the sharded engine against its ablation baseline the same
+//! way.
 //!
 //! Deterministic by construction: module seeds derive from
 //! `(--seed, module index)` only, so the summary is byte-identical at
@@ -47,7 +52,8 @@ struct Opts {
 }
 
 const USAGE: &str = "usage: fuzz_differential [--seed S] [--rounds N] [--modules M] [--dry K] \
-[--jobs J] [--workers W | --shard I/N] [--legacy-fixpoint] [--no-module-memo] [--minimize] \
+[--jobs J] [--workers W | --shard I/N] [--legacy-fixpoint] [--no-module-memo] \
+[--legacy-world-lock] [--minimize] \
 [--corpus-out DIR] \
 [--summary-out FILE] [--records-out FILE] [--expected FILE] [--quiet]";
 
@@ -100,6 +106,7 @@ fn parse_opts() -> Opts {
             }
             "--legacy-fixpoint" => opts.cfg.oracle.incr_fixpoint = false,
             "--no-module-memo" => opts.cfg.oracle.module_memo = false,
+            "--legacy-world-lock" => opts.cfg.oracle.legacy_world_lock = true,
             "--minimize" => opts.minimize = true,
             "--corpus-out" => {
                 opts.corpus_out = Some(
@@ -168,6 +175,9 @@ fn run_workers(opts: &Opts) -> Result<Vec<parcoach_fuzz::ModuleRecord>, String> 
         }
         if !opts.cfg.oracle.module_memo {
             cmd.arg("--no-module-memo");
+        }
+        if opts.cfg.oracle.legacy_world_lock {
+            cmd.arg("--legacy-world-lock");
         }
         if let Some(jobs) = opts.jobs {
             cmd.arg("--jobs")

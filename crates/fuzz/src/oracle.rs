@@ -6,6 +6,7 @@ use parcoach_core::{instrument_module, AnalysisSession, InstrumentMode};
 use parcoach_front::parse_and_check;
 use parcoach_interp::{Executor, RunConfig};
 use parcoach_ir::lower::lower_program;
+use parcoach_ir::Module;
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -30,6 +31,10 @@ pub struct OracleConfig {
     /// recomputation — so the campaign can pin the keyed tables against
     /// the simulator too.
     pub module_memo: bool,
+    /// Run the simulated MPI on its legacy single-world-lock engine
+    /// instead of the sharded one — so the campaign can pin the sharded
+    /// matching spaces against the ablation baseline.
+    pub legacy_world_lock: bool,
 }
 
 impl Default for OracleConfig {
@@ -40,13 +45,16 @@ impl Default for OracleConfig {
             watchdog: Duration::from_secs(10),
             incr_fixpoint: true,
             module_memo: true,
+            legacy_world_lock: false,
         }
     }
 }
 
 impl OracleConfig {
     fn run_config(&self) -> RunConfig {
-        RunConfig::fast_fail(self.ranks, self.threads)
+        let mut cfg = RunConfig::fast_fail(self.ranks, self.threads);
+        cfg.legacy_world_lock = self.legacy_world_lock;
+        cfg
     }
 }
 
@@ -73,7 +81,9 @@ pub enum OracleOutcome {
 
 /// Run the full differential pipeline on one module: parse → lower →
 /// verify → analyze → instrument (selective) → execute under the
-/// watchdog.
+/// watchdog. The module is lowered exactly once; the static and
+/// instrumented phases both work from that lowering via
+/// [`observe_module`].
 pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     let unit = match parse_and_check(name, src) {
         Ok(u) => u,
@@ -84,11 +94,19 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     if !verify.is_empty() {
         return OracleOutcome::Invalid(format!("IR verification failed: {verify:?}"));
     }
+    OracleOutcome::Valid(observe_module(&module, cfg))
+}
+
+/// The post-frontend half of [`observe`]: static analysis, selective
+/// instrumentation and the watchdogged execution of one already-lowered
+/// (and verified) module. Callers that hold a lowered module — the
+/// micro-benchmarks, batched replays — skip the parse entirely.
+pub fn observe_module(module: &Module, cfg: &OracleConfig) -> Observation {
     let report = AnalysisSession::builder()
         .incr_fixpoint(cfg.incr_fixpoint)
         .module_memo(cfg.module_memo)
         .build()
-        .check_module(&module);
+        .check_module(module);
     let mut static_codes: Vec<String> = report
         .warnings
         .iter()
@@ -97,14 +115,16 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     static_codes.sort_unstable();
     static_codes.dedup();
 
-    let (instrumented, _stats) = instrument_module(&module, &report, InstrumentMode::Selective);
+    let (instrumented, _stats) = instrument_module(module, &report, InstrumentMode::Selective);
     let run_cfg = cfg.run_config();
     // The executor joins its rank threads before returning, so a stuck
-    // schedule would stall the campaign without this watchdog; on
-    // timeout the worker thread is leaked (same policy as bench_ci) and
-    // the module is classified as a hang.
+    // schedule would stall the campaign without this watchdog. The run
+    // is dispatched to a parked cache worker instead of a fresh OS
+    // thread — the steady-state campaign pays zero thread spawns — and
+    // on timeout the worker is abandoned, not the thread: if the run
+    // ever finishes, the worker re-parks and serves later modules.
     let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
+    parcoach_pool::thread_cache().spawn(move || {
         let _ = tx.send(Executor::new(instrumented, run_cfg).run());
     });
     let mut dyn_codes: Vec<String> = match rx.recv_timeout(cfg.watchdog) {
@@ -117,8 +137,8 @@ pub fn observe(name: &str, src: &str, cfg: &OracleConfig) -> OracleOutcome {
     };
     dyn_codes.sort_unstable();
     dyn_codes.dedup();
-    OracleOutcome::Valid(Observation {
+    Observation {
         static_codes,
         dyn_codes,
-    })
+    }
 }

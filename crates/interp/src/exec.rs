@@ -19,7 +19,7 @@ use parcoach_mpisim::{MpiConfig, MpiError, Signature, World};
 use parcoach_ompsim::{ForkError, OmpConfig, OmpSim, ThreadCtx};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +45,14 @@ pub struct RunConfig {
     /// spawning fresh OS threads everywhere, as before the pool existed
     /// — the determinism tests compare the two.
     pub pooled: bool,
+    /// Run the simulated MPI on its legacy single-world-lock engine
+    /// instead of the sharded one (ablation baseline / cross-check).
+    pub legacy_world_lock: bool,
+    /// Allocation-reuse fast paths of the interpreter: pooled frame
+    /// slots and one-pass print rendering. `false` falls back to fresh
+    /// allocations per call frame and per printed argument — the
+    /// ablation baseline; outputs are byte-identical either way.
+    pub value_interning: bool,
 }
 
 impl Default for RunConfig {
@@ -58,6 +66,8 @@ impl Default for RunConfig {
             max_call_depth: 128,
             max_provided: ThreadLevel::Multiple,
             pooled: true,
+            legacy_world_lock: false,
+            value_interning: true,
         }
     }
 }
@@ -93,6 +103,46 @@ struct RegionPlan {
     shared_regs: Vec<Reg>,
 }
 
+/// Dense ids for the instrumentation's check sites, computed once per
+/// executor. Concurrency site ids are already dense (the analysis
+/// renumbers them 0..n across functions); monothread-assert sites are
+/// interned here from their spans. Both let the per-rank counters be
+/// flat vectors indexed by site instead of hash maps behind one lock.
+struct SiteTable {
+    /// One slot per `ConcEnter`/`ConcExit` site id.
+    conc_sites: usize,
+    /// Interned `AssertMonothread` sites: `span.lo` → dense index.
+    mono_sites: HashMap<u32, u32>,
+}
+
+impl SiteTable {
+    fn build(module: &Module) -> SiteTable {
+        let mut conc_sites = 0usize;
+        let mut mono_sites = HashMap::new();
+        for f in &module.funcs {
+            for (_, b) in f.iter_blocks() {
+                for i in &b.instrs {
+                    match i {
+                        Instr::Check(CheckOp::ConcEnter { site, .. })
+                        | Instr::Check(CheckOp::ConcExit { site }) => {
+                            conc_sites = conc_sites.max(*site as usize + 1);
+                        }
+                        Instr::Check(CheckOp::AssertMonothread { span, .. }) => {
+                            let next = mono_sites.len() as u32;
+                            mono_sites.entry(span.lo).or_insert(next);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        SiteTable {
+            conc_sites,
+            mono_sites,
+        }
+    }
+}
+
 /// Per-rank runtime environment.
 struct RankEnv {
     world: Arc<World>,
@@ -103,7 +153,11 @@ struct RankEnv {
     max_steps: u64,
     /// Concurrency counters per static site (paper's `S_cc` check):
     /// live occupancy, catching regions that truly overlap in time.
-    conc: Mutex<HashMap<u32, i64>>,
+    /// Occupancy is inherently cross-thread (thread A's enter must be
+    /// visible to thread B's check), so the counters cannot be
+    /// thread-private — but they are dense and lock-free: one atomic
+    /// per interned site.
+    conc: Vec<AtomicI64>,
     /// Executions per (site, team instance, barrier epoch). The paper
     /// resets `S_cc` at synchronization points: a suspect region running
     /// *twice between barriers* of one team is an ordering error even
@@ -112,12 +166,43 @@ struct RankEnv {
     /// member's own barrier count (equal across the team after every
     /// barrier) makes the epoch roll-over race-free: nothing is ever
     /// reset, a new epoch simply uses fresh keys. Stale epochs are
-    /// pruned lazily at barriers.
-    conc_seen: Mutex<HashMap<(u32, u64, u64), u32>>,
+    /// pruned lazily at barriers. Sharded per site: members of one team
+    /// only contend when they hit the *same* suspect region, and each
+    /// shard holds the handful of live (team, epoch) entries.
+    conc_seen: Vec<Mutex<Vec<(u64, u64, u32)>>>,
     /// First executing thread per (assert site, team instance): a second
     /// *distinct* thread reaching the same site in the same team
-    /// encounter proves the context is not monothreaded.
-    mono: Mutex<HashMap<(u32, u64), usize>>,
+    /// encounter proves the context is not monothreaded. Sharded per
+    /// interned assert site, like `conc_seen`.
+    mono: Vec<Mutex<Vec<(u64, usize)>>>,
+    /// Retired call frames, reused by later calls (and member frame
+    /// copies) so steady-state interpretation allocates no frame
+    /// vectors. Empty and unused when `value_interning` is off.
+    frames: Mutex<Vec<Frame>>,
+    /// Mirror of [`RunConfig::value_interning`].
+    value_interning: bool,
+}
+
+impl RankEnv {
+    /// A cleared frame buffer from the pool (or a fresh one).
+    fn take_frame(&self) -> Frame {
+        if !self.value_interning {
+            return Frame::new();
+        }
+        self.frames.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a frame's allocation to the pool.
+    fn put_frame(&self, mut f: Frame) {
+        if !self.value_interning {
+            return;
+        }
+        f.clear();
+        let mut pool = self.frames.lock();
+        if pool.len() < 64 {
+            pool.push(f);
+        }
+    }
 }
 
 /// Control flow of a block walk.
@@ -131,10 +216,12 @@ pub struct Executor {
     module: Module,
     cfg: RunConfig,
     plans: HashMap<(usize, u32), RegionPlan>,
+    sites: SiteTable,
 }
 
 impl Executor {
-    /// Build an executor (precomputes parallel-region plans).
+    /// Build an executor (precomputes parallel-region plans and the
+    /// dense check-site table).
     pub fn new(module: Module, cfg: RunConfig) -> Executor {
         let mut plans = HashMap::new();
         for (fidx, f) in module.funcs.iter().enumerate() {
@@ -144,7 +231,13 @@ impl Executor {
                 }
             }
         }
-        Executor { module, cfg, plans }
+        let sites = SiteTable::build(&module);
+        Executor {
+            module,
+            cfg,
+            plans,
+            sites,
+        }
     }
 
     /// The underlying module.
@@ -159,6 +252,7 @@ impl Executor {
             world_size: self.cfg.ranks,
             max_provided: self.cfg.max_provided,
             op_timeout: self.cfg.mpi_timeout,
+            legacy_world_lock: self.cfg.legacy_world_lock,
         });
         let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let steps = Arc::new(AtomicU64::new(0));
@@ -177,11 +271,20 @@ impl Executor {
                 output: output.clone(),
                 steps: steps.clone(),
                 max_steps: self.cfg.max_steps,
-                conc: Mutex::new(HashMap::new()),
-                conc_seen: Mutex::new(HashMap::new()),
-                mono: Mutex::new(HashMap::new()),
+                conc: (0..self.sites.conc_sites)
+                    .map(|_| AtomicI64::new(0))
+                    .collect(),
+                conc_seen: (0..self.sites.conc_sites)
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect(),
+                mono: (0..self.sites.mono_sites.len())
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect(),
+                frames: Mutex::new(Vec::new()),
+                value_interning: self.cfg.value_interning,
             };
             let mut ctx = ThreadCtx::initial();
+            world.thread_started(rank);
             let res = self.exec_function(&env, &mut ctx, true, "main", Vec::new(), 0);
             world.finish_rank(rank);
             if let Err(e) = res {
@@ -245,17 +348,20 @@ impl Executor {
                 ))
             }
         };
-        let mut frame: Frame = func
-            .reg_types
-            .iter()
-            .map(|&t| Slot::Owned(Value::default_for(t)))
-            .collect();
+        let mut frame: Frame = env.take_frame();
+        frame.extend(
+            func.reg_types
+                .iter()
+                .map(|&t| Slot::Owned(Value::default_for(t))),
+        );
         for (param, arg) in func.params.iter().zip(args) {
             frame[param.index()] = Slot::Owned(arg);
         }
-        match self.exec_from(
+        let flow = self.exec_from(
             env, omp, is_initial, &mut frame, fidx, func, func.entry, None, depth,
-        )? {
+        );
+        env.put_frame(frame);
+        match flow? {
             Flow::Return(v) => {
                 if func.ret != Type::Void && v.is_none() {
                     return Err(RunError::new(
@@ -332,10 +438,26 @@ impl Executor {
                         // Team instance id, exported by the members so
                         // the parent can retire its counters after join.
                         let team_id = AtomicU64::new(0);
+                        // The forking thread is consumed by the join
+                        // until the team retires; the members take over
+                        // its MPI-liveness registration so the census
+                        // counts exactly the threads that can issue MPI
+                        // calls for this rank. All members register
+                        // *before* the fork: a member the scheduler has
+                        // not started yet must already count as
+                        // live-and-unblocked, or a census running in
+                        // the gap could prove a "deadlock" the late
+                        // starter was about to break.
+                        let team_size = nt.unwrap_or(self.cfg.default_threads).max(1);
+                        for _ in 0..team_size {
+                            env.world.thread_started(env.rank);
+                        }
+                        env.world.thread_departed(env.rank);
                         let fork_res = env.omp.fork::<RunError, _>(omp, nt, &|child| {
                             team_id.store(child.team_instance(), Ordering::Relaxed);
                             let child_initial = is_initial && child.thread_num() == 0;
-                            let mut child_frame = parent_frame.clone();
+                            let mut child_frame = env.take_frame();
+                            child_frame.extend(parent_frame.iter().cloned());
                             let res = self.exec_from(
                                 env,
                                 child,
@@ -347,7 +469,8 @@ impl Executor {
                                 Some(plan.end_block),
                                 depth,
                             );
-                            match res {
+                            env.put_frame(child_frame);
+                            let out = match res {
                                 Ok(_) => Ok(()),
                                 Err(e) => {
                                     if !is_secondary_error(&e) {
@@ -365,8 +488,11 @@ impl Executor {
                                     }
                                     Err(e)
                                 }
-                            }
+                            };
+                            env.world.thread_departed(env.rank);
+                            out
                         });
+                        env.world.thread_started(env.rank);
                         // The team is retired: drop its concurrency-site
                         // epoch counts and monothread first-executor
                         // records (both are keyed by the globally-unique
@@ -375,10 +501,12 @@ impl Executor {
                         // rank's lifetime).
                         let retired = team_id.load(Ordering::Relaxed);
                         if retired != 0 {
-                            env.conc_seen
-                                .lock()
-                                .retain(|(_, team, _), _| *team != retired);
-                            env.mono.lock().retain(|(_, team), _| *team != retired);
+                            for shard in &env.conc_seen {
+                                shard.lock().retain(|(team, _, _)| *team != retired);
+                            }
+                            for shard in &env.mono {
+                                shard.lock().retain(|(team, _)| *team != retired);
+                            }
                         }
                         match fork_res {
                             Ok(()) => {}
@@ -386,11 +514,17 @@ impl Executor {
                                 return Err(root_err.lock().take().unwrap_or(e))
                             }
                             Err(ForkError::Omp(e)) => {
+                                // The fork was refused before any member
+                                // ran: unwind their liveness
+                                // pre-registration.
+                                for _ in 0..team_size {
+                                    env.world.thread_departed(env.rank);
+                                }
                                 return Err(RunError::new(
                                     RunErrorKind::Omp(e.to_string()),
                                     span,
                                     env.rank,
-                                ))
+                                ));
                             }
                         }
                         cur = plan.end_block;
@@ -438,9 +572,11 @@ impl Executor {
                         // counting in the *new* epoch (fresh keys).
                         let instance = omp.team_instance();
                         let epoch = omp.barriers_passed();
-                        env.conc_seen
-                            .lock()
-                            .retain(|(_, team, e), _| *team != instance || *e >= epoch);
+                        for shard in &env.conc_seen {
+                            shard
+                                .lock()
+                                .retain(|(team, e, _)| *team != instance || *e >= epoch);
+                        }
                     }
                     Directive::PForInit {
                         var,
@@ -669,14 +805,29 @@ impl Executor {
                 }
             }
             Instr::Print { args } => {
-                let text = args
-                    .iter()
-                    .map(|a| self.read(frame, *a).to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                env.output
-                    .lock()
-                    .push(format!("[rank {}] {}", env.rank, text));
+                let line = if env.value_interning {
+                    // One pass, one allocation: render straight into the
+                    // output line instead of one `String` per argument
+                    // plus a join. Byte-identical to the legacy path.
+                    use std::fmt::Write as _;
+                    let mut line = String::new();
+                    let _ = write!(line, "[rank {}] ", env.rank);
+                    for (k, a) in args.iter().enumerate() {
+                        if k > 0 {
+                            line.push(' ');
+                        }
+                        let _ = write!(line, "{}", self.read(frame, *a));
+                    }
+                    line
+                } else {
+                    let text = args
+                        .iter()
+                        .map(|a| self.read(frame, *a).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    format!("[rank {}] {}", env.rank, text)
+                };
+                env.output.lock().push(line);
             }
             Instr::Check(check) => {
                 self.exec_check(env, omp, is_initial, frame, check, pending_mono)?;
@@ -718,11 +869,19 @@ impl Executor {
                 // Deterministic: within one team encounter, two *distinct*
                 // threads reaching the same collective site prove the
                 // context is multithreaded, regardless of interleaving.
-                let key = (span.lo, omp.team_instance());
+                let site = self.sites.mono_sites[&span.lo] as usize;
+                let team = omp.team_instance();
                 let me = omp.thread_num();
-                let mut mono = env.mono.lock();
-                let first = *mono.entry(key).or_insert(me);
-                drop(mono);
+                let first = {
+                    let mut mono = env.mono[site].lock();
+                    match mono.iter().find(|(t, _)| *t == team) {
+                        Some(&(_, f)) => f,
+                        None => {
+                            mono.push((team, me));
+                            me
+                        }
+                    }
+                };
                 if first != me {
                     let err =
                         RunError::new(RunErrorKind::MonothreadViolation { what }, *span, env.rank);
@@ -733,12 +892,7 @@ impl Executor {
                 Ok(())
             }
             CheckOp::ConcEnter { site, span } => {
-                let overlapping = {
-                    let mut conc = env.conc.lock();
-                    let c = conc.entry(*site).or_insert(0);
-                    *c += 1;
-                    *c >= 2
-                };
+                let overlapping = env.conc[*site as usize].fetch_add(1, Ordering::SeqCst) + 1 >= 2;
                 // Second execution of a suspect site within one barrier
                 // epoch of a team: an ordering error even if the two
                 // executions happen not to overlap on this particular
@@ -747,11 +901,19 @@ impl Executor {
                 // suspect function re-called sequentially would
                 // otherwise accumulate counts for the rank's lifetime.
                 let reexecuted = omp.team.is_some() && {
-                    let key = (*site, omp.team_instance(), omp.barriers_passed());
-                    let mut seen = env.conc_seen.lock();
-                    let s = seen.entry(key).or_insert(0);
-                    *s += 1;
-                    *s >= 2
+                    let team = omp.team_instance();
+                    let epoch = omp.barriers_passed();
+                    let mut seen = env.conc_seen[*site as usize].lock();
+                    match seen.iter_mut().find(|(t, e, _)| *t == team && *e == epoch) {
+                        Some(entry) => {
+                            entry.2 += 1;
+                            entry.2 >= 2
+                        }
+                        None => {
+                            seen.push((team, epoch, 1));
+                            false
+                        }
+                    }
                 };
                 if overlapping || reexecuted {
                     let err = RunError::new(
@@ -765,10 +927,7 @@ impl Executor {
                 Ok(())
             }
             CheckOp::ConcExit { site } => {
-                let mut conc = env.conc.lock();
-                if let Some(c) = conc.get_mut(site) {
-                    *c -= 1;
-                }
+                env.conc[*site as usize].fetch_sub(1, Ordering::SeqCst);
                 Ok(())
             }
             CheckOp::P2pEpoch { span } => {
@@ -817,7 +976,7 @@ impl Executor {
         let per_rank = outcome
             .colors
             .iter()
-            .map(|&c| color_name(c))
+            .map(|&c| color_name(c).into_owned())
             .collect::<Vec<_>>();
         let err = RunError::new(RunErrorKind::CcMismatch { per_rank }, span, env.rank);
         self.abort_everyone(env, omp, &err);
@@ -1159,22 +1318,23 @@ fn check_bounds(i: i64, len: usize, span: Span, rank: usize) -> Result<(), RunEr
     }
 }
 
-/// Human name for a CC color.
-fn color_name(color: u32) -> String {
+/// Human name for a CC color. Every known color has a static name; only
+/// the unknown-color fallback allocates.
+fn color_name(color: u32) -> std::borrow::Cow<'static, str> {
     if color == 0 {
-        return "<return/exit>".to_string();
+        return "<return/exit>".into();
     }
     if color == parcoach_ir::instr::COLOR_COMM_SPLIT {
-        return "MPI_Comm_split".to_string();
+        return "MPI_Comm_split".into();
     }
     if color == parcoach_ir::instr::COLOR_COMM_DUP {
-        return "MPI_Comm_dup".to_string();
+        return "MPI_Comm_dup".into();
     }
     CollectiveKind::ALL
         .iter()
         .find(|k| k.color() == color)
-        .map(|k| k.mpi_name().to_string())
-        .unwrap_or_else(|| format!("<color {color}>"))
+        .map(|k| k.mpi_name().into())
+        .unwrap_or_else(|| format!("<color {color}>").into())
 }
 
 /// Precompute the plan of one parallel region.

@@ -1,0 +1,802 @@
+//! The legacy single-lock matching engine: one `Mutex<WorldState>` and
+//! one `Condvar` serialize every rank, communicator, mailbox, request
+//! and census operation. Preserved verbatim behind
+//! `MpiConfig::legacy_world_lock` as the ablation baseline and fuzz
+//! cross-check for the sharded engine (`sharded.rs`); both must produce
+//! byte-identical reports.
+
+use crate::census::{deadlock_census, CensusInput};
+use crate::error::{MpiError, RankActivity};
+use crate::signature::{CollectiveOp, Signature};
+use crate::value::MpiValue;
+use crate::world::{
+    bad_comm, comm_suffix, compute_results, decode_recv_key, matching_message, not_member,
+    value_or_any, Instance, Message, MpiConfig, Request, RequestState,
+};
+use parcoach_front::ast::ThreadLevel;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Per-communicator matching state.
+struct CommState {
+    /// Global ranks, ordered; the position is the comm-local rank.
+    members: Vec<usize>,
+    instances: VecDeque<Instance>,
+    base_seq: u64,
+    per_rank_seq: Vec<u64>,
+    /// Messages sent on this communicator, per local sender.
+    p2p_sent: Vec<u64>,
+    /// Messages received on this communicator, per local receiver.
+    p2p_recvd: Vec<u64>,
+}
+
+impl CommState {
+    fn new(members: Vec<usize>) -> CommState {
+        let n = members.len();
+        CommState {
+            members,
+            instances: VecDeque::new(),
+            base_seq: 0,
+            per_rank_seq: vec![0; n],
+            p2p_sent: vec![0; n],
+            p2p_recvd: vec![0; n],
+        }
+    }
+
+    fn local_rank(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&g| g == global)
+    }
+}
+
+struct WorldState {
+    comms: Vec<CommState>,
+    activity: Vec<RankActivity>,
+    mailboxes: Vec<Vec<Message>>,
+    /// All non-blocking requests ever posted; handles index this table.
+    requests: Vec<Request>,
+    abort: Option<MpiError>,
+    provided: Option<ThreadLevel>,
+    /// Number of MPI calls currently in flight per rank (threads).
+    in_flight: Vec<usize>,
+    /// Interpreter threads currently able to issue MPI calls, per rank
+    /// (registered via `thread_started`/`thread_departed`). Zero when
+    /// the embedder does not register — the liveness census then falls
+    /// back to the pure timeout under `MPI_THREAD_MULTIPLE`.
+    live: Vec<usize>,
+    /// One entry per thread parked in a blocking MPI wait, per rank:
+    /// the pattern it is blocked on. Together with `live` this lets the
+    /// census rule out rescue-by-sibling-thread under
+    /// `MPI_THREAD_MULTIPLE`: when every live thread of every
+    /// unfinished rank is parked, nothing can progress.
+    blocked: Vec<Vec<RankActivity>>,
+}
+
+/// The legacy single-lock world engine.
+pub(crate) struct LegacyWorld {
+    cfg: MpiConfig,
+    state: Mutex<WorldState>,
+    cv: Condvar,
+}
+
+impl LegacyWorld {
+    pub(crate) fn new(cfg: MpiConfig) -> LegacyWorld {
+        let size = cfg.world_size;
+        LegacyWorld {
+            state: Mutex::new(WorldState {
+                comms: vec![CommState::new((0..size).collect())],
+                activity: vec![RankActivity::Running; size],
+                mailboxes: vec![Vec::new(); size],
+                requests: Vec::new(),
+                abort: None,
+                provided: None,
+                in_flight: vec![0; size],
+                live: vec![0; size],
+                blocked: vec![Vec::new(); size],
+            }),
+            cv: Condvar::new(),
+            cfg,
+        }
+    }
+
+    pub(crate) fn comm_size(&self, comm: usize) -> Option<usize> {
+        self.state.lock().comms.get(comm).map(|c| c.members.len())
+    }
+
+    pub(crate) fn comm_rank(&self, comm: usize, global: usize) -> Option<usize> {
+        self.state
+            .lock()
+            .comms
+            .get(comm)
+            .and_then(|c| c.local_rank(global))
+    }
+
+    pub(crate) fn init(&self, _rank: usize, required: ThreadLevel) -> ThreadLevel {
+        let provided = required.min(self.cfg.max_provided);
+        let mut st = self.state.lock();
+        // First init fixes the level; later inits (other ranks) keep the
+        // weakest requested so enforcement is uniform.
+        st.provided = Some(match st.provided {
+            None => provided,
+            Some(cur) => cur.min(provided),
+        });
+        provided
+    }
+
+    pub(crate) fn provided(&self) -> ThreadLevel {
+        self.state.lock().provided.unwrap_or(ThreadLevel::Multiple)
+    }
+
+    pub(crate) fn abort(&self, reason: MpiError) {
+        let mut st = self.state.lock();
+        if st.abort.is_none() {
+            st.abort = Some(reason);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn abort_reason(&self) -> Option<MpiError> {
+        self.state.lock().abort.clone()
+    }
+
+    /// Guard every MPI entry: enforces the provided thread level.
+    ///
+    /// `is_initial_thread` = the calling thread is the process's initial
+    /// thread (master of every enclosing team).
+    fn enter_mpi(&self, rank: usize, is_initial_thread: bool) -> Result<(), MpiError> {
+        let mut st = self.state.lock();
+        if let Some(e) = &st.abort {
+            return Err(MpiError::Aborted(e.to_string()));
+        }
+        let provided = st.provided.unwrap_or(ThreadLevel::Multiple);
+        let concurrent = st.in_flight[rank] > 0;
+        if let Some(detail) =
+            crate::world::thread_level_violation(provided, concurrent, is_initial_thread)
+        {
+            let err = MpiError::ThreadLevelViolation { provided, detail };
+            if st.abort.is_none() {
+                st.abort = Some(err.clone());
+            }
+            self.cv.notify_all();
+            return Err(err);
+        }
+        st.in_flight[rank] += 1;
+        Ok(())
+    }
+
+    fn leave_mpi(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.in_flight[rank] = st.in_flight[rank].saturating_sub(1);
+    }
+
+    pub(crate) fn thread_started(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.live[rank] += 1;
+    }
+
+    pub(crate) fn thread_departed(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.live[rank] = st.live[rank].saturating_sub(1);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn finish_rank(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.activity[rank] = RankActivity::Finished;
+        st.live[rank] = st.live[rank].saturating_sub(1);
+        if st.abort.is_none() {
+            let pending_collective = st
+                .comms
+                .iter()
+                .flat_map(|c| c.instances.iter())
+                .any(|i| i.results.is_none() && i.arrived_count > 0);
+            let all_settled = st
+                .activity
+                .iter()
+                .all(|a| !matches!(a, RankActivity::Running));
+            if pending_collective && all_settled {
+                st.abort = Some(MpiError::RankFinishedEarly {
+                    finished_rank: rank,
+                    states: st.activity.clone(),
+                });
+            } else if let Some(dl) = deadlock(&st) {
+                st.abort = Some(dl);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn send_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<(), MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = {
+            let mut st = self.state.lock();
+            deliver(&mut st, rank, comm, dest, tag, value)
+        };
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.cv.notify_all();
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn isend(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result: Result<usize, MpiError> = (|| {
+            let mut st = self.state.lock();
+            deliver(&mut st, rank, comm, dest, tag, value)?;
+            st.requests.push(Request {
+                owner: rank,
+                state: RequestState::SendDone,
+            });
+            Ok(st.requests.len() - 1)
+        })();
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.cv.notify_all();
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn irecv(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = (|| {
+            let (s, t) = decode_recv_key(src, tag)?;
+            let mut st = self.state.lock();
+            let Some(c) = st.comms.get(comm) else {
+                return Err(bad_comm(comm));
+            };
+            if c.local_rank(rank).is_none() {
+                return Err(not_member(rank, comm));
+            }
+            if let Some(s) = s {
+                if s >= c.members.len() {
+                    return Err(MpiError::ArgError(format!(
+                        "irecv source {s} out of range for communicator size {}",
+                        c.members.len()
+                    )));
+                }
+            }
+            st.requests.push(Request {
+                owner: rank,
+                state: RequestState::RecvPending {
+                    comm,
+                    src: s,
+                    tag: t,
+                },
+            });
+            Ok(st.requests.len() - 1)
+        })();
+        if let Err(e) = &result {
+            self.abort(e.clone());
+        }
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn wait(
+        &self,
+        rank: usize,
+        request: usize,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.wait_inner(rank, request);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn wait_inner(&self, rank: usize, request: usize) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        let req = match st.requests.get(request).cloned() {
+            Some(r) => r,
+            None => {
+                let err = MpiError::ArgError(format!("invalid request handle #{request}"));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+        };
+        if req.owner != rank {
+            let err = MpiError::ArgError(format!(
+                "rank {rank} cannot wait on request #{request} posted by rank {}",
+                req.owner
+            ));
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        }
+        let (comm, src, tag) = match req.state {
+            RequestState::SendDone => {
+                st.requests[request].state = RequestState::Retired;
+                return Ok(MpiValue::Int(0));
+            }
+            RequestState::Retired => {
+                let err = MpiError::ArgError(format!(
+                    "request #{request} was already completed by a previous wait"
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+            RequestState::RecvPending { comm, src, tag } => (comm, src, tag),
+        };
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            // Re-read the state every round: under MPI_THREAD_MULTIPLE a
+            // sibling thread waiting on the same request may have
+            // completed it while we slept — that is a double wait and
+            // must error, not steal the next matching message.
+            if matches!(st.requests[request].state, RequestState::Retired) {
+                let err = MpiError::ArgError(format!(
+                    "request #{request} was already completed by a previous wait"
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+            if let Some(pos) = matching_message(&st.mailboxes[rank], comm, src, tag) {
+                let msg = st.mailboxes[rank].remove(pos);
+                let my_local = st.comms[comm]
+                    .local_rank(rank)
+                    .expect("membership checked at post time");
+                st.comms[comm].p2p_recvd[my_local] += 1;
+                st.requests[request].state = RequestState::Retired;
+                st.activity[rank] = RankActivity::Running;
+                return Ok(msg.value);
+            }
+            let act = RankActivity::InWait {
+                request,
+                comm,
+                src,
+                tag,
+            };
+            st.activity[rank] = act.clone();
+            st.blocked[rank].push(act.clone());
+            if let Some(dl) = deadlock(&st) {
+                unpark(&mut st, rank, &act);
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            unpark(&mut st, rank, &act);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!(
+                        "MPI_Wait(req #{request}){} on rank {rank}",
+                        comm_suffix(comm)
+                    ),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
+    }
+
+    pub(crate) fn recv_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.recv_inner(rank, comm, src, tag);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn recv_inner(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+    ) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        let (src, tag) = match decode_recv_key(src, tag) {
+            Ok(k) => k,
+            Err(err) => {
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+        };
+        let Some(c) = st.comms.get(comm) else {
+            let err = bad_comm(comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let Some(my_local) = c.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        if let Some(s) = src {
+            if s >= c.members.len() {
+                let err = MpiError::ArgError(format!(
+                    "recv source {s} out of range for communicator size {}",
+                    c.members.len()
+                ));
+                self.abort_locked(&mut st, err.clone());
+                return Err(err);
+            }
+        }
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            if let Some(pos) = matching_message(&st.mailboxes[rank], comm, src, tag) {
+                let msg = st.mailboxes[rank].remove(pos);
+                st.comms[comm].p2p_recvd[my_local] += 1;
+                st.activity[rank] = RankActivity::Running;
+                return Ok(msg.value);
+            }
+            let act = RankActivity::InRecv { comm, src, tag };
+            st.activity[rank] = act.clone();
+            st.blocked[rank].push(act.clone());
+            if let Some(dl) = deadlock(&st) {
+                unpark(&mut st, rank, &act);
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            unpark(&mut st, rank, &act);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!(
+                        "MPI_Recv(src={}, tag={}{}) on rank {rank}",
+                        value_or_any(src),
+                        value_or_any(tag),
+                        comm_suffix(comm)
+                    ),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
+    }
+
+    fn abort_locked(&self, st: &mut WorldState, err: MpiError) {
+        if st.abort.is_none() {
+            st.abort = Some(err);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn enter_collective(
+        &self,
+        rank: usize,
+        comm: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.enter_collective_inner(rank, comm, sig, payload);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn enter_collective_inner(
+        &self,
+        rank: usize,
+        comm: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+    ) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let mut st = self.state.lock();
+        if let Some(e) = &st.abort {
+            return Err(MpiError::Aborted(e.to_string()));
+        }
+        let Some(c) = st.comms.get(comm) else {
+            let err = bad_comm(comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let Some(local) = c.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.abort_locked(&mut st, err.clone());
+            return Err(err);
+        };
+        let size = c.members.len();
+        let seq = st.comms[comm].per_rank_seq[local];
+        st.comms[comm].per_rank_seq[local] += 1;
+        // Materialize instances up to `seq`.
+        while st.comms[comm].base_seq + (st.comms[comm].instances.len() as u64) <= seq {
+            st.comms[comm].instances.push_back(Instance::new(size));
+        }
+        let idx = (seq - st.comms[comm].base_seq) as usize;
+        let complete = {
+            let inst = &mut st.comms[comm].instances[idx];
+            match &inst.signature {
+                None => {
+                    inst.signature = Some(sig);
+                    inst.first_rank = rank;
+                }
+                Some(existing) if *existing != sig => {
+                    let err = MpiError::CollectiveMismatch {
+                        comm,
+                        seq,
+                        expected: *existing,
+                        expected_rank: inst.first_rank,
+                        got: sig,
+                        got_rank: rank,
+                    };
+                    st.abort = Some(err.clone());
+                    self.cv.notify_all();
+                    return Err(err);
+                }
+                Some(_) => {}
+            }
+            inst.payloads[local] = payload;
+            inst.arrived_count += 1;
+            inst.arrived_count == size
+        };
+        if complete {
+            // Compute results outside the instance borrow: communicator
+            // management collectives allocate new communicators.
+            let payloads = st.comms[comm].instances[idx].payloads.clone();
+            let results = match sig.op {
+                CollectiveOp::CommSplit => split_results(&mut st, comm, &payloads),
+                CollectiveOp::CommDup => Ok(dup_results(&mut st, comm)),
+                CollectiveOp::P2pCensus => Ok(census_results(&mut st, size)),
+                _ => compute_results(sig, &payloads, size),
+            };
+            match results {
+                Ok(results) => {
+                    st.comms[comm].instances[idx].results = Some(results);
+                    self.cv.notify_all();
+                }
+                Err(err) => {
+                    st.abort = Some(err.clone());
+                    self.cv.notify_all();
+                    return Err(err);
+                }
+            }
+        }
+        let act = RankActivity::InCollective {
+            seq,
+            what: format!("{sig}{}", comm_suffix(comm)),
+        };
+        st.activity[rank] = act.clone();
+        // Wait for results.
+        loop {
+            if let Some(e) = &st.abort {
+                return Err(MpiError::Aborted(e.to_string()));
+            }
+            let idx = (seq - st.comms[comm].base_seq) as usize;
+            let done = {
+                let inst = &mut st.comms[comm].instances[idx];
+                if let Some(results) = &inst.results {
+                    let out = results[local].clone();
+                    inst.collected[local] = true;
+                    inst.collected_count += 1;
+                    Some(out)
+                } else {
+                    None
+                }
+            };
+            if let Some(out) = done {
+                st.activity[rank] = RankActivity::Running;
+                // Drop fully-collected instances from the front.
+                let cs = &mut st.comms[comm];
+                while let Some(front) = cs.instances.front() {
+                    if front.collected_count == cs.members.len() {
+                        cs.instances.pop_front();
+                        cs.base_seq += 1;
+                    } else {
+                        break;
+                    }
+                }
+                return Ok(out);
+            }
+            st.blocked[rank].push(act.clone());
+            if let Some(dl) = deadlock(&st) {
+                unpark(&mut st, rank, &act);
+                st.abort = Some(dl.clone());
+                self.cv.notify_all();
+                return Err(dl);
+            }
+            let res = self.cv.wait_until(&mut st, deadline);
+            unpark(&mut st, rank, &act);
+            if res.timed_out() {
+                let err = MpiError::Timeout {
+                    what: format!(
+                        "{sig}{} on rank {rank} (collective #{seq})",
+                        comm_suffix(comm)
+                    ),
+                    states: st.activity.clone(),
+                };
+                st.abort = Some(err.clone());
+                self.cv.notify_all();
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Deliver one buffered message — the shared core of the blocking and
+/// non-blocking sends: validates the destination and tag, bumps the
+/// sender's per-communicator counter and appends to the destination's
+/// mailbox.
+fn deliver(
+    st: &mut WorldState,
+    rank: usize,
+    comm: usize,
+    dest: usize,
+    tag: i64,
+    value: MpiValue,
+) -> Result<(), MpiError> {
+    if tag < 0 {
+        return Err(MpiError::ArgError(format!(
+            "send tag {tag} must be non-negative (wildcards are receive-only)"
+        )));
+    }
+    let Some(c) = st.comms.get(comm) else {
+        return Err(bad_comm(comm));
+    };
+    let Some(src_local) = c.local_rank(rank) else {
+        return Err(not_member(rank, comm));
+    };
+    if dest >= c.members.len() {
+        return Err(MpiError::ArgError(format!(
+            "send destination {dest} out of range for communicator size {}",
+            c.members.len()
+        )));
+    }
+    let global_dest = c.members[dest];
+    st.comms[comm].p2p_sent[src_local] += 1;
+    st.mailboxes[global_dest].push(Message {
+        comm,
+        src: src_local,
+        tag,
+        value,
+    });
+    Ok(())
+}
+
+/// `MPI_Comm_split` results: group the parent's members by color,
+/// order each group by (key, global rank), allocate one new
+/// communicator per color (ascending), and hand every member its
+/// group's handle.
+fn split_results(
+    st: &mut WorldState,
+    parent: usize,
+    payloads: &[Option<MpiValue>],
+) -> Result<Vec<MpiValue>, MpiError> {
+    let members = st.comms[parent].members.clone();
+    let mut entries: Vec<(i64, i64, usize)> = Vec::with_capacity(members.len()); // (color, key, global)
+    for (local, p) in payloads.iter().enumerate() {
+        match p {
+            Some(MpiValue::ArrayInt(ck)) if ck.len() == 2 => {
+                entries.push((ck[0], ck[1], members[local]));
+            }
+            _ => {
+                return Err(MpiError::ArgError(
+                    "MPI_Comm_split payload must be [color, key]".into(),
+                ))
+            }
+        }
+    }
+    let mut colors: Vec<i64> = entries.iter().map(|e| e.0).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    let mut handle_of_global: Vec<(usize, usize)> = Vec::new(); // (global, handle)
+    for color in colors {
+        let mut group: Vec<(i64, usize)> = entries
+            .iter()
+            .filter(|e| e.0 == color)
+            .map(|e| (e.1, e.2))
+            .collect();
+        group.sort_unstable();
+        let handle = st.comms.len();
+        let group_members: Vec<usize> = group.iter().map(|&(_, g)| g).collect();
+        for &g in &group_members {
+            handle_of_global.push((g, handle));
+        }
+        st.comms.push(CommState::new(group_members));
+    }
+    Ok(members
+        .iter()
+        .map(|g| {
+            let h = handle_of_global
+                .iter()
+                .find(|(gg, _)| gg == g)
+                .expect("every member is in a group")
+                .1;
+            MpiValue::Int(h as i64)
+        })
+        .collect())
+}
+
+/// `MPI_Comm_dup` results: one new communicator with the same members.
+fn dup_results(st: &mut WorldState, parent: usize) -> Vec<MpiValue> {
+    let members = st.comms[parent].members.clone();
+    let size = members.len();
+    let handle = st.comms.len();
+    st.comms.push(CommState::new(members));
+    vec![MpiValue::Int(handle as i64); size]
+}
+
+/// P2p census results: snapshot the per-communicator send/receive
+/// totals, then reset the counters (the epoch ends at the census).
+fn census_results(st: &mut WorldState, size: usize) -> Vec<MpiValue> {
+    let mut flat: Vec<i64> = Vec::with_capacity(st.comms.len() * 3);
+    for (h, c) in st.comms.iter().enumerate() {
+        flat.push(h as i64);
+        flat.push(c.p2p_sent.iter().sum::<u64>() as i64);
+        flat.push(c.p2p_recvd.iter().sum::<u64>() as i64);
+    }
+    for c in st.comms.iter_mut() {
+        c.p2p_sent.iter_mut().for_each(|x| *x = 0);
+        c.p2p_recvd.iter_mut().for_each(|x| *x = 0);
+    }
+    vec![MpiValue::ArrayInt(flat); size]
+}
+
+/// Remove one parked-pattern record for `rank` equal to `act` (the
+/// entry this thread pushed before waiting; equal records from sibling
+/// threads are interchangeable, so removing any one keeps the multiset
+/// right).
+fn unpark(st: &mut WorldState, rank: usize, act: &RankActivity) {
+    if let Some(i) = st.blocked[rank].iter().rposition(|a| a == act) {
+        st.blocked[rank].swap_remove(i);
+    }
+}
+
+/// Evaluate the shared liveness census over the single-lock state.
+fn deadlock(st: &WorldState) -> Option<MpiError> {
+    let input = CensusInput {
+        provided: st.provided,
+        activity: &st.activity,
+        live: &st.live,
+        blocked: &st.blocked,
+        any_uncollected: st
+            .comms
+            .iter()
+            .flat_map(|c| c.instances.iter())
+            .any(|i| i.results.is_some()),
+    };
+    deadlock_census(
+        &input,
+        &|rank, comm, src, tag| matching_message(&st.mailboxes[rank], comm, src, tag).is_some(),
+        &|comm, local| {
+            st.comms
+                .get(comm)
+                .and_then(|c| c.members.get(local).copied())
+        },
+    )
+}

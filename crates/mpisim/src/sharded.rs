@@ -1,0 +1,981 @@
+//! The sharded matching engine (default): one matching space per
+//! communicator and one mailbox shard per (communicator, destination),
+//! each with its own mutex and condvar, so traffic on disjoint
+//! communicators — and receives on distinct destinations — never
+//! contend. One small **world lock** remains, covering only the
+//! liveness-census state (per-rank activity, live-thread counts,
+//! parked-wait patterns); the fast paths (send, isend, irecv,
+//! message-present recv, results-ready collective) never touch it.
+//!
+//! ## Lock order
+//!
+//! `census → comms (R/W) → match space → mailbox shard`, with the
+//! `requests` table locked either alone or outermost-before-a-shard
+//! (the `wait` path needs consume-and-retire to be atomic), and the
+//! `abort` slot locked alone. Paths that would invert the order release
+//! first: communicator-management collectives release the match space
+//! before taking the communicator table write lock, and every error
+//! path releases its locks before publishing the abort.
+//!
+//! ## Park protocol
+//!
+//! A blocking wait (1) fast-checks its condition under the shard/match
+//! lock, (2) on a miss **registers** its parked pattern under the
+//! census lock and runs the census, (3) re-locks the shard/match,
+//! re-checks the condition *and* the abort flag, and only then waits on
+//! the shard/match condvar (notifiers signal while holding the same
+//! mutex, so no wakeup is lost), (4) on wake **deregisters** — and
+//! resets its activity to `Running` — *before* consuming. Consuming
+//! while still registered would let a concurrent census observe
+//! "every thread parked, nothing buffered" mid-consume and declare a
+//! deadlock that isn't there; the deregister-first discipline keeps the
+//! census invariant: a registered pattern is untouched until its thread
+//! re-acquires the census lock.
+//!
+//! The census itself (see [`crate::census`]) runs under the census
+//! lock. That lock freezes the registration state; and whenever the
+//! census *gate* passes — every live thread of every unfinished rank
+//! registered-parked — no thread can be mid-send or mid-collect (those
+//! run unregistered), so the per-shard reads the census performs are a
+//! consistent snapshot even though it takes the shard locks one at a
+//! time.
+
+use crate::census::{deadlock_census, CensusInput};
+use crate::error::{MpiError, RankActivity};
+use crate::signature::{CollectiveOp, Signature};
+use crate::value::MpiValue;
+use crate::world::{
+    bad_comm, comm_suffix, compute_results, decode_recv_key, matching_message, not_member,
+    thread_level_violation, value_or_any, Instance, Message, MpiConfig, Request, RequestState,
+};
+use parcoach_front::ast::ThreadLevel;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One mailbox shard: the buffered messages for one (communicator,
+/// destination) pair, plus the condvar its receivers park on.
+struct MailShard {
+    queue: Mutex<Vec<Message>>,
+    cv: Condvar,
+}
+
+/// The collective-matching state of one communicator.
+struct CommMatch {
+    instances: VecDeque<Instance>,
+    base_seq: u64,
+    per_rank_seq: Vec<u64>,
+}
+
+/// One communicator's matching space: immutable membership, the
+/// collective matcher, and the per-destination mailbox shards.
+struct CommSpace {
+    /// Global ranks, ordered; the position is the comm-local rank.
+    members: Vec<usize>,
+    match_: Mutex<CommMatch>,
+    match_cv: Condvar,
+    /// One shard per local destination rank.
+    mail: Vec<MailShard>,
+    /// Messages sent on this communicator, per local sender.
+    p2p_sent: Vec<AtomicU64>,
+    /// Messages received on this communicator, per local receiver.
+    p2p_recvd: Vec<AtomicU64>,
+}
+
+impl CommSpace {
+    fn new(members: Vec<usize>) -> CommSpace {
+        let n = members.len();
+        CommSpace {
+            members,
+            match_: Mutex::new(CommMatch {
+                instances: VecDeque::new(),
+                base_seq: 0,
+                per_rank_seq: vec![0; n],
+            }),
+            match_cv: Condvar::new(),
+            mail: (0..n)
+                .map(|_| MailShard {
+                    queue: Mutex::new(Vec::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            p2p_sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            p2p_recvd: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn local_rank(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&g| g == global)
+    }
+}
+
+/// The census-relevant state — everything the remaining world lock
+/// guards.
+struct CensusState {
+    provided: Option<ThreadLevel>,
+    /// Per-rank single-slot activity (the reported states).
+    activity: Vec<RankActivity>,
+    /// Registered live interpreter threads per rank.
+    live: Vec<usize>,
+    /// One pattern per thread parked in a blocking MPI wait, per rank.
+    blocked: Vec<Vec<RankActivity>>,
+}
+
+fn encode_level(l: Option<ThreadLevel>) -> u8 {
+    match l {
+        None => 0,
+        Some(ThreadLevel::Single) => 1,
+        Some(ThreadLevel::Funneled) => 2,
+        Some(ThreadLevel::Serialized) => 3,
+        Some(ThreadLevel::Multiple) => 4,
+    }
+}
+
+fn decode_level(b: u8) -> Option<ThreadLevel> {
+    match b {
+        1 => Some(ThreadLevel::Single),
+        2 => Some(ThreadLevel::Funneled),
+        3 => Some(ThreadLevel::Serialized),
+        4 => Some(ThreadLevel::Multiple),
+        _ => None,
+    }
+}
+
+/// The sharded world engine.
+pub(crate) struct ShardedWorld {
+    cfg: MpiConfig,
+    /// The small world lock: census/liveness state only.
+    census: Mutex<CensusState>,
+    comms: RwLock<Vec<Arc<CommSpace>>>,
+    /// All non-blocking requests ever posted; handles index this table.
+    requests: Mutex<Vec<Request>>,
+    abort: Mutex<Option<MpiError>>,
+    aborted: AtomicBool,
+    /// Mirror of `CensusState::provided` for the lock-free entry check.
+    provided_fast: AtomicU8,
+    /// Number of MPI calls currently in flight per rank (threads).
+    in_flight: Vec<AtomicUsize>,
+}
+
+impl ShardedWorld {
+    pub(crate) fn new(cfg: MpiConfig) -> ShardedWorld {
+        let size = cfg.world_size;
+        ShardedWorld {
+            census: Mutex::new(CensusState {
+                provided: None,
+                activity: vec![RankActivity::Running; size],
+                live: vec![0; size],
+                blocked: vec![Vec::new(); size],
+            }),
+            comms: RwLock::new(vec![Arc::new(CommSpace::new((0..size).collect()))]),
+            requests: Mutex::new(Vec::new()),
+            abort: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            provided_fast: AtomicU8::new(0),
+            in_flight: (0..size).map(|_| AtomicUsize::new(0)).collect(),
+            cfg,
+        }
+    }
+
+    fn space(&self, comm: usize) -> Option<Arc<CommSpace>> {
+        self.comms.read().get(comm).cloned()
+    }
+
+    pub(crate) fn comm_size(&self, comm: usize) -> Option<usize> {
+        self.space(comm).map(|sp| sp.members.len())
+    }
+
+    pub(crate) fn comm_rank(&self, comm: usize, global: usize) -> Option<usize> {
+        self.space(comm).and_then(|sp| sp.local_rank(global))
+    }
+
+    pub(crate) fn init(&self, _rank: usize, required: ThreadLevel) -> ThreadLevel {
+        let provided = required.min(self.cfg.max_provided);
+        let mut cs = self.census.lock();
+        // First init fixes the level; later inits (other ranks) keep the
+        // weakest requested so enforcement is uniform.
+        cs.provided = Some(match cs.provided {
+            None => provided,
+            Some(cur) => cur.min(provided),
+        });
+        self.provided_fast
+            .store(encode_level(cs.provided), Ordering::SeqCst);
+        provided
+    }
+
+    pub(crate) fn provided(&self) -> ThreadLevel {
+        self.census.lock().provided.unwrap_or(ThreadLevel::Multiple)
+    }
+
+    fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn aborted_err(&self) -> MpiError {
+        let reason = self.abort.lock().clone();
+        MpiError::Aborted(reason.map(|e| e.to_string()).unwrap_or_default())
+    }
+
+    /// Publish the abort (first one wins) and wake every parked thread.
+    /// Callers must hold no locks: the wakeup sweep takes every match
+    /// and shard mutex so the flag-check-then-wait of the park protocol
+    /// cannot lose the notification.
+    fn set_abort(&self, err: MpiError) {
+        {
+            let mut a = self.abort.lock();
+            if a.is_none() {
+                *a = Some(err);
+                self.aborted.store(true, Ordering::SeqCst);
+            }
+        }
+        let comms = self.comms.read();
+        for sp in comms.iter() {
+            {
+                let _m = sp.match_.lock();
+                sp.match_cv.notify_all();
+            }
+            for sh in &sp.mail {
+                let _q = sh.queue.lock();
+                sh.cv.notify_all();
+            }
+        }
+    }
+
+    pub(crate) fn abort(&self, reason: MpiError) {
+        self.set_abort(reason);
+    }
+
+    pub(crate) fn abort_reason(&self) -> Option<MpiError> {
+        self.abort.lock().clone()
+    }
+
+    /// Guard every MPI entry: enforces the provided thread level.
+    /// Lock-free — the abort flag, the mirrored level and the per-rank
+    /// in-flight counter are atomics.
+    fn enter_mpi(&self, rank: usize, is_initial_thread: bool) -> Result<(), MpiError> {
+        if self.aborted() {
+            return Err(self.aborted_err());
+        }
+        let provided = decode_level(self.provided_fast.load(Ordering::SeqCst))
+            .unwrap_or(ThreadLevel::Multiple);
+        let prev = self.in_flight[rank].fetch_add(1, Ordering::SeqCst);
+        if let Some(detail) = thread_level_violation(provided, prev > 0, is_initial_thread) {
+            self.in_flight[rank].fetch_sub(1, Ordering::SeqCst);
+            let err = MpiError::ThreadLevelViolation { provided, detail };
+            self.set_abort(err.clone());
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    fn leave_mpi(&self, rank: usize) {
+        self.in_flight[rank].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn thread_started(&self, rank: usize) {
+        let mut cs = self.census.lock();
+        cs.live[rank] += 1;
+    }
+
+    pub(crate) fn thread_departed(&self, rank: usize) {
+        let err = {
+            let mut cs = self.census.lock();
+            cs.live[rank] = cs.live[rank].saturating_sub(1);
+            // The departure may make the census provable for the
+            // threads that stay parked; unlike the legacy engine (whose
+            // global condvar re-runs the census on every wakeup) nobody
+            // will re-check on their behalf, so run it here.
+            if self.aborted() {
+                None
+            } else {
+                self.census_check(&cs)
+            }
+        };
+        if let Some(e) = err {
+            self.set_abort(e);
+        }
+    }
+
+    pub(crate) fn finish_rank(&self, rank: usize) {
+        let err = {
+            let mut cs = self.census.lock();
+            cs.activity[rank] = RankActivity::Finished;
+            cs.live[rank] = cs.live[rank].saturating_sub(1);
+            if self.aborted() {
+                None
+            } else {
+                let pending_collective = {
+                    let comms = self.comms.read();
+                    comms.iter().any(|sp| {
+                        let m = sp.match_.lock();
+                        m.instances
+                            .iter()
+                            .any(|i| i.results.is_none() && i.arrived_count > 0)
+                    })
+                };
+                let all_settled = cs
+                    .activity
+                    .iter()
+                    .all(|a| !matches!(a, RankActivity::Running));
+                if pending_collective && all_settled {
+                    Some(MpiError::RankFinishedEarly {
+                        finished_rank: rank,
+                        states: cs.activity.clone(),
+                    })
+                } else {
+                    self.census_check(&cs)
+                }
+            }
+        };
+        if let Some(e) = err {
+            self.set_abort(e);
+        }
+    }
+
+    /// Run the shared census over the frozen registration state. Caller
+    /// holds the census lock; the per-space locks are taken one at a
+    /// time (order: census → comms → match/shard) — see the module
+    /// docs for why that still reads a consistent snapshot.
+    fn census_check(&self, cs: &CensusState) -> Option<MpiError> {
+        let comms = self.comms.read();
+        let any_uncollected = comms.iter().any(|sp| {
+            let m = sp.match_.lock();
+            m.instances.iter().any(|i| i.results.is_some())
+        });
+        let input = CensusInput {
+            provided: cs.provided,
+            activity: &cs.activity,
+            live: &cs.live,
+            blocked: &cs.blocked,
+            any_uncollected,
+        };
+        deadlock_census(
+            &input,
+            &|rank, comm, src, tag| {
+                comms.get(comm).is_some_and(|sp| {
+                    sp.local_rank(rank).is_some_and(|local| {
+                        let q = sp.mail[local].queue.lock();
+                        matching_message(&q, comm, src, tag).is_some()
+                    })
+                })
+            },
+            &|comm, local| {
+                comms
+                    .get(comm)
+                    .and_then(|sp| sp.members.get(local).copied())
+            },
+        )
+    }
+
+    /// Register `act` as a parked pattern, run the census, then wait on
+    /// `cv` until `ready`, abort or the deadline — and deregister. The
+    /// caller re-checks its condition on `Ok(())`; `Err` aborts the
+    /// world (census verdict or timeout).
+    #[allow(clippy::too_many_arguments)]
+    fn park<T>(
+        &self,
+        rank: usize,
+        act: &RankActivity,
+        mu: &Mutex<T>,
+        cv: &Condvar,
+        ready: impl Fn(&T) -> bool,
+        deadline: Instant,
+        what: impl Fn() -> String,
+    ) -> Result<(), MpiError> {
+        {
+            let mut cs = self.census.lock();
+            cs.activity[rank] = act.clone();
+            cs.blocked[rank].push(act.clone());
+            if let Some(dl) = self.census_check(&cs) {
+                unpark(&mut cs, rank, act);
+                drop(cs);
+                self.set_abort(dl.clone());
+                return Err(dl);
+            }
+        }
+        let timed_out = {
+            let mut g = mu.lock();
+            if self.aborted() || ready(&g) {
+                false
+            } else {
+                cv.wait_until(&mut g, deadline).timed_out()
+            }
+        };
+        let mut cs = self.census.lock();
+        unpark(&mut cs, rank, act);
+        if timed_out {
+            cs.activity[rank] = act.clone();
+            let err = MpiError::Timeout {
+                what: what(),
+                states: cs.activity.clone(),
+            };
+            drop(cs);
+            self.set_abort(err.clone());
+            return Err(err);
+        }
+        // Deregister-before-consume: while unregistered the activity
+        // must read Running, or a concurrent census would count this
+        // progressing thread as blocked.
+        cs.activity[rank] = RankActivity::Running;
+        Ok(())
+    }
+
+    /// Deliver one buffered message: validates the destination and tag,
+    /// bumps the sender's counter and appends to the destination's
+    /// shard, waking its receivers.
+    fn deliver(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+    ) -> Result<(), MpiError> {
+        if tag < 0 {
+            return Err(MpiError::ArgError(format!(
+                "send tag {tag} must be non-negative (wildcards are receive-only)"
+            )));
+        }
+        let Some(sp) = self.space(comm) else {
+            return Err(bad_comm(comm));
+        };
+        let Some(src_local) = sp.local_rank(rank) else {
+            return Err(not_member(rank, comm));
+        };
+        if dest >= sp.members.len() {
+            return Err(MpiError::ArgError(format!(
+                "send destination {dest} out of range for communicator size {}",
+                sp.members.len()
+            )));
+        }
+        sp.p2p_sent[src_local].fetch_add(1, Ordering::SeqCst);
+        let shard = &sp.mail[dest];
+        let mut q = shard.queue.lock();
+        q.push(Message {
+            comm,
+            src: src_local,
+            tag,
+            value,
+        });
+        shard.cv.notify_all();
+        Ok(())
+    }
+
+    pub(crate) fn send_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<(), MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.deliver(rank, comm, dest, tag, value);
+        if let Err(e) = &result {
+            self.set_abort(e.clone());
+        }
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn isend(
+        &self,
+        rank: usize,
+        comm: usize,
+        dest: usize,
+        tag: i64,
+        value: MpiValue,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.deliver(rank, comm, dest, tag, value).map(|()| {
+            let mut reqs = self.requests.lock();
+            reqs.push(Request {
+                owner: rank,
+                state: RequestState::SendDone,
+            });
+            reqs.len() - 1
+        });
+        if let Err(e) = &result {
+            self.set_abort(e.clone());
+        }
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn irecv(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<usize, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = (|| {
+            let (s, t) = decode_recv_key(src, tag)?;
+            let Some(sp) = self.space(comm) else {
+                return Err(bad_comm(comm));
+            };
+            if sp.local_rank(rank).is_none() {
+                return Err(not_member(rank, comm));
+            }
+            if let Some(s) = s {
+                if s >= sp.members.len() {
+                    return Err(MpiError::ArgError(format!(
+                        "irecv source {s} out of range for communicator size {}",
+                        sp.members.len()
+                    )));
+                }
+            }
+            let mut reqs = self.requests.lock();
+            reqs.push(Request {
+                owner: rank,
+                state: RequestState::RecvPending {
+                    comm,
+                    src: s,
+                    tag: t,
+                },
+            });
+            Ok(reqs.len() - 1)
+        })();
+        if let Err(e) = &result {
+            self.set_abort(e.clone());
+        }
+        self.leave_mpi(rank);
+        result
+    }
+
+    pub(crate) fn wait(
+        &self,
+        rank: usize,
+        request: usize,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.wait_inner(rank, request);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn wait_inner(&self, rank: usize, request: usize) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let (comm, src, tag) = {
+            let mut reqs = self.requests.lock();
+            let req = match reqs.get(request).cloned() {
+                Some(r) => r,
+                None => {
+                    let err = MpiError::ArgError(format!("invalid request handle #{request}"));
+                    drop(reqs);
+                    self.set_abort(err.clone());
+                    return Err(err);
+                }
+            };
+            if req.owner != rank {
+                let err = MpiError::ArgError(format!(
+                    "rank {rank} cannot wait on request #{request} posted by rank {}",
+                    req.owner
+                ));
+                drop(reqs);
+                self.set_abort(err.clone());
+                return Err(err);
+            }
+            match req.state {
+                RequestState::SendDone => {
+                    reqs[request].state = RequestState::Retired;
+                    return Ok(MpiValue::Int(0));
+                }
+                RequestState::Retired => {
+                    let err = MpiError::ArgError(format!(
+                        "request #{request} was already completed by a previous wait"
+                    ));
+                    drop(reqs);
+                    self.set_abort(err.clone());
+                    return Err(err);
+                }
+                RequestState::RecvPending { comm, src, tag } => (comm, src, tag),
+            }
+        };
+        let sp = self.space(comm).expect("membership checked at post time");
+        let my_local = sp
+            .local_rank(rank)
+            .expect("membership checked at post time");
+        let shard = &sp.mail[my_local];
+        let act = RankActivity::InWait {
+            request,
+            comm,
+            src,
+            tag,
+        };
+        loop {
+            {
+                // Requests outermost: consume-and-retire must be atomic,
+                // and the retired-by-a-sibling re-check every round is
+                // what turns a double wait into the documented error.
+                let mut reqs = self.requests.lock();
+                if self.aborted() {
+                    return Err(self.aborted_err());
+                }
+                if matches!(reqs[request].state, RequestState::Retired) {
+                    let err = MpiError::ArgError(format!(
+                        "request #{request} was already completed by a previous wait"
+                    ));
+                    drop(reqs);
+                    self.set_abort(err.clone());
+                    return Err(err);
+                }
+                let mut q = shard.queue.lock();
+                if let Some(pos) = matching_message(&q, comm, src, tag) {
+                    let msg = q.remove(pos);
+                    drop(q);
+                    sp.p2p_recvd[my_local].fetch_add(1, Ordering::SeqCst);
+                    reqs[request].state = RequestState::Retired;
+                    return Ok(msg.value);
+                }
+            }
+            self.park(
+                rank,
+                &act,
+                &shard.queue,
+                &shard.cv,
+                |q| matching_message(q, comm, src, tag).is_some(),
+                deadline,
+                || {
+                    format!(
+                        "MPI_Wait(req #{request}){} on rank {rank}",
+                        comm_suffix(comm)
+                    )
+                },
+            )?;
+        }
+    }
+
+    pub(crate) fn recv_on(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.recv_inner(rank, comm, src, tag);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn recv_inner(
+        &self,
+        rank: usize,
+        comm: usize,
+        src: i64,
+        tag: i64,
+    ) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        let (src, tag) = match decode_recv_key(src, tag) {
+            Ok(k) => k,
+            Err(err) => {
+                self.set_abort(err.clone());
+                return Err(err);
+            }
+        };
+        let Some(sp) = self.space(comm) else {
+            let err = bad_comm(comm);
+            self.set_abort(err.clone());
+            return Err(err);
+        };
+        let Some(my_local) = sp.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.set_abort(err.clone());
+            return Err(err);
+        };
+        if let Some(s) = src {
+            if s >= sp.members.len() {
+                let err = MpiError::ArgError(format!(
+                    "recv source {s} out of range for communicator size {}",
+                    sp.members.len()
+                ));
+                self.set_abort(err.clone());
+                return Err(err);
+            }
+        }
+        let shard = &sp.mail[my_local];
+        let act = RankActivity::InRecv { comm, src, tag };
+        loop {
+            {
+                let mut q = shard.queue.lock();
+                if self.aborted() {
+                    return Err(self.aborted_err());
+                }
+                if let Some(pos) = matching_message(&q, comm, src, tag) {
+                    let msg = q.remove(pos);
+                    drop(q);
+                    sp.p2p_recvd[my_local].fetch_add(1, Ordering::SeqCst);
+                    return Ok(msg.value);
+                }
+            }
+            self.park(
+                rank,
+                &act,
+                &shard.queue,
+                &shard.cv,
+                |q| matching_message(q, comm, src, tag).is_some(),
+                deadline,
+                || {
+                    format!(
+                        "MPI_Recv(src={}, tag={}{}) on rank {rank}",
+                        value_or_any(src),
+                        value_or_any(tag),
+                        comm_suffix(comm)
+                    )
+                },
+            )?;
+        }
+    }
+
+    pub(crate) fn enter_collective(
+        &self,
+        rank: usize,
+        comm: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+        is_initial_thread: bool,
+    ) -> Result<MpiValue, MpiError> {
+        self.enter_mpi(rank, is_initial_thread)?;
+        let result = self.enter_collective_inner(rank, comm, sig, payload);
+        self.leave_mpi(rank);
+        result
+    }
+
+    fn enter_collective_inner(
+        &self,
+        rank: usize,
+        comm: usize,
+        sig: Signature,
+        payload: Option<MpiValue>,
+    ) -> Result<MpiValue, MpiError> {
+        let deadline = Instant::now() + self.cfg.op_timeout;
+        if self.aborted() {
+            return Err(self.aborted_err());
+        }
+        let Some(sp) = self.space(comm) else {
+            let err = bad_comm(comm);
+            self.set_abort(err.clone());
+            return Err(err);
+        };
+        let Some(local) = sp.local_rank(rank) else {
+            let err = not_member(rank, comm);
+            self.set_abort(err.clone());
+            return Err(err);
+        };
+        let size = sp.members.len();
+        // Arrival: claim this rank's next sequence slot and post the
+        // payload. The last arriver takes the payload snapshot out.
+        let (seq, completed_payloads) = {
+            let mut m = sp.match_.lock();
+            let seq = m.per_rank_seq[local];
+            m.per_rank_seq[local] += 1;
+            while m.base_seq + (m.instances.len() as u64) <= seq {
+                m.instances.push_back(Instance::new(size));
+            }
+            let idx = (seq - m.base_seq) as usize;
+            let inst = &mut m.instances[idx];
+            match &inst.signature {
+                None => {
+                    inst.signature = Some(sig);
+                    inst.first_rank = rank;
+                }
+                Some(existing) if *existing != sig => {
+                    let err = MpiError::CollectiveMismatch {
+                        comm,
+                        seq,
+                        expected: *existing,
+                        expected_rank: inst.first_rank,
+                        got: sig,
+                        got_rank: rank,
+                    };
+                    drop(m);
+                    self.set_abort(err.clone());
+                    return Err(err);
+                }
+                Some(_) => {}
+            }
+            inst.payloads[local] = payload;
+            inst.arrived_count += 1;
+            let snapshot = (inst.arrived_count == size).then(|| inst.payloads.clone());
+            (seq, snapshot)
+        };
+        if let Some(payloads) = completed_payloads {
+            // Compute results with the match space released:
+            // communicator management needs the communicator-table
+            // write lock, which orders *before* any match space.
+            let results = match sig.op {
+                CollectiveOp::CommSplit => self.split_results(&sp.members, &payloads),
+                CollectiveOp::CommDup => Ok(self.dup_results(&sp.members)),
+                CollectiveOp::P2pCensus => Ok(self.census_results(size)),
+                _ => compute_results(sig, &payloads, size),
+            };
+            match results {
+                Ok(results) => {
+                    let mut m = sp.match_.lock();
+                    let idx = (seq - m.base_seq) as usize;
+                    m.instances[idx].results = Some(results);
+                    sp.match_cv.notify_all();
+                }
+                Err(err) => {
+                    self.set_abort(err.clone());
+                    return Err(err);
+                }
+            }
+        }
+        let act = RankActivity::InCollective {
+            seq,
+            what: format!("{sig}{}", comm_suffix(comm)),
+        };
+        // Wait for results.
+        loop {
+            {
+                let mut m = sp.match_.lock();
+                if self.aborted() {
+                    return Err(self.aborted_err());
+                }
+                let idx = (seq - m.base_seq) as usize;
+                let inst = &mut m.instances[idx];
+                if let Some(results) = &inst.results {
+                    let out = results[local].clone();
+                    inst.collected[local] = true;
+                    inst.collected_count += 1;
+                    // Drop fully-collected instances from the front.
+                    while let Some(front) = m.instances.front() {
+                        if front.collected_count == size {
+                            m.instances.pop_front();
+                            m.base_seq += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    return Ok(out);
+                }
+            }
+            self.park(
+                rank,
+                &act,
+                &sp.match_,
+                &sp.match_cv,
+                |m| {
+                    let idx = (seq - m.base_seq) as usize;
+                    m.instances.get(idx).is_none_or(|i| i.results.is_some())
+                },
+                deadline,
+                || {
+                    format!(
+                        "{sig}{} on rank {rank} (collective #{seq})",
+                        comm_suffix(comm)
+                    )
+                },
+            )?;
+        }
+    }
+
+    /// `MPI_Comm_split` results: group the parent's members by color,
+    /// order each group by (key, global rank), allocate one new
+    /// communicator per color (ascending), and hand every member its
+    /// group's handle.
+    fn split_results(
+        &self,
+        members: &[usize],
+        payloads: &[Option<MpiValue>],
+    ) -> Result<Vec<MpiValue>, MpiError> {
+        let mut entries: Vec<(i64, i64, usize)> = Vec::with_capacity(members.len()); // (color, key, global)
+        for (local, p) in payloads.iter().enumerate() {
+            match p {
+                Some(MpiValue::ArrayInt(ck)) if ck.len() == 2 => {
+                    entries.push((ck[0], ck[1], members[local]));
+                }
+                _ => {
+                    return Err(MpiError::ArgError(
+                        "MPI_Comm_split payload must be [color, key]".into(),
+                    ))
+                }
+            }
+        }
+        let mut colors: Vec<i64> = entries.iter().map(|e| e.0).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let mut comms = self.comms.write();
+        let mut handle_of_global: Vec<(usize, usize)> = Vec::new(); // (global, handle)
+        for color in colors {
+            let mut group: Vec<(i64, usize)> = entries
+                .iter()
+                .filter(|e| e.0 == color)
+                .map(|e| (e.1, e.2))
+                .collect();
+            group.sort_unstable();
+            let handle = comms.len();
+            let group_members: Vec<usize> = group.iter().map(|&(_, g)| g).collect();
+            for &g in &group_members {
+                handle_of_global.push((g, handle));
+            }
+            comms.push(Arc::new(CommSpace::new(group_members)));
+        }
+        Ok(members
+            .iter()
+            .map(|g| {
+                let h = handle_of_global
+                    .iter()
+                    .find(|(gg, _)| gg == g)
+                    .expect("every member is in a group")
+                    .1;
+                MpiValue::Int(h as i64)
+            })
+            .collect())
+    }
+
+    /// `MPI_Comm_dup` results: one new communicator with the same
+    /// members.
+    fn dup_results(&self, members: &[usize]) -> Vec<MpiValue> {
+        let size = members.len();
+        let mut comms = self.comms.write();
+        let handle = comms.len();
+        comms.push(Arc::new(CommSpace::new(members.to_vec())));
+        vec![MpiValue::Int(handle as i64); size]
+    }
+
+    /// P2p census results: snapshot the per-communicator send/receive
+    /// totals, then reset the counters (the epoch ends at the census).
+    /// The swap-to-zero reads are exact: the census is a collective, so
+    /// every rank is inside it and no send/recv is in flight.
+    fn census_results(&self, size: usize) -> Vec<MpiValue> {
+        let comms = self.comms.read();
+        let mut flat: Vec<i64> = Vec::with_capacity(comms.len() * 3);
+        for (h, sp) in comms.iter().enumerate() {
+            let sent: u64 = sp
+                .p2p_sent
+                .iter()
+                .map(|x| x.swap(0, Ordering::SeqCst))
+                .sum();
+            let recvd: u64 = sp
+                .p2p_recvd
+                .iter()
+                .map(|x| x.swap(0, Ordering::SeqCst))
+                .sum();
+            flat.push(h as i64);
+            flat.push(sent as i64);
+            flat.push(recvd as i64);
+        }
+        vec![MpiValue::ArrayInt(flat); size]
+    }
+}
+
+/// Remove one parked-pattern record for `rank` equal to `act` (the
+/// entry this thread pushed before waiting; equal records from sibling
+/// threads are interchangeable, so removing any one keeps the multiset
+/// right).
+fn unpark(cs: &mut CensusState, rank: usize, act: &RankActivity) {
+    if let Some(i) = cs.blocked[rank].iter().rposition(|a| a == act) {
+        cs.blocked[rank].swap_remove(i);
+    }
+}

@@ -42,6 +42,11 @@ impl std::fmt::Display for BarrierError {
 struct State {
     /// Threads waiting in the current generation.
     arrived: usize,
+    /// Team members that left the region body for good (reached the
+    /// join). A departed member can never arrive at the barrier again,
+    /// so `arrived + departed == size` with `arrived < size` *proves*
+    /// divergence — no timeout needed.
+    departed: usize,
     /// Completed-barrier generation counter.
     generation: u64,
     /// Set on abort.
@@ -62,6 +67,7 @@ impl SimBarrier {
             size,
             state: Mutex::new(State {
                 arrived: 0,
+                departed: 0,
                 generation: 0,
                 poisoned: false,
             }),
@@ -89,6 +95,11 @@ impl SimBarrier {
             self.cv.notify_all();
             return Ok(());
         }
+        if st.arrived + st.departed == self.size {
+            // Everyone else has left the region: the missing members can
+            // never arrive. Divergence, proven without waiting.
+            return Err(self.diverged(&mut st));
+        }
         let gen = st.generation;
         loop {
             let res = self.cv.wait_until(&mut st, deadline);
@@ -98,17 +109,36 @@ impl SimBarrier {
             if st.generation != gen {
                 return Ok(());
             }
-            if res.timed_out() {
-                let arrived = st.arrived;
-                // Leave the barrier so other waiters see a consistent
-                // count, and poison it: the team is broken.
-                st.poisoned = true;
-                self.cv.notify_all();
-                return Err(BarrierError::Timeout {
-                    arrived,
-                    expected: self.size,
-                });
+            if st.arrived + st.departed == self.size {
+                return Err(self.diverged(&mut st));
             }
+            if res.timed_out() {
+                return Err(self.diverged(&mut st));
+            }
+        }
+    }
+
+    /// Report divergence from inside `wait`: leave the barrier so other
+    /// waiters see a consistent count, and poison it — the team is
+    /// broken.
+    fn diverged(&self, st: &mut State) -> BarrierError {
+        let arrived = st.arrived;
+        st.poisoned = true;
+        self.cv.notify_all();
+        BarrierError::Timeout {
+            arrived,
+            expected: self.size,
+        }
+    }
+
+    /// Record that one team member has left the region body for good
+    /// (reached the join). Wakes waiters so a now-provable divergence is
+    /// reported immediately instead of at the timeout.
+    pub fn depart(&self) {
+        let mut st = self.state.lock();
+        st.departed += 1;
+        if st.arrived > 0 && st.arrived + st.departed == self.size {
+            self.cv.notify_all();
         }
     }
 

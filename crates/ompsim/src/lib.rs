@@ -127,14 +127,19 @@ impl OmpSim {
             parcoach_pool::thread_cache().run_set(size, |tid| {
                 let mut ctx = team::member_ctx(team.clone(), tid);
                 *results[tid].lock() = Some(body(&mut ctx));
+                // The member has left the region body for good: siblings
+                // still waiting at a barrier learn immediately whether
+                // the team has diverged.
+                team.barrier.depart();
             });
         } else {
             std::thread::scope(|scope| {
                 for (tid, slot) in results.iter().enumerate() {
                     let team = team.clone();
                     scope.spawn(move || {
-                        let mut ctx = team::member_ctx(team, tid);
+                        let mut ctx = team::member_ctx(team.clone(), tid);
                         *slot.lock() = Some(body(&mut ctx));
+                        team.barrier.depart();
                     });
                 }
             });
